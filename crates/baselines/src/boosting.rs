@@ -1,0 +1,173 @@
+//! Stand-alone transactional boosting (Herlihy & Koskinen, PPoPP 2008).
+//!
+//! Boosting is the pessimistic/eager corner of the Proust design space:
+//! commutativity-based conflicts map to abstract locks held until the
+//! transaction ends, and updates are applied eagerly with inverses for
+//! rollback. Proust's pessimistic/eager configuration *is* boosting, with
+//! one difference the paper highlights (§1): classic boosting is "a
+//! stand-alone process, not integrated with an STM" — its locks know
+//! nothing about the STM's contention manager, which is what livelocked
+//! the paper's weakly-coupled pessimistic experiments (§7).
+//!
+//! This module provides that stand-alone flavor for comparison: the same
+//! wrapper machinery, but with a lock policy whose arbitration deliberately
+//! ignores transaction age (`die` on any conflict, like a plain
+//! `tryLock`), so the benchmark can contrast it with Proust's
+//! wound-wait-coupled [`PessimisticLap`](proust_core::PessimisticLap).
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use proust_core::structures::EagerMap;
+use proust_core::{Compat, LockAllocatorPolicy, LockRequest, PessimisticLap, TxMap};
+use proust_stm::{TxResult, Txn};
+
+/// A lock policy that, like a bare `tryLock`, aborts the requester on any
+/// conflict with no age-based arbitration. This models boosting's
+/// non-integration with the STM's contention management.
+pub struct UncoupledLocks<K> {
+    inner: PessimisticLap<K>,
+}
+
+impl<K> fmt::Debug for UncoupledLocks<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UncoupledLocks").finish_non_exhaustive()
+    }
+}
+
+impl<K: Hash + Send + Sync> UncoupledLocks<K> {
+    /// Create a table with `slots` striped read/write locks.
+    pub fn new(slots: usize) -> Self {
+        // Patience 0: any blocked acquisition aborts immediately, like a
+        // bare `tryLock` with no view into the STM's contention manager.
+        UncoupledLocks { inner: PessimisticLap::with_patience(slots, Compat::ReadWrite, 0) }
+    }
+}
+
+impl<K: Hash + Send + Sync + 'static> LockAllocatorPolicy<K> for UncoupledLocks<K> {
+    fn acquire(&self, tx: &mut Txn, request: &LockRequest<K>) -> TxResult<()> {
+        self.inner.acquire(tx, request)
+    }
+
+    fn post_validate(&self, _tx: &mut Txn, _request: &LockRequest<K>) -> TxResult<()> {
+        Ok(())
+    }
+
+    fn is_optimistic(&self) -> bool {
+        false
+    }
+}
+
+/// A classic boosted transactional map: pessimistic abstract locks striped
+/// over keys, eager updates with inverses.
+pub struct BoostedMap<K, V> {
+    inner: EagerMap<K, V>,
+}
+
+impl<K, V> fmt::Debug for BoostedMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoostedMap").finish_non_exhaustive()
+    }
+}
+
+impl<K, V> Clone for BoostedMap<K, V> {
+    fn clone(&self) -> Self {
+        BoostedMap { inner: self.inner.clone() }
+    }
+}
+
+impl<K, V> BoostedMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create a boosted map with `slots` abstract locks (the boosting
+    /// paper's "associate an abstract lock with each key value (or its
+    /// hash)").
+    pub fn new(slots: usize) -> Self {
+        BoostedMap { inner: EagerMap::new(Arc::new(UncoupledLocks::new(slots))) }
+    }
+
+    /// The committed size without a transaction context.
+    pub fn committed_size(&self) -> i64 {
+        self.inner.committed_size()
+    }
+}
+
+impl<K, V> TxMap<K, V> for BoostedMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        self.inner.put(tx, key, value)
+    }
+
+    fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        self.inner.get(tx, key)
+    }
+
+    fn contains(&self, tx: &mut Txn, key: &K) -> TxResult<bool> {
+        self.inner.contains(tx, key)
+    }
+
+    fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        self.inner.remove(tx, key)
+    }
+
+    fn size(&self, tx: &mut Txn) -> TxResult<i64> {
+        self.inner.size(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proust_stm::{Stm, StmConfig, TxError};
+
+    #[test]
+    fn roundtrip_and_rollback() {
+        let stm = Stm::new(StmConfig::default());
+        let map: BoostedMap<u32, u32> = BoostedMap::new(64);
+        stm.atomically(|tx| {
+            map.put(tx, 1, 10)?;
+            map.put(tx, 2, 20)
+        })
+        .unwrap();
+        let result: Result<(), _> = stm.atomically(|tx| {
+            map.remove(tx, &1)?;
+            map.put(tx, 2, 99)?;
+            Err(TxError::abort("undo"))
+        });
+        assert!(result.is_err());
+        let (a, b) = stm
+            .atomically(|tx| Ok((map.get(tx, &1)?, map.get(tx, &2)?)))
+            .unwrap();
+        assert_eq!((a, b), (Some(10), Some(20)));
+        assert_eq!(map.committed_size(), 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_serializes() {
+        let stm = Stm::new(StmConfig::default());
+        let map: Arc<BoostedMap<u32, u64>> = Arc::new(BoostedMap::new(16));
+        stm.atomically(|tx| map.put(tx, 0, 0)).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        stm.atomically(|tx| {
+                            let v = map.get(tx, &0)?.unwrap();
+                            map.put(tx, 0, v + 1)
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.atomically(|tx| map.get(tx, &0)).unwrap(), Some(800));
+    }
+}

@@ -1,0 +1,132 @@
+//! The coarse-locking floor: a transactional map guarded by one global
+//! exclusive abstract lock.
+//!
+//! Every operation — reads included — serializes through a single lock.
+//! This is the sanity baseline every fine-grained scheme should beat once
+//! threads contend; it is also, structurally, "boosting with the most
+//! conservative possible conflict abstraction" (one abstract-state element
+//! covering the whole map).
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use proust_core::structures::EagerMap;
+use proust_core::{Compat, PessimisticLap, TxMap};
+use proust_stm::{TxResult, Txn};
+
+/// A transactional map with a single global exclusive lock.
+pub struct CoarseMap<K, V> {
+    inner: EagerMap<K, V>,
+}
+
+impl<K, V> fmt::Debug for CoarseMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoarseMap").finish_non_exhaustive()
+    }
+}
+
+impl<K, V> Clone for CoarseMap<K, V> {
+    fn clone(&self) -> Self {
+        CoarseMap { inner: self.inner.clone() }
+    }
+}
+
+impl<K, V> Default for CoarseMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        CoarseMap::new()
+    }
+}
+
+impl<K, V> CoarseMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create a coarse-locked map.
+    pub fn new() -> Self {
+        // One slot, exclusive protocol: every key hashes to the same lock
+        // and every mode conflicts with every other.
+        CoarseMap {
+            inner: EagerMap::new(Arc::new(PessimisticLap::with_compat(1, Compat::Exclusive))),
+        }
+    }
+
+    /// The committed size without a transaction context.
+    pub fn committed_size(&self) -> i64 {
+        self.inner.committed_size()
+    }
+}
+
+impl<K, V> TxMap<K, V> for CoarseMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        self.inner.put(tx, key, value)
+    }
+
+    fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        self.inner.get(tx, key)
+    }
+
+    fn contains(&self, tx: &mut Txn, key: &K) -> TxResult<bool> {
+        self.inner.contains(tx, key)
+    }
+
+    fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        self.inner.remove(tx, key)
+    }
+
+    fn size(&self, tx: &mut Txn) -> TxResult<i64> {
+        self.inner.size(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proust_stm::{Stm, StmConfig};
+
+    #[test]
+    fn roundtrip() {
+        let stm = Stm::new(StmConfig::default());
+        let map: CoarseMap<u8, u8> = CoarseMap::new();
+        stm.atomically(|tx| {
+            map.put(tx, 1, 2)?;
+            assert_eq!(map.get(tx, &1)?, Some(2));
+            assert!(map.contains(tx, &1)?);
+            assert_eq!(map.remove(tx, &1)?, Some(2));
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn concurrent_increments_are_atomic() {
+        let stm = Stm::new(StmConfig::default());
+        let map: Arc<CoarseMap<u8, u64>> = Arc::new(CoarseMap::new());
+        stm.atomically(|tx| map.put(tx, 0, 0)).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for _ in 0..150 {
+                        stm.atomically(|tx| {
+                            let v = map.get(tx, &0)?.unwrap();
+                            map.put(tx, 0, v + 1)
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.atomically(|tx| map.get(tx, &0)).unwrap(), Some(600));
+    }
+}

@@ -1,0 +1,34 @@
+//! # proust-baselines
+//!
+//! The comparator implementations from the Proust paper's evaluation (§7)
+//! and related work (§1/§8), all implementing the same
+//! [`TxMap`](proust_core::TxMap) trait as the Proustian wrappers so the
+//! benchmark harness sweeps them uniformly:
+//!
+//! * [`StmHashMap`] — the "traditional STM" map: state lives directly in
+//!   STM memory, so semantically-commuting operations that share tracked
+//!   locations produce *false conflicts*.
+//! * [`PredMap`] — transactional predication (Bronson et al., PODC 2010):
+//!   per-key STM predicates allocated in a non-transactional map; the
+//!   strongest specialized comparator in the paper's Figure 4.
+//! * [`BoostedMap`] — classic stand-alone transactional boosting (Herlihy
+//!   & Koskinen, PPoPP 2008): pessimistic abstract locks *uncoupled* from
+//!   the STM's contention manager (patience-0 `tryLock`s).
+//! * [`CoarseMap`] — one global exclusive lock; the scalability floor.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod boosting;
+mod coarse;
+mod predication;
+mod stm_map;
+
+pub use boosting::{BoostedMap, UncoupledLocks};
+pub use coarse::CoarseMap;
+pub use predication::PredMap;
+pub use stm_map::StmHashMap;
+
+/// Default bucket count for [`StmHashMap`], sized so the paper's 1024-key
+/// workload sees a realistic handful of keys per tracked location.
+pub const DEFAULT_BUCKETS: usize = 512;

@@ -1,0 +1,205 @@
+//! Transactional predication (Bronson, Casper, Chafi & Olukotun, PODC
+//! 2010) — the paper's strongest map comparator.
+//!
+//! Predication's conflict abstraction (§3 of the Proust paper): "(1) a
+//! memory region `mem` whose synchronization and recovery is managed by
+//! the underlying STM, (2) a non-transactional thread-safe map that links
+//! keys to unique memory locations within that region." Each key gets a
+//! dedicated *predicate* — an STM cell holding `Option<V>` — allocated on
+//! demand in a non-transactional concurrent map. Map operations become
+//! single STM reads/writes of the predicate, so the STM both detects
+//! conflicts *and* performs the state update (unlike Proust, which uses
+//! the STM only for synchronization and keeps state in the wrapped
+//! structure).
+//!
+//! Predicate garbage collection is out of scope here, as in the paper's
+//! evaluation (§7 fixes the key range at 1024 for exactly this reason).
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use proust_conc::StripedHashMap;
+use proust_core::{CommittedSize, TxMap};
+use proust_stm::{TVar, TxResult, Txn};
+
+/// A transactional map implemented by per-key predication.
+pub struct PredMap<K, V> {
+    predicates: Arc<StripedHashMap<K, TVar<Option<V>>>>,
+    size: CommittedSize,
+}
+
+impl<K, V> fmt::Debug for PredMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PredMap").field("committed_size", &self.size.get()).finish()
+    }
+}
+
+impl<K, V> Clone for PredMap<K, V> {
+    fn clone(&self) -> Self {
+        PredMap { predicates: Arc::clone(&self.predicates), size: self.size.clone() }
+    }
+}
+
+impl<K, V> Default for PredMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        PredMap::new()
+    }
+}
+
+impl<K, V> PredMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create an empty predicated map.
+    pub fn new() -> Self {
+        PredMap { predicates: Arc::new(StripedHashMap::new()), size: CommittedSize::new() }
+    }
+
+    /// Find or allocate the predicate for `key`. The check-and-insert is
+    /// linearized in the non-transactional map, so all transactions agree
+    /// on one predicate per key.
+    fn predicate(&self, key: &K) -> TVar<Option<V>> {
+        self.predicates
+            .get_or_insert_with(key.clone(), || TVar::new(None))
+    }
+
+    /// The committed size without a transaction context.
+    pub fn committed_size(&self) -> i64 {
+        self.size.get()
+    }
+
+    /// Number of predicates allocated so far (diagnostic; grows with the
+    /// set of keys ever touched, since predicates are not collected).
+    pub fn allocated_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+}
+
+impl<K, V> TxMap<K, V> for PredMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        let predicate = self.predicate(&key);
+        let previous = predicate.read(tx)?;
+        predicate.write(tx, Some(value))?;
+        if previous.is_none() {
+            self.size.record(tx, 1);
+        }
+        Ok(previous)
+    }
+
+    fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        self.predicate(key).read(tx)
+    }
+
+    fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        let predicate = self.predicate(key);
+        let previous = predicate.read(tx)?;
+        if previous.is_some() {
+            predicate.write(tx, None)?;
+            self.size.record(tx, -1);
+        }
+        Ok(previous)
+    }
+
+    fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
+        Ok(self.size.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proust_stm::{Stm, StmConfig};
+
+    #[test]
+    fn basic_roundtrip() {
+        let stm = Stm::new(StmConfig::default());
+        let map: PredMap<u32, String> = PredMap::new();
+        stm.atomically(|tx| {
+            assert_eq!(map.put(tx, 1, "x".into())?, None);
+            assert_eq!(map.get(tx, &1)?.as_deref(), Some("x"));
+            assert_eq!(map.remove(tx, &1)?.as_deref(), Some("x"));
+            assert_eq!(map.get(tx, &1)?, None);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(map.committed_size(), 0);
+        assert_eq!(map.allocated_predicates(), 1, "predicate persists after removal");
+    }
+
+    #[test]
+    fn distinct_keys_never_conflict() {
+        // The defining property of predication: per-key STM locations mean
+        // zero false conflicts across distinct keys.
+        let stm = Stm::new(StmConfig::default());
+        let map: Arc<PredMap<u32, u32>> = Arc::new(PredMap::new());
+        // Pre-allocate predicates so allocation races don't muddy the
+        // conflict count.
+        for k in 0..64 {
+            map.predicate(&k);
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let key = t * 16 + (i % 16); // disjoint per thread
+                        stm.atomically(|tx| map.put(tx, key, i)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.stats().conflicts, 0, "distinct keys must not conflict");
+        assert_eq!(map.committed_size(), 64);
+    }
+
+    #[test]
+    fn same_key_read_modify_write_is_atomic() {
+        let stm = Stm::new(StmConfig::default());
+        let map: Arc<PredMap<u32, u64>> = Arc::new(PredMap::new());
+        stm.atomically(|tx| map.put(tx, 0, 0)).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for _ in 0..250 {
+                        stm.atomically(|tx| {
+                            let v = map.get(tx, &0)?.unwrap();
+                            map.put(tx, 0, v + 1)
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.atomically(|tx| map.get(tx, &0)).unwrap(), Some(1000));
+    }
+
+    #[test]
+    fn predicate_allocation_race_converges() {
+        let map: Arc<PredMap<u32, u32>> = Arc::new(PredMap::new());
+        let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let map = Arc::clone(&map);
+                let ids = &ids;
+                s.spawn(move || {
+                    let p = map.predicate(&7);
+                    ids.lock().unwrap().insert(p.id());
+                });
+            }
+        });
+        assert_eq!(ids.into_inner().unwrap().len(), 1, "all threads must share one predicate");
+    }
+}

@@ -1,0 +1,241 @@
+//! The "traditional STM" map baseline.
+//!
+//! This is the comparator the paper's intro motivates against: a map whose
+//! state lives *directly* in STM-managed memory, so conflicts are detected
+//! by read/write-set tracking over concrete memory rather than over
+//! abstract states. Two operations that commute at the semantic level —
+//! `put(1, x)` and `put(2, y)` landing in the same bucket — still collide,
+//! the *false conflicts* Proust exists to avoid.
+//!
+//! Each bucket is one [`TVar`] holding a persistent vector of entries;
+//! updates rewrite the whole bucket, which is how word-/node-granularity
+//! STM maps behave once keys share a tracked location.
+
+use std::fmt;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::Arc;
+
+use proust_core::{CommittedSize, TxMap};
+use proust_stm::{TVar, TxResult, Txn};
+
+use crate::DEFAULT_BUCKETS;
+
+type Bucket<K, V> = Arc<Vec<(K, V)>>;
+
+/// A hash map stored directly in STM memory (bucket-granularity conflict
+/// tracking).
+pub struct StmHashMap<K, V> {
+    buckets: Vec<TVar<Bucket<K, V>>>,
+    size: CommittedSize,
+    hasher: RandomState,
+}
+
+impl<K, V> fmt::Debug for StmHashMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StmHashMap")
+            .field("buckets", &self.buckets.len())
+            .field("committed_size", &self.size.get())
+            .finish()
+    }
+}
+
+impl<K, V> StmHashMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create a map with the default bucket count.
+    pub fn new() -> Self {
+        Self::with_buckets(DEFAULT_BUCKETS)
+    }
+
+    /// Create a map with `buckets` STM-tracked buckets (rounded up to a
+    /// power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn with_buckets(buckets: usize) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        let count = buckets.next_power_of_two();
+        StmHashMap {
+            buckets: (0..count).map(|_| TVar::new(Bucket::default())).collect(),
+            size: CommittedSize::new(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn bucket(&self, key: &K) -> &TVar<Bucket<K, V>> {
+        let hash = self.hasher.hash_one(key) as usize;
+        &self.buckets[hash & (self.buckets.len() - 1)]
+    }
+
+    /// The committed size without a transaction context.
+    pub fn committed_size(&self) -> i64 {
+        self.size.get()
+    }
+}
+
+impl<K, V> Default for StmHashMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        StmHashMap::new()
+    }
+}
+
+impl<K, V> TxMap<K, V> for StmHashMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        let bucket = self.bucket(&key);
+        let entries = bucket.read(tx)?;
+        let mut updated: Vec<(K, V)> = entries.as_ref().clone();
+        let previous = match updated.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => Some(std::mem::replace(&mut slot.1, value)),
+            None => {
+                updated.push((key, value));
+                None
+            }
+        };
+        bucket.write(tx, Arc::new(updated))?;
+        if previous.is_none() {
+            self.size.record(tx, 1);
+        }
+        Ok(previous)
+    }
+
+    fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        let entries = self.bucket(key).read(tx)?;
+        Ok(entries.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()))
+    }
+
+    fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        let bucket = self.bucket(key);
+        let entries = bucket.read(tx)?;
+        let Some(position) = entries.iter().position(|(k, _)| k == key) else {
+            return Ok(None);
+        };
+        let mut updated: Vec<(K, V)> = entries.as_ref().clone();
+        let (_, previous) = updated.swap_remove(position);
+        bucket.write(tx, Arc::new(updated))?;
+        self.size.record(tx, -1);
+        Ok(Some(previous))
+    }
+
+    fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
+        Ok(self.size.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proust_stm::{Stm, StmConfig};
+
+    #[test]
+    fn basic_roundtrip() {
+        let stm = Stm::new(StmConfig::default());
+        let map: StmHashMap<u32, u32> = StmHashMap::new();
+        stm.atomically(|tx| {
+            assert_eq!(map.put(tx, 1, 10)?, None);
+            assert_eq!(map.put(tx, 1, 11)?, Some(10));
+            assert_eq!(map.get(tx, &1)?, Some(11));
+            assert_eq!(map.remove(tx, &1)?, Some(11));
+            assert_eq!(map.remove(tx, &1)?, None);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(map.committed_size(), 0);
+    }
+
+    #[test]
+    fn exhibits_false_conflicts_within_a_bucket() {
+        // Force both keys into one bucket and interleave two transactions
+        // deterministically: T1 reads the bucket (via a put to key 0),
+        // then the main thread commits a put to the *different* key 1 in
+        // the same bucket, then T1 tries to commit. Although put(0, _)
+        // and put(1, _) commute semantically, the bucket-granularity STM
+        // map must report a conflict — the false conflict Proust avoids.
+        let stm = Stm::new(StmConfig::default());
+        let map: Arc<StmHashMap<u32, u32>> = Arc::new(StmHashMap::with_buckets(1));
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (resume_tx, resume_rx) = std::sync::mpsc::channel();
+        std::thread::scope(|s| {
+            let t1_stm = stm.clone();
+            let t1_map = Arc::clone(&map);
+            s.spawn(move || {
+                let mut first_attempt = true;
+                t1_stm
+                    .atomically(|tx| {
+                        // Read the bucket first (no ownership taken yet)...
+                        t1_map.get(tx, &0)?;
+                        if first_attempt {
+                            first_attempt = false;
+                            ready_tx.send(()).unwrap();
+                            resume_rx.recv().unwrap();
+                        }
+                        // ...then update key 0 after the concurrent commit
+                        // to key 1 has landed.
+                        t1_map.put(tx, 0, 100).map(drop)
+                    })
+                    .unwrap();
+            });
+            ready_rx.recv().unwrap();
+            // Commit an update to a distinct key in the shared bucket
+            // while T1 is mid-transaction.
+            stm.atomically(|tx| map.put(tx, 1, 200)).unwrap();
+            resume_tx.send(()).unwrap();
+        });
+        assert!(
+            stm.stats().conflicts > 0,
+            "distinct-key writes in one bucket must falsely conflict"
+        );
+        // Both updates land after T1's retry.
+        assert_eq!(map.committed_size(), 2);
+    }
+
+    #[test]
+    fn atomic_cross_key_invariant_holds() {
+        let stm = Stm::new(StmConfig::default());
+        let map: Arc<StmHashMap<u32, i64>> = Arc::new(StmHashMap::new());
+        stm.atomically(|tx| {
+            map.put(tx, 0, 500)?;
+            map.put(tx, 1, 500)
+        })
+        .unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        stm.atomically(|tx| {
+                            let a = map.get(tx, &0)?.unwrap();
+                            let b = map.get(tx, &1)?.unwrap();
+                            map.put(tx, 0, a - 1)?;
+                            map.put(tx, 1, b + 1)
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let (a, b) = stm
+                            .atomically(|tx| Ok((map.get(tx, &0)?.unwrap(), map.get(tx, &1)?.unwrap())))
+                            .unwrap();
+                        assert_eq!(a + b, 1000, "transfer invariant violated");
+                    }
+                });
+            }
+        });
+    }
+}

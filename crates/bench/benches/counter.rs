@@ -1,0 +1,46 @@
+//! Criterion microbenchmark of the §3 counter: cost of the semantic
+//! conflict abstraction (which touches no STM locations far from zero)
+//! versus a plain `TVar` read-modify-write and versus an always-touch
+//! abstraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proust_core::structures::ProustCounter;
+use proust_stm::{Stm, StmConfig, TVar};
+
+fn bench_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_incr");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let stm = Stm::new(StmConfig::default());
+
+    let far = ProustCounter::new(1_000_000);
+    group.bench_function("proust_ca_far_from_zero", |b| {
+        b.iter(|| stm.atomically(|tx| far.incr(tx)).unwrap());
+    });
+
+    let near = ProustCounter::new(0);
+    group.bench_function("proust_ca_near_zero", |b| {
+        b.iter(|| {
+            stm.atomically(|tx| {
+                near.incr(tx)?;
+                near.decr(tx).map(drop)
+            })
+            .unwrap()
+        });
+    });
+
+    let always = ProustCounter::with_threshold(1_000_000, i64::MAX);
+    group.bench_function("always_touch_ca", |b| {
+        b.iter(|| stm.atomically(|tx| always.incr(tx)).unwrap());
+    });
+
+    let tvar = TVar::new(0i64);
+    group.bench_function("tvar_rmw", |b| {
+        b.iter(|| stm.atomically(|tx| tvar.modify(tx, |v| v + 1)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counter);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks: per-transaction cost of map operations for
+//! every implementation in the Figure 4 registry (single-threaded — the
+//! constant-factor side of the picture; the `figure4` binary measures the
+//! contended side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proust_bench::maps::MapKind;
+
+fn bench_single_op_txns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_op_txn");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in MapKind::ALL {
+        let (stm, map) = kind.build();
+        // Pre-populate half the key range.
+        stm.atomically(|tx| {
+            for k in (0..1024u64).step_by(2) {
+                map.put(tx, k, k)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut key = 0u64;
+        group.bench_with_input(BenchmarkId::new("put", kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                key = (key + 7) % 1024;
+                stm.atomically(|tx| map.put(tx, key, key)).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("get", kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                key = (key + 7) % 1024;
+                stm.atomically(|tx| map.get(tx, &key)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_txn_batches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_txn_64_ops");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [
+        MapKind::StmMap,
+        MapKind::Predication,
+        MapKind::ProustEagerOpt,
+        MapKind::ProustLazySnap,
+        MapKind::ProustLazyMemo,
+        MapKind::ProustMemoCombining,
+    ] {
+        let (stm, map) = kind.build();
+        let mut key = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                stm.atomically(|tx| {
+                    for i in 0..64u64 {
+                        key = (key + 13) % 1024;
+                        if i % 2 == 0 {
+                            map.put(tx, key, i)?;
+                        } else {
+                            map.get(tx, &key)?;
+                        }
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_op_txns, bench_txn_batches);
+criterion_main!(benches);

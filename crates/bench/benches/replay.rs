@@ -1,0 +1,65 @@
+//! Criterion ablation of the §7 log-combining optimization: commit cost of
+//! a memoizing lazy transaction as the number of logged operations grows,
+//! with and without combining. The paper's observation: replay time is
+//! proportional to logged operations, but with combining it becomes
+//! proportional to *unique keys touched* — which is what closes the gap to
+//! predication at high `o`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proust_core::structures::{MemoMap, SnapTrieMap};
+use proust_core::{OptimisticLap, TxMap};
+use proust_stm::{Stm, StmConfig};
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_cost");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // o operations over only 16 unique keys: heavy per-key duplication,
+    // the regime log-combining targets.
+    for ops in [16usize, 64, 256] {
+        let stm = Stm::new(StmConfig::default());
+        let plain: MemoMap<u64, u64> = MemoMap::new(Arc::new(OptimisticLap::new(64)));
+        group.bench_with_input(BenchmarkId::new("memo_plain", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                stm.atomically(|tx| {
+                    for i in 0..ops as u64 {
+                        plain.put(tx, i % 16, i)?;
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            });
+        });
+        let combining: MemoMap<u64, u64> = MemoMap::combining(Arc::new(OptimisticLap::new(64)));
+        group.bench_with_input(BenchmarkId::new("memo_combining", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                stm.atomically(|tx| {
+                    for i in 0..ops as u64 {
+                        combining.put(tx, i % 16, i)?;
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            });
+        });
+        let snapshot: SnapTrieMap<u64, u64> = SnapTrieMap::new(Arc::new(OptimisticLap::new(64)));
+        group.bench_with_input(BenchmarkId::new("snapshot_replay", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                stm.atomically(|tx| {
+                    for i in 0..ops as u64 {
+                        snapshot.put(tx, i % 16, i)?;
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

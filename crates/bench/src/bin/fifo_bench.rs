@@ -1,0 +1,85 @@
+//! FIFO-queue ablation: Head/Tail abstract-state synchronization vs a
+//! single exclusive element.
+//!
+//! On a non-empty queue, `enqueue` (Tail) and `dequeue`/`peek` (Head)
+//! touch disjoint abstract-state elements, so producers and front-watchers
+//! never conflict. A coarse abstraction (every op writes one element)
+//! serializes them. This is the map/pqueue story replayed on the paper's
+//! other boosting-lineage structure.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use proust_bench::table::Table;
+use proust_core::structures::{FifoState, ProustFifo};
+use proust_core::{Compat, OptimisticLap, PessimisticLap};
+use proust_stm::{Stm, StmConfig};
+
+const OPS_PER_THREAD: usize = 15_000;
+
+fn build(kind: &str) -> Arc<ProustFifo<u64>> {
+    match kind {
+        "opt/head-tail" => Arc::new(ProustFifo::new(Arc::new(OptimisticLap::with_slot_fn(
+            2,
+            |state: &FifoState| match state {
+                FifoState::Head => 0,
+                FifoState::Tail => 1,
+            },
+        )))),
+        "pess/head-tail" => Arc::new(ProustFifo::new(Arc::new(PessimisticLap::new(2)))),
+        "pess/one-lock" => Arc::new(ProustFifo::new(Arc::new(PessimisticLap::with_compat(
+            1,
+            Compat::Exclusive,
+        )))),
+        other => panic!("unknown fifo kind {other}"),
+    }
+}
+
+/// Producers enqueue; watchers peek the (pinned) front. Returns
+/// (elapsed ms, conflicts).
+fn run(kind: &str, threads: usize) -> (f64, u64) {
+    let stm = Stm::new(StmConfig { max_retries: Some(1_000_000), ..StmConfig::default() });
+    let queue = build(kind);
+    stm.atomically(|tx| queue.enqueue(tx, 0)).unwrap(); // pin non-empty
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stm = stm.clone();
+            let queue = Arc::clone(&queue);
+            scope.spawn(move || {
+                if t % 2 == 0 {
+                    for i in 0..OPS_PER_THREAD as u64 {
+                        let _ = stm.atomically(|tx| queue.enqueue(tx, 1 + i));
+                    }
+                } else {
+                    for _ in 0..OPS_PER_THREAD {
+                        let _ = stm.atomically(|tx| queue.peek(tx));
+                    }
+                }
+            });
+        }
+    });
+    (start.elapsed().as_secs_f64() * 1e3, stm.stats().conflicts)
+}
+
+fn main() {
+    println!("== FIFO queue: disjoint Head/Tail elements vs one big lock ==");
+    println!("{OPS_PER_THREAD} ops/thread; even threads enqueue, odd threads peek the front\n");
+    let mut table = Table::new(["impl", "t=2", "t=4", "t=8", "conflicts@t=8"]);
+    for kind in ["opt/head-tail", "pess/head-tail", "pess/one-lock"] {
+        let mut row: Vec<String> = vec![kind.into()];
+        let mut last_conflicts = 0;
+        for &threads in &[2usize, 4, 8] {
+            let (ms, conflicts) = run(kind, threads);
+            row.push(format!("{ms:.0}ms"));
+            last_conflicts = conflicts;
+        }
+        row.push(last_conflicts.to_string());
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape: head-tail abstractions keep producer/watcher conflicts at ~zero;\n\
+         the single exclusive lock serializes everything and accumulates conflicts."
+    );
+}

@@ -1,0 +1,181 @@
+//! Regenerates Figure 4 of the Proust paper: time to process N operations
+//! on concurrent maps as the thread count increases, for each
+//! (write-fraction `u`, ops-per-transaction `o`) cell, plus the bottom
+//! block comparing memoizing shadow copies with and without the
+//! log-combining optimization.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p proust-bench --bin figure4 -- [--quick] \
+//!     [--ops N] [--runs R] [--warmups W] [--threads 1,2,4,...] [--csv FILE]
+//! ```
+//!
+//! The paper's full configuration is `--ops 1000000` with threads up to
+//! 32; `--quick` runs a reduced grid for smoke-testing.
+
+use std::fmt::Write as _;
+
+use proust_bench::harness::measure_cell;
+use proust_bench::maps::MapKind;
+use proust_bench::table::Table;
+use proust_bench::workload::WorkloadSpec;
+
+struct Config {
+    total_ops: usize,
+    runs: usize,
+    warmups: usize,
+    threads: Vec<usize>,
+    ops_per_txn: Vec<usize>,
+    write_fractions: Vec<f64>,
+    memo_ops_per_txn: Vec<usize>,
+    csv_path: Option<String>,
+}
+
+impl Config {
+    fn full() -> Config {
+        Config {
+            total_ops: 1_000_000,
+            runs: 3,
+            warmups: 1,
+            threads: vec![1, 2, 4, 8, 16, 32],
+            ops_per_txn: vec![1, 16, 256],
+            write_fractions: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            memo_ops_per_txn: vec![16, 256],
+            csv_path: None,
+        }
+    }
+
+    fn quick() -> Config {
+        Config {
+            total_ops: 100_000,
+            runs: 1,
+            warmups: 0,
+            threads: vec![1, 4, 8],
+            ops_per_txn: vec![1, 16],
+            write_fractions: vec![0.0, 0.5, 1.0],
+            memo_ops_per_txn: vec![16],
+            csv_path: None,
+        }
+    }
+
+    fn from_args() -> Config {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut config = if args.iter().any(|a| a == "--quick") {
+            Config::quick()
+        } else {
+            Config::full()
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
+                    .clone()
+            };
+            match arg.as_str() {
+                "--quick" => {}
+                "--ops" => config.total_ops = value("--ops").parse().expect("integer"),
+                "--runs" => config.runs = value("--runs").parse().expect("integer"),
+                "--warmups" => config.warmups = value("--warmups").parse().expect("integer"),
+                "--threads" => {
+                    config.threads = value("--threads")
+                        .split(',')
+                        .map(|t| t.parse().expect("thread list"))
+                        .collect();
+                }
+                "--csv" => config.csv_path = Some(value("--csv")),
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        config
+    }
+}
+
+fn main() {
+    let config = Config::from_args();
+    let mut csv = String::from(
+        "block,ops_per_txn,write_fraction,impl,threads,mean_ms,std_ms,ops_per_ms,commits,conflicts,gave_up\n",
+    );
+
+    println!("== Figure 4: map throughput ==");
+    println!(
+        "{} ops total, keys in 0..1024, {} timed run(s) after {} warmup(s)\n",
+        config.total_ops, config.runs, config.warmups
+    );
+
+    for &o in &config.ops_per_txn {
+        for &u in &config.write_fractions {
+            run_block(
+                "main",
+                &format!("o = {o}, u = {u}  (time per {} ops, ms)", config.total_ops),
+                &MapKind::figure4_series(o),
+                o,
+                u,
+                &config,
+                &mut csv,
+            );
+        }
+    }
+
+    println!("== Figure 4 bottom block: memoizing shadow copies ==\n");
+    for &o in &config.memo_ops_per_txn {
+        for &u in &[0.5, 1.0] {
+            if !config.write_fractions.contains(&u) {
+                continue;
+            }
+            let mut series = MapKind::memo_series();
+            series.push(MapKind::ProustLazySnap); // reference series
+            run_block("memo", &format!("o = {o}, u = {u}"), &series, o, u, &config, &mut csv);
+        }
+    }
+
+    if let Some(path) = &config.csv_path {
+        std::fs::write(path, &csv).expect("write CSV");
+        println!("CSV written to {path}");
+    }
+}
+
+fn run_block(
+    block: &str,
+    title: &str,
+    series: &[MapKind],
+    ops_per_txn: usize,
+    write_fraction: f64,
+    config: &Config,
+    csv: &mut String,
+) {
+    let mut header: Vec<String> = vec!["impl".into()];
+    header.extend(config.threads.iter().map(|t| format!("t={t}")));
+    let mut table = Table::new(header);
+    for &kind in series {
+        let mut row: Vec<String> = vec![kind.name().into()];
+        for &threads in &config.threads {
+            let spec = WorkloadSpec {
+                total_ops: config.total_ops,
+                threads,
+                ops_per_txn,
+                write_fraction,
+                key_range: 1024,
+                seed: 0x9e3779b97f4a7c15,
+            };
+            let cell = measure_cell(|| kind.build(), &spec, config.warmups, config.runs);
+            let flag = if cell.gave_up { "!" } else { "" };
+            row.push(format!("{:.1}±{:.1}{}", cell.mean_ms, cell.std_ms, flag));
+            let _ = writeln!(
+                csv,
+                "{block},{ops_per_txn},{write_fraction},{},{threads},{:.3},{:.3},{:.1},{},{},{}",
+                kind.name(),
+                cell.mean_ms,
+                cell.std_ms,
+                cell.ops_per_ms(config.total_ops),
+                cell.commits,
+                cell.conflicts,
+                cell.gave_up
+            );
+        }
+        table.row(row);
+    }
+    println!("-- {title} --");
+    println!("{}", table.render());
+}

@@ -1,0 +1,163 @@
+//! Workload generation for the Figure 4 map-throughput experiments.
+//!
+//! §7 of the paper: "For each experiment, we performed 1000000 randomly
+//! selected operations on a shared map, split across t threads, with o
+//! operations per transaction. A u fraction of the operations were writes
+//! (evenly split between put and remove), and the remaining (1−u) were
+//! get. [...] we did not vary the key range [...] using instead a fixed
+//! value of 1024."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One map operation drawn from the workload distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapAction {
+    /// `put(key, value)`.
+    Put(u64, u64),
+    /// `remove(key)`.
+    Remove(u64),
+    /// `get(key)`.
+    Get(u64),
+}
+
+/// Parameters of one experiment cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Total operations across all threads (the paper's 1,000,000).
+    pub total_ops: usize,
+    /// Thread count `t`.
+    pub threads: usize,
+    /// Operations per transaction `o`.
+    pub ops_per_txn: usize,
+    /// Write fraction `u` (split evenly between put and remove).
+    pub write_fraction: f64,
+    /// Keys are drawn uniformly from `0..key_range` (the paper's 1024).
+    pub key_range: u64,
+    /// Base RNG seed; each thread derives its own stream.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's defaults with the given `(t, o, u)` cell.
+    pub fn paper_cell(threads: usize, ops_per_txn: usize, write_fraction: f64) -> Self {
+        WorkloadSpec {
+            total_ops: 1_000_000,
+            threads,
+            ops_per_txn,
+            write_fraction,
+            key_range: 1024,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Operations each thread performs (total split evenly, rounded up so
+    /// nothing is dropped).
+    pub fn ops_per_thread(&self) -> usize {
+        self.total_ops.div_ceil(self.threads.max(1))
+    }
+
+    /// Transactions each thread runs.
+    pub fn txns_per_thread(&self) -> usize {
+        self.ops_per_thread().div_ceil(self.ops_per_txn.max(1))
+    }
+}
+
+/// A per-thread deterministic stream of map actions.
+#[derive(Debug)]
+pub struct ActionStream {
+    rng: StdRng,
+    write_fraction: f64,
+    key_range: u64,
+}
+
+impl ActionStream {
+    /// The stream for thread `thread` of `spec`.
+    pub fn new(spec: &WorkloadSpec, thread: usize) -> Self {
+        ActionStream {
+            rng: StdRng::seed_from_u64(spec.seed ^ (thread as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
+            write_fraction: spec.write_fraction,
+            key_range: spec.key_range,
+        }
+    }
+
+    /// Draw the next action.
+    pub fn next_action(&mut self) -> MapAction {
+        let key = self.rng.gen_range(0..self.key_range);
+        let roll: f64 = self.rng.gen();
+        if roll < self.write_fraction {
+            // Writes split evenly between put and remove.
+            if self.rng.gen::<bool>() {
+                MapAction::Put(key, self.rng.gen())
+            } else {
+                MapAction::Remove(key)
+            }
+        } else {
+            MapAction::Get(key)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_split_across_threads() {
+        let spec = WorkloadSpec { total_ops: 100, threads: 8, ..WorkloadSpec::paper_cell(8, 1, 0.5) };
+        assert_eq!(spec.ops_per_thread(), 13);
+        let spec = WorkloadSpec { ops_per_txn: 4, ..spec };
+        assert_eq!(spec.txns_per_thread(), 4);
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let spec = WorkloadSpec::paper_cell(1, 1, 0.25);
+        let mut stream = ActionStream::new(&spec, 0);
+        let mut writes = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            match stream.next_action() {
+                MapAction::Put(..) | MapAction::Remove(_) => writes += 1,
+                MapAction::Get(_) => {}
+            }
+        }
+        let fraction = writes as f64 / n as f64;
+        assert!((fraction - 0.25).abs() < 0.02, "observed write fraction {fraction}");
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let spec = WorkloadSpec::paper_cell(1, 1, 0.0);
+        let mut stream = ActionStream::new(&spec, 0);
+        assert!((0..1000).all(|_| matches!(stream.next_action(), MapAction::Get(_))));
+        let spec = WorkloadSpec::paper_cell(1, 1, 1.0);
+        let mut stream = ActionStream::new(&spec, 0);
+        assert!((0..1000).all(|_| !matches!(stream.next_action(), MapAction::Get(_))));
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let spec = WorkloadSpec::paper_cell(1, 1, 0.5);
+        let mut stream = ActionStream::new(&spec, 3);
+        for _ in 0..5000 {
+            let key = match stream.next_action() {
+                MapAction::Put(k, _) | MapAction::Remove(k) | MapAction::Get(k) => k,
+            };
+            assert!(key < 1024);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_thread() {
+        let spec = WorkloadSpec::paper_cell(4, 1, 0.5);
+        let mut a = ActionStream::new(&spec, 2);
+        let mut b = ActionStream::new(&spec, 2);
+        for _ in 0..100 {
+            assert_eq!(a.next_action(), b.next_action());
+        }
+        let mut c = ActionStream::new(&spec, 3);
+        let differs = (0..100).any(|_| a.next_action() != c.next_action());
+        assert!(differs, "different threads should see different streams");
+    }
+}

@@ -1,0 +1,176 @@
+//! A coarse-locked concurrent min-heap.
+//!
+//! [`BlockingHeap`] plays the role of `java.util.concurrent.
+//! PriorityBlockingQueue` in the paper (Figure 3 wraps it): a simple,
+//! dependable, linearizable priority queue whose every operation takes one
+//! mutex. It has no snapshot support, which is exactly why the eager
+//! Proustian priority-queue wrapper needs inverse operations (or the lazy
+//! wrapper a [`CowHeap`](crate::CowHeap)).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// A linearizable min-priority-queue guarded by a single lock.
+///
+/// # Examples
+///
+/// ```
+/// use proust_conc::BlockingHeap;
+///
+/// let heap = BlockingHeap::new();
+/// heap.push(3);
+/// heap.push(1);
+/// assert_eq!(heap.pop_min(), Some(1));
+/// ```
+pub struct BlockingHeap<T> {
+    inner: Mutex<BinaryHeap<Reverse<T>>>,
+}
+
+impl<T: Ord + fmt::Debug> fmt::Debug for BlockingHeap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlockingHeap").field("len", &self.len()).finish()
+    }
+}
+
+impl<T: Ord> Default for BlockingHeap<T> {
+    fn default() -> Self {
+        BlockingHeap::new()
+    }
+}
+
+impl<T: Ord> BlockingHeap<T> {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        BlockingHeap { inner: Mutex::new(BinaryHeap::new()) }
+    }
+
+    /// Insert an item.
+    pub fn push(&self, item: T) {
+        self.inner.lock().push(Reverse(item));
+    }
+
+    /// Remove and return the minimum item.
+    pub fn pop_min(&self) -> Option<T> {
+        self.inner.lock().pop().map(|Reverse(v)| v)
+    }
+
+    /// Remove and return the minimum item only if it satisfies `pred`.
+    /// Check and pop happen atomically under the heap lock, so concurrent
+    /// callers can safely purge conditionally (e.g. tombstoned entries)
+    /// without racing each other into removing live items.
+    pub fn pop_min_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
+        let mut guard = self.inner.lock();
+        match guard.peek() {
+            Some(Reverse(top)) if pred(top) => guard.pop().map(|Reverse(v)| v),
+            _ => None,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Whether an item equal to `needle` is present (O(n)).
+    pub fn contains(&self, needle: &T) -> bool {
+        self.inner.lock().iter().any(|Reverse(v)| v == needle)
+    }
+
+    /// Whether any item satisfies `pred` (O(n) scan under the lock).
+    pub fn any(&self, mut pred: impl FnMut(&T) -> bool) -> bool {
+        self.inner.lock().iter().any(|Reverse(v)| pred(v))
+    }
+
+    /// Remove one item equal to `needle`, returning whether one was found.
+    /// O(n) rebuild, mirroring `PriorityBlockingQueue.remove(Object)`.
+    pub fn remove_item(&self, needle: &T) -> bool {
+        let mut guard = self.inner.lock();
+        let mut removed = false;
+        let drained = std::mem::take(&mut *guard);
+        *guard = drained
+            .into_iter()
+            .filter(|Reverse(v)| {
+                if !removed && v == needle {
+                    removed = true;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        removed
+    }
+}
+
+impl<T: Ord + Clone> BlockingHeap<T> {
+    /// Clone out the minimum item without removing it.
+    pub fn peek_min(&self) -> Option<T> {
+        self.inner.lock().peek().map(|Reverse(v)| v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn min_ordering() {
+        let heap = BlockingHeap::new();
+        for v in [5, 1, 4, 2] {
+            heap.push(v);
+        }
+        assert_eq!(heap.peek_min(), Some(1));
+        assert_eq!(heap.pop_min(), Some(1));
+        assert_eq!(heap.pop_min(), Some(2));
+        assert_eq!(heap.len(), 2);
+    }
+
+    #[test]
+    fn remove_item_removes_exactly_one() {
+        let heap = BlockingHeap::new();
+        heap.push(7);
+        heap.push(7);
+        assert!(heap.remove_item(&7));
+        assert_eq!(heap.len(), 1);
+        assert!(heap.contains(&7));
+        assert!(!heap.remove_item(&8));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let heap: BlockingHeap<u8> = BlockingHeap::new();
+        assert!(heap.is_empty());
+        assert_eq!(heap.pop_min(), None);
+        assert_eq!(heap.peek_min(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_preserve_items() {
+        let heap = Arc::new(BlockingHeap::new());
+        let total = 4 * 500;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let heap = Arc::clone(&heap);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        heap.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let mut count = 0;
+        while heap.pop_min().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, total);
+    }
+}

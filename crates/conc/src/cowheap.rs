@@ -1,0 +1,170 @@
+//! A thread-safe priority queue with O(1) snapshots.
+//!
+//! [`CowHeap`] is the copy-on-write base structure the paper built for its
+//! `LazyPriorityQueue` (§4): a linearizable min-queue whose snapshot is
+//! constant-time, so a lazy Proustian wrapper can run speculative
+//! operations against a private snapshot and replay them at commit.
+
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use crate::pairing::PairingHeap;
+
+/// A linearizable concurrent min-priority-queue with constant-time
+/// snapshots, backed by a persistent pairing heap.
+///
+/// # Examples
+///
+/// ```
+/// use proust_conc::CowHeap;
+///
+/// let heap = CowHeap::new();
+/// heap.push(5);
+/// heap.push(2);
+/// let snap = heap.snapshot(); // O(1)
+/// assert_eq!(heap.pop_min(), Some(2));
+/// assert_eq!(snap.peek_min(), Some(&2)); // unaffected
+/// ```
+pub struct CowHeap<T> {
+    inner: RwLock<PairingHeap<T>>,
+}
+
+impl<T: Ord + Clone + fmt::Debug> fmt::Debug for CowHeap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("CowHeap")
+            .field("len", &inner.len())
+            .field("min", &inner.peek_min())
+            .finish()
+    }
+}
+
+impl<T> Default for CowHeap<T> {
+    fn default() -> Self {
+        CowHeap::new()
+    }
+}
+
+impl<T> CowHeap<T> {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        CowHeap { inner: RwLock::new(PairingHeap::new()) }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl<T: Ord + Clone> CowHeap<T> {
+    /// Insert an item.
+    pub fn push(&self, item: T) {
+        self.inner.write().push(item);
+    }
+
+    /// Remove and return the minimum item.
+    pub fn pop_min(&self) -> Option<T> {
+        self.inner.write().pop_min()
+    }
+
+    /// Clone out the minimum item without removing it.
+    pub fn peek_min(&self) -> Option<T> {
+        self.inner.read().peek_min().cloned()
+    }
+
+    /// Whether an item equal to `needle` is present (O(n)).
+    pub fn contains(&self, needle: &T) -> bool {
+        self.inner.read().contains(needle)
+    }
+
+    /// Take a constant-time snapshot: a persistent heap reflecting some
+    /// linearization point between this call's invocation and response.
+    pub fn snapshot(&self) -> PairingHeap<T> {
+        self.inner.read().clone()
+    }
+
+    /// Atomically rewrite the contents by applying committed operations to
+    /// the current heap. Used by the snapshot replay wrapper at commit.
+    pub fn update(&self, apply: impl FnOnce(&mut PairingHeap<T>)) {
+        let mut inner = self.inner.write();
+        apply(&mut inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_ordering() {
+        let heap = CowHeap::new();
+        for v in [9, 4, 7, 1] {
+            heap.push(v);
+        }
+        assert_eq!(heap.peek_min(), Some(1));
+        assert_eq!(heap.pop_min(), Some(1));
+        assert_eq!(heap.pop_min(), Some(4));
+        assert_eq!(heap.len(), 2);
+        assert!(heap.contains(&9));
+        assert!(!heap.contains(&4));
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_mutation() {
+        let heap = CowHeap::new();
+        for v in 0..100 {
+            heap.push(v);
+        }
+        let snap = heap.snapshot();
+        while heap.pop_min().is_some() {}
+        assert!(heap.is_empty());
+        assert_eq!(snap.len(), 100);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_arrive() {
+        let heap = Arc::new(CowHeap::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let heap = Arc::clone(&heap);
+                s.spawn(move || {
+                    for i in 0..250 {
+                        heap.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(heap.len(), 2000);
+    }
+
+    #[test]
+    fn concurrent_pop_returns_each_item_once() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let heap = Arc::new(CowHeap::new());
+        for i in 0..2000u64 {
+            heap.push(i);
+        }
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let heap = Arc::clone(&heap);
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Some(v) = heap.pop_min() {
+                        assert!(seen.lock().unwrap().insert(v), "item {v} popped twice");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 2000);
+    }
+}

@@ -1,0 +1,574 @@
+//! A persistent (immutable, structurally-shared) hash array mapped trie.
+//!
+//! This is the functional core under [`SnapMap`](crate::SnapMap): because
+//! every update returns a new root that shares almost all structure with
+//! the old one, taking a snapshot of the concurrent map is O(1) — exactly
+//! the property the paper's `LazyTrieMap` needs from Scala's `TrieMap`.
+
+use std::borrow::Borrow;
+use std::collections::hash_map::RandomState;
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+const BITS: u32 = 5;
+const FANOUT: u32 = 1 << BITS; // 32
+const MASK: u64 = (FANOUT - 1) as u64;
+const MAX_SHIFT: u32 = 60; // 64 bits of hash / 5 bits per level, floored to a multiple of 5
+
+enum Node<K, V> {
+    Leaf {
+        hash: u64,
+        key: K,
+        value: V,
+    },
+    /// All entries share the same full 64-bit hash.
+    Collision {
+        hash: u64,
+        entries: Vec<(K, V)>,
+    },
+    Branch {
+        bitmap: u32,
+        children: Vec<Arc<Node<K, V>>>,
+    },
+}
+
+impl<K, V> Node<K, V> {
+    fn is_branch(&self) -> bool {
+        matches!(self, Node::Branch { .. })
+    }
+}
+
+#[inline]
+fn index_bit(hash: u64, shift: u32) -> (usize, u32) {
+    let idx = ((hash >> shift) & MASK) as u32;
+    (idx as usize, 1u32 << idx)
+}
+
+#[inline]
+fn child_slot(bitmap: u32, bit: u32) -> usize {
+    (bitmap & (bit - 1)).count_ones() as usize
+}
+
+/// A persistent hash map with O(1) clone.
+///
+/// All operations return new maps (or mutate `self` by swapping in a new
+/// root); existing clones are unaffected. `K` and `V` are cloned only along
+/// the rebuilt path, so updates are O(log n) allocations.
+///
+/// # Examples
+///
+/// ```
+/// use proust_conc::Hamt;
+///
+/// let mut map = Hamt::new();
+/// map.insert(1, "one");
+/// let snapshot = map.clone(); // O(1)
+/// map.insert(2, "two");
+/// assert_eq!(snapshot.len(), 1);
+/// assert_eq!(map.len(), 2);
+/// ```
+pub struct Hamt<K, V, S = RandomState> {
+    root: Option<Arc<Node<K, V>>>,
+    len: usize,
+    hasher: S,
+}
+
+impl<K, V, S: Clone> Clone for Hamt<K, V, S> {
+    fn clone(&self) -> Self {
+        Hamt { root: self.root.clone(), len: self.len, hasher: self.hasher.clone() }
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug, S> fmt::Debug for Hamt<K, V, S>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+    S: BuildHasher,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K, V> Hamt<K, V, RandomState> {
+    /// Create an empty map with a random hasher.
+    pub fn new() -> Self {
+        Hamt { root: None, len: 0, hasher: RandomState::new() }
+    }
+}
+
+impl<K, V> Default for Hamt<K, V, RandomState> {
+    fn default() -> Self {
+        Hamt::new()
+    }
+}
+
+impl<K, V, S> Hamt<K, V, S> {
+    /// Create an empty map using `hasher`.
+    pub fn with_hasher(hasher: S) -> Self {
+        Hamt { root: None, len: 0, hasher }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<K, V, S> Hamt<K, V, S>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+    S: BuildHasher,
+{
+
+    fn hash_of<Q: Hash + ?Sized>(&self, key: &Q) -> u64 {
+        self.hasher.hash_one(key)
+    }
+
+    /// Look up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let mut node = self.root.as_deref()?;
+        let hash = self.hash_of(key);
+        let mut shift = 0;
+        loop {
+            match node {
+                Node::Leaf { hash: h, key: k, value } => {
+                    return (*h == hash && k.borrow() == key).then_some(value);
+                }
+                Node::Collision { hash: h, entries } => {
+                    if *h != hash {
+                        return None;
+                    }
+                    return entries.iter().find(|(k, _)| k.borrow() == key).map(|(_, v)| v);
+                }
+                Node::Branch { bitmap, children } => {
+                    let (_, bit) = index_bit(hash, shift);
+                    if bitmap & bit == 0 {
+                        return None;
+                    }
+                    node = &children[child_slot(*bitmap, bit)];
+                    shift = (shift + BITS).min(MAX_SHIFT);
+                }
+            }
+        }
+    }
+
+    /// Whether the map contains `key`.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Insert a key/value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let hash = self.hash_of(&key);
+        let (new_root, old) = match &self.root {
+            None => (Arc::new(Node::Leaf { hash, key, value }), None),
+            Some(root) => insert_node(root, hash, key, value, 0),
+        };
+        self.root = Some(new_root);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = self.hash_of(key);
+        let root = self.root.as_ref()?;
+        let (new_root, old) = remove_node(root, hash, key, 0);
+        if old.is_some() {
+            self.root = new_root;
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Iterate over entries in unspecified order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter { stack: self.root.as_deref().map(|n| vec![Cursor { node: n, pos: 0 }]).unwrap_or_default() }
+    }
+
+    /// Iterate over keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate over values in unspecified order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+fn insert_node<K, V>(
+    node: &Arc<Node<K, V>>,
+    hash: u64,
+    key: K,
+    value: V,
+    shift: u32,
+) -> (Arc<Node<K, V>>, Option<V>)
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+{
+    match node.as_ref() {
+        Node::Leaf { hash: h, key: k, value: v } => {
+            if *h == hash && *k == key {
+                return (Arc::new(Node::Leaf { hash, key, value }), Some(v.clone()));
+            }
+            if *h == hash {
+                return (
+                    Arc::new(Node::Collision {
+                        hash,
+                        entries: vec![(k.clone(), v.clone()), (key, value)],
+                    }),
+                    None,
+                );
+            }
+            let merged = merge_leaves(Arc::clone(node), *h, Arc::new(Node::Leaf { hash, key, value }), hash, shift);
+            (merged, None)
+        }
+        Node::Collision { hash: h, entries } => {
+            if *h == hash {
+                let mut entries = entries.clone();
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                    let old = std::mem::replace(&mut slot.1, value);
+                    return (Arc::new(Node::Collision { hash, entries }), Some(old));
+                }
+                entries.push((key, value));
+                return (Arc::new(Node::Collision { hash, entries }), None);
+            }
+            let merged = merge_leaves(Arc::clone(node), *h, Arc::new(Node::Leaf { hash, key, value }), hash, shift);
+            (merged, None)
+        }
+        Node::Branch { bitmap, children } => {
+            let (_, bit) = index_bit(hash, shift);
+            let slot = child_slot(*bitmap, bit);
+            if bitmap & bit != 0 {
+                let (child, old) =
+                    insert_node(&children[slot], hash, key, value, (shift + BITS).min(MAX_SHIFT));
+                let mut children = children.clone();
+                children[slot] = child;
+                (Arc::new(Node::Branch { bitmap: *bitmap, children }), old)
+            } else {
+                let mut children = children.clone();
+                children.insert(slot, Arc::new(Node::Leaf { hash, key, value }));
+                (Arc::new(Node::Branch { bitmap: bitmap | bit, children }), None)
+            }
+        }
+    }
+}
+
+/// Build the branch structure distinguishing two nodes whose hashes differ
+/// somewhere at or below `shift`.
+fn merge_leaves<K, V>(
+    a: Arc<Node<K, V>>,
+    a_hash: u64,
+    b: Arc<Node<K, V>>,
+    b_hash: u64,
+    shift: u32,
+) -> Arc<Node<K, V>> {
+    debug_assert_ne!(a_hash, b_hash);
+    let (a_idx, a_bit) = index_bit(a_hash, shift);
+    let (b_idx, b_bit) = index_bit(b_hash, shift);
+    if a_idx == b_idx {
+        let inner = merge_leaves(a, a_hash, b, b_hash, (shift + BITS).min(MAX_SHIFT));
+        Arc::new(Node::Branch { bitmap: a_bit, children: vec![inner] })
+    } else {
+        let children = if a_idx < b_idx { vec![a, b] } else { vec![b, a] };
+        Arc::new(Node::Branch { bitmap: a_bit | b_bit, children })
+    }
+}
+
+fn remove_node<K, V, Q>(
+    node: &Arc<Node<K, V>>,
+    hash: u64,
+    key: &Q,
+    shift: u32,
+) -> (Option<Arc<Node<K, V>>>, Option<V>)
+where
+    K: Hash + Eq + Clone + Borrow<Q>,
+    V: Clone,
+    Q: Hash + Eq + ?Sized,
+{
+    match node.as_ref() {
+        Node::Leaf { hash: h, key: k, value } => {
+            if *h == hash && k.borrow() == key {
+                (None, Some(value.clone()))
+            } else {
+                (Some(Arc::clone(node)), None)
+            }
+        }
+        Node::Collision { hash: h, entries } => {
+            if *h != hash {
+                return (Some(Arc::clone(node)), None);
+            }
+            let Some(pos) = entries.iter().position(|(k, _)| k.borrow() == key) else {
+                return (Some(Arc::clone(node)), None);
+            };
+            let mut entries = entries.clone();
+            let (_, old) = entries.remove(pos);
+            let replacement = if entries.len() == 1 {
+                let (k, v) = entries.pop().expect("collision retains one entry");
+                Arc::new(Node::Leaf { hash, key: k, value: v })
+            } else {
+                Arc::new(Node::Collision { hash, entries })
+            };
+            (Some(replacement), Some(old))
+        }
+        Node::Branch { bitmap, children } => {
+            let (_, bit) = index_bit(hash, shift);
+            if bitmap & bit == 0 {
+                return (Some(Arc::clone(node)), None);
+            }
+            let slot = child_slot(*bitmap, bit);
+            let (new_child, old) =
+                remove_node(&children[slot], hash, key, (shift + BITS).min(MAX_SHIFT));
+            if old.is_none() {
+                return (Some(Arc::clone(node)), None);
+            }
+            match new_child {
+                Some(child) => {
+                    // Collapse a branch that holds a single non-branch child.
+                    if children.len() == 1 && !child.is_branch() {
+                        return (Some(child), old);
+                    }
+                    let mut children = children.clone();
+                    children[slot] = child;
+                    (Some(Arc::new(Node::Branch { bitmap: *bitmap, children })), old)
+                }
+                None => {
+                    if children.len() == 1 {
+                        return (None, old);
+                    }
+                    let mut children = children.clone();
+                    children.remove(slot);
+                    let bitmap = bitmap & !bit;
+                    if children.len() == 1 && !children[0].is_branch() {
+                        return (Some(children.pop().expect("one child left")), old);
+                    }
+                    (Some(Arc::new(Node::Branch { bitmap, children })), old)
+                }
+            }
+        }
+    }
+}
+
+struct Cursor<'a, K, V> {
+    node: &'a Node<K, V>,
+    pos: usize,
+}
+
+/// Iterator over the entries of a [`Hamt`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<Cursor<'a, K, V>>,
+}
+
+impl<K, V> fmt::Debug for Iter<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("hamt::Iter").field("depth", &self.stack.len()).finish()
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top.node {
+                Node::Leaf { key, value, .. } => {
+                    self.stack.pop();
+                    return Some((key, value));
+                }
+                Node::Collision { entries, .. } => {
+                    if top.pos < entries.len() {
+                        let (k, v) = &entries[top.pos];
+                        top.pos += 1;
+                        return Some((k, v));
+                    }
+                    self.stack.pop();
+                }
+                Node::Branch { children, .. } => {
+                    if top.pos < children.len() {
+                        let child = &children[top.pos];
+                        top.pos += 1;
+                        self.stack.push(Cursor { node: child, pos: 0 });
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<K, V, S> FromIterator<(K, V)> for Hamt<K, V, S>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+    S: BuildHasher + Default,
+{
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = Hamt::with_hasher(S::default());
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K, V, S> Extend<(K, V)> for Hamt<K, V, S>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+    S: BuildHasher,
+{
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut map = Hamt::new();
+        assert_eq!(map.insert(1, "a"), None);
+        assert_eq!(map.insert(2, "b"), None);
+        assert_eq!(map.insert(1, "c"), Some("a"));
+        assert_eq!(map.get(&1), Some(&"c"));
+        assert_eq!(map.get(&3), None);
+        assert_eq!(map.remove(&1), Some("c"));
+        assert_eq!(map.remove(&1), None);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_isolation_via_clone() {
+        let mut map = Hamt::new();
+        for i in 0..100 {
+            map.insert(i, i * 10);
+        }
+        let snap = map.clone();
+        for i in 0..100 {
+            map.remove(&i);
+        }
+        assert!(map.is_empty());
+        assert_eq!(snap.len(), 100);
+        for i in 0..100 {
+            assert_eq!(snap.get(&i), Some(&(i * 10)));
+        }
+    }
+
+    #[test]
+    fn iterates_all_entries() {
+        let mut map = Hamt::new();
+        for i in 0..500 {
+            map.insert(i, ());
+        }
+        let mut keys: Vec<_> = map.keys().copied().collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..500).collect::<Vec<_>>());
+    }
+
+    /// A hasher that forces every key into the same bucket, exercising the
+    /// collision paths.
+    #[derive(Clone, Default)]
+    struct Colliding;
+    struct CollidingHasher;
+    impl std::hash::Hasher for CollidingHasher {
+        fn finish(&self) -> u64 {
+            42
+        }
+        fn write(&mut self, _bytes: &[u8]) {}
+    }
+    impl BuildHasher for Colliding {
+        type Hasher = CollidingHasher;
+        fn build_hasher(&self) -> CollidingHasher {
+            CollidingHasher
+        }
+    }
+
+    #[test]
+    fn full_hash_collisions_are_handled() {
+        let mut map: Hamt<u32, u32, Colliding> = Hamt::with_hasher(Colliding);
+        for i in 0..20 {
+            assert_eq!(map.insert(i, i), None);
+        }
+        assert_eq!(map.len(), 20);
+        for i in 0..20 {
+            assert_eq!(map.get(&i), Some(&i));
+        }
+        assert_eq!(map.insert(5, 50), Some(5));
+        for i in 0..20 {
+            let expect = if i == 5 { 50 } else { i };
+            assert_eq!(map.remove(&i), Some(expect));
+        }
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn matches_std_hashmap_on_random_ops() {
+        let mut seed = 0x12345678u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut model: HashMap<u16, u64> = HashMap::new();
+        let mut map: Hamt<u16, u64> = Hamt::new();
+        for _ in 0..20_000 {
+            let key = (rng() % 256) as u16;
+            match rng() % 3 {
+                0 => {
+                    let value = rng();
+                    assert_eq!(map.insert(key, value), model.insert(key, value));
+                }
+                1 => assert_eq!(map.remove(&key), model.remove(&key)),
+                _ => assert_eq!(map.get(&key), model.get(&key)),
+            }
+            assert_eq!(map.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn borrowed_key_lookup() {
+        let mut map: Hamt<String, u32> = Hamt::new();
+        map.insert("alpha".to_string(), 1);
+        assert_eq!(map.get("alpha"), Some(&1));
+        assert!(map.contains_key("alpha"));
+        assert_eq!(map.remove("alpha"), Some(1));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let map: Hamt<u32, u32> = (0..10).map(|i| (i, i)).collect();
+        assert_eq!(map.len(), 10);
+    }
+}

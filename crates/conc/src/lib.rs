@@ -1,0 +1,38 @@
+//! # proust-conc
+//!
+//! Thread-safe concurrent data structures: the "existing well-engineered
+//! libraries" that the Proust framework (Dickerson, Gazzillo, Herlihy &
+//! Koskinen, PODC 2017) wraps into transactional objects.
+//!
+//! Each structure stands in for a library the paper used (see the
+//! substitution table in DESIGN.md):
+//!
+//! | This crate | Paper used | Property the wrappers rely on |
+//! |---|---|---|
+//! | [`StripedHashMap`] | `java.util.concurrent.ConcurrentHashMap` | linearizable per-key ops, high write parallelism |
+//! | [`SnapMap`] (over [`Hamt`]) | Scala `concurrent.TrieMap` (Ctrie) | linearizable ops **plus O(1) snapshots** |
+//! | [`CowHeap`] (over [`PairingHeap`]) | the paper's experimental copy-on-write queue | min-queue ops plus O(1) snapshots |
+//! | [`BlockingHeap`] | `java.util.concurrent.PriorityBlockingQueue` | dependable coarse-locked min-queue |
+//!
+//! The persistent cores ([`Hamt`], [`PairingHeap`]) are exposed publicly:
+//! the lazy Proustian wrappers hold them as private shadow copies and
+//! replay committed operations back into the shared [`SnapMap`]/[`CowHeap`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod blockingheap;
+mod cowheap;
+mod fifo;
+mod hamt;
+mod pairing;
+mod snapmap;
+mod striped;
+
+pub use blockingheap::BlockingHeap;
+pub use cowheap::CowHeap;
+pub use fifo::{CowQueue, PersistentQueue, QueueIter};
+pub use hamt::{Hamt, Iter as HamtIter};
+pub use pairing::{HeapIter, PairingHeap};
+pub use snapmap::SnapMap;
+pub use striped::StripedHashMap;

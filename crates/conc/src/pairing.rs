@@ -1,0 +1,309 @@
+//! A persistent (immutable, structurally-shared) pairing heap.
+//!
+//! This is the functional core under [`CowHeap`](crate::CowHeap), the
+//! copy-on-write priority queue the paper built because no published
+//! concurrent heap offered efficient snapshots (§4, footnote 4).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Persistent cons list used for sibling chains.
+enum List<T> {
+    Nil,
+    Cons(Arc<PNode<T>>, Arc<List<T>>),
+}
+
+impl<T> List<T> {
+    fn cons(head: Arc<PNode<T>>, tail: Arc<List<T>>) -> Arc<List<T>> {
+        Arc::new(List::Cons(head, tail))
+    }
+
+    fn nil() -> Arc<List<T>> {
+        Arc::new(List::Nil)
+    }
+}
+
+impl<T> Drop for List<T> {
+    fn drop(&mut self) {
+        // Sibling chains grow linearly under repeated `push`, so the
+        // default recursive drop could overflow the stack on large heaps.
+        // Unlink iteratively instead; shared tails are left to their other
+        // owners.
+        let List::Cons(_, tail) = self else { return };
+        let mut cursor = std::mem::replace(tail, Arc::new(List::Nil));
+        loop {
+            match Arc::try_unwrap(cursor) {
+                Ok(List::Nil) => break,
+                Ok(mut node) => {
+                    let List::Cons(_, tail) = &mut node else { break };
+                    cursor = std::mem::replace(tail, Arc::new(List::Nil));
+                    // `node` (head + detached tail) drops shallowly here.
+                }
+                Err(_shared) => break,
+            }
+        }
+    }
+}
+
+struct PNode<T> {
+    item: T,
+    children: Arc<List<T>>,
+}
+
+/// A persistent min-heap with O(1) `push`, `peek_min`, and `clone`, and
+/// amortized O(log n) `pop_min`.
+///
+/// # Examples
+///
+/// ```
+/// use proust_conc::PairingHeap;
+///
+/// let mut heap = PairingHeap::new();
+/// heap.push(3);
+/// heap.push(1);
+/// let snapshot = heap.clone(); // O(1)
+/// assert_eq!(heap.pop_min(), Some(1));
+/// assert_eq!(snapshot.peek_min(), Some(&1)); // unaffected
+/// ```
+pub struct PairingHeap<T> {
+    root: Option<Arc<PNode<T>>>,
+    len: usize,
+}
+
+impl<T> Clone for PairingHeap<T> {
+    fn clone(&self) -> Self {
+        PairingHeap { root: self.root.clone(), len: self.len }
+    }
+}
+
+impl<T: fmt::Debug + Ord + Clone> fmt::Debug for PairingHeap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PairingHeap")
+            .field("len", &self.len)
+            .field("min", &self.peek_min())
+            .finish()
+    }
+}
+
+impl<T> Default for PairingHeap<T> {
+    fn default() -> Self {
+        PairingHeap::new()
+    }
+}
+
+impl<T> PairingHeap<T> {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        PairingHeap { root: None, len: 0 }
+    }
+
+    /// Number of items in the heap.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The minimum item, if any.
+    pub fn peek_min(&self) -> Option<&T> {
+        self.root.as_ref().map(|n| &n.item)
+    }
+}
+
+impl<T: Ord + Clone> PairingHeap<T> {
+    fn meld(a: Option<Arc<PNode<T>>>, b: Option<Arc<PNode<T>>>) -> Option<Arc<PNode<T>>> {
+        match (a, b) {
+            (None, other) | (other, None) => other,
+            (Some(x), Some(y)) => {
+                let (winner, loser) = if x.item <= y.item { (x, y) } else { (y, x) };
+                Some(Arc::new(PNode {
+                    item: winner.item.clone(),
+                    children: List::cons(loser, Arc::clone(&winner.children)),
+                }))
+            }
+        }
+    }
+
+    /// Insert an item.
+    pub fn push(&mut self, item: T) {
+        let single = Some(Arc::new(PNode { item, children: List::nil() }));
+        self.root = Self::meld(self.root.take(), single);
+        self.len += 1;
+    }
+
+    /// Remove and return the minimum item.
+    pub fn pop_min(&mut self) -> Option<T> {
+        let root = self.root.take()?;
+        let item = root.item.clone();
+        self.root = Self::merge_pairs(&root.children);
+        self.len -= 1;
+        Some(item)
+    }
+
+    /// Two-pass pairwise merge of a sibling list (the classic pairing-heap
+    /// delete-min).
+    fn merge_pairs(list: &Arc<List<T>>) -> Option<Arc<PNode<T>>> {
+        // Collect the (immutable) sibling chain, then fold.
+        let mut nodes = Vec::new();
+        let mut cursor = list;
+        while let List::Cons(head, tail) = cursor.as_ref() {
+            nodes.push(Arc::clone(head));
+            cursor = tail;
+        }
+        // First pass: meld adjacent pairs left to right.
+        let mut melded: Vec<Option<Arc<PNode<T>>>> = Vec::with_capacity(nodes.len().div_ceil(2));
+        let mut iter = nodes.into_iter();
+        while let Some(first) = iter.next() {
+            let second = iter.next();
+            melded.push(Self::meld(Some(first), second));
+        }
+        // Second pass: meld right to left.
+        melded.into_iter().rev().fold(None, |acc, heap| Self::meld(acc, heap))
+    }
+
+    /// Whether any item equal to `needle` is present (O(n) scan).
+    pub fn contains(&self, needle: &T) -> bool {
+        self.iter().any(|item| item == needle)
+    }
+
+    /// Iterate over all items in unspecified order.
+    pub fn iter(&self) -> HeapIter<'_, T> {
+        HeapIter { nodes: self.root.iter().map(Arc::as_ref).collect() }
+    }
+
+    /// Drain the heap in ascending order (consumes a clone's worth of
+    /// structure; the original is emptied).
+    pub fn into_sorted_vec(mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(item) = self.pop_min() {
+            out.push(item);
+        }
+        out
+    }
+}
+
+/// Iterator over the items of a [`PairingHeap`] in unspecified order.
+pub struct HeapIter<'a, T> {
+    nodes: Vec<&'a PNode<T>>,
+}
+
+impl<T> fmt::Debug for HeapIter<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeapIter").field("pending", &self.nodes.len()).finish()
+    }
+}
+
+impl<'a, T> Iterator for HeapIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.nodes.pop()?;
+        let mut cursor = node.children.as_ref();
+        while let List::Cons(head, tail) = cursor {
+            self.nodes.push(head);
+            cursor = tail.as_ref();
+        }
+        Some(&node.item)
+    }
+}
+
+impl<T: Ord + Clone> FromIterator<T> for PairingHeap<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut heap = PairingHeap::new();
+        for item in iter {
+            heap.push(item);
+        }
+        heap
+    }
+}
+
+impl<T: Ord + Clone> Extend<T> for PairingHeap<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_ascending_order() {
+        let heap: PairingHeap<i32> = [5, 3, 8, 1, 9, 2, 7].into_iter().collect();
+        assert_eq!(heap.into_sorted_vec(), vec![1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let heap: PairingHeap<i32> = [2, 1, 2, 1].into_iter().collect();
+        assert_eq!(heap.into_sorted_vec(), vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn snapshot_isolation_via_clone() {
+        let mut heap: PairingHeap<i32> = (0..50).rev().collect();
+        let snap = heap.clone();
+        for _ in 0..50 {
+            heap.pop_min();
+        }
+        assert!(heap.is_empty());
+        assert_eq!(snap.len(), 50);
+        assert_eq!(snap.into_sorted_vec(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contains_scans_all_items() {
+        let heap: PairingHeap<i32> = [4, 2, 9].into_iter().collect();
+        assert!(heap.contains(&9));
+        assert!(heap.contains(&2));
+        assert!(!heap.contains(&3));
+    }
+
+    #[test]
+    fn iter_visits_every_item_once() {
+        let heap: PairingHeap<i32> = (0..100).collect();
+        let mut seen: Vec<i32> = heap.iter().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_heap_behaviour() {
+        let mut heap: PairingHeap<i32> = PairingHeap::new();
+        assert!(heap.is_empty());
+        assert_eq!(heap.peek_min(), None);
+        assert_eq!(heap.pop_min(), None);
+        assert!(!heap.contains(&1));
+    }
+
+    #[test]
+    fn matches_binary_heap_on_random_ops() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut seed = 0xdeadbeefu64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut model: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        let mut heap: PairingHeap<u32> = PairingHeap::new();
+        for _ in 0..10_000 {
+            if rng() % 2 == 0 {
+                let value = (rng() % 1000) as u32;
+                model.push(Reverse(value));
+                heap.push(value);
+            } else {
+                assert_eq!(heap.pop_min(), model.pop().map(|Reverse(v)| v));
+            }
+            assert_eq!(heap.len(), model.len());
+            assert_eq!(heap.peek_min(), model.peek().map(|Reverse(v)| v));
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! A lock-striped concurrent hash map.
+//!
+//! [`StripedHashMap`] plays the role of `java.util.concurrent.
+//! ConcurrentHashMap` in the paper: the well-engineered, non-snapshottable
+//! concurrent map that the *memoizing* lazy wrapper (`LazyHashMap`, §4)
+//! and the eager wrapper are built over.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+use parking_lot::RwLock;
+
+/// Default number of stripes; chosen to comfortably exceed the thread
+/// counts in the paper's experiments (up to 32).
+const DEFAULT_STRIPES: usize = 64;
+
+/// A thread-safe hash map sharded into independently-locked stripes.
+///
+/// Operations on keys in different stripes proceed in parallel. The map is
+/// linearizable per key; `len` is maintained with a relaxed counter and is
+/// linearizable only in quiescent states (the same contract as
+/// `ConcurrentHashMap.size()`).
+///
+/// # Examples
+///
+/// ```
+/// use proust_conc::StripedHashMap;
+///
+/// let map = StripedHashMap::new();
+/// map.insert("k", 7);
+/// assert_eq!(map.get("k"), Some(7));
+/// assert_eq!(map.remove("k"), Some(7));
+/// ```
+pub struct StripedHashMap<K, V, S = RandomState> {
+    stripes: Box<[RwLock<HashMap<K, V>>]>,
+    len: AtomicIsize,
+    hasher: S,
+    mask: usize,
+}
+
+impl<K: fmt::Debug, V: fmt::Debug, S> fmt::Debug for StripedHashMap<K, V, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StripedHashMap")
+            .field("stripes", &self.stripes.len())
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K, V> StripedHashMap<K, V, RandomState> {
+    /// Create a map with the default stripe count.
+    pub fn new() -> Self {
+        Self::with_stripes(DEFAULT_STRIPES)
+    }
+
+    /// Create a map with `stripes` shards (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes` is zero.
+    pub fn with_stripes(stripes: usize) -> Self {
+        assert!(stripes > 0, "stripe count must be positive");
+        let count = stripes.next_power_of_two();
+        StripedHashMap {
+            stripes: (0..count).map(|_| RwLock::new(HashMap::new())).collect(),
+            len: AtomicIsize::new(0),
+            hasher: RandomState::new(),
+            mask: count - 1,
+        }
+    }
+}
+
+impl<K, V> Default for StripedHashMap<K, V, RandomState> {
+    fn default() -> Self {
+        StripedHashMap::new()
+    }
+}
+
+impl<K, V, S> StripedHashMap<K, V, S>
+where
+    K: Hash + Eq,
+    S: BuildHasher,
+{
+    fn stripe_for<Q: Hash + ?Sized>(&self, key: &Q) -> &RwLock<HashMap<K, V>> {
+        let hash = self.hasher.hash_one(key) as usize;
+        &self.stripes[hash & self.mask]
+    }
+
+    /// Insert a key/value pair, returning the previous value.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let old = self.stripe_for(&key).write().insert(key, value);
+        if old.is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        old
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let old = self.stripe_for(key).write().remove(key);
+        if old.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        old
+    }
+
+    /// Whether the map contains `key`.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.stripe_for(key).read().contains_key(key)
+    }
+
+    /// Apply `f` to the value for `key`, if present, without cloning it.
+    pub fn with_value<Q, R>(&self, key: &Q, f: impl FnOnce(&V) -> R) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.stripe_for(key).read().get(key).map(f)
+    }
+
+    /// Number of entries (relaxed counter; exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Whether the map is empty (subject to the same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit every entry. Takes the stripe locks one at a time, so the
+    /// visit is not a point-in-time snapshot (use
+    /// [`SnapMap`](crate::SnapMap) when that matters).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for stripe in self.stripes.iter() {
+            for (k, v) in stripe.read().iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Remove every entry.
+    pub fn clear(&self) {
+        for stripe in self.stripes.iter() {
+            let mut guard = stripe.write();
+            let removed = guard.len() as isize;
+            guard.clear();
+            self.len.fetch_sub(removed, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<K, V, S> StripedHashMap<K, V, S>
+where
+    K: Hash + Eq,
+    V: Clone,
+    S: BuildHasher,
+{
+    /// Look up a key, cloning the value out.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.stripe_for(key).read().get(key).cloned()
+    }
+
+    /// Get the value for `key`, inserting `make()` first if absent. The
+    /// check-and-insert is atomic (linearized at the stripe lock), so
+    /// concurrent callers converge on a single stored value.
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> V {
+        if let Some(existing) = self.get(&key) {
+            return existing;
+        }
+        let mut stripe = self.stripe_for(&key).write();
+        if let Some(existing) = stripe.get(&key) {
+            return existing.clone();
+        }
+        let value = make();
+        stripe.insert(key, value.clone());
+        self.len.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_operations() {
+        let map = StripedHashMap::new();
+        assert_eq!(map.insert(1, "a"), None);
+        assert_eq!(map.insert(1, "b"), Some("a"));
+        assert_eq!(map.get(&1), Some("b"));
+        assert!(map.contains_key(&1));
+        assert_eq!(map.remove(&1), Some("b"));
+        assert_eq!(map.remove(&1), None);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn stripe_count_rounds_up() {
+        let map: StripedHashMap<u32, ()> = StripedHashMap::with_stripes(5);
+        assert_eq!(map.stripes.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe count must be positive")]
+    fn zero_stripes_panics() {
+        let _ = StripedHashMap::<u32, ()>::with_stripes(0);
+    }
+
+    #[test]
+    fn with_value_avoids_clone() {
+        let map = StripedHashMap::new();
+        map.insert(1, vec![1, 2, 3]);
+        assert_eq!(map.with_value(&1, |v| v.len()), Some(3));
+        assert_eq!(map.with_value(&2, |v: &Vec<i32>| v.len()), None);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let map = StripedHashMap::new();
+        for i in 0..100 {
+            map.insert(i, i * 2);
+        }
+        let mut sum = 0;
+        map.for_each(|_, v| sum += v);
+        assert_eq!(sum, (0..100).map(|i| i * 2).sum::<i32>());
+    }
+
+    #[test]
+    fn clear_resets_len() {
+        let map = StripedHashMap::new();
+        for i in 0..50 {
+            map.insert(i, ());
+        }
+        assert_eq!(map.len(), 50);
+        map.clear();
+        assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_distinct_key_updates_all_land() {
+        let map = Arc::new(StripedHashMap::new());
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        map.insert(t * 10_000 + i, t);
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 8000);
+    }
+
+    #[test]
+    fn concurrent_same_key_last_write_wins_consistently() {
+        let map = Arc::new(StripedHashMap::new());
+        map.insert(0u32, 0u64);
+        std::thread::scope(|s| {
+            for t in 1..=4u64 {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        map.insert(0u32, t);
+                    }
+                });
+            }
+        });
+        let v = map.get(&0).unwrap();
+        assert!((1..=4).contains(&v));
+        assert_eq!(map.len(), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the persistent substrates: the HAMT and the
+//! pairing heap must agree with their `std` models on arbitrary operation
+//! sequences, and snapshots must be immune to later mutation.
+
+use std::collections::{BTreeMap, BinaryHeap};
+
+use proptest::prelude::*;
+use proust_conc::{Hamt, PairingHeap, SnapMap};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| MapOp::Insert(k % 128, v)),
+        any::<u16>().prop_map(|k| MapOp::Remove(k % 128)),
+        any::<u16>().prop_map(|k| MapOp::Get(k % 128)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hamt_agrees_with_btreemap(ops in prop::collection::vec(map_op(), 0..200)) {
+        let mut hamt: Hamt<u16, u32> = Hamt::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => prop_assert_eq!(hamt.insert(k, v), model.insert(k, v)),
+                MapOp::Remove(k) => prop_assert_eq!(hamt.remove(&k), model.remove(&k)),
+                MapOp::Get(k) => prop_assert_eq!(hamt.get(&k), model.get(&k)),
+            }
+            prop_assert_eq!(hamt.len(), model.len());
+        }
+        // Iteration covers exactly the model's entries.
+        let mut collected: Vec<(u16, u32)> = hamt.iter().map(|(k, v)| (*k, *v)).collect();
+        collected.sort_unstable();
+        let expected: Vec<(u16, u32)> = model.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn hamt_clone_is_a_stable_snapshot(
+        before in prop::collection::vec(map_op(), 0..100),
+        after in prop::collection::vec(map_op(), 0..100),
+    ) {
+        let mut hamt: Hamt<u16, u32> = Hamt::new();
+        for op in before {
+            match op {
+                MapOp::Insert(k, v) => { hamt.insert(k, v); }
+                MapOp::Remove(k) => { hamt.remove(&k); }
+                MapOp::Get(_) => {}
+            }
+        }
+        let frozen = hamt.clone();
+        let reference: BTreeMap<u16, u32> =
+            frozen.iter().map(|(k, v)| (*k, *v)).collect();
+        for op in after {
+            match op {
+                MapOp::Insert(k, v) => { hamt.insert(k, v); }
+                MapOp::Remove(k) => { hamt.remove(&k); }
+                MapOp::Get(_) => {}
+            }
+        }
+        // The snapshot still reflects exactly the pre-mutation state.
+        prop_assert_eq!(frozen.len(), reference.len());
+        for (k, v) in &reference {
+            prop_assert_eq!(frozen.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn pairing_heap_agrees_with_binary_heap(
+        ops in prop::collection::vec(prop_oneof![
+            (0u32..1000).prop_map(Some),
+            Just(None),
+        ], 0..300)
+    ) {
+        let mut heap: PairingHeap<u32> = PairingHeap::new();
+        let mut model: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    heap.push(v);
+                    model.push(std::cmp::Reverse(v));
+                }
+                None => {
+                    prop_assert_eq!(heap.pop_min(), model.pop().map(|r| r.0));
+                }
+            }
+            prop_assert_eq!(heap.len(), model.len());
+            prop_assert_eq!(heap.peek_min().copied(), model.peek().map(|r| r.0));
+        }
+        let sorted = heap.into_sorted_vec();
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pairing_heap_snapshot_is_stable(
+        values in prop::collection::vec(0u32..1000, 1..100),
+        pops in 0usize..50,
+    ) {
+        let mut heap: PairingHeap<u32> = values.iter().copied().collect();
+        let frozen = heap.clone();
+        for _ in 0..pops {
+            heap.pop_min();
+        }
+        let mut expected = values;
+        expected.sort_unstable();
+        prop_assert_eq!(frozen.into_sorted_vec(), expected);
+    }
+
+    #[test]
+    fn snapmap_snapshot_and_live_diverge_correctly(
+        keys in prop::collection::vec(0u16..64, 1..50)
+    ) {
+        let map = SnapMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            map.insert(*k, i);
+        }
+        let snap = map.snapshot();
+        for k in &keys {
+            map.remove(k);
+        }
+        prop_assert!(map.is_empty());
+        // Snapshot retains the final pre-removal binding of every key.
+        for k in &keys {
+            let last = keys.iter().enumerate().rev().find(|(_, key)| *key == k).map(|(i, _)| i);
+            prop_assert_eq!(snap.get(k).copied(), last);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Conflict abstractions: the formal objects of §3 of the paper.
+//!
+//! A conflict abstraction is a family of functions
+//! `f_i^{m,rd}, f_i^{m,wr} : args → state → bool` that decide, for each
+//! data-structure operation `m`, which STM locations to read and write so
+//! that **non-commuting operations always perform conflicting STM
+//! accesses** (Definition 3.1). The `proust-verify` crate checks this
+//! property against a sequential model of the data type, both exhaustively
+//! and by reduction to SAT (Appendix E).
+
+use std::fmt;
+
+/// The set of region locations an operation reads and writes.
+///
+/// Produced by a [`ConflictAbstraction`] for a given operation in a given
+/// abstract state and consumed by
+/// [`StmRegion::apply`](crate::StmRegion::apply).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessSet {
+    /// Locations to read (`f_i^{m,rd}` = true).
+    pub reads: Vec<usize>,
+    /// Locations to write (`f_i^{m,wr}` = true).
+    pub writes: Vec<usize>,
+}
+
+impl AccessSet {
+    /// An access set that touches nothing (the operation commutes with
+    /// everything in this state, e.g. `incr` on a large counter).
+    pub fn empty() -> Self {
+        AccessSet::default()
+    }
+
+    /// An access set reading exactly `locations`.
+    pub fn reading(locations: impl IntoIterator<Item = usize>) -> Self {
+        AccessSet { reads: locations.into_iter().collect(), writes: Vec::new() }
+    }
+
+    /// An access set writing exactly `locations`.
+    pub fn writing(locations: impl IntoIterator<Item = usize>) -> Self {
+        AccessSet { reads: Vec::new(), writes: locations.into_iter().collect() }
+    }
+
+    /// Whether two access sets constitute an STM-level conflict: some
+    /// location is written by one and touched by the other (the three
+    /// cases of Definition 3.1).
+    pub fn conflicts_with(&self, other: &AccessSet) -> bool {
+        let hits = |w: &[usize], t: &AccessSet| {
+            w.iter().any(|loc| t.reads.contains(loc) || t.writes.contains(loc))
+        };
+        hits(&self.writes, other) || hits(&other.writes, self)
+    }
+
+    /// Whether the set touches no locations.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
+impl fmt::Display for AccessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rd{:?} wr{:?}", self.reads, self.writes)
+    }
+}
+
+/// A conflict abstraction for an abstract data type.
+///
+/// `Op` describes an operation *invocation* (method plus arguments —
+/// the paper's `m(ᾱ)`), and `State` is whatever view of the abstract state
+/// the abstraction consults (the paper's `σ`; e.g. "is the counter below
+/// 2"). Implementations must be deterministic functions of `(op, state)`.
+pub trait ConflictAbstraction<Op, State>: Send + Sync {
+    /// Number of region locations this abstraction maps into (the `M`
+    /// parameter of §3).
+    fn locations(&self) -> usize;
+
+    /// The STM accesses to perform for `op` observed in `state`.
+    fn accesses(&self, op: &Op, state: &State) -> AccessSet;
+}
+
+/// The modular-hashing map abstraction of §3: operations on key `k` touch
+/// location `hash(k) mod M`, reads for queries and writes for updates
+/// ("this practice is similar to lock striping").
+#[derive(Debug, Clone)]
+pub struct StripedKeyAbstraction {
+    size: usize,
+}
+
+impl StripedKeyAbstraction {
+    /// Create an abstraction over `size` locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "abstraction needs at least one location");
+        StripedKeyAbstraction { size }
+    }
+
+    /// The location for a key hash.
+    pub fn slot(&self, key_hash: u64) -> usize {
+        (key_hash % self.size as u64) as usize
+    }
+}
+
+/// A keyed map operation as seen by [`StripedKeyAbstraction`]: the key's
+/// hash plus whether the operation may update the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyedOp {
+    /// Hash of the key the operation addresses.
+    pub key_hash: u64,
+    /// Whether the operation is an update (`put`/`remove`) rather than a
+    /// query (`get`/`contains`).
+    pub is_update: bool,
+}
+
+impl ConflictAbstraction<KeyedOp, ()> for StripedKeyAbstraction {
+    fn locations(&self) -> usize {
+        self.size
+    }
+
+    fn accesses(&self, op: &KeyedOp, _state: &()) -> AccessSet {
+        let slot = self.slot(op.key_hash);
+        if op.is_update {
+            AccessSet::writing([slot])
+        } else {
+            AccessSet::reading([slot])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_cases_of_definition_3_1() {
+        let rd = AccessSet::reading([0]);
+        let wr = AccessSet::writing([0]);
+        let other = AccessSet::writing([1]);
+        assert!(rd.conflicts_with(&wr)); // case 1/2: rd vs wr
+        assert!(wr.conflicts_with(&rd));
+        assert!(wr.conflicts_with(&wr.clone())); // case 3: wr vs wr
+        assert!(!rd.conflicts_with(&rd.clone())); // reads never conflict
+        assert!(!wr.conflicts_with(&other)); // disjoint locations
+        assert!(!AccessSet::empty().conflicts_with(&wr));
+    }
+
+    #[test]
+    fn striped_abstraction_separates_distinct_slots() {
+        let ca = StripedKeyAbstraction::new(8);
+        let get5 = KeyedOp { key_hash: 5, is_update: false };
+        let put6 = KeyedOp { key_hash: 6, is_update: true };
+        let put13 = KeyedOp { key_hash: 13, is_update: true }; // 13 % 8 == 5
+        let a = ca.accesses(&get5, &());
+        let b = ca.accesses(&put6, &());
+        let c = ca.accesses(&put13, &());
+        assert!(!a.conflicts_with(&b), "get(5) and put(6) commute");
+        assert!(a.conflicts_with(&c), "get(5) and put(13) share a stripe");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one location")]
+    fn zero_locations_panics() {
+        let _ = StripedKeyAbstraction::new(0);
+    }
+
+    #[test]
+    fn display_shows_both_sets() {
+        let set = AccessSet { reads: vec![1], writes: vec![2] };
+        assert_eq!(set.to_string(), "rd[1] wr[2]");
+    }
+}

@@ -1,0 +1,93 @@
+//! Transactional collection traits (Listings 2 and 3 of the paper).
+//!
+//! Every Proustian map implementation — and every baseline in
+//! `proust-baselines` — implements [`TxMap`], so the benchmark harness and
+//! the linearizability tests can sweep implementations uniformly.
+
+use proust_stm::{TxResult, Txn};
+
+/// The transactional map API of Listing 2.
+///
+/// All operations run inside a transaction and may raise conflicts, which
+/// the STM runtime retries transparently.
+pub trait TxMap<K, V>: Send + Sync {
+    /// Insert `key → value`; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>>;
+
+    /// Look up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>>;
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn contains(&self, tx: &mut Txn, key: &K) -> TxResult<bool> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    /// Remove `key`; returns the removed value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>>;
+
+    /// Number of entries, per the reified committed-size optimization of
+    /// Listing 2 (pending operations of the calling transaction are not
+    /// counted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn size(&self, tx: &mut Txn) -> TxResult<i64>;
+}
+
+/// The transactional priority-queue API of Listing 3. Operations are
+/// categorized by their effect on the two abstract-state elements
+/// [`PQueueState::Min`](crate::structures::PQueueState) and
+/// [`PQueueState::MultiSet`](crate::structures::PQueueState).
+pub trait TxPQueue<V>: Send + Sync {
+    /// Insert a value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn insert(&self, tx: &mut Txn, value: V) -> TxResult<()>;
+
+    /// The minimum value, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn min(&self, tx: &mut Txn) -> TxResult<Option<V>>;
+
+    /// Whether a value equal to `value` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn contains(&self, tx: &mut Txn, value: &V) -> TxResult<bool>;
+
+    /// Remove and return the minimum value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn remove_min(&self, tx: &mut Txn) -> TxResult<Option<V>>;
+
+    /// Number of values (committed size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    fn size(&self, tx: &mut Txn) -> TxResult<i64>;
+}

@@ -1,0 +1,131 @@
+//! Lock modes and lock requests: the `LockFor` / `Read` / `Write` types of
+//! the paper's `AbstractLock` API (Listing 1), plus the generalized
+//! compatibility protocols that let pessimistic locks express rules like
+//! "multiple writers *or* multiple readers" (the `PQueueMultiSet` rule of
+//! §6 that plain read/write locks approximate conservatively).
+
+use std::fmt;
+
+/// The mode in which an abstract-state element is locked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// The operation observes the abstract-state element.
+    Read,
+    /// The operation may change the abstract-state element.
+    Write,
+}
+
+impl Mode {
+    /// Whether this mode is `Write`.
+    pub fn is_write(self) -> bool {
+        matches!(self, Mode::Write)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Read => write!(f, "read"),
+            Mode::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// A request to synchronize on one abstract-state element (the paper's
+/// `LockFor`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LockRequest<K> {
+    /// The abstract-state element (a map key, `PQueueMin`, ...).
+    pub key: K,
+    /// Whether the operation reads or writes that element.
+    pub mode: Mode,
+}
+
+impl<K> LockRequest<K> {
+    /// A read-mode request (the paper's implicit `Read(key)`).
+    pub fn read(key: K) -> Self {
+        LockRequest { key, mode: Mode::Read }
+    }
+
+    /// A write-mode request (the paper's `Write(key)`).
+    pub fn write(key: K) -> Self {
+        LockRequest { key, mode: Mode::Write }
+    }
+}
+
+/// Compatibility protocol for a pessimistic abstract lock.
+///
+/// The paper observes (§6) that boosting approximates the priority queue's
+/// commutativity with a plain read/write lock, losing the fact that
+/// `add(x)`/`add(y)` always commute. Expressing rules over abstract-state
+/// elements lets the protocol be chosen per element:
+///
+/// * [`ReadWrite`](Compat::ReadWrite) — the classic protocol: readers
+///   share, writers exclude everyone.
+/// * [`GroupExclusive`](Compat::GroupExclusive) — same-mode sharing:
+///   multiple readers *or* multiple writers, but never both. This encodes
+///   `PQueueMultiSet` exactly (all inserts commute with each other, all
+///   lookups commute with each other, but inserts do not commute with
+///   lookups of the same element).
+/// * [`Exclusive`](Compat::Exclusive) — mutual exclusion regardless of
+///   mode, the maximally conservative fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Compat {
+    /// Readers share; writers exclude readers and writers.
+    #[default]
+    ReadWrite,
+    /// Holders of the *same* mode share; mixed modes conflict.
+    GroupExclusive,
+    /// Any two holders conflict.
+    Exclusive,
+}
+
+impl Compat {
+    /// Whether a holder in `held` mode and a requester in `wanted` mode can
+    /// hold the lock simultaneously.
+    pub fn compatible(self, held: Mode, wanted: Mode) -> bool {
+        match self {
+            Compat::ReadWrite => held == Mode::Read && wanted == Mode::Read,
+            Compat::GroupExclusive => held == wanted,
+            Compat::Exclusive => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_protocol() {
+        let c = Compat::ReadWrite;
+        assert!(c.compatible(Mode::Read, Mode::Read));
+        assert!(!c.compatible(Mode::Read, Mode::Write));
+        assert!(!c.compatible(Mode::Write, Mode::Read));
+        assert!(!c.compatible(Mode::Write, Mode::Write));
+    }
+
+    #[test]
+    fn group_exclusive_allows_writer_groups() {
+        let c = Compat::GroupExclusive;
+        assert!(c.compatible(Mode::Write, Mode::Write));
+        assert!(c.compatible(Mode::Read, Mode::Read));
+        assert!(!c.compatible(Mode::Read, Mode::Write));
+        assert!(!c.compatible(Mode::Write, Mode::Read));
+    }
+
+    #[test]
+    fn exclusive_blocks_everything() {
+        let c = Compat::Exclusive;
+        assert!(!c.compatible(Mode::Read, Mode::Read));
+        assert!(!c.compatible(Mode::Write, Mode::Write));
+    }
+
+    #[test]
+    fn request_constructors_set_modes() {
+        assert_eq!(LockRequest::read(5).mode, Mode::Read);
+        assert_eq!(LockRequest::write(5).mode, Mode::Write);
+        assert!(Mode::Write.is_write());
+        assert!(!Mode::Read.is_write());
+    }
+}

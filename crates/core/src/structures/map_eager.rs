@@ -1,0 +1,263 @@
+//! The eager Proustian map of Figure 2a.
+//!
+//! Updates are applied to the base structure immediately; each update
+//! registers its inverse with the abstract lock, to be run if the
+//! transaction rolls back. The key `k` itself is the abstract-state
+//! element: `put`/`remove` take `Write(k)`, `get`/`contains` take
+//! `Read(k)`.
+//!
+//! Opacity caveat (§5, footnote 3): with an *optimistic* lock allocator
+//! policy this wrapper is opaque only when the STM detects both read/write
+//! and write/write conflicts eagerly
+//! ([`ConflictDetection::EagerAll`](proust_stm::ConflictDetection)); under
+//! the default mixed backend it reproduces ScalaProust's documented
+//! eager/optimistic behaviour. With a pessimistic policy it is opaque on
+//! every backend (Theorem 5.1).
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use proust_conc::StripedHashMap;
+use proust_stm::{TxResult, Txn};
+
+use crate::abstract_lock::{AbstractLock, UpdateStrategy};
+use crate::lap::LockAllocatorPolicy;
+use crate::map_trait::TxMap;
+use crate::mode::LockRequest;
+use crate::size::CommittedSize;
+
+/// An eager-update transactional map over a lock-striped concurrent hash
+/// map (the paper's Figure 2a `TrieMap`, with `ConcurrentHashMap` standing
+/// in as the base per our substitution table).
+pub struct EagerMap<K, V> {
+    base: Arc<StripedHashMap<K, V>>,
+    lock: AbstractLock<K>,
+    size: CommittedSize,
+}
+
+impl<K, V> fmt::Debug for EagerMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EagerMap").field("committed_size", &self.size.get()).finish()
+    }
+}
+
+impl<K, V> Clone for EagerMap<K, V> {
+    fn clone(&self) -> Self {
+        EagerMap {
+            base: Arc::clone(&self.base),
+            lock: self.lock.clone(),
+            size: self.size.clone(),
+        }
+    }
+}
+
+impl<K, V> EagerMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create an eager map synchronized by `lap` (`val uStrat = Eager`).
+    pub fn new(lap: Arc<dyn LockAllocatorPolicy<K>>) -> Self {
+        EagerMap {
+            base: Arc::new(StripedHashMap::new()),
+            lock: AbstractLock::new(lap, UpdateStrategy::Eager),
+            size: CommittedSize::new(),
+        }
+    }
+
+    /// The committed size without a transaction context.
+    pub fn committed_size(&self) -> i64 {
+        self.size.get()
+    }
+}
+
+impl<K, V> TxMap<K, V> for EagerMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        let base = Arc::clone(&self.base);
+        let op_key = key.clone();
+        let undo_base = Arc::clone(&self.base);
+        let undo_key = key.clone();
+        let previous = self.lock.with_inverse(
+            tx,
+            &[LockRequest::write(key)],
+            move |_tx| base.insert(op_key, value),
+            // `ret.map(map.put(key, _)).getOrElse(map.remove(key))`
+            move |previous: Option<V>| match previous {
+                Some(old) => {
+                    undo_base.insert(undo_key, old);
+                }
+                None => {
+                    undo_base.remove(&undo_key);
+                }
+            },
+        )?;
+        if previous.is_none() {
+            self.size.record(tx, 1);
+        }
+        Ok(previous)
+    }
+
+    fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        self.lock
+            .with(tx, &[LockRequest::read(key.clone())], |_tx| self.base.get(key))
+    }
+
+    fn contains(&self, tx: &mut Txn, key: &K) -> TxResult<bool> {
+        self.lock
+            .with(tx, &[LockRequest::read(key.clone())], |_tx| self.base.contains_key(key))
+    }
+
+    fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        let base = Arc::clone(&self.base);
+        let op_key = key.clone();
+        let undo_base = Arc::clone(&self.base);
+        let undo_key = key.clone();
+        let previous = self.lock.with_inverse(
+            tx,
+            &[LockRequest::write(key.clone())],
+            move |_tx| base.remove(&op_key),
+            // `ret.foreach { map.put(key, _) }`
+            move |previous: Option<V>| {
+                if let Some(old) = previous {
+                    undo_base.insert(undo_key, old);
+                }
+            },
+        )?;
+        if previous.is_some() {
+            self.size.record(tx, -1);
+        }
+        Ok(previous)
+    }
+
+    fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
+        Ok(self.size.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lap::{OptimisticLap, PessimisticLap};
+    use proust_stm::{ConflictDetection, Stm, StmConfig, TxError};
+
+    fn maps() -> Vec<(EagerMap<u32, String>, Stm)> {
+        vec![
+            (
+                EagerMap::new(Arc::new(OptimisticLap::new(64))),
+                Stm::new(StmConfig::with_detection(ConflictDetection::EagerAll)),
+            ),
+            (
+                EagerMap::new(Arc::new(PessimisticLap::new(64))),
+                Stm::new(StmConfig::default()),
+            ),
+        ]
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        for (map, stm) in maps() {
+            stm.atomically(|tx| {
+                assert_eq!(map.put(tx, 1, "a".into())?, None);
+                assert_eq!(map.put(tx, 1, "b".into())?.as_deref(), Some("a"));
+                assert_eq!(map.get(tx, &1)?.as_deref(), Some("b"));
+                assert!(map.contains(tx, &1)?);
+                assert_eq!(map.remove(tx, &1)?.as_deref(), Some("b"));
+                assert!(!map.contains(tx, &1)?);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(map.committed_size(), 0);
+        }
+    }
+
+    #[test]
+    fn abort_restores_previous_values() {
+        for (map, stm) in maps() {
+            stm.atomically(|tx| map.put(tx, 7, "keep".into())).unwrap();
+            let result: Result<(), _> = stm.atomically(|tx| {
+                map.put(tx, 7, "overwrite".into())?;
+                map.put(tx, 8, "fresh".into())?;
+                map.remove(tx, &7)?;
+                Err(TxError::abort("roll it all back"))
+            });
+            assert!(result.is_err());
+            let (v7, v8) = stm
+                .atomically(|tx| Ok((map.get(tx, &7)?, map.get(tx, &8)?)))
+                .unwrap();
+            assert_eq!(v7.as_deref(), Some("keep"), "inverse chain must restore key 7");
+            assert_eq!(v8, None, "inserted key must be removed on abort");
+            assert_eq!(map.committed_size(), 1);
+        }
+    }
+
+    #[test]
+    fn committed_size_tracks_commits_only() {
+        for (map, stm) in maps() {
+            for i in 0..10 {
+                stm.atomically(|tx| map.put(tx, i, format!("v{i}"))).unwrap();
+            }
+            assert_eq!(map.committed_size(), 10);
+            stm.atomically(|tx| map.remove(tx, &3)).unwrap();
+            assert_eq!(map.committed_size(), 9);
+            stm.atomically(|tx| {
+                let size = map.size(tx)?;
+                assert_eq!(size, 9);
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_keys_do_not_conflict_optimistic() {
+        // get(5) and put(6, _) commute and must not collide when the
+        // region is large enough to give them distinct locations.
+        let stm = Stm::new(StmConfig::with_detection(ConflictDetection::EagerAll));
+        let map: Arc<EagerMap<u32, u32>> =
+            Arc::new(EagerMap::new(Arc::new(OptimisticLap::new(1024))));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for i in 0..250u32 {
+                        let key = t * 1000 + i; // disjoint key ranges
+                        stm.atomically(|tx| map.put(tx, key, i)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(map.committed_size(), 1000);
+    }
+
+    #[test]
+    fn concurrent_same_key_serializes() {
+        for (map, stm) in maps() {
+            let map = Arc::new(map);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let stm = stm.clone();
+                    let map = Arc::clone(&map);
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            stm.atomically(|tx| {
+                                let cur = map.get(tx, &0)?.map(|s| s.len()).unwrap_or(0);
+                                map.put(tx, 0, "x".repeat(cur + 1))
+                            })
+                            .unwrap();
+                        }
+                    });
+                }
+            });
+            let len = stm
+                .atomically(|tx| Ok(map.get(tx, &0)?.map(|s| s.len())))
+                .unwrap();
+            assert_eq!(len, Some(400), "read-modify-write chain must not lose updates");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The snapshot-based lazy Proustian map (`LazyTrieMap`, Figure 2b).
+//!
+//! "A more general approach uses the fast-snapshot semantics provided by
+//! many concurrent data structures. The first time a transaction attempts
+//! to perform an update, a snapshot is made, and all further updates are
+//! performed on that snapshot. Whenever a transaction commits, any changes
+//! to the snapshot are replayed onto the shared copy."
+//!
+//! The base structure is [`SnapMap`] (our stand-in for Scala's
+//! `concurrent.TrieMap`); the machinery is [`SnapshotReplay`].
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use proust_conc::SnapMap;
+use proust_stm::{TxResult, Txn};
+
+use crate::abstract_lock::{AbstractLock, UpdateStrategy};
+use crate::lap::LockAllocatorPolicy;
+use crate::map_trait::TxMap;
+use crate::mode::LockRequest;
+use crate::replay::SnapshotReplay;
+use crate::size::CommittedSize;
+
+/// A lazy-update transactional map whose shadow copy is an O(1) snapshot
+/// of the base trie map.
+///
+/// (The trait bounds on the struct are required because the replay log
+/// refers to [`SnapMap`]'s `SnapshotSource::Snap` associated type.)
+pub struct SnapTrieMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    log: SnapshotReplay<SnapMap<K, V>>,
+    lock: AbstractLock<K>,
+    size: CommittedSize,
+}
+
+impl<K, V> fmt::Debug for SnapTrieMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapTrieMap").field("committed_size", &self.size.get()).finish()
+    }
+}
+
+impl<K, V> Clone for SnapTrieMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn clone(&self) -> Self {
+        SnapTrieMap { log: self.log.clone(), lock: self.lock.clone(), size: self.size.clone() }
+    }
+}
+
+impl<K, V> SnapTrieMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create a snapshot-replay lazy map (`val uStrat = Lazy`).
+    pub fn new(lap: Arc<dyn LockAllocatorPolicy<K>>) -> Self {
+        SnapTrieMap {
+            log: SnapshotReplay::new(Arc::new(SnapMap::new())),
+            lock: AbstractLock::new(lap, UpdateStrategy::Lazy),
+            size: CommittedSize::new(),
+        }
+    }
+
+    /// The committed size without a transaction context.
+    pub fn committed_size(&self) -> i64 {
+        self.size.get()
+    }
+}
+
+impl<K, V> TxMap<K, V> for SnapTrieMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        let previous = self.lock.with(tx, &[LockRequest::write(key.clone())], |tx| {
+            self.log
+                .update(tx, move |snap| snap.insert(key.clone(), value.clone()))
+        })?;
+        if previous.is_none() {
+            self.size.record(tx, 1);
+        }
+        Ok(previous)
+    }
+
+    fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        self.lock.with(tx, &[LockRequest::read(key.clone())], |tx| {
+            // The `readOnly` optimization of Figure 2b: no replay log is
+            // allocated until the transaction actually writes.
+            self.log
+                .read(tx, |live| live.get(key), |snap| snap.get(key).cloned())
+        })
+    }
+
+    fn contains(&self, tx: &mut Txn, key: &K) -> TxResult<bool> {
+        self.lock.with(tx, &[LockRequest::read(key.clone())], |tx| {
+            self.log
+                .read(tx, |live| live.contains_key(key), |snap| snap.contains_key(key))
+        })
+    }
+
+    fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        let removal_key = key.clone();
+        let previous = self.lock.with(tx, &[LockRequest::write(key.clone())], |tx| {
+            self.log.update(tx, move |snap| snap.remove(&removal_key))
+        })?;
+        if previous.is_some() {
+            self.size.record(tx, -1);
+        }
+        Ok(previous)
+    }
+
+    fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
+        Ok(self.size.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lap::{OptimisticLap, PessimisticLap};
+    use proust_stm::{ConflictDetection, Stm, StmConfig, TxError};
+
+    fn maps() -> Vec<(SnapTrieMap<u32, u32>, Stm)> {
+        ConflictDetection::ALL
+            .iter()
+            .flat_map(|&d| {
+                let stm = Stm::new(StmConfig::with_detection(d));
+                vec![
+                    (SnapTrieMap::new(Arc::new(OptimisticLap::new(64))), stm.clone()),
+                    (SnapTrieMap::new(Arc::new(PessimisticLap::new(64))), stm),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_your_writes_all_backends() {
+        // Lazy/optimistic Proust is opaque on every backend (Theorem 5.3),
+        // so this must hold everywhere.
+        for (map, stm) in maps() {
+            stm.atomically(|tx| {
+                assert_eq!(map.put(tx, 1, 10)?, None);
+                assert_eq!(map.get(tx, &1)?, Some(10));
+                assert!(map.contains(tx, &1)?);
+                assert_eq!(map.remove(tx, &1)?, Some(10));
+                assert_eq!(map.get(tx, &1)?, None);
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_shields_transaction_from_later_commits() {
+        for (map, stm) in maps() {
+            stm.atomically(|tx| map.put(tx, 1, 1)).unwrap();
+            assert_eq!(stm.atomically(|tx| map.get(tx, &1)).unwrap(), Some(1));
+        }
+    }
+
+    #[test]
+    fn abort_discards_snapshot_updates() {
+        for (map, stm) in maps() {
+            let result: Result<(), _> = stm.atomically(|tx| {
+                map.put(tx, 2, 20)?;
+                Err(TxError::abort("discard"))
+            });
+            assert!(result.is_err());
+            assert_eq!(stm.atomically(|tx| map.get(tx, &2)).unwrap(), None);
+            assert_eq!(map.committed_size(), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_counters_do_not_lose_updates() {
+        for (map, stm) in maps() {
+            let map = Arc::new(map);
+            stm.atomically(|tx| map.put(tx, 0, 0)).unwrap();
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let stm = stm.clone();
+                    let map = Arc::clone(&map);
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            stm.atomically(|tx| {
+                                let v = map.get(tx, &0)?.unwrap_or(0);
+                                map.put(tx, 0, v + 1)
+                            })
+                            .unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                stm.atomically(|tx| map.get(tx, &0)).unwrap(),
+                Some(400),
+                "lost update under {:?}",
+                stm.config().detection
+            );
+        }
+    }
+
+    #[test]
+    fn size_counts_distinct_committed_keys() {
+        let (map, stm) = (
+            SnapTrieMap::<u32, u32>::new(Arc::new(OptimisticLap::new(64))),
+            Stm::new(StmConfig::default()),
+        );
+        stm.atomically(|tx| {
+            map.put(tx, 1, 1)?;
+            map.put(tx, 1, 2)?; // overwrite: size unchanged
+            map.put(tx, 2, 2)?;
+            map.remove(tx, &9)?; // absent: size unchanged
+            assert_eq!(map.size(tx)?, 0, "size is committed-only mid-transaction");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(map.committed_size(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Wrapped Proustian data structures "out of the box" (§6).
+//!
+//! These are the reference wrappers ScalaProust shipped, reimplemented
+//! over the substrates in `proust-conc`:
+//!
+//! | Structure | Update strategy | Shadow copy | Base structure |
+//! |---|---|---|---|
+//! | [`ProustCounter`] | eager (inverses) | — | atomic non-negative counter |
+//! | [`EagerMap`] | eager (inverses) | — | [`StripedHashMap`](proust_conc::StripedHashMap) |
+//! | [`MemoMap`] | lazy | memoization (± log-combining) | [`StripedHashMap`](proust_conc::StripedHashMap) |
+//! | [`SnapTrieMap`] | lazy | O(1) snapshot | [`SnapMap`](proust_conc::SnapMap) |
+//! | [`LazyPQueue`] | lazy | O(1) snapshot | [`CowHeap`](proust_conc::CowHeap) |
+//! | [`EagerPQueue`] | eager (lazy-deletion inverses) | — | [`BlockingHeap`](proust_conc::BlockingHeap) |
+//! | [`ProustSet`] | lazy | memoization | [`StripedHashMap`](proust_conc::StripedHashMap) |
+//! | [`ProustFifo`] | lazy | O(1) snapshot | [`CowQueue`](proust_conc::CowQueue) |
+//!
+//! Every wrapper takes its [`LockAllocatorPolicy`](crate::LockAllocatorPolicy)
+//! as a constructor argument, so the optimistic/pessimistic choice is made
+//! independently of the eager/lazy choice — the two axes of the Proust
+//! design space.
+//!
+//! For the priority queue, [`exact_pqueue_lap`] builds the pessimistic
+//! policy with §6's *per-element* protocols (`Min`: read/write;
+//! `MultiSet`: group-exclusive) — the precision plain read/write locks
+//! cannot express.
+
+mod counter;
+mod fifo;
+mod map_eager;
+mod map_lazy_memo;
+mod map_lazy_snap;
+mod pqueue;
+mod set;
+
+pub use counter::{ConcCounter, ProustCounter, COUNTER_THRESHOLD};
+pub use fifo::{FifoState, ProustFifo};
+pub use map_eager::EagerMap;
+pub use map_lazy_memo::MemoMap;
+pub use map_lazy_snap::SnapTrieMap;
+pub use pqueue::{exact_pqueue_lap, EagerPQueue, LazyPQueue, PQueueState};
+pub use set::ProustSet;

@@ -1,0 +1,144 @@
+//! A Proustian transactional set.
+//!
+//! Sets share the memoizing shadow-copy construction with maps (§4 groups
+//! them: "for some data-structures (e.g. sets or maps)..."); this wrapper
+//! is a thin veneer over [`MemoMap`] with unit values.
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use proust_stm::{TxResult, Txn};
+
+use crate::lap::LockAllocatorPolicy;
+use crate::map_trait::TxMap;
+use crate::structures::map_lazy_memo::MemoMap;
+
+/// A lazy-update transactional set over a lock-striped hash map.
+pub struct ProustSet<T> {
+    map: MemoMap<T, ()>,
+}
+
+impl<T> fmt::Debug for ProustSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProustSet").field("committed_size", &self.map.committed_size()).finish()
+    }
+}
+
+impl<T> Clone for ProustSet<T> {
+    fn clone(&self) -> Self {
+        ProustSet { map: self.map.clone() }
+    }
+}
+
+impl<T> ProustSet<T>
+where
+    T: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    /// Create a set synchronized by `lap`.
+    pub fn new(lap: Arc<dyn LockAllocatorPolicy<T>>) -> Self {
+        ProustSet { map: MemoMap::combining(lap) }
+    }
+
+    /// Add `value`; returns whether it was newly added.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    pub fn add(&self, tx: &mut Txn, value: T) -> TxResult<bool> {
+        Ok(self.map.put(tx, value, ())?.is_none())
+    }
+
+    /// Remove `value`; returns whether it was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    pub fn remove(&self, tx: &mut Txn, value: &T) -> TxResult<bool> {
+        Ok(self.map.remove(tx, value)?.is_some())
+    }
+
+    /// Whether `value` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    pub fn contains(&self, tx: &mut Txn, value: &T) -> TxResult<bool> {
+        self.map.contains(tx, value)
+    }
+
+    /// Committed cardinality.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronization conflicts.
+    pub fn size(&self, tx: &mut Txn) -> TxResult<i64> {
+        self.map.size(tx)
+    }
+
+    /// The committed size without a transaction context.
+    pub fn committed_size(&self) -> i64 {
+        self.map.committed_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lap::OptimisticLap;
+    use proust_stm::{Stm, StmConfig, TxError};
+
+    fn set() -> (ProustSet<String>, Stm) {
+        (
+            ProustSet::new(Arc::new(OptimisticLap::new(64))),
+            Stm::new(StmConfig::default()),
+        )
+    }
+
+    #[test]
+    fn add_remove_contains() {
+        let (s, stm) = set();
+        stm.atomically(|tx| {
+            assert!(s.add(tx, "a".into())?);
+            assert!(!s.add(tx, "a".into())?);
+            assert!(s.contains(tx, &"a".to_string())?);
+            assert!(s.remove(tx, &"a".to_string())?);
+            assert!(!s.remove(tx, &"a".to_string())?);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.committed_size(), 0);
+    }
+
+    #[test]
+    fn abort_discards_membership_changes() {
+        let (s, stm) = set();
+        let result: Result<(), _> = stm.atomically(|tx| {
+            s.add(tx, "ghost".into())?;
+            Err(TxError::abort("discard"))
+        });
+        assert!(result.is_err());
+        let present = stm
+            .atomically(|tx| s.contains(tx, &"ghost".to_string()))
+            .unwrap();
+        assert!(!present);
+    }
+
+    #[test]
+    fn concurrent_disjoint_adds_all_land() {
+        let (s, stm) = set();
+        let s = Arc::new(s);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let stm = stm.clone();
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        stm.atomically(|tx| s.add(tx, format!("{t}-{i}"))).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.committed_size(), 400);
+    }
+}

@@ -1,0 +1,204 @@
+//! Framework-level integration tests for `proust-core`: abstract-lock
+//! discipline under contention, replay-log commit semantics, and the
+//! interaction between lock allocator policies and the STM lifecycle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proust_core::structures::{EagerMap, MemoMap, SnapTrieMap};
+use proust_core::{
+    AbstractLock, Compat, LockAllocatorPolicy, LockRequest, OptimisticLap, PessimisticLap, TxMap,
+    UpdateStrategy,
+};
+use proust_stm::{Stm, StmConfig, TxError};
+
+/// Pessimistic abstract locks give mutual exclusion to arbitrary
+/// (non-transactional-looking) critical sections: the classic boosting
+/// discipline. Checked by racing unsynchronized counters guarded only by
+/// the abstract lock.
+#[test]
+fn pessimistic_lock_guards_arbitrary_critical_sections() {
+    for compat in [Compat::ReadWrite, Compat::Exclusive] {
+        let stm = Stm::new(StmConfig::default());
+        let lock: AbstractLock<u8> = AbstractLock::new(
+            Arc::new(PessimisticLap::with_compat(2, compat)),
+            UpdateStrategy::Eager,
+        );
+        let unguarded = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stm = stm.clone();
+                let lock = lock.clone();
+                let unguarded = Arc::clone(&unguarded);
+                scope.spawn(move || {
+                    for _ in 0..250 {
+                        stm.atomically(|tx| {
+                            lock.with(tx, &[LockRequest::write(0)], |_tx| {
+                                // Deliberate read-modify-write race unless
+                                // the abstract lock serializes us.
+                                let v = unguarded.load(Ordering::Relaxed);
+                                std::hint::spin_loop();
+                                unguarded.store(v + 1, Ordering::Relaxed);
+                            })
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(unguarded.load(Ordering::Relaxed), 1000, "{compat:?}");
+    }
+}
+
+/// A transaction that conflicts and retries must re-run (and re-undo) its
+/// eager updates correctly: the retried attempt's inverse ran during the
+/// rollback, and the final state reflects exactly one application. The
+/// conflict is staged deterministically: the victim reads key 0, parks,
+/// a rival commits an update to key 0, and the victim's attempt to
+/// proceed is doomed to retry.
+#[test]
+fn eager_retries_do_not_double_apply() {
+    let stm = Stm::new(StmConfig::default());
+    // Deterministic slots: key k → slot k mod 2, so keys 0 and 1 are
+    // independent locations.
+    let lap = OptimisticLap::with_slot_fn(2, |k: &u8| *k as usize % 2);
+    let map: Arc<EagerMap<u8, u64>> = Arc::new(EagerMap::new(Arc::new(lap)));
+    stm.atomically(|tx| map.put(tx, 0, 100)).unwrap();
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let (resume_tx, resume_rx) = std::sync::mpsc::channel();
+    let attempts = std::thread::scope(|scope| {
+        let victim_stm = stm.clone();
+        let victim_map = Arc::clone(&map);
+        let victim = scope.spawn(move || {
+            let mut attempts = 0u32;
+            victim_stm
+                .atomically(|tx| {
+                    attempts += 1;
+                    // Read key 1 (slot 1) WITHOUT writing it: the rival
+                    // can invalidate this while we are parked.
+                    victim_map.get(tx, &1)?;
+                    let base = victim_map.get(tx, &0)?.unwrap();
+                    // Eager update applied to the base structure NOW; the
+                    // forced retry must undo it, or the re-read of key 0
+                    // below would see 101 and commit 102.
+                    victim_map.put(tx, 0, base + 1)?;
+                    if attempts == 1 {
+                        ready_tx.send(()).unwrap();
+                        resume_rx.recv().unwrap();
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            attempts
+        });
+        ready_rx.recv().unwrap();
+        // Invalidate the victim's read of key 1 (slot 1 is not owned by
+        // the victim — it only read it), then let the victim try to
+        // commit.
+        stm.atomically(|tx| map.put(tx, 1, 5)).unwrap();
+        resume_tx.send(()).unwrap();
+        victim.join().unwrap()
+    });
+    assert_eq!(attempts, 2, "the staged conflict must force exactly one retry");
+    let (k0, k1) = stm
+        .atomically(|tx| Ok((map.get(tx, &0)?, map.get(tx, &1)?)))
+        .unwrap();
+    assert_eq!(k0, Some(101), "double-applied eager update detected");
+    assert_eq!(k1, Some(5));
+    assert!(stm.stats().conflicts > 0);
+}
+
+/// The replay log applies at most once per commit even when the same
+/// structure is touched through several wrappers of the same transaction.
+#[test]
+fn replay_applies_exactly_once_per_commit() {
+    let stm = Stm::new(StmConfig::default());
+    let map: MemoMap<u8, u64> = MemoMap::new(Arc::new(OptimisticLap::new(8)));
+    stm.atomically(|tx| {
+        map.put(tx, 1, 1)?;
+        map.put(tx, 1, 2)?;
+        map.put(tx, 1, 3)
+    })
+    .unwrap();
+    assert_eq!(stm.atomically(|tx| map.get(tx, &1)).unwrap(), Some(3));
+    assert_eq!(map.committed_size(), 1, "three puts of one key are one entry");
+}
+
+/// Lock requests for several abstract elements in one call acquire
+/// all-or-nothing from the caller's perspective: if any acquisition
+/// conflicts, the operation body never runs.
+#[test]
+fn multi_request_acquisition_is_all_or_nothing() {
+    let stm = Stm::new(StmConfig::default());
+    let lap: Arc<dyn LockAllocatorPolicy<u8>> =
+        Arc::new(PessimisticLap::with_compat(4, Compat::Exclusive));
+    let lock = AbstractLock::new(lap, UpdateStrategy::Eager);
+    let body_runs = Arc::new(AtomicU64::new(0));
+    let commits = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..3u8 {
+            let stm = stm.clone();
+            let lock = lock.clone();
+            let body_runs = Arc::clone(&body_runs);
+            let commits = Arc::clone(&commits);
+            scope.spawn(move || {
+                for i in 0..150u8 {
+                    // Overlapping multi-element requests in varying order.
+                    let (a, b) = if (t + i) % 2 == 0 { (0, 1) } else { (1, 0) };
+                    stm.atomically(|tx| {
+                        lock.with(
+                            tx,
+                            &[LockRequest::write(a), LockRequest::write(b)],
+                            |_tx| {
+                                body_runs.fetch_add(1, Ordering::Relaxed);
+                            },
+                        )
+                    })
+                    .unwrap();
+                    commits.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        body_runs.load(Ordering::Relaxed),
+        commits.load(Ordering::Relaxed),
+        "operation bodies must run exactly once per committed transaction"
+    );
+}
+
+/// Read-only transactions on lazy wrappers allocate no replay log and
+/// write nothing — the `readOnly` fast path of Figure 2b.
+#[test]
+fn read_only_transactions_are_write_free() {
+    let stm = Stm::new(StmConfig::default());
+    let map: SnapTrieMap<u8, u8> = SnapTrieMap::new(Arc::new(OptimisticLap::new(8)));
+    stm.atomically(|tx| map.put(tx, 1, 1)).unwrap();
+    let before = stm.stats();
+    for _ in 0..50 {
+        stm.atomically(|tx| {
+            map.get(tx, &1)?;
+            map.contains(tx, &2)
+        })
+        .unwrap();
+    }
+    let after = stm.stats();
+    assert_eq!(after.commits - before.commits, 50);
+    assert_eq!(after.conflicts, before.conflicts, "read-only load must be conflict-free");
+}
+
+/// User aborts release pessimistic abstract locks: a second transaction
+/// acquires them immediately afterwards.
+#[test]
+fn aborted_transactions_release_abstract_locks() {
+    let stm = Stm::new(StmConfig::default());
+    let map: SnapTrieMap<u8, u8> = SnapTrieMap::new(Arc::new(PessimisticLap::new(4)));
+    let result: Result<(), _> = stm.atomically(|tx| {
+        map.put(tx, 0, 1)?;
+        Err(TxError::abort("release my locks"))
+    });
+    assert!(result.is_err());
+    // Must not dead-block: the lock was released by the abort.
+    stm.atomically(|tx| map.put(tx, 0, 2)).unwrap();
+    assert_eq!(stm.atomically(|tx| map.get(tx, &0)).unwrap(), Some(2));
+}

@@ -1,0 +1,72 @@
+//! Randomized exponential backoff for the retry loop.
+
+use crate::config::BackoffConfig;
+
+/// Per-`atomically` backoff state. Uses a xorshift PRNG (no external
+/// dependencies) to jitter the spin window so colliding transactions
+/// desynchronize.
+#[derive(Debug)]
+pub(crate) struct Backoff {
+    config: BackoffConfig,
+    rng: u64,
+}
+
+impl Backoff {
+    pub(crate) fn new(config: BackoffConfig, seed: u64) -> Self {
+        // Avoid the all-zero xorshift fixed point.
+        Backoff { config, rng: seed | 1 }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Wait before retry attempt number `attempt` (1-based count of
+    /// *failures* so far).
+    pub(crate) fn wait(&mut self, attempt: u32) {
+        let shift = attempt.saturating_sub(1).min(20);
+        let window = (self.config.min_spins as u64)
+            .saturating_mul(1u64 << shift)
+            .min(self.config.max_spins as u64)
+            .max(1);
+        let spins = self.next_rand() % window + 1;
+        if attempt > self.config.yield_after {
+            std::thread::yield_now();
+        }
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_terminates_even_for_huge_attempts() {
+        let mut b = Backoff::new(BackoffConfig::default(), 42);
+        for attempt in [1, 2, 10, 100, u32::MAX] {
+            b.wait(attempt);
+        }
+    }
+
+    #[test]
+    fn rng_produces_varied_values() {
+        let mut b = Backoff::new(BackoffConfig::default(), 7);
+        let a = b.next_rand();
+        let c = b.next_rand();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_seed_is_coerced_nonzero() {
+        let mut b = Backoff::new(BackoffConfig::default(), 0);
+        assert_ne!(b.next_rand(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Runtime configuration: conflict-detection backend selection and
+//! contention-management knobs.
+
+/// Which conflict-detection strategy the runtime uses.
+///
+/// This is the right-hand table of Figure 1 in the paper, which classifies
+/// STMs by *when* they detect read/write and write/write conflicts:
+///
+/// | Backend | W/W detection | R/W detection | Closest published STM |
+/// |---|---|---|---|
+/// | [`Mixed`](ConflictDetection::Mixed) | eager (encounter-time ownership) | lazy (commit-time validation) | CCSTM / ScalaSTM default, TL2 with encounter-time write locking |
+/// | [`EagerAll`](ConflictDetection::EagerAll) | eager | eager (visible readers) | eager HTM-like / "early detection" STMs |
+/// | [`LazyAll`](ConflictDetection::LazyAll) | lazy | lazy | NOrec-style commit-time validation |
+///
+/// The choice matters for the Proust design space: per Theorem 5.2 of the
+/// paper, *eager/optimistic* Proustian objects are only opaque when the STM
+/// detects **both** kinds of conflict eagerly — i.e. under
+/// [`EagerAll`](ConflictDetection::EagerAll).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConflictDetection {
+    /// Eager write/write detection via encounter-time ownership, lazy
+    /// read/write detection via commit-time validation. This is the
+    /// default because it mirrors CCSTM, the backend used by the paper's
+    /// ScalaProust prototype.
+    #[default]
+    Mixed,
+    /// Fully eager detection: writers take encounter-time ownership *and*
+    /// readers are visible, so read/write conflicts surface at the moment
+    /// the second access happens. Required for opaque eager/optimistic
+    /// Proustian objects (Theorem 5.2).
+    EagerAll,
+    /// Fully lazy detection: all conflicts surface at commit time under a
+    /// global commit lock (NOrec-style). Writers never take ownership
+    /// during execution.
+    LazyAll,
+}
+
+impl ConflictDetection {
+    /// All backends, for exhaustive design-space sweeps.
+    pub const ALL: [ConflictDetection; 3] = [
+        ConflictDetection::Mixed,
+        ConflictDetection::EagerAll,
+        ConflictDetection::LazyAll,
+    ];
+
+    /// Whether write/write conflicts are detected eagerly.
+    pub fn eager_write_write(self) -> bool {
+        !matches!(self, ConflictDetection::LazyAll)
+    }
+
+    /// Whether read/write conflicts are detected eagerly.
+    pub fn eager_read_write(self) -> bool {
+        matches!(self, ConflictDetection::EagerAll)
+    }
+
+    /// Short stable name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConflictDetection::Mixed => "mixed",
+            ConflictDetection::EagerAll => "eager-all",
+            ConflictDetection::LazyAll => "lazy-all",
+        }
+    }
+}
+
+/// Contention-management (backoff) parameters for the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Number of busy-spin iterations for the first retry.
+    pub min_spins: u32,
+    /// Upper bound on spin iterations; the window doubles per consecutive
+    /// conflict until it reaches this cap.
+    pub max_spins: u32,
+    /// After this many consecutive conflicts the loop yields the thread to
+    /// the scheduler between attempts instead of pure spinning.
+    pub yield_after: u32,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig { min_spins: 32, max_spins: 1 << 14, yield_after: 8 }
+    }
+}
+
+/// Configuration for an [`Stm`](crate::Stm) runtime instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmConfig {
+    /// Conflict-detection backend (Figure 1, right-hand table).
+    pub detection: ConflictDetection,
+    /// Backoff parameters for conflict retries.
+    pub backoff: BackoffConfig,
+    /// If set, `atomically` gives up and surfaces the last conflict as an
+    /// abort after this many failed attempts. `None` retries forever, which
+    /// is the conventional STM contract; benchmarks set a bound so livelock
+    /// shows up as data rather than a hang (the paper reports exactly this
+    /// failure mode for pessimistic coupling in §7).
+    pub max_retries: Option<u32>,
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        StmConfig {
+            detection: ConflictDetection::default(),
+            backoff: BackoffConfig::default(),
+            max_retries: None,
+        }
+    }
+}
+
+impl StmConfig {
+    /// Configuration with the given detection backend and defaults
+    /// otherwise.
+    pub fn with_detection(detection: ConflictDetection) -> Self {
+        StmConfig { detection, ..StmConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_prototype() {
+        assert_eq!(StmConfig::default().detection, ConflictDetection::Mixed);
+    }
+
+    #[test]
+    fn eagerness_classification() {
+        assert!(ConflictDetection::Mixed.eager_write_write());
+        assert!(!ConflictDetection::Mixed.eager_read_write());
+        assert!(ConflictDetection::EagerAll.eager_write_write());
+        assert!(ConflictDetection::EagerAll.eager_read_write());
+        assert!(!ConflictDetection::LazyAll.eager_write_write());
+        assert!(!ConflictDetection::LazyAll.eager_read_write());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            ConflictDetection::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

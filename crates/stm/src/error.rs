@@ -1,0 +1,167 @@
+//! Error and control-flow types for transactions.
+
+use std::error::Error;
+use std::fmt;
+
+/// The result type returned by every transactional operation.
+///
+/// Transactional code composes with `?`: any operation that observes a
+/// conflict short-circuits out of the transaction body, and the runtime
+/// retry loop in [`Stm::atomically`](crate::Stm::atomically) decides whether
+/// to re-execute.
+pub type TxResult<T> = Result<T, TxError>;
+
+/// Why a transactional operation could not proceed.
+///
+/// Only [`TxError::Abort`] escapes to the caller of
+/// [`Stm::atomically`](crate::Stm::atomically); the other variants are
+/// consumed by the runtime's retry loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// A synchronization conflict was detected. The runtime rolls the
+    /// transaction back and retries after backoff.
+    Conflict(ConflictKind),
+    /// The transaction body requested a retry (e.g. a condition it waits
+    /// for does not hold yet). The runtime blocks until something in the
+    /// transaction's read set changes, then re-executes — the
+    /// condition-variable-like `retry` of composable memory transactions.
+    Retry,
+    /// The transaction body requested a permanent abort. The runtime rolls
+    /// back and returns the error to the caller without retrying.
+    Abort(AbortError),
+}
+
+impl TxError {
+    /// Convenience constructor for a user-level abort with a reason string.
+    pub fn abort(reason: impl Into<String>) -> Self {
+        TxError::Abort(AbortError::new(reason))
+    }
+
+    /// Whether the runtime should transparently retry the transaction.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, TxError::Abort(_))
+    }
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Conflict(kind) => write!(f, "transaction conflict: {kind}"),
+            TxError::Retry => write!(f, "transaction requested retry"),
+            TxError::Abort(err) => write!(f, "transaction aborted: {err}"),
+        }
+    }
+}
+
+impl Error for TxError {}
+
+impl From<AbortError> for TxError {
+    fn from(err: AbortError) -> Self {
+        TxError::Abort(err)
+    }
+}
+
+/// The specific kind of conflict that forced a rollback.
+///
+/// Exposed so that tests, benchmarks, and contention-management policies can
+/// distinguish (and count) the different ways transactions fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ConflictKind {
+    /// A value in the read set changed (or became locked) before commit.
+    ReadInvalid,
+    /// A read observed a version newer than the transaction's read version
+    /// and incremental revalidation failed.
+    ReadTooNew,
+    /// A write encountered a `TVar` owned by another live transaction.
+    WriteLocked,
+    /// A read encountered a `TVar` owned by another live transaction
+    /// (only reported eagerly by backends with eager write visibility).
+    ReadLocked,
+    /// An eager-read/write backend writer found visible readers it could
+    /// not wound.
+    VisibleReaders,
+    /// This transaction was wounded (doomed) by an older writer.
+    Wounded,
+    /// An abstract lock (pessimistic lock allocator policy) could not be
+    /// acquired.
+    AbstractLock,
+    /// A conflict reported by library code layered above the STM.
+    External(&'static str),
+}
+
+impl fmt::Display for ConflictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConflictKind::ReadInvalid => write!(f, "read-set entry invalidated"),
+            ConflictKind::ReadTooNew => write!(f, "read observed a too-new version"),
+            ConflictKind::WriteLocked => write!(f, "write target locked by another transaction"),
+            ConflictKind::ReadLocked => write!(f, "read target locked by another transaction"),
+            ConflictKind::VisibleReaders => write!(f, "visible readers blocked an eager write"),
+            ConflictKind::Wounded => write!(f, "wounded by an older transaction"),
+            ConflictKind::AbstractLock => write!(f, "abstract lock unavailable"),
+            ConflictKind::External(what) => write!(f, "external conflict: {what}"),
+        }
+    }
+}
+
+/// A permanent, user-requested transaction abort.
+///
+/// Returned to the caller of [`Stm::atomically`](crate::Stm::atomically)
+/// when the transaction body returns [`TxError::Abort`]. The runtime runs
+/// all rollback handlers before surfacing the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbortError {
+    reason: String,
+}
+
+impl AbortError {
+    /// Create an abort error with the given human-readable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        AbortError { reason: reason.into() }
+    }
+
+    /// The reason supplied when the abort was requested.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for AbortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl Error for AbortError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability() {
+        assert!(TxError::Conflict(ConflictKind::ReadInvalid).is_retryable());
+        assert!(TxError::Retry.is_retryable());
+        assert!(!TxError::abort("done").is_retryable());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for err in [
+            TxError::Conflict(ConflictKind::WriteLocked),
+            TxError::Retry,
+            TxError::abort("why"),
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn abort_round_trips_reason() {
+        let err = AbortError::new("insufficient funds");
+        assert_eq!(err.reason(), "insufficient funds");
+        let tx: TxError = err.into();
+        assert_eq!(tx, TxError::abort("insufficient funds"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Transaction-local storage, the analogue of ScalaSTM's `TxnLocal`.
+//!
+//! A [`TxnLocal<T>`] names a per-transaction slot: each transaction that
+//! touches it gets its own lazily-initialized `T`, dropped when the
+//! transaction finishes (each retry attempt starts fresh). The Proust
+//! replay logs (§4 of the paper) are transaction-local values.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::txn::Txn;
+
+static LOCAL_KEYS: AtomicU64 = AtomicU64::new(1);
+
+/// A handle naming one transaction-local slot of type `T`.
+///
+/// Cloning the handle aliases the same slot. The value is exposed as
+/// `Rc<RefCell<T>>` because transactions are thread-confined and handler
+/// closures (inverses, replays) need shared access to the same state as the
+/// transaction body.
+///
+/// # Examples
+///
+/// ```
+/// use proust_stm::{Stm, StmConfig, TxnLocal};
+///
+/// let stm = Stm::new(StmConfig::default());
+/// let scratch: TxnLocal<Vec<u32>> = TxnLocal::new(Vec::new);
+/// stm.atomically(|tx| {
+///     scratch.get(tx).borrow_mut().push(1);
+///     assert_eq!(scratch.get(tx).borrow().len(), 1);
+///     Ok(())
+/// })
+/// .unwrap();
+/// ```
+pub struct TxnLocal<T> {
+    key: u64,
+    init: Arc<dyn Fn() -> T + Send + Sync>,
+}
+
+impl<T> Clone for TxnLocal<T> {
+    fn clone(&self) -> Self {
+        TxnLocal { key: self.key, init: Arc::clone(&self.init) }
+    }
+}
+
+impl<T> fmt::Debug for TxnLocal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxnLocal").field("key", &self.key).finish()
+    }
+}
+
+impl<T: 'static> TxnLocal<T> {
+    /// Create a new slot whose per-transaction value is produced by `init`
+    /// on first access within each transaction.
+    pub fn new(init: impl Fn() -> T + Send + Sync + 'static) -> Self {
+        TxnLocal { key: LOCAL_KEYS.fetch_add(1, Ordering::Relaxed), init: Arc::new(init) }
+    }
+
+    /// Get this transaction's value, initializing it on first access.
+    pub fn get(&self, tx: &mut Txn) -> Rc<RefCell<T>> {
+        tx.local_entry(self.key, &*self.init)
+    }
+
+    /// Get this transaction's value only if it was already initialized.
+    ///
+    /// Replay logs use this to implement the read-only fast path of
+    /// Figure 2b: a read against a structure the transaction has not yet
+    /// written can go straight to the backing store without allocating a
+    /// log.
+    pub fn get_existing(&self, tx: &Txn) -> Option<Rc<RefCell<T>>> {
+        tx.local_entry_existing(self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stm, StmConfig};
+
+    #[test]
+    fn slots_are_per_transaction() {
+        let stm = Stm::new(StmConfig::default());
+        let local: TxnLocal<u32> = TxnLocal::new(|| 0);
+        stm.atomically(|tx| {
+            *local.get(tx).borrow_mut() += 1;
+            assert_eq!(*local.get(tx).borrow(), 1);
+            Ok(())
+        })
+        .unwrap();
+        // A second transaction starts from the initializer again.
+        stm.atomically(|tx| {
+            assert_eq!(*local.get(tx).borrow(), 0);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn get_existing_does_not_initialize() {
+        let stm = Stm::new(StmConfig::default());
+        let local: TxnLocal<u32> = TxnLocal::new(|| 7);
+        stm.atomically(|tx| {
+            assert!(local.get_existing(tx).is_none());
+            local.get(tx);
+            assert!(local.get_existing(tx).is_some());
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn distinct_locals_do_not_alias() {
+        let stm = Stm::new(StmConfig::default());
+        let a: TxnLocal<u32> = TxnLocal::new(|| 1);
+        let b: TxnLocal<u32> = TxnLocal::new(|| 2);
+        stm.atomically(|tx| {
+            assert_eq!(*a.get(tx).borrow(), 1);
+            assert_eq!(*b.get(tx).borrow(), 2);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cloned_handle_aliases_same_slot() {
+        let stm = Stm::new(StmConfig::default());
+        let a: TxnLocal<u32> = TxnLocal::new(|| 0);
+        let b = a.clone();
+        stm.atomically(|tx| {
+            *a.get(tx).borrow_mut() = 9;
+            assert_eq!(*b.get(tx).borrow(), 9);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn retry_attempts_start_fresh() {
+        let stm = Stm::new(StmConfig::default());
+        let local: TxnLocal<u32> = TxnLocal::new(|| 0);
+        let mut attempts = 0;
+        stm.atomically(|tx| {
+            attempts += 1;
+            assert_eq!(*local.get(tx).borrow(), 0, "stale local leaked into retry");
+            *local.get(tx).borrow_mut() = 5;
+            if attempts < 2 {
+                return tx.conflict(crate::ConflictKind::External("force retry"));
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(attempts, 2);
+    }
+}

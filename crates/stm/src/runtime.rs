@@ -1,0 +1,395 @@
+//! The STM runtime: the `atomically` retry loop and contention management.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backoff::Backoff;
+use crate::clock;
+use crate::config::StmConfig;
+use crate::error::{AbortError, TxError, TxResult};
+use crate::stats::{StmStats, StmStatsSnapshot};
+use crate::tvar::DynTVar;
+use crate::txn::Txn;
+
+/// Block (politely) until one of the watched locations changes version or
+/// becomes locked by a committing writer.
+fn wait_for_change(watch: &[(DynTVar, u64)]) {
+    use std::sync::atomic::Ordering;
+    let mut spins = 0u32;
+    loop {
+        for (tvar, version) in watch {
+            let meta = tvar.meta();
+            if meta.version.load(Ordering::Acquire) != *version
+                || meta.owner.load(Ordering::Acquire) != 0
+            {
+                return;
+            }
+        }
+        spins = spins.saturating_add(1);
+        if spins > 64 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+pub(crate) struct StmInner {
+    pub(crate) config: StmConfig,
+    pub(crate) stats: StmStats,
+    /// Global commit lock for the `LazyAll` (NOrec-style) backend.
+    pub(crate) commit_lock: Arc<Mutex<()>>,
+}
+
+/// An STM runtime instance.
+///
+/// The runtime owns the configuration (conflict-detection backend,
+/// backoff policy) and statistics; [`TVar`](crate::TVar)s themselves are
+/// free-standing. Cloning an `Stm` is cheap and shares the instance.
+///
+/// # Examples
+///
+/// ```
+/// use proust_stm::{Stm, StmConfig, TVar};
+///
+/// let stm = Stm::new(StmConfig::default());
+/// let account = TVar::new(100i64);
+/// stm.atomically(|tx| {
+///     let balance = account.read(tx)?;
+///     account.write(tx, balance - 30)
+/// })
+/// .unwrap();
+/// assert_eq!(account.load(), 70);
+/// ```
+#[derive(Clone)]
+pub struct Stm {
+    inner: Arc<StmInner>,
+}
+
+impl fmt::Debug for Stm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stm")
+            .field("config", &self.inner.config)
+            .field("stats", &self.inner.stats.snapshot())
+            .finish()
+    }
+}
+
+impl Default for Stm {
+    fn default() -> Self {
+        Stm::new(StmConfig::default())
+    }
+}
+
+impl Stm {
+    /// Create a runtime with the given configuration.
+    pub fn new(config: StmConfig) -> Stm {
+        Stm {
+            inner: Arc::new(StmInner {
+                config,
+                stats: StmStats::default(),
+                commit_lock: Arc::new(Mutex::new(())),
+            }),
+        }
+    }
+
+    /// The configuration this runtime was created with.
+    pub fn config(&self) -> &StmConfig {
+        &self.inner.config
+    }
+
+    /// A snapshot of the runtime's commit/abort/conflict counters.
+    pub fn stats(&self) -> StmStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Execute `body` atomically, retrying on conflicts.
+    ///
+    /// The closure may run many times; it must confine its side effects to
+    /// transactional operations and the [`Txn`](crate::Txn) lifecycle
+    /// handlers (which is exactly what the Proust wrappers arrange for
+    /// arbitrary data structures).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AbortError`] only when the body requests a permanent
+    /// abort via [`TxError::Abort`], or when
+    /// [`StmConfig::max_retries`](crate::StmConfig::max_retries) is set and
+    /// exhausted. Conflicts and [`TxError::Retry`] are handled internally.
+    pub fn atomically<A>(
+        &self,
+        mut body: impl FnMut(&mut Txn) -> TxResult<A>,
+    ) -> Result<A, AbortError> {
+        let birth = clock::now();
+        let mut backoff = Backoff::new(self.inner.config.backoff, birth.wrapping_mul(0x9e37_79b9));
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            self.inner.stats.record_start();
+            let mut tx = Txn::new(Arc::clone(&self.inner), attempt, birth);
+            let outcome = match body(&mut tx) {
+                Ok(value) => match tx.commit() {
+                    Ok(()) => {
+                        self.inner.stats.record_commit();
+                        return Ok(value);
+                    }
+                    Err(err) => Err(err),
+                },
+                Err(err) => Err(err),
+            };
+            match outcome {
+                Err(TxError::Conflict(_)) => {
+                    // Conflict counters were recorded at the raise site.
+                    tx.rollback();
+                }
+                Err(TxError::Retry) => {
+                    self.inner.stats.record_retry_requested();
+                    let watch = tx.watch_list();
+                    tx.rollback();
+                    // Harris-style blocking retry: there is no point
+                    // re-running until something the transaction read has
+                    // changed. With an empty read set, fall back to plain
+                    // backoff.
+                    if !watch.is_empty() {
+                        wait_for_change(&watch);
+                        continue;
+                    }
+                }
+                Err(TxError::Abort(err)) => {
+                    self.inner.stats.record_user_abort();
+                    tx.rollback();
+                    return Err(err);
+                }
+                Ok(()) => unreachable!("commit success returns directly"),
+            }
+            if let Some(max) = self.inner.config.max_retries {
+                if attempt >= max {
+                    return Err(AbortError::new(format!(
+                        "transaction gave up after {attempt} attempts"
+                    )));
+                }
+            }
+            backoff.wait(attempt);
+        }
+    }
+
+    /// Execute a read-only snapshot of transactional state, panicking if the
+    /// body tries to abort. Convenience for queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body returns [`TxError::Abort`].
+    pub fn read_only<A>(&self, body: impl FnMut(&mut Txn) -> TxResult<A>) -> A {
+        self.atomically(body)
+            .expect("read-only transaction must not abort")
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use crate::TVar;
+
+    /// `TxError::Retry` blocks until a watched location changes, giving
+    /// condition-variable-like composition (Harris et al.'s `retry`).
+    #[test]
+    fn retry_blocks_until_write() {
+        let stm = Stm::default();
+        let slot: TVar<Option<u32>> = TVar::new(None);
+        std::thread::scope(|scope| {
+            let consumer_stm = stm.clone();
+            let consumer_slot = slot.clone();
+            let consumer = scope.spawn(move || {
+                consumer_stm
+                    .atomically(|tx| match consumer_slot.read(tx)? {
+                        Some(value) => {
+                            consumer_slot.write(tx, None)?;
+                            Ok(value)
+                        }
+                        None => Err(TxError::Retry),
+                    })
+                    .unwrap()
+            });
+            // Give the consumer a chance to block, then publish.
+            std::thread::yield_now();
+            stm.atomically(|tx| slot.write(tx, Some(42))).unwrap();
+            assert_eq!(consumer.join().unwrap(), 42);
+        });
+        assert_eq!(slot.load(), None, "consumer must have taken the value");
+        assert!(stm.stats().retries_requested >= 1);
+    }
+
+    /// Retry with an empty read set degrades to plain backoff-and-rerun
+    /// rather than blocking forever.
+    #[test]
+    fn retry_without_reads_reruns() {
+        let stm = Stm::default();
+        let mut attempts = 0;
+        stm.atomically(|_tx| {
+            attempts += 1;
+            if attempts < 3 {
+                return Err(TxError::Retry);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(attempts, 3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConflictDetection;
+    use crate::TVar;
+
+    fn all_runtimes() -> Vec<Stm> {
+        ConflictDetection::ALL
+            .iter()
+            .map(|&d| Stm::new(StmConfig::with_detection(d)))
+            .collect()
+    }
+
+    #[test]
+    fn commit_publishes_all_backends() {
+        for stm in all_runtimes() {
+            let v = TVar::new(0);
+            stm.atomically(|tx| v.write(tx, 7)).unwrap();
+            assert_eq!(v.load(), 7, "backend {:?}", stm.config().detection);
+        }
+    }
+
+    #[test]
+    fn user_abort_rolls_back_all_backends() {
+        for stm in all_runtimes() {
+            let v = TVar::new(1);
+            let result = stm.atomically(|tx| {
+                v.write(tx, 99)?;
+                Err::<(), _>(TxError::abort("nope"))
+            });
+            assert!(result.is_err());
+            assert_eq!(v.load(), 1, "backend {:?}", stm.config().detection);
+        }
+    }
+
+    #[test]
+    fn max_retries_surfaces_as_abort() {
+        let stm = Stm::new(StmConfig {
+            max_retries: Some(3),
+            ..StmConfig::default()
+        });
+        let result: Result<(), _> = stm.atomically(|tx| tx.conflict(crate::ConflictKind::External("always")));
+        let err = result.unwrap_err();
+        assert!(err.reason().contains("3 attempts"));
+        assert_eq!(stm.stats().starts, 3);
+    }
+
+    #[test]
+    fn counter_increments_under_contention_all_backends() {
+        for stm in all_runtimes() {
+            let v = TVar::new(0u64);
+            let threads = 8;
+            let per_thread = 200;
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let stm = stm.clone();
+                    let v = v.clone();
+                    s.spawn(move || {
+                        for _ in 0..per_thread {
+                            stm.atomically(|tx| v.modify(tx, |x| x + 1)).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                v.load(),
+                threads * per_thread,
+                "lost updates under backend {:?}",
+                stm.config().detection
+            );
+        }
+    }
+
+    #[test]
+    fn transfers_conserve_total_all_backends() {
+        for stm in all_runtimes() {
+            let accounts: Vec<TVar<i64>> = (0..8).map(|_| TVar::new(1000)).collect();
+            std::thread::scope(|s| {
+                for t in 0..4usize {
+                    let stm = stm.clone();
+                    let accounts = accounts.clone();
+                    s.spawn(move || {
+                        let mut seed = (t as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                        let mut rng = move || {
+                            seed ^= seed << 13;
+                            seed ^= seed >> 7;
+                            seed ^= seed << 17;
+                            seed
+                        };
+                        for _ in 0..300 {
+                            let from = (rng() % 8) as usize;
+                            let to = ((from + 1 + (rng() % 7) as usize) % 8).min(7);
+                            let amount = (rng() % 10) as i64;
+                            stm.atomically(|tx| {
+                                let f = accounts[from].read(tx)?;
+                                let g = accounts[to].read(tx)?;
+                                accounts[from].write(tx, f - amount)?;
+                                accounts[to].write(tx, g + amount)
+                            })
+                            .unwrap();
+                        }
+                    });
+                }
+            });
+            let total: i64 = accounts.iter().map(|a| a.load()).sum();
+            assert_eq!(total, 8000, "money not conserved under {:?}", stm.config().detection);
+        }
+    }
+
+    #[test]
+    fn zombie_reads_never_observe_inconsistency() {
+        // Two TVars maintained equal by writers; readers assert equality
+        // inside transactions. Opacity means the assertion can never fire
+        // even transiently, on any backend.
+        for stm in all_runtimes() {
+            let a = TVar::new(0i64);
+            let b = TVar::new(0i64);
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let stm = stm.clone();
+                    let (a, b) = (a.clone(), b.clone());
+                    s.spawn(move || {
+                        for i in 0..500 {
+                            stm.atomically(|tx| {
+                                a.write(tx, i)?;
+                                b.write(tx, i)
+                            })
+                            .unwrap();
+                        }
+                    });
+                }
+                for _ in 0..2 {
+                    let stm = stm.clone();
+                    let (a, b) = (a.clone(), b.clone());
+                    s.spawn(move || {
+                        for _ in 0..500 {
+                            let (x, y) = stm
+                                .atomically(|tx| Ok((a.read(tx)?, b.read(tx)?)))
+                                .unwrap();
+                            assert_eq!(x, y, "opacity violation under {:?}", stm.config().detection);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn read_only_runs_queries() {
+        let stm = Stm::default();
+        let v = TVar::new(5);
+        assert_eq!(stm.read_only(|tx| v.read(tx)), 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Commit/abort/conflict counters for observability.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::ConflictKind;
+
+/// Aggregate statistics for one [`Stm`](crate::Stm) runtime.
+///
+/// All counters are monotone and updated with relaxed atomics; they are
+/// intended for benchmarking and diagnostics, not for synchronization.
+#[derive(Debug, Default)]
+pub struct StmStats {
+    starts: AtomicU64,
+    commits: AtomicU64,
+    user_aborts: AtomicU64,
+    conflicts: AtomicU64,
+    read_invalid: AtomicU64,
+    read_too_new: AtomicU64,
+    write_locked: AtomicU64,
+    read_locked: AtomicU64,
+    visible_readers: AtomicU64,
+    wounded: AtomicU64,
+    abstract_lock: AtomicU64,
+    external: AtomicU64,
+    retries_requested: AtomicU64,
+}
+
+/// A point-in-time copy of [`StmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StmStatsSnapshot {
+    /// Transaction attempts started (including retries).
+    pub starts: u64,
+    /// Successful commits.
+    pub commits: u64,
+    /// Permanent user aborts.
+    pub user_aborts: u64,
+    /// Total conflicts of any kind.
+    pub conflicts: u64,
+    /// Conflicts where a read-set entry was invalidated at commit.
+    pub read_invalid: u64,
+    /// Conflicts where a read observed a too-new version.
+    pub read_too_new: u64,
+    /// Conflicts on encounter-time write ownership.
+    pub write_locked: u64,
+    /// Conflicts where a read hit a locked location.
+    pub read_locked: u64,
+    /// Eager writers blocked by visible readers.
+    pub visible_readers: u64,
+    /// Transactions wounded by older transactions.
+    pub wounded: u64,
+    /// Abstract-lock acquisition failures (pessimistic Proust).
+    pub abstract_lock: u64,
+    /// Conflicts raised by code layered above the STM.
+    pub external: u64,
+    /// User-requested retries.
+    pub retries_requested: u64,
+}
+
+impl StmStatsSnapshot {
+    /// Fraction of started attempts that committed, in `[0, 1]`.
+    pub fn commit_rate(&self) -> f64 {
+        if self.starts == 0 {
+            1.0
+        } else {
+            self.commits as f64 / self.starts as f64
+        }
+    }
+}
+
+impl fmt::Display for StmStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "starts={} commits={} conflicts={} (rd-inval={} rd-new={} wr-lock={} rd-lock={} vis-rd={} wounded={} abs-lock={} ext={}) user-aborts={} retries={}",
+            self.starts,
+            self.commits,
+            self.conflicts,
+            self.read_invalid,
+            self.read_too_new,
+            self.write_locked,
+            self.read_locked,
+            self.visible_readers,
+            self.wounded,
+            self.abstract_lock,
+            self.external,
+            self.user_aborts,
+            self.retries_requested,
+        )
+    }
+}
+
+impl StmStats {
+    pub(crate) fn record_start(&self) {
+        self.starts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_user_abort(&self) {
+        self.user_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retry_requested(&self) {
+        self.retries_requested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_conflict(&self, kind: ConflictKind) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+        let counter = match kind {
+            ConflictKind::ReadInvalid => &self.read_invalid,
+            ConflictKind::ReadTooNew => &self.read_too_new,
+            ConflictKind::WriteLocked => &self.write_locked,
+            ConflictKind::ReadLocked => &self.read_locked,
+            ConflictKind::VisibleReaders => &self.visible_readers,
+            ConflictKind::Wounded => &self.wounded,
+            ConflictKind::AbstractLock => &self.abstract_lock,
+            ConflictKind::External(_) => &self.external,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            starts: self.starts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            user_aborts: self.user_aborts.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            read_invalid: self.read_invalid.load(Ordering::Relaxed),
+            read_too_new: self.read_too_new.load(Ordering::Relaxed),
+            write_locked: self.write_locked.load(Ordering::Relaxed),
+            read_locked: self.read_locked.load(Ordering::Relaxed),
+            visible_readers: self.visible_readers.load(Ordering::Relaxed),
+            wounded: self.wounded.load(Ordering::Relaxed),
+            abstract_lock: self.abstract_lock.load(Ordering::Relaxed),
+            external: self.external.load(Ordering::Relaxed),
+            retries_requested: self.retries_requested.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_kinds_route_to_their_counter() {
+        let stats = StmStats::default();
+        stats.record_conflict(ConflictKind::WriteLocked);
+        stats.record_conflict(ConflictKind::WriteLocked);
+        stats.record_conflict(ConflictKind::ReadInvalid);
+        stats.record_conflict(ConflictKind::External("abstract"));
+        let snap = stats.snapshot();
+        assert_eq!(snap.conflicts, 4);
+        assert_eq!(snap.write_locked, 2);
+        assert_eq!(snap.read_invalid, 1);
+        assert_eq!(snap.external, 1);
+    }
+
+    #[test]
+    fn commit_rate_handles_zero_starts() {
+        assert_eq!(StmStats::default().snapshot().commit_rate(), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let stats = StmStats::default();
+        stats.record_start();
+        stats.record_commit();
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("starts=1"));
+        assert!(text.contains("commits=1"));
+    }
+}

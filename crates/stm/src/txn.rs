@@ -1,0 +1,520 @@
+//! The transaction context: read/write sets, lifecycle handlers, and the
+//! commit/rollback protocols for each conflict-detection backend.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::clock;
+use crate::config::ConflictDetection;
+use crate::error::{ConflictKind, TxError, TxResult};
+use crate::runtime::StmInner;
+use crate::tvar::{as_dyn, observe, DynTVar, TVarData, TxnShared, TXN_ABORTED, TXN_COMMITTED};
+
+/// How a transaction finished; passed to [`Txn::on_end`] handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnOutcome {
+    /// The transaction committed; its effects are permanent.
+    Committed,
+    /// The transaction rolled back (conflict, retry, or user abort).
+    Aborted,
+}
+
+struct ReadEntry {
+    tvar: DynTVar,
+    version: u64,
+}
+
+struct WriteEntry {
+    tvar: DynTVar,
+    value: Box<dyn Any + Send>,
+}
+
+/// A running transaction.
+///
+/// A `Txn` is handed to the closure passed to
+/// [`Stm::atomically`](crate::Stm::atomically); all transactional reads and
+/// writes, transaction-local state, and lifecycle handlers go through it.
+/// It is deliberately `!Send`: a transaction belongs to the thread that
+/// started it.
+///
+/// # Lifecycle handlers
+///
+/// The Proust framework is built on three hook points:
+///
+/// * [`on_abort`](Txn::on_abort) — *inverse operations* for the eager
+///   update strategy; run in reverse registration order during rollback.
+/// * [`on_commit_locked`](Txn::on_commit_locked) — *replay logs* for the
+///   lazy update strategy; run at the serialization point, after validation
+///   succeeds and while commit ownership is held ("behind the STM's native
+///   locking mechanisms", §4 of the paper).
+/// * [`on_end`](Txn::on_end) — *abstract lock release* for the pessimistic
+///   lock allocator policy; run after the outcome is decided and all
+///   write-back has completed.
+pub struct Txn {
+    shared: Arc<TxnShared>,
+    stm: Arc<StmInner>,
+    read_version: u64,
+    attempt: u32,
+    reads: Vec<ReadEntry>,
+    read_ids: HashSet<u64>,
+    writes: BTreeMap<u64, WriteEntry>,
+    /// TVars whose `owner` word this transaction holds.
+    owned: Vec<DynTVar>,
+    /// TVars where this transaction registered as a visible reader.
+    registered: Vec<DynTVar>,
+    locals: HashMap<u64, Box<dyn Any>>,
+    commit_locked_handlers: Vec<Box<dyn FnOnce()>>,
+    abort_handlers: Vec<Box<dyn FnOnce()>>,
+    end_handlers: Vec<Box<dyn FnOnce(TxnOutcome)>>,
+    finished: bool,
+    // !Send / !Sync: transactions are thread-confined.
+    _not_send: std::marker::PhantomData<Rc<()>>,
+}
+
+impl fmt::Debug for Txn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Txn")
+            .field("id", &self.shared.id)
+            .field("birth", &self.shared.birth)
+            .field("read_version", &self.read_version)
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .field("attempt", &self.attempt)
+            .finish()
+    }
+}
+
+impl Txn {
+    pub(crate) fn new(stm: Arc<StmInner>, attempt: u32, birth: u64) -> Txn {
+        let read_version = clock::now();
+        Txn {
+            shared: Arc::new(TxnShared::new(clock::next_txn_id(), birth)),
+            stm,
+            read_version,
+            attempt,
+            reads: Vec::new(),
+            read_ids: HashSet::new(),
+            writes: BTreeMap::new(),
+            owned: Vec::new(),
+            registered: Vec::new(),
+            locals: HashMap::new(),
+            commit_locked_handlers: Vec::new(),
+            abort_handlers: Vec::new(),
+            end_handlers: Vec::new(),
+            finished: false,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Unique id of this transaction attempt.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Clock value at the transaction's *first* attempt. Retries keep their
+    /// original birth date so long-suffering transactions age into priority
+    /// under wound-wait arbitration.
+    pub fn birth(&self) -> u64 {
+        self.shared.birth
+    }
+
+    /// 1-based attempt number (1 = first execution, 2 = first retry, ...).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The conflict-detection backend this transaction runs under.
+    pub fn detection(&self) -> ConflictDetection {
+        self.stm.config.detection
+    }
+
+    /// Raise a conflict from code layered above the STM (e.g. an abstract
+    /// lock implementation). Records it in the runtime statistics and
+    /// returns the error to short-circuit the transaction body.
+    pub fn conflict<T>(&self, kind: ConflictKind) -> TxResult<T> {
+        self.stm.stats.record_conflict(kind);
+        Err(TxError::Conflict(kind))
+    }
+
+    /// Register an inverse operation, run (in reverse registration order)
+    /// if the transaction rolls back. This is the hook the *eager* update
+    /// strategy uses.
+    pub fn on_abort(&mut self, f: impl FnOnce() + 'static) {
+        self.abort_handlers.push(Box::new(f));
+    }
+
+    /// Register a handler to run at the serialization point: after commit
+    /// validation succeeds, while the commit's ownership of all written
+    /// locations is still held. This is the hook replay logs use to apply
+    /// lazy updates atomically.
+    pub fn on_commit_locked(&mut self, f: impl FnOnce() + 'static) {
+        self.commit_locked_handlers.push(Box::new(f));
+    }
+
+    /// Register a handler to run once the transaction's outcome is decided
+    /// and write-back has completed. This is the hook pessimistic abstract
+    /// locks use to release themselves on commit *or* abort.
+    pub fn on_end(&mut self, f: impl FnOnce(TxnOutcome) + 'static) {
+        self.end_handlers.push(Box::new(f));
+    }
+
+    /// Whether another transaction has wounded (doomed) this one.
+    pub fn is_doomed(&self) -> bool {
+        self.shared.doomed.load(Ordering::Acquire)
+    }
+
+    fn check_doomed(&self) -> TxResult<()> {
+        if self.is_doomed() {
+            self.stm.stats.record_conflict(ConflictKind::Wounded);
+            Err(TxError::Conflict(ConflictKind::Wounded))
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads and writes
+    // ------------------------------------------------------------------
+
+    pub(crate) fn read_tvar<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        data: &Arc<TVarData<T>>,
+    ) -> TxResult<T> {
+        self.check_doomed()?;
+        let id = data.meta.id;
+        if let Some(entry) = self.writes.get(&id) {
+            let value = entry
+                .value
+                .downcast_ref::<T>()
+                .expect("write-set entry type matches its TVar")
+                .clone();
+            return Ok(value);
+        }
+        if self.detection() == ConflictDetection::EagerAll && !self.read_ids.contains(&id) {
+            data.meta.register_reader(&self.shared);
+            self.registered.push(as_dyn(data));
+        }
+        let (version, value) = match observe(data, self.shared.id) {
+            Some(observed) => observed,
+            None => return self.conflict(ConflictKind::ReadLocked),
+        };
+        if version > self.read_version {
+            self.extend_read_version()?;
+        }
+        if self.read_ids.insert(id) {
+            self.reads.push(ReadEntry { tvar: as_dyn(data), version });
+        }
+        Ok(value)
+    }
+
+    pub(crate) fn write_tvar<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        data: &Arc<TVarData<T>>,
+        value: T,
+    ) -> TxResult<()> {
+        self.check_doomed()?;
+        let id = data.meta.id;
+        if !self.writes.contains_key(&id) && self.detection().eager_write_write() {
+            match data.meta.owner.compare_exchange(
+                0,
+                self.shared.id,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => self.owned.push(as_dyn(data)),
+                Err(_other) => return self.conflict(ConflictKind::WriteLocked),
+            }
+            if self.detection() == ConflictDetection::EagerAll
+                && !data.meta.foreign_readers(self.shared.id).is_empty()
+            {
+                // Eager read/write detection, reader-wins: a writer never
+                // proceeds past visible active readers. (Wounding readers
+                // instead would leave a window where a doomed reader that
+                // has already finished its STM accesses observes an eager
+                // base-structure mutation — exactly the opacity leak
+                // Theorem 5.2 rules out.) Release the ownership we just
+                // took and retry after backoff.
+                data.meta.owner.store(0, Ordering::Release);
+                self.owned.retain(|t| t.meta().id != id);
+                return self.conflict(ConflictKind::VisibleReaders);
+            }
+        }
+        self.writes.insert(id, WriteEntry { tvar: as_dyn(data), value: Box::new(value) });
+        Ok(())
+    }
+
+    /// Incrementally revalidate the read set against the current clock so
+    /// the transaction can keep running after observing a newer version
+    /// (TL2 timestamp extension). Preserves opacity: either every prior
+    /// read is still current, or the transaction conflicts.
+    fn extend_read_version(&mut self) -> TxResult<()> {
+        let new_read_version = clock::now();
+        self.validate_reads()?;
+        self.read_version = new_read_version;
+        Ok(())
+    }
+
+    fn validate_reads(&self) -> TxResult<()> {
+        for entry in &self.reads {
+            let meta = entry.tvar.meta();
+            let owner = meta.owner.load(Ordering::Acquire);
+            if owner != 0 && owner != self.shared.id {
+                return self.conflict(ConflictKind::ReadInvalid);
+            }
+            if meta.version.load(Ordering::Acquire) != entry.version {
+                return self.conflict(ConflictKind::ReadInvalid);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction-local storage
+    // ------------------------------------------------------------------
+
+    pub(crate) fn local_entry<T: 'static>(
+        &mut self,
+        key: u64,
+        init: &dyn Fn() -> T,
+    ) -> Rc<RefCell<T>> {
+        let slot = self
+            .locals
+            .entry(key)
+            .or_insert_with(|| Box::new(Rc::new(RefCell::new(init()))));
+        slot.downcast_ref::<Rc<RefCell<T>>>()
+            .expect("transaction-local slot type matches its TxnLocal key")
+            .clone()
+    }
+
+    pub(crate) fn local_entry_existing<T: 'static>(&self, key: u64) -> Option<Rc<RefCell<T>>> {
+        self.locals
+            .get(&key)
+            .map(|slot| {
+                slot.downcast_ref::<Rc<RefCell<T>>>()
+                    .expect("transaction-local slot type matches its TxnLocal key")
+                    .clone()
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / rollback
+    // ------------------------------------------------------------------
+
+    pub(crate) fn commit(&mut self) -> TxResult<()> {
+        self.check_doomed()?;
+        match self.detection() {
+            ConflictDetection::Mixed | ConflictDetection::EagerAll => {
+                // Write targets are already owned (encounter-time).
+                self.validate_reads()?;
+                self.write_back();
+            }
+            ConflictDetection::LazyAll => {
+                let commit_lock = Arc::clone(&self.stm.commit_lock);
+                let _guard = commit_lock.lock();
+                self.acquire_write_ownership()?;
+                self.validate_reads()?;
+                self.write_back();
+            }
+        }
+        self.finished = true;
+        self.shared.status.store(TXN_COMMITTED, Ordering::Release);
+        self.release_reader_registrations();
+        self.owned.clear(); // ownership was released by write-back
+        for handler in self.end_handlers.drain(..) {
+            handler(TxnOutcome::Committed);
+        }
+        Ok(())
+    }
+
+    /// Acquire commit-time ownership of every write target (lazy backend
+    /// only; eager backends acquired at encounter time). Runs under the
+    /// global commit lock, so the only contention is transient
+    /// (`store_now` or a racing eager runtime, which is unsupported).
+    fn acquire_write_ownership(&mut self) -> TxResult<()> {
+        for entry in self.writes.values() {
+            let meta = entry.tvar.meta();
+            let mut acquired = false;
+            for _ in 0..1 << 16 {
+                if meta
+                    .owner
+                    .compare_exchange(0, self.shared.id, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    acquired = true;
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            if !acquired {
+                return self.conflict(ConflictKind::WriteLocked);
+            }
+            self.owned.push(Arc::clone(&entry.tvar));
+        }
+        Ok(())
+    }
+
+    /// The serialization point: run replay handlers, then publish buffered
+    /// writes with a fresh version stamp.
+    fn write_back(&mut self) {
+        for handler in self.commit_locked_handlers.drain(..) {
+            handler();
+        }
+        if self.writes.is_empty() {
+            return;
+        }
+        let write_version = clock::tick();
+        for (_, entry) in std::mem::take(&mut self.writes) {
+            entry.tvar.commit_write(entry.value, write_version);
+        }
+    }
+
+    /// Snapshot of the read set used to implement blocking `retry`: the
+    /// runtime waits until one of these versions moves before re-running
+    /// the transaction.
+    pub(crate) fn watch_list(&self) -> Vec<(DynTVar, u64)> {
+        self.reads
+            .iter()
+            .map(|entry| (Arc::clone(&entry.tvar), entry.version))
+            .collect()
+    }
+
+    pub(crate) fn rollback(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        // Inverses run first, in reverse order, while any encounter-time
+        // ownership (and the caller's abstract locks) are still held.
+        for handler in self.abort_handlers.drain(..).rev() {
+            handler();
+        }
+        for tvar in self.owned.drain(..) {
+            tvar.meta().owner.store(0, Ordering::Release);
+        }
+        self.release_reader_registrations();
+        self.writes.clear();
+        self.reads.clear();
+        self.read_ids.clear();
+        self.commit_locked_handlers.clear();
+        self.shared.status.store(TXN_ABORTED, Ordering::Release);
+        for handler in self.end_handlers.drain(..) {
+            handler(TxnOutcome::Aborted);
+        }
+    }
+
+    fn release_reader_registrations(&mut self) {
+        for tvar in self.registered.drain(..) {
+            tvar.meta().deregister_reader(self.shared.id);
+        }
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        // Panic (or early-return) safety: never leave ownership or reader
+        // registrations behind.
+        if !self.finished {
+            self.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ConflictKind, Stm, StmConfig, TVar, TxError, TxnOutcome};
+
+    #[test]
+    fn read_your_own_write() {
+        let stm = Stm::new(StmConfig::default());
+        let v = TVar::new(1);
+        let out = stm
+            .atomically(|tx| {
+                v.write(tx, 2)?;
+                v.read(tx)
+            })
+            .unwrap();
+        assert_eq!(out, 2);
+        assert_eq!(v.load(), 2);
+    }
+
+    #[test]
+    fn abort_handlers_run_in_reverse_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let stm = Stm::new(StmConfig::default());
+        let order: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut first = true;
+        let result: Result<(), _> = stm.atomically(|tx| {
+            if first {
+                first = false;
+                let (a, b) = (order.clone(), order.clone());
+                tx.on_abort(move || a.borrow_mut().push(1));
+                tx.on_abort(move || b.borrow_mut().push(2));
+                return Err(TxError::abort("stop"));
+            }
+            Ok(())
+        });
+        assert!(result.is_err());
+        assert_eq!(*order.borrow(), vec![2, 1]);
+    }
+
+    #[test]
+    fn end_handlers_see_outcome() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let stm = Stm::new(StmConfig::default());
+        let seen: Rc<RefCell<Vec<TxnOutcome>>> = Rc::default();
+        let s = seen.clone();
+        stm.atomically(move |tx| {
+            let s = s.clone();
+            tx.on_end(move |outcome| s.borrow_mut().push(outcome));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(*seen.borrow(), vec![TxnOutcome::Committed]);
+    }
+
+    #[test]
+    fn commit_locked_handlers_run_on_commit_only() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let stm = Stm::new(StmConfig::default());
+        let ran = Rc::new(Cell::new(0));
+        let r = ran.clone();
+        let _: Result<(), _> = stm.atomically(move |tx| {
+            let r = r.clone();
+            tx.on_commit_locked(move || r.set(r.get() + 1));
+            Err(TxError::abort("no"))
+        });
+        assert_eq!(ran.get(), 0);
+        let r = ran.clone();
+        stm.atomically(move |tx| {
+            let r = r.clone();
+            tx.on_commit_locked(move || r.set(r.get() + 1));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ran.get(), 1);
+    }
+
+    #[test]
+    fn external_conflict_is_counted_and_retried() {
+        let stm = Stm::new(StmConfig::default());
+        let mut attempts = 0;
+        stm.atomically(|tx| {
+            attempts += 1;
+            if attempts < 3 {
+                return tx.conflict(ConflictKind::External("test"));
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(attempts, 3);
+        assert_eq!(stm.stats().external, 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! The bounded exhaustive checker for Definition 3.1.
+//!
+//! A conflict abstraction is *correct* if, whenever `m(ᾱ)` and `n(β̄)` do
+//! not commute in state σ, their access sets at σ collide on some STM
+//! location (read/write, write/read, or write/write). The checker
+//! enumerates every `(state, op, op)` triple of a bounded model and
+//! reports the first violation as a counterexample.
+
+use std::fmt;
+
+use crate::commute::commutes;
+use crate::model::AdtModel;
+
+/// The locations an operation reads and writes (the output of the
+/// `f_i^{m,rd}` / `f_i^{m,wr}` functions for all `i`). Mirrors
+/// `proust_core::AccessSet`; duplicated here so the verifier stays
+/// dependency-free.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Access {
+    /// Locations read.
+    pub reads: Vec<usize>,
+    /// Locations written.
+    pub writes: Vec<usize>,
+}
+
+impl Access {
+    /// An access set touching nothing.
+    pub fn empty() -> Self {
+        Access::default()
+    }
+
+    /// An access set reading the given locations.
+    pub fn reading(locations: impl IntoIterator<Item = usize>) -> Self {
+        Access { reads: locations.into_iter().collect(), writes: Vec::new() }
+    }
+
+    /// An access set writing the given locations.
+    pub fn writing(locations: impl IntoIterator<Item = usize>) -> Self {
+        Access { reads: Vec::new(), writes: locations.into_iter().collect() }
+    }
+
+    /// Definition 3.1's conflict relation.
+    pub fn conflicts_with(&self, other: &Access) -> bool {
+        let hits = |writes: &[usize], target: &Access| {
+            writes
+                .iter()
+                .any(|loc| target.reads.contains(loc) || target.writes.contains(loc))
+        };
+        hits(&self.writes, other) || hits(&other.writes, self)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rd{:?} wr{:?}", self.reads, self.writes)
+    }
+}
+
+/// A violation of Definition 3.1: two non-commuting operations whose
+/// access sets do not collide.
+#[derive(Debug, Clone)]
+pub struct CounterExample<M: AdtModel> {
+    /// The state σ in which the operations fail to commute.
+    pub state: M::State,
+    /// The first operation.
+    pub op_a: M::Op,
+    /// The second operation.
+    pub op_b: M::Op,
+    /// `op_a`'s access set at σ.
+    pub access_a: Access,
+    /// `op_b`'s access set at σ.
+    pub access_b: Access,
+}
+
+impl<M: AdtModel> fmt::Display for CounterExample<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "in state {:?}, {:?} [{}] and {:?} [{}] do not commute yet do not conflict",
+            self.state, self.op_a, self.access_a, self.op_b, self.access_b
+        )
+    }
+}
+
+/// Outcome of a conflict-abstraction check.
+#[derive(Debug)]
+pub enum CheckResult<M: AdtModel> {
+    /// Definition 3.1 holds on the whole bounded space; `pairs_checked`
+    /// reports the number of `(state, op, op)` triples examined.
+    Correct {
+        /// Number of triples examined.
+        pairs_checked: usize,
+    },
+    /// The abstraction misses a conflict.
+    Unsound(CounterExample<M>),
+}
+
+impl<M: AdtModel> CheckResult<M> {
+    /// Whether the abstraction passed.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, CheckResult::Correct { .. })
+    }
+}
+
+/// Check a conflict abstraction against a model, exhaustively over the
+/// bounded space (Definition 3.1).
+///
+/// `ca(op, state)` is the abstraction: the access set operation `op`
+/// performs when invoked in abstract state `state`.
+pub fn check_conflict_abstraction<M: AdtModel>(
+    model: &M,
+    ca: impl Fn(&M::Op, &M::State) -> Access,
+) -> CheckResult<M> {
+    let states = model.states();
+    let ops = model.ops();
+    let mut pairs_checked = 0;
+    for state in &states {
+        for a in &ops {
+            for b in &ops {
+                pairs_checked += 1;
+                if commutes(model, state, a, b) {
+                    continue;
+                }
+                let access_a = ca(a, state);
+                let access_b = ca(b, state);
+                if !access_a.conflicts_with(&access_b) {
+                    return CheckResult::Unsound(CounterExample {
+                        state: state.clone(),
+                        op_a: a.clone(),
+                        op_b: b.clone(),
+                        access_a,
+                        access_b,
+                    });
+                }
+            }
+        }
+    }
+    CheckResult::Correct { pairs_checked }
+}
+
+/// Count, over the bounded space, how often the abstraction reports a
+/// conflict for a pair that actually commutes — the *false conflict* rate
+/// Proust aims to minimize. Returns `(false_conflicts, commuting_pairs)`.
+pub fn false_conflict_rate<M: AdtModel>(
+    model: &M,
+    ca: impl Fn(&M::Op, &M::State) -> Access,
+) -> (usize, usize) {
+    let states = model.states();
+    let ops = model.ops();
+    let mut false_conflicts = 0;
+    let mut commuting_pairs = 0;
+    for state in &states {
+        for a in &ops {
+            for b in &ops {
+                if commutes(model, state, a, b) {
+                    commuting_pairs += 1;
+                    if ca(a, state).conflicts_with(&ca(b, state)) {
+                        false_conflicts += 1;
+                    }
+                }
+            }
+        }
+    }
+    (false_conflicts, commuting_pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CounterModel, CounterOp, MapModel, MapModelOp, RegisterModel, RegisterOp};
+
+    /// The §3 counter abstraction with a configurable threshold.
+    fn counter_ca(threshold: u32) -> impl Fn(&CounterOp, &u32) -> Access {
+        move |op, state| match op {
+            CounterOp::Incr if *state < threshold => Access::reading([0]),
+            CounterOp::Decr if *state < threshold => Access::writing([0]),
+            _ => Access::empty(),
+        }
+    }
+
+    #[test]
+    fn paper_counter_abstraction_is_correct() {
+        let model = CounterModel { max: 8 };
+        let result = check_conflict_abstraction(&model, counter_ca(2));
+        assert!(result.is_correct(), "threshold 2 must satisfy Definition 3.1: {result:?}");
+    }
+
+    #[test]
+    fn threshold_one_is_unsound() {
+        // At state 1, two decrs don't commute, but with threshold 1 neither
+        // touches ℓ₀ — the checker must find exactly this counterexample.
+        let model = CounterModel { max: 8 };
+        match check_conflict_abstraction(&model, counter_ca(1)) {
+            CheckResult::Unsound(cex) => {
+                assert_eq!(cex.state, 1);
+                assert_eq!((cex.op_a, cex.op_b), (CounterOp::Decr, CounterOp::Decr));
+            }
+            CheckResult::Correct { .. } => panic!("threshold 1 must be rejected"),
+        }
+    }
+
+    #[test]
+    fn always_conflict_abstraction_is_correct_but_wasteful() {
+        // Writing ℓ₀ on every op is trivially sound — and maximally
+        // imprecise: every commuting pair also conflicts.
+        let model = CounterModel { max: 4 };
+        let everything = |_op: &CounterOp, _state: &u32| Access::writing([0]);
+        assert!(check_conflict_abstraction(&model, everything).is_correct());
+        let (false_conflicts, commuting) = false_conflict_rate(&model, everything);
+        assert_eq!(false_conflicts, commuting, "every commuting pair falsely conflicts");
+        // The paper's abstraction has far fewer false conflicts.
+        let (precise, _) = false_conflict_rate(&model, counter_ca(2));
+        assert!(precise < false_conflicts);
+    }
+
+    #[test]
+    fn per_key_map_abstraction_is_correct() {
+        let model = MapModel { keys: 2, values: 2 };
+        let per_key = |op: &MapModelOp, _state: &std::collections::BTreeMap<u8, u8>| {
+            let slot = op.key() as usize;
+            if op.is_update() {
+                Access::writing([slot])
+            } else {
+                Access::reading([slot])
+            }
+        };
+        assert!(check_conflict_abstraction(&model, per_key).is_correct());
+    }
+
+    #[test]
+    fn striped_map_abstraction_is_correct_with_collisions() {
+        // k mod M striping stays sound (collisions only add conflicts).
+        let model = MapModel { keys: 3, values: 2 };
+        let striped = |op: &MapModelOp, _state: &std::collections::BTreeMap<u8, u8>| {
+            let slot = (op.key() % 2) as usize;
+            if op.is_update() {
+                Access::writing([slot])
+            } else {
+                Access::reading([slot])
+            }
+        };
+        assert!(check_conflict_abstraction(&model, striped).is_correct());
+    }
+
+    #[test]
+    fn read_only_map_abstraction_is_rejected() {
+        let model = MapModel { keys: 2, values: 2 };
+        let broken = |op: &MapModelOp, _state: &std::collections::BTreeMap<u8, u8>| {
+            Access::reading([op.key() as usize])
+        };
+        assert!(!check_conflict_abstraction(&model, broken).is_correct());
+    }
+
+    #[test]
+    fn register_needs_read_write_tracking() {
+        let model = RegisterModel { values: 2 };
+        let rw = |op: &RegisterOp, _state: &u8| match op {
+            RegisterOp::Read => Access::reading([0]),
+            RegisterOp::Write(_) => Access::writing([0]),
+        };
+        assert!(check_conflict_abstraction(&model, rw).is_correct());
+        let silent = |_op: &RegisterOp, _state: &u8| Access::empty();
+        assert!(!check_conflict_abstraction(&model, silent).is_correct());
+    }
+}

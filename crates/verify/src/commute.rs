@@ -1,0 +1,95 @@
+//! The commutativity oracle.
+//!
+//! "Two operations commute if applying them in either order yields the
+//! same return values and the same final object state." (§3)
+
+use crate::model::AdtModel;
+
+/// Whether `a` and `b` commute in `state` under `model`'s semantics.
+pub fn commutes<M: AdtModel>(model: &M, state: &M::State, a: &M::Op, b: &M::Op) -> bool {
+    let (s_a, ret_a_first) = model.apply(state, a);
+    let (s_ab, ret_b_second) = model.apply(&s_a, b);
+    let (s_b, ret_b_first) = model.apply(state, b);
+    let (s_ba, ret_a_second) = model.apply(&s_b, a);
+    s_ab == s_ba && ret_a_first == ret_a_second && ret_b_first == ret_b_second
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{
+        CounterModel, CounterOp, MapModel, MapModelOp, PQueueModel, PQueueModelOp, RegisterModel,
+        RegisterOp,
+    };
+
+    #[test]
+    fn counter_cases_from_section_3() {
+        let m = CounterModel { max: 60 };
+        // Case 1: value 52, incr/decr commute.
+        assert!(commutes(&m, &52, &CounterOp::Incr, &CounterOp::Decr));
+        // Case 2: value 0, two incrs commute.
+        assert!(commutes(&m, &0, &CounterOp::Incr, &CounterOp::Incr));
+        // Case 3: value 1, two decrs do NOT commute (one errors).
+        assert!(!commutes(&m, &1, &CounterOp::Decr, &CounterOp::Decr));
+        // Value 0: incr/decr do not commute (order decides the flag).
+        assert!(!commutes(&m, &0, &CounterOp::Incr, &CounterOp::Decr));
+        // Value 2: two decrs commute (both succeed either way).
+        assert!(commutes(&m, &2, &CounterOp::Decr, &CounterOp::Decr));
+    }
+
+    #[test]
+    fn map_ops_commute_iff_keys_disjoint_or_compatible() {
+        let m = MapModel { keys: 2, values: 2 };
+        let empty = std::collections::BTreeMap::new();
+        // get(0) and put(1, _) commute (distinct keys).
+        assert!(commutes(&m, &empty, &MapModelOp::Get(0), &MapModelOp::Put(1, 0)));
+        // get(0) and put(0, _) do not commute.
+        assert!(!commutes(&m, &empty, &MapModelOp::Get(0), &MapModelOp::Put(0, 0)));
+        // Two gets always commute.
+        assert!(commutes(&m, &empty, &MapModelOp::Get(0), &MapModelOp::Get(0)));
+        // Two identical puts on an empty map do NOT commute: whichever
+        // runs first returns None and the other Some(0), so each op's
+        // return value depends on the order.
+        assert!(!commutes(&m, &empty, &MapModelOp::Put(0, 0), &MapModelOp::Put(0, 0)));
+        // On a map where the key is already bound to the same value, both
+        // return Some(0) in either order: they commute.
+        let mut bound = std::collections::BTreeMap::new();
+        bound.insert(0u8, 0u8);
+        assert!(commutes(&m, &bound, &MapModelOp::Put(0, 0), &MapModelOp::Put(0, 0)));
+        // put(0, 0) and put(0, 1) leave different final states by order.
+        assert!(!commutes(&m, &empty, &MapModelOp::Put(0, 0), &MapModelOp::Put(0, 1)));
+    }
+
+    #[test]
+    fn pqueue_rules_from_section_6() {
+        let m = PQueueModel { values: 4, capacity: 4 };
+        // All inserts commute with each other.
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                assert!(
+                    commutes(&m, &vec![2], &PQueueModelOp::Insert(a), &PQueueModelOp::Insert(b)),
+                    "insert({a}) and insert({b}) must commute"
+                );
+            }
+        }
+        // add(x) commutes with removeMin()/y when y <= x (boosting's rule).
+        assert!(commutes(&m, &vec![1, 3], &PQueueModelOp::Insert(3), &PQueueModelOp::RemoveMin));
+        // ...but not when the insert becomes the minimum.
+        assert!(!commutes(&m, &vec![2], &PQueueModelOp::Insert(0), &PQueueModelOp::RemoveMin));
+        // min() commutes with inserts above the minimum.
+        assert!(commutes(&m, &vec![1], &PQueueModelOp::Min, &PQueueModelOp::Insert(3)));
+        assert!(!commutes(&m, &vec![1], &PQueueModelOp::Min, &PQueueModelOp::Insert(0)));
+        // size() does not commute with insert.
+        assert!(!commutes(&m, &vec![1], &PQueueModelOp::Size, &PQueueModelOp::Insert(2)));
+    }
+
+    #[test]
+    fn register_reads_commute_writes_do_not() {
+        let m = RegisterModel { values: 3 };
+        assert!(commutes(&m, &1, &RegisterOp::Read, &RegisterOp::Read));
+        assert!(!commutes(&m, &1, &RegisterOp::Read, &RegisterOp::Write(2)));
+        assert!(!commutes(&m, &1, &RegisterOp::Write(0), &RegisterOp::Write(2)));
+        // Writing the current value commutes with reading it.
+        assert!(commutes(&m, &1, &RegisterOp::Read, &RegisterOp::Write(1)));
+    }
+}

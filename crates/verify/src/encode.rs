@@ -1,0 +1,260 @@
+//! The Appendix E encoding: conflict-abstraction soundness as an
+//! (un)satisfiability query.
+//!
+//! For a pair of operations `m`, `n`, the encoding asserts, over a
+//! symbolic initial state `c0`:
+//!
+//! 1. `m` performs its conflict-abstraction reads/writes at `c0`;
+//! 2. `m` executes (`c0 → c1`);
+//! 3. `n` performs its conflict-abstraction reads/writes at `c0`;
+//! 4. **no** read/write or write/write conflict occurs between them;
+//! 5. `n` executes (`c1 → c2`);
+//! 6. the opposite order (`n` then `m` from `c0`) yields a *different*
+//!    final state or different return values.
+//!
+//! If this is satisfiable, the witness `c0` is a state where the
+//! operations do not commute yet the abstraction let them run
+//! concurrently — a soundness counterexample. **UNSAT for every operation
+//! pair ⇒ the conflict abstraction is sound** (Theorem E.1).
+//!
+//! Two encodings are provided:
+//!
+//! * [`check_counter_by_sat`] — the paper's worked example, encoded
+//!   symbolically over bit-vectors exactly as the SMT model in Appendix E
+//!   (`incr`/`decr` as arithmetic relations, thresholded CA accesses).
+//! * [`check_model_by_sat`] — a generic reduction for any bounded
+//!   [`AdtModel`]: a one-hot selector over enumerated start states, with
+//!   per-state commutativity and conflict facts compiled into clauses.
+
+use std::fmt;
+
+use crate::checker::Access;
+use crate::commute::commutes;
+use crate::model::AdtModel;
+use crate::sat::{BitVec, Circuit, Lit, SatResult};
+
+/// The verdict of a SAT-based soundness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatVerdict {
+    /// Every operation pair's encoding was UNSAT: the abstraction is sound
+    /// on the encoded space.
+    Sound,
+    /// A satisfying witness was found.
+    Counterexample(SatWitness),
+}
+
+/// A satisfying assignment decoded back to the problem domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatWitness {
+    /// The initial state witnessing the violation.
+    pub state: u64,
+    /// Description of the operation pair.
+    pub pair: &'static str,
+}
+
+impl fmt::Display for SatWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pair {} at initial state {}", self.pair, self.state)
+    }
+}
+
+impl SatVerdict {
+    /// Whether the abstraction was proved sound.
+    pub fn is_sound(&self) -> bool {
+        matches!(self, SatVerdict::Sound)
+    }
+}
+
+/// Counter operation semantics over bit-vectors, following the Appendix E
+/// SMT model: `incr` relates `c0` to `c0 + 1`; `decr` relates `c0` to
+/// `c0 - 1` and raises `err` at zero (our non-negative counter leaves the
+/// state unchanged when it errors).
+fn apply_counter(circuit: &mut Circuit, state: &BitVec, is_incr: bool) -> (BitVec, Lit) {
+    if is_incr {
+        let next = state.increment(circuit);
+        (next, circuit.false_lit())
+    } else {
+        let err = state.is_zero(circuit);
+        let decremented = state.decrement(circuit);
+        let next = state.ite(circuit, err, &decremented);
+        (next, err)
+    }
+}
+
+/// The §3 conflict abstraction over one location, with a symbolic
+/// threshold test: returns `(reads_l0, writes_l0)` literals.
+fn counter_ca(
+    circuit: &mut Circuit,
+    state: &BitVec,
+    is_incr: bool,
+    threshold: &BitVec,
+) -> (Lit, Lit) {
+    let below = state.less_than(circuit, threshold);
+    let no = circuit.false_lit();
+    if is_incr {
+        (below, no) // incr: read ℓ0 whenever counter < threshold
+    } else {
+        (no, below) // decr: write ℓ0 whenever counter < threshold
+    }
+}
+
+/// Check the §3 counter abstraction with the given threshold by the
+/// Appendix E reduction, over `width`-bit states. Returns
+/// [`SatVerdict::Sound`] iff the encoding is UNSAT for all three operation
+/// pairs (incr/incr, incr/decr, decr/decr).
+pub fn check_counter_by_sat(threshold: u64, width: usize) -> SatVerdict {
+    let pairs: [(&'static str, bool, bool); 4] = [
+        ("incr/incr", true, true),
+        ("incr/decr", true, false),
+        ("decr/incr", false, true),
+        ("decr/decr", false, false),
+    ];
+    for (name, m_is_incr, n_is_incr) in pairs {
+        let mut circuit = Circuit::new();
+        // Symbolic initial state c0, constrained away from the wrap-around
+        // ceiling so `+1` is true arithmetic.
+        let c0 = BitVec::fresh(&mut circuit, width);
+        let ceiling = BitVec::constant(&mut circuit, (1u64 << width) - 2, width);
+        let below_ceiling = c0.less_than(&mut circuit, &ceiling);
+        circuit.assert(below_ceiling);
+        let thr = BitVec::constant(&mut circuit, threshold, width);
+
+        // 1. m tickles the STM; 2. m executes.
+        let (m_reads, m_writes) = counter_ca(&mut circuit, &c0, m_is_incr, &thr);
+        let (c1, m_err_first) = apply_counter(&mut circuit, &c0, m_is_incr);
+        // 3. n tickles the STM (both CAs consult σ = c0, per Definition 3.1).
+        let (n_reads, n_writes) = counter_ca(&mut circuit, &c0, n_is_incr, &thr);
+        // 4. no conflict detected.
+        let rw = circuit.and(m_reads, n_writes);
+        let wr = circuit.and(m_writes, n_reads);
+        let ww = circuit.and(m_writes, n_writes);
+        let some_conflict = circuit.or_all([rw, wr, ww]);
+        circuit.assert(!some_conflict);
+        // 5. n executes.
+        let (c2, n_err_second) = apply_counter(&mut circuit, &c1, n_is_incr);
+
+        // The other order.
+        let (c3, n_err_first) = apply_counter(&mut circuit, &c0, n_is_incr);
+        let (c4, m_err_second) = apply_counter(&mut circuit, &c3, m_is_incr);
+
+        // 6. results differ: different final state or different returns.
+        let states_equal = c2.equals(&mut circuit, &c4);
+        let m_ret_equal = circuit.iff(m_err_first, m_err_second);
+        let n_ret_equal = circuit.iff(n_err_second, n_err_first);
+        let all_equal = circuit.and_all([states_equal, m_ret_equal, n_ret_equal]);
+        circuit.assert(!all_equal);
+
+        if let SatResult::Sat(model) = circuit.solve() {
+            return SatVerdict::Counterexample(SatWitness { state: c0.eval(&model), pair: name });
+        }
+    }
+    SatVerdict::Sound
+}
+
+/// Generic reduction for any bounded model: a one-hot selector picks the
+/// initial state; clauses require the selected state to witness a
+/// non-commuting, non-conflicting pair. SAT ⇔ Definition 3.1 violated.
+///
+/// (The per-state facts are computed by the sequential model, exactly as
+/// Appendix E computes them inside the SMT theory; the solver searches the
+/// state × pair space symbolically.)
+pub fn check_model_by_sat<M: AdtModel>(
+    model: &M,
+    ca: impl Fn(&M::Op, &M::State) -> Access,
+) -> SatVerdict {
+    let states = model.states();
+    let ops = model.ops();
+    for (a_index, a) in ops.iter().enumerate() {
+        for (b_index, b) in ops.iter().enumerate() {
+            let mut circuit = Circuit::new();
+            // One-hot state selector.
+            let selectors: Vec<Lit> = states.iter().map(|_| circuit.fresh()).collect();
+            circuit.assert_any(selectors.iter().copied());
+            for (i, &s1) in selectors.iter().enumerate() {
+                for &s2 in &selectors[i + 1..] {
+                    circuit.assert_any([!s1, !s2]);
+                }
+            }
+            // selected state must be a violation witness for (a, b).
+            let mut any_candidate = false;
+            for (state, &sel) in states.iter().zip(&selectors) {
+                let violating = !commutes(model, state, a, b)
+                    && !ca(a, state).conflicts_with(&ca(b, state));
+                if violating {
+                    any_candidate = true;
+                } else {
+                    circuit.assert(!sel);
+                }
+            }
+            if !any_candidate {
+                continue; // trivially UNSAT for this pair
+            }
+            if let SatResult::Sat(model_bits) = circuit.solve() {
+                let index = selectors
+                    .iter()
+                    .position(|&sel| Circuit::eval(sel, &model_bits))
+                    .expect("one-hot selector must pick a state");
+                let _ = (a_index, b_index);
+                return SatVerdict::Counterexample(SatWitness {
+                    state: index as u64,
+                    pair: "model pair",
+                });
+            }
+        }
+    }
+    SatVerdict::Sound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check_conflict_abstraction, Access};
+    use crate::model::{CounterModel, CounterOp};
+
+    #[test]
+    fn paper_threshold_two_is_sound_by_sat() {
+        // Theorem E.1: UNSAT ⇒ sound. 6-bit states cover 0..61.
+        assert!(check_counter_by_sat(2, 6).is_sound());
+    }
+
+    #[test]
+    fn threshold_one_yields_the_decr_decr_witness() {
+        match check_counter_by_sat(1, 6) {
+            SatVerdict::Counterexample(witness) => {
+                // The violation is two decrs at state 1 (threshold 1 lets
+                // both skip ℓ0): the solver must land on state 1.
+                assert_eq!(witness.state, 1, "witness: {witness}");
+                assert_eq!(witness.pair, "decr/decr");
+            }
+            SatVerdict::Sound => panic!("threshold 1 must be refuted"),
+        }
+    }
+
+    #[test]
+    fn threshold_zero_yields_a_witness_too() {
+        assert!(!check_counter_by_sat(0, 6).is_sound());
+    }
+
+    #[test]
+    fn sat_and_exhaustive_checker_agree_on_counter() {
+        let model = CounterModel { max: 10 };
+        for threshold in 0..4u32 {
+            let ca = move |op: &CounterOp, state: &u32| match op {
+                CounterOp::Incr if *state < threshold => Access::reading([0]),
+                CounterOp::Decr if *state < threshold => Access::writing([0]),
+                _ => Access::empty(),
+            };
+            let exhaustive = check_conflict_abstraction(&model, ca).is_correct();
+            let by_sat = check_counter_by_sat(threshold as u64, 6).is_sound();
+            assert_eq!(exhaustive, by_sat, "checkers disagree at threshold {threshold}");
+            let generic = check_model_by_sat(&model, ca).is_sound();
+            assert_eq!(exhaustive, generic, "generic SAT reduction disagrees at {threshold}");
+        }
+    }
+
+    #[test]
+    fn wider_widths_agree() {
+        assert!(check_counter_by_sat(2, 8).is_sound());
+        assert!(!check_counter_by_sat(1, 8).is_sound());
+    }
+}

@@ -1,0 +1,58 @@
+//! # proust-verify
+//!
+//! Verification of conflict abstractions (§3 and Appendix E of the Proust
+//! paper), dependency-free.
+//!
+//! A *conflict abstraction* maps each data-structure operation, in each
+//! abstract state, to a set of STM locations to read and write.
+//! Definition 3.1 requires that **non-commuting operations always collide**
+//! on some location. This crate checks that obligation against bounded
+//! sequential [models](model) of the data type, two ways:
+//!
+//! * [`checker`] — exhaustive enumeration of every `(state, op, op)`
+//!   triple, producing a concrete [`CounterExample`] on failure, plus a
+//!   [`false_conflict_rate`] precision metric;
+//! * [`encode`] — the Appendix E *reduction to satisfiability*, running on
+//!   a from-scratch DPLL solver ([`sat::solver`]) with Tseitin circuits
+//!   ([`sat::cnf`]) and bit-vector arithmetic ([`sat::bitvec`]).
+//!   UNSAT ⇒ sound (Theorem E.1).
+//!
+//! [`synth`] adds the CEGIS-style synthesis loop the paper leaves as
+//! future work: enumerate candidate abstractions cheapest-first and let
+//! the checker be the verification oracle — it rediscovers the paper's
+//! threshold-2 counter abstraction as the minimum-cost sound point.
+//!
+//! ## Example: the paper's counter, both ways
+//!
+//! ```
+//! use proust_verify::checker::{check_conflict_abstraction, Access};
+//! use proust_verify::encode::check_counter_by_sat;
+//! use proust_verify::model::{CounterModel, CounterOp};
+//!
+//! let model = CounterModel { max: 8 };
+//! let paper_ca = |op: &CounterOp, state: &u32| match op {
+//!     CounterOp::Incr if *state < 2 => Access::reading([0]),
+//!     CounterOp::Decr if *state < 2 => Access::writing([0]),
+//!     _ => Access::empty(),
+//! };
+//! assert!(check_conflict_abstraction(&model, paper_ca).is_correct());
+//! assert!(check_counter_by_sat(2, 6).is_sound());
+//! // Weakening the threshold breaks it, and both checkers notice.
+//! assert!(!check_counter_by_sat(1, 6).is_sound());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checker;
+pub mod commute;
+pub mod encode;
+pub mod model;
+pub mod sat;
+pub mod synth;
+
+pub use checker::{check_conflict_abstraction, false_conflict_rate, Access, CheckResult, CounterExample};
+pub use commute::commutes;
+pub use encode::{check_counter_by_sat, check_model_by_sat, SatVerdict};
+pub use model::AdtModel;
+pub use synth::{synthesize_counter_ca, CounterTemplate, Synthesized, TemplateAccess};

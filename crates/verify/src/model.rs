@@ -1,0 +1,483 @@
+//! Bounded sequential models of abstract data types.
+//!
+//! "To reason about correctness, we do not need the actual implementation
+//! of the thread-safe concurrent objects. Instead, it is sufficient to
+//! work with a model (or sequential implementation) of the abstract data
+//! type." (§3)
+//!
+//! A model enumerates a bounded state space and operation alphabet and
+//! gives the sequential semantics `apply : State × Op → State × Ret`.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A bounded sequential model of an abstract data type.
+pub trait AdtModel {
+    /// Abstract states (the paper's σ).
+    type State: Clone + Eq + Hash + Debug;
+    /// Operation invocations — method plus arguments (the paper's `m(ᾱ)`).
+    type Op: Clone + Debug;
+    /// Return values.
+    type Ret: Clone + Eq + Debug;
+
+    /// Enumerate the (bounded) state space.
+    fn states(&self) -> Vec<Self::State>;
+
+    /// Enumerate the (bounded) operation alphabet.
+    fn ops(&self) -> Vec<Self::Op>;
+
+    /// Sequential semantics: apply `op` in `state`.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+// ---------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------
+
+/// Operations of the §3 non-negative counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterOp {
+    /// `incr()` — no return value.
+    Incr,
+    /// `decr()` — returns an error flag at 0.
+    Decr,
+}
+
+/// Return values of the counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterRet {
+    /// `incr` returns nothing.
+    Unit,
+    /// `decr` succeeded.
+    Ok,
+    /// `decr` hit 0 (the paper's error flag).
+    Err,
+}
+
+/// The §3 counter with *enumeration* bounded to values `0..=max`.
+///
+/// Only the set of checked start states is bounded; `apply` itself is the
+/// true unbounded semantics (so commutativity is never distorted by an
+/// artificial ceiling — the usual bounded-model-checking caveat applies to
+/// the start states only).
+#[derive(Debug, Clone, Copy)]
+pub struct CounterModel {
+    /// Largest start value enumerated; choose it larger than every
+    /// threshold under test.
+    pub max: u32,
+}
+
+impl AdtModel for CounterModel {
+    type State = u32;
+    type Op = CounterOp;
+    type Ret = CounterRet;
+
+    fn states(&self) -> Vec<u32> {
+        (0..=self.max).collect()
+    }
+
+    fn ops(&self) -> Vec<CounterOp> {
+        vec![CounterOp::Incr, CounterOp::Decr]
+    }
+
+    fn apply(&self, state: &u32, op: &CounterOp) -> (u32, CounterRet) {
+        match op {
+            CounterOp::Incr => (state + 1, CounterRet::Unit),
+            CounterOp::Decr => {
+                if *state == 0 {
+                    (0, CounterRet::Err)
+                } else {
+                    (state - 1, CounterRet::Ok)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------
+
+/// Operations of a bounded map with keys and values in `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapModelOp {
+    /// `put(key, value)`.
+    Put(u8, u8),
+    /// `get(key)`.
+    Get(u8),
+    /// `remove(key)`.
+    Remove(u8),
+    /// `contains(key)`.
+    Contains(u8),
+}
+
+impl MapModelOp {
+    /// The key this operation addresses.
+    pub fn key(&self) -> u8 {
+        match self {
+            MapModelOp::Put(k, _)
+            | MapModelOp::Get(k)
+            | MapModelOp::Remove(k)
+            | MapModelOp::Contains(k) => *k,
+        }
+    }
+
+    /// Whether the operation may update its key.
+    pub fn is_update(&self) -> bool {
+        matches!(self, MapModelOp::Put(..) | MapModelOp::Remove(_))
+    }
+}
+
+/// Return values of the bounded map.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MapModelRet {
+    /// Previous/current value, if any.
+    Value(Option<u8>),
+    /// Membership result.
+    Bool(bool),
+}
+
+/// A map over `keys` keys and `values` values, fully enumerated.
+///
+/// State-space size is `(values + 1) ^ keys`; keep both small (e.g. 3 keys
+/// × 2 values).
+#[derive(Debug, Clone, Copy)]
+pub struct MapModel {
+    /// Number of distinct keys (`0..keys`).
+    pub keys: u8,
+    /// Number of distinct values (`0..values`).
+    pub values: u8,
+}
+
+impl AdtModel for MapModel {
+    type State = BTreeMap<u8, u8>;
+    type Op = MapModelOp;
+    type Ret = MapModelRet;
+
+    fn states(&self) -> Vec<BTreeMap<u8, u8>> {
+        // Every assignment of {absent, 0..values} to each key.
+        let mut states = vec![BTreeMap::new()];
+        for key in 0..self.keys {
+            let mut next = Vec::new();
+            for state in &states {
+                next.push(state.clone()); // key absent
+                for value in 0..self.values {
+                    let mut with = state.clone();
+                    with.insert(key, value);
+                    next.push(with);
+                }
+            }
+            states = next;
+        }
+        states
+    }
+
+    fn ops(&self) -> Vec<MapModelOp> {
+        let mut ops = Vec::new();
+        for key in 0..self.keys {
+            ops.push(MapModelOp::Get(key));
+            ops.push(MapModelOp::Remove(key));
+            ops.push(MapModelOp::Contains(key));
+            for value in 0..self.values {
+                ops.push(MapModelOp::Put(key, value));
+            }
+        }
+        ops
+    }
+
+    fn apply(&self, state: &BTreeMap<u8, u8>, op: &MapModelOp) -> (BTreeMap<u8, u8>, MapModelRet) {
+        let mut next = state.clone();
+        let ret = match op {
+            MapModelOp::Put(k, v) => MapModelRet::Value(next.insert(*k, *v)),
+            MapModelOp::Get(k) => MapModelRet::Value(next.get(k).copied()),
+            MapModelOp::Remove(k) => MapModelRet::Value(next.remove(k)),
+            MapModelOp::Contains(k) => MapModelRet::Bool(next.contains_key(k)),
+        };
+        (next, ret)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Priority queue
+// ---------------------------------------------------------------------
+
+/// Operations of a bounded min-priority-queue over values `0..values`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PQueueModelOp {
+    /// `insert(value)`.
+    Insert(u8),
+    /// `min()`.
+    Min,
+    /// `removeMin()`.
+    RemoveMin,
+    /// `contains(value)`.
+    Contains(u8),
+    /// `size()`.
+    Size,
+}
+
+/// Return values of the bounded priority queue.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PQueueModelRet {
+    /// `insert` returns nothing.
+    Unit,
+    /// Optional value (for `min`/`removeMin`).
+    Value(Option<u8>),
+    /// Membership result.
+    Bool(bool),
+    /// Cardinality.
+    Size(usize),
+}
+
+/// A min-priority-queue whose *start-state enumeration* is bounded to
+/// multisets of at most `capacity` values drawn from `0..values`. As with
+/// [`CounterModel`], `apply` is the true unbounded semantics so
+/// commutativity is never distorted by an artificial ceiling.
+#[derive(Debug, Clone, Copy)]
+pub struct PQueueModel {
+    /// Number of distinct values.
+    pub values: u8,
+    /// Maximum multiset size enumerated.
+    pub capacity: usize,
+}
+
+impl AdtModel for PQueueModel {
+    /// Sorted multiset representation.
+    type State = Vec<u8>;
+    type Op = PQueueModelOp;
+    type Ret = PQueueModelRet;
+
+    fn states(&self) -> Vec<Vec<u8>> {
+        // Enumerate sorted multisets up to `capacity`.
+        let mut states: Vec<Vec<u8>> = vec![Vec::new()];
+        let mut frontier: Vec<Vec<u8>> = vec![Vec::new()];
+        for _ in 0..self.capacity {
+            let mut next = Vec::new();
+            for state in &frontier {
+                let min_allowed = state.last().copied().unwrap_or(0);
+                for value in min_allowed..self.values {
+                    let mut grown = state.clone();
+                    grown.push(value);
+                    next.push(grown);
+                }
+            }
+            states.extend(next.iter().cloned());
+            frontier = next;
+        }
+        states
+    }
+
+    fn ops(&self) -> Vec<PQueueModelOp> {
+        let mut ops = vec![PQueueModelOp::Min, PQueueModelOp::RemoveMin, PQueueModelOp::Size];
+        for value in 0..self.values {
+            ops.push(PQueueModelOp::Insert(value));
+            ops.push(PQueueModelOp::Contains(value));
+        }
+        ops
+    }
+
+    fn apply(&self, state: &Vec<u8>, op: &PQueueModelOp) -> (Vec<u8>, PQueueModelRet) {
+        let mut next = state.clone();
+        let ret = match op {
+            PQueueModelOp::Insert(v) => {
+                let pos = next.partition_point(|x| x <= v);
+                next.insert(pos, *v);
+                PQueueModelRet::Unit
+            }
+            PQueueModelOp::Min => PQueueModelRet::Value(next.first().copied()),
+            PQueueModelOp::RemoveMin => {
+                if next.is_empty() {
+                    PQueueModelRet::Value(None)
+                } else {
+                    PQueueModelRet::Value(Some(next.remove(0)))
+                }
+            }
+            PQueueModelOp::Contains(v) => PQueueModelRet::Bool(next.contains(v)),
+            PQueueModelOp::Size => PQueueModelRet::Size(next.len()),
+        };
+        (next, ret)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FIFO queue
+// ---------------------------------------------------------------------
+
+/// Operations of a bounded FIFO queue over values `0..values`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FifoModelOp {
+    /// `enqueue(value)`.
+    Enqueue(u8),
+    /// `dequeue()`.
+    Dequeue,
+    /// `peek()`.
+    Peek,
+    /// `size()`.
+    Size,
+}
+
+/// Return values of the bounded FIFO queue.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FifoModelRet {
+    /// `enqueue` returns nothing.
+    Unit,
+    /// Optional value (for `dequeue`/`peek`).
+    Value(Option<u8>),
+    /// Cardinality.
+    Size(usize),
+}
+
+/// A FIFO queue whose *start-state enumeration* is bounded to sequences of
+/// at most `capacity` values drawn from `0..values`. As with
+/// [`CounterModel`], `apply` is the true unbounded semantics so
+/// commutativity is never distorted by an artificial ceiling.
+#[derive(Debug, Clone, Copy)]
+pub struct FifoModel {
+    /// Number of distinct values.
+    pub values: u8,
+    /// Maximum queue length enumerated.
+    pub capacity: usize,
+}
+
+impl AdtModel for FifoModel {
+    /// Front-to-back sequence.
+    type State = Vec<u8>;
+    type Op = FifoModelOp;
+    type Ret = FifoModelRet;
+
+    fn states(&self) -> Vec<Vec<u8>> {
+        let mut states: Vec<Vec<u8>> = vec![Vec::new()];
+        let mut frontier: Vec<Vec<u8>> = vec![Vec::new()];
+        for _ in 0..self.capacity {
+            let mut next = Vec::new();
+            for state in &frontier {
+                for value in 0..self.values {
+                    let mut grown = state.clone();
+                    grown.push(value);
+                    next.push(grown);
+                }
+            }
+            states.extend(next.iter().cloned());
+            frontier = next;
+        }
+        states
+    }
+
+    fn ops(&self) -> Vec<FifoModelOp> {
+        let mut ops = vec![FifoModelOp::Dequeue, FifoModelOp::Peek, FifoModelOp::Size];
+        ops.extend((0..self.values).map(FifoModelOp::Enqueue));
+        ops
+    }
+
+    fn apply(&self, state: &Vec<u8>, op: &FifoModelOp) -> (Vec<u8>, FifoModelRet) {
+        let mut next = state.clone();
+        let ret = match op {
+            FifoModelOp::Enqueue(v) => {
+                next.push(*v);
+                FifoModelRet::Unit
+            }
+            FifoModelOp::Dequeue => {
+                if next.is_empty() {
+                    FifoModelRet::Value(None)
+                } else {
+                    FifoModelRet::Value(Some(next.remove(0)))
+                }
+            }
+            FifoModelOp::Peek => FifoModelRet::Value(next.first().copied()),
+            FifoModelOp::Size => FifoModelRet::Size(next.len()),
+        };
+        (next, ret)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Register
+// ---------------------------------------------------------------------
+
+/// Operations of a single read/write register over `0..values`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegisterOp {
+    /// Read the register.
+    Read,
+    /// Write a value.
+    Write(u8),
+}
+
+/// A bounded read/write register: the degenerate ADT whose only sound
+/// conflict abstraction is exactly STM-style read/write tracking —
+/// demonstrating that Proust strictly generalizes plain STM conflict
+/// detection.
+#[derive(Debug, Clone, Copy)]
+pub struct RegisterModel {
+    /// Number of distinct values.
+    pub values: u8,
+}
+
+impl AdtModel for RegisterModel {
+    type State = u8;
+    type Op = RegisterOp;
+    type Ret = Option<u8>;
+
+    fn states(&self) -> Vec<u8> {
+        (0..self.values).collect()
+    }
+
+    fn ops(&self) -> Vec<RegisterOp> {
+        let mut ops = vec![RegisterOp::Read];
+        ops.extend((0..self.values).map(RegisterOp::Write));
+        ops
+    }
+
+    fn apply(&self, state: &u8, op: &RegisterOp) -> (u8, Option<u8>) {
+        match op {
+            RegisterOp::Read => (*state, Some(*state)),
+            RegisterOp::Write(v) => (*v, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics() {
+        let m = CounterModel { max: 5 };
+        assert_eq!(m.apply(&0, &CounterOp::Decr), (0, CounterRet::Err));
+        assert_eq!(m.apply(&1, &CounterOp::Decr), (0, CounterRet::Ok));
+        assert_eq!(m.apply(&1, &CounterOp::Incr), (2, CounterRet::Unit));
+        assert_eq!(m.states().len(), 6);
+    }
+
+    #[test]
+    fn map_state_space_size() {
+        let m = MapModel { keys: 2, values: 2 };
+        // (values + 1)^keys = 9 states.
+        assert_eq!(m.states().len(), 9);
+        let (next, ret) = m.apply(&BTreeMap::new(), &MapModelOp::Put(0, 1));
+        assert_eq!(ret, MapModelRet::Value(None));
+        assert_eq!(next.get(&0), Some(&1));
+    }
+
+    #[test]
+    fn pqueue_states_are_sorted_multisets() {
+        let m = PQueueModel { values: 3, capacity: 2 };
+        let states = m.states();
+        assert!(states.iter().all(|s| s.windows(2).all(|w| w[0] <= w[1])));
+        // 1 empty + 3 singletons + C(3+1,2)=6 pairs-with-repetition.
+        assert_eq!(states.len(), 1 + 3 + 6);
+        let (next, _) = m.apply(&vec![1], &PQueueModelOp::Insert(0));
+        assert_eq!(next, vec![0, 1]);
+        let (next, ret) = m.apply(&vec![0, 1], &PQueueModelOp::RemoveMin);
+        assert_eq!(ret, PQueueModelRet::Value(Some(0)));
+        assert_eq!(next, vec![1]);
+    }
+
+    #[test]
+    fn register_semantics() {
+        let m = RegisterModel { values: 3 };
+        assert_eq!(m.apply(&2, &RegisterOp::Read), (2, Some(2)));
+        assert_eq!(m.apply(&2, &RegisterOp::Write(0)), (0, None));
+    }
+}

@@ -1,0 +1,233 @@
+//! Fixed-width unsigned bit-vector arithmetic over the Tseitin circuit
+//! layer: the fragment of SMT-LIB the Appendix E counter encoding needs
+//! (`+1`, `-1`, equality, unsigned `<`, if-then-else).
+
+use crate::sat::cnf::Circuit;
+use crate::sat::solver::Lit;
+
+/// An unsigned bit vector, least-significant bit first.
+#[derive(Debug, Clone)]
+pub struct BitVec {
+    bits: Vec<Lit>,
+}
+
+impl BitVec {
+    /// A fresh unconstrained vector of `width` bits.
+    pub fn fresh(circuit: &mut Circuit, width: usize) -> BitVec {
+        BitVec { bits: (0..width).map(|_| circuit.fresh()).collect() }
+    }
+
+    /// The constant `value` at `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn constant(circuit: &mut Circuit, value: u64, width: usize) -> BitVec {
+        assert!(width >= 64 || value < (1u64 << width), "constant {value} overflows {width} bits");
+        BitVec {
+            bits: (0..width)
+                .map(|i| circuit.constant(value >> i & 1 == 1))
+                .collect(),
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The literals, LSB first.
+    pub fn bits(&self) -> &[Lit] {
+        &self.bits
+    }
+
+    /// Evaluate under a solver model.
+    pub fn eval(&self, model: &[bool]) -> u64 {
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &lit)| acc | (u64::from(Circuit::eval(lit, model)) << i))
+    }
+
+    /// `self + 1` (wrapping at the width, which callers avoid by sizing
+    /// the width above the reachable range).
+    pub fn increment(&self, circuit: &mut Circuit) -> BitVec {
+        let mut carry = circuit.true_lit();
+        let mut bits = Vec::with_capacity(self.width());
+        for &bit in &self.bits {
+            bits.push(circuit.xor(bit, carry));
+            carry = circuit.and(bit, carry);
+        }
+        BitVec { bits }
+    }
+
+    /// `self - 1` (wrapping; callers guard with [`is_zero`](Self::is_zero)).
+    pub fn decrement(&self, circuit: &mut Circuit) -> BitVec {
+        // Subtracting one borrows through trailing zeros: out = bit XOR
+        // borrow, next borrow = !bit AND borrow.
+        let mut borrow = circuit.true_lit();
+        let mut bits = Vec::with_capacity(self.width());
+        for &bit in &self.bits {
+            bits.push(circuit.xor(bit, borrow));
+            borrow = circuit.and(!bit, borrow);
+        }
+        BitVec { bits }
+    }
+
+    /// Literal for `self == other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn equals(&self, circuit: &mut Circuit, other: &BitVec) -> Lit {
+        assert_eq!(self.width(), other.width(), "width mismatch in equals");
+        let pairs: Vec<Lit> = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(&a, &b)| circuit.iff(a, b))
+            .collect();
+        circuit.and_all(pairs)
+    }
+
+    /// Literal for `self == 0`.
+    pub fn is_zero(&self, circuit: &mut Circuit) -> Lit {
+        let any = circuit.or_all(self.bits.iter().copied());
+        !any
+    }
+
+    /// Literal for unsigned `self < other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn less_than(&self, circuit: &mut Circuit, other: &BitVec) -> Lit {
+        assert_eq!(self.width(), other.width(), "width mismatch in less_than");
+        // From MSB down: less so far = (a < b) or (a == b and less-below).
+        let mut result = circuit.false_lit();
+        for (&a, &b) in self.bits.iter().zip(&other.bits) {
+            // Iterating LSB→MSB while folding gives the same recurrence
+            // with the higher bit taking precedence at each step.
+            let a_lt_b = circuit.and(!a, b);
+            let eq = circuit.iff(a, b);
+            let keep = circuit.and(eq, result);
+            result = circuit.or(a_lt_b, keep);
+        }
+        result
+    }
+
+    /// Bit-wise if-then-else: `if sel { self } else { other }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn ite(&self, circuit: &mut Circuit, sel: Lit, other: &BitVec) -> BitVec {
+        assert_eq!(self.width(), other.width(), "width mismatch in ite");
+        BitVec {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&t, &e)| circuit.ite(sel, t, e))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Assert that a circuit with the given constraint literal is (un)sat.
+    fn satisfiable(circuit: &Circuit) -> bool {
+        circuit.solve().is_sat()
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut c = Circuit::new();
+        let v = BitVec::constant(&mut c, 13, 5);
+        let thirteen = BitVec::constant(&mut c, 13, 5);
+        let eq = v.equals(&mut c, &thirteen);
+        c.assert(eq);
+        assert!(satisfiable(&c));
+    }
+
+    #[test]
+    fn increment_decrement_roundtrip() {
+        for value in 0..15u64 {
+            let mut c = Circuit::new();
+            let v = BitVec::constant(&mut c, value, 4);
+            let up = v.increment(&mut c);
+            let expected = BitVec::constant(&mut c, value + 1, 4);
+            let eq = up.equals(&mut c, &expected);
+            c.assert(eq);
+            let back = up.decrement(&mut c);
+            let eq2 = back.equals(&mut c, &v);
+            c.assert(eq2);
+            assert!(satisfiable(&c), "inc/dec wrong at {value}");
+        }
+    }
+
+    #[test]
+    fn less_than_matches_integers() {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let mut c = Circuit::new();
+                let va = BitVec::constant(&mut c, a, 3);
+                let vb = BitVec::constant(&mut c, b, 3);
+                let lt = va.less_than(&mut c, &vb);
+                c.assert(if a < b { lt } else { !lt });
+                assert!(satisfiable(&c), "less_than wrong for {a} < {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_zero_detects_zero_only() {
+        for value in 0..4u64 {
+            let mut c = Circuit::new();
+            let v = BitVec::constant(&mut c, value, 2);
+            let z = v.is_zero(&mut c);
+            c.assert(if value == 0 { z } else { !z });
+            assert!(satisfiable(&c));
+        }
+    }
+
+    #[test]
+    fn ite_selects_sides() {
+        for sel in [false, true] {
+            let mut c = Circuit::new();
+            let s = c.constant(sel);
+            let a = BitVec::constant(&mut c, 5, 4);
+            let b = BitVec::constant(&mut c, 9, 4);
+            let out = a.ite(&mut c, s, &b);
+            let expected = BitVec::constant(&mut c, if sel { 5 } else { 9 }, 4);
+            let eq = out.equals(&mut c, &expected);
+            c.assert(eq);
+            assert!(satisfiable(&c));
+        }
+    }
+
+    #[test]
+    fn fresh_vector_solver_finds_witness() {
+        // exists v: v + 1 == 7
+        let mut c = Circuit::new();
+        let v = BitVec::fresh(&mut c, 4);
+        let up = v.increment(&mut c);
+        let seven = BitVec::constant(&mut c, 7, 4);
+        let eq = up.equals(&mut c, &seven);
+        c.assert(eq);
+        match c.solve() {
+            crate::sat::solver::SatResult::Sat(model) => assert_eq!(v.eval(&model), 6),
+            crate::sat::solver::SatResult::Unsat => panic!("should be satisfiable"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_constant_panics() {
+        let mut c = Circuit::new();
+        let _ = BitVec::constant(&mut c, 16, 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Tseitin-style circuit-to-CNF construction on top of the DPLL solver.
+
+use crate::sat::solver::{Formula, Lit};
+
+/// A builder that grows a [`Formula`] with gate definitions, returning
+/// literals that stand for sub-circuit outputs.
+#[derive(Debug, Default)]
+pub struct Circuit {
+    formula: Formula,
+    true_lit: Option<Lit>,
+}
+
+impl Circuit {
+    /// Create an empty circuit.
+    pub fn new() -> Circuit {
+        Circuit::default()
+    }
+
+    /// A literal constrained to be true.
+    pub fn true_lit(&mut self) -> Lit {
+        if let Some(lit) = self.true_lit {
+            return lit;
+        }
+        let lit = self.fresh();
+        self.formula.add_clause([lit]);
+        self.true_lit = Some(lit);
+        lit
+    }
+
+    /// A literal constrained to be false.
+    pub fn false_lit(&mut self) -> Lit {
+        !self.true_lit()
+    }
+
+    /// A literal for the boolean constant `value`.
+    pub fn constant(&mut self, value: bool) -> Lit {
+        if value {
+            self.true_lit()
+        } else {
+            self.false_lit()
+        }
+    }
+
+    /// A fresh unconstrained input literal.
+    pub fn fresh(&mut self) -> Lit {
+        Lit::positive(self.formula.fresh_var())
+    }
+
+    /// Assert that `lit` holds.
+    pub fn assert(&mut self, lit: Lit) {
+        self.formula.add_clause([lit]);
+    }
+
+    /// Assert the disjunction of `lits`.
+    pub fn assert_any(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.formula.add_clause(lits);
+    }
+
+    /// Output literal equal to `a ∧ b`.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.formula.add_clause([!out, a]);
+        self.formula.add_clause([!out, b]);
+        self.formula.add_clause([out, !a, !b]);
+        out
+    }
+
+    /// Output literal equal to `a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// Output literal equal to the conjunction of all `lits` (true for the
+    /// empty set).
+    pub fn and_all(&mut self, lits: impl IntoIterator<Item = Lit>) -> Lit {
+        let mut lits = lits.into_iter();
+        let Some(first) = lits.next() else {
+            return self.true_lit();
+        };
+        lits.fold(first, |acc, lit| self.and(acc, lit))
+    }
+
+    /// Output literal equal to the disjunction of all `lits` (false for
+    /// the empty set).
+    pub fn or_all(&mut self, lits: impl IntoIterator<Item = Lit>) -> Lit {
+        let mut lits = lits.into_iter();
+        let Some(first) = lits.next() else {
+            return self.false_lit();
+        };
+        lits.fold(first, |acc, lit| self.or(acc, lit))
+    }
+
+    /// Output literal equal to `a ⊕ b` (i.e. `a ≠ b`).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.formula.add_clause([!out, a, b]);
+        self.formula.add_clause([!out, !a, !b]);
+        self.formula.add_clause([out, !a, b]);
+        self.formula.add_clause([out, a, !b]);
+        out
+    }
+
+    /// Output literal equal to `a = b`.
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Output literal equal to `if sel { then } else { other }`.
+    pub fn ite(&mut self, sel: Lit, then: Lit, other: Lit) -> Lit {
+        let a = self.and(sel, then);
+        let b = self.and(!sel, other);
+        self.or(a, b)
+    }
+
+    /// Solve the accumulated constraints.
+    pub fn solve(&self) -> crate::sat::solver::SatResult {
+        self.formula.solve()
+    }
+
+    /// Evaluate `lit` under a solver model.
+    pub fn eval(lit: Lit, model: &[bool]) -> bool {
+        let value = model[lit.var() as usize];
+        if lit.is_negated() {
+            !value
+        } else {
+            value
+        }
+    }
+
+    /// Access the underlying formula (diagnostics).
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively check a 2-input gate against a reference function.
+    fn check_gate(build: impl Fn(&mut Circuit, Lit, Lit) -> Lit, reference: impl Fn(bool, bool) -> bool) {
+        for a_val in [false, true] {
+            for b_val in [false, true] {
+                let mut c = Circuit::new();
+                let a = c.constant(a_val);
+                let b = c.constant(b_val);
+                let out = build(&mut c, a, b);
+                let expected = reference(a_val, b_val);
+                c.assert(if expected { out } else { !out });
+                assert!(c.solve().is_sat(), "gate wrong for ({a_val}, {b_val})");
+                // And the opposite assertion must be unsat.
+                let mut c = Circuit::new();
+                let a = c.constant(a_val);
+                let b = c.constant(b_val);
+                let out = build(&mut c, a, b);
+                c.assert(if expected { !out } else { out });
+                assert!(!c.solve().is_sat(), "gate ambiguous for ({a_val}, {b_val})");
+            }
+        }
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        check_gate(|c, a, b| c.and(a, b), |a, b| a && b);
+    }
+
+    #[test]
+    fn or_gate_truth_table() {
+        check_gate(|c, a, b| c.or(a, b), |a, b| a || b);
+    }
+
+    #[test]
+    fn xor_gate_truth_table() {
+        check_gate(|c, a, b| c.xor(a, b), |a, b| a != b);
+    }
+
+    #[test]
+    fn iff_gate_truth_table() {
+        check_gate(|c, a, b| c.iff(a, b), |a, b| a == b);
+    }
+
+    #[test]
+    fn ite_selects() {
+        for sel in [false, true] {
+            let mut c = Circuit::new();
+            let s = c.constant(sel);
+            let t = c.true_lit();
+            let e = c.false_lit();
+            let out = c.ite(s, t, e);
+            c.assert(if sel { out } else { !out });
+            assert!(c.solve().is_sat());
+        }
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        let mut c = Circuit::new();
+        let all = c.and_all([]);
+        let any = c.or_all([]);
+        c.assert(all);
+        c.assert(!any);
+        assert!(c.solve().is_sat());
+    }
+}

@@ -1,0 +1,173 @@
+//! DIMACS CNF serialization for the SAT layer, so encodings produced by
+//! the Appendix E reduction can be cross-checked with any off-the-shelf
+//! solver (`minisat`, `kissat`, ...), and externally-produced instances
+//! can be replayed against our DPLL implementation.
+
+use std::fmt::Write as _;
+
+use crate::sat::solver::{Formula, Lit};
+
+/// Render a formula in DIMACS CNF format.
+pub fn to_dimacs(formula: &Formula) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", formula.num_vars(), formula.num_clauses());
+    for clause in formula.clauses() {
+        for lit in clause {
+            let code = i64::from(lit.var()) + 1;
+            let signed = if lit.is_negated() { -code } else { code };
+            let _ = write!(out, "{signed} ");
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// A malformed DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parse a DIMACS CNF document into a [`Formula`].
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on a missing/invalid header, malformed
+/// literals, clauses referencing variables beyond the declared count, or
+/// an unterminated clause.
+pub fn from_dimacs(input: &str) -> Result<Formula, ParseDimacsError> {
+    let mut formula = Formula::new();
+    let mut declared_vars: Option<u32> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (index, raw_line) in input.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError {
+                    line: line_no,
+                    message: "expected 'p cnf <vars> <clauses>'".into(),
+                });
+            }
+            let vars: u32 = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| ParseDimacsError {
+                    line: line_no,
+                    message: "invalid variable count".into(),
+                })?;
+            for _ in 0..vars {
+                formula.fresh_var();
+            }
+            declared_vars = Some(vars);
+            continue;
+        }
+        let Some(declared) = declared_vars else {
+            return Err(ParseDimacsError {
+                line: line_no,
+                message: "clause before 'p cnf' header".into(),
+            });
+        };
+        for token in line.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("invalid literal {token:?}"),
+            })?;
+            if value == 0 {
+                formula.add_clause(current.drain(..));
+                continue;
+            }
+            let var = value.unsigned_abs() - 1;
+            if var >= u64::from(declared) {
+                return Err(ParseDimacsError {
+                    line: line_no,
+                    message: format!("literal {value} exceeds declared variable count"),
+                });
+            }
+            let var = var as u32;
+            current.push(if value > 0 { Lit::positive(var) } else { Lit::negative(var) });
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: input.lines().count(),
+            message: "unterminated clause (missing trailing 0)".into(),
+        });
+    }
+    Ok(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_formula() -> Formula {
+        let mut f = Formula::new();
+        let a = f.fresh_var();
+        let b = f.fresh_var();
+        let c = f.fresh_var();
+        f.add_clause([Lit::positive(a), Lit::negative(b)]);
+        f.add_clause([Lit::positive(b), Lit::positive(c)]);
+        f.add_clause([Lit::negative(c)]);
+        f
+    }
+
+    #[test]
+    fn round_trip_preserves_satisfiability_and_shape() {
+        let original = sample_formula();
+        let text = to_dimacs(&original);
+        assert!(text.starts_with("p cnf 3 3"));
+        let parsed = from_dimacs(&text).expect("round trip parses");
+        assert_eq!(parsed.num_vars(), original.num_vars());
+        assert_eq!(parsed.num_clauses(), original.num_clauses());
+        assert_eq!(parsed.solve().is_sat(), original.solve().is_sat());
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "c a comment\n\np cnf 2 2\n1 -2 0\nc interior comment\n2 0\n";
+        let formula = from_dimacs(text).unwrap();
+        assert_eq!(formula.num_vars(), 2);
+        assert_eq!(formula.num_clauses(), 2);
+        assert!(formula.solve().is_sat());
+    }
+
+    #[test]
+    fn multiline_clause_and_multiple_per_line() {
+        let text = "p cnf 2 2\n1\n-2 0 2 0\n";
+        let formula = from_dimacs(text).unwrap();
+        assert_eq!(formula.num_clauses(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(from_dimacs("1 2 0").is_err(), "clause before header");
+        assert!(from_dimacs("p cnf x 1\n").is_err(), "bad var count");
+        assert!(from_dimacs("p dnf 1 1\n1 0\n").is_err(), "wrong format tag");
+        assert!(from_dimacs("p cnf 1 1\n2 0\n").is_err(), "out-of-range literal");
+        assert!(from_dimacs("p cnf 1 1\n1\n").is_err(), "unterminated clause");
+        assert!(from_dimacs("p cnf 1 1\n1 z 0\n").is_err(), "garbage literal");
+    }
+
+    #[test]
+    fn unsat_instance_round_trips() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let formula = from_dimacs(text).unwrap();
+        assert!(!formula.solve().is_sat());
+        let reparsed = from_dimacs(&to_dimacs(&formula)).unwrap();
+        assert!(!reparsed.solve().is_sat());
+    }
+}

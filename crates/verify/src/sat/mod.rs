@@ -1,0 +1,13 @@
+//! The reduction-to-satisfiability toolkit of Appendix E: a from-scratch
+//! DPLL solver ([`solver`]), Tseitin circuit construction ([`cnf`]), and
+//! fixed-width bit-vector arithmetic ([`bitvec`]).
+
+pub mod bitvec;
+pub mod cnf;
+pub mod dimacs;
+pub mod solver;
+
+pub use bitvec::BitVec;
+pub use cnf::Circuit;
+pub use dimacs::{from_dimacs, to_dimacs, ParseDimacsError};
+pub use solver::{Formula, Lit, SatResult};

@@ -1,0 +1,431 @@
+//! A small DPLL SAT solver: iterative backtracking search with unit
+//! propagation, written from scratch so the Appendix E reduction runs with
+//! no external solver dependency.
+
+use std::fmt;
+
+/// A literal: a variable index with a sign. Variables are 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit {
+    code: u32,
+}
+
+impl Lit {
+    /// The positive literal of variable `var`.
+    pub fn positive(var: u32) -> Lit {
+        Lit { code: var << 1 }
+    }
+
+    /// The negative literal of variable `var`.
+    pub fn negative(var: u32) -> Lit {
+        Lit { code: (var << 1) | 1 }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> u32 {
+        self.code >> 1
+    }
+
+    /// Whether this is the negated polarity.
+    pub fn is_negated(self) -> bool {
+        self.code & 1 == 1
+    }
+
+    /// The opposite-polarity literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit { code: self.code ^ 1 }
+    }
+
+    /// Whether `value` for the variable satisfies this literal.
+    fn satisfied_by(self, value: bool) -> bool {
+        value != self.is_negated()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        self.negate()
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "¬x{}", self.var())
+        } else {
+            write!(f, "x{}", self.var())
+        }
+    }
+}
+
+/// The result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness assignment (indexed by variable).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the formula was satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// The witness assignment, if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SatResult::Sat(model) => Some(model),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+/// A CNF formula: a conjunction of clauses, each a disjunction of
+/// literals.
+#[derive(Debug, Clone, Default)]
+pub struct Formula {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Formula {
+    /// An empty (trivially satisfiable) formula.
+    pub fn new() -> Formula {
+        Formula::default()
+    }
+
+    /// Allocate a fresh variable and return its index.
+    pub fn fresh_var(&mut self) -> u32 {
+        let var = self.num_vars;
+        self.num_vars += 1;
+        var
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses added.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses, for serialization and inspection.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses.iter().map(Vec::as_slice)
+    }
+
+    /// Add a clause (a disjunction of literals). An empty clause makes the
+    /// formula unsatisfiable.
+    pub fn add_clause(&mut self, clause: impl IntoIterator<Item = Lit>) {
+        let clause: Vec<Lit> = clause.into_iter().collect();
+        for lit in &clause {
+            assert!(lit.var() < self.num_vars, "clause uses unallocated variable {}", lit.var());
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Decide satisfiability by DPLL search.
+    pub fn solve(&self) -> SatResult {
+        let mut solver = Dpll::new(self);
+        solver.run()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Unassigned,
+    True,
+    False,
+}
+
+struct Dpll<'a> {
+    formula: &'a Formula,
+    assignment: Vec<Assign>,
+    /// Trail of assigned variables, with decision-level markers.
+    trail: Vec<u32>,
+    /// Indices into `trail` where each decision level starts, paired with
+    /// the decided literal (so we can flip on backtrack).
+    decisions: Vec<(usize, Lit, bool)>, // (trail mark, literal, tried_both)
+    /// Clause indices watching each variable (simple full occurrence
+    /// lists; adequate at our formula sizes).
+    occurrences: Vec<Vec<usize>>,
+}
+
+impl<'a> Dpll<'a> {
+    fn new(formula: &'a Formula) -> Dpll<'a> {
+        let mut occurrences = vec![Vec::new(); formula.num_vars as usize];
+        for (index, clause) in formula.clauses.iter().enumerate() {
+            for lit in clause {
+                occurrences[lit.var() as usize].push(index);
+            }
+        }
+        Dpll {
+            formula,
+            assignment: vec![Assign::Unassigned; formula.num_vars as usize],
+            trail: Vec::new(),
+            decisions: Vec::new(),
+            occurrences,
+        }
+    }
+
+    fn value(&self, lit: Lit) -> Assign {
+        match self.assignment[lit.var() as usize] {
+            Assign::Unassigned => Assign::Unassigned,
+            Assign::True => {
+                if lit.satisfied_by(true) {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+            Assign::False => {
+                if lit.satisfied_by(false) {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, lit: Lit) {
+        self.assignment[lit.var() as usize] =
+            if lit.is_negated() { Assign::False } else { Assign::True };
+        self.trail.push(lit.var());
+    }
+
+    /// Propagate all unit clauses; returns false on conflict.
+    fn propagate(&mut self) -> bool {
+        loop {
+            let mut changed = false;
+            for clause in &self.formula.clauses {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for &lit in clause {
+                    match self.value(lit) {
+                        Assign::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        Assign::Unassigned => {
+                            unassigned_count += 1;
+                            unassigned = Some(lit);
+                        }
+                        Assign::False => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => return false, // all literals false: conflict
+                    1 => {
+                        self.assign(unassigned.expect("counted one unassigned literal"));
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn pick_branch_variable(&self) -> Option<u32> {
+        // Pick the unassigned variable occurring in the most clauses.
+        (0..self.formula.num_vars)
+            .filter(|&v| self.assignment[v as usize] == Assign::Unassigned)
+            .max_by_key(|&v| self.occurrences[v as usize].len())
+    }
+
+    fn backtrack(&mut self) -> bool {
+        while let Some((mark, lit, tried_both)) = self.decisions.pop() {
+            while self.trail.len() > mark {
+                let var = self.trail.pop().expect("trail length checked");
+                self.assignment[var as usize] = Assign::Unassigned;
+            }
+            if !tried_both {
+                // Try the opposite polarity as a forced assignment at the
+                // parent level.
+                self.decisions.push((mark, lit.negate(), true));
+                self.assign(lit.negate());
+                return true;
+            }
+        }
+        false
+    }
+
+    fn run(&mut self) -> SatResult {
+        if !self.propagate() {
+            if !self.backtrack() {
+                return SatResult::Unsat;
+            }
+        }
+        loop {
+            if !self.propagate() {
+                if !self.backtrack() {
+                    return SatResult::Unsat;
+                }
+                continue;
+            }
+            match self.pick_branch_variable() {
+                None => {
+                    let model = self
+                        .assignment
+                        .iter()
+                        .map(|a| matches!(a, Assign::True))
+                        .collect();
+                    return SatResult::Sat(model);
+                }
+                Some(var) => {
+                    let lit = Lit::positive(var);
+                    self.decisions.push((self.trail.len(), lit, false));
+                    self.assign(lit);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        if i > 0 {
+            Lit::positive((i - 1) as u32)
+        } else {
+            Lit::negative((-i - 1) as u32)
+        }
+    }
+
+    fn formula(num_vars: u32, clauses: &[&[i32]]) -> Formula {
+        let mut f = Formula::new();
+        for _ in 0..num_vars {
+            f.fresh_var();
+        }
+        for clause in clauses {
+            f.add_clause(clause.iter().map(|&i| lit(i)));
+        }
+        f
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(Formula::new().solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut f = Formula::new();
+        f.add_clause([]);
+        assert!(!f.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_contradiction_is_unsat() {
+        let f = formula(1, &[&[1], &[-1]]);
+        assert_eq!(f.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_sat_with_model() {
+        let f = formula(3, &[&[1, 2], &[-1, 3], &[-2]]);
+        match f.solve() {
+            SatResult::Sat(model) => {
+                // x2 false, so x1 true, so x3 true.
+                assert!(model[0]);
+                assert!(!model[1]);
+                assert!(model[2]);
+            }
+            SatResult::Unsat => panic!("formula is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole: p1h1 ∧ p2h1 impossible with exclusivity.
+        let f = formula(2, &[&[1], &[2], &[-1, -2]]);
+        assert_eq!(f.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Pigeons i∈{0,1,2}, holes j∈{0,1}; var(i,j) = 2i + j + 1.
+        let v = |i: i32, j: i32| 2 * i + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![v(i, 0), v(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let f = formula(6, &refs);
+        assert_eq!(f.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        let mut seed = 0xabcdef12u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..50 {
+            let num_vars = 6;
+            let num_clauses = (rng() % 20 + 3) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..num_clauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let var = (rng() % num_vars) as i32 + 1;
+                    clause.push(if rng() % 2 == 0 { var } else { -var });
+                }
+                clauses.push(clause);
+            }
+            let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let f = formula(num_vars as u32, &refs);
+            let brute = (0..(1u32 << num_vars)).any(|bits| {
+                clauses.iter().all(|clause| {
+                    clause.iter().any(|&l| {
+                        let var = l.unsigned_abs() as usize - 1;
+                        let value = bits & (1 << var) != 0;
+                        if l > 0 {
+                            value
+                        } else {
+                            !value
+                        }
+                    })
+                })
+            });
+            assert_eq!(f.solve().is_sat(), brute, "solver disagrees with brute force");
+        }
+    }
+
+    #[test]
+    fn literal_api_roundtrip() {
+        let l = Lit::positive(4);
+        assert_eq!(l.var(), 4);
+        assert!(!l.is_negated());
+        assert!((!l).is_negated());
+        assert_eq!(!!l, l);
+        assert_eq!(l.to_string(), "x4");
+        assert_eq!((!l).to_string(), "¬x4");
+    }
+}

@@ -1,0 +1,95 @@
+//! A tour of the Proust design space (Figure 1 of the paper).
+//!
+//! Runs the same transfer workload through all four quadrants — update
+//! strategy (eager/lazy) × lock allocator policy (optimistic/pessimistic)
+//! — over each STM conflict-detection backend, and reports which
+//! combinations preserved the atomicity invariant, matching the paper's
+//! compatibility table and opacity theorems.
+//!
+//! Run with: `cargo run --release --example design_space_tour`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proust::core::structures::{EagerMap, SnapTrieMap};
+use proust::core::{OptimisticLap, PessimisticLap, TxMap};
+use proust::stm::{ConflictDetection, Stm, StmConfig};
+
+const TOTAL: i64 = 100;
+
+fn build(quadrant: &str) -> Arc<dyn TxMap<u64, i64>> {
+    match quadrant {
+        "eager/optimistic" => Arc::new(EagerMap::new(Arc::new(OptimisticLap::new(16)))),
+        "eager/pessimistic" => Arc::new(EagerMap::new(Arc::new(PessimisticLap::new(16)))),
+        "lazy/optimistic" => Arc::new(SnapTrieMap::new(Arc::new(OptimisticLap::new(16)))),
+        "lazy/pessimistic" => Arc::new(SnapTrieMap::new(Arc::new(PessimisticLap::new(16)))),
+        other => unreachable!("unknown quadrant {other}"),
+    }
+}
+
+fn zombie_observations(quadrant: &str, detection: ConflictDetection) -> u64 {
+    let stm = Stm::new(StmConfig { detection, max_retries: Some(100_000), ..StmConfig::default() });
+    let map = build(quadrant);
+    stm.atomically(|tx| {
+        map.put(tx, 0, TOTAL / 2)?;
+        map.put(tx, 1, TOTAL / 2)
+    })
+    .unwrap();
+    let violations = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let writer_stm = stm.clone();
+        let writer_map = Arc::clone(&map);
+        scope.spawn(move || {
+            for i in 0..2_000i64 {
+                let delta = if i % 2 == 0 { 1 } else { -1 };
+                let _ = writer_stm.atomically(|tx| {
+                    let a = writer_map.get(tx, &0)?.unwrap_or(0);
+                    let b = writer_map.get(tx, &1)?.unwrap_or(0);
+                    writer_map.put(tx, 0, a - delta)?;
+                    // Widen the mid-transaction window so the litmus can
+                    // observe zombies even on a single-core machine.
+                    std::thread::yield_now();
+                    writer_map.put(tx, 1, b + delta)
+                });
+            }
+        });
+        let violations = &violations;
+        scope.spawn(move || {
+            for _ in 0..2_000 {
+                let _ = stm.atomically(|tx| {
+                    let a = map.get(tx, &0)?.unwrap_or(0);
+                    let b = map.get(tx, &1)?.unwrap_or(0);
+                    if a + b != TOTAL {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(())
+                });
+            }
+        });
+    });
+    violations.load(Ordering::Relaxed)
+}
+
+fn main() {
+    println!("Proust design space: quadrant × STM backend → zombie observations");
+    println!("(zero means opaque in this run; see Theorems 5.1–5.3)\n");
+    println!(
+        "{:<20} {:>10} {:>10} {:>10}",
+        "quadrant", "mixed", "eager-all", "lazy-all"
+    );
+    for quadrant in
+        ["eager/optimistic", "eager/pessimistic", "lazy/optimistic", "lazy/pessimistic"]
+    {
+        let cells: Vec<String> = ConflictDetection::ALL
+            .iter()
+            .map(|&d| zombie_observations(quadrant, d).to_string())
+            .collect();
+        println!("{:<20} {:>10} {:>10} {:>10}", quadrant, cells[0], cells[1], cells[2]);
+    }
+    println!(
+        "\nReading the table: the eager/optimistic row is only guaranteed clean under\n\
+         eager-all (Theorem 5.2) — nonzero counts elsewhere in that row reproduce the\n\
+         ScalaProust opacity caveat (§6, footnote 3). All other rows are opaque by\n\
+         Theorems 5.1 and 5.3 and must read zero everywhere."
+    );
+}

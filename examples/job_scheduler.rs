@@ -1,0 +1,123 @@
+//! A transactional job scheduler composing two Proustian structures.
+//!
+//! Producers enqueue jobs into a priority queue (deadline-ordered) and
+//! record job metadata in a map — atomically, in one transaction. Workers
+//! claim the most urgent job and flip its state in the map, again in one
+//! transaction, so no observer can ever see a job that is in the queue
+//! but missing from the registry or vice versa. Cross-data-structure
+//! atomicity is exactly what the STM integration of Proustian objects
+//! buys over a pile of individually-thread-safe structures.
+//!
+//! Run with: `cargo run --release --example job_scheduler`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proust::core::structures::{LazyPQueue, MemoMap};
+use proust::core::{OptimisticLap, TxMap, TxPQueue};
+use proust::stm::{Stm, StmConfig};
+
+const PRODUCERS: usize = 3;
+const WORKERS: usize = 3;
+const JOBS_PER_PRODUCER: u64 = 500;
+
+/// A job reference ordered by (deadline, id).
+type JobRef = (u64, u64);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JobState {
+    Pending,
+    Done { worker: usize },
+}
+
+fn main() {
+    let stm = Stm::new(StmConfig::default());
+    let queue: Arc<LazyPQueue<JobRef>> = Arc::new(LazyPQueue::new(Arc::new(OptimisticLap::new(8))));
+    let registry: Arc<MemoMap<u64, JobState>> =
+        Arc::new(MemoMap::combining(Arc::new(OptimisticLap::new(1024))));
+    let completed = Arc::new(AtomicU64::new(0));
+    let total_jobs = (PRODUCERS as u64) * JOBS_PER_PRODUCER;
+
+    std::thread::scope(|scope| {
+        for producer in 0..PRODUCERS {
+            let stm = stm.clone();
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                for i in 0..JOBS_PER_PRODUCER {
+                    let id = (producer as u64) * 1_000_000 + i;
+                    let deadline = (id * 2_654_435_761) % 10_000; // scatter deadlines
+                    stm.atomically(|tx| {
+                        // Queue entry and registry entry appear atomically.
+                        queue.insert(tx, (deadline, id))?;
+                        registry.put(tx, id, JobState::Pending)?;
+                        Ok(())
+                    })
+                    .expect("enqueue commits");
+                }
+            });
+        }
+        for worker in 0..WORKERS {
+            let stm = stm.clone();
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let completed = Arc::clone(&completed);
+            scope.spawn(move || loop {
+                let claimed = stm
+                    .atomically(|tx| {
+                        match queue.remove_min(tx)? {
+                            None => Ok(None),
+                            Some((_deadline, id)) => {
+                                // The job must be registered and pending —
+                                // atomicity of the producer transaction
+                                // guarantees it.
+                                let state = registry.get(tx, &id)?;
+                                assert_eq!(
+                                    state,
+                                    Some(JobState::Pending),
+                                    "queue/registry atomicity violated"
+                                );
+                                registry.put(tx, id, JobState::Done { worker })?;
+                                Ok(Some(id))
+                            }
+                        }
+                    })
+                    .expect("claim commits");
+                match claimed {
+                    Some(_) => {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        // Queue drained; finish once all jobs are done.
+                        if completed.load(Ordering::Relaxed) >= total_jobs {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+
+    // Every job completed exactly once, and the registry agrees.
+    assert_eq!(completed.load(Ordering::Relaxed), total_jobs);
+    let (queue_len, done_count) = stm
+        .atomically(|tx| {
+            let len = queue.size(tx)?;
+            let mut done = 0;
+            for producer in 0..PRODUCERS {
+                for i in 0..JOBS_PER_PRODUCER {
+                    let id = (producer as u64) * 1_000_000 + i;
+                    if matches!(registry.get(tx, &id)?, Some(JobState::Done { .. })) {
+                        done += 1;
+                    }
+                }
+            }
+            Ok((len, done))
+        })
+        .unwrap();
+    assert_eq!(queue_len, 0, "queue fully drained");
+    assert_eq!(done_count, total_jobs);
+    println!("scheduled and completed {total_jobs} jobs; stats: {}", stm.stats());
+    println!("job_scheduler OK");
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerate every experiment in EXPERIMENTS.md and collect the output.
+#
+# Usage: scripts/run_experiments.sh [results-dir]
+#
+# The full paper-scale figure4 grid (1M ops, threads to 32, 10+10 runs)
+# is sized for a 40-vCPU machine; the defaults here are scaled for small
+# containers while preserving the grid shape. Override via FIGURE4_ARGS.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RESULTS_DIR="${1:-results}"
+mkdir -p "$RESULTS_DIR"
+
+FIGURE4_ARGS="${FIGURE4_ARGS:---ops 100000 --runs 2 --warmups 1 --threads 1,2,4,8 --csv $RESULTS_DIR/figure4.csv}"
+
+echo "== building (release) =="
+cargo build --release -p proust-bench --bins
+
+echo "== figure4 $FIGURE4_ARGS =="
+cargo run --release -q -p proust-bench --bin figure4 -- $FIGURE4_ARGS \
+    | tee "$RESULTS_DIR/figure4.txt"
+
+echo "== design_space =="
+cargo run --release -q -p proust-bench --bin design_space \
+    | tee "$RESULTS_DIR/design_space.txt"
+
+echo "== counter_bench =="
+cargo run --release -q -p proust-bench --bin counter_bench \
+    | tee "$RESULTS_DIR/counter_bench.txt"
+
+echo "== pqueue_bench =="
+cargo run --release -q -p proust-bench --bin pqueue_bench \
+    | tee "$RESULTS_DIR/pqueue_bench.txt"
+
+echo "== fifo_bench =="
+cargo run --release -q -p proust-bench --bin fifo_bench \
+    | tee "$RESULTS_DIR/fifo_bench.txt"
+
+echo "All results in $RESULTS_DIR/"

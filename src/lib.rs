@@ -1,0 +1,54 @@
+//! # Proust
+//!
+//! A Rust reproduction of *Proust: A Design Space for Highly-Concurrent
+//! Transactional Data Structures* (Dickerson, Gazzillo, Herlihy, Koskinen;
+//! PODC 2017 / arXiv:1702.04866).
+//!
+//! Proust turns existing thread-safe (linearizable) concurrent data
+//! structures into *transactional* data structures with minimal false
+//! conflicts, unifying transactional boosting and transactional predication
+//! into a two-axis design space:
+//!
+//! * **concurrency control** — pessimistic abstract locks, or an optimistic
+//!   *conflict abstraction* mapped onto STM memory locations;
+//! * **update strategy** — eager in-place mutation with registered inverses,
+//!   or lazy replay logs backed by *shadow copies*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`stm`] — the software transactional memory substrate with pluggable
+//!   conflict-detection backends (mixed / eager / lazy, Figure 1 of the
+//!   paper);
+//! * [`conc`] — the thread-safe base data structures that get wrapped
+//!   (striped hash map, snapshottable trie map, copy-on-write heap);
+//! * [`core`] — the Proust framework itself (abstract locks, lock allocator
+//!   policies, replay logs, shadow copies) and the wrapped Proustian
+//!   structures;
+//! * [`baselines`] — the comparators from the paper's evaluation
+//!   (pure-STM map, transactional predication, stand-alone boosting, coarse
+//!   locking);
+//! * [`verify`] — Appendix E: conflict-abstraction verification by bounded
+//!   exhaustive checking and by reduction to SAT (with a from-scratch DPLL
+//!   solver).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use proust::stm::{Stm, StmConfig};
+//! use proust::core::structures::ProustCounter;
+//!
+//! let stm = Stm::new(StmConfig::default());
+//! let counter = ProustCounter::new(0);
+//! stm.atomically(|tx| {
+//!     counter.incr(tx)?;
+//!     counter.incr(tx)
+//! })
+//! .unwrap();
+//! assert_eq!(counter.value_now(), 2);
+//! ```
+
+pub use proust_baselines as baselines;
+pub use proust_conc as conc;
+pub use proust_core as core;
+pub use proust_stm as stm;
+pub use proust_verify as verify;

@@ -1,0 +1,144 @@
+//! Cross-structure composition: the whole point of integrating Proustian
+//! objects with an STM (vs. stand-alone boosting) is that transactions
+//! compose across *different* wrapped structures and plain `TVar`s.
+
+use std::sync::Arc;
+
+use proust_core::structures::{LazyPQueue, MemoMap, ProustCounter, ProustSet, SnapTrieMap};
+use proust_core::{OptimisticLap, PessimisticLap, TxMap, TxPQueue};
+use proust_stm::{Stm, StmConfig, TVar, TxError};
+
+#[test]
+fn abort_rolls_back_across_structures() {
+    let stm = Stm::new(StmConfig::default());
+    let counter = ProustCounter::new(5);
+    let map: MemoMap<u32, String> = MemoMap::new(Arc::new(OptimisticLap::new(64)));
+    let queue: LazyPQueue<u32> = LazyPQueue::new(Arc::new(OptimisticLap::new(4)));
+    let set: ProustSet<u32> = ProustSet::new(Arc::new(OptimisticLap::new(64)));
+    let tvar = TVar::new(0u32);
+
+    let result: Result<(), _> = stm.atomically(|tx| {
+        counter.incr(tx)?;
+        map.put(tx, 1, "one".into())?;
+        queue.insert(tx, 42)?;
+        set.add(tx, 7)?;
+        tvar.write(tx, 99)?;
+        Err(TxError::abort("atomic rollback across five structures"))
+    });
+    assert!(result.is_err());
+
+    assert_eq!(counter.value_now(), 5);
+    assert_eq!(tvar.load(), 0);
+    stm.atomically(|tx| {
+        assert_eq!(map.get(tx, &1)?, None);
+        assert_eq!(queue.min(tx)?, None);
+        assert!(!set.contains(tx, &7)?);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn commit_lands_across_structures_atomically() {
+    let stm = Stm::new(StmConfig::default());
+    let map: Arc<SnapTrieMap<u32, u64>> = Arc::new(SnapTrieMap::new(Arc::new(OptimisticLap::new(64))));
+    let queue: Arc<LazyPQueue<u32>> = Arc::new(LazyPQueue::new(Arc::new(OptimisticLap::new(4))));
+
+    // Producer: register-and-enqueue atomically. Consumer: dequeue and
+    // verify registration atomically. The consumer must never pop an id
+    // missing from the map.
+    let produced = 300u32;
+    std::thread::scope(|scope| {
+        let pstm = stm.clone();
+        let pmap = Arc::clone(&map);
+        let pqueue = Arc::clone(&queue);
+        scope.spawn(move || {
+            for id in 0..produced {
+                pstm.atomically(|tx| {
+                    pmap.put(tx, id, u64::from(id) * 10)?;
+                    pqueue.insert(tx, id)
+                })
+                .unwrap();
+            }
+        });
+        let cstm = stm.clone();
+        let cmap = Arc::clone(&map);
+        let cqueue = Arc::clone(&queue);
+        scope.spawn(move || {
+            let mut seen = 0;
+            while seen < produced {
+                let popped = cstm
+                    .atomically(|tx| match cqueue.remove_min(tx)? {
+                        None => Ok(None),
+                        Some(id) => {
+                            let value = cmap.get(tx, &id)?;
+                            assert_eq!(
+                                value,
+                                Some(u64::from(id) * 10),
+                                "queue entry {id} not registered in map"
+                            );
+                            Ok(Some(id))
+                        }
+                    })
+                    .unwrap();
+                if popped.is_some() {
+                    seen += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    });
+}
+
+#[test]
+fn mixed_policies_compose_in_one_transaction() {
+    // One structure under an optimistic LAP, another under a pessimistic
+    // LAP, plus a raw TVar — all in the same atomic transaction.
+    let stm = Stm::new(StmConfig::default());
+    let optimistic: MemoMap<u32, u32> = MemoMap::new(Arc::new(OptimisticLap::new(16)));
+    let pessimistic: SnapTrieMap<u32, u32> = SnapTrieMap::new(Arc::new(PessimisticLap::new(16)));
+    let balance = TVar::new(10u32);
+
+    stm.atomically(|tx| {
+        let b = balance.read(tx)?;
+        optimistic.put(tx, 1, b)?;
+        pessimistic.put(tx, 1, b * 2)?;
+        balance.write(tx, b - 1)
+    })
+    .unwrap();
+
+    stm.atomically(|tx| {
+        assert_eq!(optimistic.get(tx, &1)?, Some(10));
+        assert_eq!(pessimistic.get(tx, &1)?, Some(20));
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(balance.load(), 9);
+}
+
+#[test]
+fn counter_guards_queue_capacity() {
+    // A bounded queue built by composition: the §3 counter tracks
+    // remaining capacity; a decr failure (error flag) aborts the insert.
+    let stm = Stm::new(StmConfig::default());
+    let capacity = ProustCounter::new(3);
+    let queue: Arc<LazyPQueue<u64>> = Arc::new(LazyPQueue::new(Arc::new(OptimisticLap::new(4))));
+
+    let mut accepted = 0;
+    for item in 0..10u64 {
+        let result = stm.atomically(|tx| {
+            if !capacity.decr(tx)? {
+                return Err(TxError::abort("queue full"));
+            }
+            queue.insert(tx, item)
+        });
+        if result.is_ok() {
+            accepted += 1;
+        }
+    }
+    assert_eq!(accepted, 3, "capacity must bound accepted inserts");
+    assert_eq!(capacity.value_now(), 0);
+    let len = stm.atomically(|tx| queue.size(tx)).unwrap();
+    assert_eq!(len, 3);
+}

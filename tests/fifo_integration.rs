@@ -1,0 +1,121 @@
+//! Integration tests for the Proustian FIFO queue: cross-structure
+//! composition and the Head/Tail conflict-abstraction behaviour.
+
+use std::sync::Arc;
+
+use proust_core::structures::{MemoMap, ProustFifo};
+use proust_core::{OptimisticLap, TxMap};
+use proust_stm::{Stm, StmConfig, TxError};
+
+#[test]
+fn fifo_composes_with_map_atomically() {
+    // A work queue plus an audit map: enqueue-and-record must be atomic.
+    let stm = Stm::new(StmConfig::default());
+    let queue: Arc<ProustFifo<u64>> = Arc::new(ProustFifo::new(Arc::new(OptimisticLap::new(4))));
+    let audit: Arc<MemoMap<u64, &'static str>> =
+        Arc::new(MemoMap::new(Arc::new(OptimisticLap::new(64))));
+
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let stm = stm.clone();
+            let queue = Arc::clone(&queue);
+            let audit = Arc::clone(&audit);
+            scope.spawn(move || {
+                for i in 0..60 {
+                    let id = t * 100 + i;
+                    stm.atomically(|tx| {
+                        queue.enqueue(tx, id)?;
+                        audit.put(tx, id, "queued")?;
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+
+    // Drain: every dequeued id must be audited, atomically flipped.
+    let mut drained = 0;
+    loop {
+        let popped = stm
+            .atomically(|tx| match queue.dequeue(tx)? {
+                None => Ok(None),
+                Some(id) => {
+                    assert_eq!(audit.get(tx, &id)?, Some("queued"), "audit missing for {id}");
+                    audit.put(tx, id, "done")?;
+                    Ok(Some(id))
+                }
+            })
+            .unwrap();
+        match popped {
+            Some(_) => drained += 1,
+            None => break,
+        }
+    }
+    assert_eq!(drained, 180);
+    assert_eq!(queue.committed_size(), 0);
+}
+
+#[test]
+fn fifo_abort_with_multiple_ops_restores_order() {
+    let stm = Stm::new(StmConfig::default());
+    let queue: ProustFifo<u32> = ProustFifo::new(Arc::new(OptimisticLap::new(4)));
+    stm.atomically(|tx| {
+        queue.enqueue(tx, 1)?;
+        queue.enqueue(tx, 2)?;
+        queue.enqueue(tx, 3)
+    })
+    .unwrap();
+    let result: Result<(), _> = stm.atomically(|tx| {
+        assert_eq!(queue.dequeue(tx)?, Some(1));
+        queue.enqueue(tx, 4)?;
+        assert_eq!(queue.dequeue(tx)?, Some(2));
+        Err(TxError::abort("rewind"))
+    });
+    assert!(result.is_err());
+    // Original order intact.
+    let order: Vec<u32> = (0..3)
+        .map(|_| stm.atomically(|tx| queue.dequeue(tx)).unwrap().unwrap())
+        .collect();
+    assert_eq!(order, vec![1, 2, 3]);
+}
+
+#[test]
+fn enqueues_on_nonempty_queue_do_not_false_conflict_with_peeks() {
+    // On a non-empty queue, enqueue touches Tail and peek touches Head —
+    // the conflict abstraction keeps them disjoint, so a read-heavy
+    // front-watcher never conflicts with producers.
+    use proust_core::structures::FifoState;
+    let stm = Stm::new(StmConfig::default());
+    // Explicit slots so Head and Tail cannot collide in the region.
+    let lap = OptimisticLap::with_slot_fn(2, |state: &FifoState| match state {
+        FifoState::Head => 0,
+        FifoState::Tail => 1,
+    });
+    let queue: Arc<ProustFifo<u64>> = Arc::new(ProustFifo::new(Arc::new(lap)));
+    stm.atomically(|tx| queue.enqueue(tx, 0)).unwrap(); // pin non-empty
+    let before = stm.stats().conflicts;
+    std::thread::scope(|scope| {
+        let pstm = stm.clone();
+        let pqueue = Arc::clone(&queue);
+        scope.spawn(move || {
+            for i in 1..=300u64 {
+                pstm.atomically(|tx| pqueue.enqueue(tx, i)).unwrap();
+            }
+        });
+        let rstm = stm.clone();
+        let rqueue = Arc::clone(&queue);
+        scope.spawn(move || {
+            for _ in 0..300 {
+                let front = rstm.atomically(|tx| rqueue.peek(tx)).unwrap();
+                assert_eq!(front, Some(0), "head pinned while only enqueues run");
+            }
+        });
+    });
+    assert_eq!(
+        stm.stats().conflicts,
+        before,
+        "peek vs enqueue on a non-empty queue must be conflict-free"
+    );
+    assert_eq!(queue.committed_size(), 301);
+}

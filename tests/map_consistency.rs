@@ -1,0 +1,153 @@
+//! Cross-crate integration: every transactional map implementation —
+//! Proustian wrappers and baselines alike — must behave like an atomic
+//! map under concurrency.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use proust_bench::maps::MapKind;
+
+/// Each thread performs read-modify-write increments on a small key
+/// space; the final per-key values must sum to the number of committed
+/// increments (no lost updates), for every implementation.
+#[test]
+fn no_lost_updates_across_all_implementations() {
+    for kind in MapKind::ALL {
+        let (stm, map) = kind.build();
+        let keys = 8u64;
+        let per_thread = 150;
+        let threads = 4;
+        stm.atomically(|tx| {
+            for k in 0..keys {
+                map.put(tx, k, 0)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                scope.spawn(move || {
+                    let mut seed = (t as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                    let mut rng = move || {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        seed
+                    };
+                    for _ in 0..per_thread {
+                        let key = rng() % keys;
+                        stm.atomically(|tx| {
+                            let v = map.get(tx, &key)?.unwrap_or(0);
+                            map.put(tx, key, v + 1)
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let total: u64 = stm
+            .atomically(|tx| {
+                let mut sum = 0;
+                for k in 0..keys {
+                    sum += map.get(tx, &k)?.unwrap_or(0);
+                }
+                Ok(sum)
+            })
+            .unwrap();
+        assert_eq!(total, (threads * per_thread) as u64, "{kind}: lost updates");
+    }
+}
+
+/// Transfers between keys conserve the total, for every implementation:
+/// the multi-key transaction is atomic.
+#[test]
+fn transfers_conserve_total_across_all_implementations() {
+    for kind in MapKind::ALL {
+        let (stm, map) = kind.build();
+        let keys = 6u64;
+        let initial = 100i64;
+        stm.atomically(|tx| {
+            for k in 0..keys {
+                map.put(tx, k, initial as u64)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                scope.spawn(move || {
+                    let mut seed = (t as u64 + 7).wrapping_mul(0x2545f4914f6cdd1d);
+                    let mut rng = move || {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        seed
+                    };
+                    for _ in 0..100 {
+                        let from = rng() % keys;
+                        let to = (from + 1 + rng() % (keys - 1)) % keys;
+                        let amount = rng() % 5;
+                        stm.atomically(|tx| {
+                            let f = map.get(tx, &from)?.unwrap_or(0);
+                            if f < amount {
+                                return Ok(()); // skip, stay non-negative
+                            }
+                            let g = map.get(tx, &to)?.unwrap_or(0);
+                            map.put(tx, from, f - amount)?;
+                            map.put(tx, to, g + amount).map(drop)
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let total: u64 = stm
+            .atomically(|tx| {
+                let mut sum = 0;
+                for k in 0..keys {
+                    sum += map.get(tx, &k)?.unwrap_or(0);
+                }
+                Ok(sum)
+            })
+            .unwrap();
+        assert_eq!(total, keys * initial as u64, "{kind}: transfer atomicity violated");
+    }
+}
+
+/// Committed-size accounting stays exact under concurrent inserts and
+/// removals of disjoint keys.
+#[test]
+fn size_accounting_is_exact_under_concurrency() {
+    for kind in MapKind::ALL {
+        let (stm, map) = kind.build();
+        let net_inserted = AtomicI64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let stm = stm.clone();
+                let map = Arc::clone(&map);
+                let net_inserted = &net_inserted;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let key = t * 1_000 + i;
+                        let prev = stm.atomically(|tx| map.put(tx, key, i)).unwrap();
+                        if prev.is_none() {
+                            net_inserted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if i % 3 == 0 {
+                            let removed = stm.atomically(|tx| map.remove(tx, &key)).unwrap();
+                            if removed.is_some() {
+                                net_inserted.fetch_sub(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let size = stm.atomically(|tx| map.size(tx)).unwrap();
+        assert_eq!(size, net_inserted.load(Ordering::Relaxed), "{kind}: size drifted");
+    }
+}

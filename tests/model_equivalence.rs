@@ -1,0 +1,166 @@
+//! Property-based equivalence: for any sequence of map operations, every
+//! transactional map implementation must return exactly what the
+//! sequential model (`std::collections::HashMap`) returns, including
+//! previous-value results — and transactions partitioning the sequence
+//! must not change the outcome.
+
+use std::collections::HashMap;
+
+
+use proptest::prelude::*;
+use proust_bench::maps::MapKind;
+
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, u64),
+    Get(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0..16u64;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        key.clone().prop_map(Op::Get),
+        key.clone().prop_map(Op::Remove),
+        key.prop_map(Op::Contains),
+    ]
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Observed {
+    Value(Option<u64>),
+    Bool(bool),
+}
+
+fn run_model(ops: &[Op]) -> Vec<Observed> {
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    ops.iter()
+        .map(|op| match op {
+            Op::Put(k, v) => Observed::Value(model.insert(*k, *v)),
+            Op::Get(k) => Observed::Value(model.get(k).copied()),
+            Op::Remove(k) => Observed::Value(model.remove(k)),
+            Op::Contains(k) => Observed::Bool(model.contains_key(k)),
+        })
+        .collect()
+}
+
+fn run_impl(kind: MapKind, ops: &[Op], txn_size: usize) -> Vec<Observed> {
+    let (stm, map) = kind.build();
+    let mut observed = Vec::with_capacity(ops.len());
+    for chunk in ops.chunks(txn_size.max(1)) {
+        let results = stm
+            .atomically(|tx| {
+                let mut results = Vec::with_capacity(chunk.len());
+                for op in chunk {
+                    results.push(match op {
+                        Op::Put(k, v) => Observed::Value(map.put(tx, *k, *v)?),
+                        Op::Get(k) => Observed::Value(map.get(tx, k)?),
+                        Op::Remove(k) => Observed::Value(map.remove(tx, k)?),
+                        Op::Contains(k) => Observed::Bool(map.contains(tx, k)?),
+                    });
+                }
+                Ok(results)
+            })
+            .unwrap();
+        observed.extend(results);
+    }
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_implementations_match_the_sequential_model(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        txn_size in 1usize..12,
+    ) {
+        let expected = run_model(&ops);
+        for kind in MapKind::ALL {
+            let observed = run_impl(kind, &ops, txn_size);
+            prop_assert_eq!(
+                &observed, &expected,
+                "{} diverged from the sequential model (txn_size {})", kind, txn_size
+            );
+        }
+    }
+
+    #[test]
+    fn final_state_matches_model_after_random_ops(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => { model.insert(*k, *v); }
+                Op::Remove(k) => { model.remove(k); }
+                _ => {}
+            }
+        }
+        for kind in [MapKind::ProustLazySnap, MapKind::ProustMemoCombining, MapKind::Predication] {
+            let observed = run_impl(kind, &ops, 7);
+            let _ = observed;
+            let (stm, map) = kind.build();
+            for chunk in ops.chunks(7) {
+                stm.atomically(|tx| {
+                    for op in chunk {
+                        match op {
+                            Op::Put(k, v) => { map.put(tx, *k, *v)?; }
+                            Op::Remove(k) => { map.remove(tx, k)?; }
+                            Op::Get(k) => { map.get(tx, k)?; }
+                            Op::Contains(k) => { map.contains(tx, k)?; }
+                        }
+                    }
+                    Ok(())
+                }).unwrap();
+            }
+            for key in 0..16u64 {
+                let value = stm.atomically(|tx| map.get(tx, &key)).unwrap();
+                prop_assert_eq!(value, model.get(&key).copied(), "{} final state at key {}", kind, key);
+            }
+            let size = stm.atomically(|tx| map.size(tx)).unwrap();
+            prop_assert_eq!(size, model.len() as i64, "{} size", kind);
+        }
+    }
+}
+
+/// Aborted transactions leave no trace, regardless of where in the
+/// sequence the abort lands.
+#[test]
+fn abort_anywhere_leaves_no_trace() {
+    use proust_stm::TxError;
+    let ops = [Op::Put(1, 10), Op::Put(2, 20), Op::Remove(1), Op::Put(3, 30)];
+    for kind in MapKind::ALL {
+        for abort_after in 0..ops.len() {
+            let (stm, map) = kind.build();
+            stm.atomically(|tx| map.put(tx, 9, 90)).unwrap();
+            let result: Result<(), _> = stm.atomically(|tx| {
+                for op in ops.iter().take(abort_after + 1) {
+                    match op {
+                        Op::Put(k, v) => {
+                            map.put(tx, *k, *v)?;
+                        }
+                        Op::Remove(k) => {
+                            map.remove(tx, k)?;
+                        }
+                        _ => {}
+                    }
+                }
+                Err(TxError::abort("cut here"))
+            });
+            assert!(result.is_err());
+            // Only the pre-existing entry survives.
+            let state: Vec<Option<u64>> = (0..10u64)
+                .map(|k| stm.atomically(|tx| map.get(tx, &k)).unwrap())
+                .collect();
+            let mut expected = vec![None; 10];
+            expected[9] = Some(90);
+            assert_eq!(state, expected, "{kind}: abort after {abort_after} ops leaked state");
+            let size = stm.atomically(|tx| map.size(tx)).unwrap();
+            assert_eq!(size, 1, "{kind}: size leaked after abort");
+        }
+    }
+}

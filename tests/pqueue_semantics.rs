@@ -1,0 +1,176 @@
+//! Integration tests for the Proustian priority queues: sequential
+//! equivalence against `BinaryHeap`, concurrent drain exactness, and the
+//! boosting commutativity rules of §6.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use proust_core::structures::{EagerPQueue, LazyPQueue, PQueueState};
+use proust_core::{LockAllocatorPolicy, OptimisticLap, PessimisticLap, TxPQueue};
+use proust_stm::{ConflictDetection, Stm, StmConfig};
+
+fn configurations() -> Vec<(Arc<dyn TxPQueue<u64>>, Stm, &'static str)> {
+    let pess: Arc<dyn LockAllocatorPolicy<PQueueState>> = Arc::new(PessimisticLap::new(4));
+    let group: Arc<dyn LockAllocatorPolicy<PQueueState>> =
+        Arc::new(proust_core::structures::exact_pqueue_lap());
+    vec![
+        (
+            Arc::new(LazyPQueue::new(Arc::new(OptimisticLap::new(4)))),
+            Stm::new(StmConfig::default()),
+            "lazy/optimistic",
+        ),
+        (
+            Arc::new(LazyPQueue::new(pess.clone())),
+            Stm::new(StmConfig::default()),
+            "lazy/pessimistic",
+        ),
+        (
+            Arc::new(LazyPQueue::new(group)),
+            Stm::new(StmConfig::default()),
+            "lazy/group-exclusive",
+        ),
+        (
+            Arc::new(EagerPQueue::new(pess)),
+            Stm::new(StmConfig::default()),
+            "eager/pessimistic",
+        ),
+        (
+            Arc::new(EagerPQueue::new(Arc::new(OptimisticLap::new(4)))),
+            Stm::new(StmConfig::with_detection(ConflictDetection::EagerAll)),
+            "eager/optimistic+eager-stm",
+        ),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+enum QOp {
+    Insert(u64),
+    RemoveMin,
+    Min,
+    Contains(u64),
+}
+
+fn qop_strategy() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        3 => (0..50u64).prop_map(QOp::Insert),
+        2 => Just(QOp::RemoveMin),
+        1 => Just(QOp::Min),
+        1 => (0..50u64).prop_map(QOp::Contains),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sequential_equivalence_with_binary_heap(
+        ops in prop::collection::vec(qop_strategy(), 1..50),
+        txn_size in 1usize..8,
+    ) {
+        for (queue, stm, label) in configurations() {
+            let mut model: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+            for chunk in ops.chunks(txn_size) {
+                // Apply a chunk transactionally, collecting observations.
+                let observed = stm.atomically(|tx| {
+                    let mut out = Vec::new();
+                    for op in chunk {
+                        out.push(match op {
+                            QOp::Insert(v) => { queue.insert(tx, *v)?; None }
+                            QOp::RemoveMin => queue.remove_min(tx)?,
+                            QOp::Min => queue.min(tx)?,
+                            QOp::Contains(v) => queue.contains(tx, v)?.then_some(*v),
+                        });
+                    }
+                    Ok(out)
+                }).unwrap();
+                // Replay the chunk on the model and compare.
+                for (op, seen) in chunk.iter().zip(observed) {
+                    let expected = match op {
+                        QOp::Insert(v) => { model.push(Reverse(*v)); None }
+                        QOp::RemoveMin => model.pop().map(|Reverse(v)| v),
+                        QOp::Min => model.peek().map(|Reverse(v)| *v),
+                        QOp::Contains(v) => {
+                            model.iter().any(|Reverse(x)| x == v).then_some(*v)
+                        }
+                    };
+                    prop_assert_eq!(seen, expected, "{} diverged on {:?}", label, op);
+                }
+            }
+            let size = stm.atomically(|tx| queue.size(tx)).unwrap();
+            prop_assert_eq!(size as usize, model.len(), "{} size", label);
+        }
+    }
+}
+
+/// Concurrent producers and consumers: every inserted value pops exactly
+/// once, and pops respect min-order *per consumer observation window*.
+#[test]
+fn concurrent_drain_is_exact() {
+    for (queue, stm, label) in configurations() {
+        let produced: u64 = 400;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let stm = stm.clone();
+                let queue = Arc::clone(&queue);
+                scope.spawn(move || {
+                    for i in 0..produced / 4 {
+                        stm.atomically(|tx| queue.insert(tx, t * 10_000 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        let drained = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stm = stm.clone();
+                let queue = Arc::clone(&queue);
+                let drained = &drained;
+                scope.spawn(move || loop {
+                    match stm.atomically(|tx| queue.remove_min(tx)).unwrap() {
+                        Some(v) => drained.lock().unwrap().push(v),
+                        None => break,
+                    }
+                });
+            }
+        });
+        let mut all = drained.into_inner().unwrap();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, produced, "{label}: duplicate or lost pops");
+    }
+}
+
+/// §6's rule: `add(x)` commutes with `removeMin() → y` when `y ≤ x`. Two
+/// transactions exercising exactly that pair must both commit without
+/// interference on the pessimistic group-exclusive configuration... and on
+/// every configuration the *results* must be serializable.
+#[test]
+fn insert_above_min_coexists_with_remove_min() {
+    for (queue, stm, label) in configurations() {
+        stm.atomically(|tx| {
+            queue.insert(tx, 1)?;
+            queue.insert(tx, 2)
+        })
+        .unwrap();
+        let (popped, _) = std::thread::scope(|scope| {
+            let h1 = {
+                let stm = stm.clone();
+                let queue = Arc::clone(&queue);
+                scope.spawn(move || stm.atomically(|tx| queue.remove_min(tx)).unwrap())
+            };
+            let h2 = {
+                let stm = stm.clone();
+                let queue = Arc::clone(&queue);
+                scope.spawn(move || stm.atomically(|tx| queue.insert(tx, 100)).unwrap())
+            };
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        assert_eq!(popped, Some(1), "{label}: removeMin must pop the pre-existing minimum");
+        let remaining = stm
+            .atomically(|tx| Ok((queue.size(tx)?, queue.min(tx)?, queue.contains(tx, &100)?)))
+            .unwrap();
+        assert_eq!(remaining, (2, Some(2), true), "{label}: final state wrong");
+    }
+}
