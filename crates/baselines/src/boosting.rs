@@ -141,9 +141,7 @@ mod tests {
             Err(TxError::abort("undo"))
         });
         assert!(result.is_err());
-        let (a, b) = stm
-            .atomically(|tx| Ok((map.get(tx, &1)?, map.get(tx, &2)?)))
-            .unwrap();
+        let (a, b) = stm.atomically(|tx| Ok((map.get(tx, &1)?, map.get(tx, &2)?))).unwrap();
         assert_eq!((a, b), (Some(10), Some(20)));
         assert_eq!(map.committed_size(), 2);
     }

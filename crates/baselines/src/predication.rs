@@ -65,8 +65,7 @@ where
     /// linearized in the non-transactional map, so all transactions agree
     /// on one predicate per key.
     fn predicate(&self, key: &K) -> TVar<Option<V>> {
-        self.predicates
-            .get_or_insert_with(key.clone(), || TVar::new(None))
+        self.predicates.get_or_insert_with(key.clone(), || TVar::new(None))
     }
 
     /// The committed size without a transaction context.
@@ -87,6 +86,7 @@ where
     V: Clone + Send + Sync + 'static,
 {
     fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        proust_core::op_site!(tx, "predication.put");
         let predicate = self.predicate(&key);
         let previous = predicate.read(tx)?;
         predicate.write(tx, Some(value))?;
@@ -97,10 +97,12 @@ where
     }
 
     fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        proust_core::op_site!(tx, "predication.get");
         self.predicate(key).read(tx)
     }
 
     fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        proust_core::op_site!(tx, "predication.remove");
         let predicate = self.predicate(key);
         let previous = predicate.read(tx)?;
         if previous.is_some() {

@@ -92,6 +92,7 @@ where
     V: Clone + Send + Sync + 'static,
 {
     fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        proust_core::op_site!(tx, "stm_map.put");
         let bucket = self.bucket(&key);
         let entries = bucket.read(tx)?;
         let mut updated: Vec<(K, V)> = entries.as_ref().clone();
@@ -110,11 +111,13 @@ where
     }
 
     fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        proust_core::op_site!(tx, "stm_map.get");
         let entries = self.bucket(key).read(tx)?;
         Ok(entries.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()))
     }
 
     fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        proust_core::op_site!(tx, "stm_map.remove");
         let bucket = self.bucket(key);
         let entries = bucket.read(tx)?;
         let Some(position) = entries.iter().position(|(k, _)| k == key) else {
@@ -230,7 +233,9 @@ mod tests {
                 s.spawn(move || {
                     for _ in 0..200 {
                         let (a, b) = stm
-                            .atomically(|tx| Ok((map.get(tx, &0)?.unwrap(), map.get(tx, &1)?.unwrap())))
+                            .atomically(|tx| {
+                                Ok((map.get(tx, &0)?.unwrap(), map.get(tx, &1)?.unwrap()))
+                            })
                             .unwrap();
                         assert_eq!(a + b, 1000, "transfer invariant violated");
                     }

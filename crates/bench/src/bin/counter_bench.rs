@@ -13,18 +13,24 @@
 //!
 //! Far from zero, all counter operations commute, so `proust-ca` should
 //! scale with threads while the other two serialize.
+//!
+//! Pass `--json FILE` to also emit a machine-readable report.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use proust_bench::report::{metrics_json, write_report};
 use proust_bench::table::Table;
 use proust_core::structures::ProustCounter;
+use proust_stm::obs::JsonValue;
 use proust_stm::{Stm, StmConfig, TVar};
 
 const OPS_PER_THREAD: usize = 50_000;
 const INITIAL: i64 = 1_000_000;
 
-fn bench<F: Fn(&Stm, usize) + Sync>(threads: usize, run_thread: F) -> (f64, u64) {
+/// One timed cell; returns elapsed milliseconds plus the runtime so the
+/// caller can inspect stats, histograms, and conflict attribution.
+fn bench<F: Fn(&Stm, usize) + Sync>(threads: usize, run_thread: F) -> (f64, Stm) {
     let stm = Stm::new(StmConfig::default());
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -35,84 +41,113 @@ fn bench<F: Fn(&Stm, usize) + Sync>(threads: usize, run_thread: F) -> (f64, u64)
         }
     });
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
-    (elapsed, stm.stats().conflicts)
+    (elapsed, stm)
+}
+
+fn json_path_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let mut path = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => path = Some(iter.next().expect("--json needs a value").clone()),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    path
+}
+
+fn run_series(
+    name: &'static str,
+    thread_counts: &[usize],
+    table: &mut Table,
+    json_cells: &mut Vec<JsonValue>,
+    make_run: impl Fn() -> Box<dyn Fn(&Stm, usize) + Sync>,
+) {
+    let mut row: Vec<String> = vec![name.into()];
+    let mut last_conflicts = 0;
+    for &threads in thread_counts {
+        let run = make_run();
+        let (ms, stm) = bench(threads, move |stm, thread| run(stm, thread));
+        let conflicts = stm.stats().conflicts;
+        row.push(format!("{ms:.0}ms"));
+        last_conflicts = conflicts;
+        let mut fields = vec![
+            ("impl".to_string(), JsonValue::str(name)),
+            ("threads".to_string(), JsonValue::u64(threads as u64)),
+            ("mean_ms".to_string(), JsonValue::num(ms)),
+            ("commits".to_string(), JsonValue::u64(stm.stats().commits)),
+            ("conflicts".to_string(), JsonValue::u64(conflicts)),
+        ];
+        let JsonValue::Obj(metric_fields) = metrics_json(&stm.metrics().clone()) else {
+            unreachable!("metrics_json returns an object");
+        };
+        fields.extend(metric_fields);
+        json_cells.push(JsonValue::Obj(fields));
+    }
+    row.push(last_conflicts.to_string());
+    table.row(row);
 }
 
 fn main() {
+    let json_path = json_path_from_args();
     println!("== §3 counter: semantic conflict abstraction vs read/write tracking ==");
     println!(
         "{OPS_PER_THREAD} alternating incr/decr per thread, starting at {INITIAL} (far from zero)\n"
     );
     let thread_counts = [1usize, 2, 4, 8];
     let mut table = Table::new(["impl", "t=1", "t=2", "t=4", "t=8", "conflicts@t=8"]);
+    let mut json_cells: Vec<JsonValue> = Vec::new();
 
     // ProustCounter with the paper's abstraction.
-    {
-        let mut row: Vec<String> = vec!["proust-ca".into()];
-        let mut last_conflicts = 0;
-        for &threads in &thread_counts {
-            let counter = Arc::new(ProustCounter::new(INITIAL));
-            let (ms, conflicts) = bench(threads, |stm, _| {
-                for i in 0..OPS_PER_THREAD {
-                    if i % 2 == 0 {
-                        stm.atomically(|tx| counter.incr(tx)).unwrap();
-                    } else {
-                        stm.atomically(|tx| counter.decr(tx).map(drop)).unwrap();
-                    }
+    run_series("proust-ca", &thread_counts, &mut table, &mut json_cells, || {
+        let counter = Arc::new(ProustCounter::new(INITIAL));
+        Box::new(move |stm, _| {
+            for i in 0..OPS_PER_THREAD {
+                if i % 2 == 0 {
+                    stm.atomically(|tx| counter.incr(tx)).unwrap();
+                } else {
+                    stm.atomically(|tx| counter.decr(tx).map(drop)).unwrap();
                 }
-            });
-            row.push(format!("{ms:.0}ms"));
-            last_conflicts = conflicts;
-        }
-        row.push(last_conflicts.to_string());
-        table.row(row);
-    }
+            }
+        })
+    });
 
     // Sound-but-imprecise: threshold i64::MAX makes every op touch ℓ₀.
-    {
-        let mut row: Vec<String> = vec!["always-conflict".into()];
-        let mut last_conflicts = 0;
-        for &threads in &thread_counts {
-            let counter = Arc::new(ProustCounter::with_threshold(INITIAL, i64::MAX));
-            let (ms, conflicts) = bench(threads, |stm, _| {
-                for i in 0..OPS_PER_THREAD {
-                    if i % 2 == 0 {
-                        stm.atomically(|tx| counter.incr(tx)).unwrap();
-                    } else {
-                        stm.atomically(|tx| counter.decr(tx).map(drop)).unwrap();
-                    }
+    run_series("always-conflict", &thread_counts, &mut table, &mut json_cells, || {
+        let counter = Arc::new(ProustCounter::with_threshold(INITIAL, i64::MAX));
+        Box::new(move |stm, _| {
+            for i in 0..OPS_PER_THREAD {
+                if i % 2 == 0 {
+                    stm.atomically(|tx| counter.incr(tx)).unwrap();
+                } else {
+                    stm.atomically(|tx| counter.decr(tx).map(drop)).unwrap();
                 }
-            });
-            row.push(format!("{ms:.0}ms"));
-            last_conflicts = conflicts;
-        }
-        row.push(last_conflicts.to_string());
-        table.row(row);
-    }
+            }
+        })
+    });
 
     // Plain STM counter.
-    {
-        let mut row: Vec<String> = vec!["tvar".into()];
-        let mut last_conflicts = 0;
-        for &threads in &thread_counts {
-            let counter = TVar::new(INITIAL);
-            let c = counter.clone();
-            let (ms, conflicts) = bench(threads, move |stm, _| {
-                for i in 0..OPS_PER_THREAD {
-                    let delta = if i % 2 == 0 { 1 } else { -1 };
-                    stm.atomically(|tx| c.modify(tx, |v| v + delta)).unwrap();
-                }
-            });
-            row.push(format!("{ms:.0}ms"));
-            last_conflicts = conflicts;
-        }
-        row.push(last_conflicts.to_string());
-        table.row(row);
-    }
+    run_series("tvar", &thread_counts, &mut table, &mut json_cells, || {
+        let counter = TVar::new(INITIAL);
+        Box::new(move |stm, _| {
+            for i in 0..OPS_PER_THREAD {
+                let delta = if i % 2 == 0 { 1 } else { -1 };
+                stm.atomically(|tx| counter.modify(tx, |v| v + delta)).unwrap();
+            }
+        })
+    });
 
     println!("{}", table.render());
     println!(
         "Expected shape: proust-ca shows ~zero conflicts and flat-or-falling time with threads;\n\
          always-conflict and tvar serialize (conflicts grow with t)."
     );
+    if let Some(path) = &json_path {
+        let config = JsonValue::obj([
+            ("ops_per_thread", JsonValue::u64(OPS_PER_THREAD as u64)),
+            ("initial", JsonValue::u64(INITIAL as u64)),
+        ]);
+        write_report(path, "counter_bench", config, json_cells);
+    }
 }

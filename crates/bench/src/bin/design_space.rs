@@ -16,13 +16,17 @@
 //!   read/write and write/write conflicts eagerly (Theorem 5.2), i.e. on
 //!   the `eager-all` backend; the mixed backend reproduces ScalaProust's
 //!   documented caveat and the lazy backend is flagrantly unsafe.
+//!
+//! Pass `--json FILE` to also emit a machine-readable report.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use proust_bench::report::write_report;
 use proust_bench::table::Table;
 use proust_core::structures::{EagerMap, SnapTrieMap};
 use proust_core::{OptimisticLap, PessimisticLap, TxMap};
+use proust_stm::obs::JsonValue;
 use proust_stm::{ConflictDetection, Stm, StmConfig};
 
 const TOTAL: i64 = 1_000;
@@ -56,9 +60,7 @@ impl Quadrant {
 
     fn build(self) -> Arc<dyn TxMap<u64, i64>> {
         match self {
-            Quadrant::EagerOptimistic => {
-                Arc::new(EagerMap::new(Arc::new(OptimisticLap::new(64))))
-            }
+            Quadrant::EagerOptimistic => Arc::new(EagerMap::new(Arc::new(OptimisticLap::new(64)))),
             Quadrant::EagerPessimistic => {
                 Arc::new(EagerMap::new(Arc::new(PessimisticLap::new(64))))
             }
@@ -83,11 +85,8 @@ impl Quadrant {
 
 /// Run the invariant litmus; returns observed mid-transaction violations.
 fn run_litmus(quadrant: Quadrant, detection: ConflictDetection) -> u64 {
-    let stm = Stm::new(StmConfig {
-        detection,
-        max_retries: Some(1_000_000),
-        ..StmConfig::default()
-    });
+    let stm =
+        Stm::new(StmConfig { detection, max_retries: Some(1_000_000), ..StmConfig::default() });
     let map = quadrant.build();
     stm.atomically(|tx| {
         map.put(tx, 0, TOTAL / 2)?;
@@ -140,7 +139,21 @@ fn run_litmus(quadrant: Quadrant, detection: ConflictDetection) -> u64 {
     violations.load(Ordering::Relaxed)
 }
 
+fn json_path_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let mut path = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => path = Some(iter.next().expect("--json needs a value").clone()),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    path
+}
+
 fn main() {
+    let json_path = json_path_from_args();
     println!("== Figure 1 design-space litmus: opacity violations observed ==");
     println!(
         "(writers keep map[0] + map[1] == {TOTAL}; readers assert it mid-transaction; {} writer and {} reader transactions per cell)\n",
@@ -149,13 +162,13 @@ fn main() {
     );
     let mut table = Table::new(["quadrant", "mixed", "eager-all", "lazy-all", "verdict"]);
     let mut all_match = true;
+    let mut json_cells: Vec<JsonValue> = Vec::new();
     for quadrant in Quadrant::ALL {
         let mut cells: Vec<String> = vec![quadrant.name().into()];
         let mut matches = true;
         for detection in ConflictDetection::ALL {
             let violations = run_litmus(quadrant, detection);
             let expected = quadrant.expected_opaque(detection);
-            let ok = (violations == 0) == expected || (!expected && violations == 0);
             // A predicted-unsafe cell showing zero violations is not a
             // refutation (violations are probabilistic), so only flag
             // predicted-safe cells that violated.
@@ -164,20 +177,43 @@ fn main() {
             }
             let mark = if expected { "safe" } else { "UNSAFE" };
             cells.push(format!("{violations} ({mark})"));
-            let _ = ok;
+            json_cells.push(JsonValue::obj([
+                ("quadrant", JsonValue::str(quadrant.name())),
+                ("backend", JsonValue::str(detection.name())),
+                ("violations", JsonValue::u64(violations)),
+                ("expected_opaque", JsonValue::Bool(expected)),
+                ("matches_theorem", JsonValue::Bool(!(expected && violations > 0))),
+            ]));
         }
-        cells.push(if matches { "matches theorems".into() } else { "VIOLATES THEOREMS".to_string() });
+        cells.push(if matches {
+            "matches theorems".into()
+        } else {
+            "VIOLATES THEOREMS".to_string()
+        });
         all_match &= matches;
         table.row(cells);
     }
     println!("{}", table.render());
+    if let Some(path) = &json_path {
+        let config = JsonValue::obj([
+            ("invariant_total", JsonValue::u64(TOTAL as u64)),
+            ("writer_txns", JsonValue::u64(2 * WRITER_TXNS as u64)),
+            ("reader_txns", JsonValue::u64(2 * READER_TXNS as u64)),
+            ("all_match", JsonValue::Bool(all_match)),
+        ]);
+        write_report(path, "design_space", config, json_cells);
+    }
     println!(
         "Theorem 5.1: pessimistic quadrants opaque everywhere. Theorem 5.2: eager/optimistic \
          opaque only under eager-all. Theorem 5.3: lazy/optimistic opaque everywhere."
     );
     println!(
         "\nOverall: {}",
-        if all_match { "all safe cells clean — consistent with the theorems" } else { "THEOREM VIOLATION DETECTED" }
+        if all_match {
+            "all safe cells clean — consistent with the theorems"
+        } else {
+            "THEOREM VIOLATION DETECTED"
+        }
     );
     std::process::exit(if all_match { 0 } else { 1 });
 }

@@ -6,13 +6,17 @@
 //! never conflict. A coarse abstraction (every op writes one element)
 //! serializes them. This is the map/pqueue story replayed on the paper's
 //! other boosting-lineage structure.
+//!
+//! Pass `--json FILE` to also emit a machine-readable report.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use proust_bench::report::{metrics_json, write_report};
 use proust_bench::table::Table;
 use proust_core::structures::{FifoState, ProustFifo};
 use proust_core::{Compat, OptimisticLap, PessimisticLap};
+use proust_stm::obs::JsonValue;
 use proust_stm::{Stm, StmConfig};
 
 const OPS_PER_THREAD: usize = 15_000;
@@ -27,17 +31,17 @@ fn build(kind: &str) -> Arc<ProustFifo<u64>> {
             },
         )))),
         "pess/head-tail" => Arc::new(ProustFifo::new(Arc::new(PessimisticLap::new(2)))),
-        "pess/one-lock" => Arc::new(ProustFifo::new(Arc::new(PessimisticLap::with_compat(
-            1,
-            Compat::Exclusive,
-        )))),
+        "pess/one-lock" => {
+            Arc::new(ProustFifo::new(Arc::new(PessimisticLap::with_compat(1, Compat::Exclusive))))
+        }
         other => panic!("unknown fifo kind {other}"),
     }
 }
 
-/// Producers enqueue; watchers peek the (pinned) front. Returns
-/// (elapsed ms, conflicts).
-fn run(kind: &str, threads: usize) -> (f64, u64) {
+/// Producers enqueue; watchers peek the (pinned) front. Returns elapsed
+/// milliseconds plus the runtime so the caller can inspect stats and
+/// metrics.
+fn run(kind: &str, threads: usize) -> (f64, Stm) {
     let stm = Stm::new(StmConfig { max_retries: Some(1_000_000), ..StmConfig::default() });
     let queue = build(kind);
     stm.atomically(|tx| queue.enqueue(tx, 0)).unwrap(); // pin non-empty
@@ -59,20 +63,48 @@ fn run(kind: &str, threads: usize) -> (f64, u64) {
             });
         }
     });
-    (start.elapsed().as_secs_f64() * 1e3, stm.stats().conflicts)
+    (start.elapsed().as_secs_f64() * 1e3, stm)
+}
+
+fn json_path_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let mut path = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => path = Some(iter.next().expect("--json needs a value").clone()),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    path
 }
 
 fn main() {
+    let json_path = json_path_from_args();
     println!("== FIFO queue: disjoint Head/Tail elements vs one big lock ==");
     println!("{OPS_PER_THREAD} ops/thread; even threads enqueue, odd threads peek the front\n");
     let mut table = Table::new(["impl", "t=2", "t=4", "t=8", "conflicts@t=8"]);
+    let mut json_cells: Vec<JsonValue> = Vec::new();
     for kind in ["opt/head-tail", "pess/head-tail", "pess/one-lock"] {
         let mut row: Vec<String> = vec![kind.into()];
         let mut last_conflicts = 0;
         for &threads in &[2usize, 4, 8] {
-            let (ms, conflicts) = run(kind, threads);
+            let (ms, stm) = run(kind, threads);
+            let stats = stm.stats();
             row.push(format!("{ms:.0}ms"));
-            last_conflicts = conflicts;
+            last_conflicts = stats.conflicts;
+            let mut fields = vec![
+                ("impl".to_string(), JsonValue::str(kind)),
+                ("threads".to_string(), JsonValue::u64(threads as u64)),
+                ("mean_ms".to_string(), JsonValue::num(ms)),
+                ("commits".to_string(), JsonValue::u64(stats.commits)),
+                ("conflicts".to_string(), JsonValue::u64(stats.conflicts)),
+            ];
+            let JsonValue::Obj(metric_fields) = metrics_json(&stm.metrics().clone()) else {
+                unreachable!("metrics_json returns an object");
+            };
+            fields.extend(metric_fields);
+            json_cells.push(JsonValue::Obj(fields));
         }
         row.push(last_conflicts.to_string());
         table.row(row);
@@ -82,4 +114,8 @@ fn main() {
         "Expected shape: head-tail abstractions keep producer/watcher conflicts at ~zero;\n\
          the single exclusive lock serializes everything and accumulates conflicts."
     );
+    if let Some(path) = &json_path {
+        let config = JsonValue::obj([("ops_per_thread", JsonValue::u64(OPS_PER_THREAD as u64))]);
+        write_report(path, "fifo_bench", config, json_cells);
+    }
 }

@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! cargo run --release -p proust-bench --bin figure4 -- [--quick] \
-//!     [--ops N] [--runs R] [--warmups W] [--threads 1,2,4,...] [--csv FILE]
+//!     [--ops N] [--runs R] [--warmups W] [--threads 1,2,4,...] \
+//!     [--csv FILE] [--json FILE]
 //! ```
 //!
 //! The paper's full configuration is `--ops 1000000` with threads up to
@@ -18,8 +19,10 @@ use std::fmt::Write as _;
 
 use proust_bench::harness::measure_cell;
 use proust_bench::maps::MapKind;
+use proust_bench::report::{cell_json, write_report};
 use proust_bench::table::Table;
 use proust_bench::workload::WorkloadSpec;
+use proust_stm::obs::JsonValue;
 
 struct Config {
     total_ops: usize,
@@ -30,6 +33,7 @@ struct Config {
     write_fractions: Vec<f64>,
     memo_ops_per_txn: Vec<usize>,
     csv_path: Option<String>,
+    json_path: Option<String>,
 }
 
 impl Config {
@@ -43,6 +47,7 @@ impl Config {
             write_fractions: vec![0.0, 0.25, 0.5, 0.75, 1.0],
             memo_ops_per_txn: vec![16, 256],
             csv_path: None,
+            json_path: None,
         }
     }
 
@@ -56,23 +61,18 @@ impl Config {
             write_fractions: vec![0.0, 0.5, 1.0],
             memo_ops_per_txn: vec![16],
             csv_path: None,
+            json_path: None,
         }
     }
 
     fn from_args() -> Config {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut config = if args.iter().any(|a| a == "--quick") {
-            Config::quick()
-        } else {
-            Config::full()
-        };
+        let mut config =
+            if args.iter().any(|a| a == "--quick") { Config::quick() } else { Config::full() };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
-            let mut value = |name: &str| {
-                iter.next()
-                    .unwrap_or_else(|| panic!("{name} needs a value"))
-                    .clone()
-            };
+            let mut value =
+                |name: &str| iter.next().unwrap_or_else(|| panic!("{name} needs a value")).clone();
             match arg.as_str() {
                 "--quick" => {}
                 "--ops" => config.total_ops = value("--ops").parse().expect("integer"),
@@ -85,6 +85,7 @@ impl Config {
                         .collect();
                 }
                 "--csv" => config.csv_path = Some(value("--csv")),
+                "--json" => config.json_path = Some(value("--json")),
                 other => panic!("unknown argument {other}"),
             }
         }
@@ -95,8 +96,9 @@ impl Config {
 fn main() {
     let config = Config::from_args();
     let mut csv = String::from(
-        "block,ops_per_txn,write_fraction,impl,threads,mean_ms,std_ms,ops_per_ms,commits,conflicts,gave_up\n",
+        "block,ops_per_txn,write_fraction,impl,threads,mean_ms,std_ms,ops_per_ms,commits,conflicts,gave_ups\n",
     );
+    let mut cells: Vec<JsonValue> = Vec::new();
 
     println!("== Figure 4: map throughput ==");
     println!(
@@ -114,6 +116,7 @@ fn main() {
                 u,
                 &config,
                 &mut csv,
+                &mut cells,
             );
         }
     }
@@ -126,7 +129,16 @@ fn main() {
             }
             let mut series = MapKind::memo_series();
             series.push(MapKind::ProustLazySnap); // reference series
-            run_block("memo", &format!("o = {o}, u = {u}"), &series, o, u, &config, &mut csv);
+            run_block(
+                "memo",
+                &format!("o = {o}, u = {u}"),
+                &series,
+                o,
+                u,
+                &config,
+                &mut csv,
+                &mut cells,
+            );
         }
     }
 
@@ -134,8 +146,18 @@ fn main() {
         std::fs::write(path, &csv).expect("write CSV");
         println!("CSV written to {path}");
     }
+    if let Some(path) = &config.json_path {
+        let config_json = JsonValue::obj([
+            ("total_ops", JsonValue::u64(config.total_ops as u64)),
+            ("runs", JsonValue::u64(config.runs as u64)),
+            ("warmups", JsonValue::u64(config.warmups as u64)),
+            ("key_range", JsonValue::u64(1024)),
+        ]);
+        write_report(path, "figure4", config_json, cells);
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_block(
     block: &str,
     title: &str,
@@ -144,6 +166,7 @@ fn run_block(
     write_fraction: f64,
     config: &Config,
     csv: &mut String,
+    cells: &mut Vec<JsonValue>,
 ) {
     let mut header: Vec<String> = vec!["impl".into()];
     header.extend(config.threads.iter().map(|t| format!("t={t}")));
@@ -160,7 +183,7 @@ fn run_block(
                 seed: 0x9e3779b97f4a7c15,
             };
             let cell = measure_cell(|| kind.build(), &spec, config.warmups, config.runs);
-            let flag = if cell.gave_up { "!" } else { "" };
+            let flag = if cell.gave_up() { "!" } else { "" };
             row.push(format!("{:.1}±{:.1}{}", cell.mean_ms, cell.std_ms, flag));
             let _ = writeln!(
                 csv,
@@ -171,8 +194,19 @@ fn run_block(
                 cell.ops_per_ms(config.total_ops),
                 cell.commits,
                 cell.conflicts,
-                cell.gave_up
+                cell.gave_ups
             );
+            cells.push(cell_json(
+                [
+                    ("block", JsonValue::str(block)),
+                    ("impl", JsonValue::str(kind.name())),
+                    ("threads", JsonValue::u64(threads as u64)),
+                    ("ops_per_txn", JsonValue::u64(ops_per_txn as u64)),
+                    ("write_fraction", JsonValue::num(write_fraction)),
+                    ("ops_per_ms", JsonValue::num(cell.ops_per_ms(config.total_ops))),
+                ],
+                &cell,
+            ));
         }
         table.row(row);
     }

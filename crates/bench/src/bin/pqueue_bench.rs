@@ -16,13 +16,17 @@
 //!
 //! Inserts are drawn above the pinned minimum so the Min element stays
 //! read-shared; the multiset rule is then the deciding factor.
+//!
+//! Pass `--json FILE` to also emit a machine-readable report.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use proust_bench::report::{metrics_json, write_report};
 use proust_bench::table::Table;
 use proust_core::structures::{EagerPQueue, LazyPQueue, PQueueState};
 use proust_core::{Compat, LockAllocatorPolicy, OptimisticLap, PessimisticLap, TxPQueue};
+use proust_stm::obs::JsonValue;
 use proust_stm::{Stm, StmConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,12 +50,10 @@ fn build(kind: &str) -> Arc<dyn TxPQueue<u64>> {
 }
 
 /// Run `threads` workers; each does `OPS_PER_THREAD` ops with the given
-/// removal probability. Returns (elapsed ms, conflicts).
-fn run(kind: &str, threads: usize, remove_fraction: f64) -> (f64, u64) {
-    let stm = Stm::new(StmConfig {
-        max_retries: Some(1_000_000),
-        ..StmConfig::default()
-    });
+/// removal probability. Returns elapsed milliseconds plus the runtime so
+/// the caller can inspect stats and metrics.
+fn run(kind: &str, threads: usize, remove_fraction: f64) -> (f64, Stm) {
+    let stm = Stm::new(StmConfig { max_retries: Some(1_000_000), ..StmConfig::default() });
     let queue = build(kind);
     // Pin a small minimum so inserts above it are the common case.
     stm.atomically(|tx| queue.insert(tx, 0)).unwrap();
@@ -73,32 +75,64 @@ fn run(kind: &str, threads: usize, remove_fraction: f64) -> (f64, u64) {
             });
         }
     });
-    (start.elapsed().as_secs_f64() * 1e3, stm.stats().conflicts)
+    (start.elapsed().as_secs_f64() * 1e3, stm)
+}
+
+fn json_path_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let mut path = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => path = Some(iter.next().expect("--json needs a value").clone()),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    path
 }
 
 fn main() {
+    let json_path = json_path_from_args();
     println!("== §6 priority queue: expressing commutativity over abstract state ==");
     println!("{OPS_PER_THREAD} ops/thread; inserts drawn above the pinned minimum\n");
     let kinds = ["lazy/opt", "lazy/pess-rw", "lazy/pess-exact", "eager/pess"];
     let thread_counts = [1usize, 2, 4, 8];
+    let mut json_cells: Vec<JsonValue> = Vec::new();
     for (title, remove_fraction) in
         [("insert-only (all inserts commute)", 0.0), ("mixed 90% insert / 10% removeMin", 0.1)]
     {
         println!("-- {title} --");
-        let mut table =
-            Table::new(["impl", "t=1", "t=2", "t=4", "t=8", "conflicts@t=8"]);
+        let mut table = Table::new(["impl", "t=1", "t=2", "t=4", "t=8", "conflicts@t=8"]);
         for kind in kinds {
             let mut row: Vec<String> = vec![kind.into()];
             let mut last_conflicts = 0;
             for &threads in &thread_counts {
-                let (ms, conflicts) = run(kind, threads, remove_fraction);
+                let (ms, stm) = run(kind, threads, remove_fraction);
+                let stats = stm.stats();
                 row.push(format!("{ms:.0}ms"));
-                last_conflicts = conflicts;
+                last_conflicts = stats.conflicts;
+                let mut fields = vec![
+                    ("impl".to_string(), JsonValue::str(kind)),
+                    ("threads".to_string(), JsonValue::u64(threads as u64)),
+                    ("remove_fraction".to_string(), JsonValue::num(remove_fraction)),
+                    ("mean_ms".to_string(), JsonValue::num(ms)),
+                    ("commits".to_string(), JsonValue::u64(stats.commits)),
+                    ("conflicts".to_string(), JsonValue::u64(stats.conflicts)),
+                ];
+                let JsonValue::Obj(metric_fields) = metrics_json(&stm.metrics().clone()) else {
+                    unreachable!("metrics_json returns an object");
+                };
+                fields.extend(metric_fields);
+                json_cells.push(JsonValue::Obj(fields));
             }
             row.push(last_conflicts.to_string());
             table.row(row);
         }
         println!("{}", table.render());
+    }
+    if let Some(path) = &json_path {
+        let config = JsonValue::obj([("ops_per_thread", JsonValue::u64(OPS_PER_THREAD as u64))]);
+        write_report(path, "pqueue_bench", config, json_cells);
     }
     println!(
         "Expected shape: under insert-only load, lazy/pess-group admits concurrent inserts\n\

@@ -6,12 +6,12 @@
 //! rather than on a JVM, so the warm-up mostly serves to touch memory and
 //! populate the map's steady state.)
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use proust_core::TxMap;
-use proust_stm::{Stm, StmStatsSnapshot};
+use proust_stm::{Stm, StmMetrics, StmStatsSnapshot};
 
 use crate::workload::{ActionStream, MapAction, WorkloadSpec};
 
@@ -20,11 +20,22 @@ use crate::workload::{ActionStream, MapAction, WorkloadSpec};
 pub struct RunResult {
     /// Wall-clock time for the whole execution.
     pub elapsed: Duration,
-    /// STM statistics accumulated during the execution.
+    /// STM statistics accumulated during the execution (a delta over the
+    /// run, not cumulative runtime totals).
     pub stats: StmStatsSnapshot,
-    /// Whether any transaction exhausted its retry budget (livelock
-    /// indicator; the paper *hung* in this regime — we record it instead).
-    pub gave_up: bool,
+    /// Latency histograms and conflict attribution accumulated during the
+    /// execution (empty without the `trace` feature).
+    pub metrics: StmMetrics,
+    /// How many transactions exhausted their retry budget (livelock
+    /// indicator; the paper *hung* in this regime — we count it instead).
+    pub gave_ups: u64,
+}
+
+impl RunResult {
+    /// Whether any transaction hit the retry bound.
+    pub fn gave_up(&self) -> bool {
+        self.gave_ups > 0
+    }
 }
 
 /// Mean/stddev over the timed executions of one cell.
@@ -38,8 +49,11 @@ pub struct CellMeasurement {
     pub commits: u64,
     /// Total conflicts across timed executions.
     pub conflicts: u64,
-    /// Whether any execution hit the retry bound.
-    pub gave_up: bool,
+    /// Total retry-budget exhaustions across timed executions.
+    pub gave_ups: u64,
+    /// Merged latency histograms and conflict attribution across timed
+    /// executions (empty without the `trace` feature).
+    pub metrics: StmMetrics,
 }
 
 impl CellMeasurement {
@@ -47,18 +61,28 @@ impl CellMeasurement {
     pub fn ops_per_ms(&self, total_ops: usize) -> f64 {
         total_ops as f64 / self.mean_ms
     }
+
+    /// Whether any execution hit the retry bound.
+    pub fn gave_up(&self) -> bool {
+        self.gave_ups > 0
+    }
 }
 
 /// Execute one run of `spec` against `map` under `stm`.
+///
+/// The runtime's metrics are reset at the start of the run so the returned
+/// [`RunResult::metrics`] covers exactly this execution (stats, which
+/// support snapshot deltas, are left accumulating).
 pub fn run_once(stm: &Stm, map: &Arc<dyn TxMap<u64, u64>>, spec: &WorkloadSpec) -> RunResult {
     let before = stm.stats();
-    let gave_up = AtomicBool::new(false);
+    stm.metrics().clear();
+    let gave_ups = AtomicU64::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for thread in 0..spec.threads {
             let stm = stm.clone();
             let map = Arc::clone(map);
-            let gave_up = &gave_up;
+            let gave_ups = &gave_ups;
             let spec = *spec;
             scope.spawn(move || {
                 let mut stream = ActionStream::new(&spec, thread);
@@ -88,7 +112,7 @@ pub fn run_once(stm: &Stm, map: &Arc<dyn TxMap<u64, u64>>, spec: &WorkloadSpec) 
                     if result.is_err() {
                         // Retry budget exhausted: record and move on so
                         // the run terminates (livelock shows as data).
-                        gave_up.store(true, Ordering::Relaxed);
+                        gave_ups.fetch_add(1, Ordering::Relaxed);
                     }
                     remaining -= batch;
                 }
@@ -99,13 +123,9 @@ pub fn run_once(stm: &Stm, map: &Arc<dyn TxMap<u64, u64>>, spec: &WorkloadSpec) 
     let after = stm.stats();
     RunResult {
         elapsed,
-        stats: StmStatsSnapshot {
-            starts: after.starts - before.starts,
-            commits: after.commits - before.commits,
-            conflicts: after.conflicts - before.conflicts,
-            ..after
-        },
-        gave_up: gave_up.load(Ordering::Relaxed),
+        stats: after.delta(&before),
+        metrics: stm.metrics().clone(),
+        gave_ups: gave_ups.load(Ordering::Relaxed),
     }
 }
 
@@ -126,21 +146,27 @@ pub fn measure_cell(
     let mut samples_ms = Vec::with_capacity(runs);
     let mut commits = 0;
     let mut conflicts = 0;
-    let mut gave_up = false;
+    let mut gave_ups = 0;
+    let metrics = StmMetrics::new();
     for _ in 0..runs.max(1) {
         let result = run_once(&stm, &map, spec);
         samples_ms.push(result.elapsed.as_secs_f64() * 1e3);
         commits += result.stats.commits;
         conflicts += result.stats.conflicts;
-        gave_up |= result.gave_up;
+        gave_ups += result.gave_ups;
+        metrics.merge(&result.metrics);
     }
     let mean = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
-    let variance = samples_ms
-        .iter()
-        .map(|s| (s - mean) * (s - mean))
-        .sum::<f64>()
-        / samples_ms.len() as f64;
-    CellMeasurement { mean_ms: mean, std_ms: variance.sqrt(), commits, conflicts, gave_up }
+    let variance =
+        samples_ms.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples_ms.len() as f64;
+    CellMeasurement {
+        mean_ms: mean,
+        std_ms: variance.sqrt(),
+        commits,
+        conflicts,
+        gave_ups,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +192,7 @@ mod tests {
             let measurement = measure_cell(|| kind.build(), &spec, 0, 1);
             assert!(measurement.mean_ms > 0.0, "{kind}: no time elapsed?");
             assert!(measurement.commits > 0, "{kind}: nothing committed");
-            assert!(!measurement.gave_up, "{kind}: retry budget exhausted in a tiny cell");
+            assert!(!measurement.gave_up(), "{kind}: retry budget exhausted in a tiny cell");
         }
     }
 
@@ -196,5 +222,39 @@ mod tests {
         let (stm, map) = MapKind::Predication.build();
         let result = run_once(&stm, &map, &tiny_spec(2, 2));
         assert!(result.stats.commits >= (2_000 / 2) as u64);
+    }
+
+    #[test]
+    fn run_once_reports_per_run_deltas_not_cumulative_totals() {
+        // Regression test for the old snapshot arithmetic, which patched
+        // three fields and spread the rest (`..after`) from the cumulative
+        // snapshot: every field of the second run's stats must be a
+        // per-run delta.
+        let (stm, map) = MapKind::Predication.build();
+        let spec = tiny_spec(2, 2);
+        let first = run_once(&stm, &map, &spec);
+        let second = run_once(&stm, &map, &spec);
+        let per_run = (spec.total_ops / spec.ops_per_txn) as u64;
+        for result in [&first, &second] {
+            assert!(result.stats.starts >= per_run);
+            assert!(result.stats.starts < 2 * per_run + result.stats.conflicts);
+            assert_eq!(
+                result.stats.commits, per_run,
+                "commits must count one run, not the runtime's lifetime"
+            );
+            assert_eq!(result.stats.conflicts, result.stats.conflict_kind_sum());
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn run_once_captures_metrics_for_the_run() {
+        let (stm, map) = MapKind::ProustLazySnap.build();
+        let spec = tiny_spec(2, 2);
+        let result = run_once(&stm, &map, &spec);
+        assert_eq!(result.metrics.txn_latency.count(), result.stats.commits);
+        assert_eq!(result.metrics.conflicts.total(), result.stats.conflicts);
+        // Lazy update strategy: replay happened at the serialization point.
+        assert!(result.metrics.replay.count() > 0);
     }
 }

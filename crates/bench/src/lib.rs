@@ -7,8 +7,13 @@
 //! * [`maps`] — the registry of implementations swept in Figure 4
 //!   (traditional STM map, predication, the Proust configurations, and
 //!   extra baselines);
-//! * [`harness`] — warmup + timed executions with mean/stddev reporting;
-//! * [`table`] — aligned-table and CSV output.
+//! * [`harness`] — warmup + timed executions with mean/stddev reporting,
+//!   plus per-run latency histograms and conflict attribution when built
+//!   with the (default) `trace` feature;
+//! * [`table`] — aligned-table and CSV output;
+//! * [`report`] — the JSON report schema shared by every binary
+//!   (`--json PATH`, collected under `results/` by
+//!   `scripts/run_experiments.sh`).
 //!
 //! Binaries (run with `--release`):
 //!
@@ -24,5 +29,6 @@
 
 pub mod harness;
 pub mod maps;
+pub mod report;
 pub mod table;
 pub mod workload;

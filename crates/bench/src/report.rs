@@ -1,0 +1,194 @@
+//! JSON report assembly for the benchmark binaries.
+//!
+//! Every binary can emit a machine-readable report (`--json PATH`)
+//! alongside its human-readable tables; `scripts/run_experiments.sh`
+//! collects them under `results/`. The schema is deliberately flat:
+//!
+//! ```json
+//! {
+//!   "benchmark": "figure4",
+//!   "config": { ... },
+//!   "cells": [
+//!     {
+//!       "impl": "proust-lazy-snap", "threads": 8, "mean_ms": 12.5, ...,
+//!       "txn_latency": {"count": 1000, "p50_ns": ..., "p95_ns": ..., "p99_ns": ...},
+//!       "phases": {"validation": {...}, "lock_writeback": {...}, "replay": {...}},
+//!       "conflict_attribution": {
+//!         "total": 42,
+//!         "false_conflict_rate": 0.25,
+//!         "matrix": [{"aborter": "eager_map.put", "victim": "eager_map.get", "count": 30}]
+//!       }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Latency fields are nanoseconds. Without the `trace` feature the
+//! histograms and the matrix are empty; the fields still appear so
+//! downstream tooling needs no schema switch.
+
+use proust_stm::obs::{ConflictMatrix, Histogram, JsonValue};
+use proust_stm::StmMetrics;
+
+use crate::harness::CellMeasurement;
+
+/// Serialize one histogram: sample count, mean/max, and the paper-standard
+/// percentiles, all in nanoseconds.
+pub fn histogram_json(hist: &Histogram) -> JsonValue {
+    JsonValue::obj([
+        ("count", JsonValue::u64(hist.count())),
+        ("mean_ns", JsonValue::num(hist.mean())),
+        ("max_ns", JsonValue::u64(hist.max())),
+        ("p50_ns", JsonValue::u64(hist.p50())),
+        ("p95_ns", JsonValue::u64(hist.p95())),
+        ("p99_ns", JsonValue::u64(hist.p99())),
+    ])
+}
+
+/// Serialize the conflict matrix with its empirical false-conflict rate
+/// (share of attributed aborts whose op pair semantically commutes — see
+/// [`ops_commute`]).
+pub fn matrix_json(matrix: &ConflictMatrix) -> JsonValue {
+    let cells: Vec<JsonValue> = matrix
+        .cells()
+        .into_iter()
+        .map(|cell| {
+            JsonValue::obj([
+                ("aborter", JsonValue::str(cell.aborter.name())),
+                ("victim", JsonValue::str(cell.victim.name())),
+                ("count", JsonValue::u64(cell.count)),
+            ])
+        })
+        .collect();
+    JsonValue::obj([
+        ("total", JsonValue::u64(matrix.total())),
+        ("false_conflict_rate", JsonValue::num(matrix.false_conflict_rate(ops_commute))),
+        ("matrix", JsonValue::Arr(cells)),
+    ])
+}
+
+/// Conservative commutativity oracle over the op-site labels used by this
+/// repository's structures: a conflict between two ops that *always*
+/// commute on abstract state is definitionally false (the synchronization
+/// was coarser than the semantics demanded). Pairs whose commutativity
+/// depends on the arguments (e.g. two `put`s, which commute iff the keys
+/// differ) are conservatively treated as true conflicts, so the reported
+/// rate is a lower bound.
+pub fn ops_commute(a: &str, b: &str) -> bool {
+    // Read-only observers always commute with each other.
+    let read_only = |site: &str| {
+        site.ends_with(".get")
+            || site.ends_with(".contains")
+            || site.ends_with(".peek")
+            || site.ends_with(".min")
+            || site.ends_with(".size")
+    };
+    if read_only(a) && read_only(b) {
+        return true;
+    }
+    // §3: increments commute with each other regardless of state, and
+    // §6: priority-queue inserts commute with each other (MultiSet
+    // writer-group sharing).
+    let both = |suffix: &str| a.ends_with(suffix) && b.ends_with(suffix);
+    both("counter.incr") || both("pqueue.insert")
+}
+
+/// Serialize one runtime's metrics into the shared per-cell shape.
+pub fn metrics_json(metrics: &StmMetrics) -> JsonValue {
+    JsonValue::obj([
+        ("txn_latency", histogram_json(&metrics.txn_latency)),
+        (
+            "phases",
+            JsonValue::obj([
+                ("validation", histogram_json(&metrics.validation)),
+                ("lock_writeback", histogram_json(&metrics.lock_writeback)),
+                ("replay", histogram_json(&metrics.replay)),
+            ]),
+        ),
+        // Named to avoid colliding with the `conflicts` stats scalar when
+        // these fields are spliced into a cell object.
+        ("conflict_attribution", matrix_json(&metrics.conflicts)),
+    ])
+}
+
+/// Serialize a full cell measurement (timing + stats + metrics). `extra`
+/// key/value pairs (block, impl, threads, ...) lead the object so reports
+/// stay self-describing.
+pub fn cell_json(
+    extra: impl IntoIterator<Item = (&'static str, JsonValue)>,
+    cell: &CellMeasurement,
+) -> JsonValue {
+    let mut fields: Vec<(String, JsonValue)> =
+        extra.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    fields.extend([
+        ("mean_ms".to_string(), JsonValue::num(cell.mean_ms)),
+        ("std_ms".to_string(), JsonValue::num(cell.std_ms)),
+        ("commits".to_string(), JsonValue::u64(cell.commits)),
+        ("conflicts".to_string(), JsonValue::u64(cell.conflicts)),
+        ("gave_ups".to_string(), JsonValue::u64(cell.gave_ups)),
+    ]);
+    let JsonValue::Obj(metric_fields) = metrics_json(&cell.metrics) else {
+        unreachable!("metrics_json returns an object");
+    };
+    fields.extend(metric_fields);
+    JsonValue::Obj(fields)
+}
+
+/// Wrap a benchmark's cells in the common report envelope and write it to
+/// `path` (pretty-printed, trailing newline).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — reports are the binary's whole
+/// point, so a silent miss would be worse than an abort.
+pub fn write_report(path: &str, benchmark: &str, config: JsonValue, cells: Vec<JsonValue>) {
+    let report = JsonValue::obj([
+        ("benchmark", JsonValue::str(benchmark)),
+        ("trace_enabled", JsonValue::Bool(cfg!(feature = "trace"))),
+        ("config", config),
+        ("cells", JsonValue::Arr(cells)),
+    ]);
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create report directory");
+        }
+    }
+    let mut text = report.to_json_pretty();
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|err| panic!("write report {path}: {err}"));
+    println!("JSON report written to {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_json_round_trips_percentiles() {
+        let hist = Histogram::new();
+        for v in [100, 200, 300, 5_000, 90_000] {
+            hist.record(v);
+        }
+        let json = histogram_json(&hist);
+        let parsed = JsonValue::parse(&json.to_json()).unwrap();
+        assert_eq!(parsed.get("count").and_then(JsonValue::as_u64), Some(5));
+        assert_eq!(parsed.get("p50_ns").and_then(JsonValue::as_u64), Some(hist.p50()));
+        assert_eq!(parsed.get("p99_ns").and_then(JsonValue::as_u64), Some(hist.p99()));
+    }
+
+    #[test]
+    fn commute_oracle_is_symmetric_and_conservative() {
+        assert!(ops_commute("eager_map.get", "memo_map.contains"));
+        assert!(ops_commute("counter.incr", "counter.incr"));
+        assert!(ops_commute("lazy_pqueue.insert", "eager_pqueue.insert"));
+        // Writes never blanket-commute.
+        assert!(!ops_commute("eager_map.put", "eager_map.put"));
+        assert!(!ops_commute("eager_map.put", "eager_map.get"));
+        assert!(!ops_commute("counter.incr", "counter.decr"));
+        // Symmetry spot-check.
+        assert_eq!(
+            ops_commute("snap_map.get", "snap_map.put"),
+            ops_commute("snap_map.put", "snap_map.get")
+        );
+    }
+}

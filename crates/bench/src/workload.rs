@@ -75,7 +75,9 @@ impl ActionStream {
     /// The stream for thread `thread` of `spec`.
     pub fn new(spec: &WorkloadSpec, thread: usize) -> Self {
         ActionStream {
-            rng: StdRng::seed_from_u64(spec.seed ^ (thread as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
+            rng: StdRng::seed_from_u64(
+                spec.seed ^ (thread as u64).wrapping_mul(0xa076_1d64_78bd_642f),
+            ),
             write_fraction: spec.write_fraction,
             key_range: spec.key_range,
         }
@@ -104,7 +106,8 @@ mod tests {
 
     #[test]
     fn ops_split_across_threads() {
-        let spec = WorkloadSpec { total_ops: 100, threads: 8, ..WorkloadSpec::paper_cell(8, 1, 0.5) };
+        let spec =
+            WorkloadSpec { total_ops: 100, threads: 8, ..WorkloadSpec::paper_cell(8, 1, 0.5) };
         assert_eq!(spec.ops_per_thread(), 13);
         let spec = WorkloadSpec { ops_per_txn: 4, ..spec };
         assert_eq!(spec.txns_per_thread(), 4);

@@ -127,7 +127,6 @@ where
     V: Clone,
     S: BuildHasher,
 {
-
     fn hash_of<Q: Hash + ?Sized>(&self, key: &Q) -> u64 {
         self.hasher.hash_one(key)
     }
@@ -205,7 +204,13 @@ where
 
     /// Iterate over entries in unspecified order.
     pub fn iter(&self) -> Iter<'_, K, V> {
-        Iter { stack: self.root.as_deref().map(|n| vec![Cursor { node: n, pos: 0 }]).unwrap_or_default() }
+        Iter {
+            stack: self
+                .root
+                .as_deref()
+                .map(|n| vec![Cursor { node: n, pos: 0 }])
+                .unwrap_or_default(),
+        }
     }
 
     /// Iterate over keys in unspecified order.
@@ -244,7 +249,13 @@ where
                     None,
                 );
             }
-            let merged = merge_leaves(Arc::clone(node), *h, Arc::new(Node::Leaf { hash, key, value }), hash, shift);
+            let merged = merge_leaves(
+                Arc::clone(node),
+                *h,
+                Arc::new(Node::Leaf { hash, key, value }),
+                hash,
+                shift,
+            );
             (merged, None)
         }
         Node::Collision { hash: h, entries } => {
@@ -257,7 +268,13 @@ where
                 entries.push((key, value));
                 return (Arc::new(Node::Collision { hash, entries }), None);
             }
-            let merged = merge_leaves(Arc::clone(node), *h, Arc::new(Node::Leaf { hash, key, value }), hash, shift);
+            let merged = merge_leaves(
+                Arc::clone(node),
+                *h,
+                Arc::new(Node::Leaf { hash, key, value }),
+                hash,
+                shift,
+            );
             (merged, None)
         }
         Node::Branch { bitmap, children } => {

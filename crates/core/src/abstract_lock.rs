@@ -223,7 +223,11 @@ mod tests {
                 Err(TxError::abort("rollback"))
             });
             assert!(result.is_err());
-            assert_eq!(inverse_ran.load(Ordering::SeqCst), 0, "lazy mode must not register inverses");
+            assert_eq!(
+                inverse_ran.load(Ordering::SeqCst),
+                0,
+                "lazy mode must not register inverses"
+            );
         }
     }
 
@@ -233,10 +237,8 @@ mod tests {
         // pessimistic write lock: the loser's op must not have run in the
         // failed attempts. We approximate by checking op executions equal
         // commits.
-        let lock = AbstractLock::new(
-            Arc::new(PessimisticLap::<u32>::new(1)),
-            UpdateStrategy::Eager,
-        );
+        let lock =
+            AbstractLock::new(Arc::new(PessimisticLap::<u32>::new(1)), UpdateStrategy::Eager);
         let stm = Stm::new(StmConfig::default());
         let executions = Arc::new(AtomicI64::new(0));
         std::thread::scope(|s| {

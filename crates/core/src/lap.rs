@@ -14,7 +14,9 @@ use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use proust_stm::{ConflictKind, TxResult, Txn, TxnOutcome};
+#[cfg(feature = "trace")]
+use proust_stm::obs::{EventKind, Tracer};
+use proust_stm::{ConflictKind, SiteId, TxResult, Txn, TxnOutcome};
 
 use crate::mode::{Compat, LockRequest, Mode};
 use crate::region::StmRegion;
@@ -63,8 +65,11 @@ pub struct OptimisticLap<K, S = RandomState> {
     /// Optional explicit key → slot mapping, for small enumerated
     /// abstract-state spaces where hash striping could collide distinct
     /// elements (e.g. `PQueueMin` vs `PQueueMultiSet`).
-    slot_fn: Option<Arc<dyn Fn(&K) -> usize + Send + Sync>>,
+    slot_fn: Option<SlotFn<K>>,
 }
+
+/// Explicit key → slot mapping shared by both policies.
+type SlotFn<K> = Arc<dyn Fn(&K) -> usize + Send + Sync>;
 
 impl<K, S> fmt::Debug for OptimisticLap<K, S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -81,6 +86,18 @@ impl<K: Hash> OptimisticLap<K, RandomState> {
     pub fn new(locations: usize) -> Self {
         OptimisticLap {
             region: Arc::new(StmRegion::new(locations)),
+            hasher: RandomState::new(),
+            slot_fn: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), but the backing region carries a static
+    /// site label (e.g. `"map.key-region"`) so conflicts on its locations
+    /// are attributed even when the enclosing operation never labelled the
+    /// transaction.
+    pub fn labelled(locations: usize, label: &'static str) -> Self {
+        OptimisticLap {
+            region: Arc::new(StmRegion::labelled(locations, label)),
             hasher: RandomState::new(),
             slot_fn: None,
         }
@@ -159,6 +176,10 @@ struct Holder {
     birth: u64,
     read: bool,
     write: bool,
+    /// Interned site label of the operation that acquired the lock
+    /// (`SiteId::UNKNOWN` when tracing is off or the op is unlabelled);
+    /// reported as the *aborter* when this holder blocks someone.
+    site: u32,
 }
 
 impl Holder {
@@ -218,7 +239,7 @@ pub struct PessimisticLap<K, S = RandomState> {
     /// `compat_fn` is non-uniform: keys with different protocols must not
     /// share a striped slot, or the weaker protocol could grant holders
     /// the stricter one would refuse.
-    slot_fn: Option<Arc<dyn Fn(&K) -> usize + Send + Sync>>,
+    slot_fn: Option<SlotFn<K>>,
 }
 
 impl<K, S> fmt::Debug for PessimisticLap<K, S> {
@@ -334,10 +355,11 @@ enum TryOutcome {
     /// handler must be registered).
     Granted(bool),
     /// Blocked, and this transaction is older than every conflicting
-    /// holder: it may keep polling.
-    Wait,
-    /// Blocked by an older transaction: die immediately.
-    Die,
+    /// holder: it may keep polling. Carries the blocking holder's site.
+    Wait(u32),
+    /// Blocked by an older transaction: die immediately. Carries the
+    /// blocking holder's site.
+    Die(u32),
 }
 
 impl<K, S> PessimisticLap<K, S>
@@ -345,24 +367,36 @@ where
     K: Hash + Send + Sync,
     S: BuildHasher + Send + Sync,
 {
-    fn try_acquire(&self, slot: usize, txn: u64, birth: u64, mode: Mode, compat: Compat) -> TryOutcome {
+    fn try_acquire(
+        &self,
+        slot: usize,
+        txn: u64,
+        birth: u64,
+        site: u32,
+        mode: Mode,
+        compat: Compat,
+    ) -> TryOutcome {
         let mut guard = self.table.slots[slot].lock();
         // Re-entrant fast path: if we already hold this mode nothing can
         // have invalidated it (grants are mutually compatible).
         if guard.holders.iter().any(|h| h.txn == txn && h.holds(mode)) {
             return TryOutcome::Granted(false);
         }
-        let mut oldest_conflicting: Option<(u64, u64)> = None;
+        let mut oldest_conflicting: Option<((u64, u64), u32)> = None;
         for holder in guard.holders.iter().filter(|h| h.txn != txn) {
             if holder.modes().any(|held| !compat.compatible(held, mode)) {
                 let stamp = (holder.birth, holder.txn);
-                if oldest_conflicting.is_none_or(|prev| stamp < prev) {
-                    oldest_conflicting = Some(stamp);
+                if oldest_conflicting.is_none_or(|(prev, _)| stamp < prev) {
+                    oldest_conflicting = Some((stamp, holder.site));
                 }
             }
         }
-        if let Some(oldest) = oldest_conflicting {
-            return if (birth, txn) < oldest { TryOutcome::Wait } else { TryOutcome::Die };
+        if let Some((oldest, blocker)) = oldest_conflicting {
+            return if (birth, txn) < oldest {
+                TryOutcome::Wait(blocker)
+            } else {
+                TryOutcome::Die(blocker)
+            };
         }
         // Grant: extend an existing entry (upgrade) or create one.
         if let Some(holder) = guard.holders.iter_mut().find(|h| h.txn == txn) {
@@ -377,6 +411,7 @@ where
                 birth,
                 read: mode == Mode::Read,
                 write: mode == Mode::Write,
+                site,
             });
             TryOutcome::Granted(true)
         }
@@ -392,22 +427,32 @@ where
         let slot = self.slot_index(&request.key);
         let compat = (self.compat_fn)(&request.key);
         let (txn, birth) = (tx.id(), tx.birth());
+        let site = tx.op_site();
         let mut polls = 0;
         loop {
-            match self.try_acquire(slot, txn, birth, request.mode, compat) {
+            match self.try_acquire(slot, txn, birth, site.as_u32(), request.mode, compat) {
                 TryOutcome::Granted(new_entry) => {
                     if new_entry {
+                        #[cfg(feature = "trace")]
+                        Tracer::global().emit(txn, EventKind::LockAcquire, site, slot as u64);
                         let table = Arc::clone(&self.table);
-                        tx.on_end(move |_outcome: TxnOutcome| table.release(slot, txn));
+                        tx.on_end(move |_outcome: TxnOutcome| {
+                            table.release(slot, txn);
+                            #[cfg(feature = "trace")]
+                            Tracer::global().emit(txn, EventKind::LockRelease, site, slot as u64);
+                        });
                     }
                     return Ok(());
                 }
-                TryOutcome::Wait if polls < self.patience => {
+                TryOutcome::Wait(_) if polls < self.patience => {
                     polls += 1;
                     std::thread::yield_now();
                 }
-                TryOutcome::Wait | TryOutcome::Die => {
-                    return tx.conflict(ConflictKind::AbstractLock);
+                TryOutcome::Wait(blocker) | TryOutcome::Die(blocker) => {
+                    return tx.conflict_attributed(
+                        ConflictKind::AbstractLock,
+                        SiteId::from_u32(blocker),
+                    );
                 }
             }
         }
@@ -560,5 +605,54 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_panics() {
         let _ = PessimisticLap::<u8>::with_compat(0, Compat::ReadWrite);
+    }
+
+    /// A blocked pessimistic acquisition must name the holder's op site as
+    /// the aborter in the conflict matrix.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn abstract_lock_conflicts_are_attributed_to_the_holder() {
+        use proust_stm::SiteId;
+
+        let stm = Stm::new(StmConfig::default());
+        // patience 0: a blocked acquisition converts to a conflict at once.
+        let lap: Arc<PessimisticLap<u32>> =
+            Arc::new(PessimisticLap::with_patience(1, Compat::ReadWrite, 0));
+        let holder_site = SiteId::intern("lap-test.holder");
+        let victim_site = SiteId::intern("lap-test.victim");
+        let held = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            {
+                let stm = stm.clone();
+                let lap = Arc::clone(&lap);
+                let held = &held;
+                s.spawn(move || {
+                    stm.atomically(|tx| {
+                        tx.set_op_site(holder_site);
+                        lap.acquire(tx, &LockRequest::write(0))?;
+                        held.wait(); // lock is held; let the victim run
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Ok(())
+                    })
+                    .unwrap();
+                });
+            }
+            held.wait();
+            // The victim is younger (born after the holder acquired), so
+            // wound-wait sends it straight to Die → AbstractLock conflict.
+            stm.atomically(|tx| {
+                tx.set_op_site(victim_site);
+                lap.acquire(tx, &LockRequest::write(0))
+            })
+            .unwrap();
+        });
+        assert!(stm.stats().abstract_lock >= 1);
+        let attributed = stm
+            .metrics()
+            .conflicts
+            .cells()
+            .into_iter()
+            .any(|cell| cell.aborter == holder_site && cell.victim == victim_site);
+        assert!(attributed, "expected (holder, victim) cell in {:?}", stm.metrics().conflicts);
     }
 }

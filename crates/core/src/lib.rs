@@ -66,3 +66,32 @@ pub use mode::{Compat, LockRequest, Mode};
 pub use region::StmRegion;
 pub use replay::{MapOp, MemoReplay, SnapshotReplay, SnapshotSource};
 pub use size::CommittedSize;
+
+// Re-exported for `op_site!` expansions in downstream crates.
+pub use proust_stm::SiteId;
+
+/// Label the current transaction with a static operation site for conflict
+/// attribution, interning the label once per call site:
+///
+/// ```
+/// use proust_core::op_site;
+/// use proust_stm::{Stm, StmConfig};
+///
+/// let stm = Stm::new(StmConfig::default());
+/// stm.atomically(|tx| {
+///     op_site!(tx, "example.increment");
+///     Ok(())
+/// })
+/// .unwrap();
+/// ```
+///
+/// With the STM's `trace` feature disabled,
+/// [`Txn::set_op_site`](proust_stm::Txn::set_op_site) is a no-op and the
+/// only residual cost is one atomic load on the cached [`SiteId`].
+#[macro_export]
+macro_rules! op_site {
+    ($tx:expr, $name:literal) => {{
+        static SITE: ::std::sync::OnceLock<$crate::SiteId> = ::std::sync::OnceLock::new();
+        $tx.set_op_site(*SITE.get_or_init(|| $crate::SiteId::intern($name)));
+    }};
+}

@@ -14,7 +14,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use proust_stm::{TVar, TxResult, Txn};
+use proust_stm::{SiteId, TVar, TxResult, Txn};
 
 use crate::conflict::AccessSet;
 
@@ -39,11 +39,17 @@ static TOKENS: AtomicU64 = AtomicU64::new(1);
 /// ```
 pub struct StmRegion {
     locations: Vec<TVar<u64>>,
+    /// Static site label for conflict attribution; `SiteId::UNKNOWN` for
+    /// unlabelled regions.
+    label: SiteId,
 }
 
 impl fmt::Debug for StmRegion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("StmRegion").field("size", &self.locations.len()).finish()
+        f.debug_struct("StmRegion")
+            .field("size", &self.locations.len())
+            .field("label", &self.label.name())
+            .finish()
     }
 }
 
@@ -55,7 +61,37 @@ impl StmRegion {
     /// Panics if `size` is zero.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "region size must be positive");
-        StmRegion { locations: (0..size).map(|_| TVar::new(0)).collect() }
+        StmRegion { locations: (0..size).map(|_| TVar::new(0)).collect(), label: SiteId::UNKNOWN }
+    }
+
+    /// Allocate a region carrying a static site label (e.g.
+    /// `"map.key-region"`). When tracing is enabled, accesses through an
+    /// otherwise-unlabelled transaction adopt this label, so conflict
+    /// attribution can name the region instead of reporting `unknown`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn labelled(size: usize, label: &'static str) -> Self {
+        let mut region = Self::new(size);
+        region.label = SiteId::intern(label);
+        region
+    }
+
+    /// The region's site label (`SiteId::UNKNOWN` when unlabelled).
+    pub fn site(&self) -> SiteId {
+        self.label
+    }
+
+    /// Stamp the region label onto transactions that carry no op label of
+    /// their own, so the attribution machinery has *something* to report.
+    fn default_site(&self, tx: &mut Txn) {
+        #[cfg(feature = "trace")]
+        if self.label != SiteId::UNKNOWN && tx.op_site() == SiteId::UNKNOWN {
+            tx.set_op_site(self.label);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = tx;
     }
 
     /// Number of locations (the paper's `M`).
@@ -74,6 +110,7 @@ impl StmRegion {
     ///
     /// Panics if `index` is out of bounds.
     pub fn read(&self, tx: &mut Txn, index: usize) -> TxResult<()> {
+        self.default_site(tx);
         self.locations[index].read(tx)?;
         Ok(())
     }
@@ -89,6 +126,7 @@ impl StmRegion {
     ///
     /// Panics if `index` is out of bounds.
     pub fn write(&self, tx: &mut Txn, index: usize) -> TxResult<()> {
+        self.default_site(tx);
         let token = TOKENS.fetch_add(1, Ordering::Relaxed);
         self.locations[index].write(tx, token)
     }

@@ -94,9 +94,17 @@ where
     }
 }
 
+/// One logged speculative operation, replayed against the live structure
+/// at commit.
+type LoggedOp<P> = Rc<dyn Fn(&mut P)>;
+
+/// A speculative operation that also produces a return value when run
+/// against the shadow copy.
+type SpeculativeOp<P, R> = Rc<dyn Fn(&mut P) -> R>;
+
 struct SnapshotState<P> {
     shadow: Option<P>,
-    ops: Vec<Rc<dyn Fn(&mut P)>>,
+    ops: Vec<LoggedOp<P>>,
 }
 
 /// The replay log for snapshot-based shadow copies (`ReplayLog` +
@@ -141,9 +149,7 @@ impl<S: SnapshotSource + 'static> SnapshotReplay<S> {
     /// Whether the current transaction has already written (and therefore
     /// holds a shadow copy).
     pub fn has_shadow(&self, tx: &Txn) -> bool {
-        self.local
-            .get_existing(tx)
-            .is_some_and(|cell| cell.borrow().shadow.is_some())
+        self.local.get_existing(tx).is_some_and(|cell| cell.borrow().shadow.is_some())
     }
 
     /// Read through the shadow copy if this transaction has one, otherwise
@@ -183,7 +189,7 @@ impl<S: SnapshotSource + 'static> SnapshotReplay<S> {
                 });
             });
         }
-        let op: Rc<dyn Fn(&mut S::Snap) -> R> = Rc::new(op);
+        let op: SpeculativeOp<S::Snap, R> = Rc::new(op);
         let result = op(state.shadow.as_mut().expect("shadow was just ensured"));
         let replayed = Rc::clone(&op);
         state.ops.push(Rc::new(move |shared: &mut S::Snap| {
@@ -407,7 +413,9 @@ mod tests {
         assert_eq!(shared.len(), 2);
     }
 
-    fn memo_fixture(combine: bool) -> (Stm, Arc<StripedHashMap<u32, String>>, MemoReplay<u32, String>) {
+    fn memo_fixture(
+        combine: bool,
+    ) -> (Stm, Arc<StripedHashMap<u32, String>>, MemoReplay<u32, String>) {
         let stm = Stm::new(StmConfig::default());
         let backing = Arc::new(StripedHashMap::new());
         let log = MemoReplay::new(Arc::clone(&backing), combine);

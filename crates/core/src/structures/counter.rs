@@ -132,14 +132,13 @@ impl ProustCounter {
         ProustCounter {
             base: Arc::new(ConcCounter::new(initial)),
             committed: Arc::new(AtomicI64::new(initial)),
-            region: Arc::new(StmRegion::new(1)),
+            region: Arc::new(StmRegion::labelled(1, "counter.l0")),
             threshold,
         }
     }
 
     fn near_zero(&self) -> bool {
-        self.base.get() < self.threshold
-            || self.committed.load(Ordering::Acquire) < self.threshold
+        self.base.get() < self.threshold || self.committed.load(Ordering::Acquire) < self.threshold
     }
 
     fn record_committed_delta(&self, tx: &mut Txn, delta: i64) {
@@ -158,6 +157,7 @@ impl ProustCounter {
     ///
     /// Propagates STM conflicts on ℓ₀.
     pub fn incr(&self, tx: &mut Txn) -> TxResult<()> {
+        crate::op_site!(tx, "counter.incr");
         if self.near_zero() {
             self.region.read(tx, 0)?;
         }
@@ -175,6 +175,7 @@ impl ProustCounter {
     ///
     /// Propagates STM conflicts on ℓ₀.
     pub fn decr(&self, tx: &mut Txn) -> TxResult<bool> {
+        crate::op_site!(tx, "counter.decr");
         if self.near_zero() {
             self.region.write(tx, 0)?;
         }
@@ -266,10 +267,7 @@ mod tests {
                 s.spawn(move || {
                     for _ in 0..100 {
                         stm.atomically(|tx| counter.incr(tx)).unwrap();
-                        stm.atomically(|tx| {
-                            counter.decr(tx).map(|ok| assert!(ok))
-                        })
-                        .unwrap();
+                        stm.atomically(|tx| counter.decr(tx).map(|ok| assert!(ok))).unwrap();
                     }
                 });
             }

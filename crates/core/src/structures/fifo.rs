@@ -93,10 +93,10 @@ where
     ///
     /// Propagates synchronization conflicts.
     pub fn enqueue(&self, tx: &mut Txn, item: T) -> TxResult<()> {
+        crate::op_site!(tx, "fifo.enqueue");
         // Head mode decision depends on whether the queue is empty; decide,
         // acquire, re-check (cf. the priority queue's min-dependent lock).
-        let mut head_mode =
-            if self.speculative_len(tx) == 0 { Mode::Write } else { Mode::Read };
+        let mut head_mode = if self.speculative_len(tx) == 0 { Mode::Write } else { Mode::Read };
         loop {
             let requests = [
                 LockRequest::write(FifoState::Tail),
@@ -120,10 +120,10 @@ where
     ///
     /// Propagates synchronization conflicts.
     pub fn dequeue(&self, tx: &mut Txn) -> TxResult<Option<T>> {
+        crate::op_site!(tx, "fifo.dequeue");
         // A dequeue that empties (or finds empty) the queue interacts with
         // concurrent enqueues, so it also reads Tail in that regime.
-        let mut tail_mode =
-            if self.speculative_len(tx) <= 1 { Some(Mode::Read) } else { None };
+        let mut tail_mode = if self.speculative_len(tx) <= 1 { Some(Mode::Read) } else { None };
         loop {
             let mut requests = vec![LockRequest::write(FifoState::Head)];
             if let Some(mode) = tail_mode {
@@ -149,9 +149,9 @@ where
     ///
     /// Propagates synchronization conflicts.
     pub fn peek(&self, tx: &mut Txn) -> TxResult<Option<T>> {
+        crate::op_site!(tx, "fifo.peek");
         self.lock.with(tx, &[LockRequest::read(FifoState::Head)], |tx| {
-            self.log
-                .read(tx, |live| live.peek_front(), |snap| snap.peek_front().cloned())
+            self.log.read(tx, |live| live.peek_front(), |snap| snap.peek_front().cloned())
         })
     }
 
@@ -200,9 +200,7 @@ mod tests {
     #[test]
     fn empty_queue_behaviour() {
         for (q, stm) in queues() {
-            let (front, removed) = stm
-                .atomically(|tx| Ok((q.peek(tx)?, q.dequeue(tx)?)))
-                .unwrap();
+            let (front, removed) = stm.atomically(|tx| Ok((q.peek(tx)?, q.dequeue(tx)?))).unwrap();
             assert_eq!(front, None);
             assert_eq!(removed, None);
             assert_eq!(q.committed_size(), 0);
@@ -251,8 +249,7 @@ mod tests {
             // FIFO per producer: each producer's items drain in their
             // enqueue order. (Cross-producer interleaving is free.)
             for t in 0..4u64 {
-                let seen: Vec<u64> =
-                    all.iter().copied().filter(|v| v / 1000 == t).collect();
+                let seen: Vec<u64> = all.iter().copied().filter(|v| v / 1000 == t).collect();
                 let mut expected = seen.clone();
                 expected.sort_unstable();
                 assert_eq!(seen, expected, "producer {t} items reordered");

@@ -44,11 +44,7 @@ impl<K, V> fmt::Debug for EagerMap<K, V> {
 
 impl<K, V> Clone for EagerMap<K, V> {
     fn clone(&self) -> Self {
-        EagerMap {
-            base: Arc::clone(&self.base),
-            lock: self.lock.clone(),
-            size: self.size.clone(),
-        }
+        EagerMap { base: Arc::clone(&self.base), lock: self.lock.clone(), size: self.size.clone() }
     }
 }
 
@@ -78,6 +74,7 @@ where
     V: Clone + Send + Sync + 'static,
 {
     fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        crate::op_site!(tx, "eager_map.put");
         let base = Arc::clone(&self.base);
         let op_key = key.clone();
         let undo_base = Arc::clone(&self.base);
@@ -103,16 +100,17 @@ where
     }
 
     fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
-        self.lock
-            .with(tx, &[LockRequest::read(key.clone())], |_tx| self.base.get(key))
+        crate::op_site!(tx, "eager_map.get");
+        self.lock.with(tx, &[LockRequest::read(key.clone())], |_tx| self.base.get(key))
     }
 
     fn contains(&self, tx: &mut Txn, key: &K) -> TxResult<bool> {
-        self.lock
-            .with(tx, &[LockRequest::read(key.clone())], |_tx| self.base.contains_key(key))
+        crate::op_site!(tx, "eager_map.contains");
+        self.lock.with(tx, &[LockRequest::read(key.clone())], |_tx| self.base.contains_key(key))
     }
 
     fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        crate::op_site!(tx, "eager_map.remove");
         let base = Arc::clone(&self.base);
         let op_key = key.clone();
         let undo_base = Arc::clone(&self.base);
@@ -151,10 +149,7 @@ mod tests {
                 EagerMap::new(Arc::new(OptimisticLap::new(64))),
                 Stm::new(StmConfig::with_detection(ConflictDetection::EagerAll)),
             ),
-            (
-                EagerMap::new(Arc::new(PessimisticLap::new(64))),
-                Stm::new(StmConfig::default()),
-            ),
+            (EagerMap::new(Arc::new(PessimisticLap::new(64))), Stm::new(StmConfig::default())),
         ]
     }
 
@@ -186,9 +181,7 @@ mod tests {
                 Err(TxError::abort("roll it all back"))
             });
             assert!(result.is_err());
-            let (v7, v8) = stm
-                .atomically(|tx| Ok((map.get(tx, &7)?, map.get(tx, &8)?)))
-                .unwrap();
+            let (v7, v8) = stm.atomically(|tx| Ok((map.get(tx, &7)?, map.get(tx, &8)?))).unwrap();
             assert_eq!(v7.as_deref(), Some("keep"), "inverse chain must restore key 7");
             assert_eq!(v8, None, "inserted key must be removed on abort");
             assert_eq!(map.committed_size(), 1);
@@ -254,9 +247,7 @@ mod tests {
                     });
                 }
             });
-            let len = stm
-                .atomically(|tx| Ok(map.get(tx, &0)?.map(|s| s.len())))
-                .unwrap();
+            let len = stm.atomically(|tx| Ok(map.get(tx, &0)?.map(|s| s.len()))).unwrap();
             assert_eq!(len, Some(400), "read-modify-write chain must not lose updates");
         }
     }

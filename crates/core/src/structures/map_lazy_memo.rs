@@ -83,7 +83,6 @@ where
             size: CommittedSize::new(),
         }
     }
-
 }
 
 impl<K, V> TxMap<K, V> for MemoMap<K, V>
@@ -92,6 +91,7 @@ where
     V: Clone + Send + Sync + 'static,
 {
     fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        crate::op_site!(tx, "memo_map.put");
         let previous = self.lock.with(tx, &[LockRequest::write(key.clone())], |tx| {
             self.log.put(tx, key.clone(), value)
         })?;
@@ -102,14 +102,15 @@ where
     }
 
     fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
-        self.lock
-            .with(tx, &[LockRequest::read(key.clone())], |tx| self.log.get(tx, key))
+        crate::op_site!(tx, "memo_map.get");
+        self.lock.with(tx, &[LockRequest::read(key.clone())], |tx| self.log.get(tx, key))
     }
 
     fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
-        let previous = self.lock.with(tx, &[LockRequest::write(key.clone())], |tx| {
-            self.log.remove(tx, key.clone())
-        })?;
+        crate::op_site!(tx, "memo_map.remove");
+        let previous = self
+            .lock
+            .with(tx, &[LockRequest::write(key.clone())], |tx| self.log.remove(tx, key.clone()))?;
         if previous.is_some() {
             self.size.record(tx, -1);
         }

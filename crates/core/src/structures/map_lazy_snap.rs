@@ -84,9 +84,9 @@ where
     V: Clone + Send + Sync + 'static,
 {
     fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
+        crate::op_site!(tx, "snap_map.put");
         let previous = self.lock.with(tx, &[LockRequest::write(key.clone())], |tx| {
-            self.log
-                .update(tx, move |snap| snap.insert(key.clone(), value.clone()))
+            self.log.update(tx, move |snap| snap.insert(key.clone(), value.clone()))
         })?;
         if previous.is_none() {
             self.size.record(tx, 1);
@@ -95,22 +95,23 @@ where
     }
 
     fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        crate::op_site!(tx, "snap_map.get");
         self.lock.with(tx, &[LockRequest::read(key.clone())], |tx| {
             // The `readOnly` optimization of Figure 2b: no replay log is
             // allocated until the transaction actually writes.
-            self.log
-                .read(tx, |live| live.get(key), |snap| snap.get(key).cloned())
+            self.log.read(tx, |live| live.get(key), |snap| snap.get(key).cloned())
         })
     }
 
     fn contains(&self, tx: &mut Txn, key: &K) -> TxResult<bool> {
+        crate::op_site!(tx, "snap_map.contains");
         self.lock.with(tx, &[LockRequest::read(key.clone())], |tx| {
-            self.log
-                .read(tx, |live| live.contains_key(key), |snap| snap.contains_key(key))
+            self.log.read(tx, |live| live.contains_key(key), |snap| snap.contains_key(key))
         })
     }
 
     fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+        crate::op_site!(tx, "snap_map.remove");
         let removal_key = key.clone();
         let previous = self.lock.with(tx, &[LockRequest::write(key.clone())], |tx| {
             self.log.update(tx, move |snap| snap.remove(&removal_key))

@@ -131,8 +131,7 @@ where
     }
 
     fn speculative_min(&self, tx: &mut Txn) -> Option<T> {
-        self.log
-            .read(tx, |live| live.peek_min(), |snap| snap.peek_min().cloned())
+        self.log.read(tx, |live| live.peek_min(), |snap| snap.peek_min().cloned())
     }
 }
 
@@ -141,6 +140,7 @@ where
     T: Ord + Clone + Send + Sync + 'static,
 {
     fn insert(&self, tx: &mut Txn, value: T) -> TxResult<()> {
+        crate::op_site!(tx, "lazy_pqueue.insert");
         // Decide the Min lock mode from the current (speculative) minimum,
         // acquire, then re-check: the minimum may have moved between the
         // peek and the acquisition. Once the stronger mode is held the
@@ -167,26 +167,23 @@ where
     }
 
     fn min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
-        self.lock
-            .with(tx, &[LockRequest::read(PQueueState::Min)], |tx| self.speculative_min(tx))
+        crate::op_site!(tx, "lazy_pqueue.min");
+        self.lock.with(tx, &[LockRequest::read(PQueueState::Min)], |tx| self.speculative_min(tx))
     }
 
     fn contains(&self, tx: &mut Txn, value: &T) -> TxResult<bool> {
-        self.lock
-            .with(tx, &[LockRequest::read(PQueueState::MultiSet)], |tx| {
-                self.log
-                    .read(tx, |live| live.contains(value), |snap| snap.contains(value))
-            })
+        crate::op_site!(tx, "lazy_pqueue.contains");
+        self.lock.with(tx, &[LockRequest::read(PQueueState::MultiSet)], |tx| {
+            self.log.read(tx, |live| live.contains(value), |snap| snap.contains(value))
+        })
     }
 
     fn remove_min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
-        let requests = [
-            LockRequest::write(PQueueState::Min),
-            LockRequest::write(PQueueState::MultiSet),
-        ];
-        let removed = self
-            .lock
-            .with(tx, &requests, |tx| self.log.update(tx, |heap| heap.pop_min()))?;
+        crate::op_site!(tx, "lazy_pqueue.remove_min");
+        let requests =
+            [LockRequest::write(PQueueState::Min), LockRequest::write(PQueueState::MultiSet)];
+        let removed =
+            self.lock.with(tx, &requests, |tx| self.log.update(tx, |heap| heap.pop_min()))?;
         if removed.is_some() {
             self.size.record(tx, -1);
         }
@@ -308,14 +305,14 @@ where
     T: Ord + Clone + Send + Sync + 'static,
 {
     fn insert(&self, tx: &mut Txn, value: T) -> TxResult<()> {
+        crate::op_site!(tx, "eager_pqueue.insert");
         let mut mode = min_mode_for_insert(&value, Self::peek_live(&self.base).as_ref());
         loop {
             let requests = [
                 LockRequest::write(PQueueState::MultiSet),
                 LockRequest { key: PQueueState::Min, mode },
             ];
-            let fresh =
-                self.lock.with(tx, &requests, |_tx| Self::peek_live(&self.base))?;
+            let fresh = self.lock.with(tx, &requests, |_tx| Self::peek_live(&self.base))?;
             let needed = min_mode_for_insert(&value, fresh.as_ref());
             if needed == Mode::Write && mode == Mode::Read {
                 mode = Mode::Write;
@@ -333,23 +330,24 @@ where
     }
 
     fn min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
+        crate::op_site!(tx, "eager_pqueue.min");
         self.lock
             .with(tx, &[LockRequest::read(PQueueState::Min)], |_tx| Self::peek_live(&self.base))
     }
 
     fn contains(&self, tx: &mut Txn, value: &T) -> TxResult<bool> {
-        self.lock
-            .with(tx, &[LockRequest::read(PQueueState::MultiSet)], |_tx| {
-                self.base
-                    .any(|candidate| !candidate.deleted.load(Ordering::Acquire) && candidate.value == *value)
+        crate::op_site!(tx, "eager_pqueue.contains");
+        self.lock.with(tx, &[LockRequest::read(PQueueState::MultiSet)], |_tx| {
+            self.base.any(|candidate| {
+                !candidate.deleted.load(Ordering::Acquire) && candidate.value == *value
             })
+        })
     }
 
     fn remove_min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
-        let requests = [
-            LockRequest::write(PQueueState::Min),
-            LockRequest::write(PQueueState::MultiSet),
-        ];
+        crate::op_site!(tx, "eager_pqueue.remove_min");
+        let requests =
+            [LockRequest::write(PQueueState::Min), LockRequest::write(PQueueState::MultiSet)];
         let base = Arc::clone(&self.base);
         let undo_base = Arc::clone(&self.base);
         let removed = self.lock.with_inverse(
@@ -455,9 +453,8 @@ mod tests {
     #[test]
     fn empty_queue_behaviour() {
         for (q, stm, label) in queues() {
-            let (min, removed, size) = stm
-                .atomically(|tx| Ok((q.min(tx)?, q.remove_min(tx)?, q.size(tx)?)))
-                .unwrap();
+            let (min, removed, size) =
+                stm.atomically(|tx| Ok((q.min(tx)?, q.remove_min(tx)?, q.size(tx)?))).unwrap();
             assert_eq!(min, None, "{label}");
             assert_eq!(removed, None, "{label}");
             assert_eq!(size, 0, "{label}");

@@ -46,6 +46,7 @@ where
     ///
     /// Propagates synchronization conflicts.
     pub fn add(&self, tx: &mut Txn, value: T) -> TxResult<bool> {
+        crate::op_site!(tx, "set.add");
         Ok(self.map.put(tx, value, ())?.is_none())
     }
 
@@ -55,6 +56,7 @@ where
     ///
     /// Propagates synchronization conflicts.
     pub fn remove(&self, tx: &mut Txn, value: &T) -> TxResult<bool> {
+        crate::op_site!(tx, "set.remove");
         Ok(self.map.remove(tx, value)?.is_some())
     }
 
@@ -64,6 +66,7 @@ where
     ///
     /// Propagates synchronization conflicts.
     pub fn contains(&self, tx: &mut Txn, value: &T) -> TxResult<bool> {
+        crate::op_site!(tx, "set.contains");
         self.map.contains(tx, value)
     }
 
@@ -89,10 +92,7 @@ mod tests {
     use proust_stm::{Stm, StmConfig, TxError};
 
     fn set() -> (ProustSet<String>, Stm) {
-        (
-            ProustSet::new(Arc::new(OptimisticLap::new(64))),
-            Stm::new(StmConfig::default()),
-        )
+        (ProustSet::new(Arc::new(OptimisticLap::new(64))), Stm::new(StmConfig::default()))
     }
 
     #[test]
@@ -118,9 +118,7 @@ mod tests {
             Err(TxError::abort("discard"))
         });
         assert!(result.is_err());
-        let present = stm
-            .atomically(|tx| s.contains(tx, &"ghost".to_string()))
-            .unwrap();
+        let present = stm.atomically(|tx| s.contains(tx, &"ghost".to_string())).unwrap();
         assert!(!present);
     }
 

@@ -100,9 +100,7 @@ fn eager_retries_do_not_double_apply() {
         victim.join().unwrap()
     });
     assert_eq!(attempts, 2, "the staged conflict must force exactly one retry");
-    let (k0, k1) = stm
-        .atomically(|tx| Ok((map.get(tx, &0)?, map.get(tx, &1)?)))
-        .unwrap();
+    let (k0, k1) = stm.atomically(|tx| Ok((map.get(tx, &0)?, map.get(tx, &1)?))).unwrap();
     assert_eq!(k0, Some(101), "double-applied eager update detected");
     assert_eq!(k1, Some(5));
     assert!(stm.stats().conflicts > 0);
@@ -146,13 +144,9 @@ fn multi_request_acquisition_is_all_or_nothing() {
                     // Overlapping multi-element requests in varying order.
                     let (a, b) = if (t + i) % 2 == 0 { (0, 1) } else { (1, 0) };
                     stm.atomically(|tx| {
-                        lock.with(
-                            tx,
-                            &[LockRequest::write(a), LockRequest::write(b)],
-                            |_tx| {
-                                body_runs.fetch_add(1, Ordering::Relaxed);
-                            },
-                        )
+                        lock.with(tx, &[LockRequest::write(a), LockRequest::write(b)], |_tx| {
+                            body_runs.fetch_add(1, Ordering::Relaxed);
+                        })
                     })
                     .unwrap();
                     commits.fetch_add(1, Ordering::Relaxed);

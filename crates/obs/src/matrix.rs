@@ -1,0 +1,203 @@
+//! Per-site conflict attribution.
+//!
+//! Every conflict-driven abort names two operations: the *victim* (the
+//! transaction being aborted, labelled by the op it was executing) and
+//! the *aborter* (the op whose footprint it collided with — the last
+//! writer of the STM location, or the holder of the abstract lock).
+//! Aggregating those pairs yields the empirical conflict matrix of
+//! Section 2 of the Proust paper: off-diagonal mass between operations
+//! that semantically commute is *false conflict*, the quantity the
+//! abstract-lock design space exists to reduce.
+
+use crate::site::SiteId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One aggregated cell of the conflict matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictCell {
+    /// Site of the operation whose footprint caused the abort.
+    pub aborter: SiteId,
+    /// Site of the operation that was aborted.
+    pub victim: SiteId,
+    /// Number of aborts attributed to this pair.
+    pub count: u64,
+}
+
+/// Concurrent aggregator of `(aborter-op, victim-op)` abort pairs.
+///
+/// Recording takes a short mutex; conflicts are already the slow path
+/// (the victim is about to roll back and retry), so contention on the
+/// aggregate is never on the commit fast path.
+#[derive(Debug, Default)]
+pub struct ConflictMatrix {
+    cells: Mutex<HashMap<(SiteId, SiteId), u64>>,
+}
+
+impl Clone for ConflictMatrix {
+    fn clone(&self) -> ConflictMatrix {
+        ConflictMatrix { cells: Mutex::new(self.cells.lock().clone()) }
+    }
+}
+
+impl ConflictMatrix {
+    /// An empty matrix.
+    pub fn new() -> ConflictMatrix {
+        ConflictMatrix::default()
+    }
+
+    /// Record one abort of `victim`'s op attributed to `aborter`'s op.
+    pub fn record(&self, aborter: SiteId, victim: SiteId) {
+        *self.cells.lock().entry((aborter, victim)).or_insert(0) += 1;
+    }
+
+    /// Total aborts recorded.
+    pub fn total(&self) -> u64 {
+        self.cells.lock().values().sum()
+    }
+
+    /// All non-zero cells, sorted by descending count then site names
+    /// (deterministic for reporting).
+    pub fn cells(&self) -> Vec<ConflictCell> {
+        let mut out: Vec<ConflictCell> = self
+            .cells
+            .lock()
+            .iter()
+            .map(|(&(aborter, victim), &count)| ConflictCell { aborter, victim, count })
+            .collect();
+        out.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.aborter.name().cmp(b.aborter.name()))
+                .then_with(|| a.victim.name().cmp(b.victim.name()))
+        });
+        out
+    }
+
+    /// Fraction of recorded aborts whose op pair the oracle says
+    /// commutes — i.e. the empirical *false-conflict rate*. Returns 0
+    /// for an empty matrix.
+    ///
+    /// The oracle receives `(aborter, victim)` site names; for the
+    /// paper's map example, `("map.get", "map.get")` commutes while
+    /// `("map.put", "map.get")` on the same key does not. Callers that
+    /// label sites per key-region can encode the region in the label
+    /// and let the oracle reason about it.
+    pub fn false_conflict_rate<F>(&self, mut commutes: F) -> f64
+    where
+        F: FnMut(&str, &str) -> bool,
+    {
+        let cells = self.cells.lock();
+        let mut total = 0u64;
+        let mut false_conflicts = 0u64;
+        for (&(aborter, victim), &count) in cells.iter() {
+            total += count;
+            if commutes(aborter.name(), victim.name()) {
+                false_conflicts += count;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            false_conflicts as f64 / total as f64
+        }
+    }
+
+    /// Fold another matrix's counts into this one.
+    pub fn merge(&self, other: &ConflictMatrix) {
+        let other_cells: Vec<_> =
+            other.cells.lock().iter().map(|(&pair, &count)| (pair, count)).collect();
+        let mut mine = self.cells.lock();
+        for (pair, count) in other_cells {
+            *mine.entry(pair).or_insert(0) += count;
+        }
+    }
+
+    /// Reset all counts.
+    pub fn clear(&self) {
+        self.cells.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_aggregate_and_sort() {
+        let m = ConflictMatrix::new();
+        let put = SiteId::intern("matrix-test.put");
+        let get = SiteId::intern("matrix-test.get");
+        for _ in 0..3 {
+            m.record(put, get);
+        }
+        m.record(get, get);
+        assert_eq!(m.total(), 4);
+        let cells = m.cells();
+        assert_eq!(cells[0].count, 3);
+        assert_eq!(cells[0].aborter, put);
+        assert_eq!(cells[0].victim, get);
+    }
+
+    #[test]
+    fn false_conflict_rate_uses_oracle() {
+        let m = ConflictMatrix::new();
+        let put = SiteId::intern("matrix-test.rate.put");
+        let get = SiteId::intern("matrix-test.rate.get");
+        m.record(get, get); // commutes: false conflict
+        m.record(put, get); // real conflict
+        m.record(put, get);
+        m.record(put, get);
+        let rate = m.false_conflict_rate(|a, b| a.ends_with(".get") && b.ends_with(".get"));
+        assert!((rate - 0.25).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn empty_matrix_rate_is_zero() {
+        let m = ConflictMatrix::new();
+        assert_eq!(m.false_conflict_rate(|_, _| true), 0.0);
+        assert_eq!(m.total(), 0);
+        assert!(m.cells().is_empty());
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let a = ConflictMatrix::new();
+        let b = ConflictMatrix::new();
+        let s = SiteId::intern("matrix-test.merge");
+        a.record(s, s);
+        b.record(s, s);
+        b.record(s, s);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn concurrent_records_lose_nothing() {
+        let m = std::sync::Arc::new(ConflictMatrix::new());
+        let sites: Vec<SiteId> = (0..4)
+            .map(|i| {
+                SiteId::intern(match i {
+                    0 => "matrix-test.mt.a",
+                    1 => "matrix-test.mt.b",
+                    2 => "matrix-test.mt.c",
+                    _ => "matrix-test.mt.d",
+                })
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let m = m.clone();
+            let sites = sites.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000usize {
+                    m.record(sites[t % 4], sites[i % 4]);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("recorder thread panicked");
+        }
+        assert_eq!(m.total(), 40_000);
+    }
+}

@@ -1,0 +1,120 @@
+//! Interned static site labels.
+//!
+//! A *site* names the operation or lock region an event is attributed
+//! to: `"map.put"`, `"pqueue.remove_min"`, `"fifo/tail-region"`. Sites
+//! are interned once (usually at structure construction) into a global
+//! table and carried afterwards as a 4-byte [`SiteId`], so the conflict
+//! and tracing hot paths never touch strings.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned site label. `Copy`, 4 bytes, order-stable within a
+/// process run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(u32);
+
+struct Registry {
+    names: Vec<&'static str>,
+    index: HashMap<&'static str, u32>,
+}
+
+fn registry() -> &'static RwLock<Registry> {
+    static REGISTRY: OnceLock<RwLock<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        RwLock::new(Registry { names: vec!["unknown"], index: HashMap::from([("unknown", 0)]) })
+    })
+}
+
+impl SiteId {
+    /// The reserved label for events whose site was never set.
+    pub const UNKNOWN: SiteId = SiteId(0);
+
+    /// Intern `name`, returning the existing id if it was seen before.
+    pub fn intern(name: &'static str) -> SiteId {
+        if let Some(&id) = registry().read().index.get(name) {
+            return SiteId(id);
+        }
+        let mut reg = registry().write();
+        if let Some(&id) = reg.index.get(name) {
+            return SiteId(id);
+        }
+        let id = reg.names.len() as u32;
+        reg.names.push(name);
+        reg.index.insert(name, id);
+        SiteId(id)
+    }
+
+    /// The label this id was interned under.
+    pub fn name(self) -> &'static str {
+        registry().read().names.get(self.0 as usize).copied().unwrap_or("unknown")
+    }
+
+    /// The raw interned index, for packing into atomics.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a `SiteId` from [`SiteId::as_u32`]. Ids that were never
+    /// interned render as `"unknown"`.
+    pub fn from_u32(raw: u32) -> SiteId {
+        SiteId(raw)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Default for SiteId {
+    fn default() -> Self {
+        SiteId::UNKNOWN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_name_round_trips() {
+        let a = SiteId::intern("site-test.map.put");
+        let b = SiteId::intern("site-test.map.put");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "site-test.map.put");
+        assert_ne!(a, SiteId::UNKNOWN);
+        assert_eq!(SiteId::UNKNOWN.name(), "unknown");
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let a = SiteId::intern("site-test.raw");
+        assert_eq!(SiteId::from_u32(a.as_u32()), a);
+        assert_eq!(SiteId::from_u32(u32::MAX).name(), "unknown");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let names: Vec<&'static str> =
+            vec!["site-test.conc.a", "site-test.conc.b", "site-test.conc.c"];
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let names = names.clone();
+            handles.push(std::thread::spawn(move || {
+                names.iter().map(|n| SiteId::intern(n)).collect::<Vec<_>>()
+            }));
+        }
+        let first = handles
+            .pop()
+            .expect("spawned at least one thread")
+            .join()
+            .expect("interning thread panicked");
+        for h in handles {
+            assert_eq!(h.join().expect("interning thread panicked"), first);
+        }
+    }
+}

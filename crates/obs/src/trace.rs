@@ -1,0 +1,339 @@
+//! Per-thread ring-buffer event tracing.
+//!
+//! Each worker thread owns a fixed-capacity ring of lifecycle events;
+//! emitting an event is a handful of relaxed atomic stores into the
+//! owner's ring with no shared-cache-line traffic between workers. A
+//! drain walks every registered ring and returns the retained events in
+//! timestamp order. Rings overwrite their oldest entries, so a trace
+//! retains the *last* `capacity` events per thread.
+//!
+//! Callers (the STM substrate) gate emission behind a cargo feature —
+//! with the feature off the hooks compile away entirely; with it on but
+//! the tracer disabled, emission is one relaxed load.
+//!
+//! Concurrency note: slots are per-field atomics. A drain that races a
+//! live emitter can observe a torn event (fields from two writes) on
+//! the ring's wrap boundary; drains are meant to run after workers
+//! quiesce (end of a benchmark cell), where they are exact.
+
+use crate::site::SiteId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// What happened. Discriminants are stable within a run (they appear in
+/// drained events and JSON traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A transaction attempt began (`aux` = attempt number).
+    TxnStart = 0,
+    /// A TVar was read (`aux` = TVar id).
+    Read = 1,
+    /// A TVar was written (`aux` = TVar id).
+    Write = 2,
+    /// An abstract lock was acquired (`site` = lock region).
+    LockAcquire = 3,
+    /// An abstract lock was released at transaction end.
+    LockRelease = 4,
+    /// A conflict aborted the attempt (`aux` = conflict-kind code,
+    /// `site` = aborter's op site).
+    Conflict = 5,
+    /// Lazy replay of an update log began at the serialization point.
+    ReplayBegin = 6,
+    /// Lazy replay finished (`aux` = replayed entry count if known).
+    ReplayEnd = 7,
+    /// Commit-time read validation began.
+    CommitValidate = 8,
+    /// Write-back (ownership held, publishing buffered writes) began.
+    CommitWriteback = 9,
+    /// The transaction committed (`aux` = attempt number).
+    Commit = 10,
+    /// The transaction gave up or was explicitly aborted.
+    Abort = 11,
+}
+
+impl EventKind {
+    fn from_u8(raw: u8) -> EventKind {
+        match raw {
+            0 => EventKind::TxnStart,
+            1 => EventKind::Read,
+            2 => EventKind::Write,
+            3 => EventKind::LockAcquire,
+            4 => EventKind::LockRelease,
+            5 => EventKind::Conflict,
+            6 => EventKind::ReplayBegin,
+            7 => EventKind::ReplayEnd,
+            8 => EventKind::CommitValidate,
+            9 => EventKind::CommitWriteback,
+            10 => EventKind::Commit,
+            _ => EventKind::Abort,
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TxnStart => "txn_start",
+            EventKind::Read => "read",
+            EventKind::Write => "write",
+            EventKind::LockAcquire => "lock_acquire",
+            EventKind::LockRelease => "lock_release",
+            EventKind::Conflict => "conflict",
+            EventKind::ReplayBegin => "replay_begin",
+            EventKind::ReplayEnd => "replay_end",
+            EventKind::CommitValidate => "commit_validate",
+            EventKind::CommitWriteback => "commit_writeback",
+            EventKind::Commit => "commit",
+            EventKind::Abort => "abort",
+        }
+    }
+}
+
+/// One drained lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the tracer's epoch (process-wide, comparable
+    /// across threads).
+    pub at_ns: u64,
+    /// Id of the transaction the event belongs to.
+    pub txn: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Site label of the op (or lock region / aborter, per kind).
+    pub site: SiteId,
+    /// Kind-specific payload (TVar id, attempt, conflict code).
+    pub aux: u64,
+}
+
+struct Slot {
+    at_ns: AtomicU64,
+    // kind in low 8 bits, site in high 32, "filled" flag in bit 8.
+    kind_site: AtomicU64,
+    txn: AtomicU64,
+    aux: AtomicU64,
+}
+
+const FILLED: u64 = 1 << 8;
+
+struct Ring {
+    slots: Box<[Slot]>,
+    head: AtomicUsize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: (0..capacity.max(1))
+                .map(|_| Slot {
+                    at_ns: AtomicU64::new(0),
+                    kind_site: AtomicU64::new(0),
+                    txn: AtomicU64::new(0),
+                    aux: AtomicU64::new(0),
+                })
+                .collect(),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, at_ns: u64, txn: u64, kind: EventKind, site: SiteId, aux: u64) {
+        let index = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let slot = &self.slots[index];
+        slot.at_ns.store(at_ns, Ordering::Relaxed);
+        slot.txn.store(txn, Ordering::Relaxed);
+        slot.aux.store(aux, Ordering::Relaxed);
+        slot.kind_site
+            .store((kind as u64) | FILLED | ((site.as_u32() as u64) << 32), Ordering::Release);
+    }
+
+    fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        for slot in self.slots.iter() {
+            let kind_site = slot.kind_site.load(Ordering::Acquire);
+            if kind_site & FILLED == 0 {
+                continue;
+            }
+            out.push(TraceEvent {
+                at_ns: slot.at_ns.load(Ordering::Relaxed),
+                txn: slot.txn.load(Ordering::Relaxed),
+                kind: EventKind::from_u8(kind_site as u8),
+                site: SiteId::from_u32((kind_site >> 32) as u32),
+                aux: slot.aux.load(Ordering::Relaxed),
+            });
+        }
+    }
+
+    fn clear(&self) {
+        for slot in self.slots.iter() {
+            slot.kind_site.store(0, Ordering::Relaxed);
+        }
+        self.head.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide trace collector. Disabled (one relaxed load per hook)
+/// until [`Tracer::enable`] is called.
+pub struct Tracer {
+    enabled: AtomicBool,
+    capacity: AtomicUsize,
+    rings: Mutex<Vec<Arc<Ring>>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("threads", &self.rings.lock().len())
+            .finish()
+    }
+}
+
+/// Default per-thread ring capacity (events retained per thread).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+thread_local! {
+    static THREAD_RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+}
+
+impl Tracer {
+    /// The process-wide tracer instance.
+    pub fn global() -> &'static Tracer {
+        static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+        GLOBAL.get_or_init(|| Tracer {
+            enabled: AtomicBool::new(false),
+            capacity: AtomicUsize::new(DEFAULT_RING_CAPACITY),
+            rings: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Begin retaining events. Threads that emitted before `enable`
+    /// keep their ring; capacity changes only affect threads that
+    /// register afterwards.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop retaining events (hooks drop back to one relaxed load).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether emission is currently retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Set the ring capacity used by threads that first emit after this
+    /// call.
+    pub fn set_ring_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity.max(1), Ordering::SeqCst);
+    }
+
+    /// Emit one event from the calling thread. No-op while disabled.
+    pub fn emit(&'static self, txn: u64, kind: EventKind, site: SiteId, aux: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let at_ns = self.epoch.elapsed().as_nanos() as u64;
+        THREAD_RING.with(|cell| {
+            let ring = cell.get_or_init(|| {
+                let ring = Arc::new(Ring::new(self.capacity.load(Ordering::SeqCst)));
+                self.rings.lock().push(ring.clone());
+                ring
+            });
+            ring.push(at_ns, txn, kind, site, aux);
+        });
+    }
+
+    /// Collect every retained event across all threads, sorted by
+    /// timestamp. Exact once emitting threads have quiesced.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let rings = self.rings.lock();
+        let mut out = Vec::new();
+        for ring in rings.iter() {
+            ring.drain_into(&mut out);
+        }
+        out.sort_by_key(|e| (e.at_ns, e.txn));
+        out
+    }
+
+    /// Drop all retained events (rings stay registered).
+    pub fn clear(&self) {
+        for ring in self.rings.lock().iter() {
+            ring.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> SiteId {
+        SiteId::intern("trace-test.op")
+    }
+
+    /// The tracer is process-global; tests that toggle it must not
+    /// overlap.
+    fn exclusive() -> parking_lot::MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    #[test]
+    fn disabled_tracer_retains_nothing() {
+        let _gate = exclusive();
+        let tracer = Tracer::global();
+        tracer.disable();
+        tracer.clear();
+        tracer.emit(1, EventKind::TxnStart, site(), 0);
+        assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn events_round_trip_and_sort() {
+        let _gate = exclusive();
+        let tracer = Tracer::global();
+        tracer.clear();
+        tracer.enable();
+        tracer.emit(7, EventKind::TxnStart, site(), 1);
+        tracer.emit(7, EventKind::Read, site(), 42);
+        tracer.emit(7, EventKind::Commit, site(), 1);
+        tracer.disable();
+        let events = tracer.drain();
+        tracer.clear();
+        let mine: Vec<_> = events.iter().filter(|e| e.txn == 7).collect();
+        assert!(mine.len() >= 3, "retained {} events", mine.len());
+        assert_eq!(mine[0].kind, EventKind::TxnStart);
+        assert_eq!(mine[1].kind, EventKind::Read);
+        assert_eq!(mine[1].aux, 42);
+        assert_eq!(mine[1].site, site());
+        assert_eq!(mine[2].kind, EventKind::Commit);
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| (e.at_ns, e.txn));
+        assert_eq!(events, sorted);
+    }
+
+    #[test]
+    fn rings_overwrite_oldest() {
+        let ring = Ring::new(8);
+        for i in 0..20u64 {
+            ring.push(i, i, EventKind::Read, SiteId::UNKNOWN, 0);
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|e| e.at_ns >= 12));
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for raw in 0..=11u8 {
+            let kind = EventKind::from_u8(raw);
+            assert_eq!(kind as u8, raw);
+            assert!(!kind.name().is_empty());
+        }
+    }
+}

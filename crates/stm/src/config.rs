@@ -37,11 +37,8 @@ pub enum ConflictDetection {
 
 impl ConflictDetection {
     /// All backends, for exhaustive design-space sweeps.
-    pub const ALL: [ConflictDetection; 3] = [
-        ConflictDetection::Mixed,
-        ConflictDetection::EagerAll,
-        ConflictDetection::LazyAll,
-    ];
+    pub const ALL: [ConflictDetection; 3] =
+        [ConflictDetection::Mixed, ConflictDetection::EagerAll, ConflictDetection::LazyAll];
 
     /// Whether write/write conflicts are detected eagerly.
     pub fn eager_write_write(self) -> bool {
@@ -83,7 +80,7 @@ impl Default for BackoffConfig {
 }
 
 /// Configuration for an [`Stm`](crate::Stm) runtime instance.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StmConfig {
     /// Conflict-detection backend (Figure 1, right-hand table).
     pub detection: ConflictDetection,
@@ -95,16 +92,6 @@ pub struct StmConfig {
     /// shows up as data rather than a hang (the paper reports exactly this
     /// failure mode for pessimistic coupling in §7).
     pub max_retries: Option<u32>,
-}
-
-impl Default for StmConfig {
-    fn default() -> Self {
-        StmConfig {
-            detection: ConflictDetection::default(),
-            backoff: BackoffConfig::default(),
-            max_retries: None,
-        }
-    }
 }
 
 impl StmConfig {

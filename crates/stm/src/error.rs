@@ -90,6 +90,37 @@ pub enum ConflictKind {
     External(&'static str),
 }
 
+impl ConflictKind {
+    /// Stable numeric code, used as the `aux` payload of conflict trace
+    /// events.
+    pub fn code(self) -> u8 {
+        match self {
+            ConflictKind::ReadInvalid => 0,
+            ConflictKind::ReadTooNew => 1,
+            ConflictKind::WriteLocked => 2,
+            ConflictKind::ReadLocked => 3,
+            ConflictKind::VisibleReaders => 4,
+            ConflictKind::Wounded => 5,
+            ConflictKind::AbstractLock => 6,
+            ConflictKind::External(_) => 7,
+        }
+    }
+
+    /// Stable lowercase name for machine-readable reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConflictKind::ReadInvalid => "read_invalid",
+            ConflictKind::ReadTooNew => "read_too_new",
+            ConflictKind::WriteLocked => "write_locked",
+            ConflictKind::ReadLocked => "read_locked",
+            ConflictKind::VisibleReaders => "visible_readers",
+            ConflictKind::Wounded => "wounded",
+            ConflictKind::AbstractLock => "abstract_lock",
+            ConflictKind::External(_) => "external",
+        }
+    }
+}
+
 impl fmt::Display for ConflictKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -148,11 +179,9 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        for err in [
-            TxError::Conflict(ConflictKind::WriteLocked),
-            TxError::Retry,
-            TxError::abort("why"),
-        ] {
+        for err in
+            [TxError::Conflict(ConflictKind::WriteLocked), TxError::Retry, TxError::abort("why")]
+        {
             assert!(!err.to_string().is_empty());
         }
     }

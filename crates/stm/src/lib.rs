@@ -59,6 +59,7 @@ mod clock;
 mod config;
 mod error;
 mod local;
+mod metrics;
 mod runtime;
 mod stats;
 mod tvar;
@@ -67,7 +68,14 @@ mod txn;
 pub use config::{BackoffConfig, ConflictDetection, StmConfig};
 pub use error::{AbortError, ConflictKind, TxError, TxResult};
 pub use local::TxnLocal;
+pub use metrics::StmMetrics;
 pub use runtime::Stm;
 pub use stats::{StmStats, StmStatsSnapshot};
 pub use tvar::TVar;
 pub use txn::{Txn, TxnOutcome};
+
+// Re-export the observability layer so downstream crates can name sites,
+// drain traces, and read histograms without depending on `proust-obs`
+// directly.
+pub use proust_obs as obs;
+pub use proust_obs::SiteId;

@@ -1,0 +1,60 @@
+//! Latency histograms and conflict attribution for one runtime.
+//!
+//! Recording only happens when the crate is built with the `trace`
+//! feature; without it the structures exist (so the API is
+//! feature-independent) but stay empty.
+
+use proust_obs::{ConflictMatrix, Histogram};
+
+/// Observability aggregates owned by one [`Stm`](crate::Stm) runtime.
+///
+/// * `txn_latency` — wall time of committed transactions, from the first
+///   attempt's start to commit (retries included).
+/// * `validation` — commit-time read-set validation.
+/// * `lock_writeback` — commit-time ownership acquisition plus buffered
+///   write publication (the serialization window).
+/// * `replay` — lazy update replay (`on_commit_locked` handlers) at the
+///   serialization point; empty for eager-only workloads.
+/// * `conflicts` — per-site `(aborter-op, victim-op)` abort attribution;
+///   see [`ConflictMatrix::false_conflict_rate`].
+///
+/// All values are nanoseconds.
+#[derive(Debug, Default, Clone)]
+pub struct StmMetrics {
+    /// Whole-transaction latency of commits.
+    pub txn_latency: Histogram,
+    /// Commit-phase: read-set validation.
+    pub validation: Histogram,
+    /// Commit-phase: ownership + write-back.
+    pub lock_writeback: Histogram,
+    /// Commit-phase: lazy replay of update logs.
+    pub replay: Histogram,
+    /// Conflict attribution matrix.
+    pub conflicts: ConflictMatrix,
+}
+
+impl StmMetrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> StmMetrics {
+        StmMetrics::default()
+    }
+
+    /// Accumulate every histogram and the conflict matrix of `other` into
+    /// `self`.
+    pub fn merge(&self, other: &StmMetrics) {
+        self.txn_latency.merge(&other.txn_latency);
+        self.validation.merge(&other.validation);
+        self.lock_writeback.merge(&other.lock_writeback);
+        self.replay.merge(&other.replay);
+        self.conflicts.merge(&other.conflicts);
+    }
+
+    /// Reset every histogram and the conflict matrix.
+    pub fn clear(&self) {
+        self.txn_latency.clear();
+        self.validation.clear();
+        self.lock_writeback.clear();
+        self.replay.clear();
+        self.conflicts.clear();
+    }
+}

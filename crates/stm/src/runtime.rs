@@ -9,9 +9,12 @@ use crate::backoff::Backoff;
 use crate::clock;
 use crate::config::StmConfig;
 use crate::error::{AbortError, TxError, TxResult};
+use crate::metrics::StmMetrics;
 use crate::stats::{StmStats, StmStatsSnapshot};
 use crate::tvar::DynTVar;
 use crate::txn::Txn;
+#[cfg(feature = "trace")]
+use proust_obs::{EventKind, SiteId, Tracer};
 
 /// Block (politely) until one of the watched locations changes version or
 /// becomes locked by a committing writer.
@@ -39,6 +42,7 @@ fn wait_for_change(watch: &[(DynTVar, u64)]) {
 pub(crate) struct StmInner {
     pub(crate) config: StmConfig,
     pub(crate) stats: StmStats,
+    pub(crate) metrics: StmMetrics,
     /// Global commit lock for the `LazyAll` (NOrec-style) backend.
     pub(crate) commit_lock: Arc<Mutex<()>>,
 }
@@ -90,6 +94,7 @@ impl Stm {
             inner: Arc::new(StmInner {
                 config,
                 stats: StmStats::default(),
+                metrics: StmMetrics::new(),
                 commit_lock: Arc::new(Mutex::new(())),
             }),
         }
@@ -103,6 +108,14 @@ impl Stm {
     /// A snapshot of the runtime's commit/abort/conflict counters.
     pub fn stats(&self) -> StmStatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// The runtime's latency histograms and conflict-attribution matrix.
+    ///
+    /// Populated only when the crate is built with the `trace` feature;
+    /// empty (zero counts) otherwise.
+    pub fn metrics(&self) -> &StmMetrics {
+        &self.inner.metrics
     }
 
     /// Execute `body` atomically, retrying on conflicts.
@@ -125,14 +138,31 @@ impl Stm {
         let birth = clock::now();
         let mut backoff = Backoff::new(self.inner.config.backoff, birth.wrapping_mul(0x9e37_79b9));
         let mut attempt: u32 = 0;
+        #[cfg(feature = "trace")]
+        let txn_start = std::time::Instant::now();
         loop {
             attempt += 1;
             self.inner.stats.record_start();
             let mut tx = Txn::new(Arc::clone(&self.inner), attempt, birth);
+            #[cfg(feature = "trace")]
+            Tracer::global().emit(tx.id(), EventKind::TxnStart, SiteId::UNKNOWN, attempt as u64);
             let outcome = match body(&mut tx) {
                 Ok(value) => match tx.commit() {
                     Ok(()) => {
                         self.inner.stats.record_commit();
+                        #[cfg(feature = "trace")]
+                        {
+                            self.inner
+                                .metrics
+                                .txn_latency
+                                .record(txn_start.elapsed().as_nanos() as u64);
+                            Tracer::global().emit(
+                                tx.id(),
+                                EventKind::Commit,
+                                tx.op_site(),
+                                attempt as u64,
+                            );
+                        }
                         return Ok(value);
                     }
                     Err(err) => Err(err),
@@ -159,6 +189,8 @@ impl Stm {
                 }
                 Err(TxError::Abort(err)) => {
                     self.inner.stats.record_user_abort();
+                    #[cfg(feature = "trace")]
+                    Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
                     tx.rollback();
                     return Err(err);
                 }
@@ -166,6 +198,8 @@ impl Stm {
             }
             if let Some(max) = self.inner.config.max_retries {
                 if attempt >= max {
+                    #[cfg(feature = "trace")]
+                    Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
                     return Err(AbortError::new(format!(
                         "transaction gave up after {attempt} attempts"
                     )));
@@ -182,8 +216,7 @@ impl Stm {
     ///
     /// Panics if the body returns [`TxError::Abort`].
     pub fn read_only<A>(&self, body: impl FnMut(&mut Txn) -> TxResult<A>) -> A {
-        self.atomically(body)
-            .expect("read-only transaction must not abort")
+        self.atomically(body).expect("read-only transaction must not abort")
     }
 }
 
@@ -246,10 +279,7 @@ mod tests {
     use crate::TVar;
 
     fn all_runtimes() -> Vec<Stm> {
-        ConflictDetection::ALL
-            .iter()
-            .map(|&d| Stm::new(StmConfig::with_detection(d)))
-            .collect()
+        ConflictDetection::ALL.iter().map(|&d| Stm::new(StmConfig::with_detection(d))).collect()
     }
 
     #[test]
@@ -276,11 +306,9 @@ mod tests {
 
     #[test]
     fn max_retries_surfaces_as_abort() {
-        let stm = Stm::new(StmConfig {
-            max_retries: Some(3),
-            ..StmConfig::default()
-        });
-        let result: Result<(), _> = stm.atomically(|tx| tx.conflict(crate::ConflictKind::External("always")));
+        let stm = Stm::new(StmConfig { max_retries: Some(3), ..StmConfig::default() });
+        let result: Result<(), _> =
+            stm.atomically(|tx| tx.conflict(crate::ConflictKind::External("always")));
         let err = result.unwrap_err();
         assert!(err.reason().contains("3 attempts"));
         assert_eq!(stm.stats().starts, 3);
@@ -375,10 +403,14 @@ mod tests {
                     let (a, b) = (a.clone(), b.clone());
                     s.spawn(move || {
                         for _ in 0..500 {
-                            let (x, y) = stm
-                                .atomically(|tx| Ok((a.read(tx)?, b.read(tx)?)))
-                                .unwrap();
-                            assert_eq!(x, y, "opacity violation under {:?}", stm.config().detection);
+                            let (x, y) =
+                                stm.atomically(|tx| Ok((a.read(tx)?, b.read(tx)?))).unwrap();
+                            assert_eq!(
+                                x,
+                                y,
+                                "opacity violation under {:?}",
+                                stm.config().detection
+                            );
                         }
                     });
                 }

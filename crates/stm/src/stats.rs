@@ -66,6 +66,43 @@ impl StmStatsSnapshot {
             self.commits as f64 / self.starts as f64
         }
     }
+
+    /// Field-wise difference `self - before`, saturating at zero.
+    ///
+    /// The counters are monotone, so for two snapshots of the same runtime
+    /// taken in order this yields exactly the activity between them;
+    /// saturation only matters if snapshots are mixed up, where a nonsense
+    /// negative count would otherwise wrap to ~2^64.
+    pub fn delta(&self, before: &StmStatsSnapshot) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            starts: self.starts.saturating_sub(before.starts),
+            commits: self.commits.saturating_sub(before.commits),
+            user_aborts: self.user_aborts.saturating_sub(before.user_aborts),
+            conflicts: self.conflicts.saturating_sub(before.conflicts),
+            read_invalid: self.read_invalid.saturating_sub(before.read_invalid),
+            read_too_new: self.read_too_new.saturating_sub(before.read_too_new),
+            write_locked: self.write_locked.saturating_sub(before.write_locked),
+            read_locked: self.read_locked.saturating_sub(before.read_locked),
+            visible_readers: self.visible_readers.saturating_sub(before.visible_readers),
+            wounded: self.wounded.saturating_sub(before.wounded),
+            abstract_lock: self.abstract_lock.saturating_sub(before.abstract_lock),
+            external: self.external.saturating_sub(before.external),
+            retries_requested: self.retries_requested.saturating_sub(before.retries_requested),
+        }
+    }
+
+    /// Sum of the per-kind conflict counters. Always equals
+    /// [`conflicts`](Self::conflicts) for snapshots of a single runtime.
+    pub fn conflict_kind_sum(&self) -> u64 {
+        self.read_invalid
+            + self.read_too_new
+            + self.write_locked
+            + self.read_locked
+            + self.visible_readers
+            + self.wounded
+            + self.abstract_lock
+            + self.external
+    }
 }
 
 impl fmt::Display for StmStatsSnapshot {
@@ -173,5 +210,88 @@ mod tests {
         let text = stats.snapshot().to_string();
         assert!(text.contains("starts=1"));
         assert!(text.contains("commits=1"));
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise_and_saturates() {
+        let stats = StmStats::default();
+        stats.record_start();
+        stats.record_conflict(ConflictKind::WriteLocked);
+        let before = stats.snapshot();
+        stats.record_start();
+        stats.record_start();
+        stats.record_commit();
+        stats.record_conflict(ConflictKind::WriteLocked);
+        stats.record_conflict(ConflictKind::Wounded);
+        stats.record_retry_requested();
+        let after = stats.snapshot();
+        let delta = after.delta(&before);
+        assert_eq!(delta.starts, 2);
+        assert_eq!(delta.commits, 1);
+        assert_eq!(delta.conflicts, 2);
+        assert_eq!(delta.write_locked, 1);
+        assert_eq!(delta.wounded, 1);
+        assert_eq!(delta.retries_requested, 1);
+        assert_eq!(delta.user_aborts, 0);
+        // Snapshots passed in the wrong order saturate instead of wrapping.
+        let nonsense = before.delta(&after);
+        assert_eq!(nonsense.starts, 0);
+        assert_eq!(nonsense.conflicts, 0);
+    }
+
+    #[test]
+    fn conflict_kind_breakdown_sums_to_total() {
+        let stats = StmStats::default();
+        let kinds = [
+            ConflictKind::ReadInvalid,
+            ConflictKind::ReadTooNew,
+            ConflictKind::WriteLocked,
+            ConflictKind::ReadLocked,
+            ConflictKind::VisibleReaders,
+            ConflictKind::Wounded,
+            ConflictKind::AbstractLock,
+            ConflictKind::External("x"),
+        ];
+        for (i, kind) in kinds.iter().enumerate() {
+            for _ in 0..=i {
+                stats.record_conflict(*kind);
+            }
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.conflict_kind_sum(), snap.conflicts);
+        assert_eq!(snap.conflicts, (1..=kinds.len() as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_counts() {
+        let stats = std::sync::Arc::new(StmStats::default());
+        let threads = 8u64;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let stats = std::sync::Arc::clone(&stats);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        stats.record_start();
+                        if i % 3 == 0 {
+                            stats.record_conflict(match (t + i) % 4 {
+                                0 => ConflictKind::ReadInvalid,
+                                1 => ConflictKind::WriteLocked,
+                                2 => ConflictKind::AbstractLock,
+                                _ => ConflictKind::Wounded,
+                            });
+                        } else {
+                            stats.record_commit();
+                        }
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.starts, threads * per_thread);
+        let expected_conflicts = threads * per_thread.div_ceil(3);
+        assert_eq!(snap.conflicts, expected_conflicts);
+        assert_eq!(snap.commits, threads * per_thread - expected_conflicts);
+        assert_eq!(snap.conflict_kind_sum(), snap.conflicts);
     }
 }

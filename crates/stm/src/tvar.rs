@@ -34,6 +34,12 @@ pub(crate) struct TxnShared {
     /// Set by an older conflicting writer; the victim aborts at its next
     /// operation or at commit validation.
     pub doomed: AtomicBool,
+    /// Site label (raw [`proust_obs::SiteId`]) of the op this transaction
+    /// is currently executing; read cross-thread by transactions it forces
+    /// to abort (e.g. an eager writer blocked by this visible reader).
+    /// Only touched under the `trace` feature.
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    pub op_site: std::sync::atomic::AtomicU32,
 }
 
 impl TxnShared {
@@ -43,6 +49,7 @@ impl TxnShared {
             birth,
             status: AtomicU8::new(TXN_ACTIVE),
             doomed: AtomicBool::new(false),
+            op_site: std::sync::atomic::AtomicU32::new(0),
         }
     }
 
@@ -63,6 +70,10 @@ pub(crate) struct TVarMeta {
     pub version: AtomicU64,
     /// Id of the transaction holding encounter-time write ownership, or 0.
     pub owner: AtomicU64,
+    /// Site label (raw [`proust_obs::SiteId`]) of the op that last took
+    /// write ownership of this location; names the *aborter* when another
+    /// transaction conflicts here. Only written under the `trace` feature.
+    pub last_writer_site: std::sync::atomic::AtomicU32,
     /// Visible readers (only populated under the `EagerAll` backend).
     pub readers: Mutex<Vec<(u64, Weak<TxnShared>)>>,
 }
@@ -75,6 +86,7 @@ impl TVarMeta {
             id: TVAR_IDS.fetch_add(1, Ordering::Relaxed),
             version: AtomicU64::new(0),
             owner: AtomicU64::new(0),
+            last_writer_site: std::sync::atomic::AtomicU32::new(0),
             readers: Mutex::new(Vec::new()),
         }
     }
@@ -126,9 +138,7 @@ impl<T: Clone + Send + Sync + 'static> AnyTVar for TVarData<T> {
     }
 
     fn commit_write(&self, value: Box<dyn Any + Send>, new_version: u64) {
-        let value = value
-            .downcast::<T>()
-            .expect("write-set entry type matches its TVar");
+        let value = value.downcast::<T>().expect("write-set entry type matches its TVar");
         {
             let mut cell = self.cell.write();
             *cell = *value;
@@ -195,9 +205,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     /// The variable starts at version 0, which every transaction can read
     /// regardless of when it started.
     pub fn new(value: T) -> Self {
-        TVar {
-            inner: Arc::new(TVarData { meta: TVarMeta::new(), cell: RwLock::new(value) }),
-        }
+        TVar { inner: Arc::new(TVarData { meta: TVarMeta::new(), cell: RwLock::new(value) }) }
     }
 
     /// Stable unique id of this variable (used for lock ordering and
@@ -268,10 +276,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
         let meta = &self.inner.meta;
         // Spin until we can take ownership, mimicking a writer commit.
         loop {
-            if meta
-                .owner
-                .compare_exchange(0, u64::MAX, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
+            if meta.owner.compare_exchange(0, u64::MAX, Ordering::AcqRel, Ordering::Acquire).is_ok()
             {
                 break;
             }

@@ -9,11 +9,15 @@ use std::rc::Rc;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use proust_obs::SiteId;
+
 use crate::clock;
 use crate::config::ConflictDetection;
 use crate::error::{ConflictKind, TxError, TxResult};
 use crate::runtime::StmInner;
 use crate::tvar::{as_dyn, observe, DynTVar, TVarData, TxnShared, TXN_ABORTED, TXN_COMMITTED};
+#[cfg(feature = "trace")]
+use proust_obs::{EventKind, Tracer};
 
 /// How a transaction finished; passed to [`Txn::on_end`] handlers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,6 +36,11 @@ struct ReadEntry {
 struct WriteEntry {
     tvar: DynTVar,
     value: Box<dyn Any + Send>,
+    /// Op site that issued the write; published to the TVar's
+    /// `last_writer_site` at write-back so later conflicts on the
+    /// location can name their aborter.
+    #[cfg(feature = "trace")]
+    site: SiteId,
 }
 
 /// A running transaction.
@@ -72,6 +81,9 @@ pub struct Txn {
     abort_handlers: Vec<Box<dyn FnOnce()>>,
     end_handlers: Vec<Box<dyn FnOnce(TxnOutcome)>>,
     finished: bool,
+    /// Site label of the operation currently executing (for conflict
+    /// attribution and trace events).
+    op_site: SiteId,
     // !Send / !Sync: transactions are thread-confined.
     _not_send: std::marker::PhantomData<Rc<()>>,
 }
@@ -107,6 +119,7 @@ impl Txn {
             abort_handlers: Vec::new(),
             end_handlers: Vec::new(),
             finished: false,
+            op_site: SiteId::UNKNOWN,
             _not_send: std::marker::PhantomData,
         }
     }
@@ -133,11 +146,55 @@ impl Txn {
         self.stm.config.detection
     }
 
+    /// Label the operation this transaction is currently executing.
+    ///
+    /// Proustian structures call this at each op entry point
+    /// (`map.put`, `pqueue.remove_min`, ...); subsequent conflicts are
+    /// attributed to the label as the *victim* op, and ownership this
+    /// transaction takes is stamped with it so transactions it later
+    /// aborts can name it as their *aborter*. Compiles to a no-op
+    /// without the `trace` feature.
+    pub fn set_op_site(&mut self, site: SiteId) {
+        #[cfg(feature = "trace")]
+        {
+            self.op_site = site;
+            self.shared.op_site.store(site.as_u32(), Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = site;
+    }
+
+    /// The current op label (set via [`set_op_site`](Txn::set_op_site));
+    /// [`SiteId::UNKNOWN`] when unlabelled or when the `trace` feature is
+    /// off.
+    pub fn op_site(&self) -> SiteId {
+        self.op_site
+    }
+
     /// Raise a conflict from code layered above the STM (e.g. an abstract
     /// lock implementation). Records it in the runtime statistics and
     /// returns the error to short-circuit the transaction body.
     pub fn conflict<T>(&self, kind: ConflictKind) -> TxResult<T> {
+        self.conflict_attributed(kind, SiteId::UNKNOWN)
+    }
+
+    /// Raise a conflict naming the op whose footprint caused it.
+    ///
+    /// Like [`conflict`](Txn::conflict), but additionally records the
+    /// `(aborter, victim)` site pair in the runtime's
+    /// [`ConflictMatrix`](proust_obs::ConflictMatrix) (the victim is this
+    /// transaction's current op site) and emits a trace event. Callers
+    /// that cannot name an aborter should pass [`SiteId::UNKNOWN`] or use
+    /// [`conflict`](Txn::conflict).
+    pub fn conflict_attributed<T>(&self, kind: ConflictKind, aborter: SiteId) -> TxResult<T> {
         self.stm.stats.record_conflict(kind);
+        #[cfg(feature = "trace")]
+        {
+            self.stm.metrics.conflicts.record(aborter, self.op_site);
+            Tracer::global().emit(self.shared.id, EventKind::Conflict, aborter, kind.code() as u64);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = aborter;
         Err(TxError::Conflict(kind))
     }
 
@@ -201,13 +258,20 @@ impl Txn {
         }
         let (version, value) = match observe(data, self.shared.id) {
             Some(observed) => observed,
-            None => return self.conflict(ConflictKind::ReadLocked),
+            None => {
+                return self.conflict_attributed(
+                    ConflictKind::ReadLocked,
+                    SiteId::from_u32(data.meta.last_writer_site.load(Ordering::Relaxed)),
+                )
+            }
         };
         if version > self.read_version {
             self.extend_read_version()?;
         }
         if self.read_ids.insert(id) {
             self.reads.push(ReadEntry { tvar: as_dyn(data), version });
+            #[cfg(feature = "trace")]
+            Tracer::global().emit(self.shared.id, EventKind::Read, self.op_site, id);
         }
         Ok(value)
     }
@@ -226,25 +290,53 @@ impl Txn {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => self.owned.push(as_dyn(data)),
-                Err(_other) => return self.conflict(ConflictKind::WriteLocked),
+                Ok(_) => {
+                    self.owned.push(as_dyn(data));
+                    #[cfg(feature = "trace")]
+                    data.meta.last_writer_site.store(self.op_site.as_u32(), Ordering::Relaxed);
+                }
+                Err(_other) => {
+                    return self.conflict_attributed(
+                        ConflictKind::WriteLocked,
+                        SiteId::from_u32(data.meta.last_writer_site.load(Ordering::Relaxed)),
+                    )
+                }
             }
-            if self.detection() == ConflictDetection::EagerAll
-                && !data.meta.foreign_readers(self.shared.id).is_empty()
-            {
-                // Eager read/write detection, reader-wins: a writer never
-                // proceeds past visible active readers. (Wounding readers
-                // instead would leave a window where a doomed reader that
-                // has already finished its STM accesses observes an eager
-                // base-structure mutation — exactly the opacity leak
-                // Theorem 5.2 rules out.) Release the ownership we just
-                // took and retry after backoff.
-                data.meta.owner.store(0, Ordering::Release);
-                self.owned.retain(|t| t.meta().id != id);
-                return self.conflict(ConflictKind::VisibleReaders);
+            if self.detection() == ConflictDetection::EagerAll {
+                let foreign = data.meta.foreign_readers(self.shared.id);
+                if !foreign.is_empty() {
+                    // Eager read/write detection, reader-wins: a writer never
+                    // proceeds past visible active readers. (Wounding readers
+                    // instead would leave a window where a doomed reader that
+                    // has already finished its STM accesses observes an eager
+                    // base-structure mutation — exactly the opacity leak
+                    // Theorem 5.2 rules out.) Release the ownership we just
+                    // took and retry after backoff.
+                    data.meta.owner.store(0, Ordering::Release);
+                    self.owned.retain(|t| t.meta().id != id);
+                    #[cfg(feature = "trace")]
+                    let blocker = SiteId::from_u32(foreign[0].op_site.load(Ordering::Relaxed));
+                    #[cfg(not(feature = "trace"))]
+                    let blocker = SiteId::UNKNOWN;
+                    return self.conflict_attributed(ConflictKind::VisibleReaders, blocker);
+                }
             }
         }
-        self.writes.insert(id, WriteEntry { tvar: as_dyn(data), value: Box::new(value) });
+        #[cfg(feature = "trace")]
+        let is_first_write = !self.writes.contains_key(&id);
+        self.writes.insert(
+            id,
+            WriteEntry {
+                tvar: as_dyn(data),
+                value: Box::new(value),
+                #[cfg(feature = "trace")]
+                site: self.op_site,
+            },
+        );
+        #[cfg(feature = "trace")]
+        if is_first_write {
+            Tracer::global().emit(self.shared.id, EventKind::Write, self.op_site, id);
+        }
         Ok(())
     }
 
@@ -263,11 +355,15 @@ impl Txn {
         for entry in &self.reads {
             let meta = entry.tvar.meta();
             let owner = meta.owner.load(Ordering::Acquire);
-            if owner != 0 && owner != self.shared.id {
-                return self.conflict(ConflictKind::ReadInvalid);
-            }
-            if meta.version.load(Ordering::Acquire) != entry.version {
-                return self.conflict(ConflictKind::ReadInvalid);
+            let invalidated = (owner != 0 && owner != self.shared.id)
+                || meta.version.load(Ordering::Acquire) != entry.version;
+            if invalidated {
+                // Whoever owns (or last rewrote) the location is the op
+                // that invalidated our read.
+                return self.conflict_attributed(
+                    ConflictKind::ReadInvalid,
+                    SiteId::from_u32(meta.last_writer_site.load(Ordering::Relaxed)),
+                );
             }
         }
         Ok(())
@@ -282,23 +378,19 @@ impl Txn {
         key: u64,
         init: &dyn Fn() -> T,
     ) -> Rc<RefCell<T>> {
-        let slot = self
-            .locals
-            .entry(key)
-            .or_insert_with(|| Box::new(Rc::new(RefCell::new(init()))));
+        let slot =
+            self.locals.entry(key).or_insert_with(|| Box::new(Rc::new(RefCell::new(init()))));
         slot.downcast_ref::<Rc<RefCell<T>>>()
             .expect("transaction-local slot type matches its TxnLocal key")
             .clone()
     }
 
     pub(crate) fn local_entry_existing<T: 'static>(&self, key: u64) -> Option<Rc<RefCell<T>>> {
-        self.locals
-            .get(&key)
-            .map(|slot| {
-                slot.downcast_ref::<Rc<RefCell<T>>>()
-                    .expect("transaction-local slot type matches its TxnLocal key")
-                    .clone()
-            })
+        self.locals.get(&key).map(|slot| {
+            slot.downcast_ref::<Rc<RefCell<T>>>()
+                .expect("transaction-local slot type matches its TxnLocal key")
+                .clone()
+        })
     }
 
     // ------------------------------------------------------------------
@@ -310,15 +402,27 @@ impl Txn {
         match self.detection() {
             ConflictDetection::Mixed | ConflictDetection::EagerAll => {
                 // Write targets are already owned (encounter-time).
-                self.validate_reads()?;
+                self.timed_validate()?;
+                #[cfg(feature = "trace")]
+                let writeback_start = std::time::Instant::now();
                 self.write_back();
+                #[cfg(feature = "trace")]
+                self.stm.metrics.lock_writeback.record(writeback_start.elapsed().as_nanos() as u64);
             }
             ConflictDetection::LazyAll => {
                 let commit_lock = Arc::clone(&self.stm.commit_lock);
                 let _guard = commit_lock.lock();
+                // The whole serialization window (ownership acquisition,
+                // validation under the lock, write-back) counts as the
+                // lock/write-back phase; validation is also recorded on
+                // its own.
+                #[cfg(feature = "trace")]
+                let writeback_start = std::time::Instant::now();
                 self.acquire_write_ownership()?;
-                self.validate_reads()?;
+                self.timed_validate()?;
                 self.write_back();
+                #[cfg(feature = "trace")]
+                self.stm.metrics.lock_writeback.record(writeback_start.elapsed().as_nanos() as u64);
             }
         }
         self.finished = true;
@@ -351,24 +455,71 @@ impl Txn {
                 std::hint::spin_loop();
             }
             if !acquired {
-                return self.conflict(ConflictKind::WriteLocked);
+                return self.conflict_attributed(
+                    ConflictKind::WriteLocked,
+                    SiteId::from_u32(meta.last_writer_site.load(Ordering::Relaxed)),
+                );
             }
+            #[cfg(feature = "trace")]
+            meta.last_writer_site.store(entry.site.as_u32(), Ordering::Relaxed);
             self.owned.push(Arc::clone(&entry.tvar));
         }
         Ok(())
     }
 
+    /// Commit-time read validation, timed into
+    /// [`StmMetrics::validation`](crate::StmMetrics) under the `trace`
+    /// feature.
+    fn timed_validate(&self) -> TxResult<()> {
+        #[cfg(feature = "trace")]
+        {
+            Tracer::global().emit(
+                self.shared.id,
+                EventKind::CommitValidate,
+                self.op_site,
+                self.reads.len() as u64,
+            );
+            let start = std::time::Instant::now();
+            let result = self.validate_reads();
+            self.stm.metrics.validation.record(start.elapsed().as_nanos() as u64);
+            result
+        }
+        #[cfg(not(feature = "trace"))]
+        self.validate_reads()
+    }
+
     /// The serialization point: run replay handlers, then publish buffered
     /// writes with a fresh version stamp.
     fn write_back(&mut self) {
+        #[cfg(feature = "trace")]
+        if !self.commit_locked_handlers.is_empty() {
+            let handlers = self.commit_locked_handlers.len() as u64;
+            Tracer::global().emit(self.shared.id, EventKind::ReplayBegin, self.op_site, handlers);
+            let start = std::time::Instant::now();
+            for handler in self.commit_locked_handlers.drain(..) {
+                handler();
+            }
+            self.stm.metrics.replay.record(start.elapsed().as_nanos() as u64);
+            Tracer::global().emit(self.shared.id, EventKind::ReplayEnd, self.op_site, handlers);
+        }
+        // Already drained above when tracing; no-op in that case.
         for handler in self.commit_locked_handlers.drain(..) {
             handler();
         }
         if self.writes.is_empty() {
             return;
         }
+        #[cfg(feature = "trace")]
+        Tracer::global().emit(
+            self.shared.id,
+            EventKind::CommitWriteback,
+            self.op_site,
+            self.writes.len() as u64,
+        );
         let write_version = clock::tick();
         for (_, entry) in std::mem::take(&mut self.writes) {
+            #[cfg(feature = "trace")]
+            entry.tvar.meta().last_writer_site.store(entry.site.as_u32(), Ordering::Relaxed);
             entry.tvar.commit_write(entry.value, write_version);
         }
     }
@@ -377,10 +528,7 @@ impl Txn {
     /// runtime waits until one of these versions moves before re-running
     /// the transaction.
     pub(crate) fn watch_list(&self) -> Vec<(DynTVar, u64)> {
-        self.reads
-            .iter()
-            .map(|entry| (Arc::clone(&entry.tvar), entry.version))
-            .collect()
+        self.reads.iter().map(|entry| (Arc::clone(&entry.tvar), entry.version)).collect()
     }
 
     pub(crate) fn rollback(&mut self) {

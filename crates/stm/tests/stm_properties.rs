@@ -2,16 +2,11 @@
 //! of committed histories, opacity under adversarial interleavings, and
 //! behavioural equivalence of the three conflict-detection backends.
 
-
-
 use proptest::prelude::*;
 use proust_stm::{ConflictDetection, Stm, StmConfig, TVar, TxError};
 
 fn runtimes() -> Vec<Stm> {
-    ConflictDetection::ALL
-        .iter()
-        .map(|&d| Stm::new(StmConfig::with_detection(d)))
-        .collect()
+    ConflictDetection::ALL.iter().map(|&d| Stm::new(StmConfig::with_detection(d))).collect()
 }
 
 proptest! {

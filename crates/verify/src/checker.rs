@@ -42,9 +42,7 @@ impl Access {
     /// Definition 3.1's conflict relation.
     pub fn conflicts_with(&self, other: &Access) -> bool {
         let hits = |writes: &[usize], target: &Access| {
-            writes
-                .iter()
-                .any(|loc| target.reads.contains(loc) || target.writes.contains(loc))
+            writes.iter().any(|loc| target.reads.contains(loc) || target.writes.contains(loc))
         };
         hits(&self.writes, other) || hits(&other.writes, self)
     }

@@ -178,8 +178,8 @@ pub fn check_model_by_sat<M: AdtModel>(
             // selected state must be a violation witness for (a, b).
             let mut any_candidate = false;
             for (state, &sel) in states.iter().zip(&selectors) {
-                let violating = !commutes(model, state, a, b)
-                    && !ca(a, state).conflicts_with(&ca(b, state));
+                let violating =
+                    !commutes(model, state, a, b) && !ca(a, state).conflicts_with(&ca(b, state));
                 if violating {
                     any_candidate = true;
                 } else {

@@ -51,7 +51,9 @@ pub mod model;
 pub mod sat;
 pub mod synth;
 
-pub use checker::{check_conflict_abstraction, false_conflict_rate, Access, CheckResult, CounterExample};
+pub use checker::{
+    check_conflict_abstraction, false_conflict_rate, Access, CheckResult, CounterExample,
+};
 pub use commute::commutes;
 pub use encode::{check_counter_by_sat, check_model_by_sat, SatVerdict};
 pub use model::AdtModel;

@@ -24,11 +24,7 @@ impl BitVec {
     /// Panics if `value` does not fit in `width` bits.
     pub fn constant(circuit: &mut Circuit, value: u64, width: usize) -> BitVec {
         assert!(width >= 64 || value < (1u64 << width), "constant {value} overflows {width} bits");
-        BitVec {
-            bits: (0..width)
-                .map(|i| circuit.constant(value >> i & 1 == 1))
-                .collect(),
-        }
+        BitVec { bits: (0..width).map(|i| circuit.constant(value >> i & 1 == 1)).collect() }
     }
 
     /// Width in bits.
@@ -81,12 +77,8 @@ impl BitVec {
     /// Panics on width mismatch.
     pub fn equals(&self, circuit: &mut Circuit, other: &BitVec) -> Lit {
         assert_eq!(self.width(), other.width(), "width mismatch in equals");
-        let pairs: Vec<Lit> = self
-            .bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(&a, &b)| circuit.iff(a, b))
-            .collect();
+        let pairs: Vec<Lit> =
+            self.bits.iter().zip(&other.bits).map(|(&a, &b)| circuit.iff(a, b)).collect();
         circuit.and_all(pairs)
     }
 

@@ -138,7 +138,10 @@ mod tests {
     use super::*;
 
     /// Exhaustively check a 2-input gate against a reference function.
-    fn check_gate(build: impl Fn(&mut Circuit, Lit, Lit) -> Lit, reference: impl Fn(bool, bool) -> bool) {
+    fn check_gate(
+        build: impl Fn(&mut Circuit, Lit, Lit) -> Lit,
+        reference: impl Fn(bool, bool) -> bool,
+    ) {
         for a_val in [false, true] {
             for b_val in [false, true] {
                 let mut c = Circuit::new();

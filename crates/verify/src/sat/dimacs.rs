@@ -62,13 +62,9 @@ pub fn from_dimacs(input: &str) -> Result<Formula, ParseDimacsError> {
                     message: "expected 'p cnf <vars> <clauses>'".into(),
                 });
             }
-            let vars: u32 = parts
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| ParseDimacsError {
-                    line: line_no,
-                    message: "invalid variable count".into(),
-                })?;
+            let vars: u32 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                ParseDimacsError { line: line_no, message: "invalid variable count".into() }
+            })?;
             for _ in 0..vars {
                 formula.fresh_var();
             }

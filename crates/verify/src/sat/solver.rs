@@ -265,10 +265,8 @@ impl<'a> Dpll<'a> {
     }
 
     fn run(&mut self) -> SatResult {
-        if !self.propagate() {
-            if !self.backtrack() {
-                return SatResult::Unsat;
-            }
+        if !self.propagate() && !self.backtrack() {
+            return SatResult::Unsat;
         }
         loop {
             if !self.propagate() {
@@ -279,11 +277,7 @@ impl<'a> Dpll<'a> {
             }
             match self.pick_branch_variable() {
                 None => {
-                    let model = self
-                        .assignment
-                        .iter()
-                        .map(|a| matches!(a, Assign::True))
-                        .collect();
+                    let model = self.assignment.iter().map(|a| matches!(a, Assign::True)).collect();
                     return SatResult::Sat(model);
                 }
                 Some(var) => {

@@ -78,11 +78,7 @@ impl CounterTemplate {
 
 impl fmt::Display for CounterTemplate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "incr:{:?} decr:{:?} when state < {}",
-            self.incr, self.decr, self.threshold
-        )
+        write!(f, "incr:{:?} decr:{:?} when state < {}", self.incr, self.decr, self.threshold)
     }
 }
 
@@ -116,13 +112,11 @@ where
         }
     }
     candidates.sort_by_key(|t| t.cost());
-    let mut tried = 0;
-    for template in candidates {
-        tried += 1;
+    for (index, template) in candidates.into_iter().enumerate() {
         let ca = move |op: &CounterOp, state: &u32| template.accesses(op, state);
         if check_conflict_abstraction(model, ca).is_correct() {
             let (false_conflicts, _) = false_conflict_rate(model, ca);
-            return Some(Synthesized { template, false_conflicts, candidates_tried: tried });
+            return Some(Synthesized { template, false_conflicts, candidates_tried: index + 1 });
         }
     }
     None
@@ -155,9 +149,8 @@ mod tests {
             decr: TemplateAccess::Write,
             threshold: u32::MAX,
         };
-        let (always_false, _) = false_conflict_rate(&model, move |op, state| {
-            always.accesses(op, state)
-        });
+        let (always_false, _) =
+            false_conflict_rate(&model, move |op, state| always.accesses(op, state));
         assert!(found.false_conflicts < always_false);
     }
 

@@ -2,7 +2,9 @@
 //! bounded models: the Listing 3 priority queue (two abstract-state
 //! elements) and state-dependent map abstractions.
 
-use proust_verify::checker::{check_conflict_abstraction, false_conflict_rate, Access, CheckResult};
+use proust_verify::checker::{
+    check_conflict_abstraction, false_conflict_rate, Access, CheckResult,
+};
 use proust_verify::model::{PQueueModel, PQueueModelOp};
 use proust_verify::AdtModel;
 
@@ -20,10 +22,13 @@ const MULTISET: usize = 1;
 /// * `contains` — `Read(MultiSet)`;
 /// * `size` — `Read(MultiSet)` (inserts/removes write it, so they
 ///   conflict; `min` does not, and indeed commutes with `size`).
+// The model's `State` is `Vec<u8>`, so the CA must take `&Vec<u8>` to
+// match the checker's expected signature.
+#[allow(clippy::ptr_arg)]
 fn listing3_ca(op: &PQueueModelOp, state: &Vec<u8>) -> Access {
     match op {
         PQueueModelOp::Insert(v) => {
-            let beats_min = state.first().map_or(true, |min| v < min);
+            let beats_min = state.first().is_none_or(|min| v < min);
             if beats_min {
                 Access { reads: vec![], writes: vec![MULTISET, MIN] }
             } else {
@@ -118,6 +123,7 @@ mod fifo {
     /// when the queue is empty); dequeue writes Head (plus reads Tail when
     /// the queue has at most one element); peek reads Head; size reads
     /// both.
+    #[allow(clippy::ptr_arg)] // must match the checker's `&State` signature
     fn fifo_ca(op: &FifoModelOp, state: &Vec<u8>) -> Access {
         match op {
             FifoModelOp::Enqueue(_) => {

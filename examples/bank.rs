@@ -24,7 +24,8 @@ const TRANSFERS_PER_TELLER: usize = 2_000;
 
 fn main() {
     let stm = Stm::new(StmConfig::default());
-    let bank: Arc<MemoMap<u64, i64>> = Arc::new(MemoMap::combining(Arc::new(OptimisticLap::new(1024))));
+    let bank: Arc<MemoMap<u64, i64>> =
+        Arc::new(MemoMap::combining(Arc::new(OptimisticLap::new(1024))));
 
     // Open the accounts.
     stm.atomically(|tx| {

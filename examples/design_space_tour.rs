@@ -73,12 +73,8 @@ fn zombie_observations(quadrant: &str, detection: ConflictDetection) -> u64 {
 fn main() {
     println!("Proust design space: quadrant × STM backend → zombie observations");
     println!("(zero means opaque in this run; see Theorems 5.1–5.3)\n");
-    println!(
-        "{:<20} {:>10} {:>10} {:>10}",
-        "quadrant", "mixed", "eager-all", "lazy-all"
-    );
-    for quadrant in
-        ["eager/optimistic", "eager/pessimistic", "lazy/optimistic", "lazy/pessimistic"]
+    println!("{:<20} {:>10} {:>10} {:>10}", "quadrant", "mixed", "eager-all", "lazy-all");
+    for quadrant in ["eager/optimistic", "eager/pessimistic", "lazy/optimistic", "lazy/pessimistic"]
     {
         let cells: Vec<String> = ConflictDetection::ALL
             .iter()

@@ -54,9 +54,7 @@ fn main() {
         Ok(())
     });
     println!("oversized withdrawal: {moved:?}");
-    let apples = stm
-        .atomically(|tx| inventory.get(tx, &"apples".to_string()))
-        .unwrap();
+    let apples = stm.atomically(|tx| inventory.get(tx, &"apples".to_string())).unwrap();
     assert_eq!(apples, Some(10), "abort left the map untouched");
 
     // --- The same API under a pessimistic policy ------------------------

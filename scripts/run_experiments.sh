@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 RESULTS_DIR="${1:-results}"
 mkdir -p "$RESULTS_DIR"
 
-FIGURE4_ARGS="${FIGURE4_ARGS:---ops 100000 --runs 2 --warmups 1 --threads 1,2,4,8 --csv $RESULTS_DIR/figure4.csv}"
+FIGURE4_ARGS="${FIGURE4_ARGS:---ops 100000 --runs 2 --warmups 1 --threads 1,2,4,8 --csv $RESULTS_DIR/figure4.csv --json $RESULTS_DIR/figure4.json}"
 
 echo "== building (release) =="
 cargo build --release -p proust-bench --bins
@@ -23,19 +23,23 @@ cargo run --release -q -p proust-bench --bin figure4 -- $FIGURE4_ARGS \
     | tee "$RESULTS_DIR/figure4.txt"
 
 echo "== design_space =="
-cargo run --release -q -p proust-bench --bin design_space \
+cargo run --release -q -p proust-bench --bin design_space -- \
+    --json "$RESULTS_DIR/design_space.json" \
     | tee "$RESULTS_DIR/design_space.txt"
 
 echo "== counter_bench =="
-cargo run --release -q -p proust-bench --bin counter_bench \
+cargo run --release -q -p proust-bench --bin counter_bench -- \
+    --json "$RESULTS_DIR/counter_bench.json" \
     | tee "$RESULTS_DIR/counter_bench.txt"
 
 echo "== pqueue_bench =="
-cargo run --release -q -p proust-bench --bin pqueue_bench \
+cargo run --release -q -p proust-bench --bin pqueue_bench -- \
+    --json "$RESULTS_DIR/pqueue_bench.json" \
     | tee "$RESULTS_DIR/pqueue_bench.txt"
 
 echo "== fifo_bench =="
-cargo run --release -q -p proust-bench --bin fifo_bench \
+cargo run --release -q -p proust-bench --bin fifo_bench -- \
+    --json "$RESULTS_DIR/fifo_bench.json" \
     | tee "$RESULTS_DIR/fifo_bench.txt"
 
-echo "All results in $RESULTS_DIR/"
+echo "All results (tables, CSV, and JSON reports) in $RESULTS_DIR/"

@@ -41,7 +41,8 @@ fn abort_rolls_back_across_structures() {
 #[test]
 fn commit_lands_across_structures_atomically() {
     let stm = Stm::new(StmConfig::default());
-    let map: Arc<SnapTrieMap<u32, u64>> = Arc::new(SnapTrieMap::new(Arc::new(OptimisticLap::new(64))));
+    let map: Arc<SnapTrieMap<u32, u64>> =
+        Arc::new(SnapTrieMap::new(Arc::new(OptimisticLap::new(64))));
     let queue: Arc<LazyPQueue<u32>> = Arc::new(LazyPQueue::new(Arc::new(OptimisticLap::new(4))));
 
     // Producer: register-and-enqueue atomically. Consumer: dequeue and

@@ -74,9 +74,8 @@ fn fifo_abort_with_multiple_ops_restores_order() {
     });
     assert!(result.is_err());
     // Original order intact.
-    let order: Vec<u32> = (0..3)
-        .map(|_| stm.atomically(|tx| queue.dequeue(tx)).unwrap().unwrap())
-        .collect();
+    let order: Vec<u32> =
+        (0..3).map(|_| stm.atomically(|tx| queue.dequeue(tx)).unwrap().unwrap()).collect();
     assert_eq!(order, vec![1, 2, 3]);
 }
 

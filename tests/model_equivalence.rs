@@ -6,10 +6,8 @@
 
 use std::collections::HashMap;
 
-
 use proptest::prelude::*;
 use proust_bench::maps::MapKind;
-
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -153,9 +151,8 @@ fn abort_anywhere_leaves_no_trace() {
             });
             assert!(result.is_err());
             // Only the pre-existing entry survives.
-            let state: Vec<Option<u64>> = (0..10u64)
-                .map(|k| stm.atomically(|tx| map.get(tx, &k)).unwrap())
-                .collect();
+            let state: Vec<Option<u64>> =
+                (0..10u64).map(|k| stm.atomically(|tx| map.get(tx, &k)).unwrap()).collect();
             let mut expected = vec![None; 10];
             expected[9] = Some(90);
             assert_eq!(state, expected, "{kind}: abort after {abort_after} ops leaked state");

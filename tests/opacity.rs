@@ -103,8 +103,7 @@ fn lazy_optimistic_proust_is_opaque_everywhere() {
 #[test]
 fn eager_optimistic_is_opaque_under_eager_all() {
     let stm = stm_with(ConflictDetection::EagerAll);
-    let map: Arc<dyn TxMap<u64, i64>> =
-        Arc::new(EagerMap::new(Arc::new(OptimisticLap::new(16))));
+    let map: Arc<dyn TxMap<u64, i64>> = Arc::new(EagerMap::new(Arc::new(OptimisticLap::new(16))));
     assert_eq!(litmus(&stm, map, 2_000), 0, "Theorem 5.2 violated");
 }
 
@@ -116,8 +115,7 @@ fn eager_optimistic_is_opaque_under_eager_all() {
 #[test]
 fn eager_optimistic_under_lazy_backend_completes() {
     let stm = stm_with(ConflictDetection::LazyAll);
-    let map: Arc<dyn TxMap<u64, i64>> =
-        Arc::new(EagerMap::new(Arc::new(OptimisticLap::new(16))));
+    let map: Arc<dyn TxMap<u64, i64>> = Arc::new(EagerMap::new(Arc::new(OptimisticLap::new(16))));
     let violations = litmus(&stm, map, 1_000);
     // Informational: on most runs this is nonzero, demonstrating why
     // Figure 1 marks the combination incompatible.

@@ -26,16 +26,8 @@ fn configurations() -> Vec<(Arc<dyn TxPQueue<u64>>, Stm, &'static str)> {
             Stm::new(StmConfig::default()),
             "lazy/pessimistic",
         ),
-        (
-            Arc::new(LazyPQueue::new(group)),
-            Stm::new(StmConfig::default()),
-            "lazy/group-exclusive",
-        ),
-        (
-            Arc::new(EagerPQueue::new(pess)),
-            Stm::new(StmConfig::default()),
-            "eager/pessimistic",
-        ),
+        (Arc::new(LazyPQueue::new(group)), Stm::new(StmConfig::default()), "lazy/group-exclusive"),
+        (Arc::new(EagerPQueue::new(pess)), Stm::new(StmConfig::default()), "eager/pessimistic"),
         (
             Arc::new(EagerPQueue::new(Arc::new(OptimisticLap::new(4)))),
             Stm::new(StmConfig::with_detection(ConflictDetection::EagerAll)),
@@ -127,10 +119,9 @@ fn concurrent_drain_is_exact() {
                 let stm = stm.clone();
                 let queue = Arc::clone(&queue);
                 let drained = &drained;
-                scope.spawn(move || loop {
-                    match stm.atomically(|tx| queue.remove_min(tx)).unwrap() {
-                        Some(v) => drained.lock().unwrap().push(v),
-                        None => break,
+                scope.spawn(move || {
+                    while let Some(v) = stm.atomically(|tx| queue.remove_min(tx)).unwrap() {
+                        drained.lock().unwrap().push(v);
                     }
                 });
             }

@@ -65,10 +65,9 @@ fn shipped_striped_key_abstraction_is_sound() {
     let ca = StripedKeyAbstraction::new(2);
     let model = MapModel { keys: 3, values: 2 };
     let checkable = move |op: &MapModelOp, _state: &std::collections::BTreeMap<u8, u8>| {
-        bridge(ca.accesses(
-            &KeyedOp { key_hash: u64::from(op.key()), is_update: op.is_update() },
-            &(),
-        ))
+        bridge(
+            ca.accesses(&KeyedOp { key_hash: u64::from(op.key()), is_update: op.is_update() }, &()),
+        )
     };
     assert!(check_conflict_abstraction(&model, checkable).is_correct());
 }
