@@ -6,7 +6,7 @@
 
 use proust_bench::harness::measure_cell;
 use proust_bench::maps::MapKind;
-use proust_bench::report::cell_json;
+use proust_bench::report::{cell_json, report_json};
 use proust_bench::workload::WorkloadSpec;
 use proust_stm::obs::JsonValue;
 
@@ -80,4 +80,29 @@ fn instrumented_cell_report_round_trips_through_json() {
             other => panic!("matrix should be an array, got {other:?}"),
         }
     }
+
+    // The full envelope carries the statically predicted false-conflict
+    // rate for the exercised structures next to the measured rate above,
+    // and both land in [0, 1].
+    let envelope = report_json("figure4", JsonValue::obj([]), vec![json]);
+    let envelope = JsonValue::parse(&envelope.to_json_pretty()).expect("envelope must parse back");
+    let predicted = envelope
+        .get("predicted_false_conflict_rate")
+        .expect("envelope predicts false-conflict rates");
+    for structure in ["eager-map", "memo-map", "snap-map"] {
+        let rate = predicted
+            .get(structure)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("{structure} prediction present"));
+        assert!((0.0..=1.0).contains(&rate), "{structure} predicted rate {rate} out of range");
+    }
+    let measured = envelope
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .and_then(|cells| cells.first())
+        .and_then(|cell| cell.get("conflict_attribution"))
+        .and_then(|attribution| attribution.get("false_conflict_rate"))
+        .and_then(JsonValue::as_f64)
+        .expect("measured false-conflict rate present");
+    assert!((0.0..=1.0).contains(&measured), "measured rate {measured} out of range");
 }

@@ -10,11 +10,22 @@
 
 use std::fmt;
 
+use crate::mode::{LockRequest, Mode};
+
 /// The set of region locations an operation reads and writes.
 ///
 /// Produced by a [`ConflictAbstraction`] for a given operation in a given
 /// abstract state and consumed by
 /// [`StmRegion::apply`](crate::StmRegion::apply).
+///
+/// **On the `proust-verify` twin:** `proust_verify::Access` is a
+/// field-for-field duplicate of this type with an identical
+/// `conflicts_with`. The duplication is deliberate — `proust-verify` must
+/// stay dependency-free so the checker can be vendored anywhere — and it
+/// is kept honest two ways: `proust-verify`'s non-default `core-bridge`
+/// feature provides lossless `From` conversions in both directions, and a
+/// bridge test asserts the two `conflicts_with` implementations agree on
+/// generated access sets.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AccessSet {
     /// Locations to read (`f_i^{m,rd}` = true).
@@ -75,6 +86,85 @@ pub trait ConflictAbstraction<Op, State>: Send + Sync {
 
     /// The STM accesses to perform for `op` observed in `state`.
     fn accesses(&self, op: &Op, state: &State) -> AccessSet;
+
+    /// A self-description for analysis tooling (`cargo xtask analyze`):
+    /// the abstraction's name and location count, so soundness reports can
+    /// identify which live abstraction they checked.
+    fn describe(&self) -> AbstractionInfo {
+        AbstractionInfo { name: "unnamed", locations: self.locations() }
+    }
+}
+
+/// Metadata returned by [`ConflictAbstraction::describe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbstractionInfo {
+    /// Human-readable abstraction name, stable across runs (used as the
+    /// key in analysis reports).
+    pub name: &'static str,
+    /// Number of region locations (the `M` of §3).
+    pub locations: usize,
+}
+
+/// How a keyed map/set operation is classified by the conflict
+/// abstraction: queries read their key's stripe, updates write it.
+///
+/// Every keyed wrapper in [`crate::structures`] (eager map, both lazy
+/// maps, and the set built on them) funnels its lock requests through
+/// [`keyed_request`], so this enum *is* the live classification that
+/// `cargo xtask analyze` verifies against Definition 3.1 — a wrapper that
+/// mislabels an update as read-only fails the analysis gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyedOpKind {
+    /// `get(k)` — observes the key.
+    Get,
+    /// `contains(k)` — observes the key.
+    Contains,
+    /// `put(k, v)` — may change the key's binding.
+    Put,
+    /// `remove(k)` — may change the key's binding.
+    Remove,
+}
+
+impl KeyedOpKind {
+    /// Whether the operation may update its key (`put`/`remove`).
+    pub fn is_update(self) -> bool {
+        matches!(self, KeyedOpKind::Put | KeyedOpKind::Remove)
+    }
+}
+
+/// The lock request a keyed operation issues: `Write(k)` for updates,
+/// `Read(k)` for queries — the single classification point shared by the
+/// map/set wrappers and the analysis adapters.
+pub fn keyed_request<K>(key: K, kind: KeyedOpKind) -> LockRequest<K> {
+    if kind.is_update() {
+        LockRequest::write(key)
+    } else {
+        LockRequest::read(key)
+    }
+}
+
+/// Translate a slice of lock requests into the [`AccessSet`] an
+/// optimistic LAP performs for them, mirroring
+/// [`OptimisticLap::acquire`](crate::OptimisticLap): every request *reads*
+/// its slot (version capture for commit-time validation) and write-mode
+/// requests additionally *write* it. `slot` maps an abstract-state element
+/// to its region location.
+///
+/// This is the bridge the analysis adapters use to turn the structures'
+/// live request lists into Definition 3.1 access sets.
+pub fn requests_to_access_set<K>(
+    requests: &[LockRequest<K>],
+    mut slot: impl FnMut(&K) -> usize,
+) -> AccessSet {
+    let mut set = AccessSet::empty();
+    for request in requests {
+        let location = slot(&request.key);
+        set.reads.push(location);
+        if request.mode == Mode::Write {
+            set.writes.push(location);
+        }
+    }
+    set
 }
 
 /// The modular-hashing map abstraction of §3: operations on key `k` touch
@@ -126,6 +216,10 @@ impl ConflictAbstraction<KeyedOp, ()> for StripedKeyAbstraction {
             AccessSet::reading([slot])
         }
     }
+
+    fn describe(&self) -> AbstractionInfo {
+        AbstractionInfo { name: "striped-key", locations: self.size }
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +262,30 @@ mod tests {
     fn display_shows_both_sets() {
         let set = AccessSet { reads: vec![1], writes: vec![2] };
         assert_eq!(set.to_string(), "rd[1] wr[2]");
+    }
+
+    #[test]
+    fn keyed_requests_classify_updates_as_writes() {
+        assert_eq!(keyed_request(7u32, KeyedOpKind::Put).mode, Mode::Write);
+        assert_eq!(keyed_request(7u32, KeyedOpKind::Remove).mode, Mode::Write);
+        assert_eq!(keyed_request(7u32, KeyedOpKind::Get).mode, Mode::Read);
+        assert_eq!(keyed_request(7u32, KeyedOpKind::Contains).mode, Mode::Read);
+    }
+
+    #[test]
+    fn requests_translate_like_the_optimistic_lap() {
+        // Write requests read *and* write their slot (version capture);
+        // read requests only read.
+        let requests = [LockRequest::write(3usize), LockRequest::read(5usize)];
+        let set = requests_to_access_set(&requests, |&k| k % 4);
+        assert_eq!(set, AccessSet { reads: vec![3, 1], writes: vec![3] });
+    }
+
+    #[test]
+    fn striped_abstraction_describes_itself() {
+        let ca = StripedKeyAbstraction::new(8);
+        let info = ca.describe();
+        assert_eq!(info.name, "striped-key");
+        assert_eq!(info.locations, 8);
     }
 }

@@ -59,7 +59,10 @@ mod size;
 pub mod structures;
 
 pub use abstract_lock::{AbstractLock, UpdateStrategy};
-pub use conflict::{AccessSet, ConflictAbstraction, KeyedOp, StripedKeyAbstraction};
+pub use conflict::{
+    keyed_request, requests_to_access_set, AbstractionInfo, AccessSet, ConflictAbstraction,
+    KeyedOp, KeyedOpKind, StripedKeyAbstraction,
+};
 pub use lap::{LockAllocatorPolicy, OptimisticLap, PessimisticLap};
 pub use map_trait::{TxMap, TxPQueue};
 pub use mode::{Compat, LockRequest, Mode};

@@ -31,10 +31,39 @@ use std::sync::Arc;
 
 use proust_stm::{TxResult, Txn, TxnOutcome};
 
+use crate::conflict::AccessSet;
 use crate::region::StmRegion;
 
 /// The value threshold below which operations touch ℓ₀.
 pub const COUNTER_THRESHOLD: i64 = 2;
+
+/// Counter operations, as seen by the conflict abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterOpKind {
+    /// `incr()`.
+    Incr,
+    /// `decr()`.
+    Decr,
+}
+
+/// The §3 counter conflict abstraction as a pure function: the accesses a
+/// counter operation performs on the one-location region, given the
+/// observed value and the threshold.
+///
+/// This is the *live* abstraction — [`ProustCounter::incr`]/
+/// [`ProustCounter::decr`] apply exactly what this function returns, and
+/// `cargo xtask analyze` checks the same function against the bounded
+/// counter model (Definition 3.1). Weakening the threshold to 1 makes the
+/// analysis produce the paper's decr/decr-at-1 counterexample.
+pub fn counter_access(op: CounterOpKind, observed: i64, threshold: i64) -> AccessSet {
+    if observed >= threshold {
+        return AccessSet::empty();
+    }
+    match op {
+        CounterOpKind::Incr => AccessSet::reading([0]),
+        CounterOpKind::Decr => AccessSet::writing([0]),
+    }
+}
 
 /// The thread-safe base counter (the "existing linearizable object" being
 /// wrapped): a non-negative counter with CAS-loop decrement.
@@ -137,8 +166,12 @@ impl ProustCounter {
         }
     }
 
-    fn near_zero(&self) -> bool {
-        self.base.get() < self.threshold || self.committed.load(Ordering::Acquire) < self.threshold
+    /// The conservative value view the abstraction consults: the smaller
+    /// of the instantaneous and committed values (see the module docs on
+    /// "the counter is below 2" — touching ℓ₀ when *either* view is below
+    /// the threshold stays sound with in-flight operations).
+    fn observed_floor(&self) -> i64 {
+        self.base.get().min(self.committed.load(Ordering::Acquire))
     }
 
     fn record_committed_delta(&self, tx: &mut Txn, delta: i64) {
@@ -158,9 +191,8 @@ impl ProustCounter {
     /// Propagates STM conflicts on ℓ₀.
     pub fn incr(&self, tx: &mut Txn) -> TxResult<()> {
         crate::op_site!(tx, "counter.incr");
-        if self.near_zero() {
-            self.region.read(tx, 0)?;
-        }
+        let accesses = counter_access(CounterOpKind::Incr, self.observed_floor(), self.threshold);
+        self.region.apply(tx, &accesses)?;
         self.base.incr();
         let base = Arc::clone(&self.base);
         tx.on_abort(move || base.undo_incr());
@@ -176,9 +208,8 @@ impl ProustCounter {
     /// Propagates STM conflicts on ℓ₀.
     pub fn decr(&self, tx: &mut Txn) -> TxResult<bool> {
         crate::op_site!(tx, "counter.decr");
-        if self.near_zero() {
-            self.region.write(tx, 0)?;
-        }
+        let accesses = counter_access(CounterOpKind::Decr, self.observed_floor(), self.threshold);
+        self.region.apply(tx, &accesses)?;
         let succeeded = self.base.try_decr();
         if succeeded {
             let base = Arc::clone(&self.base);
@@ -198,6 +229,19 @@ impl ProustCounter {
 mod tests {
     use super::*;
     use proust_stm::{ConflictDetection, Stm, StmConfig, TxError};
+
+    #[test]
+    fn counter_access_matches_the_paper_rule() {
+        // Below threshold: incr reads ℓ₀, decr writes it; above: nothing.
+        let incr = counter_access(CounterOpKind::Incr, 1, COUNTER_THRESHOLD);
+        let decr = counter_access(CounterOpKind::Decr, 1, COUNTER_THRESHOLD);
+        assert_eq!(incr, AccessSet::reading([0]));
+        assert_eq!(decr, AccessSet::writing([0]));
+        assert!(decr.conflicts_with(&decr));
+        assert!(!incr.conflicts_with(&incr));
+        assert!(counter_access(CounterOpKind::Incr, 52, COUNTER_THRESHOLD).is_empty());
+        assert!(counter_access(CounterOpKind::Decr, 52, COUNTER_THRESHOLD).is_empty());
+    }
 
     #[test]
     fn base_counter_never_goes_negative() {

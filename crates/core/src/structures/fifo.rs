@@ -40,6 +40,48 @@ pub enum FifoState {
     Tail,
 }
 
+/// FIFO operations, as seen by the conflict abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FifoOpKind {
+    /// `enqueue(v)`.
+    Enqueue,
+    /// `dequeue()`.
+    Dequeue,
+    /// `peek()`.
+    Peek,
+}
+
+/// The FIFO conflict abstraction as a pure function: the lock requests an
+/// operation issues given the (speculatively) observed queue length.
+///
+/// This is the *live* mapping — [`ProustFifo`]'s operations issue exactly
+/// these requests (re-running the function when the post-acquisition
+/// length disagrees with the speculative one), and `cargo xtask analyze`
+/// checks the same function against the bounded FIFO model.
+pub fn fifo_requests(op: FifoOpKind, observed_len: usize) -> Vec<LockRequest<FifoState>> {
+    match op {
+        // Head mode depends on whether the queue is empty: an enqueue into
+        // an empty queue defines the new head.
+        FifoOpKind::Enqueue => vec![
+            LockRequest::write(FifoState::Tail),
+            LockRequest {
+                key: FifoState::Head,
+                mode: if observed_len == 0 { Mode::Write } else { Mode::Read },
+            },
+        ],
+        // A dequeue that empties (or finds empty) the queue interacts with
+        // concurrent enqueues, so it also reads Tail in that regime.
+        FifoOpKind::Dequeue => {
+            let mut requests = vec![LockRequest::write(FifoState::Head)];
+            if observed_len <= 1 {
+                requests.push(LockRequest::read(FifoState::Tail));
+            }
+            requests
+        }
+        FifoOpKind::Peek => vec![LockRequest::read(FifoState::Head)],
+    }
+}
+
 /// A lazy-update transactional FIFO queue over a copy-on-write queue.
 ///
 /// (The trait bounds on the struct are required because the replay log
@@ -94,17 +136,14 @@ where
     /// Propagates synchronization conflicts.
     pub fn enqueue(&self, tx: &mut Txn, item: T) -> TxResult<()> {
         crate::op_site!(tx, "fifo.enqueue");
-        // Head mode decision depends on whether the queue is empty; decide,
+        // The request list depends on whether the queue is empty; decide,
         // acquire, re-check (cf. the priority queue's min-dependent lock).
-        let mut head_mode = if self.speculative_len(tx) == 0 { Mode::Write } else { Mode::Read };
+        let mut assumed_len = self.speculative_len(tx);
         loop {
-            let requests = [
-                LockRequest::write(FifoState::Tail),
-                LockRequest { key: FifoState::Head, mode: head_mode },
-            ];
+            let requests = fifo_requests(FifoOpKind::Enqueue, assumed_len);
             let len = self.lock.with(tx, &requests, |tx| self.speculative_len(tx))?;
-            if len == 0 && head_mode == Mode::Read {
-                head_mode = Mode::Write;
+            if len == 0 && assumed_len != 0 {
+                assumed_len = 0;
                 continue;
             }
             break;
@@ -121,17 +160,12 @@ where
     /// Propagates synchronization conflicts.
     pub fn dequeue(&self, tx: &mut Txn) -> TxResult<Option<T>> {
         crate::op_site!(tx, "fifo.dequeue");
-        // A dequeue that empties (or finds empty) the queue interacts with
-        // concurrent enqueues, so it also reads Tail in that regime.
-        let mut tail_mode = if self.speculative_len(tx) <= 1 { Some(Mode::Read) } else { None };
+        let mut assumed_len = self.speculative_len(tx);
         loop {
-            let mut requests = vec![LockRequest::write(FifoState::Head)];
-            if let Some(mode) = tail_mode {
-                requests.push(LockRequest { key: FifoState::Tail, mode });
-            }
+            let requests = fifo_requests(FifoOpKind::Dequeue, assumed_len);
             let len = self.lock.with(tx, &requests, |tx| self.speculative_len(tx))?;
-            if len <= 1 && tail_mode.is_none() {
-                tail_mode = Some(Mode::Read);
+            if len <= 1 && assumed_len > 1 {
+                assumed_len = len;
                 continue;
             }
             break;
@@ -150,7 +184,7 @@ where
     /// Propagates synchronization conflicts.
     pub fn peek(&self, tx: &mut Txn) -> TxResult<Option<T>> {
         crate::op_site!(tx, "fifo.peek");
-        self.lock.with(tx, &[LockRequest::read(FifoState::Head)], |tx| {
+        self.lock.with(tx, &fifo_requests(FifoOpKind::Peek, 0), |tx| {
             self.log.read(tx, |live| live.peek_front(), |snap| snap.peek_front().cloned())
         })
     }
@@ -176,6 +210,27 @@ mod tests {
             (ProustFifo::new(Arc::new(OptimisticLap::new(4))), Stm::new(StmConfig::default())),
             (ProustFifo::new(Arc::new(PessimisticLap::new(4))), Stm::new(StmConfig::default())),
         ]
+    }
+
+    #[test]
+    fn fifo_requests_follow_the_documented_mapping() {
+        // Enqueue always writes Tail; Head mode upgrades to Write only
+        // when the queue is (speculatively) empty.
+        let enq_empty = fifo_requests(FifoOpKind::Enqueue, 0);
+        assert_eq!(enq_empty[0], LockRequest::write(FifoState::Tail));
+        assert_eq!(enq_empty[1], LockRequest::write(FifoState::Head));
+        let enq_full = fifo_requests(FifoOpKind::Enqueue, 3);
+        assert_eq!(enq_full[1], LockRequest::read(FifoState::Head));
+        // Dequeue writes Head; near-empty it also reads Tail.
+        assert_eq!(
+            fifo_requests(FifoOpKind::Dequeue, 5),
+            vec![LockRequest::write(FifoState::Head)]
+        );
+        assert_eq!(
+            fifo_requests(FifoOpKind::Dequeue, 1),
+            vec![LockRequest::write(FifoState::Head), LockRequest::read(FifoState::Tail)]
+        );
+        assert_eq!(fifo_requests(FifoOpKind::Peek, 9), vec![LockRequest::read(FifoState::Head)]);
     }
 
     #[test]

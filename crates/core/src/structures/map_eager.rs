@@ -22,9 +22,9 @@ use proust_conc::StripedHashMap;
 use proust_stm::{TxResult, Txn};
 
 use crate::abstract_lock::{AbstractLock, UpdateStrategy};
+use crate::conflict::{keyed_request, KeyedOpKind};
 use crate::lap::LockAllocatorPolicy;
 use crate::map_trait::TxMap;
-use crate::mode::LockRequest;
 use crate::size::CommittedSize;
 
 /// An eager-update transactional map over a lock-striped concurrent hash
@@ -81,7 +81,7 @@ where
         let undo_key = key.clone();
         let previous = self.lock.with_inverse(
             tx,
-            &[LockRequest::write(key)],
+            &[keyed_request(key, KeyedOpKind::Put)],
             move |_tx| base.insert(op_key, value),
             // `ret.map(map.put(key, _)).getOrElse(map.remove(key))`
             move |previous: Option<V>| match previous {
@@ -101,12 +101,15 @@ where
 
     fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
         crate::op_site!(tx, "eager_map.get");
-        self.lock.with(tx, &[LockRequest::read(key.clone())], |_tx| self.base.get(key))
+        self.lock
+            .with(tx, &[keyed_request(key.clone(), KeyedOpKind::Get)], |_tx| self.base.get(key))
     }
 
     fn contains(&self, tx: &mut Txn, key: &K) -> TxResult<bool> {
         crate::op_site!(tx, "eager_map.contains");
-        self.lock.with(tx, &[LockRequest::read(key.clone())], |_tx| self.base.contains_key(key))
+        self.lock.with(tx, &[keyed_request(key.clone(), KeyedOpKind::Contains)], |_tx| {
+            self.base.contains_key(key)
+        })
     }
 
     fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
@@ -117,7 +120,7 @@ where
         let undo_key = key.clone();
         let previous = self.lock.with_inverse(
             tx,
-            &[LockRequest::write(key.clone())],
+            &[keyed_request(key.clone(), KeyedOpKind::Remove)],
             move |_tx| base.remove(&op_key),
             // `ret.foreach { map.put(key, _) }`
             move |previous: Option<V>| {

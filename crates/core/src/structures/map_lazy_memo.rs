@@ -17,9 +17,9 @@ use proust_conc::StripedHashMap;
 use proust_stm::{TxResult, Txn};
 
 use crate::abstract_lock::{AbstractLock, UpdateStrategy};
+use crate::conflict::{keyed_request, KeyedOpKind};
 use crate::lap::LockAllocatorPolicy;
 use crate::map_trait::TxMap;
-use crate::mode::LockRequest;
 use crate::replay::MemoReplay;
 use crate::size::CommittedSize;
 
@@ -92,9 +92,10 @@ where
 {
     fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
         crate::op_site!(tx, "memo_map.put");
-        let previous = self.lock.with(tx, &[LockRequest::write(key.clone())], |tx| {
-            self.log.put(tx, key.clone(), value)
-        })?;
+        let previous =
+            self.lock.with(tx, &[keyed_request(key.clone(), KeyedOpKind::Put)], |tx| {
+                self.log.put(tx, key.clone(), value)
+            })?;
         if previous.is_none() {
             self.size.record(tx, 1);
         }
@@ -103,14 +104,16 @@ where
 
     fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
         crate::op_site!(tx, "memo_map.get");
-        self.lock.with(tx, &[LockRequest::read(key.clone())], |tx| self.log.get(tx, key))
+        self.lock
+            .with(tx, &[keyed_request(key.clone(), KeyedOpKind::Get)], |tx| self.log.get(tx, key))
     }
 
     fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
         crate::op_site!(tx, "memo_map.remove");
-        let previous = self
-            .lock
-            .with(tx, &[LockRequest::write(key.clone())], |tx| self.log.remove(tx, key.clone()))?;
+        let previous =
+            self.lock.with(tx, &[keyed_request(key.clone(), KeyedOpKind::Remove)], |tx| {
+                self.log.remove(tx, key.clone())
+            })?;
         if previous.is_some() {
             self.size.record(tx, -1);
         }

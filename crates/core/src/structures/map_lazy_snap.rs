@@ -17,9 +17,9 @@ use proust_conc::SnapMap;
 use proust_stm::{TxResult, Txn};
 
 use crate::abstract_lock::{AbstractLock, UpdateStrategy};
+use crate::conflict::{keyed_request, KeyedOpKind};
 use crate::lap::LockAllocatorPolicy;
 use crate::map_trait::TxMap;
-use crate::mode::LockRequest;
 use crate::replay::SnapshotReplay;
 use crate::size::CommittedSize;
 
@@ -85,9 +85,10 @@ where
 {
     fn put(&self, tx: &mut Txn, key: K, value: V) -> TxResult<Option<V>> {
         crate::op_site!(tx, "snap_map.put");
-        let previous = self.lock.with(tx, &[LockRequest::write(key.clone())], |tx| {
-            self.log.update(tx, move |snap| snap.insert(key.clone(), value.clone()))
-        })?;
+        let previous =
+            self.lock.with(tx, &[keyed_request(key.clone(), KeyedOpKind::Put)], |tx| {
+                self.log.update(tx, move |snap| snap.insert(key.clone(), value.clone()))
+            })?;
         if previous.is_none() {
             self.size.record(tx, 1);
         }
@@ -96,7 +97,7 @@ where
 
     fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
         crate::op_site!(tx, "snap_map.get");
-        self.lock.with(tx, &[LockRequest::read(key.clone())], |tx| {
+        self.lock.with(tx, &[keyed_request(key.clone(), KeyedOpKind::Get)], |tx| {
             // The `readOnly` optimization of Figure 2b: no replay log is
             // allocated until the transaction actually writes.
             self.log.read(tx, |live| live.get(key), |snap| snap.get(key).cloned())
@@ -105,7 +106,7 @@ where
 
     fn contains(&self, tx: &mut Txn, key: &K) -> TxResult<bool> {
         crate::op_site!(tx, "snap_map.contains");
-        self.lock.with(tx, &[LockRequest::read(key.clone())], |tx| {
+        self.lock.with(tx, &[keyed_request(key.clone(), KeyedOpKind::Contains)], |tx| {
             self.log.read(tx, |live| live.contains_key(key), |snap| snap.contains_key(key))
         })
     }
@@ -113,9 +114,10 @@ where
     fn remove(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
         crate::op_site!(tx, "snap_map.remove");
         let removal_key = key.clone();
-        let previous = self.lock.with(tx, &[LockRequest::write(key.clone())], |tx| {
-            self.log.update(tx, move |snap| snap.remove(&removal_key))
-        })?;
+        let previous =
+            self.lock.with(tx, &[keyed_request(key.clone(), KeyedOpKind::Remove)], |tx| {
+                self.log.update(tx, move |snap| snap.remove(&removal_key))
+            })?;
         if previous.is_some() {
             self.size.record(tx, -1);
         }

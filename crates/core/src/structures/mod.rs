@@ -32,10 +32,14 @@ mod map_lazy_snap;
 mod pqueue;
 mod set;
 
-pub use counter::{ConcCounter, ProustCounter, COUNTER_THRESHOLD};
-pub use fifo::{FifoState, ProustFifo};
+pub use counter::{counter_access, ConcCounter, CounterOpKind, ProustCounter, COUNTER_THRESHOLD};
+pub use fifo::{fifo_requests, FifoOpKind, FifoState, ProustFifo};
 pub use map_eager::EagerMap;
 pub use map_lazy_memo::MemoMap;
 pub use map_lazy_snap::SnapTrieMap;
-pub use pqueue::{exact_pqueue_lap, EagerPQueue, LazyPQueue, PQueueState};
+pub use pqueue::{
+    exact_pqueue_lap, min_mode_for_insert, pqueue_contains_requests, pqueue_insert_requests,
+    pqueue_insert_requests_with_mode, pqueue_min_requests, pqueue_remove_min_requests, EagerPQueue,
+    LazyPQueue, PQueueState,
+};
 pub use set::ProustSet;

@@ -74,13 +74,47 @@ pub fn exact_pqueue_lap() -> crate::lap::PessimisticLap<PQueueState> {
 /// Decide the `Min` lock mode for an insert of `value` given the current
 /// minimum (Figure 3's `min.collect { case curM if v < curM => Write(PQueueMin) }
 /// .getOrElse { Read(PQueueMin) }`).
-fn min_mode_for_insert<T: Ord>(value: &T, current_min: Option<&T>) -> Mode {
+pub fn min_mode_for_insert<T: Ord>(value: &T, current_min: Option<&T>) -> Mode {
     match current_min {
         Some(current) if value < current => Mode::Write,
         Some(_) => Mode::Read,
         // Empty queue: the insert defines the minimum.
         None => Mode::Write,
     }
+}
+
+/// The requests `insert` issues once its `Min` mode is decided: always
+/// `Write(MultiSet)`, plus `Min` in the given mode.
+pub fn pqueue_insert_requests_with_mode(min_mode: Mode) -> [LockRequest<PQueueState>; 2] {
+    [
+        LockRequest::write(PQueueState::MultiSet),
+        LockRequest { key: PQueueState::Min, mode: min_mode },
+    ]
+}
+
+/// The Figure 3 `insert` request list for `value` given the observed
+/// minimum: the *live* mapping both priority-queue variants issue, and the
+/// one `cargo xtask analyze` checks against the bounded model.
+pub fn pqueue_insert_requests<T: Ord>(
+    value: &T,
+    current_min: Option<&T>,
+) -> [LockRequest<PQueueState>; 2] {
+    pqueue_insert_requests_with_mode(min_mode_for_insert(value, current_min))
+}
+
+/// The `min()` request list: `Read(Min)`.
+pub fn pqueue_min_requests() -> [LockRequest<PQueueState>; 1] {
+    [LockRequest::read(PQueueState::Min)]
+}
+
+/// The `contains(v)` request list: `Read(MultiSet)`.
+pub fn pqueue_contains_requests() -> [LockRequest<PQueueState>; 1] {
+    [LockRequest::read(PQueueState::MultiSet)]
+}
+
+/// The `removeMin()` request list: `Write(Min)` and `Write(MultiSet)`.
+pub fn pqueue_remove_min_requests() -> [LockRequest<PQueueState>; 2] {
+    [LockRequest::write(PQueueState::Min), LockRequest::write(PQueueState::MultiSet)]
 }
 
 // ---------------------------------------------------------------------
@@ -148,10 +182,7 @@ where
         // optimistic: commit validation covers the race).
         let mut mode = min_mode_for_insert(&value, self.speculative_min(tx).as_ref());
         loop {
-            let requests = [
-                LockRequest::write(PQueueState::MultiSet),
-                LockRequest { key: PQueueState::Min, mode },
-            ];
+            let requests = pqueue_insert_requests_with_mode(mode);
             let fresh = self.lock.with(tx, &requests, |tx| self.speculative_min(tx))?;
             let needed = min_mode_for_insert(&value, fresh.as_ref());
             if needed == Mode::Write && mode == Mode::Read {
@@ -168,20 +199,19 @@ where
 
     fn min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
         crate::op_site!(tx, "lazy_pqueue.min");
-        self.lock.with(tx, &[LockRequest::read(PQueueState::Min)], |tx| self.speculative_min(tx))
+        self.lock.with(tx, &pqueue_min_requests(), |tx| self.speculative_min(tx))
     }
 
     fn contains(&self, tx: &mut Txn, value: &T) -> TxResult<bool> {
         crate::op_site!(tx, "lazy_pqueue.contains");
-        self.lock.with(tx, &[LockRequest::read(PQueueState::MultiSet)], |tx| {
+        self.lock.with(tx, &pqueue_contains_requests(), |tx| {
             self.log.read(tx, |live| live.contains(value), |snap| snap.contains(value))
         })
     }
 
     fn remove_min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
         crate::op_site!(tx, "lazy_pqueue.remove_min");
-        let requests =
-            [LockRequest::write(PQueueState::Min), LockRequest::write(PQueueState::MultiSet)];
+        let requests = pqueue_remove_min_requests();
         let removed =
             self.lock.with(tx, &requests, |tx| self.log.update(tx, |heap| heap.pop_min()))?;
         if removed.is_some() {
@@ -308,10 +338,7 @@ where
         crate::op_site!(tx, "eager_pqueue.insert");
         let mut mode = min_mode_for_insert(&value, Self::peek_live(&self.base).as_ref());
         loop {
-            let requests = [
-                LockRequest::write(PQueueState::MultiSet),
-                LockRequest { key: PQueueState::Min, mode },
-            ];
+            let requests = pqueue_insert_requests_with_mode(mode);
             let fresh = self.lock.with(tx, &requests, |_tx| Self::peek_live(&self.base))?;
             let needed = min_mode_for_insert(&value, fresh.as_ref());
             if needed == Mode::Write && mode == Mode::Read {
@@ -331,13 +358,12 @@ where
 
     fn min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
         crate::op_site!(tx, "eager_pqueue.min");
-        self.lock
-            .with(tx, &[LockRequest::read(PQueueState::Min)], |_tx| Self::peek_live(&self.base))
+        self.lock.with(tx, &pqueue_min_requests(), |_tx| Self::peek_live(&self.base))
     }
 
     fn contains(&self, tx: &mut Txn, value: &T) -> TxResult<bool> {
         crate::op_site!(tx, "eager_pqueue.contains");
-        self.lock.with(tx, &[LockRequest::read(PQueueState::MultiSet)], |_tx| {
+        self.lock.with(tx, &pqueue_contains_requests(), |_tx| {
             self.base.any(|candidate| {
                 !candidate.deleted.load(Ordering::Acquire) && candidate.value == *value
             })
@@ -346,8 +372,7 @@ where
 
     fn remove_min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
         crate::op_site!(tx, "eager_pqueue.remove_min");
-        let requests =
-            [LockRequest::write(PQueueState::Min), LockRequest::write(PQueueState::MultiSet)];
+        let requests = pqueue_remove_min_requests();
         let base = Arc::clone(&self.base);
         let undo_base = Arc::clone(&self.base);
         let removed = self.lock.with_inverse(

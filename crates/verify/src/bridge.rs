@@ -1,0 +1,398 @@
+//! Adapters that check the **live** `proust-core` conflict abstractions
+//! against the bounded models (the non-default `core-bridge` feature).
+//!
+//! The shipped wrappers all funnel their synchronization decisions through
+//! a handful of pure functions in `proust-core` — `counter_access`,
+//! `keyed_request`, `fifo_requests`, the `pqueue_*_requests` builders —
+//! and those same functions are what this module feeds to the Definition
+//! 3.1 checker. There is no hand-transcribed copy of the abstractions
+//! here: if a wrapper's classification drifts, the analysis drifts with it
+//! and `cargo xtask analyze` fails.
+//!
+//! The translation from lock requests to STM access sets is
+//! [`requests_to_access_set`], which mirrors `OptimisticLap::acquire`:
+//! every request *reads* its slot (version capture) and write-mode
+//! requests additionally *write* it. Two deliberate approximations are
+//! baked in:
+//!
+//! * The pessimistic priority-queue protocol gives `MultiSet` a
+//!   *group-exclusive* rule (writers co-hold with writers). Read/write
+//!   access sets cannot express that, so `Write(MultiSet)` becomes a plain
+//!   write — strictly **more** conflicts than the live pessimistic LAP,
+//!   which is the sound direction, and exactly what the optimistic LAP
+//!   does anyway.
+//! * `size()` on the FIFO and priority-queue wrappers takes no abstract
+//!   locks at all (it reads the committed-size counter), so it is excluded
+//!   from the checked alphabet via [`Restricted`] and documented as a
+//!   committed-value observer, not a serialized operation.
+
+use std::collections::BTreeMap;
+
+use proust_core::structures::{
+    counter_access, fifo_requests, pqueue_contains_requests, pqueue_insert_requests,
+    pqueue_min_requests, pqueue_remove_min_requests, CounterOpKind, FifoOpKind, FifoState,
+    PQueueState, COUNTER_THRESHOLD,
+};
+use proust_core::{keyed_request, requests_to_access_set, AccessSet, KeyedOpKind, LockRequest};
+
+use crate::checker::{check_conflict_abstraction, false_conflict_rate, Access, CheckResult};
+use crate::encode::{check_counter_by_sat, check_striped_map_by_sat, SatVerdict};
+use crate::model::{
+    AdtModel, CounterModel, CounterOp, FifoModel, FifoModelOp, MapModel, MapModelOp, PQueueModel,
+    PQueueModelOp, Restricted,
+};
+
+// ---------------------------------------------------------------------
+// Twin-type conversions
+// ---------------------------------------------------------------------
+
+impl From<AccessSet> for Access {
+    fn from(set: AccessSet) -> Access {
+        Access { reads: set.reads, writes: set.writes }
+    }
+}
+
+impl From<Access> for AccessSet {
+    fn from(access: Access) -> AccessSet {
+        AccessSet { reads: access.reads, writes: access.writes }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// Deliberate weakenings of the live abstractions, used to prove the
+/// analysis can actually fail (`cargo xtask analyze --weaken-*`).
+///
+/// The default is no injection: analyze exactly what ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Counter threshold to analyze. The shipped value is
+    /// [`COUNTER_THRESHOLD`] (= 2); weakening it to 1 recreates the
+    /// paper's canonical unsound abstraction (two `decr`s at state 1).
+    pub counter_threshold: i64,
+    /// Classify keyed-map updates (`put`/`remove`) as read-only queries —
+    /// the classic mislabeling bug Definition 3.1 exists to catch.
+    pub mislabel_striped_update: bool,
+}
+
+impl Default for FaultInjection {
+    fn default() -> Self {
+        FaultInjection { counter_threshold: COUNTER_THRESHOLD, mislabel_striped_update: false }
+    }
+}
+
+impl FaultInjection {
+    /// No injection: the shipped abstractions.
+    pub fn none() -> Self {
+        FaultInjection::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verdicts
+// ---------------------------------------------------------------------
+
+/// The soundness verdict for one live structure's conflict abstraction.
+#[derive(Debug, Clone)]
+pub struct StructureVerdict {
+    /// Structure name (stable report key, e.g. `"memo-map"`).
+    pub name: &'static str,
+    /// Which abstraction family the structure uses (e.g. `"striped-key"`).
+    pub abstraction: &'static str,
+    /// Definition 3.1 holds over the whole bounded space.
+    pub sound: bool,
+    /// Number of `(state, op, op)` triples examined (0 when unsound — the
+    /// checker stops at the first violation).
+    pub pairs_checked: usize,
+    /// Human-readable counterexample when unsound.
+    pub counterexample: Option<String>,
+    /// Commuting pairs the abstraction nevertheless flags as conflicting.
+    pub false_conflicts: usize,
+    /// Total commuting pairs in the bounded space.
+    pub commuting_pairs: usize,
+    /// Verdict of the Appendix E SAT cross-check, where an encoding
+    /// exists (counter and striped-key map).
+    pub sat_sound: Option<bool>,
+    /// Witness from the SAT cross-check, when it refuted soundness.
+    pub sat_witness: Option<String>,
+}
+
+impl StructureVerdict {
+    /// The *static* false-conflict rate: fraction of commuting pairs the
+    /// abstraction flags anyway (0.0 when the space has no commuting
+    /// pairs). This is the analysis-side counterpart of the measured rate
+    /// `proust-obs` derives from runtime conflict attribution.
+    pub fn false_conflict_rate(&self) -> f64 {
+        if self.commuting_pairs == 0 {
+            0.0
+        } else {
+            self.false_conflicts as f64 / self.commuting_pairs as f64
+        }
+    }
+
+    /// Whether exhaustive and SAT verdicts disagree (a checker bug, not an
+    /// abstraction bug — surfaced loudly by `cargo xtask analyze`).
+    pub fn checkers_disagree(&self) -> bool {
+        self.sat_sound.is_some_and(|sat| sat != self.sound)
+    }
+}
+
+fn verdict<M: AdtModel>(
+    name: &'static str,
+    abstraction: &'static str,
+    model: &M,
+    ca: impl Fn(&M::Op, &M::State) -> Access,
+) -> StructureVerdict {
+    let (false_conflicts, commuting_pairs) = false_conflict_rate(model, &ca);
+    let (sound, pairs_checked, counterexample) = match check_conflict_abstraction(model, &ca) {
+        CheckResult::Correct { pairs_checked } => (true, pairs_checked, None),
+        CheckResult::Unsound(cex) => (false, 0, Some(cex.to_string())),
+    };
+    StructureVerdict {
+        name,
+        abstraction,
+        sound,
+        pairs_checked,
+        counterexample,
+        false_conflicts,
+        commuting_pairs,
+        sat_sound: None,
+        sat_witness: None,
+    }
+}
+
+fn attach_sat(verdict: &mut StructureVerdict, sat: SatVerdict) {
+    match sat {
+        SatVerdict::Sound => verdict.sat_sound = Some(true),
+        SatVerdict::Counterexample(witness) => {
+            verdict.sat_sound = Some(false);
+            verdict.sat_witness = Some(witness.to_string());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live conflict abstractions, as (op, state) -> Access closures
+// ---------------------------------------------------------------------
+
+/// The live §3 counter rule ([`counter_access`]) over the bounded
+/// [`CounterModel`]: the abstraction's σ is the observed floor of the
+/// counter, which in the sequential model is the state itself.
+pub fn live_counter_ca(threshold: i64) -> impl Fn(&CounterOp, &u32) -> Access {
+    move |op, state| {
+        let kind = match op {
+            CounterOp::Incr => CounterOpKind::Incr,
+            CounterOp::Decr => CounterOpKind::Decr,
+        };
+        counter_access(kind, i64::from(*state), threshold).into()
+    }
+}
+
+/// The live keyed-map classification ([`keyed_request`] +
+/// [`requests_to_access_set`]) shared by the eager map, both lazy maps,
+/// and the set. `stripes` is the lock-allocator size; `mislabel_update`
+/// injects the read-only-update fault.
+pub fn live_keyed_map_ca(
+    stripes: usize,
+    mislabel_update: bool,
+) -> impl Fn(&MapModelOp, &BTreeMap<u8, u8>) -> Access {
+    move |op, _state| {
+        let kind = match op {
+            MapModelOp::Put(..) => KeyedOpKind::Put,
+            MapModelOp::Get(_) => KeyedOpKind::Get,
+            MapModelOp::Remove(_) => KeyedOpKind::Remove,
+            MapModelOp::Contains(_) => KeyedOpKind::Contains,
+        };
+        let kind = if mislabel_update && kind.is_update() { KeyedOpKind::Get } else { kind };
+        let request = keyed_request(op.key(), kind);
+        requests_to_access_set(&[request], |&key| key as usize % stripes).into()
+    }
+}
+
+/// The live FIFO request lists ([`fifo_requests`]) with `Head`/`Tail`
+/// mapped to locations 0/1; the observed length the live loop converges on
+/// is the model state's length.
+pub fn live_fifo_ca() -> impl Fn(&FifoModelOp, &Vec<u8>) -> Access {
+    |op, state| {
+        let kind = match op {
+            FifoModelOp::Enqueue(_) => FifoOpKind::Enqueue,
+            FifoModelOp::Dequeue => FifoOpKind::Dequeue,
+            FifoModelOp::Peek => FifoOpKind::Peek,
+            // Unreached under `Restricted`; `size()` takes no locks.
+            FifoModelOp::Size => return Access::empty(),
+        };
+        let requests = fifo_requests(kind, state.len());
+        requests_to_access_set(&requests, fifo_slot).into()
+    }
+}
+
+fn fifo_slot(state: &FifoState) -> usize {
+    match state {
+        FifoState::Head => 0,
+        FifoState::Tail => 1,
+    }
+}
+
+/// The live priority-queue request lists (the Figure 3 builders) with
+/// `Min`/`MultiSet` mapped to locations 0/1; `insert`'s observed minimum
+/// is the model state's head.
+pub fn live_pqueue_ca() -> impl Fn(&PQueueModelOp, &Vec<u8>) -> Access {
+    |op, state| {
+        let requests: Vec<LockRequest<PQueueState>> = match op {
+            PQueueModelOp::Insert(v) => pqueue_insert_requests(v, state.first()).to_vec(),
+            PQueueModelOp::Min => pqueue_min_requests().to_vec(),
+            PQueueModelOp::RemoveMin => pqueue_remove_min_requests().to_vec(),
+            PQueueModelOp::Contains(_) => pqueue_contains_requests().to_vec(),
+            // Unreached under `Restricted`; `size()` takes no locks.
+            PQueueModelOp::Size => return Access::empty(),
+        };
+        requests_to_access_set(&requests, pqueue_slot).into()
+    }
+}
+
+fn pqueue_slot(state: &PQueueState) -> usize {
+    match state {
+        PQueueState::Min => 0,
+        PQueueState::MultiSet => 1,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The analysis entry point
+// ---------------------------------------------------------------------
+
+/// Lock-allocator size used when analyzing the keyed wrappers — matches
+/// the sizes the test suites construct them with. Keys of the bounded
+/// model land in distinct stripes; striping collisions are covered
+/// symbolically by the SAT cross-check for *every* power-of-two stripe
+/// count.
+const MAP_STRIPES: usize = 64;
+
+/// Analyze every shipped structure's conflict abstraction against its
+/// bounded model, with optional fault injection. One verdict per wrapper;
+/// wrappers sharing a classification path (the four keyed wrappers, the
+/// two priority queues) are listed individually because each is a separate
+/// gate in the report.
+pub fn analyze_all(faults: &FaultInjection) -> Vec<StructureVerdict> {
+    let mut verdicts = Vec::new();
+
+    // §3 counter — exhaustive + the Appendix E bit-vector encoding.
+    let counter = CounterModel { max: 8 };
+    let mut v = verdict(
+        "counter",
+        "threshold-counter",
+        &counter,
+        live_counter_ca(faults.counter_threshold),
+    );
+    if faults.counter_threshold >= 0 {
+        attach_sat(&mut v, check_counter_by_sat(faults.counter_threshold as u64, 6));
+    }
+    verdicts.push(v);
+
+    // Keyed wrappers — all four funnel through `keyed_request`; the SAT
+    // cross-check covers the striping symbolically.
+    let map_model = MapModel { keys: 3, values: 2 };
+    let set_model = MapModel { keys: 3, values: 1 };
+    let keyed: [(&'static str, &MapModel); 4] = [
+        ("eager-map", &map_model),
+        ("memo-map", &map_model),
+        ("snap-map", &map_model),
+        ("set", &set_model),
+    ];
+    for (name, model) in keyed {
+        let mut v = verdict(
+            name,
+            "striped-key",
+            model,
+            live_keyed_map_ca(MAP_STRIPES, faults.mislabel_striped_update),
+        );
+        attach_sat(&mut v, check_striped_map_by_sat(8, 3, !faults.mislabel_striped_update));
+        verdicts.push(v);
+    }
+
+    // FIFO — Head/Tail request lists; `size()` excluded (no locks).
+    let fifo = Restricted::new(FifoModel { values: 2, capacity: 3 }, |op| {
+        !matches!(op, FifoModelOp::Size)
+    });
+    verdicts.push(verdict("fifo", "head-tail", &fifo, live_fifo_ca()));
+
+    // Priority queues — both variants issue the Figure 3 request lists.
+    let pqueue = Restricted::new(PQueueModel { values: 3, capacity: 2 }, |op| {
+        !matches!(op, PQueueModelOp::Size)
+    });
+    verdicts.push(verdict("lazy-pqueue", "min-multiset", &pqueue, live_pqueue_ca()));
+    verdicts.push(verdict("eager-pqueue", "min-multiset", &pqueue, live_pqueue_ca()));
+
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_abstractions_are_all_sound() {
+        let verdicts = analyze_all(&FaultInjection::none());
+        assert_eq!(verdicts.len(), 8);
+        for v in &verdicts {
+            assert!(v.sound, "{} must be sound: {:?}", v.name, v.counterexample);
+            assert!(!v.checkers_disagree(), "{}: SAT and exhaustive disagree", v.name);
+            assert!(v.pairs_checked > 0, "{} checked nothing", v.name);
+            let rate = v.false_conflict_rate();
+            assert!((0.0..=1.0).contains(&rate), "{}: rate {rate} out of range", v.name);
+        }
+    }
+
+    #[test]
+    fn weakened_counter_threshold_is_caught_by_both_checkers() {
+        let verdicts =
+            analyze_all(&FaultInjection { counter_threshold: 1, ..FaultInjection::none() });
+        let counter = &verdicts[0];
+        assert_eq!(counter.name, "counter");
+        assert!(!counter.sound);
+        let cex = counter.counterexample.as_deref().expect("counterexample text");
+        assert!(cex.contains("Decr"), "the violation is decr/decr at 1: {cex}");
+        assert_eq!(counter.sat_sound, Some(false));
+        assert!(counter.sat_witness.is_some());
+    }
+
+    #[test]
+    fn mislabeled_striped_update_is_caught_on_every_keyed_wrapper() {
+        let verdicts = analyze_all(&FaultInjection {
+            mislabel_striped_update: true,
+            ..FaultInjection::none()
+        });
+        for v in verdicts.iter().filter(|v| v.abstraction == "striped-key") {
+            assert!(!v.sound, "{} must fail with read-only updates", v.name);
+            assert!(v.counterexample.is_some());
+            assert_eq!(v.sat_sound, Some(false), "{}: SAT must agree", v.name);
+        }
+        // Fault injection is targeted: the other structures stay sound.
+        for v in verdicts.iter().filter(|v| v.abstraction != "striped-key") {
+            assert!(v.sound, "{} is unaffected by the map fault", v.name);
+        }
+    }
+
+    #[test]
+    fn fifo_enqueue_dequeue_head_sharing_is_a_false_conflict_not_a_bug() {
+        // The live enqueue reads Head even at length >= 2 (version
+        // capture), where it commutes with dequeue: the static rate must
+        // be positive, and the abstraction still sound.
+        let fifo =
+            &analyze_all(&FaultInjection::none()).into_iter().find(|v| v.name == "fifo").unwrap();
+        assert!(fifo.sound);
+        assert!(fifo.false_conflicts > 0, "enqueue/dequeue at len>=2 falsely conflict");
+    }
+
+    #[test]
+    fn access_twins_convert_losslessly() {
+        let set = AccessSet { reads: vec![1, 2], writes: vec![2] };
+        let access: Access = set.clone().into();
+        assert_eq!(access.reads, set.reads);
+        assert_eq!(access.writes, set.writes);
+        let back: AccessSet = access.into();
+        assert_eq!(back, set);
+    }
+}

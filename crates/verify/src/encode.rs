@@ -151,6 +151,83 @@ pub fn check_counter_by_sat(threshold: u64, width: usize) -> SatVerdict {
     SatVerdict::Sound
 }
 
+/// Check the §3 striped-key map abstraction by the Appendix E reduction,
+/// fully symbolically: two operations address symbolic `key_bits`-bit keys
+/// and each may be an update (`put`/`remove`) or a query
+/// (`get`/`contains`). The abstraction maps a key to the stripe given by
+/// its low `stripe_bits` bits (`hash(k) mod M` with `M = 2^stripe_bits`);
+/// every operation reads its stripe (the optimistic LAP's version capture)
+/// and, when `updates_write` holds, updates additionally write it —
+/// exactly the access sets `proust_core::requests_to_access_set` derives
+/// from `keyed_request`.
+///
+/// Non-commutation is over-approximated by "same key and at least one
+/// update": the solver searches for keys, update flags, and stripes where
+/// that holds yet no read/write, write/read, or write/write collision
+/// occurs. The over-approximation only strengthens the obligation, so the
+/// sound direction of Theorem E.1 is preserved: **UNSAT ⇒ the striping is
+/// sound for every key width and every stripe count `2^stripe_bits`**
+/// (key equality forces stripe equality regardless of collisions between
+/// distinct keys). `updates_write = false` models the classic mislabeling
+/// bug — an update classified read-only — and must be SAT with a same-key
+/// witness.
+///
+/// # Panics
+///
+/// Panics unless `1 <= stripe_bits < key_bits`.
+pub fn check_striped_map_by_sat(
+    key_bits: usize,
+    stripe_bits: usize,
+    updates_write: bool,
+) -> SatVerdict {
+    assert!(
+        stripe_bits >= 1 && stripe_bits < key_bits,
+        "need 1 <= stripe_bits < key_bits, got {stripe_bits} / {key_bits}"
+    );
+    let mut circuit = Circuit::new();
+    // A key is (high bits, stripe bits); its stripe is the low part, so
+    // "slot(k1) == slot(k2)" is structural rather than arithmetic.
+    let lo1 = BitVec::fresh(&mut circuit, stripe_bits);
+    let hi1 = BitVec::fresh(&mut circuit, key_bits - stripe_bits);
+    let lo2 = BitVec::fresh(&mut circuit, stripe_bits);
+    let hi2 = BitVec::fresh(&mut circuit, key_bits - stripe_bits);
+    let update1 = circuit.fresh();
+    let update2 = circuit.fresh();
+
+    // Possibly non-commuting: the ops address the same key and at least
+    // one of them is an update.
+    let lo_equal = lo1.equals(&mut circuit, &lo2);
+    let hi_equal = hi1.equals(&mut circuit, &hi2);
+    let keys_equal = circuit.and(lo_equal, hi_equal);
+    circuit.assert(keys_equal);
+    let some_update = circuit.or(update1, update2);
+    circuit.assert(some_update);
+
+    // The abstraction's accesses: both ops read their stripe; updates
+    // write it iff correctly labeled. With reads always present, the three
+    // Definition 3.1 cases collapse to "same stripe and some write".
+    let no = circuit.false_lit();
+    let write1 = if updates_write { update1 } else { no };
+    let write2 = if updates_write { update2 } else { no };
+    let some_write = circuit.or(write1, write2);
+    let conflict = circuit.and(lo_equal, some_write);
+    circuit.assert(!conflict);
+
+    match circuit.solve() {
+        SatResult::Sat(model) => {
+            let key = (hi1.eval(&model) << stripe_bits) | lo1.eval(&model);
+            let pair = match (Circuit::eval(update1, &model), Circuit::eval(update2, &model)) {
+                (true, true) => "update/update",
+                (true, false) => "update/query",
+                (false, true) => "query/update",
+                (false, false) => unreachable!("some_update is asserted"),
+            };
+            SatVerdict::Counterexample(SatWitness { state: key, pair })
+        }
+        SatResult::Unsat => SatVerdict::Sound,
+    }
+}
+
 /// Generic reduction for any bounded model: a one-hot selector picks the
 /// initial state; clauses require the selected state to witness a
 /// non-commuting, non-conflicting pair. SAT ⇔ Definition 3.1 violated.
@@ -256,5 +333,33 @@ mod tests {
     fn wider_widths_agree() {
         assert!(check_counter_by_sat(2, 8).is_sound());
         assert!(!check_counter_by_sat(1, 8).is_sound());
+    }
+
+    #[test]
+    fn striped_map_labeling_is_sound_by_sat() {
+        // Same key ⇒ same stripe ⇒ any update collides: UNSAT at every
+        // width/stripe combination.
+        for (key_bits, stripe_bits) in [(8, 3), (8, 1), (6, 5), (16, 4)] {
+            assert!(
+                check_striped_map_by_sat(key_bits, stripe_bits, true).is_sound(),
+                "keys {key_bits} stripes 2^{stripe_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn mislabeled_striped_update_yields_a_same_key_witness() {
+        match check_striped_map_by_sat(8, 3, false) {
+            SatVerdict::Counterexample(witness) => {
+                assert!(witness.pair.contains("update"), "violation needs an update: {witness}");
+            }
+            SatVerdict::Sound => panic!("read-only updates must be refuted"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe_bits")]
+    fn degenerate_stripe_widths_are_rejected() {
+        let _ = check_striped_map_by_sat(4, 0, true);
     }
 }

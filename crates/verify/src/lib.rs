@@ -22,6 +22,12 @@
 //! the checker be the verification oracle — it rediscovers the paper's
 //! threshold-2 counter abstraction as the minimum-cost sound point.
 //!
+//! With the non-default `core-bridge` feature, [`bridge`] checks the
+//! **live** `proust-core` abstractions — the same pure request-building
+//! functions the shipped wrappers call — rather than hand-transcribed
+//! copies. `cargo xtask analyze` (Pass 1) drives [`bridge::analyze_all`]
+//! and gates CI on its verdicts.
+//!
 //! ## Example: the paper's counter, both ways
 //!
 //! ```
@@ -44,6 +50,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "core-bridge")]
+pub mod bridge;
 pub mod checker;
 pub mod commute;
 pub mod encode;
@@ -51,10 +59,12 @@ pub mod model;
 pub mod sat;
 pub mod synth;
 
+#[cfg(feature = "core-bridge")]
+pub use bridge::{analyze_all, FaultInjection, StructureVerdict};
 pub use checker::{
     check_conflict_abstraction, false_conflict_rate, Access, CheckResult, CounterExample,
 };
 pub use commute::commutes;
-pub use encode::{check_counter_by_sat, check_model_by_sat, SatVerdict};
-pub use model::AdtModel;
+pub use encode::{check_counter_by_sat, check_model_by_sat, check_striped_map_by_sat, SatVerdict};
+pub use model::{AdtModel, Restricted};
 pub use synth::{synthesize_counter_ca, CounterTemplate, Synthesized, TemplateAccess};

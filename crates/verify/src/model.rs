@@ -31,6 +31,56 @@ pub trait AdtModel {
     fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
 }
 
+/// A model with part of its operation alphabet masked off.
+///
+/// Some live operations are deliberately *outside* their structure's
+/// conflict abstraction: `size()` on the FIFO and priority-queue wrappers
+/// reads only the committed-size counter and takes no abstract locks, so
+/// it is a committed-value observer rather than a transactionally
+/// serialized operation. Checking Definition 3.1 over an alphabet that
+/// includes such observers would demand conflicts the runtime never
+/// detects — correctly flagging them as non-linearizable, but telling us
+/// nothing about the abstraction under test. `Restricted` removes them
+/// from [`AdtModel::ops`] while leaving states and semantics untouched.
+///
+/// The filter is a plain `fn` pointer (not a boxed closure) so the wrapper
+/// stays `Copy`/`Debug` like the models it wraps.
+#[derive(Debug, Clone, Copy)]
+pub struct Restricted<M: AdtModel> {
+    model: M,
+    allowed: fn(&M::Op) -> bool,
+}
+
+impl<M: AdtModel> Restricted<M> {
+    /// Wrap `model`, keeping only the operations `allowed` accepts.
+    pub fn new(model: M, allowed: fn(&M::Op) -> bool) -> Self {
+        Restricted { model, allowed }
+    }
+
+    /// The unrestricted inner model.
+    pub fn inner(&self) -> &M {
+        &self.model
+    }
+}
+
+impl<M: AdtModel> AdtModel for Restricted<M> {
+    type State = M::State;
+    type Op = M::Op;
+    type Ret = M::Ret;
+
+    fn states(&self) -> Vec<Self::State> {
+        self.model.states()
+    }
+
+    fn ops(&self) -> Vec<Self::Op> {
+        self.model.ops().into_iter().filter(|op| (self.allowed)(op)).collect()
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret) {
+        self.model.apply(state, op)
+    }
+}
+
 // ---------------------------------------------------------------------
 // Counter
 // ---------------------------------------------------------------------
@@ -472,6 +522,19 @@ mod tests {
         let (next, ret) = m.apply(&vec![0, 1], &PQueueModelOp::RemoveMin);
         assert_eq!(ret, PQueueModelRet::Value(Some(0)));
         assert_eq!(next, vec![1]);
+    }
+
+    #[test]
+    fn restricted_filters_ops_but_not_states() {
+        let full = FifoModel { values: 2, capacity: 2 };
+        let no_size = Restricted::new(full, |op| !matches!(op, FifoModelOp::Size));
+        assert_eq!(no_size.states(), full.states());
+        assert!(no_size.ops().iter().all(|op| !matches!(op, FifoModelOp::Size)));
+        assert_eq!(no_size.ops().len(), full.ops().len() - 1);
+        assert_eq!(
+            no_size.apply(&vec![1], &FifoModelOp::Dequeue),
+            full.apply(&vec![1], &FifoModelOp::Dequeue)
+        );
     }
 
     #[test]

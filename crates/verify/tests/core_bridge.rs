@@ -1,0 +1,103 @@
+//! End-to-end tests for the `core-bridge` feature: the `Access`/`AccessSet`
+//! twin types must agree, and `analyze_all` — the engine behind
+//! `cargo xtask analyze` — must pass the shipped abstractions and fail the
+//! fault-injected ones with concrete counterexamples.
+#![cfg(feature = "core-bridge")]
+
+use proust_core::AccessSet;
+use proust_verify::{analyze_all, Access, FaultInjection};
+
+/// Enumerate every access set over `locations` with reads/writes drawn
+/// independently from the powerset (4 locations → 256 sets).
+fn all_access_sets(locations: usize) -> Vec<AccessSet> {
+    let masks = 1usize << locations;
+    let mut sets = Vec::new();
+    for read_mask in 0..masks {
+        for write_mask in 0..masks {
+            let pick = |mask: usize| (0..locations).filter(move |i| mask & (1 << i) != 0);
+            sets.push(AccessSet {
+                reads: pick(read_mask).collect(),
+                writes: pick(write_mask).collect(),
+            });
+        }
+    }
+    sets
+}
+
+#[test]
+fn conflicts_with_agrees_between_the_twin_types() {
+    // The twin types are a deliberate duplication (proust-verify stays
+    // dependency-free); this is the test that keeps them honest, over the
+    // full 256 x 256 pair space on 4 locations.
+    let sets = all_access_sets(4);
+    for a in &sets {
+        for b in &sets {
+            let core_verdict = a.conflicts_with(b);
+            let verify_verdict = Access::from(a.clone()).conflicts_with(&Access::from(b.clone()));
+            assert_eq!(core_verdict, verify_verdict, "twins disagree on {a:?} vs {b:?}");
+        }
+    }
+}
+
+#[test]
+fn conversions_are_lossless_in_both_directions() {
+    for set in all_access_sets(3) {
+        let through: AccessSet = AccessSet::from(Access::from(set.clone()));
+        assert_eq!(through, set);
+        let access = Access::from(set.clone());
+        let back = Access::from(AccessSet::from(access.clone()));
+        assert_eq!(back, access);
+    }
+}
+
+#[test]
+fn shipped_abstractions_pass_the_analysis_gate() {
+    let verdicts = analyze_all(&FaultInjection::none());
+    let expected = [
+        "counter",
+        "eager-map",
+        "memo-map",
+        "snap-map",
+        "set",
+        "fifo",
+        "lazy-pqueue",
+        "eager-pqueue",
+    ];
+    let names: Vec<&str> = verdicts.iter().map(|v| v.name).collect();
+    assert_eq!(names, expected, "one verdict per shipped wrapper, stable order");
+    for v in &verdicts {
+        assert!(v.sound, "{}: {:?}", v.name, v.counterexample);
+        assert!(v.counterexample.is_none());
+        let rate = v.false_conflict_rate();
+        assert!((0.0..=1.0).contains(&rate), "{}: static rate {rate}", v.name);
+    }
+}
+
+#[test]
+fn weakening_the_counter_threshold_produces_the_paper_counterexample() {
+    let verdicts = analyze_all(&FaultInjection { counter_threshold: 1, ..FaultInjection::none() });
+    let counter = verdicts.iter().find(|v| v.name == "counter").unwrap();
+    assert!(!counter.sound);
+    let cex = counter.counterexample.as_deref().unwrap();
+    // Definition 3.1's canonical violation: two decrs at state 1.
+    assert!(cex.contains("state 1"), "expected the state-1 witness, got: {cex}");
+    assert!(cex.contains("Decr"), "expected a decr pair, got: {cex}");
+    assert_eq!(counter.sat_sound, Some(false), "the SAT cross-check must concur");
+}
+
+#[test]
+fn mislabeling_striped_updates_fails_every_keyed_wrapper() {
+    let verdicts =
+        analyze_all(&FaultInjection { mislabel_striped_update: true, ..FaultInjection::none() });
+    let keyed: Vec<_> = verdicts.iter().filter(|v| v.abstraction == "striped-key").collect();
+    assert_eq!(keyed.len(), 4);
+    for v in keyed {
+        assert!(!v.sound, "{} must fail", v.name);
+        let cex = v.counterexample.as_deref().unwrap();
+        assert!(
+            cex.contains("Put") || cex.contains("Remove"),
+            "{}: violation must involve an update: {cex}",
+            v.name
+        );
+    }
+}

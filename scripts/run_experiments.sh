@@ -18,6 +18,10 @@ FIGURE4_ARGS="${FIGURE4_ARGS:---ops 100000 --runs 2 --warmups 1 --threads 1,2,4,
 echo "== building (release) =="
 cargo build --release -p proust-bench --bins
 
+echo "== static analysis (cargo xtask analyze) =="
+cargo xtask analyze --report "$RESULTS_DIR/analysis.json" \
+    | tee "$RESULTS_DIR/analysis.txt"
+
 echo "== figure4 $FIGURE4_ARGS =="
 cargo run --release -q -p proust-bench --bin figure4 -- $FIGURE4_ARGS \
     | tee "$RESULTS_DIR/figure4.txt"

