@@ -9,8 +9,13 @@
 //! ```text
 //! cargo run --release -p proust-bench --bin figure4 -- [--quick] \
 //!     [--ops N] [--runs R] [--warmups W] [--threads 1,2,4,...] \
+//!     [--cm backoff,karma,greedy,serial | --cm all] \
 //!     [--csv FILE] [--json FILE]
 //! ```
+//!
+//! `--cm` re-runs the grid once per contention-management policy; cells
+//! carry the policy name and an abort-cause breakdown so the sweep shows
+//! where each policy spends its aborts.
 //!
 //! The paper's full configuration is `--ops 1000000` with threads up to
 //! 32; `--quick` runs a reduced grid for smoke-testing.
@@ -23,6 +28,7 @@ use proust_bench::report::{cell_json, write_report};
 use proust_bench::table::Table;
 use proust_bench::workload::WorkloadSpec;
 use proust_stm::obs::JsonValue;
+use proust_stm::CmPolicy;
 
 struct Config {
     total_ops: usize,
@@ -32,6 +38,9 @@ struct Config {
     ops_per_txn: Vec<usize>,
     write_fractions: Vec<f64>,
     memo_ops_per_txn: Vec<usize>,
+    /// Contention-management policies to sweep (`--cm`); each policy
+    /// re-runs the whole grid so reports can compare them cell by cell.
+    cm: Vec<CmPolicy>,
     csv_path: Option<String>,
     json_path: Option<String>,
 }
@@ -46,6 +55,7 @@ impl Config {
             ops_per_txn: vec![1, 16, 256],
             write_fractions: vec![0.0, 0.25, 0.5, 0.75, 1.0],
             memo_ops_per_txn: vec![16, 256],
+            cm: vec![CmPolicy::default()],
             csv_path: None,
             json_path: None,
         }
@@ -60,6 +70,7 @@ impl Config {
             ops_per_txn: vec![1, 16],
             write_fractions: vec![0.0, 0.5, 1.0],
             memo_ops_per_txn: vec![16],
+            cm: vec![CmPolicy::default()],
             csv_path: None,
             json_path: None,
         }
@@ -84,6 +95,23 @@ impl Config {
                         .map(|t| t.parse().expect("thread list"))
                         .collect();
                 }
+                "--cm" => {
+                    let spec = value("--cm");
+                    config.cm = if spec == "all" {
+                        CmPolicy::ALL.to_vec()
+                    } else {
+                        spec.split(',')
+                            .map(|name| {
+                                CmPolicy::parse(name).unwrap_or_else(|| {
+                                    panic!(
+                                        "unknown CM policy {name:?}; expected one of \
+                                         backoff, karma, greedy, serial, or \"all\""
+                                    )
+                                })
+                            })
+                            .collect()
+                    };
+                }
                 "--csv" => config.csv_path = Some(value("--csv")),
                 "--json" => config.json_path = Some(value("--json")),
                 other => panic!("unknown argument {other}"),
@@ -96,7 +124,7 @@ impl Config {
 fn main() {
     let config = Config::from_args();
     let mut csv = String::from(
-        "block,ops_per_txn,write_fraction,impl,threads,mean_ms,std_ms,ops_per_ms,commits,conflicts,gave_ups\n",
+        "block,cm,ops_per_txn,write_fraction,impl,threads,mean_ms,std_ms,ops_per_ms,commits,conflicts,gave_ups\n",
     );
     let mut cells: Vec<JsonValue> = Vec::new();
 
@@ -106,39 +134,46 @@ fn main() {
         config.total_ops, config.runs, config.warmups
     );
 
-    for &o in &config.ops_per_txn {
-        for &u in &config.write_fractions {
-            run_block(
-                "main",
-                &format!("o = {o}, u = {u}  (time per {} ops, ms)", config.total_ops),
-                &MapKind::figure4_series(o),
-                o,
-                u,
-                &config,
-                &mut csv,
-                &mut cells,
-            );
+    for &cm in &config.cm {
+        if config.cm.len() > 1 {
+            println!("== contention management: {} ==\n", cm.name());
         }
-    }
-
-    println!("== Figure 4 bottom block: memoizing shadow copies ==\n");
-    for &o in &config.memo_ops_per_txn {
-        for &u in &[0.5, 1.0] {
-            if !config.write_fractions.contains(&u) {
-                continue;
+        for &o in &config.ops_per_txn {
+            for &u in &config.write_fractions {
+                run_block(
+                    "main",
+                    &format!("o = {o}, u = {u}  (time per {} ops, ms)", config.total_ops),
+                    &MapKind::figure4_series(o),
+                    cm,
+                    o,
+                    u,
+                    &config,
+                    &mut csv,
+                    &mut cells,
+                );
             }
-            let mut series = MapKind::memo_series();
-            series.push(MapKind::ProustLazySnap); // reference series
-            run_block(
-                "memo",
-                &format!("o = {o}, u = {u}"),
-                &series,
-                o,
-                u,
-                &config,
-                &mut csv,
-                &mut cells,
-            );
+        }
+
+        println!("== Figure 4 bottom block: memoizing shadow copies ==\n");
+        for &o in &config.memo_ops_per_txn {
+            for &u in &[0.5, 1.0] {
+                if !config.write_fractions.contains(&u) {
+                    continue;
+                }
+                let mut series = MapKind::memo_series();
+                series.push(MapKind::ProustLazySnap); // reference series
+                run_block(
+                    "memo",
+                    &format!("o = {o}, u = {u}"),
+                    &series,
+                    cm,
+                    o,
+                    u,
+                    &config,
+                    &mut csv,
+                    &mut cells,
+                );
+            }
         }
     }
 
@@ -152,6 +187,7 @@ fn main() {
             ("runs", JsonValue::u64(config.runs as u64)),
             ("warmups", JsonValue::u64(config.warmups as u64)),
             ("key_range", JsonValue::u64(1024)),
+            ("cm", JsonValue::Arr(config.cm.iter().map(|cm| JsonValue::str(cm.name())).collect())),
         ]);
         write_report(path, "figure4", config_json, cells);
     }
@@ -162,6 +198,7 @@ fn run_block(
     block: &str,
     title: &str,
     series: &[MapKind],
+    cm: CmPolicy,
     ops_per_txn: usize,
     write_fraction: f64,
     config: &Config,
@@ -182,12 +219,13 @@ fn run_block(
                 key_range: 1024,
                 seed: 0x9e3779b97f4a7c15,
             };
-            let cell = measure_cell(|| kind.build(), &spec, config.warmups, config.runs);
+            let cell = measure_cell(|| kind.build_with(cm), &spec, config.warmups, config.runs);
             let flag = if cell.gave_up() { "!" } else { "" };
             row.push(format!("{:.1}±{:.1}{}", cell.mean_ms, cell.std_ms, flag));
             let _ = writeln!(
                 csv,
-                "{block},{ops_per_txn},{write_fraction},{},{threads},{:.3},{:.3},{:.1},{},{},{}",
+                "{block},{},{ops_per_txn},{write_fraction},{},{threads},{:.3},{:.3},{:.1},{},{},{}",
+                cm.name(),
                 kind.name(),
                 cell.mean_ms,
                 cell.std_ms,
@@ -199,6 +237,7 @@ fn run_block(
             cells.push(cell_json(
                 [
                     ("block", JsonValue::str(block)),
+                    ("cm", JsonValue::str(cm.name())),
                     ("impl", JsonValue::str(kind.name())),
                     ("threads", JsonValue::u64(threads as u64)),
                     ("ops_per_txn", JsonValue::u64(ops_per_txn as u64)),

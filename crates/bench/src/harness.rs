@@ -51,6 +51,9 @@ pub struct CellMeasurement {
     pub conflicts: u64,
     /// Total retry-budget exhaustions across timed executions.
     pub gave_ups: u64,
+    /// Full STM statistics summed across timed executions — the per-kind
+    /// conflict counters drive the report's abort-cause breakdown.
+    pub stats: StmStatsSnapshot,
     /// Merged latency histograms and conflict attribution across timed
     /// executions (empty without the `trace` feature).
     pub metrics: StmMetrics,
@@ -109,9 +112,15 @@ pub fn run_once(stm: &Stm, map: &Arc<dyn TxMap<u64, u64>>, spec: &WorkloadSpec) 
                         }
                         Ok(())
                     });
-                    if result.is_err() {
-                        // Retry budget exhausted: record and move on so
-                        // the run terminates (livelock shows as data).
+                    if let Err(err) = result {
+                        // Only retry-budget exhaustion is an acceptable
+                        // failure: record it and move on so the run
+                        // terminates (livelock shows as data). Anything
+                        // else is a harness bug, not a measurement.
+                        assert!(
+                            err.is_exhausted(),
+                            "benchmark transaction failed for a non-exhaustion reason: {err}"
+                        );
                         gave_ups.fetch_add(1, Ordering::Relaxed);
                     }
                     remaining -= batch;
@@ -144,15 +153,13 @@ pub fn measure_cell(
         run_once(&stm, &map, spec);
     }
     let mut samples_ms = Vec::with_capacity(runs);
-    let mut commits = 0;
-    let mut conflicts = 0;
     let mut gave_ups = 0;
+    let mut stats = StmStatsSnapshot::default();
     let metrics = StmMetrics::new();
     for _ in 0..runs.max(1) {
         let result = run_once(&stm, &map, spec);
         samples_ms.push(result.elapsed.as_secs_f64() * 1e3);
-        commits += result.stats.commits;
-        conflicts += result.stats.conflicts;
+        stats = stats.merged(&result.stats);
         gave_ups += result.gave_ups;
         metrics.merge(&result.metrics);
     }
@@ -162,9 +169,10 @@ pub fn measure_cell(
     CellMeasurement {
         mean_ms: mean,
         std_ms: variance.sqrt(),
-        commits,
-        conflicts,
+        commits: stats.commits,
+        conflicts: stats.conflicts,
         gave_ups,
+        stats,
         metrics,
     }
 }

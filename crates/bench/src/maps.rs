@@ -6,7 +6,7 @@ use std::sync::Arc;
 use proust_baselines::{BoostedMap, CoarseMap, PredMap, StmHashMap};
 use proust_core::structures::{EagerMap, MemoMap, SnapTrieMap};
 use proust_core::{OptimisticLap, PessimisticLap, TxMap};
-use proust_stm::{ConflictDetection, Stm, StmConfig};
+use proust_stm::{CmPolicy, ConflictDetection, RetryExhaustion, Stm, StmConfig};
 
 /// Size of the optimistic lock-allocator region / pessimistic lock table.
 /// Matches the paper's fixed key range so distinct keys rarely collide.
@@ -90,14 +90,26 @@ impl MapKind {
         }
     }
 
-    /// Build a fresh `(runtime, map)` pair for one benchmark run.
+    /// Build a fresh `(runtime, map)` pair for one benchmark run, with the
+    /// default contention-management policy.
     pub fn build(self) -> (Stm, Arc<dyn TxMap<u64, u64>>) {
+        self.build_with(CmPolicy::default())
+    }
+
+    /// Build a fresh `(runtime, map)` pair with an explicit CM policy (the
+    /// `--cm` sweep axis of the benchmark binaries).
+    pub fn build_with(self, cm: CmPolicy) -> (Stm, Arc<dyn TxMap<u64, u64>>) {
         // §7 benches everything on the CCSTM-like mixed backend; we do the
         // same, with a retry bound so livelock-prone configurations
-        // degrade measurably instead of hanging.
+        // degrade measurably instead of hanging. The opt-in give-up policy
+        // (rather than the default serial fallback) keeps the paper's
+        // methodology: livelock must show up as `gave_ups` in the data,
+        // not be silently rescued by the irrevocable path.
         let stm = Stm::new(StmConfig {
             detection: ConflictDetection::Mixed,
+            cm,
             max_retries: Some(1_000_000),
+            on_exhaustion: RetryExhaustion::GiveUp,
             ..StmConfig::default()
         });
         let map: Arc<dyn TxMap<u64, u64>> = match self {

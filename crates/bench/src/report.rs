@@ -126,6 +126,25 @@ pub fn cell_json(
         ("commits".to_string(), JsonValue::u64(cell.commits)),
         ("conflicts".to_string(), JsonValue::u64(cell.conflicts)),
         ("gave_ups".to_string(), JsonValue::u64(cell.gave_ups)),
+        // Why transactions aborted, by cause: the per-kind conflict
+        // counters plus the contention-management outcomes. Together with
+        // the cell's `cm` tag this is what the `--cm` sweep compares.
+        (
+            "abort_causes".to_string(),
+            JsonValue::obj([
+                ("read_invalid", JsonValue::u64(cell.stats.read_invalid)),
+                ("read_too_new", JsonValue::u64(cell.stats.read_too_new)),
+                ("write_locked", JsonValue::u64(cell.stats.write_locked)),
+                ("read_locked", JsonValue::u64(cell.stats.read_locked)),
+                ("visible_readers", JsonValue::u64(cell.stats.visible_readers)),
+                ("abstract_lock", JsonValue::u64(cell.stats.abstract_lock)),
+                ("external", JsonValue::u64(cell.stats.external)),
+                ("wounded", JsonValue::u64(cell.stats.wounded)),
+                ("exhausted", JsonValue::u64(cell.stats.exhausted)),
+            ]),
+        ),
+        ("wounds_issued".to_string(), JsonValue::u64(cell.stats.wounds_issued)),
+        ("serial_escalations".to_string(), JsonValue::u64(cell.stats.serial_escalations)),
     ]);
     let JsonValue::Obj(metric_fields) = metrics_json(&cell.metrics) else {
         unreachable!("metrics_json returns an object");

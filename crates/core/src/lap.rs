@@ -16,7 +16,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 #[cfg(feature = "trace")]
 use proust_stm::obs::{EventKind, Tracer};
-use proust_stm::{ConflictKind, SiteId, TxResult, Txn, TxnOutcome};
+use proust_stm::{CmArbitration, ConflictKind, SiteId, TxResult, Txn, TxnHandle, TxnOutcome};
 
 use crate::mode::{Compat, LockRequest, Mode};
 use crate::region::StmRegion;
@@ -170,10 +170,19 @@ where
 /// before giving up and aborting anyway.
 const WAIT_POLLS: u32 = 256;
 
+/// Poll budget granted by a [`CmArbitration::Wound`] verdict, independent
+/// of the configured `patience`. The wounded holder aborts at its next STM
+/// operation or lock poll; the wounder must out-wait that release even
+/// when `patience` models an uncoupled `tryLock` (zero), or wounding could
+/// not break the upgrade livelock it exists to break.
+const WOUND_WAIT_POLLS: u32 = 4096;
+
 #[derive(Debug)]
 struct Holder {
     txn: u64,
-    birth: u64,
+    /// Handle onto the holding transaction, so a blocked transaction can
+    /// arbitrate against (and possibly wound) it.
+    handle: TxnHandle,
     read: bool,
     write: bool,
     /// Interned site label of the operation that acquired the lock
@@ -219,11 +228,13 @@ impl LockTable {
 /// * the compatibility protocol is pluggable ([`Compat`]), so rules like
 ///   `PQueueMultiSet`'s "multiple writers *or* multiple readers" are
 ///   expressed exactly instead of approximated by a read/write lock;
-/// * blocked acquisitions arbitrate by *wound-wait on transaction birth
-///   date* and never block indefinitely — they convert to STM conflicts so
-///   the runtime's contention manager (not a livelock, as the paper
-///   reports for its weakly-coupled CCSTM experiments in §7) resolves the
-///   pile-up.
+/// * blocked acquisitions are arbitrated by the runtime's pluggable
+///   [`ContentionManager`](proust_stm::ContentionManager) (via
+///   [`Txn::arbitrate`]) and never block indefinitely — losers convert to
+///   STM conflicts, and wounding policies (`Greedy`, `Karma`) doom the
+///   younger/poorer *holder*, which breaks the two-transaction upgrade
+///   livelock the paper reports for its weakly-coupled CCSTM experiments
+///   in §7.
 pub struct PessimisticLap<K, S = RandomState> {
     table: Arc<LockTable>,
     hasher: S,
@@ -354,12 +365,10 @@ enum TryOutcome {
     /// Granted; `true` means a new holder entry was created (so a release
     /// handler must be registered).
     Granted(bool),
-    /// Blocked, and this transaction is older than every conflicting
-    /// holder: it may keep polling. Carries the blocking holder's site.
-    Wait(u32),
-    /// Blocked by an older transaction: die immediately. Carries the
-    /// blocking holder's site.
-    Die(u32),
+    /// Blocked. Carries a handle onto the oldest conflicting holder (the
+    /// opponent the contention manager arbitrates against) and that
+    /// holder's interned site for attribution.
+    Blocked { opponent: TxnHandle, site: u32 },
 }
 
 impl<K, S> PessimisticLap<K, S>
@@ -370,33 +379,32 @@ where
     fn try_acquire(
         &self,
         slot: usize,
-        txn: u64,
-        birth: u64,
+        requester: &TxnHandle,
         site: u32,
         mode: Mode,
         compat: Compat,
     ) -> TryOutcome {
+        let txn = requester.id();
         let mut guard = self.table.slots[slot].lock();
         // Re-entrant fast path: if we already hold this mode nothing can
         // have invalidated it (grants are mutually compatible).
         if guard.holders.iter().any(|h| h.txn == txn && h.holds(mode)) {
             return TryOutcome::Granted(false);
         }
-        let mut oldest_conflicting: Option<((u64, u64), u32)> = None;
+        // Surface the oldest conflicting holder as the opponent: it is the
+        // one wound-wait semantics arbitrate against, and waiting out the
+        // oldest implies waiting out the rest.
+        let mut oldest_conflicting: Option<((u64, u64), &Holder)> = None;
         for holder in guard.holders.iter().filter(|h| h.txn != txn) {
             if holder.modes().any(|held| !compat.compatible(held, mode)) {
-                let stamp = (holder.birth, holder.txn);
+                let stamp = (holder.handle.birth(), holder.txn);
                 if oldest_conflicting.is_none_or(|(prev, _)| stamp < prev) {
-                    oldest_conflicting = Some((stamp, holder.site));
+                    oldest_conflicting = Some((stamp, holder));
                 }
             }
         }
-        if let Some((oldest, blocker)) = oldest_conflicting {
-            return if (birth, txn) < oldest {
-                TryOutcome::Wait(blocker)
-            } else {
-                TryOutcome::Die(blocker)
-            };
+        if let Some((_, holder)) = oldest_conflicting {
+            return TryOutcome::Blocked { opponent: holder.handle.clone(), site: holder.site };
         }
         // Grant: extend an existing entry (upgrade) or create one.
         if let Some(holder) = guard.holders.iter_mut().find(|h| h.txn == txn) {
@@ -408,13 +416,20 @@ where
         } else {
             guard.holders.push(Holder {
                 txn,
-                birth,
+                handle: requester.clone(),
                 read: mode == Mode::Read,
                 write: mode == Mode::Write,
                 site,
             });
             TryOutcome::Granted(true)
         }
+    }
+
+    /// Total holder entries across all slots. Diagnostic: once every
+    /// transaction has finished this must be zero (all abstract locks
+    /// released), which the chaos harness asserts after each run.
+    pub fn outstanding(&self) -> usize {
+        self.table.slots.iter().map(|slot| slot.lock().holders.len()).sum()
     }
 }
 
@@ -424,13 +439,24 @@ where
     S: BuildHasher + Send + Sync,
 {
     fn acquire(&self, tx: &mut Txn, request: &LockRequest<K>) -> TxResult<()> {
+        // Chaos injection sits before the first try: a panic or spurious
+        // conflict here never strands a granted-but-unregistered entry.
+        #[cfg(feature = "chaos")]
+        if let Err(kind) = proust_stm::chaos::inject(proust_stm::chaos::InjectionPoint::LockAcquire)
+        {
+            return tx.conflict(kind);
+        }
         let slot = self.slot_index(&request.key);
         let compat = (self.compat_fn)(&request.key);
-        let (txn, birth) = (tx.id(), tx.birth());
+        let requester = tx.handle();
+        let txn = tx.id();
         let site = tx.op_site();
         let mut polls = 0;
         loop {
-            match self.try_acquire(slot, txn, birth, site.as_u32(), request.mode, compat) {
+            // A wounded waiter must abort promptly: it may itself hold
+            // locks (the upgrade scenario) that its wounder is waiting on.
+            tx.check_wounded()?;
+            match self.try_acquire(slot, &requester, site.as_u32(), request.mode, compat) {
                 TryOutcome::Granted(new_entry) => {
                     if new_entry {
                         #[cfg(feature = "trace")]
@@ -444,15 +470,23 @@ where
                     }
                     return Ok(());
                 }
-                TryOutcome::Wait(_) if polls < self.patience => {
-                    polls += 1;
-                    std::thread::yield_now();
-                }
-                TryOutcome::Wait(blocker) | TryOutcome::Die(blocker) => {
-                    return tx.conflict_attributed(
-                        ConflictKind::AbstractLock,
-                        SiteId::from_u32(blocker),
-                    );
+                TryOutcome::Blocked { opponent, site: blocker } => {
+                    // Budget is re-derived each poll: the opponent can
+                    // change as holders come and go.
+                    let budget = match tx.arbitrate(&opponent) {
+                        CmArbitration::Die => 0,
+                        CmArbitration::Wait => self.patience,
+                        CmArbitration::Wound => self.patience.max(WOUND_WAIT_POLLS),
+                    };
+                    if polls < budget {
+                        polls += 1;
+                        std::thread::yield_now();
+                    } else {
+                        return tx.conflict_attributed(
+                            ConflictKind::AbstractLock,
+                            SiteId::from_u32(blocker),
+                        );
+                    }
                 }
             }
         }

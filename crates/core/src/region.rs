@@ -99,6 +99,15 @@ impl StmRegion {
         self.locations.len()
     }
 
+    /// Number of locations currently owned by some transaction.
+    ///
+    /// Diagnostic only (inherently racy): once every transaction has
+    /// finished it must be zero, which the chaos harness asserts after
+    /// each run.
+    pub fn owned_count(&self) -> usize {
+        self.locations.iter().filter(|location| location.is_owned()).count()
+    }
+
     /// Transactionally read location `index` (announces a read-mode
     /// interest; the value itself carries no meaning).
     ///

@@ -1,0 +1,171 @@
+//! Regression test for the two-transaction pessimistic upgrade livelock.
+//!
+//! Both transactions take a read lock on the same key, then both request
+//! the write upgrade. Neither can be granted while the other holds its
+//! read, so an uncoupled lock manager (patience 0, no wounding) can spin
+//! through abort/retry in lockstep forever. Coupling the lock table to a
+//! wounding contention manager (`Greedy`) breaks the symmetry: the older
+//! transaction wounds the younger *holder*, which aborts out of its poll
+//! loop, releases its read entry, and lets the elder upgrade.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use proust_core::{LockAllocatorPolicy, LockRequest, PessimisticLap};
+use proust_stm::{CmPolicy, Stm, StmConfig};
+
+#[test]
+fn greedy_breaks_pessimistic_upgrade_livelock() {
+    // patience 0: blocked acquisitions never wait on their own account, so
+    // only the CM's wound budget can order the two transactions.
+    let lap: Arc<PessimisticLap<u32>> =
+        Arc::new(PessimisticLap::with_patience(1, proust_core::Compat::ReadWrite, 0));
+    let stm = Stm::new(StmConfig::with_cm(CmPolicy::Greedy));
+    let barrier = Arc::new(Barrier::new(2));
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let lap = Arc::clone(&lap);
+            let stm = stm.clone();
+            let barrier = Arc::clone(&barrier);
+            handles.push(s.spawn(move || {
+                let mut first_attempt = true;
+                stm.atomically(|tx| {
+                    lap.acquire(tx, &LockRequest::read(0u32))?;
+                    if first_attempt {
+                        first_attempt = false;
+                        // Both transactions now hold the read lock; the
+                        // upgrade below is guaranteed to contend.
+                        barrier.wait();
+                    }
+                    lap.acquire(tx, &LockRequest::write(0u32))
+                })
+                .expect("upgrade transaction must terminate");
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    });
+
+    // Greedy arbitration is asymmetric: in every contested round exactly one
+    // of the two either wounds through (elder) or dies immediately
+    // (younger), so the round has exactly one winner and the pair cannot
+    // retry in lockstep forever. Termination with both committed is the
+    // regression assertion.
+    let stats = stm.stats();
+    assert_eq!(stats.commits, 2, "both transactions must eventually commit");
+    assert_eq!(lap.outstanding(), 0, "all lock entries released");
+}
+
+/// The wound path itself, deterministically: a younger transaction takes
+/// the read lock and stalls mid-body (as a long operation would), so the
+/// elder writer cannot win by slipping into a holder-free gap — it *must*
+/// wound the stalled holder to make progress.
+#[test]
+fn greedy_wounds_stalled_younger_holder() {
+    let lap: Arc<PessimisticLap<u32>> =
+        Arc::new(PessimisticLap::with_patience(1, proust_core::Compat::ReadWrite, 0));
+    let stm = Stm::new(StmConfig::with_cm(CmPolicy::Greedy));
+    let elder_started = Arc::new(AtomicBool::new(false));
+    let holder_parked = Arc::new(AtomicBool::new(false));
+    let elder_done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Elder: starts its transaction first (smaller id at equal birth),
+        // then write-locks the key the younger is holding.
+        {
+            let lap = Arc::clone(&lap);
+            let stm = stm.clone();
+            let elder_started = Arc::clone(&elder_started);
+            let holder_parked = Arc::clone(&holder_parked);
+            let elder_done = Arc::clone(&elder_done);
+            s.spawn(move || {
+                stm.atomically(|tx| {
+                    elder_started.store(true, Ordering::SeqCst);
+                    while !holder_parked.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    lap.acquire(tx, &LockRequest::write(0u32))
+                })
+                .expect("elder must terminate");
+                elder_done.store(true, Ordering::SeqCst);
+            });
+        }
+        // Younger: read-locks the key, then holds it while polling its own
+        // wounded flag — it leaves only by being wounded (first attempt) or
+        // by the elder having finished (retries).
+        {
+            let lap = Arc::clone(&lap);
+            let stm = stm.clone();
+            let elder_started = Arc::clone(&elder_started);
+            let holder_parked = Arc::clone(&holder_parked);
+            let elder_done = Arc::clone(&elder_done);
+            s.spawn(move || {
+                while !elder_started.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                let mut parked = false;
+                stm.atomically(|tx| {
+                    lap.acquire(tx, &LockRequest::read(0u32))?;
+                    if !parked {
+                        parked = true;
+                        holder_parked.store(true, Ordering::SeqCst);
+                        // The elder cannot commit while this read is held, so
+                        // the only exit from this park is being wounded.
+                        while !elder_done.load(Ordering::SeqCst) {
+                            tx.check_wounded()?;
+                            std::thread::yield_now();
+                        }
+                    }
+                    Ok(())
+                })
+                .expect("younger must terminate");
+            });
+        }
+    });
+
+    let stats = stm.stats();
+    assert_eq!(stats.commits, 2, "both transactions must eventually commit");
+    assert!(
+        stats.wounds_issued >= 1,
+        "the elder can only make progress by wounding the stalled holder; stats: {stats}"
+    );
+    assert!(stats.wounded >= 1, "the victim must have observed the wound; stats: {stats}");
+    assert_eq!(lap.outstanding(), 0, "all lock entries released");
+}
+
+/// The same shape under every wounding-capable policy still terminates;
+/// with `Backoff` (no wounding) termination relies on randomized backoff
+/// desynchronising the retries, which the decorrelated per-txn seeds
+/// guarantee — exercise it too, with waiting patience restored.
+#[test]
+fn upgrade_contention_terminates_under_all_policies() {
+    for policy in CmPolicy::ALL {
+        let lap: Arc<PessimisticLap<u32>> = Arc::new(PessimisticLap::new(1));
+        let stm = Stm::new(StmConfig::with_cm(policy));
+        let barrier = Arc::new(Barrier::new(2));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let lap = Arc::clone(&lap);
+                let stm = stm.clone();
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut first_attempt = true;
+                    stm.atomically(|tx| {
+                        lap.acquire(tx, &LockRequest::read(0u32))?;
+                        if first_attempt {
+                            first_attempt = false;
+                            barrier.wait();
+                        }
+                        lap.acquire(tx, &LockRequest::write(0u32))
+                    })
+                    .unwrap_or_else(|err| panic!("{policy}: {err}"));
+                });
+            }
+        });
+        assert_eq!(stm.stats().commits, 2, "{policy}");
+        assert_eq!(lap.outstanding(), 0, "{policy}");
+    }
+}

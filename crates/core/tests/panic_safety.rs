@@ -1,0 +1,146 @@
+//! Panic safety: a panic unwinding out of a transaction body or out of a
+//! replay handler must leave the world as if the transaction aborted —
+//! inverses run, abstract locks released, TVar ownership cleared, and the
+//! runtime reusable. `Txn`'s `Drop` rollback guard is what's under test.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use proust_core::structures::{EagerMap, SnapTrieMap};
+use proust_core::{PessimisticLap, TxMap};
+use proust_stm::{Stm, StmConfig, TVar};
+
+/// A panic after eager mutations (inverses registered by `with_inverse`)
+/// must roll the base structure back and release the pessimistic locks.
+#[test]
+fn panic_mid_body_runs_inverses_and_releases_locks() {
+    let lap: Arc<PessimisticLap<u32>> = Arc::new(PessimisticLap::new(8));
+    let map: EagerMap<u32, String> = EagerMap::new(Arc::clone(&lap) as _);
+    let stm = Stm::new(StmConfig::default());
+    stm.atomically(|tx| map.put(tx, 1, "keep".into())).unwrap();
+
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        stm.atomically(|tx| {
+            map.put(tx, 1, "clobber".into())?;
+            map.put(tx, 2, "fresh".into())?;
+            map.remove(tx, &1)?;
+            panic!("mid-transaction failure");
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+        .unwrap();
+    }));
+    assert!(result.is_err());
+
+    assert_eq!(lap.outstanding(), 0, "panic unwind must release every abstract lock");
+    let (v1, v2) = stm.atomically(|tx| Ok((map.get(tx, &1)?, map.get(tx, &2)?))).unwrap();
+    assert_eq!(v1.as_deref(), Some("keep"), "inverse chain must restore key 1");
+    assert_eq!(v2, None, "inserted key must be gone after the unwind");
+    assert_eq!(map.committed_size(), 1, "committed size must not count the panicked txn");
+}
+
+/// A panic *inside a replay handler* — at the serialization point, after
+/// validation, while commit ownership is held — must still release
+/// ownership and leave buffered writes unpublished.
+#[test]
+fn panic_mid_replay_releases_ownership_and_discards_writes() {
+    let stm = Stm::new(StmConfig::default());
+    let v = TVar::new(10u64);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        stm.atomically(|tx| {
+            v.write(tx, 11)?;
+            tx.on_commit_locked(|| panic!("replay handler failure"));
+            Ok(())
+        })
+        .unwrap();
+    }));
+    assert!(result.is_err());
+
+    assert_eq!(v.load(), 10, "buffered write must not be published by a panicked replay");
+    assert!(!v.is_owned(), "commit ownership must be released by the unwind");
+    stm.atomically(|tx| v.write(tx, 12)).unwrap();
+    assert_eq!(v.load(), 12, "runtime must stay usable after a replay panic");
+}
+
+/// The same mid-replay panic through a lazy-update structure: its replay
+/// log dies with the transaction, so the structure keeps its pre-panic
+/// contents and stays fully usable.
+#[test]
+fn panic_mid_replay_leaves_lazy_structure_consistent() {
+    let map: SnapTrieMap<u32, u32> = SnapTrieMap::new(Arc::new(PessimisticLap::new(8)));
+    let stm = Stm::new(StmConfig::default());
+    stm.atomically(|tx| map.put(tx, 1, 100)).unwrap();
+
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        stm.atomically(|tx| {
+            // Registered *before* the map ops: replay handlers run in
+            // registration order, so this fires at the serialization point
+            // before any of the map's replay log has applied. (A handler
+            // registered after them would see their mutations already
+            // landed — lazy updates carry no inverses, so an applied
+            // replay entry cannot be undone by a later unwind.)
+            tx.on_commit_locked(|| panic!("die before the replay log applies"));
+            map.put(tx, 1, 200)?;
+            map.put(tx, 2, 300)?;
+            Ok(())
+        })
+        .unwrap();
+    }));
+    assert!(result.is_err());
+
+    let (v1, v2) = stm.atomically(|tx| Ok((map.get(tx, &1)?, map.get(tx, &2)?))).unwrap();
+    assert_eq!(v1, Some(100), "replayed-then-unwound put must be undone or never applied");
+    assert_eq!(v2, None);
+    stm.atomically(|tx| map.put(tx, 3, 400)).unwrap();
+    assert_eq!(stm.atomically(|tx| map.get(tx, &3)).unwrap(), Some(400));
+}
+
+/// A panicked transaction must not poison the runtime for other threads:
+/// concurrent workers keep committing while one thread panics repeatedly.
+#[test]
+fn concurrent_panics_do_not_wedge_the_runtime() {
+    let lap: Arc<PessimisticLap<u32>> = Arc::new(PessimisticLap::new(4));
+    let map: Arc<EagerMap<u32, u64>> = Arc::new(EagerMap::new(Arc::clone(&lap) as _));
+    let stm = Stm::new(StmConfig::default());
+    std::thread::scope(|s| {
+        // Panicking thread: every other transaction dies mid-body.
+        {
+            let stm = stm.clone();
+            let map = Arc::clone(&map);
+            s.spawn(move || {
+                for i in 0..50u32 {
+                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        stm.atomically(|tx| {
+                            map.put(tx, i % 4, u64::from(i))?;
+                            if i % 2 == 0 {
+                                panic!("periodic failure");
+                            }
+                            Ok(())
+                        })
+                    }));
+                }
+            });
+        }
+        // Steady workers on the same keys.
+        for _ in 0..2 {
+            let stm = stm.clone();
+            let map = Arc::clone(&map);
+            s.spawn(move || {
+                for i in 0..200u32 {
+                    stm.atomically(|tx| map.put(tx, i % 4, 1)).unwrap_or_else(|err| {
+                        panic!("worker must not be collateral damage: {err}");
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(lap.outstanding(), 0, "no stuck locks after mixed panics and commits");
+    // The runtime is intact: a fresh transaction on every key works.
+    stm.atomically(|tx| {
+        for k in 0..4u32 {
+            map.put(tx, k, 9)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}

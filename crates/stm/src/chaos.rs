@@ -1,0 +1,345 @@
+//! Deterministic fault injection for the STM (the `chaos` feature).
+//!
+//! When installed, the runtime consults this module at four boundaries —
+//! commit entry, commit-time validation, abstract/TVar lock acquisition,
+//! and replay-at-commit — and, driven by a seeded counter-based PRNG,
+//! forces spurious conflicts, delays, or panics mid-transaction. Every
+//! decision is a pure function of `(seed, draw counter, injection point)`,
+//! so a failing run reproduces from its seed alone.
+//!
+//! The harness lives behind a feature because the checks sit on the commit
+//! fast path; production builds compile them out entirely.
+//!
+//! Injection outcomes:
+//!
+//! * **conflict** — the caller receives `Err(kind)` and routes it through
+//!   [`Txn::conflict`](crate::Txn::conflict), so chaos conflicts are
+//!   counted and retried like real ones (they surface under the
+//!   `external` conflict kind).
+//! * **delay** — a bounded spin/yield stretches the window between
+//!   protocol steps, exercising schedules backoff normally hides.
+//! * **panic** — [`std::panic::panic_any`] with a [`ChaosPanic`] payload
+//!   unwinds through the transaction body; `Txn`'s `Drop` rollback must
+//!   restore every invariant. With [`ChaosConfig::leak_on_panic`] set the
+//!   rollback is deliberately skipped — the known-bad injection that
+//!   proves the invariant checks bite.
+//!
+//! The global state is process-wide (the injection points live on paths
+//! with no `Stm` reference in scope); tests that install chaos must hold
+//! [`lock`] so concurrent suites do not interleave configurations.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::error::ConflictKind;
+
+/// Which protocol boundary an injection decision is being made at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InjectionPoint {
+    /// Entry to `Txn::commit`, before any backend-specific work.
+    Commit,
+    /// Top of commit-time read validation.
+    Validate,
+    /// An abstract-lock or TVar-ownership acquisition attempt.
+    LockAcquire,
+    /// The serialization point, immediately before replay handlers and
+    /// write-back run.
+    Replay,
+}
+
+impl InjectionPoint {
+    /// Every injection point, for reporting.
+    pub const ALL: [InjectionPoint; 4] = [
+        InjectionPoint::Commit,
+        InjectionPoint::Validate,
+        InjectionPoint::LockAcquire,
+        InjectionPoint::Replay,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectionPoint::Commit => "commit",
+            InjectionPoint::Validate => "validate",
+            InjectionPoint::LockAcquire => "lock_acquire",
+            InjectionPoint::Replay => "replay",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        // Distinct odd salts so the same draw counter lands differently at
+        // each point.
+        match self {
+            InjectionPoint::Commit => 0x9e37_79b9_7f4a_7c15,
+            InjectionPoint::Validate => 0xc2b2_ae3d_27d4_eb4f,
+            InjectionPoint::LockAcquire => 0x1656_67b1_9e37_79f9,
+            InjectionPoint::Replay => 0x2545_f491_4f6c_dd1d,
+        }
+    }
+}
+
+/// The payload carried by chaos-injected panics, so tests can tell them
+/// apart from genuine failures when catching unwinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPanic {
+    /// Where the panic was injected.
+    pub point: InjectionPoint,
+}
+
+/// Fault-injection configuration. Probabilities are per-mille (out of
+/// 1000) per injection-point visit; the three outcomes are mutually
+/// exclusive per draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic draw stream.
+    pub seed: u64,
+    /// Probability of forcing a spurious conflict, per mille.
+    pub conflict_per_mille: u32,
+    /// Probability of a bounded delay, per mille.
+    pub delay_per_mille: u32,
+    /// Probability of an injected panic, per mille.
+    pub panic_per_mille: u32,
+    /// Known-bad mode: a panicking transaction skips its `Drop` rollback,
+    /// leaking TVar ownership and abstract locks. Exists so the harness
+    /// can prove its invariant checks fail when they should.
+    pub leak_on_panic: bool,
+}
+
+impl ChaosConfig {
+    /// The default mix used by `cargo xtask chaos`: mostly conflicts and
+    /// delays, a trickle of panics, no leaking.
+    pub fn with_seed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            conflict_per_mille: 40,
+            delay_per_mille: 30,
+            panic_per_mille: 8,
+            leak_on_panic: false,
+        }
+    }
+
+    /// Read overrides from the environment: `CHAOS_SEED` (u64), and
+    /// `CHAOS_LEAK=1` for the known-bad leak mode.
+    pub fn from_env(default_seed: u64) -> ChaosConfig {
+        let seed =
+            std::env::var("CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(default_seed);
+        let mut config = ChaosConfig::with_seed(seed);
+        config.leak_on_panic =
+            std::env::var("CHAOS_LEAK").map(|v| v == "1" || v == "true").unwrap_or(false);
+        config
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEED: AtomicU64 = AtomicU64::new(0);
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+static CONFLICT_PM: AtomicU32 = AtomicU32::new(0);
+static DELAY_PM: AtomicU32 = AtomicU32::new(0);
+static PANIC_PM: AtomicU32 = AtomicU32::new(0);
+static LEAK: AtomicBool = AtomicBool::new(false);
+static INJECTED_CONFLICTS: AtomicU64 = AtomicU64::new(0);
+static INJECTED_DELAYS: AtomicU64 = AtomicU64::new(0);
+static INJECTED_PANICS: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes chaos-using tests within one process: the configuration is
+/// global, so concurrent installs would trample each other.
+pub fn lock() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let gate = GATE.get_or_init(|| Mutex::new(()));
+    // A panicking chaos test is business as usual; the configuration is
+    // re-installed by the next test, so poisoning carries no information.
+    gate.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Install a chaos configuration and start injecting. Resets the draw
+/// counter and the injection tallies so runs with equal seeds draw equal
+/// streams.
+pub fn install(config: ChaosConfig) {
+    SEED.store(config.seed, Ordering::Relaxed);
+    COUNTER.store(0, Ordering::Relaxed);
+    CONFLICT_PM.store(config.conflict_per_mille, Ordering::Relaxed);
+    DELAY_PM.store(config.delay_per_mille, Ordering::Relaxed);
+    PANIC_PM.store(config.panic_per_mille, Ordering::Relaxed);
+    LEAK.store(config.leak_on_panic, Ordering::Relaxed);
+    INJECTED_CONFLICTS.store(0, Ordering::Relaxed);
+    INJECTED_DELAYS.store(0, Ordering::Relaxed);
+    INJECTED_PANICS.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Stop injecting. The tallies survive until the next [`install`].
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    set_retry_gap_hook(None);
+}
+
+/// Whether chaos is currently installed.
+pub fn is_active() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// `(conflicts, delays, panics)` injected since the last [`install`].
+pub fn injected_counts() -> (u64, u64, u64) {
+    (
+        INJECTED_CONFLICTS.load(Ordering::Relaxed),
+        INJECTED_DELAYS.load(Ordering::Relaxed),
+        INJECTED_PANICS.load(Ordering::Relaxed),
+    )
+}
+
+/// Whether the known-bad leak-on-panic mode is active (consulted by
+/// `Txn::drop` while unwinding).
+pub(crate) fn leak_on_panic() -> bool {
+    is_active() && LEAK.load(Ordering::Relaxed)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Make one injection decision at `point`.
+///
+/// Returns `Err(kind)` when a spurious conflict should be raised; the
+/// caller routes it through [`Txn::conflict`](crate::Txn::conflict) so it
+/// is recorded like any real conflict. Delays happen internally; panics
+/// unwind with a [`ChaosPanic`] payload.
+pub fn inject(point: InjectionPoint) -> Result<(), ConflictKind> {
+    if !is_active() {
+        return Ok(());
+    }
+    let draw = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let bits = splitmix64(SEED.load(Ordering::Relaxed) ^ draw.wrapping_mul(0xff51_afd7_ed55_8ccd))
+        ^ point.salt();
+    let bits = splitmix64(bits);
+    let roll = (bits % 1000) as u32;
+    let panic_pm = PANIC_PM.load(Ordering::Relaxed);
+    let conflict_pm = CONFLICT_PM.load(Ordering::Relaxed);
+    let delay_pm = DELAY_PM.load(Ordering::Relaxed);
+    if roll < panic_pm {
+        INJECTED_PANICS.fetch_add(1, Ordering::Relaxed);
+        std::panic::panic_any(ChaosPanic { point });
+    }
+    if roll < panic_pm + conflict_pm {
+        INJECTED_CONFLICTS.fetch_add(1, Ordering::Relaxed);
+        return Err(ConflictKind::External("chaos"));
+    }
+    if roll < panic_pm + conflict_pm + delay_pm {
+        INJECTED_DELAYS.fetch_add(1, Ordering::Relaxed);
+        // A bounded stretch of the protocol window: a few hundred spins
+        // plus a scheduler yield.
+        let spins = (bits >> 10) % 400;
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        std::thread::yield_now();
+    }
+    Ok(())
+}
+
+type RetryGapHook = Box<dyn Fn() + Send + Sync>;
+
+static RETRY_GAP_HOOK: Mutex<Option<RetryGapHook>> = Mutex::new(None);
+
+/// Install (or clear) a hook run in the retry path's vulnerable window:
+/// after the watch-list snapshot, before blocking on it. The lost-wakeup
+/// regression test writes the watched location from here.
+pub fn set_retry_gap_hook(hook: Option<RetryGapHook>) {
+    *RETRY_GAP_HOOK.lock().unwrap_or_else(|p| p.into_inner()) = hook;
+}
+
+pub(crate) fn retry_gap() {
+    if !is_active() {
+        return;
+    }
+    if let Some(hook) = RETRY_GAP_HOOK.lock().unwrap_or_else(|p| p.into_inner()).as_ref() {
+        hook();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replay the draw stream `n` times and collect the outcome labels.
+    fn outcomes(seed: u64, n: usize) -> Vec<&'static str> {
+        install(ChaosConfig { panic_per_mille: 0, ..ChaosConfig::with_seed(seed) });
+        let mut seen = Vec::with_capacity(n);
+        let before_counts = injected_counts();
+        assert_eq!(before_counts, (0, 0, 0));
+        for i in 0..n {
+            let point = InjectionPoint::ALL[i % InjectionPoint::ALL.len()];
+            let (conflicts, ..) = injected_counts();
+            match inject(point) {
+                Err(_) => seen.push("conflict"),
+                Ok(()) => {
+                    let (after, ..) = injected_counts();
+                    assert_eq!(after, conflicts, "Ok draw must not tally a conflict");
+                    seen.push("ok");
+                }
+            }
+        }
+        uninstall();
+        seen
+    }
+
+    #[test]
+    fn draw_stream_is_deterministic_per_seed() {
+        let _guard = lock();
+        let a = outcomes(0xfeed, 600);
+        let b = outcomes(0xfeed, 600);
+        assert_eq!(a, b, "equal seeds must replay identically");
+        let c = outcomes(0xbeef, 600);
+        assert_ne!(a, c, "different seeds should explore different schedules");
+        assert!(a.contains(&"conflict"), "600 draws at 4% should inject");
+    }
+
+    #[test]
+    fn disabled_chaos_injects_nothing() {
+        let _guard = lock();
+        uninstall();
+        for _ in 0..1000 {
+            assert!(inject(InjectionPoint::Commit).is_ok());
+        }
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn env_config_reads_seed_and_leak() {
+        let _guard = lock();
+        // Only exercises the default path: the test environment does not
+        // set the variables.
+        let config = ChaosConfig::from_env(7);
+        if std::env::var("CHAOS_SEED").is_err() {
+            assert_eq!(config.seed, 7);
+        }
+    }
+
+    #[test]
+    fn retry_gap_hook_fires_only_while_active() {
+        let _guard = lock();
+        use std::sync::atomic::AtomicUsize;
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        uninstall();
+        set_retry_gap_hook(Some(Box::new(|| {
+            FIRED.fetch_add(1, Ordering::Relaxed);
+        })));
+        retry_gap();
+        assert_eq!(FIRED.load(Ordering::Relaxed), 0, "inactive chaos must not fire hooks");
+        install(ChaosConfig {
+            conflict_per_mille: 0,
+            delay_per_mille: 0,
+            panic_per_mille: 0,
+            ..ChaosConfig::with_seed(1)
+        });
+        set_retry_gap_hook(Some(Box::new(|| {
+            FIRED.fetch_add(1, Ordering::Relaxed);
+        })));
+        retry_gap();
+        assert_eq!(FIRED.load(Ordering::Relaxed), 1);
+        uninstall();
+    }
+}

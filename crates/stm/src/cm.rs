@@ -1,0 +1,411 @@
+//! Contention management: pluggable policies deciding who waits, who dies,
+//! and who gets wounded when transactions collide.
+//!
+//! The paper's design space (Figure 1) fixes *when* conflicts are detected
+//! but not *what happens under sustained contention*. This module makes
+//! that axis explicit: a [`ContentionManager`] is consulted at every
+//! conflict raise site — the retry loop in
+//! [`Stm::atomically`](crate::Stm::atomically), encounter-time TVar
+//! ownership in `Txn`, and the pessimistic abstract locks in
+//! `proust-core` — and arbitrates between the transaction raising the
+//! conflict and the opponent standing in its way.
+//!
+//! Four policies ship with the runtime, selected via
+//! [`StmConfig::cm`](crate::StmConfig::cm):
+//!
+//! | Policy | Arbitration | Progress guarantee |
+//! |---|---|---|
+//! | [`CmPolicy::Backoff`] | older waits, younger dies; randomized exponential backoff between attempts | deadlock-free; livelock possible under adversarial schedules |
+//! | [`CmPolicy::Karma`] | higher accumulated work wounds, loser waits | starvation-resistant: long-suffering transactions accumulate priority across retries |
+//! | [`CmPolicy::Greedy`] | timestamp wound-wait: the older transaction *wounds* the younger opponent (sets its doomed flag, checked at the victim's next STM operation) | livelock-free pairwise: every collision has exactly one winner |
+//! | [`CmPolicy::Serial`] | first conflict escalates to the global serial-irrevocable mode | total: a retryable body always commits |
+//!
+//! Independent of the policy, exhausting
+//! [`StmConfig::max_retries`](crate::StmConfig::max_retries) escalates to
+//! the serial-irrevocable fallback unless the configuration opts into
+//! [`RetryExhaustion::GiveUp`](crate::RetryExhaustion).
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::backoff::Backoff;
+use crate::tvar::TxnShared;
+
+/// Which contention-management policy an [`Stm`](crate::Stm) runtime uses.
+///
+/// This is the configuration-level selector; it resolves to a
+/// [`ContentionManager`] implementation when the runtime is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CmPolicy {
+    /// Randomized exponential backoff with wound-wait *waiting* (no
+    /// wounding): the pre-existing behaviour, refactored into a policy.
+    #[default]
+    Backoff,
+    /// Karma: priority is the number of STM operations performed
+    /// (accumulated across retries of the same `atomically` call). The
+    /// higher-karma transaction wounds its opponent; the loser waits.
+    Karma,
+    /// Greedy timestamp wound-wait: the older transaction always wins. On
+    /// a conflict with a younger holder the younger side is wounded via
+    /// its per-transaction abort flag, which it checks at its next STM
+    /// operation — eliminating the pessimistic upgrade livelock.
+    Greedy,
+    /// Serial: the first failed attempt escalates to the global
+    /// serial-irrevocable mode, so conflicting workloads degrade to
+    /// one-at-a-time execution instead of retry storms.
+    Serial,
+}
+
+impl CmPolicy {
+    /// Every policy, for benchmark sweeps.
+    pub const ALL: [CmPolicy; 4] =
+        [CmPolicy::Backoff, CmPolicy::Karma, CmPolicy::Greedy, CmPolicy::Serial];
+
+    /// Short stable name used in benchmark output and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmPolicy::Backoff => "backoff",
+            CmPolicy::Karma => "karma",
+            CmPolicy::Greedy => "greedy",
+            CmPolicy::Serial => "serial",
+        }
+    }
+
+    /// Parse a policy from its [`name`](Self::name) (as accepted by the
+    /// benchmark `--cm` flag).
+    pub fn parse(name: &str) -> Option<CmPolicy> {
+        CmPolicy::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    pub(crate) fn build(self) -> Box<dyn ContentionManager> {
+        match self {
+            CmPolicy::Backoff => Box::new(BackoffCm),
+            CmPolicy::Karma => Box::new(KarmaCm),
+            CmPolicy::Greedy => Box::new(GreedyCm),
+            CmPolicy::Serial => Box::new(SerialCm),
+        }
+    }
+}
+
+impl fmt::Display for CmPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A transaction's standing in an arbitration, as seen by a
+/// [`ContentionManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contender {
+    /// Unique transaction-attempt id.
+    pub id: u64,
+    /// Clock value at the transaction's *first* attempt (retries keep it,
+    /// so long-suffering transactions age into priority).
+    pub birth: u64,
+    /// STM operations performed, accumulated across retries of the same
+    /// `atomically` call (Karma's notion of work).
+    pub work: u64,
+}
+
+impl Contender {
+    /// Total order breaking birth ties by id; smaller is older.
+    fn stamp(&self) -> (u64, u64) {
+        (self.birth, self.id)
+    }
+}
+
+/// A contention manager's verdict on one conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmArbitration {
+    /// Lose: raise the conflict now and retry after backoff.
+    Die,
+    /// Win by waiting: keep politely re-polling (bounded by the caller's
+    /// patience); the opponent is expected to finish.
+    Wait,
+    /// Win by wounding: the opponent's doomed flag is set; keep polling
+    /// until it aborts and releases what it holds.
+    Wound,
+}
+
+/// Arbitration and pacing policy for transaction conflicts.
+///
+/// Implementations must be cheap and lock-free: `arbitrate` runs on the
+/// conflict fast path, potentially once per poll iteration.
+pub trait ContentionManager: Send + Sync + fmt::Debug {
+    /// Stable name, surfaced in benchmark reports.
+    fn name(&self) -> &'static str;
+
+    /// Decide the fate of a conflict between `us` (the transaction raising
+    /// it) and `them` (the holder standing in the way).
+    fn arbitrate(&self, us: &Contender, them: &Contender) -> CmArbitration;
+
+    /// How many brief re-polls a conflicting TVar access may spend waiting
+    /// for an *anonymous* owner (one the runtime has no
+    /// [`TxnHandle`] for) before raising the conflict. Zero raises
+    /// immediately.
+    fn access_patience(&self, us: &Contender) -> u32 {
+        let _ = us;
+        0
+    }
+
+    /// Delay between failed attempts of one `atomically` call. `state` is
+    /// the per-call jittered backoff accumulator; `attempt` is the 1-based
+    /// count of failures so far.
+    fn backoff(&self, state: &mut Backoff, attempt: u32);
+
+    /// If `Some(n)`, the runtime escalates to serial-irrevocable mode once
+    /// `n` attempts have failed, regardless of
+    /// [`StmConfig::max_retries`](crate::StmConfig::max_retries).
+    fn serialize_after(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// The pre-existing behaviour as a policy: no wounding, randomized
+/// exponential backoff, older-waits/younger-dies at abstract locks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackoffCm;
+
+impl ContentionManager for BackoffCm {
+    fn name(&self) -> &'static str {
+        "backoff"
+    }
+
+    fn arbitrate(&self, us: &Contender, them: &Contender) -> CmArbitration {
+        if us.stamp() < them.stamp() {
+            CmArbitration::Wait
+        } else {
+            CmArbitration::Die
+        }
+    }
+
+    fn backoff(&self, state: &mut Backoff, attempt: u32) {
+        state.wait(attempt);
+    }
+}
+
+/// Karma: priority is accumulated work; the richer transaction wounds,
+/// the poorer waits (so its investment is not thrown away).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KarmaCm;
+
+impl ContentionManager for KarmaCm {
+    fn name(&self) -> &'static str {
+        "karma"
+    }
+
+    fn arbitrate(&self, us: &Contender, them: &Contender) -> CmArbitration {
+        // Higher karma wins; ties break by age so the verdict is always
+        // asymmetric between two live contenders.
+        let winner = match us.work.cmp(&them.work) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => us.stamp() < them.stamp(),
+        };
+        if winner {
+            CmArbitration::Wound
+        } else {
+            CmArbitration::Wait
+        }
+    }
+
+    fn access_patience(&self, _us: &Contender) -> u32 {
+        16
+    }
+
+    fn backoff(&self, state: &mut Backoff, attempt: u32) {
+        state.wait(attempt);
+    }
+}
+
+/// Greedy timestamp wound-wait: the older transaction always wins,
+/// wounding younger opponents instead of waiting behind them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyCm;
+
+impl ContentionManager for GreedyCm {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn arbitrate(&self, us: &Contender, them: &Contender) -> CmArbitration {
+        if us.stamp() < them.stamp() {
+            CmArbitration::Wound
+        } else {
+            CmArbitration::Die
+        }
+    }
+
+    fn backoff(&self, state: &mut Backoff, _attempt: u32) {
+        // Greedy relies on wounding, not on desynchronizing: keep the
+        // inter-attempt delay at the minimum jitter window.
+        state.wait(1);
+    }
+}
+
+/// Serial: contended transactions stop competing and take the global
+/// serial-irrevocable token after their first failed attempt.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialCm;
+
+impl ContentionManager for SerialCm {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn arbitrate(&self, us: &Contender, them: &Contender) -> CmArbitration {
+        if us.stamp() < them.stamp() {
+            CmArbitration::Wait
+        } else {
+            CmArbitration::Die
+        }
+    }
+
+    fn backoff(&self, state: &mut Backoff, attempt: u32) {
+        state.wait(attempt);
+    }
+
+    fn serialize_after(&self) -> Option<u32> {
+        Some(1)
+    }
+}
+
+/// A shareable handle onto a live transaction, usable across threads.
+///
+/// Abstract-lock implementations store handles for their holders so a
+/// conflicting transaction can [`arbitrate`](crate::Txn::arbitrate)
+/// against — and possibly [`wound`](TxnHandle::wound) — a holder it has
+/// never otherwise met.
+#[derive(Clone, Debug)]
+pub struct TxnHandle {
+    shared: Arc<TxnShared>,
+}
+
+impl TxnHandle {
+    pub(crate) fn new(shared: Arc<TxnShared>) -> TxnHandle {
+        TxnHandle { shared }
+    }
+
+    /// The transaction attempt's unique id.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Clock value at the transaction's first attempt.
+    pub fn birth(&self) -> u64 {
+        self.shared.birth
+    }
+
+    /// Whether the transaction is still running (neither committed nor
+    /// aborted).
+    pub fn is_active(&self) -> bool {
+        self.shared.is_active()
+    }
+
+    /// STM operations the transaction has performed (including carried-over
+    /// work from earlier attempts of the same `atomically` call).
+    pub fn work(&self) -> u64 {
+        self.shared.work.load(Ordering::Relaxed)
+    }
+
+    /// Wound (doom) the transaction: it will abort with
+    /// [`ConflictKind::Wounded`](crate::ConflictKind::Wounded) at its next
+    /// STM operation, lock poll, or commit. Returns `true` if this call
+    /// newly set the flag.
+    pub fn wound(&self) -> bool {
+        !self.shared.doomed.swap(true, Ordering::AcqRel)
+    }
+
+    /// This transaction's standing for arbitration.
+    pub fn contender(&self) -> Contender {
+        Contender { id: self.shared.id, birth: self.shared.birth, work: self.work() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64, birth: u64, work: u64) -> Contender {
+        Contender { id, birth, work }
+    }
+
+    #[test]
+    fn policy_names_round_trip_through_parse() {
+        for policy in CmPolicy::ALL {
+            assert_eq!(CmPolicy::parse(policy.name()), Some(policy));
+            assert_eq!(policy.build().name(), policy.name());
+        }
+        assert_eq!(CmPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn backoff_is_wound_wait_without_wounding() {
+        let cm = BackoffCm;
+        assert_eq!(cm.arbitrate(&c(1, 5, 0), &c(2, 9, 0)), CmArbitration::Wait);
+        assert_eq!(cm.arbitrate(&c(2, 9, 0), &c(1, 5, 0)), CmArbitration::Die);
+        // Same birth: ids break the tie, asymmetrically.
+        assert_eq!(cm.arbitrate(&c(1, 5, 0), &c(2, 5, 0)), CmArbitration::Wait);
+        assert_eq!(cm.arbitrate(&c(2, 5, 0), &c(1, 5, 0)), CmArbitration::Die);
+    }
+
+    #[test]
+    fn karma_prefers_work_then_age_and_never_dies() {
+        let cm = KarmaCm;
+        assert_eq!(cm.arbitrate(&c(2, 9, 100), &c(1, 5, 3)), CmArbitration::Wound);
+        assert_eq!(cm.arbitrate(&c(1, 5, 3), &c(2, 9, 100)), CmArbitration::Wait);
+        // Equal work: the older side wounds.
+        assert_eq!(cm.arbitrate(&c(1, 5, 7), &c(2, 9, 7)), CmArbitration::Wound);
+        assert_eq!(cm.arbitrate(&c(2, 9, 7), &c(1, 5, 7)), CmArbitration::Wait);
+    }
+
+    #[test]
+    fn greedy_wounds_younger_and_kills_younger_raisers() {
+        let cm = GreedyCm;
+        assert_eq!(cm.arbitrate(&c(1, 5, 0), &c(2, 9, 0)), CmArbitration::Wound);
+        assert_eq!(cm.arbitrate(&c(2, 9, 0), &c(1, 5, 0)), CmArbitration::Die);
+    }
+
+    #[test]
+    fn serial_escalates_after_first_failure() {
+        assert_eq!(SerialCm.serialize_after(), Some(1));
+        assert_eq!(BackoffCm.serialize_after(), None);
+        assert_eq!(KarmaCm.serialize_after(), None);
+        assert_eq!(GreedyCm.serialize_after(), None);
+    }
+
+    #[test]
+    fn arbitration_is_asymmetric_for_every_policy() {
+        // No pair of distinct live contenders may both win (both-Wound or
+        // Wound-vs-Wait deadlocks the pessimistic upgrade scenario).
+        let contenders = [c(1, 5, 0), c(2, 5, 3), c(3, 9, 3), c(4, 9, 100)];
+        for policy in CmPolicy::ALL {
+            let cm = policy.build();
+            for a in &contenders {
+                for b in &contenders {
+                    if a.id == b.id {
+                        continue;
+                    }
+                    let ab = cm.arbitrate(a, b);
+                    let ba = cm.arbitrate(b, a);
+                    let a_wins = ab == CmArbitration::Wound;
+                    let b_wins = ba == CmArbitration::Wound;
+                    assert!(!(a_wins && b_wins), "{policy}: both {a:?} and {b:?} wound each other");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handle_wounds_once() {
+        let shared = Arc::new(TxnShared::new(7, 3));
+        let handle = TxnHandle::new(shared);
+        assert!(handle.is_active());
+        assert!(handle.wound());
+        assert!(!handle.wound(), "second wound call must report already-doomed");
+        assert_eq!(handle.id(), 7);
+        assert_eq!(handle.birth(), 3);
+        assert_eq!(handle.contender().work, 0);
+    }
+}

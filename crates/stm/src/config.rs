@@ -79,19 +79,39 @@ impl Default for BackoffConfig {
     }
 }
 
+/// What `atomically` does when [`StmConfig::max_retries`] is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RetryExhaustion {
+    /// Escalate to the global serial-irrevocable mode: the transaction takes
+    /// the serial token, new attempts by other transactions park until it
+    /// finishes, and in-flight transactions drain naturally. This makes
+    /// `atomically` total for retryable bodies, so it is the default.
+    #[default]
+    SerialFallback,
+    /// Give up: surface the last conflict as
+    /// [`AbortError::exhausted`](crate::AbortError::exhausted). Benchmarks
+    /// opt into this so livelock shows up as data rather than a hang (the
+    /// paper reports exactly this failure mode for pessimistic coupling
+    /// in §7).
+    GiveUp,
+}
+
 /// Configuration for an [`Stm`](crate::Stm) runtime instance.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StmConfig {
     /// Conflict-detection backend (Figure 1, right-hand table).
     pub detection: ConflictDetection,
+    /// Contention-management policy consulted at every conflict raise site.
+    pub cm: crate::cm::CmPolicy,
     /// Backoff parameters for conflict retries.
     pub backoff: BackoffConfig,
-    /// If set, `atomically` gives up and surfaces the last conflict as an
-    /// abort after this many failed attempts. `None` retries forever, which
-    /// is the conventional STM contract; benchmarks set a bound so livelock
-    /// shows up as data rather than a hang (the paper reports exactly this
-    /// failure mode for pessimistic coupling in §7).
+    /// If set, `atomically` stops optimistic retrying after this many failed
+    /// attempts and applies [`StmConfig::on_exhaustion`]. `None` retries
+    /// forever, the conventional STM contract.
     pub max_retries: Option<u32>,
+    /// Policy applied when `max_retries` is exhausted. Irrelevant while
+    /// `max_retries` is `None`.
+    pub on_exhaustion: RetryExhaustion,
 }
 
 impl StmConfig {
@@ -99,6 +119,12 @@ impl StmConfig {
     /// otherwise.
     pub fn with_detection(detection: ConflictDetection) -> Self {
         StmConfig { detection, ..StmConfig::default() }
+    }
+
+    /// Configuration with the given contention-management policy and
+    /// defaults otherwise.
+    pub fn with_cm(cm: crate::cm::CmPolicy) -> Self {
+        StmConfig { cm, ..StmConfig::default() }
     }
 }
 
@@ -108,7 +134,10 @@ mod tests {
 
     #[test]
     fn default_matches_paper_prototype() {
-        assert_eq!(StmConfig::default().detection, ConflictDetection::Mixed);
+        let config = StmConfig::default();
+        assert_eq!(config.detection, ConflictDetection::Mixed);
+        assert_eq!(config.cm, crate::cm::CmPolicy::Backoff);
+        assert_eq!(config.on_exhaustion, RetryExhaustion::SerialFallback);
     }
 
     #[test]

@@ -136,20 +136,64 @@ impl fmt::Display for ConflictKind {
     }
 }
 
-/// A permanent, user-requested transaction abort.
+/// Why an [`AbortError`] surfaced, in machine-readable form.
+///
+/// Callers (and the benchmark harness) use this to distinguish aborts the
+/// transaction body *asked for* from capacity exhaustion, where the runtime
+/// ran out of retries with [`RetryExhaustion::GiveUp`](crate::RetryExhaustion)
+/// configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AbortKind {
+    /// The transaction body returned [`TxError::Abort`].
+    User,
+    /// The runtime exhausted [`max_retries`](crate::StmConfig::max_retries)
+    /// under the opt-in give-up policy.
+    Exhausted {
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The conflict that killed the final attempt.
+        last_conflict: ConflictKind,
+    },
+}
+
+/// A permanent transaction abort.
 ///
 /// Returned to the caller of [`Stm::atomically`](crate::Stm::atomically)
-/// when the transaction body returns [`TxError::Abort`]. The runtime runs
-/// all rollback handlers before surfacing the error.
+/// when the transaction body returns [`TxError::Abort`], or when retries are
+/// exhausted under the opt-in
+/// [`RetryExhaustion::GiveUp`](crate::RetryExhaustion) policy. The runtime
+/// runs all rollback handlers before surfacing the error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AbortError {
+    kind: AbortKind,
     reason: String,
 }
 
 impl AbortError {
-    /// Create an abort error with the given human-readable reason.
+    /// Create a user abort error with the given human-readable reason.
     pub fn new(reason: impl Into<String>) -> Self {
-        AbortError { reason: reason.into() }
+        AbortError { kind: AbortKind::User, reason: reason.into() }
+    }
+
+    /// Create the retry-exhaustion abort raised by the runtime when
+    /// `max_retries` is reached under the give-up policy.
+    pub fn exhausted(attempts: u32, last_conflict: ConflictKind) -> Self {
+        AbortError {
+            kind: AbortKind::Exhausted { attempts, last_conflict },
+            reason: format!("transaction gave up after {attempts} attempts ({last_conflict})"),
+        }
+    }
+
+    /// Why the abort surfaced.
+    pub fn kind(&self) -> AbortKind {
+        self.kind
+    }
+
+    /// Whether this abort is the runtime's retry-exhaustion give-up rather
+    /// than a user-requested abort.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self.kind, AbortKind::Exhausted { .. })
     }
 
     /// The reason supplied when the abort was requested.
@@ -190,7 +234,21 @@ mod tests {
     fn abort_round_trips_reason() {
         let err = AbortError::new("insufficient funds");
         assert_eq!(err.reason(), "insufficient funds");
+        assert_eq!(err.kind(), AbortKind::User);
+        assert!(!err.is_exhausted());
         let tx: TxError = err.into();
         assert_eq!(tx, TxError::abort("insufficient funds"));
+    }
+
+    #[test]
+    fn exhaustion_is_structured_and_still_readable() {
+        let err = AbortError::exhausted(3, ConflictKind::AbstractLock);
+        assert!(err.is_exhausted());
+        assert_eq!(
+            err.kind(),
+            AbortKind::Exhausted { attempts: 3, last_conflict: ConflictKind::AbstractLock }
+        );
+        assert!(err.reason().contains("gave up after 3 attempts"));
+        assert!(err.reason().contains("abstract lock"));
     }
 }

@@ -55,7 +55,10 @@
 #![warn(missing_debug_implementations)]
 
 mod backoff;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 mod clock;
+pub mod cm;
 mod config;
 mod error;
 mod local;
@@ -65,8 +68,10 @@ mod stats;
 mod tvar;
 mod txn;
 
-pub use config::{BackoffConfig, ConflictDetection, StmConfig};
-pub use error::{AbortError, ConflictKind, TxError, TxResult};
+pub use backoff::Backoff;
+pub use cm::{CmArbitration, CmPolicy, Contender, ContentionManager, TxnHandle};
+pub use config::{BackoffConfig, ConflictDetection, RetryExhaustion, StmConfig};
+pub use error::{AbortError, AbortKind, ConflictKind, TxError, TxResult};
 pub use local::TxnLocal;
 pub use metrics::StmMetrics;
 pub use runtime::Stm;

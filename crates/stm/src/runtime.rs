@@ -1,14 +1,16 @@
 //! The STM runtime: the `atomically` retry loop and contention management.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::backoff::Backoff;
+use crate::backoff::{decorrelated_seed, Backoff};
 use crate::clock;
-use crate::config::StmConfig;
-use crate::error::{AbortError, TxError, TxResult};
+use crate::cm::ContentionManager;
+use crate::config::{RetryExhaustion, StmConfig};
+use crate::error::{AbortError, ConflictKind, TxError, TxResult};
 use crate::metrics::StmMetrics;
 use crate::stats::{StmStats, StmStatsSnapshot};
 use crate::tvar::DynTVar;
@@ -39,12 +41,74 @@ fn wait_for_change(watch: &[(DynTVar, u64)]) {
     }
 }
 
+/// The serial-irrevocable gate: at most one transaction per runtime may
+/// hold the token, and while it is held no *new* attempt starts.
+///
+/// The gate deliberately does not block commits: in-flight transactions
+/// finish (commit or abort) unimpeded and so drain naturally. Blocking at
+/// commit instead would deadlock the `EagerAll` backend — a visible reader
+/// parked at a commit gate never deregisters, so the serial owner writing
+/// its location could never proceed.
+struct SerialGate {
+    /// Id of the escalated transaction's `atomically` call, or 0.
+    owner: AtomicU64,
+}
+
+impl SerialGate {
+    fn new() -> SerialGate {
+        SerialGate { owner: AtomicU64::new(0) }
+    }
+
+    /// Park until no transaction holds the serial token. Called at attempt
+    /// start by non-escalated transactions; they hold nothing while parked.
+    fn wait_for_clearance(&self) {
+        let mut spins = 0u32;
+        while self.owner.load(Ordering::Acquire) != 0 {
+            spins = spins.saturating_add(1);
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Take the token (contending with other escalators), returning a
+    /// guard that releases it on drop — including on panic, so a dying
+    /// serial transaction cannot wedge the runtime.
+    fn acquire(&self) -> SerialTicket<'_> {
+        let token = clock::next_txn_id();
+        while self
+            .owner
+            .compare_exchange_weak(0, token, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            std::thread::yield_now();
+        }
+        SerialTicket { gate: self }
+    }
+}
+
+struct SerialTicket<'a> {
+    gate: &'a SerialGate,
+}
+
+impl Drop for SerialTicket<'_> {
+    fn drop(&mut self) {
+        self.gate.owner.store(0, Ordering::Release);
+    }
+}
+
 pub(crate) struct StmInner {
     pub(crate) config: StmConfig,
     pub(crate) stats: StmStats,
     pub(crate) metrics: StmMetrics,
+    /// The contention manager resolved from `config.cm`.
+    pub(crate) cm: Box<dyn ContentionManager>,
     /// Global commit lock for the `LazyAll` (NOrec-style) backend.
     pub(crate) commit_lock: Arc<Mutex<()>>,
+    /// Serial-irrevocable fallback gate.
+    serial: SerialGate,
 }
 
 /// An STM runtime instance.
@@ -90,14 +154,32 @@ impl Default for Stm {
 impl Stm {
     /// Create a runtime with the given configuration.
     pub fn new(config: StmConfig) -> Stm {
+        let cm = config.cm.build();
         Stm {
             inner: Arc::new(StmInner {
                 config,
                 stats: StmStats::default(),
                 metrics: StmMetrics::new(),
+                cm,
                 commit_lock: Arc::new(Mutex::new(())),
+                serial: SerialGate::new(),
             }),
         }
+    }
+
+    /// Current value of the process-global version clock.
+    ///
+    /// The clock is monotone: it only moves forward, and every committing
+    /// writer advances it. The chaos harness uses this to check that fault
+    /// injection never rewinds or wedges the clock.
+    pub fn clock() -> u64 {
+        clock::now()
+    }
+
+    /// Whether some transaction currently holds the serial-irrevocable
+    /// token (diagnostic; racy by nature).
+    pub fn serial_mode_active(&self) -> bool {
+        self.inner.serial.owner.load(Ordering::Acquire) != 0
     }
 
     /// The configuration this runtime was created with.
@@ -129,21 +211,36 @@ impl Stm {
     ///
     /// Returns an [`AbortError`] only when the body requests a permanent
     /// abort via [`TxError::Abort`], or when
-    /// [`StmConfig::max_retries`](crate::StmConfig::max_retries) is set and
-    /// exhausted. Conflicts and [`TxError::Retry`] are handled internally.
+    /// [`StmConfig::max_retries`](crate::StmConfig::max_retries) is set,
+    /// exhausted, *and* the configuration opts into
+    /// [`RetryExhaustion::GiveUp`](crate::RetryExhaustion). Under the
+    /// default [`RetryExhaustion::SerialFallback`](crate::RetryExhaustion)
+    /// exhaustion escalates to the global serial-irrevocable mode instead,
+    /// so `atomically` is total for retryable bodies. Conflicts and
+    /// [`TxError::Retry`] are handled internally.
     pub fn atomically<A>(
         &self,
         mut body: impl FnMut(&mut Txn) -> TxResult<A>,
     ) -> Result<A, AbortError> {
         let birth = clock::now();
-        let mut backoff = Backoff::new(self.inner.config.backoff, birth.wrapping_mul(0x9e37_79b9));
+        let mut backoff = Backoff::new(self.inner.config.backoff, decorrelated_seed(birth));
         let mut attempt: u32 = 0;
+        let mut carried_work: u64 = 0;
+        let mut last_conflict: Option<ConflictKind> = None;
+        let mut serial: Option<SerialTicket<'_>> = None;
         #[cfg(feature = "trace")]
         let txn_start = std::time::Instant::now();
         loop {
             attempt += 1;
+            // While another transaction runs serial-irrevocably, park before
+            // starting (we hold nothing here). The serial owner itself skips
+            // this: it IS the gate.
+            if serial.is_none() {
+                self.inner.serial.wait_for_clearance();
+            }
             self.inner.stats.record_start();
-            let mut tx = Txn::new(Arc::clone(&self.inner), attempt, birth);
+            let mut tx =
+                Txn::new(Arc::clone(&self.inner), attempt, birth, carried_work, serial.is_some());
             #[cfg(feature = "trace")]
             Tracer::global().emit(tx.id(), EventKind::TxnStart, SiteId::UNKNOWN, attempt as u64);
             let outcome = match body(&mut tx) {
@@ -170,19 +267,25 @@ impl Stm {
                 Err(err) => Err(err),
             };
             match outcome {
-                Err(TxError::Conflict(_)) => {
+                Err(TxError::Conflict(kind)) => {
                     // Conflict counters were recorded at the raise site.
+                    last_conflict = Some(kind);
                     tx.rollback();
                 }
                 Err(TxError::Retry) => {
                     self.inner.stats.record_retry_requested();
                     let watch = tx.watch_list();
                     tx.rollback();
+                    carried_work = tx.work_done();
                     // Harris-style blocking retry: there is no point
                     // re-running until something the transaction read has
                     // changed. With an empty read set, fall back to plain
                     // backoff.
                     if !watch.is_empty() {
+                        // Chaos hook between the watch-list snapshot and the
+                        // wait: the window where a lost wakeup would hide.
+                        #[cfg(feature = "chaos")]
+                        crate::chaos::retry_gap();
                         wait_for_change(&watch);
                         continue;
                     }
@@ -196,16 +299,33 @@ impl Stm {
                 }
                 Ok(()) => unreachable!("commit success returns directly"),
             }
-            if let Some(max) = self.inner.config.max_retries {
-                if attempt >= max {
-                    #[cfg(feature = "trace")]
-                    Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
-                    return Err(AbortError::new(format!(
-                        "transaction gave up after {attempt} attempts"
-                    )));
+            carried_work = tx.work_done();
+            let exhausted = self.inner.config.max_retries.is_some_and(|max| attempt >= max);
+            if serial.is_none() {
+                // Escalate to serial-irrevocable mode when the contention
+                // manager asks for it, or as the default answer to retry
+                // exhaustion. Taking the token may park behind another
+                // escalator; we hold nothing while waiting.
+                let escalate = self.inner.cm.serialize_after().is_some_and(|n| attempt >= n)
+                    || (exhausted
+                        && self.inner.config.on_exhaustion == RetryExhaustion::SerialFallback);
+                if escalate {
+                    drop(tx);
+                    serial = Some(self.inner.serial.acquire());
+                    self.inner.stats.record_serial_escalation();
+                    continue;
                 }
             }
-            backoff.wait(attempt);
+            if exhausted && self.inner.config.on_exhaustion == RetryExhaustion::GiveUp {
+                #[cfg(feature = "trace")]
+                Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
+                self.inner.stats.record_exhausted();
+                return Err(AbortError::exhausted(
+                    attempt,
+                    last_conflict.unwrap_or(ConflictKind::External("exhausted")),
+                ));
+            }
+            self.inner.cm.backoff(&mut backoff, attempt);
         }
     }
 
@@ -306,12 +426,65 @@ mod tests {
 
     #[test]
     fn max_retries_surfaces_as_abort() {
-        let stm = Stm::new(StmConfig { max_retries: Some(3), ..StmConfig::default() });
+        let stm = Stm::new(StmConfig {
+            max_retries: Some(3),
+            on_exhaustion: RetryExhaustion::GiveUp,
+            ..StmConfig::default()
+        });
         let result: Result<(), _> =
             stm.atomically(|tx| tx.conflict(crate::ConflictKind::External("always")));
         let err = result.unwrap_err();
         assert!(err.reason().contains("3 attempts"));
+        assert!(err.is_exhausted());
+        assert_eq!(
+            err.kind(),
+            crate::AbortKind::Exhausted {
+                attempts: 3,
+                last_conflict: crate::ConflictKind::External("always")
+            }
+        );
         assert_eq!(stm.stats().starts, 3);
+        assert_eq!(stm.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn exhaustion_escalates_to_serial_by_default() {
+        // The same always-conflicting-then-succeeding shape that would have
+        // given up now escalates: after max_retries the transaction takes
+        // the serial token and runs to completion.
+        let stm = Stm::new(StmConfig { max_retries: Some(3), ..StmConfig::default() });
+        let mut attempts = 0u32;
+        let v = TVar::new(0u64);
+        stm.atomically(|tx| {
+            attempts += 1;
+            if !tx.is_serial() {
+                return tx.conflict(crate::ConflictKind::External("until-serial"));
+            }
+            v.write(tx, attempts as u64)
+        })
+        .unwrap();
+        assert_eq!(attempts, 4, "three optimistic attempts, then one serial");
+        assert_eq!(v.load(), 4);
+        assert_eq!(stm.stats().serial_escalations, 1);
+        assert_eq!(stm.stats().exhausted, 0);
+        assert!(!stm.serial_mode_active(), "token released after commit");
+    }
+
+    #[test]
+    fn serial_cm_escalates_after_first_failure() {
+        let stm = Stm::new(StmConfig::with_cm(crate::CmPolicy::Serial));
+        let mut failed_once = false;
+        stm.atomically(|tx| {
+            if !failed_once {
+                failed_once = true;
+                return tx.conflict(crate::ConflictKind::External("once"));
+            }
+            assert!(tx.is_serial(), "second attempt must hold the serial token");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stm.stats().serial_escalations, 1);
+        assert!(!stm.serial_mode_active());
     }
 
     #[test]

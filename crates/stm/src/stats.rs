@@ -24,6 +24,9 @@ pub struct StmStats {
     abstract_lock: AtomicU64,
     external: AtomicU64,
     retries_requested: AtomicU64,
+    exhausted: AtomicU64,
+    serial_escalations: AtomicU64,
+    wounds_issued: AtomicU64,
 }
 
 /// A point-in-time copy of [`StmStats`].
@@ -55,6 +58,14 @@ pub struct StmStatsSnapshot {
     pub external: u64,
     /// User-requested retries.
     pub retries_requested: u64,
+    /// Transactions that exhausted `max_retries` and gave up (only under
+    /// the opt-in give-up exhaustion policy).
+    pub exhausted: u64,
+    /// Escalations into the global serial-irrevocable mode.
+    pub serial_escalations: u64,
+    /// Wounds issued by contention-management arbitration (each one dooms
+    /// an opponent; the victim's abort shows up under `wounded`).
+    pub wounds_issued: u64,
 }
 
 impl StmStatsSnapshot {
@@ -88,6 +99,32 @@ impl StmStatsSnapshot {
             abstract_lock: self.abstract_lock.saturating_sub(before.abstract_lock),
             external: self.external.saturating_sub(before.external),
             retries_requested: self.retries_requested.saturating_sub(before.retries_requested),
+            exhausted: self.exhausted.saturating_sub(before.exhausted),
+            serial_escalations: self.serial_escalations.saturating_sub(before.serial_escalations),
+            wounds_issued: self.wounds_issued.saturating_sub(before.wounds_issued),
+        }
+    }
+
+    /// Field-wise sum `self + other`, for aggregating snapshots taken from
+    /// several runtimes (e.g. one per benchmark repetition).
+    pub fn merged(&self, other: &StmStatsSnapshot) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            starts: self.starts + other.starts,
+            commits: self.commits + other.commits,
+            user_aborts: self.user_aborts + other.user_aborts,
+            conflicts: self.conflicts + other.conflicts,
+            read_invalid: self.read_invalid + other.read_invalid,
+            read_too_new: self.read_too_new + other.read_too_new,
+            write_locked: self.write_locked + other.write_locked,
+            read_locked: self.read_locked + other.read_locked,
+            visible_readers: self.visible_readers + other.visible_readers,
+            wounded: self.wounded + other.wounded,
+            abstract_lock: self.abstract_lock + other.abstract_lock,
+            external: self.external + other.external,
+            retries_requested: self.retries_requested + other.retries_requested,
+            exhausted: self.exhausted + other.exhausted,
+            serial_escalations: self.serial_escalations + other.serial_escalations,
+            wounds_issued: self.wounds_issued + other.wounds_issued,
         }
     }
 
@@ -109,7 +146,7 @@ impl fmt::Display for StmStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "starts={} commits={} conflicts={} (rd-inval={} rd-new={} wr-lock={} rd-lock={} vis-rd={} wounded={} abs-lock={} ext={}) user-aborts={} retries={}",
+            "starts={} commits={} conflicts={} (rd-inval={} rd-new={} wr-lock={} rd-lock={} vis-rd={} wounded={} abs-lock={} ext={}) user-aborts={} retries={} exhausted={} serial={} wounds={}",
             self.starts,
             self.commits,
             self.conflicts,
@@ -123,6 +160,9 @@ impl fmt::Display for StmStatsSnapshot {
             self.external,
             self.user_aborts,
             self.retries_requested,
+            self.exhausted,
+            self.serial_escalations,
+            self.wounds_issued,
         )
     }
 }
@@ -142,6 +182,18 @@ impl StmStats {
 
     pub(crate) fn record_retry_requested(&self) {
         self.retries_requested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_exhausted(&self) {
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_serial_escalation(&self) {
+        self.serial_escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wound(&self) {
+        self.wounds_issued.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_conflict(&self, kind: ConflictKind) {
@@ -175,6 +227,9 @@ impl StmStats {
             abstract_lock: self.abstract_lock.load(Ordering::Relaxed),
             external: self.external.load(Ordering::Relaxed),
             retries_requested: self.retries_requested.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            serial_escalations: self.serial_escalations.load(Ordering::Relaxed),
+            wounds_issued: self.wounds_issued.load(Ordering::Relaxed),
         }
     }
 }
@@ -237,6 +292,25 @@ mod tests {
         let nonsense = before.delta(&after);
         assert_eq!(nonsense.starts, 0);
         assert_eq!(nonsense.conflicts, 0);
+    }
+
+    #[test]
+    fn cm_counters_record_and_merge() {
+        let stats = StmStats::default();
+        stats.record_exhausted();
+        stats.record_serial_escalation();
+        stats.record_serial_escalation();
+        stats.record_wound();
+        let snap = stats.snapshot();
+        assert_eq!(snap.exhausted, 1);
+        assert_eq!(snap.serial_escalations, 2);
+        assert_eq!(snap.wounds_issued, 1);
+        // Wounds/escalations are not conflicts; the kind sum is untouched.
+        assert_eq!(snap.conflict_kind_sum(), 0);
+        let doubled = snap.merged(&snap);
+        assert_eq!(doubled.exhausted, 2);
+        assert_eq!(doubled.serial_escalations, 4);
+        assert_eq!(doubled.wounds_issued, 2);
     }
 
     #[test]

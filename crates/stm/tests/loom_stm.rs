@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use proust_stm::{ConflictDetection, Stm, StmConfig, TVar};
+use proust_stm::{ConflictDetection, Stm, StmConfig, TVar, TxError};
 
 /// Two transactions racing read-modify-write on one TVar: commit-time
 /// version validation must serialize them (no lost update), on every
@@ -86,6 +86,46 @@ fn readers_never_observe_a_torn_write() {
         reader.join().unwrap();
         assert_eq!(x.load(), 3);
         assert_eq!(y.load(), 3);
+    });
+}
+
+/// The blocking-retry wait/notify handshake: a consumer `retry`s on an
+/// empty slot while a producer fills it. The producer's commit may land at
+/// any point relative to the consumer's watch-list snapshot and its
+/// block-for-change wait — including exactly between them, the classic
+/// lost-wakeup window. Every permuted schedule must end with the consumer
+/// woken and holding the value; a hang here is the lost wakeup.
+#[test]
+fn retry_handshake_never_loses_the_wakeup() {
+    loom::model(|| {
+        let stm = Stm::new(StmConfig::default());
+        let slot: Arc<TVar<Option<u64>>> = Arc::new(TVar::new(None));
+
+        let consumer = {
+            let stm = stm.clone();
+            let slot = Arc::clone(&slot);
+            loom::thread::spawn(move || {
+                stm.atomically(|tx| match slot.read(tx)? {
+                    Some(value) => {
+                        slot.write(tx, None)?;
+                        Ok(value)
+                    }
+                    None => Err(TxError::Retry),
+                })
+                .unwrap()
+            })
+        };
+        let producer = {
+            let stm = stm.clone();
+            let slot = Arc::clone(&slot);
+            loom::thread::spawn(move || {
+                loom::thread::yield_now();
+                stm.atomically(|tx| slot.write(tx, Some(5))).unwrap();
+            })
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), 5, "consumer must wake with the produced value");
+        assert_eq!(slot.load(), None, "consumer must have consumed the slot");
     });
 }
 

@@ -63,12 +63,31 @@ fn histograms_track_commits_and_matrix_tracks_conflicts() {
         if stats.conflicts > 0 {
             let cells = metrics.conflicts.cells();
             assert!(!cells.is_empty());
-            // Under contention on a single counter, increments abort
-            // other ops; the labelled site must appear as an aborter.
+            // Under contention on a single counter the increment op is
+            // party to every abort (it is the only writer) — sometimes as
+            // the aborter, sometimes as the victim of a visible reader.
+            // Attribution must surface its label on at least one axis.
             assert!(
-                cells.iter().any(|c| c.aborter.name() == "trace-metrics.counter.increment"),
-                "backend {detection:?}: no attributed aborter in {cells:?}"
+                cells.iter().any(|c| {
+                    c.aborter.name() == "trace-metrics.counter.increment"
+                        || c.victim.name() == "trace-metrics.counter.increment"
+                }),
+                "backend {detection:?}: increment op missing from attribution in {cells:?}"
             );
+            // Every attributed site must be one of the two labelled ops:
+            // victims always carry their op label, and aborters are either
+            // a labelled op or explicitly unknown.
+            let labelled = ["trace-metrics.counter.increment", "trace-metrics.counter.read"];
+            for c in cells.iter() {
+                assert!(
+                    labelled.contains(&c.victim.name()),
+                    "backend {detection:?}: unlabelled victim in {c:?}"
+                );
+                assert!(
+                    c.aborter == SiteId::UNKNOWN || labelled.contains(&c.aborter.name()),
+                    "backend {detection:?}: mislabelled aborter in {c:?}"
+                );
+            }
         }
     }
 }

@@ -14,6 +14,9 @@ RESULTS_DIR="${1:-results}"
 mkdir -p "$RESULTS_DIR"
 
 FIGURE4_ARGS="${FIGURE4_ARGS:---ops 100000 --runs 2 --warmups 1 --threads 1,2,4,8 --csv $RESULTS_DIR/figure4.csv --json $RESULTS_DIR/figure4.json}"
+# The contention-management sweep: one reduced figure4 grid per CM policy,
+# on the cells where policies actually differ (write-heavy, contended).
+CM_SWEEP_ARGS="${CM_SWEEP_ARGS:---ops 50000 --runs 2 --warmups 1 --threads 4,8 --cm all --csv $RESULTS_DIR/cm_sweep.csv --json $RESULTS_DIR/cm_sweep.json}"
 
 echo "== building (release) =="
 cargo build --release -p proust-bench --bins
@@ -25,6 +28,10 @@ cargo xtask analyze --report "$RESULTS_DIR/analysis.json" \
 echo "== figure4 $FIGURE4_ARGS =="
 cargo run --release -q -p proust-bench --bin figure4 -- $FIGURE4_ARGS \
     | tee "$RESULTS_DIR/figure4.txt"
+
+echo "== cm sweep $CM_SWEEP_ARGS =="
+cargo run --release -q -p proust-bench --bin figure4 -- $CM_SWEEP_ARGS \
+    | tee "$RESULTS_DIR/cm_sweep.txt"
 
 echo "== design_space =="
 cargo run --release -q -p proust-bench --bin design_space -- \

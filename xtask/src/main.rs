@@ -8,6 +8,12 @@
 //!   exist to demonstrate the gate can fail and are used by CI's
 //!   self-test.
 //! * `loom` — runs the loom permutation tests with `--cfg loom`.
+//! * `chaos` — runs the fault-injection suites (`--features chaos`): the
+//!   STM-internal chaos tests once, the facade invariant matrix across a
+//!   fixed seed list (plus `--randomized` for one fresh seed, printed so
+//!   failures are reproducible, or `--seed N` for exactly one), and the
+//!   leak self-test twice — once green, once under `CHAOS_LEAK=1`
+//!   expecting the invariant checks to go red.
 //! * `miri` / `tsan` — runs the pointer-provenance / data-race jobs when
 //!   the toolchain supports them; `--allow-missing` turns an absent tool
 //!   into a skip (the containers this repo builds in have no crates.io
@@ -36,17 +42,18 @@ fn main() -> ExitCode {
     let (command, rest) = match args.split_first() {
         Some((command, rest)) => (command.as_str(), rest),
         None => {
-            eprintln!("usage: cargo xtask <analyze|loom|miri|tsan> [options]");
+            eprintln!("usage: cargo xtask <analyze|loom|chaos|miri|tsan> [options]");
             return ExitCode::FAILURE;
         }
     };
     match command {
         "analyze" => run_analyze(rest),
         "loom" => run_loom(),
+        "chaos" => run_chaos(rest),
         "miri" => run_miri(rest),
         "tsan" => run_tsan(rest),
         other => {
-            eprintln!("unknown command {other:?}; expected analyze, loom, miri, or tsan");
+            eprintln!("unknown command {other:?}; expected analyze, loom, chaos, miri, or tsan");
             ExitCode::FAILURE
         }
     }
@@ -131,6 +138,119 @@ fn run_loom() -> ExitCode {
         }
     }
     println!("loom: OK");
+    ExitCode::SUCCESS
+}
+
+/// The fixed seed matrix every `chaos` run covers. Failures print the
+/// seed, so any red cell reproduces with `cargo xtask chaos --seed N`.
+const CHAOS_SEEDS: [u64; 4] = [0xC0FFEE, 1, 42, 31337];
+
+/// One `cargo test` invocation for the chaos suites, with extra
+/// environment. Returns whether the run passed.
+fn chaos_test(root: &Path, envs: &[(&str, &str)], extra: &[&str]) -> Result<bool, ExitCode> {
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root);
+    cmd.args(["test", "--features", "chaos"]);
+    cmd.args(extra);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    match cmd.status() {
+        Ok(status) => Ok(status.success()),
+        Err(error) => {
+            eprintln!("chaos: could not spawn cargo: {error}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// The deterministic fault-injection gate.
+fn run_chaos(args: &[String]) -> ExitCode {
+    let mut seeds: Vec<u64> = CHAOS_SEEDS.to_vec();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => seeds = vec![seed],
+                None => {
+                    eprintln!("--seed needs a u64");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--randomized" => {
+                // Entropy from the clock is plenty: the point is a seed
+                // nobody has run before, printed so it can be rerun.
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0);
+                let seed = nanos ^ (std::process::id() as u64).rotate_left(32);
+                println!("chaos: randomized seed {seed} (rerun: cargo xtask chaos --seed {seed})");
+                seeds.push(seed);
+            }
+            other => {
+                eprintln!("unknown chaos option {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = workspace_root();
+    macro_rules! step {
+        ($ok:expr, $what:expr) => {
+            match $ok {
+                Ok(true) => {}
+                Ok(false) => {
+                    eprintln!("chaos: {} failed", $what);
+                    return ExitCode::FAILURE;
+                }
+                Err(code) => return code,
+            }
+        };
+    }
+
+    // The STM-internal windows (retry gap, panic rollback, leak mode) use
+    // their own fixed seeds; one run covers them.
+    println!("chaos: proust-stm internal suite");
+    step!(chaos_test(&root, &[], &["-p", "proust-stm", "--test", "chaos"]), "proust-stm suite");
+
+    // The facade invariant matrix (3 backends x 2 LAPs), per seed.
+    for seed in &seeds {
+        println!("chaos: invariant matrix, seed {seed}");
+        step!(
+            chaos_test(
+                &root,
+                &[("CHAOS_SEED", &seed.to_string())],
+                &["-p", "proust", "--test", "chaos"],
+            ),
+            format_args!("invariant matrix at seed {seed}")
+        );
+    }
+
+    // Leak self-test: green as shipped, red with the rollback disabled.
+    println!("chaos: leak probe (expecting green)");
+    step!(
+        chaos_test(&root, &[], &["-p", "proust", "--test", "chaos", "--", "--ignored"]),
+        "leak probe"
+    );
+    println!("chaos: leak probe under CHAOS_LEAK=1 (expecting red)");
+    match chaos_test(
+        &root,
+        &[("CHAOS_LEAK", "1")],
+        &["-p", "proust", "--test", "chaos", "--", "--ignored"],
+    ) {
+        Ok(false) => {}
+        Ok(true) => {
+            eprintln!(
+                "chaos: leak probe PASSED under CHAOS_LEAK=1 — the invariant checks \
+                 cannot detect a leaked transaction"
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(code) => return code,
+    }
+
+    println!("chaos: OK ({} seeds)", seeds.len());
     ExitCode::SUCCESS
 }
 
