@@ -18,7 +18,7 @@
 //! | [`CmPolicy::Backoff`] | older waits, younger dies; randomized exponential backoff between attempts | deadlock-free; livelock possible under adversarial schedules |
 //! | [`CmPolicy::Karma`] | higher accumulated work wounds, loser waits | starvation-resistant: long-suffering transactions accumulate priority across retries |
 //! | [`CmPolicy::Greedy`] | timestamp wound-wait: the older transaction *wounds* the younger opponent (sets its doomed flag, checked at the victim's next STM operation) | livelock-free pairwise: every collision has exactly one winner |
-//! | [`CmPolicy::Serial`] | first conflict escalates to the global serial-irrevocable mode | total: a retryable body always commits |
+//! | [`CmPolicy::Serial`] | first conflict escalates to the global serial-irrevocable mode | total for bodies that can commit running alone (serial mode itself is bounded by `max_retries`, so a body that can *never* commit surfaces as exhausted instead of wedging the gate) |
 //!
 //! Independent of the policy, exhausting
 //! [`StmConfig::max_retries`](crate::StmConfig::max_retries) escalates to
@@ -303,6 +303,13 @@ impl TxnHandle {
         self.shared.is_active()
     }
 
+    /// Whether the transaction holds the global serial-irrevocable token.
+    /// Serial transactions are wound-immune: [`wound`](TxnHandle::wound)
+    /// refuses them, preserving the fallback's no-aborts guarantee.
+    pub fn is_serial(&self) -> bool {
+        self.shared.serial.load(Ordering::Acquire)
+    }
+
     /// STM operations the transaction has performed (including carried-over
     /// work from earlier attempts of the same `atomically` call).
     pub fn work(&self) -> u64 {
@@ -313,7 +320,14 @@ impl TxnHandle {
     /// [`ConflictKind::Wounded`](crate::ConflictKind::Wounded) at its next
     /// STM operation, lock poll, or commit. Returns `true` if this call
     /// newly set the flag.
+    ///
+    /// The serial-irrevocable owner is unwoundable — it must run to
+    /// completion, whatever policy the wounder follows — so this returns
+    /// `false` without touching the flag for serial targets.
     pub fn wound(&self) -> bool {
+        if self.is_serial() {
+            return false;
+        }
         !self.shared.doomed.swap(true, Ordering::AcqRel)
     }
 
@@ -395,6 +409,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn wound_refuses_the_serial_owner() {
+        let shared = Arc::new(TxnShared::new(8, 4));
+        shared.serial.store(true, Ordering::Release);
+        let handle = TxnHandle::new(Arc::clone(&shared));
+        assert!(handle.is_serial());
+        assert!(!handle.wound(), "wounding the serial owner must be refused");
+        assert!(!shared.doomed.load(Ordering::Acquire), "doomed flag must stay clear");
     }
 
     #[test]

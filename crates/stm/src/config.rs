@@ -84,8 +84,14 @@ impl Default for BackoffConfig {
 pub enum RetryExhaustion {
     /// Escalate to the global serial-irrevocable mode: the transaction takes
     /// the serial token, new attempts by other transactions park until it
-    /// finishes, and in-flight transactions drain naturally. This makes
-    /// `atomically` total for retryable bodies, so it is the default.
+    /// finishes, and in-flight transactions drain naturally. A body that can
+    /// commit when run alone therefore always commits, which is why this is
+    /// the default. Serial mode is itself bounded: a body that *still* keeps
+    /// failing while holding the token — i.e. one that can never commit —
+    /// eventually (after `max_retries` more failures, floored generously to
+    /// tolerate in-flight transactions draining past the gate) surfaces as
+    /// [`AbortError::exhausted`](crate::AbortError::exhausted) rather than
+    /// parking every other transaction behind the gate forever.
     #[default]
     SerialFallback,
     /// Give up: surface the last conflict as

@@ -67,6 +67,7 @@ mod runtime;
 mod stats;
 mod tvar;
 mod txn;
+mod wake;
 
 pub use backoff::Backoff;
 pub use cm::{CmArbitration, CmPolicy, Contender, ContentionManager, TxnHandle};

@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::backoff::{decorrelated_seed, Backoff};
 use crate::clock;
@@ -19,27 +19,36 @@ use crate::txn::Txn;
 use proust_obs::{EventKind, SiteId, Tracer};
 
 /// Block (politely) until one of the watched locations changes version or
-/// becomes locked by a committing writer.
+/// becomes locked by a committing writer: a brief spin for the contended
+/// fast path, then parking on the process-global commit wakeup channel —
+/// a blocked `retry` can sleep arbitrarily long and must not burn a core.
 fn wait_for_change(watch: &[(DynTVar, u64)]) {
     use std::sync::atomic::Ordering;
-    let mut spins = 0u32;
-    loop {
-        for (tvar, version) in watch {
+    let changed = || {
+        watch.iter().any(|(tvar, version)| {
             let meta = tvar.meta();
-            if meta.version.load(Ordering::Acquire) != *version
+            meta.version.load(Ordering::Acquire) != *version
                 || meta.owner.load(Ordering::Acquire) != 0
-            {
-                return;
-            }
+        })
+    };
+    for _ in 0..64 {
+        if changed() {
+            return;
         }
-        spins = spins.saturating_add(1);
-        if spins > 64 {
-            std::thread::yield_now();
-        } else {
-            std::hint::spin_loop();
-        }
+        std::hint::spin_loop();
     }
+    crate::wake::wait_for_commit(changed);
 }
+
+/// Minimum number of failed serial attempts tolerated before a serial
+/// transaction concludes its body can never commit and gives up. Serial
+/// attempts can legitimately fail a handful of times while in-flight
+/// transactions drain past the gate (lingering TVar ownership, a commit
+/// landing between the serial read and its validation); the floor keeps
+/// that transient from being mistaken for a doomed body under a tight
+/// `max_retries`, while still bounding how long a truly unsatisfiable
+/// body can hold the token with everyone else parked.
+const SERIAL_FAILURE_FLOOR: u32 = 64;
 
 /// The serial-irrevocable gate: at most one transaction per runtime may
 /// hold the token, and while it is held no *new* attempt starts.
@@ -52,24 +61,33 @@ fn wait_for_change(watch: &[(DynTVar, u64)]) {
 struct SerialGate {
     /// Id of the escalated transaction's `atomically` call, or 0.
     owner: AtomicU64,
+    /// Parking for threads waiting out the token: a serial episode can be
+    /// long by definition (it escalated after heavy contention), so
+    /// waiters sleep on this instead of spinning a core each.
+    lock: Mutex<()>,
+    released: Condvar,
 }
 
 impl SerialGate {
     fn new() -> SerialGate {
-        SerialGate { owner: AtomicU64::new(0) }
+        SerialGate { owner: AtomicU64::new(0), lock: Mutex::new(()), released: Condvar::new() }
     }
 
     /// Park until no transaction holds the serial token. Called at attempt
     /// start by non-escalated transactions; they hold nothing while parked.
     fn wait_for_clearance(&self) {
-        let mut spins = 0u32;
-        while self.owner.load(Ordering::Acquire) != 0 {
-            spins = spins.saturating_add(1);
-            if spins > 64 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
+        for _ in 0..64 {
+            if self.owner.load(Ordering::Acquire) == 0 {
+                return;
             }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock();
+        while self.owner.load(Ordering::Acquire) != 0 {
+            // The ticket drop notifies under the lock, so checking `owner`
+            // while holding it closes the lost-wakeup window; the timeout
+            // is a belt-and-braces re-poll.
+            self.released.wait_for(&mut guard, std::time::Duration::from_millis(1));
         }
     }
 
@@ -78,14 +96,15 @@ impl SerialGate {
     /// serial transaction cannot wedge the runtime.
     fn acquire(&self) -> SerialTicket<'_> {
         let token = clock::next_txn_id();
-        while self
-            .owner
-            .compare_exchange_weak(0, token, Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
-        {
-            std::thread::yield_now();
+        loop {
+            if self.owner.compare_exchange(0, token, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return SerialTicket { gate: self };
+            }
+            let mut guard = self.lock.lock();
+            if self.owner.load(Ordering::Acquire) != 0 {
+                self.released.wait_for(&mut guard, std::time::Duration::from_millis(1));
+            }
         }
-        SerialTicket { gate: self }
     }
 }
 
@@ -96,6 +115,11 @@ struct SerialTicket<'a> {
 impl Drop for SerialTicket<'_> {
     fn drop(&mut self) {
         self.gate.owner.store(0, Ordering::Release);
+        // Take the lock before notifying: a waiter that saw the token held
+        // keeps the lock until it is inside `wait_for`, so the notify
+        // cannot slip between its check and its park.
+        drop(self.gate.lock.lock());
+        self.gate.released.notify_all();
     }
 }
 
@@ -209,14 +233,20 @@ impl Stm {
     ///
     /// # Errors
     ///
-    /// Returns an [`AbortError`] only when the body requests a permanent
+    /// Returns an [`AbortError`] when the body requests a permanent
     /// abort via [`TxError::Abort`], or when
-    /// [`StmConfig::max_retries`](crate::StmConfig::max_retries) is set,
-    /// exhausted, *and* the configuration opts into
-    /// [`RetryExhaustion::GiveUp`](crate::RetryExhaustion). Under the
-    /// default [`RetryExhaustion::SerialFallback`](crate::RetryExhaustion)
-    /// exhaustion escalates to the global serial-irrevocable mode instead,
-    /// so `atomically` is total for retryable bodies. Conflicts and
+    /// [`StmConfig::max_retries`](crate::StmConfig::max_retries) is set and
+    /// exhausted: under
+    /// [`RetryExhaustion::GiveUp`](crate::RetryExhaustion) immediately, and
+    /// under the default
+    /// [`RetryExhaustion::SerialFallback`](crate::RetryExhaustion) only
+    /// after escalation to the global serial-irrevocable mode has *also*
+    /// failed a bounded number of further times (`max_retries`, floored
+    /// generously to tolerate in-flight transactions draining past the
+    /// gate) — i.e. the body cannot commit even running alone, so retrying
+    /// further would wedge every other transaction behind the serial
+    /// gate. A body that can commit when run
+    /// alone therefore always commits under the default. Conflicts and
     /// [`TxError::Retry`] are handled internally.
     pub fn atomically<A>(
         &self,
@@ -228,6 +258,11 @@ impl Stm {
         let mut carried_work: u64 = 0;
         let mut last_conflict: Option<ConflictKind> = None;
         let mut serial: Option<SerialTicket<'_>> = None;
+        // Conflicts raised *while holding the serial token*, accumulated
+        // across re-escalations. Bounded below (when `max_retries` is set)
+        // so a never-succeeding body cannot hold the token forever with
+        // every other transaction parked at the gate.
+        let mut serial_failures: u32 = 0;
         #[cfg(feature = "trace")]
         let txn_start = std::time::Instant::now();
         loop {
@@ -277,6 +312,12 @@ impl Stm {
                     let watch = tx.watch_list();
                     tx.rollback();
                     carried_work = tx.work_done();
+                    // A retrying transaction is waiting for *someone else's*
+                    // commit — which can never arrive while we hold the
+                    // serial token, because every other transaction parks at
+                    // attempt start. Release it before blocking (exhaustion
+                    // re-escalates later if the re-run keeps conflicting).
+                    serial = None;
                     // Harris-style blocking retry: there is no point
                     // re-running until something the transaction read has
                     // changed. With an empty read set, fall back to plain
@@ -301,7 +342,29 @@ impl Stm {
             }
             carried_work = tx.work_done();
             let exhausted = self.inner.config.max_retries.is_some_and(|max| attempt >= max);
-            if serial.is_none() {
+            if serial.is_some() {
+                // A serial conflict usually means the body itself cannot
+                // commit (chaos injection, a body that unconditionally
+                // raises, ...) — but not always: the gate only blocks *new*
+                // attempts, so in-flight transactions draining past it can
+                // still collide with the first few serial attempts. Bound
+                // the failures with a floor wide enough to absorb that
+                // drain, then give up — releasing the token — rather than
+                // hold every other transaction parked at the gate forever.
+                serial_failures += 1;
+                let budget = self.inner.config.max_retries.map(|max| max.max(SERIAL_FAILURE_FLOOR));
+                if budget.is_some_and(|budget| serial_failures >= budget) {
+                    // Release the token before surfacing the abort.
+                    drop(serial.take());
+                    #[cfg(feature = "trace")]
+                    Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
+                    self.inner.stats.record_exhausted();
+                    return Err(AbortError::exhausted(
+                        attempt,
+                        last_conflict.unwrap_or(ConflictKind::External("exhausted")),
+                    ));
+                }
+            } else {
                 // Escalate to serial-irrevocable mode when the contention
                 // manager asks for it, or as the default answer to retry
                 // exhaustion. Taking the token may park behind another
@@ -315,15 +378,15 @@ impl Stm {
                     self.inner.stats.record_serial_escalation();
                     continue;
                 }
-            }
-            if exhausted && self.inner.config.on_exhaustion == RetryExhaustion::GiveUp {
-                #[cfg(feature = "trace")]
-                Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
-                self.inner.stats.record_exhausted();
-                return Err(AbortError::exhausted(
-                    attempt,
-                    last_conflict.unwrap_or(ConflictKind::External("exhausted")),
-                ));
+                if exhausted && self.inner.config.on_exhaustion == RetryExhaustion::GiveUp {
+                    #[cfg(feature = "trace")]
+                    Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
+                    self.inner.stats.record_exhausted();
+                    return Err(AbortError::exhausted(
+                        attempt,
+                        last_conflict.unwrap_or(ConflictKind::External("exhausted")),
+                    ));
+                }
             }
             self.inner.cm.backoff(&mut backoff, attempt);
         }
@@ -468,6 +531,64 @@ mod tests {
         assert_eq!(stm.stats().serial_escalations, 1);
         assert_eq!(stm.stats().exhausted, 0);
         assert!(!stm.serial_mode_active(), "token released after commit");
+    }
+
+    /// Regression: a serial-escalated transaction that raises `Retry` used
+    /// to park in the watch wait *while still holding the serial token* —
+    /// with every other transaction parked at the gate, the write it was
+    /// waiting for could never happen and the whole runtime deadlocked.
+    /// The retry path must release the token before blocking.
+    #[test]
+    fn serial_retry_releases_token_for_producers() {
+        let stm = Stm::new(StmConfig::with_cm(crate::CmPolicy::Serial));
+        let slot: TVar<Option<u32>> = TVar::new(None);
+        std::thread::scope(|scope| {
+            let consumer_stm = stm.clone();
+            let consumer_slot = slot.clone();
+            let consumer = scope.spawn(move || {
+                consumer_stm
+                    .atomically(|tx| {
+                        if !tx.is_serial() && tx.attempt() == 1 {
+                            // Force escalation so the retry below happens
+                            // while the transaction holds the serial token.
+                            return tx.conflict(crate::ConflictKind::External("escalate-me"));
+                        }
+                        match consumer_slot.read(tx)? {
+                            Some(value) => Ok(value),
+                            None => Err(TxError::Retry),
+                        }
+                    })
+                    .unwrap()
+            });
+            // Wait until the consumer has escalated, then produce: this
+            // commit can only happen if the consumer let go of the token.
+            while stm.stats().serial_escalations == 0 {
+                std::thread::yield_now();
+            }
+            stm.atomically(|tx| slot.write(tx, Some(9))).unwrap();
+            assert_eq!(consumer.join().unwrap(), 9);
+        });
+        assert!(!stm.serial_mode_active());
+    }
+
+    /// A body that cannot commit even when running alone must not wedge
+    /// the runtime: after a bounded number of additional serial failures
+    /// the call gives up (releasing the token) instead of looping forever
+    /// with every other transaction parked at the gate.
+    #[test]
+    fn serial_mode_exhaustion_is_bounded() {
+        let stm = Stm::new(StmConfig { max_retries: Some(2), ..StmConfig::default() });
+        let result: Result<(), _> =
+            stm.atomically(|tx| tx.conflict(crate::ConflictKind::External("never")));
+        let err = result.unwrap_err();
+        assert!(err.is_exhausted());
+        assert_eq!(stm.stats().serial_escalations, 1);
+        assert_eq!(stm.stats().exhausted, 1);
+        assert!(!stm.serial_mode_active(), "token must be released on give-up");
+        // The runtime is still usable afterwards.
+        let v = TVar::new(0);
+        stm.atomically(|tx| v.write(tx, 1)).unwrap();
+        assert_eq!(v.load(), 1);
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub(crate) struct TxnShared {
     /// Set by an older conflicting writer; the victim aborts at its next
     /// operation or at commit validation.
     pub doomed: AtomicBool,
+    /// Whether this transaction holds the global serial-irrevocable token.
+    /// Wound-immune: [`TxnHandle::wound`](crate::TxnHandle::wound) refuses
+    /// serial targets and arbitration degrades `Wound` verdicts against
+    /// them to `Wait`, so the irrevocability guarantee survives opponents
+    /// running wounding policies (Greedy, Karma).
+    pub serial: AtomicBool,
     /// STM operations performed, accumulated across retries of the same
     /// `atomically` call. Karma-style contention managers use this as the
     /// transaction's priority.
@@ -53,6 +59,7 @@ impl TxnShared {
             birth,
             status: AtomicU8::new(TXN_ACTIVE),
             doomed: AtomicBool::new(false),
+            serial: AtomicBool::new(false),
             work: AtomicU64::new(0),
             op_site: std::sync::atomic::AtomicU32::new(0),
         }
@@ -293,6 +300,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
         }
         meta.version.store(clock::tick(), Ordering::Release);
         meta.owner.store(0, Ordering::Release);
+        crate::wake::notify_commit();
     }
 
     /// Whether some transaction currently holds encounter-time or

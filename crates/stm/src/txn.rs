@@ -122,6 +122,9 @@ impl Txn {
         // Work done by earlier attempts of the same `atomically` call counts
         // toward this attempt's Karma priority.
         shared.work.store(carried_work, Ordering::Relaxed);
+        // Published before the Arc ever crosses a thread (lock tables copy
+        // handles only after operations run), so opponents always see it.
+        shared.serial.store(serial, Ordering::Release);
         Txn {
             shared,
             stm,
@@ -250,8 +253,12 @@ impl Txn {
     /// Every STM operation checks this implicitly; abstract-lock wait loops
     /// call it once per poll so a wounded waiter aborts — and releases
     /// whatever it holds — promptly instead of at its next STM access.
+    ///
+    /// The serial-irrevocable owner is exempt: it must not abort, so it
+    /// ignores the doomed flag entirely (no legitimate path sets it — see
+    /// [`TxnHandle::wound`] — but the guarantee must not depend on that).
     pub fn check_wounded(&self) -> TxResult<()> {
-        if self.is_doomed() {
+        if !self.serial && self.is_doomed() {
             self.stm.stats.record_conflict(ConflictKind::Wounded);
             Err(TxError::Conflict(ConflictKind::Wounded))
         } else {
@@ -290,13 +297,20 @@ impl Txn {
     /// side effect: it will abort at its next STM operation, lock poll, or
     /// commit. Verdicts against finished opponents degrade to
     /// [`Wait`](CmArbitration::Wait) (the next acquire attempt will find
-    /// them gone), and the serial-irrevocable owner always waits — it can
-    /// never lose, and everything it waits on drains.
+    /// them gone). The serial-irrevocable owner wins every arbitration by
+    /// construction: as the requester it always waits — everything it
+    /// waits on drains — and as the opponent it cannot be wounded, so
+    /// `Wound` verdicts against it degrade to `Wait` too (the wait is
+    /// bounded: lock wait loops convert expired patience into an ordinary
+    /// conflict, and the retrying loser then parks at the serial gate).
     pub fn arbitrate(&self, opponent: &TxnHandle) -> CmArbitration {
         if opponent.id() == self.shared.id || !opponent.is_active() || self.serial {
             return CmArbitration::Wait;
         }
-        let verdict = self.stm.cm.arbitrate(&self.contender(), &opponent.contender());
+        let mut verdict = self.stm.cm.arbitrate(&self.contender(), &opponent.contender());
+        if verdict == CmArbitration::Wound && opponent.is_serial() {
+            verdict = CmArbitration::Wait;
+        }
         if verdict == CmArbitration::Wound && opponent.wound() {
             self.stm.stats.record_wound();
         }
@@ -373,12 +387,17 @@ impl Txn {
                         break;
                     }
                     Err(_other) => {
+                        // A wound that lands mid-poll must surface as
+                        // `Wounded`, not be conflated with the write-lock
+                        // conflict it happened to interrupt — the abort
+                        // cause breakdown depends on the distinction.
+                        self.check_wounded()?;
                         let patience = if self.serial {
                             SERIAL_ACCESS_PATIENCE
                         } else {
                             self.stm.cm.access_patience(&self.contender())
                         };
-                        if polls >= patience || self.is_doomed() {
+                        if polls >= patience {
                             return self.conflict_attributed(
                                 ConflictKind::WriteLocked,
                                 SiteId::from_u32(
@@ -627,6 +646,9 @@ impl Txn {
             entry.tvar.meta().last_writer_site.store(entry.site.as_u32(), Ordering::Relaxed);
             entry.tvar.commit_write(entry.value, write_version);
         }
+        // After the version stores, so a woken retry waiter re-checking its
+        // watch list is guaranteed to see the change.
+        crate::wake::notify_commit();
     }
 
     /// Snapshot of the read set used to implement blocking `retry`: the
@@ -761,6 +783,62 @@ mod tests {
         })
         .unwrap();
         assert_eq!(ran.get(), 1);
+    }
+
+    /// A wounding policy must never doom the serial-irrevocable owner:
+    /// arbitration degrades `Wound` verdicts against it to `Wait`, so the
+    /// "no aborts possible" guarantee holds even when opponents run
+    /// Greedy/Karma through handles stored in lock tables.
+    #[test]
+    fn greedy_never_wounds_the_serial_owner() {
+        use crate::cm::{CmArbitration, TxnHandle};
+        use crate::tvar::TxnShared;
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+
+        let stm = Stm::new(StmConfig::with_cm(crate::CmPolicy::Greedy));
+        stm.atomically(|tx| {
+            // Both opponents are younger than `tx` (max birth), so Greedy
+            // wants to wound them. The serial one must be left alone.
+            let serial = Arc::new(TxnShared::new(u64::MAX, u64::MAX));
+            serial.serial.store(true, Ordering::Release);
+            let serial_handle = TxnHandle::new(Arc::clone(&serial));
+            assert_eq!(tx.arbitrate(&serial_handle), CmArbitration::Wait);
+            assert!(!serial.doomed.load(Ordering::Acquire), "serial owner must not be doomed");
+
+            let normal = Arc::new(TxnShared::new(u64::MAX - 1, u64::MAX));
+            let normal_handle = TxnHandle::new(Arc::clone(&normal));
+            assert_eq!(tx.arbitrate(&normal_handle), CmArbitration::Wound);
+            assert!(normal.doomed.load(Ordering::Acquire), "control opponent must be doomed");
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    /// Even if a doomed flag somehow lands on a serial transaction, every
+    /// wounded-check (operations, lock polls, commit) ignores it: the
+    /// irrevocability guarantee must not depend on nobody ever setting it.
+    #[test]
+    fn serial_transactions_shrug_off_stray_wounds() {
+        use std::sync::atomic::Ordering;
+
+        let stm = Stm::new(StmConfig::with_cm(crate::CmPolicy::Serial));
+        let v = TVar::new(0u64);
+        let mut poked = false;
+        stm.atomically(|tx| {
+            if !tx.is_serial() {
+                return tx.conflict(ConflictKind::External("escalate"));
+            }
+            // Force the flag directly — no legitimate path sets it on a
+            // serial transaction (TxnHandle::wound refuses).
+            tx.shared.doomed.store(true, Ordering::Release);
+            poked = true;
+            tx.check_wounded()?;
+            v.write(tx, 7)
+        })
+        .unwrap();
+        assert!(poked);
+        assert_eq!(v.load(), 7, "the serial transaction must commit despite the stray flag");
     }
 
     #[test]

@@ -3,13 +3,15 @@
 //! The build container has no access to a crates.io mirror, so the
 //! workspace vendors the thin slice of `parking_lot` it actually uses:
 //! [`Mutex`]/[`RwLock`] with non-poisoning `lock()`/`read()`/`write()`
-//! accessors. Backed by `std::sync` primitives; a poisoned lock (a thread
+//! accessors, plus [`Condvar`] with `&mut MutexGuard` wait methods.
+//! Backed by `std::sync` primitives; a poisoned lock (a thread
 //! panicked while holding it) is recovered rather than propagated, which
 //! matches `parking_lot` semantics closely enough for this codebase —
 //! every guarded critical section here is short and panic-free.
 
 use std::fmt;
 use std::sync::{self, PoisonError};
+use std::time::Duration;
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning interface.
 #[derive(Default)]
@@ -74,6 +76,90 @@ impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.inner
+    }
+}
+
+/// A condition variable with `parking_lot`'s interface: wait methods take
+/// the guard by `&mut` instead of by value, and nothing poisons.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+/// Result of [`Condvar::wait_for`]: whether the wait timed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Block until notified. Spurious wakeups are possible; callers loop
+    /// around their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.with_inner_guard(guard, |inner| {
+            self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Block until notified or `timeout` elapses. Spurious wakeups are
+    /// possible; callers loop around their predicate.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        self.with_inner_guard(guard, |inner| {
+            let (inner, result) =
+                self.inner.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+            timed_out = result.timed_out();
+            inner
+        });
+        WaitTimeoutResult { timed_out }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Bridge `parking_lot`'s `&mut MutexGuard` wait API onto `std`'s
+    /// by-value one: temporarily move the inner guard out, run `wait`,
+    /// and put the returned guard back.
+    fn with_inner_guard<'a, T>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        wait: impl FnOnce(sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T>,
+    ) {
+        // SAFETY: `inner` is moved out with `ptr::read` and unconditionally
+        // written back with `ptr::write` before returning, so the guard is
+        // never double-dropped and never observed uninitialized by the
+        // caller. `wait` cannot unwind in between: `std`'s condvar waits
+        // return poisoning as a value (handled by the callers above), and
+        // re-acquiring a `std` mutex does not panic.
+        unsafe {
+            let inner = std::ptr::read(&guard.inner);
+            let inner = wait(inner);
+            std::ptr::write(&mut guard.inner, inner);
+        }
     }
 }
 
@@ -169,6 +255,34 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_wakes() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Timeout path: nobody notifies.
+        {
+            let (lock, cv) = &*pair;
+            let mut guard = lock.lock();
+            let result = cv.wait_for(&mut guard, Duration::from_millis(1));
+            assert!(result.timed_out());
+        }
+        // Notify path: a second thread flips the flag and notifies.
+        let waker = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*waker;
+            let mut guard = lock.lock();
+            while !*guard {
+                cv.wait(&mut guard);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
     }
 
     #[test]
