@@ -1,0 +1,228 @@
+//! Shared command-line parsing for the benchmark, server, and load
+//! generator binaries.
+//!
+//! All binaries follow the same contract: an unknown flag, an unknown
+//! value for an enumerated flag (`--cm`, `--lap`, `--update`, ...), or a
+//! flag missing its value prints `error: ...` plus the binary's usage
+//! block to **stderr** and exits with code **2** (the conventional
+//! usage-error exit code) — never a panic, and never a silent accept.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+use proust_stm::CmPolicy;
+
+/// Print `error: <msg>` and the usage block to stderr, then exit 2.
+pub fn usage_exit(usage: &str, msg: impl Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("{}", usage.trim_end());
+    std::process::exit(2)
+}
+
+/// A cursor over command-line flags that turns every malformed input into
+/// a usage-message-plus-exit-2 instead of a panic.
+#[derive(Debug)]
+pub struct Args {
+    usage: &'static str,
+    args: std::vec::IntoIter<String>,
+}
+
+impl Args {
+    /// Parse the process arguments (after the binary name).
+    pub fn from_env(usage: &'static str) -> Args {
+        Args::from_vec(usage, std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit argument vector (tests).
+    pub fn from_vec(usage: &'static str, args: Vec<String>) -> Args {
+        Args { usage, args: args.into_iter() }
+    }
+
+    /// The next argument, if any.
+    #[allow(clippy::should_implement_trait)] // flag cursor, not an Iterator
+    pub fn next(&mut self) -> Option<String> {
+        self.args.next()
+    }
+
+    /// The value following `flag`, or usage-exit if it is missing.
+    pub fn value(&mut self, flag: &str) -> String {
+        match self.args.next() {
+            Some(value) => value,
+            None => self.fail(format_args!("{flag} needs a value")),
+        }
+    }
+
+    /// The value following `flag`, parsed as `T`, or usage-exit if it is
+    /// missing or unparseable.
+    pub fn parsed<T: FromStr>(&mut self, flag: &str) -> T {
+        let raw = self.value(flag);
+        match raw.parse() {
+            Ok(value) => value,
+            Err(_) => self.fail(format_args!("invalid value {raw:?} for {flag}")),
+        }
+    }
+
+    /// A comma-separated list following `flag`, each element parsed as `T`.
+    pub fn parsed_list<T: FromStr>(&mut self, flag: &str) -> Vec<T> {
+        let raw = self.value(flag);
+        raw.split(',')
+            .map(|item| match item.trim().parse() {
+                Ok(value) => value,
+                Err(_) => self.fail(format_args!("invalid list element {item:?} for {flag}")),
+            })
+            .collect()
+    }
+
+    /// Report a usage error and exit 2.
+    pub fn fail(&self, msg: impl Display) -> ! {
+        usage_exit(self.usage, msg)
+    }
+
+    /// Report an unknown argument and exit 2.
+    pub fn unknown(&self, arg: &str) -> ! {
+        self.fail(format_args!("unknown argument {arg:?}"))
+    }
+}
+
+/// Parse a binary whose only flag is `--json PATH` (the counter, fifo,
+/// pqueue, and design-space binaries). Anything else usage-exits.
+pub fn json_only_from_env(usage: &'static str) -> Option<String> {
+    let mut args = Args::from_env(usage);
+    let mut path = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => path = Some(args.value("--json")),
+            other => args.unknown(other),
+        }
+    }
+    path
+}
+
+/// Parse a `--cm` spec: a comma-separated list of policy names, or `all`.
+///
+/// # Errors
+///
+/// Returns the offending name so the caller can usage-exit with it.
+pub fn parse_cm_spec(spec: &str) -> Result<Vec<CmPolicy>, String> {
+    if spec == "all" {
+        return Ok(CmPolicy::ALL.to_vec());
+    }
+    spec.split(',')
+        .map(|name| {
+            CmPolicy::parse(name.trim()).ok_or_else(|| {
+                format!(
+                    "unknown --cm value {name:?}; expected backoff, karma, greedy, serial, \
+                     or \"all\""
+                )
+            })
+        })
+        .collect()
+}
+
+/// The `--lap` design-space axis: which lock-allocator policy the server's
+/// Proustian structures are built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LapChoice {
+    /// Striped re-entrant abstract locks (boosting-style).
+    Pessimistic,
+    /// Lock invocations mapped onto STM locations.
+    #[default]
+    Optimistic,
+}
+
+impl LapChoice {
+    /// Both axis values, for sweeps.
+    pub const ALL: [LapChoice; 2] = [LapChoice::Pessimistic, LapChoice::Optimistic];
+
+    /// Parse a `--lap` value.
+    pub fn parse(name: &str) -> Option<LapChoice> {
+        match name {
+            "pessimistic" => Some(LapChoice::Pessimistic),
+            "optimistic" => Some(LapChoice::Optimistic),
+            _ => None,
+        }
+    }
+
+    /// Stable name used in flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LapChoice::Pessimistic => "pessimistic",
+            LapChoice::Optimistic => "optimistic",
+        }
+    }
+}
+
+/// The `--update` design-space axis: which update strategy the server's
+/// Proustian structures use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum UpdateChoice {
+    /// In-place mutation with registered inverses.
+    Eager,
+    /// Replay logs applied at the serialization point.
+    #[default]
+    Lazy,
+}
+
+impl UpdateChoice {
+    /// Both axis values, for sweeps.
+    pub const ALL: [UpdateChoice; 2] = [UpdateChoice::Eager, UpdateChoice::Lazy];
+
+    /// Parse an `--update` value.
+    pub fn parse(name: &str) -> Option<UpdateChoice> {
+        match name {
+            "eager" => Some(UpdateChoice::Eager),
+            "lazy" => Some(UpdateChoice::Lazy),
+            _ => None,
+        }
+    }
+
+    /// Stable name used in flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateChoice::Eager => "eager",
+            UpdateChoice::Lazy => "lazy",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_spec_accepts_lists_and_all() {
+        assert_eq!(parse_cm_spec("all").unwrap(), CmPolicy::ALL.to_vec());
+        assert_eq!(
+            parse_cm_spec("backoff,greedy").unwrap(),
+            vec![CmPolicy::Backoff, CmPolicy::Greedy]
+        );
+        let err = parse_cm_spec("backoff,bogus").unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn axis_choices_round_trip_their_names() {
+        for lap in LapChoice::ALL {
+            assert_eq!(LapChoice::parse(lap.name()), Some(lap));
+        }
+        for update in UpdateChoice::ALL {
+            assert_eq!(UpdateChoice::parse(update.name()), Some(update));
+        }
+        assert_eq!(LapChoice::parse("bogus"), None);
+        assert_eq!(UpdateChoice::parse("bogus"), None);
+    }
+
+    #[test]
+    fn args_cursor_walks_a_vec() {
+        let mut args = Args::from_vec(
+            "usage: test",
+            vec!["--ops".into(), "42".into(), "--threads".into(), "1,2".into()],
+        );
+        assert_eq!(args.next().as_deref(), Some("--ops"));
+        assert_eq!(args.parsed::<usize>("--ops"), 42);
+        assert_eq!(args.next().as_deref(), Some("--threads"));
+        assert_eq!(args.parsed_list::<usize>("--threads"), vec![1, 2]);
+        assert_eq!(args.next(), None);
+    }
+}

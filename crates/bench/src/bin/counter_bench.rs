@@ -19,12 +19,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use proust_bench::report::{metrics_json, write_report};
+use proust_bench::args::json_only_from_env;
+use proust_bench::report::{stats_cell_json, write_report};
 use proust_bench::table::Table;
 use proust_core::structures::ProustCounter;
 use proust_stm::obs::JsonValue;
 use proust_stm::{Stm, StmConfig, TVar};
 
+const USAGE: &str = "usage: counter_bench [--json FILE]";
 const OPS_PER_THREAD: usize = 50_000;
 const INITIAL: i64 = 1_000_000;
 
@@ -44,19 +46,6 @@ fn bench<F: Fn(&Stm, usize) + Sync>(threads: usize, run_thread: F) -> (f64, Stm)
     (elapsed, stm)
 }
 
-fn json_path_from_args() -> Option<String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut iter = args.iter();
-    let mut path = None;
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--json" => path = Some(iter.next().expect("--json needs a value").clone()),
-            other => panic!("unknown argument {other}"),
-        }
-    }
-    path
-}
-
 fn run_series(
     name: &'static str,
     thread_counts: &[usize],
@@ -69,28 +58,25 @@ fn run_series(
     for &threads in thread_counts {
         let run = make_run();
         let (ms, stm) = bench(threads, move |stm, thread| run(stm, thread));
-        let conflicts = stm.stats().conflicts;
+        let stats = stm.stats();
         row.push(format!("{ms:.0}ms"));
-        last_conflicts = conflicts;
-        let mut fields = vec![
-            ("impl".to_string(), JsonValue::str(name)),
-            ("threads".to_string(), JsonValue::u64(threads as u64)),
-            ("mean_ms".to_string(), JsonValue::num(ms)),
-            ("commits".to_string(), JsonValue::u64(stm.stats().commits)),
-            ("conflicts".to_string(), JsonValue::u64(conflicts)),
-        ];
-        let JsonValue::Obj(metric_fields) = metrics_json(&stm.metrics().clone()) else {
-            unreachable!("metrics_json returns an object");
-        };
-        fields.extend(metric_fields);
-        json_cells.push(JsonValue::Obj(fields));
+        last_conflicts = stats.conflicts;
+        json_cells.push(stats_cell_json(
+            [
+                ("impl", JsonValue::str(name)),
+                ("threads", JsonValue::u64(threads as u64)),
+                ("mean_ms", JsonValue::num(ms)),
+            ],
+            &stats,
+            stm.metrics(),
+        ));
     }
     row.push(last_conflicts.to_string());
     table.row(row);
 }
 
 fn main() {
-    let json_path = json_path_from_args();
+    let json_path = json_only_from_env(USAGE);
     println!("== §3 counter: semantic conflict abstraction vs read/write tracking ==");
     println!(
         "{OPS_PER_THREAD} alternating incr/decr per thread, starting at {INITIAL} (far from zero)\n"

@@ -22,6 +22,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use proust_bench::args::json_only_from_env;
 use proust_bench::report::write_report;
 use proust_bench::table::Table;
 use proust_core::structures::{EagerMap, SnapTrieMap};
@@ -139,21 +140,10 @@ fn run_litmus(quadrant: Quadrant, detection: ConflictDetection) -> u64 {
     violations.load(Ordering::Relaxed)
 }
 
-fn json_path_from_args() -> Option<String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut iter = args.iter();
-    let mut path = None;
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--json" => path = Some(iter.next().expect("--json needs a value").clone()),
-            other => panic!("unknown argument {other}"),
-        }
-    }
-    path
-}
+const USAGE: &str = "usage: design_space [--json FILE]";
 
 fn main() {
-    let json_path = json_path_from_args();
+    let json_path = json_only_from_env(USAGE);
     println!("== Figure 1 design-space litmus: opacity violations observed ==");
     println!(
         "(writers keep map[0] + map[1] == {TOTAL}; readers assert it mid-transaction; {} writer and {} reader transactions per cell)\n",

@@ -12,13 +12,15 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use proust_bench::report::{metrics_json, write_report};
+use proust_bench::args::json_only_from_env;
+use proust_bench::report::{stats_cell_json, write_report};
 use proust_bench::table::Table;
 use proust_core::structures::{FifoState, ProustFifo};
 use proust_core::{Compat, OptimisticLap, PessimisticLap};
 use proust_stm::obs::JsonValue;
 use proust_stm::{Stm, StmConfig};
 
+const USAGE: &str = "usage: fifo_bench [--json FILE]";
 const OPS_PER_THREAD: usize = 15_000;
 
 fn build(kind: &str) -> Arc<ProustFifo<u64>> {
@@ -66,21 +68,8 @@ fn run(kind: &str, threads: usize) -> (f64, Stm) {
     (start.elapsed().as_secs_f64() * 1e3, stm)
 }
 
-fn json_path_from_args() -> Option<String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut iter = args.iter();
-    let mut path = None;
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--json" => path = Some(iter.next().expect("--json needs a value").clone()),
-            other => panic!("unknown argument {other}"),
-        }
-    }
-    path
-}
-
 fn main() {
-    let json_path = json_path_from_args();
+    let json_path = json_only_from_env(USAGE);
     println!("== FIFO queue: disjoint Head/Tail elements vs one big lock ==");
     println!("{OPS_PER_THREAD} ops/thread; even threads enqueue, odd threads peek the front\n");
     let mut table = Table::new(["impl", "t=2", "t=4", "t=8", "conflicts@t=8"]);
@@ -93,18 +82,15 @@ fn main() {
             let stats = stm.stats();
             row.push(format!("{ms:.0}ms"));
             last_conflicts = stats.conflicts;
-            let mut fields = vec![
-                ("impl".to_string(), JsonValue::str(kind)),
-                ("threads".to_string(), JsonValue::u64(threads as u64)),
-                ("mean_ms".to_string(), JsonValue::num(ms)),
-                ("commits".to_string(), JsonValue::u64(stats.commits)),
-                ("conflicts".to_string(), JsonValue::u64(stats.conflicts)),
-            ];
-            let JsonValue::Obj(metric_fields) = metrics_json(&stm.metrics().clone()) else {
-                unreachable!("metrics_json returns an object");
-            };
-            fields.extend(metric_fields);
-            json_cells.push(JsonValue::Obj(fields));
+            json_cells.push(stats_cell_json(
+                [
+                    ("impl", JsonValue::str(kind)),
+                    ("threads", JsonValue::u64(threads as u64)),
+                    ("mean_ms", JsonValue::num(ms)),
+                ],
+                &stats,
+                stm.metrics(),
+            ));
         }
         row.push(last_conflicts.to_string());
         table.row(row);

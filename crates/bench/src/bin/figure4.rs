@@ -22,6 +22,7 @@
 
 use std::fmt::Write as _;
 
+use proust_bench::args::{parse_cm_spec, Args};
 use proust_bench::harness::measure_cell;
 use proust_bench::maps::MapKind;
 use proust_bench::report::{cell_json, write_report};
@@ -29,6 +30,12 @@ use proust_bench::table::Table;
 use proust_bench::workload::WorkloadSpec;
 use proust_stm::obs::JsonValue;
 use proust_stm::CmPolicy;
+
+const USAGE: &str = "\
+usage: figure4 [--quick] [--ops N] [--runs R] [--warmups W]
+               [--threads 1,2,4,...]
+               [--cm backoff,karma,greedy,serial | --cm all]
+               [--csv FILE] [--json FILE]";
 
 struct Config {
     total_ops: usize,
@@ -77,44 +84,24 @@ impl Config {
     }
 
     fn from_args() -> Config {
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        let raw: Vec<String> = std::env::args().skip(1).collect();
         let mut config =
-            if args.iter().any(|a| a == "--quick") { Config::quick() } else { Config::full() };
-        let mut iter = args.iter();
-        while let Some(arg) = iter.next() {
-            let mut value =
-                |name: &str| iter.next().unwrap_or_else(|| panic!("{name} needs a value")).clone();
+            if raw.iter().any(|a| a == "--quick") { Config::quick() } else { Config::full() };
+        let mut args = Args::from_vec(USAGE, raw);
+        while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => {}
-                "--ops" => config.total_ops = value("--ops").parse().expect("integer"),
-                "--runs" => config.runs = value("--runs").parse().expect("integer"),
-                "--warmups" => config.warmups = value("--warmups").parse().expect("integer"),
-                "--threads" => {
-                    config.threads = value("--threads")
-                        .split(',')
-                        .map(|t| t.parse().expect("thread list"))
-                        .collect();
-                }
+                "--ops" => config.total_ops = args.parsed("--ops"),
+                "--runs" => config.runs = args.parsed("--runs"),
+                "--warmups" => config.warmups = args.parsed("--warmups"),
+                "--threads" => config.threads = args.parsed_list("--threads"),
                 "--cm" => {
-                    let spec = value("--cm");
-                    config.cm = if spec == "all" {
-                        CmPolicy::ALL.to_vec()
-                    } else {
-                        spec.split(',')
-                            .map(|name| {
-                                CmPolicy::parse(name).unwrap_or_else(|| {
-                                    panic!(
-                                        "unknown CM policy {name:?}; expected one of \
-                                         backoff, karma, greedy, serial, or \"all\""
-                                    )
-                                })
-                            })
-                            .collect()
-                    };
+                    let spec = args.value("--cm");
+                    config.cm = parse_cm_spec(&spec).unwrap_or_else(|err| args.fail(err));
                 }
-                "--csv" => config.csv_path = Some(value("--csv")),
-                "--json" => config.json_path = Some(value("--json")),
-                other => panic!("unknown argument {other}"),
+                "--csv" => config.csv_path = Some(args.value("--csv")),
+                "--json" => config.json_path = Some(args.value("--json")),
+                other => args.unknown(other),
             }
         }
         config

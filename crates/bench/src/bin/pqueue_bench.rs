@@ -22,7 +22,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use proust_bench::report::{metrics_json, write_report};
+use proust_bench::args::json_only_from_env;
+use proust_bench::report::{stats_cell_json, write_report};
 use proust_bench::table::Table;
 use proust_core::structures::{EagerPQueue, LazyPQueue, PQueueState};
 use proust_core::{Compat, LockAllocatorPolicy, OptimisticLap, PessimisticLap, TxPQueue};
@@ -31,6 +32,7 @@ use proust_stm::{Stm, StmConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+const USAGE: &str = "usage: pqueue_bench [--json FILE]";
 const OPS_PER_THREAD: usize = 20_000;
 
 fn lap(compat: Compat) -> Arc<dyn LockAllocatorPolicy<PQueueState>> {
@@ -78,21 +80,8 @@ fn run(kind: &str, threads: usize, remove_fraction: f64) -> (f64, Stm) {
     (start.elapsed().as_secs_f64() * 1e3, stm)
 }
 
-fn json_path_from_args() -> Option<String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut iter = args.iter();
-    let mut path = None;
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--json" => path = Some(iter.next().expect("--json needs a value").clone()),
-            other => panic!("unknown argument {other}"),
-        }
-    }
-    path
-}
-
 fn main() {
-    let json_path = json_path_from_args();
+    let json_path = json_only_from_env(USAGE);
     println!("== §6 priority queue: expressing commutativity over abstract state ==");
     println!("{OPS_PER_THREAD} ops/thread; inserts drawn above the pinned minimum\n");
     let kinds = ["lazy/opt", "lazy/pess-rw", "lazy/pess-exact", "eager/pess"];
@@ -111,19 +100,16 @@ fn main() {
                 let stats = stm.stats();
                 row.push(format!("{ms:.0}ms"));
                 last_conflicts = stats.conflicts;
-                let mut fields = vec![
-                    ("impl".to_string(), JsonValue::str(kind)),
-                    ("threads".to_string(), JsonValue::u64(threads as u64)),
-                    ("remove_fraction".to_string(), JsonValue::num(remove_fraction)),
-                    ("mean_ms".to_string(), JsonValue::num(ms)),
-                    ("commits".to_string(), JsonValue::u64(stats.commits)),
-                    ("conflicts".to_string(), JsonValue::u64(stats.conflicts)),
-                ];
-                let JsonValue::Obj(metric_fields) = metrics_json(&stm.metrics().clone()) else {
-                    unreachable!("metrics_json returns an object");
-                };
-                fields.extend(metric_fields);
-                json_cells.push(JsonValue::Obj(fields));
+                json_cells.push(stats_cell_json(
+                    [
+                        ("impl", JsonValue::str(kind)),
+                        ("threads", JsonValue::u64(threads as u64)),
+                        ("remove_fraction", JsonValue::num(remove_fraction)),
+                        ("mean_ms", JsonValue::num(ms)),
+                    ],
+                    &stats,
+                    stm.metrics(),
+                ));
             }
             row.push(last_conflicts.to_string());
             table.row(row);

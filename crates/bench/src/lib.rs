@@ -13,7 +13,9 @@
 //! * [`table`] — aligned-table and CSV output;
 //! * [`report`] — the JSON report schema shared by every binary
 //!   (`--json PATH`, collected under `results/` by
-//!   `scripts/run_experiments.sh`).
+//!   `scripts/run_experiments.sh`);
+//! * [`args`] — shared flag parsing: unknown flags or enum values
+//!   (`--cm`, `--lap`, `--update`) print usage and exit 2.
 //!
 //! Binaries (run with `--release`):
 //!
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod args;
 pub mod harness;
 pub mod maps;
 pub mod report;

@@ -28,7 +28,7 @@
 //! downstream tooling needs no schema switch.
 
 use proust_stm::obs::{ConflictMatrix, Histogram, JsonValue};
-use proust_stm::StmMetrics;
+use proust_stm::{StmMetrics, StmStatsSnapshot};
 
 use crate::harness::CellMeasurement;
 
@@ -42,6 +42,7 @@ pub fn histogram_json(hist: &Histogram) -> JsonValue {
         ("p50_ns", JsonValue::u64(hist.p50())),
         ("p95_ns", JsonValue::u64(hist.p95())),
         ("p99_ns", JsonValue::u64(hist.p99())),
+        ("p999_ns", JsonValue::u64(hist.p999())),
     ])
 }
 
@@ -111,6 +112,51 @@ pub fn metrics_json(metrics: &StmMetrics) -> JsonValue {
     ])
 }
 
+/// Why transactions aborted, by cause: the per-kind conflict counters
+/// plus the contention-management outcomes. Together with a cell's `cm`
+/// tag this is what the `--cm` sweep compares.
+pub fn abort_causes_json(stats: &StmStatsSnapshot) -> JsonValue {
+    JsonValue::obj([
+        ("read_invalid", JsonValue::u64(stats.read_invalid)),
+        ("read_too_new", JsonValue::u64(stats.read_too_new)),
+        ("write_locked", JsonValue::u64(stats.write_locked)),
+        ("read_locked", JsonValue::u64(stats.read_locked)),
+        ("visible_readers", JsonValue::u64(stats.visible_readers)),
+        ("abstract_lock", JsonValue::u64(stats.abstract_lock)),
+        ("external", JsonValue::u64(stats.external)),
+        ("wounded", JsonValue::u64(stats.wounded)),
+        ("exhausted", JsonValue::u64(stats.exhausted)),
+    ])
+}
+
+/// Serialize a measured run that only has raw runtime state: leading
+/// `extra` key/value pairs, then the commit/conflict scalars with the
+/// abort-cause breakdown, then the metrics splice. This is the builder
+/// the single-runtime binaries (`counter_bench`, `fifo_bench`,
+/// `pqueue_bench`) and `proust-loadgen` share; [`cell_json`] layers the
+/// harness's timing statistics on top of the same shape.
+pub fn stats_cell_json(
+    extra: impl IntoIterator<Item = (&'static str, JsonValue)>,
+    stats: &StmStatsSnapshot,
+    metrics: &StmMetrics,
+) -> JsonValue {
+    let mut fields: Vec<(String, JsonValue)> =
+        extra.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    fields.extend([
+        ("commits".to_string(), JsonValue::u64(stats.commits)),
+        ("conflicts".to_string(), JsonValue::u64(stats.conflicts)),
+        ("gave_ups".to_string(), JsonValue::u64(stats.exhausted)),
+        ("abort_causes".to_string(), abort_causes_json(stats)),
+        ("wounds_issued".to_string(), JsonValue::u64(stats.wounds_issued)),
+        ("serial_escalations".to_string(), JsonValue::u64(stats.serial_escalations)),
+    ]);
+    let JsonValue::Obj(metric_fields) = metrics_json(metrics) else {
+        unreachable!("metrics_json returns an object");
+    };
+    fields.extend(metric_fields);
+    JsonValue::Obj(fields)
+}
+
 /// Serialize a full cell measurement (timing + stats + metrics). `extra`
 /// key/value pairs (block, impl, threads, ...) lead the object so reports
 /// stay self-describing.
@@ -126,23 +172,7 @@ pub fn cell_json(
         ("commits".to_string(), JsonValue::u64(cell.commits)),
         ("conflicts".to_string(), JsonValue::u64(cell.conflicts)),
         ("gave_ups".to_string(), JsonValue::u64(cell.gave_ups)),
-        // Why transactions aborted, by cause: the per-kind conflict
-        // counters plus the contention-management outcomes. Together with
-        // the cell's `cm` tag this is what the `--cm` sweep compares.
-        (
-            "abort_causes".to_string(),
-            JsonValue::obj([
-                ("read_invalid", JsonValue::u64(cell.stats.read_invalid)),
-                ("read_too_new", JsonValue::u64(cell.stats.read_too_new)),
-                ("write_locked", JsonValue::u64(cell.stats.write_locked)),
-                ("read_locked", JsonValue::u64(cell.stats.read_locked)),
-                ("visible_readers", JsonValue::u64(cell.stats.visible_readers)),
-                ("abstract_lock", JsonValue::u64(cell.stats.abstract_lock)),
-                ("external", JsonValue::u64(cell.stats.external)),
-                ("wounded", JsonValue::u64(cell.stats.wounded)),
-                ("exhausted", JsonValue::u64(cell.stats.exhausted)),
-            ]),
-        ),
+        ("abort_causes".to_string(), abort_causes_json(&cell.stats)),
         ("wounds_issued".to_string(), JsonValue::u64(cell.stats.wounds_issued)),
         ("serial_escalations".to_string(), JsonValue::u64(cell.stats.serial_escalations)),
     ]);
@@ -161,6 +191,8 @@ fn structures_for(benchmark: &str) -> &'static [&'static str] {
         "figure4" | "design_space" => &["eager-map", "memo-map", "snap-map"],
         "pqueue_bench" => &["lazy-pqueue", "eager-pqueue"],
         "fifo_bench" => &["fifo"],
+        // The server exposes one map per quadrant, counters, and FIFOs.
+        "loadgen" => &["eager-map", "snap-map", "counter", "fifo"],
         _ => &[],
     }
 }
@@ -243,6 +275,7 @@ mod tests {
             ("design_space", 3),
             ("pqueue_bench", 2),
             ("fifo_bench", 1),
+            ("loadgen", 4),
         ] {
             let rates = predicted_rates(benchmark);
             assert_eq!(rates.len(), expected, "{benchmark}");

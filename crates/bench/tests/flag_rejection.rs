@@ -1,0 +1,47 @@
+//! The bench binaries must reject malformed flags with a usage message on
+//! stderr and exit code 2 — not panic, and not silently accept them.
+
+use std::process::{Command, Output};
+
+fn run(bin_path: &str, args: &[&str]) -> Output {
+    Command::new(bin_path).args(args).output().expect("spawn bench binary")
+}
+
+fn assert_usage_exit(out: &Output, needle: &str) {
+    assert_eq!(out.status.code(), Some(2), "expected exit 2, got {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr missing error line: {stderr}");
+    assert!(stderr.contains("usage:"), "stderr missing usage block: {stderr}");
+    assert!(stderr.contains(needle), "stderr missing {needle:?}: {stderr}");
+}
+
+#[test]
+fn figure4_rejects_unknown_cm_value() {
+    let out = run(env!("CARGO_BIN_EXE_figure4"), &["--cm", "bogus"]);
+    assert_usage_exit(&out, "bogus");
+}
+
+#[test]
+fn figure4_rejects_unknown_flag_and_missing_value() {
+    let out = run(env!("CARGO_BIN_EXE_figure4"), &["--frobnicate"]);
+    assert_usage_exit(&out, "--frobnicate");
+    let out = run(env!("CARGO_BIN_EXE_figure4"), &["--json"]);
+    assert_usage_exit(&out, "--json needs a value");
+    let out = run(env!("CARGO_BIN_EXE_figure4"), &["--ops", "not-a-number"]);
+    assert_usage_exit(&out, "not-a-number");
+}
+
+#[test]
+fn json_only_binaries_reject_unknown_flags() {
+    for bin_path in [
+        env!("CARGO_BIN_EXE_counter_bench"),
+        env!("CARGO_BIN_EXE_fifo_bench"),
+        env!("CARGO_BIN_EXE_pqueue_bench"),
+        env!("CARGO_BIN_EXE_design_space"),
+    ] {
+        let out = run(bin_path, &["--nope"]);
+        assert_usage_exit(&out, "--nope");
+        let out = run(bin_path, &["--json"]);
+        assert_usage_exit(&out, "--json needs a value");
+    }
+}

@@ -1,0 +1,525 @@
+//! # proust-loadgen
+//!
+//! Multi-threaded load generator for `proust-server`. Each worker thread
+//! owns one TCP connection and issues a configurable mix of map
+//! (`GET`/`PUT`/`DEL`), counter (`INC`), queue (`ENQ`/`DEQ`), and
+//! `MULTI … EXEC` batch requests, with uniform or zipfian key skew.
+//!
+//! Two pacing modes:
+//!
+//! * **closed-loop** — each thread issues the next request as soon as the
+//!   previous response arrives; measures service latency under maximum
+//!   pressure from `threads` outstanding requests;
+//! * **open-loop** — requests arrive at a fixed aggregate rate on a
+//!   pre-computed schedule. Latency is measured from the *scheduled*
+//!   arrival time, never from the (possibly delayed) send time, and
+//!   arrivals are never dropped when the client falls behind — the
+//!   standard defence against coordinated omission.
+//!
+//! The run verifies protocol behaviour as it goes (every response line is
+//! classified), and finishes with a **lost-update check**: every `INC`
+//! acknowledged `OK` is tallied client-side, and the final committed
+//! counter values must match the tally exactly. The report reuses the
+//! bench crate's JSON envelope, with the server's `STATS` payload (abort
+//! causes, serial escalations, server-side latency) spliced in.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod zipf;
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use proust_bench::report::histogram_json;
+use proust_stm::obs::{Histogram, JsonValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use zipf::Zipf;
+
+/// Request pacing discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Issue the next request when the previous response arrives.
+    Closed,
+    /// Fixed aggregate arrival rate (requests/second), coordinated-
+    /// omission-safe.
+    Open {
+        /// Aggregate arrivals per second across all threads.
+        rate: f64,
+    },
+}
+
+impl Mode {
+    /// Stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Closed => "closed",
+            Mode::Open { .. } => "open",
+        }
+    }
+}
+
+/// Key-skew distribution over the key range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given theta (see [`zipf::Zipf`]).
+    Zipfian(f64),
+}
+
+/// Full description of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Worker threads (one connection each).
+    pub threads: usize,
+    /// Run length (closed loop) / schedule length (open loop).
+    pub duration: Duration,
+    /// Pacing mode.
+    pub mode: Mode,
+    /// Key range per map.
+    pub keys: u64,
+    /// Key-skew distribution.
+    pub dist: KeyDist,
+    /// Fraction of map requests that are reads (`GET`).
+    pub read_frac: f64,
+    /// Fraction of requests that are `MULTI … EXEC` batches of map ops.
+    pub multi_frac: f64,
+    /// Map ops per `MULTI` batch.
+    pub multi_size: usize,
+    /// Fraction of requests that are counter `INC`s.
+    pub inc_frac: f64,
+    /// Fraction of requests that are queue ops (`ENQ`/`DEQ` evenly).
+    pub queue_frac: f64,
+    /// Distinct maps / counters / queues touched (named `m0…`, `c0…`, `q0…`).
+    pub structures: usize,
+    /// RNG seed (workers derive per-thread seeds from it).
+    pub seed: u64,
+    /// Run the final counter lost-update check.
+    pub check_counters: bool,
+    /// Send `SHUTDOWN` after scraping stats (for smoke scripts).
+    pub send_shutdown: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 8,
+            duration: Duration::from_secs(2),
+            mode: Mode::Closed,
+            keys: 1024,
+            dist: KeyDist::Zipfian(0.99),
+            read_frac: 0.8,
+            multi_frac: 0.1,
+            multi_size: 4,
+            inc_frac: 0.1,
+            queue_frac: 0.1,
+            structures: 4,
+            seed: 0x5eed,
+            check_counters: true,
+            send_shutdown: false,
+        }
+    }
+}
+
+/// Outcome of a run: counts, latency, verification results, and the
+/// server's own accounting.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Pacing mode name.
+    pub mode: &'static str,
+    /// Wall-clock run time, seconds.
+    pub elapsed_s: f64,
+    /// Request units completed (a `MULTI` block counts once).
+    pub requests: u64,
+    /// Units whose every response line committed (no `BUSY`, no `ERR`).
+    pub committed: u64,
+    /// Malformed/unexpected response lines.
+    pub protocol_errors: u64,
+    /// Units refused with `BUSY` (retry budget exhausted server-side).
+    pub busy: u64,
+    /// Client-side request latency, ns (open loop: from scheduled arrival).
+    pub latency: Histogram,
+    /// Committed units per second.
+    pub throughput_rps: f64,
+    /// Total `INC` delta acknowledged `OK` by the server.
+    pub expected_incs: i64,
+    /// Total counter movement actually observed on the server.
+    pub observed_incs: i64,
+    /// `|observed - expected|` summed across counters (0 = no lost updates).
+    pub lost_updates: u64,
+    /// Parsed `STATS` payload scraped after the run.
+    pub server_stats: Option<JsonValue>,
+}
+
+impl LoadReport {
+    /// This run as one cell of the shared bench report envelope.
+    pub fn cell_json(&self, config: &LoadConfig) -> JsonValue {
+        JsonValue::obj([
+            ("mode", JsonValue::str(self.mode)),
+            ("threads", JsonValue::u64(config.threads as u64)),
+            ("elapsed_s", JsonValue::num(self.elapsed_s)),
+            ("requests", JsonValue::u64(self.requests)),
+            ("committed", JsonValue::u64(self.committed)),
+            ("throughput_rps", JsonValue::num(self.throughput_rps)),
+            ("protocol_errors", JsonValue::u64(self.protocol_errors)),
+            ("busy", JsonValue::u64(self.busy)),
+            ("expected_incs", JsonValue::num(self.expected_incs as f64)),
+            ("observed_incs", JsonValue::num(self.observed_incs as f64)),
+            ("lost_updates", JsonValue::u64(self.lost_updates)),
+            ("latency", histogram_json(&self.latency)),
+            ("server_stats", self.server_stats.clone().unwrap_or(JsonValue::Null)),
+        ])
+    }
+}
+
+/// The run's configuration as the envelope `config` object.
+pub fn config_json(config: &LoadConfig) -> JsonValue {
+    JsonValue::obj([
+        ("addr", JsonValue::str(&config.addr)),
+        ("threads", JsonValue::u64(config.threads as u64)),
+        ("duration_s", JsonValue::num(config.duration.as_secs_f64())),
+        ("mode", JsonValue::str(config.mode.name())),
+        (
+            "rate",
+            match config.mode {
+                Mode::Open { rate } => JsonValue::num(rate),
+                Mode::Closed => JsonValue::Null,
+            },
+        ),
+        ("keys", JsonValue::u64(config.keys)),
+        (
+            "dist",
+            match config.dist {
+                KeyDist::Uniform => JsonValue::str("uniform"),
+                KeyDist::Zipfian(theta) => JsonValue::obj([("zipfian", JsonValue::num(theta))]),
+            },
+        ),
+        ("read_frac", JsonValue::num(config.read_frac)),
+        ("multi_frac", JsonValue::num(config.multi_frac)),
+        ("multi_size", JsonValue::u64(config.multi_size as u64)),
+        ("inc_frac", JsonValue::num(config.inc_frac)),
+        ("queue_frac", JsonValue::num(config.queue_frac)),
+        ("structures", JsonValue::u64(config.structures as u64)),
+        ("seed", JsonValue::u64(config.seed)),
+    ])
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|err| format!("connect {addr}: {err}"))?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { reader: BufReader::new(stream) })
+    }
+
+    fn send(&mut self, text: &str) -> Result<(), String> {
+        self.reader.get_mut().write_all(text.as_bytes()).map_err(|err| format!("send: {err}"))
+    }
+
+    fn recv(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(|err| format!("recv: {err}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<String, String> {
+        self.send(&format!("{line}\n"))?;
+        self.recv()
+    }
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Class {
+    Committed,
+    Busy,
+    Protocol,
+}
+
+fn classify(line: &str) -> Class {
+    if line == "BUSY" {
+        Class::Busy
+    } else if line == "OK" || line == "NIL" || line == "PONG" || line.starts_with("VALUE ") {
+        Class::Committed
+    } else {
+        Class::Protocol
+    }
+}
+
+struct Tallies {
+    requests: AtomicU64,
+    committed: AtomicU64,
+    protocol_errors: AtomicU64,
+    busy: AtomicU64,
+    latency: Histogram,
+    expected_incs: Vec<AtomicI64>,
+}
+
+struct Worker<'a> {
+    client: Client,
+    rng: StdRng,
+    zipf: Option<Zipf>,
+    config: &'a LoadConfig,
+    tallies: &'a Tallies,
+}
+
+impl Worker<'_> {
+    fn draw_key(&mut self) -> u64 {
+        match &self.zipf {
+            Some(zipf) => zipf.next(&mut self.rng),
+            None => self.rng.gen_range(0..self.config.keys),
+        }
+    }
+
+    fn map_line(&mut self) -> String {
+        let name = self.rng.gen_range(0..self.config.structures as u64);
+        let key = self.draw_key();
+        let r: f64 = self.rng.gen();
+        if r < self.config.read_frac {
+            format!("GET m{name} {key}")
+        } else if r < self.config.read_frac + 0.8 * (1.0 - self.config.read_frac) {
+            let value = self.rng.gen_range(0..1_000_000u64);
+            format!("PUT m{name} {key} {value}")
+        } else {
+            format!("DEL m{name} {key}")
+        }
+    }
+
+    /// Issue one request unit; latency is recorded from `sched`.
+    fn issue_one(&mut self, sched: Instant) -> Result<(), String> {
+        let pick: f64 = self.rng.gen();
+        let config = self.config;
+        let unit_class = if pick < config.multi_frac {
+            // A MULTI batch of map ops: one atomic unit server-side.
+            let count = config.multi_size.max(1);
+            let mut block = String::from("MULTI\n");
+            for _ in 0..count {
+                block.push_str(&self.map_line());
+                block.push('\n');
+            }
+            block.push_str("EXEC\n");
+            self.client.send(&block)?;
+            let mut class = Class::Committed;
+            // Protocol beats Busy beats Committed when summarizing.
+            fn note(c: Class, class: &mut Class) {
+                if c == Class::Protocol || (*class == Class::Committed && c == Class::Busy) {
+                    *class = c;
+                }
+            }
+            if self.client.recv()? != "OK" {
+                note(Class::Protocol, &mut class);
+            }
+            for _ in 0..count {
+                if self.client.recv()? != "QUEUED" {
+                    note(Class::Protocol, &mut class);
+                }
+            }
+            let results = self.client.recv()?;
+            let lines = match results.strip_prefix("RESULTS ").and_then(|n| n.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    note(Class::Protocol, &mut class);
+                    0usize
+                }
+            };
+            for _ in 0..lines {
+                note(classify(&self.client.recv()?), &mut class);
+            }
+            class
+        } else if pick < config.multi_frac + config.inc_frac {
+            let counter = self.rng.gen_range(0..config.structures as u64);
+            let delta = self.rng.gen_range(1..4u64);
+            let response = self.client.roundtrip(&format!("INC c{counter} {delta}"))?;
+            let class = classify(&response);
+            if class == Class::Committed {
+                // The server only answers OK after commit, so this tally is
+                // exactly the committed counter movement we must observe.
+                self.tallies.expected_incs[counter as usize]
+                    .fetch_add(delta as i64, Ordering::Relaxed);
+            }
+            class
+        } else if pick < config.multi_frac + config.inc_frac + config.queue_frac {
+            let queue = self.rng.gen_range(0..config.structures as u64);
+            let line = if self.rng.gen::<f64>() < 0.5 {
+                format!("ENQ q{queue} {}", self.rng.gen_range(0..1_000_000u64))
+            } else {
+                format!("DEQ q{queue}")
+            };
+            classify(&self.client.roundtrip(&line)?)
+        } else {
+            let line = self.map_line();
+            classify(&self.client.roundtrip(&line)?)
+        };
+        self.tallies.latency.record(sched.elapsed().as_nanos() as u64);
+        self.tallies.requests.fetch_add(1, Ordering::Relaxed);
+        match unit_class {
+            Class::Committed => {
+                self.tallies.committed.fetch_add(1, Ordering::Relaxed);
+            }
+            Class::Busy => {
+                self.tallies.busy.fetch_add(1, Ordering::Relaxed);
+            }
+            Class::Protocol => {
+                self.tallies.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, tid: usize, start: Instant) -> Result<(), String> {
+        match self.config.mode {
+            Mode::Closed => {
+                while start.elapsed() < self.config.duration {
+                    self.issue_one(Instant::now())?;
+                }
+            }
+            Mode::Open { rate } => {
+                // Thread `tid` owns arrivals tid, tid+T, tid+2T, … of the
+                // global schedule. A late arrival is sent immediately but
+                // its latency still counts from the scheduled instant —
+                // falling behind inflates the tail instead of hiding it.
+                let total = (rate * self.config.duration.as_secs_f64()).ceil() as u64;
+                let mut k = tid as u64;
+                while k < total {
+                    let at = start + Duration::from_secs_f64(k as f64 / rate);
+                    let now = Instant::now();
+                    if at > now {
+                        std::thread::sleep(at - now);
+                    }
+                    self.issue_one(at)?;
+                    k += self.config.threads as u64;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn counter_values(client: &mut Client, config: &LoadConfig) -> Result<Vec<i64>, String> {
+    (0..config.structures)
+        .map(|i| {
+            let response = client.roundtrip(&format!("GET c{i}"))?;
+            response
+                .strip_prefix("VALUE ")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("bad counter response {response:?}"))
+        })
+        .collect()
+}
+
+/// Execute one load-generation run against a live server.
+///
+/// # Errors
+///
+/// Returns a message when the server is unreachable or a connection dies
+/// mid-run. Protocol-level anomalies do *not* error — they are counted in
+/// the report so the caller can assert on them.
+pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
+    let mut control = Client::connect(&config.addr)?;
+    if control.roundtrip("PING")? != "PONG" {
+        return Err("server did not answer PING".to_string());
+    }
+    let initial = if config.check_counters {
+        counter_values(&mut control, config)?
+    } else {
+        vec![0; config.structures]
+    };
+    let tallies = Tallies {
+        requests: AtomicU64::new(0),
+        committed: AtomicU64::new(0),
+        protocol_errors: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+        latency: Histogram::new(),
+        expected_incs: (0..config.structures).map(|_| AtomicI64::new(0)).collect(),
+    };
+    let start = Instant::now();
+    let worker_errors: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|tid| {
+                let tallies = &tallies;
+                scope.spawn(move || -> Result<(), String> {
+                    let mut worker = Worker {
+                        client: Client::connect(&config.addr)?,
+                        rng: StdRng::seed_from_u64(
+                            config.seed ^ (tid as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        ),
+                        zipf: match config.dist {
+                            KeyDist::Zipfian(theta) => Some(Zipf::new(config.keys, theta)),
+                            KeyDist::Uniform => None,
+                        },
+                        config,
+                        tallies,
+                    };
+                    worker.run(tid, start)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|handle| match handle.join() {
+                Ok(Ok(())) => None,
+                Ok(Err(msg)) => Some(msg),
+                Err(_) => Some("worker thread panicked".to_string()),
+            })
+            .collect()
+    });
+    if let Some(first) = worker_errors.first() {
+        return Err(format!("{} worker(s) failed; first: {first}", worker_errors.len()));
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    // Lost-update check: every INC the server acknowledged must be visible
+    // in the committed counter values, exactly.
+    let (expected_incs, observed_incs, lost_updates) = if config.check_counters {
+        let finals = counter_values(&mut control, config)?;
+        let mut expected_total = 0i64;
+        let mut observed_total = 0i64;
+        let mut lost = 0u64;
+        for (i, (initial, final_)) in initial.iter().zip(&finals).enumerate() {
+            let expected = tallies.expected_incs[i].load(Ordering::Relaxed);
+            let observed = final_ - initial;
+            expected_total += expected;
+            observed_total += observed;
+            lost += expected.abs_diff(observed);
+        }
+        (expected_total, observed_total, lost)
+    } else {
+        (0, 0, 0)
+    };
+
+    let stats_line = control.roundtrip("STATS")?;
+    let server_stats =
+        stats_line.strip_prefix("STATS ").and_then(|payload| JsonValue::parse(payload).ok());
+    if config.send_shutdown {
+        let _ = control.roundtrip("SHUTDOWN");
+    }
+
+    let committed = tallies.committed.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        mode: config.mode.name(),
+        elapsed_s,
+        requests: tallies.requests.load(Ordering::Relaxed),
+        committed,
+        protocol_errors: tallies.protocol_errors.load(Ordering::Relaxed),
+        busy: tallies.busy.load(Ordering::Relaxed),
+        latency: tallies.latency,
+        throughput_rps: committed as f64 / elapsed_s.max(1e-9),
+        expected_incs,
+        observed_incs,
+        lost_updates,
+        server_stats,
+    })
+}

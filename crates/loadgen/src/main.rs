@@ -1,0 +1,99 @@
+//! The `proust-loadgen` binary: drive a running `proust-server`, print a
+//! human summary, optionally write the shared JSON report envelope, and
+//! exit non-zero on protocol errors or lost updates (CI-friendly).
+
+use std::time::Duration;
+
+use proust_bench::args::Args;
+use proust_bench::report::write_report;
+use proust_loadgen::{config_json, run, KeyDist, LoadConfig, Mode};
+
+const USAGE: &str = "\
+usage: proust-loadgen --addr HOST:PORT [--threads N] [--secs S]
+                      [--mode closed|open] [--rate RPS]
+                      [--keys N] [--dist uniform|zipfian] [--theta T]
+                      [--read-frac F] [--multi-frac F] [--multi-size N]
+                      [--inc-frac F] [--queue-frac F] [--structures N]
+                      [--seed N] [--json FILE] [--no-check] [--shutdown]";
+
+fn config_from_args() -> (LoadConfig, Option<String>) {
+    let mut config = LoadConfig::default();
+    let mut json_path = None;
+    let mut mode_name = "closed".to_string();
+    let mut rate = 10_000.0f64;
+    let mut dist_name = "zipfian".to_string();
+    let mut theta = 0.99f64;
+    let mut args = Args::from_env(USAGE);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = args.value("--addr"),
+            "--threads" => config.threads = args.parsed("--threads"),
+            "--secs" => {
+                config.duration = Duration::from_secs_f64(args.parsed("--secs"));
+            }
+            "--mode" => mode_name = args.value("--mode"),
+            "--rate" => rate = args.parsed("--rate"),
+            "--keys" => config.keys = args.parsed("--keys"),
+            "--dist" => dist_name = args.value("--dist"),
+            "--theta" => theta = args.parsed("--theta"),
+            "--read-frac" => config.read_frac = args.parsed("--read-frac"),
+            "--multi-frac" => config.multi_frac = args.parsed("--multi-frac"),
+            "--multi-size" => config.multi_size = args.parsed("--multi-size"),
+            "--inc-frac" => config.inc_frac = args.parsed("--inc-frac"),
+            "--queue-frac" => config.queue_frac = args.parsed("--queue-frac"),
+            "--structures" => config.structures = args.parsed("--structures"),
+            "--seed" => config.seed = args.parsed("--seed"),
+            "--json" => json_path = Some(args.value("--json")),
+            "--no-check" => config.check_counters = false,
+            "--shutdown" => config.send_shutdown = true,
+            other => args.unknown(other),
+        }
+    }
+    config.mode = match mode_name.as_str() {
+        "closed" => Mode::Closed,
+        "open" => Mode::Open { rate },
+        other => args.fail(format!("unknown --mode value {other:?}")),
+    };
+    config.dist = match dist_name.as_str() {
+        "uniform" => KeyDist::Uniform,
+        "zipfian" => KeyDist::Zipfian(theta),
+        other => args.fail(format!("unknown --dist value {other:?}")),
+    };
+    (config, json_path)
+}
+
+fn main() {
+    let (config, json_path) = config_from_args();
+    let report = match run(&config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{} loop: {} requests in {:.2}s ({:.0} committed/s), p50 {:.1}us p99 {:.1}us p999 {:.1}us",
+        report.mode,
+        report.requests,
+        report.elapsed_s,
+        report.throughput_rps,
+        report.latency.p50() as f64 / 1e3,
+        report.latency.p99() as f64 / 1e3,
+        report.latency.p999() as f64 / 1e3,
+    );
+    println!(
+        "busy {} protocol_errors {} incs expected {} observed {} lost {}",
+        report.busy,
+        report.protocol_errors,
+        report.expected_incs,
+        report.observed_incs,
+        report.lost_updates,
+    );
+    if let Some(path) = json_path {
+        write_report(&path, "loadgen", config_json(&config), vec![report.cell_json(&config)]);
+    }
+    if report.protocol_errors > 0 || report.lost_updates > 0 {
+        eprintln!("FAILED: protocol or consistency anomalies detected");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Zipfian key-skew generator (the Gray et al. / YCSB construction).
+//!
+//! Draws ranks in `[0, n)` where rank `i` has probability proportional to
+//! `1 / (i+1)^theta`. `theta = 0.99` reproduces YCSB's default hot-key
+//! skew; `theta -> 0` approaches uniform.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A fixed-population zipfian sampler. Construction is `O(n)` (computes
+/// the harmonic normalizer once); sampling is `O(1)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Sampler over `[0, n)` with skew parameter `theta` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf population must be non-empty");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1), got {theta}");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta }
+    }
+
+    /// Draw one rank. Rank 0 is the hottest key.
+    pub fn next(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stays_in_range_and_skews_toward_zero() {
+        let zipf = Zipf::new(1024, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 1024];
+        for _ in 0..100_000 {
+            let rank = zipf.next(&mut rng);
+            assert!(rank < 1024);
+            counts[rank as usize] += 1;
+        }
+        // The hottest key dominates any individual cold key by a wide
+        // margin under theta = 0.99.
+        assert!(counts[0] > 10 * counts[512].max(1), "head {} tail {}", counts[0], counts[512]);
+        // ...but the tail is still exercised.
+        let tail: u64 = counts[512..].iter().sum();
+        assert!(tail > 0, "tail never sampled");
+    }
+}

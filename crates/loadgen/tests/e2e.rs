@@ -1,0 +1,115 @@
+//! End-to-end: an in-process `proust-server` driven by the real load
+//! generator over TCP. This is the acceptance check from the issue — a
+//! closed-loop run with 8+ threads, zipfian skew, and a 10% `MULTI`
+//! share must finish with zero protocol errors and zero lost updates on
+//! both a pessimistic/eager and an optimistic/lazy server.
+
+use std::time::Duration;
+
+use proust_bench::args::{LapChoice, UpdateChoice};
+use proust_loadgen::{run, KeyDist, LoadConfig, Mode};
+use proust_server::{Server, ServerConfig};
+
+fn load_config(addr: String) -> LoadConfig {
+    LoadConfig {
+        addr,
+        threads: 8,
+        duration: Duration::from_millis(600),
+        mode: Mode::Closed,
+        keys: 256,
+        dist: KeyDist::Zipfian(0.99),
+        read_frac: 0.6,
+        multi_frac: 0.1,
+        multi_size: 4,
+        inc_frac: 0.2,
+        queue_frac: 0.1,
+        structures: 2,
+        seed: 42,
+        check_counters: true,
+        send_shutdown: false,
+    }
+}
+
+fn exercise(server_config: ServerConfig) {
+    let lap = server_config.lap;
+    let update = server_config.update;
+    let handle = Server::start(server_config).expect("server starts");
+    let config = load_config(handle.addr().to_string());
+    let report = run(&config).expect("load run completes");
+    let label = format!("{}/{}", lap.name(), update.name());
+
+    assert_eq!(report.protocol_errors, 0, "{label}: protocol errors");
+    assert_eq!(report.lost_updates, 0, "{label}: lost updates");
+    assert!(report.committed > 0, "{label}: nothing committed");
+    assert!(report.throughput_rps > 0.0, "{label}: zero throughput");
+    assert!(report.latency.p50() > 0, "{label}: empty latency histogram");
+    assert!(report.latency.p99() >= report.latency.p50(), "{label}: percentile order");
+    assert!(report.expected_incs > 0, "{label}: INC mix never exercised");
+    assert_eq!(report.expected_incs, report.observed_incs, "{label}: INC accounting");
+
+    // The scraped server stats must be present, structurally sound, and
+    // consistent with the client's view of the run.
+    let stats = report.server_stats.as_ref().expect("STATS scraped");
+    assert_eq!(stats.get("lap").and_then(|v| v.as_str()), Some(lap.name()), "{label}");
+    assert_eq!(stats.get("update").and_then(|v| v.as_str()), Some(update.name()), "{label}");
+    let commits = stats.get("commits").and_then(|v| v.as_u64()).expect("commits");
+    assert!(commits >= report.committed, "{label}: commits {commits} < {}", report.committed);
+    assert!(stats.get("abort_causes").is_some(), "{label}: abort-cause breakdown missing");
+
+    assert!(handle.shutdown(), "{label}: drain on shutdown");
+}
+
+#[test]
+fn pessimistic_eager_server_survives_contended_load() {
+    exercise(ServerConfig {
+        lap: LapChoice::Pessimistic,
+        update: UpdateChoice::Eager,
+        ..ServerConfig::default()
+    })
+}
+
+#[test]
+fn optimistic_lazy_server_survives_contended_load() {
+    exercise(ServerConfig {
+        lap: LapChoice::Optimistic,
+        update: UpdateChoice::Lazy,
+        ..ServerConfig::default()
+    })
+}
+
+#[test]
+fn open_loop_paces_arrivals_and_stays_consistent() {
+    let handle = Server::start(ServerConfig::default()).expect("server starts");
+    let config = LoadConfig {
+        mode: Mode::Open { rate: 2_000.0 },
+        duration: Duration::from_millis(500),
+        threads: 4,
+        ..load_config(handle.addr().to_string())
+    };
+    let report = run(&config).expect("open-loop run completes");
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.lost_updates, 0);
+    // The schedule is fixed: rate * secs arrivals, all of them issued.
+    let scheduled = (2_000.0f64 * 0.5).ceil() as u64;
+    assert_eq!(report.requests, scheduled, "open loop must never drop arrivals");
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn loadgen_flags_reject_unknown_values() {
+    for bad in [
+        vec!["--mode", "sideways"],
+        vec!["--dist", "gaussian"],
+        vec!["--frobnicate"],
+        vec!["--threads"],
+    ] {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_proust-loadgen"))
+            .args(&bad)
+            .output()
+            .expect("spawn loadgen");
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "args {bad:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "args {bad:?}: {stderr}");
+    }
+}

@@ -160,6 +160,12 @@ impl Histogram {
         self.value_at_quantile(0.99)
     }
 
+    /// 99.9th-percentile sample — the service-latency tail the load
+    /// generator reports for externally measured requests.
+    pub fn p999(&self) -> u64 {
+        self.value_at_quantile(0.999)
+    }
+
     /// Fold another histogram's counts into this one.
     pub fn merge(&self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {

@@ -1,0 +1,531 @@
+//! The transactional execution engine behind the wire protocol.
+//!
+//! One [`Engine`] owns one STM runtime plus three lazily-populated
+//! registries (maps, counters, FIFO queues — separate namespaces). Every
+//! request executes inside a Proust transaction; pipelined requests are
+//! *commit-batched*: up to `max_batch` parsed requests run as a single
+//! transaction attempt, and if that batch aborts past a small patience
+//! bound, the engine falls back to one transaction per request so a
+//! single conflicting op cannot poison its neighbours.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proust_baselines::{BoostedMap, CoarseMap, PredMap, StmHashMap};
+use proust_bench::args::{LapChoice, UpdateChoice};
+use proust_bench::report::{abort_causes_json, histogram_json};
+use proust_core::op_site;
+use proust_core::structures::{EagerMap, FifoState, ProustCounter, ProustFifo, SnapTrieMap};
+use proust_core::{OptimisticLap, PessimisticLap, TxMap};
+use proust_stm::obs::{Histogram, JsonValue};
+use proust_stm::{ConflictDetection, Stm, StmConfig, TxError, TxResult, Txn};
+
+use crate::proto::Cmd;
+use crate::ServerConfig;
+
+/// Size of the lock-allocator region backing each server map.
+const LAP_SIZE: usize = 1024;
+
+/// Cap on structures per namespace, so a misbehaving client cannot grow
+/// the registries without bound.
+const MAX_STRUCTURES: usize = 1024;
+
+/// User-abort reason that signals "stop retrying the batch, fall back to
+/// per-request transactions".
+const BATCH_FALLBACK: &str = "batch-fallback";
+
+/// A baseline (non-Proustian) map implementation, selectable with
+/// `--baseline` for comparison runs. Counters and queues stay Proustian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Traditional STM hash map (read/write-set conflicts).
+    Stm,
+    /// Transactional predication.
+    Predication,
+    /// Classic stand-alone boosting.
+    Boosted,
+    /// Single global exclusive lock.
+    Coarse,
+}
+
+impl Baseline {
+    /// Parse a `--baseline` value.
+    pub fn parse(name: &str) -> Option<Baseline> {
+        match name {
+            "stm" => Some(Baseline::Stm),
+            "predication" => Some(Baseline::Predication),
+            "boosted" => Some(Baseline::Boosted),
+            "coarse" => Some(Baseline::Coarse),
+            _ => None,
+        }
+    }
+
+    /// Stable name used in flags and STATS.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::Stm => "stm",
+            Baseline::Predication => "predication",
+            Baseline::Boosted => "boosted",
+            Baseline::Coarse => "coarse",
+        }
+    }
+}
+
+/// A request resolved against the registries: the structure handles are
+/// looked up (or created) *before* the transaction starts, so registry
+/// locking never nests inside `atomically`.
+#[derive(Clone)]
+pub enum Op {
+    /// Map lookup.
+    MapGet(Arc<dyn TxMap<u64, u64>>, u64),
+    /// Map insert/overwrite.
+    MapPut(Arc<dyn TxMap<u64, u64>>, u64, u64),
+    /// Map remove.
+    MapDel(Arc<dyn TxMap<u64, u64>>, u64),
+    /// Committed counter value.
+    CounterGet(Arc<ProustCounter>),
+    /// Counter increment by delta.
+    CounterInc(Arc<ProustCounter>, u64),
+    /// Queue enqueue.
+    QueueEnq(Arc<ProustFifo<u64>>, u64),
+    /// Queue dequeue.
+    QueueDeq(Arc<ProustFifo<u64>>),
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Op::MapGet(..) => "MapGet",
+            Op::MapPut(..) => "MapPut",
+            Op::MapDel(..) => "MapDel",
+            Op::CounterGet(..) => "CounterGet",
+            Op::CounterInc(..) => "CounterInc",
+            Op::QueueEnq(..) => "QueueEnq",
+            Op::QueueDeq(..) => "QueueDeq",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One atomic unit of execution: a single request, or a `MULTI … EXEC`
+/// block. Units are all-or-nothing — a unit that cannot commit answers
+/// `BUSY` on every line rather than splitting.
+#[derive(Debug, Clone, Default)]
+pub struct Unit {
+    /// The resolved operations, in request order.
+    pub ops: Vec<Op>,
+}
+
+/// The transactional engine: one STM runtime + the structure registries +
+/// request accounting.
+pub struct Engine {
+    stm: Stm,
+    lap: LapChoice,
+    update: UpdateChoice,
+    baseline: Option<Baseline>,
+    batch_patience: u32,
+    maps: Mutex<HashMap<String, Arc<dyn TxMap<u64, u64>>>>,
+    counters: Mutex<HashMap<String, Arc<ProustCounter>>>,
+    queues: Mutex<HashMap<String, Arc<ProustFifo<u64>>>>,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    busy: AtomicU64,
+    batch_fallbacks: AtomicU64,
+    /// Server-side request service latency (parse to response), ns.
+    pub latency: Histogram,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("lap", &self.lap)
+            .field("update", &self.update)
+            .field("baseline", &self.baseline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Build an engine for the given server configuration.
+    pub fn new(config: &ServerConfig) -> Engine {
+        // Theorem 5.2: the eager/optimistic quadrant is opaque only under
+        // fully eager conflict detection; every other configuration is
+        // safe on the mixed (CCSTM-like) backend.
+        let detection = if config.baseline.is_none()
+            && config.update == UpdateChoice::Eager
+            && config.lap == LapChoice::Optimistic
+        {
+            ConflictDetection::EagerAll
+        } else {
+            ConflictDetection::Mixed
+        };
+        let stm = Stm::new(StmConfig {
+            detection,
+            cm: config.cm,
+            max_retries: Some(config.max_retries),
+            on_exhaustion: config.exhaustion,
+            ..StmConfig::default()
+        });
+        Engine {
+            stm,
+            lap: config.lap,
+            update: config.update,
+            baseline: config.baseline,
+            batch_patience: config.batch_patience,
+            maps: Mutex::new(HashMap::new()),
+            counters: Mutex::new(HashMap::new()),
+            queues: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            batch_fallbacks: AtomicU64::new(0),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// The engine's STM runtime (shutdown drain, tests).
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    /// Record one malformed request line.
+    pub fn note_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn build_map(&self) -> Arc<dyn TxMap<u64, u64>> {
+        if let Some(baseline) = self.baseline {
+            return match baseline {
+                Baseline::Stm => Arc::new(StmHashMap::new()),
+                Baseline::Predication => Arc::new(PredMap::new()),
+                Baseline::Boosted => Arc::new(BoostedMap::new(LAP_SIZE)),
+                Baseline::Coarse => Arc::new(CoarseMap::new()),
+            };
+        }
+        match (self.update, self.lap) {
+            (UpdateChoice::Eager, LapChoice::Optimistic) => {
+                Arc::new(EagerMap::new(Arc::new(OptimisticLap::new(LAP_SIZE))))
+            }
+            (UpdateChoice::Eager, LapChoice::Pessimistic) => {
+                Arc::new(EagerMap::new(Arc::new(PessimisticLap::new(LAP_SIZE))))
+            }
+            (UpdateChoice::Lazy, LapChoice::Optimistic) => {
+                Arc::new(SnapTrieMap::new(Arc::new(OptimisticLap::new(LAP_SIZE))))
+            }
+            (UpdateChoice::Lazy, LapChoice::Pessimistic) => {
+                Arc::new(SnapTrieMap::new(Arc::new(PessimisticLap::new(LAP_SIZE))))
+            }
+        }
+    }
+
+    fn build_queue(&self) -> Arc<ProustFifo<u64>> {
+        // Queues have no update-strategy axis (the FIFO wrapper is eager);
+        // they follow the lock-allocator axis only.
+        match self.lap {
+            LapChoice::Optimistic => Arc::new(ProustFifo::new(Arc::new(
+                OptimisticLap::with_slot_fn(2, |state: &FifoState| match state {
+                    FifoState::Head => 0,
+                    FifoState::Tail => 1,
+                }),
+            ))),
+            LapChoice::Pessimistic => Arc::new(ProustFifo::new(Arc::new(PessimisticLap::new(2)))),
+        }
+    }
+
+    fn map_for(&self, name: &str) -> Result<Arc<dyn TxMap<u64, u64>>, String> {
+        let mut maps = self.maps.lock().expect("maps registry poisoned");
+        if let Some(map) = maps.get(name) {
+            return Ok(Arc::clone(map));
+        }
+        if maps.len() >= MAX_STRUCTURES {
+            return Err("too many maps".to_string());
+        }
+        let map = self.build_map();
+        maps.insert(name.to_string(), Arc::clone(&map));
+        Ok(map)
+    }
+
+    fn counter_for(&self, name: &str) -> Result<Arc<ProustCounter>, String> {
+        let mut counters = self.counters.lock().expect("counters registry poisoned");
+        if let Some(counter) = counters.get(name) {
+            return Ok(Arc::clone(counter));
+        }
+        if counters.len() >= MAX_STRUCTURES {
+            return Err("too many counters".to_string());
+        }
+        let counter = Arc::new(ProustCounter::new(0));
+        counters.insert(name.to_string(), Arc::clone(&counter));
+        Ok(counter)
+    }
+
+    fn queue_for(&self, name: &str) -> Result<Arc<ProustFifo<u64>>, String> {
+        let mut queues = self.queues.lock().expect("queues registry poisoned");
+        if let Some(queue) = queues.get(name) {
+            return Ok(Arc::clone(queue));
+        }
+        if queues.len() >= MAX_STRUCTURES {
+            return Err("too many queues".to_string());
+        }
+        let queue = self.build_queue();
+        queues.insert(name.to_string(), Arc::clone(&queue));
+        Ok(queue)
+    }
+
+    /// Resolve a parsed command against the registries (creating the named
+    /// structure on first use).
+    ///
+    /// # Errors
+    ///
+    /// Returns the `ERR` reason when a registry is full.
+    pub fn resolve(&self, cmd: &Cmd) -> Result<Op, String> {
+        Ok(match cmd {
+            Cmd::MapGet { name, key } => Op::MapGet(self.map_for(name)?, *key),
+            Cmd::MapPut { name, key, value } => Op::MapPut(self.map_for(name)?, *key, *value),
+            Cmd::MapDel { name, key } => Op::MapDel(self.map_for(name)?, *key),
+            Cmd::CounterGet { name } => Op::CounterGet(self.counter_for(name)?),
+            Cmd::CounterInc { name, delta } => Op::CounterInc(self.counter_for(name)?, *delta),
+            Cmd::QueueEnq { name, value } => Op::QueueEnq(self.queue_for(name)?, *value),
+            Cmd::QueueDeq { name } => Op::QueueDeq(self.queue_for(name)?),
+        })
+    }
+
+    /// Execute a burst of units with commit-batching: one transaction for
+    /// the whole burst first; if that aborts (patience exceeded, retry
+    /// budget exhausted), one transaction per unit. Returns one response
+    /// vector per unit, in order.
+    pub fn execute(&self, units: &[Unit]) -> Vec<Vec<String>> {
+        let total: u64 = units.iter().map(|unit| unit.ops.len() as u64).sum();
+        self.requests.fetch_add(total, Ordering::Relaxed);
+        if units.len() > 1 {
+            let patience = self.batch_patience;
+            let batched = self.stm.atomically(|tx| {
+                if tx.attempt() > patience {
+                    // The batch is contended; stop poisoning every request
+                    // in it and let each one commit on its own.
+                    return Err(TxError::abort(BATCH_FALLBACK));
+                }
+                units
+                    .iter()
+                    .map(|unit| unit.ops.iter().map(|op| apply_op(tx, op)).collect())
+                    .collect::<TxResult<Vec<Vec<String>>>>()
+            });
+            match batched {
+                Ok(responses) => return responses,
+                Err(_) => {
+                    self.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        units.iter().map(|unit| self.execute_unit(unit)).collect()
+    }
+
+    fn execute_unit(&self, unit: &Unit) -> Vec<String> {
+        let result = self.stm.atomically(|tx| unit.ops.iter().map(|op| apply_op(tx, op)).collect());
+        match result {
+            Ok(responses) => responses,
+            Err(_) => {
+                // Retry budget exhausted (only reachable under the give-up
+                // policy); the unit stays atomic, so every line is BUSY.
+                self.busy.fetch_add(1, Ordering::Relaxed);
+                unit.ops.iter().map(|_| "BUSY".to_string()).collect()
+            }
+        }
+    }
+
+    /// The one-line JSON snapshot served by `STATS`: request accounting,
+    /// the STM commit/conflict counters with the abort-cause breakdown
+    /// (same shape as the bench report cells), and the server-side
+    /// latency histogram.
+    pub fn stats_json(&self) -> JsonValue {
+        let stats = self.stm.stats();
+        JsonValue::obj([
+            ("lap", JsonValue::str(self.lap.name())),
+            ("update", JsonValue::str(self.update.name())),
+            (
+                "baseline",
+                match self.baseline {
+                    Some(baseline) => JsonValue::str(baseline.name()),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("requests", JsonValue::u64(self.requests.load(Ordering::Relaxed))),
+            ("protocol_errors", JsonValue::u64(self.protocol_errors.load(Ordering::Relaxed))),
+            ("busy", JsonValue::u64(self.busy.load(Ordering::Relaxed))),
+            ("batch_fallbacks", JsonValue::u64(self.batch_fallbacks.load(Ordering::Relaxed))),
+            ("starts", JsonValue::u64(stats.starts)),
+            ("commits", JsonValue::u64(stats.commits)),
+            ("conflicts", JsonValue::u64(stats.conflicts)),
+            ("exhausted", JsonValue::u64(stats.exhausted)),
+            ("serial_escalations", JsonValue::u64(stats.serial_escalations)),
+            ("wounds_issued", JsonValue::u64(stats.wounds_issued)),
+            ("abort_causes", abort_causes_json(&stats)),
+            ("latency", histogram_json(&self.latency)),
+        ])
+    }
+}
+
+/// Apply one resolved operation inside a transaction, tagging the
+/// server-side op site for conflict attribution.
+fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
+    match op {
+        Op::MapGet(map, key) => {
+            op_site!(tx, "server.get");
+            Ok(match map.get(tx, key)? {
+                Some(value) => format!("VALUE {value}"),
+                None => "NIL".to_string(),
+            })
+        }
+        Op::MapPut(map, key, value) => {
+            op_site!(tx, "server.put");
+            map.put(tx, *key, *value)?;
+            Ok("OK".to_string())
+        }
+        Op::MapDel(map, key) => {
+            op_site!(tx, "server.del");
+            Ok(match map.remove(tx, key)? {
+                Some(old) => format!("VALUE {old}"),
+                None => "NIL".to_string(),
+            })
+        }
+        Op::CounterGet(counter) => {
+            // Committed value; deliberately touches no transactional state
+            // so counter reads never conflict with increments.
+            op_site!(tx, "server.cget");
+            Ok(format!("VALUE {}", counter.value_now()))
+        }
+        Op::CounterInc(counter, delta) => {
+            op_site!(tx, "server.inc");
+            for _ in 0..*delta {
+                counter.incr(tx)?;
+            }
+            Ok("OK".to_string())
+        }
+        Op::QueueEnq(queue, value) => {
+            op_site!(tx, "server.enq");
+            queue.enqueue(tx, *value)?;
+            Ok("OK".to_string())
+        }
+        Op::QueueDeq(queue) => {
+            op_site!(tx, "server.deq");
+            Ok(match queue.dequeue(tx)? {
+                Some(value) => format!("VALUE {value}"),
+                None => "NIL".to_string(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(&ServerConfig::default())
+    }
+
+    fn single(engine: &Engine, line: &str) -> String {
+        let parsed = match crate::proto::parse_line(line).unwrap() {
+            crate::proto::Line::Data(cmd) => cmd,
+            other => panic!("not a data command: {other:?}"),
+        };
+        let op = engine.resolve(&parsed).unwrap();
+        let mut responses = engine.execute(&[Unit { ops: vec![op] }]);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].len(), 1);
+        responses.pop().unwrap().pop().unwrap()
+    }
+
+    #[test]
+    fn map_counter_queue_round_trip() {
+        let engine = engine();
+        assert_eq!(single(&engine, "GET m 1"), "NIL");
+        assert_eq!(single(&engine, "PUT m 1 10"), "OK");
+        assert_eq!(single(&engine, "GET m 1"), "VALUE 10");
+        assert_eq!(single(&engine, "DEL m 1"), "VALUE 10");
+        assert_eq!(single(&engine, "DEL m 1"), "NIL");
+        assert_eq!(single(&engine, "INC hits 3"), "OK");
+        assert_eq!(single(&engine, "GET hits"), "VALUE 3");
+        assert_eq!(single(&engine, "ENQ q 7"), "OK");
+        assert_eq!(single(&engine, "ENQ q 8"), "OK");
+        assert_eq!(single(&engine, "DEQ q"), "VALUE 7");
+        assert_eq!(single(&engine, "DEQ q"), "VALUE 8");
+        assert_eq!(single(&engine, "DEQ q"), "NIL");
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let engine = engine();
+        // Same name, three kinds, no interference.
+        assert_eq!(single(&engine, "PUT x 1 5"), "OK");
+        assert_eq!(single(&engine, "INC x"), "OK");
+        assert_eq!(single(&engine, "ENQ x 9"), "OK");
+        assert_eq!(single(&engine, "GET x 1"), "VALUE 5");
+        assert_eq!(single(&engine, "GET x"), "VALUE 1");
+        assert_eq!(single(&engine, "DEQ x"), "VALUE 9");
+    }
+
+    #[test]
+    fn batched_units_all_commit_and_stay_ordered() {
+        let engine = engine();
+        let units: Vec<Unit> = (0..10)
+            .map(|i| {
+                let op = engine
+                    .resolve(&Cmd::MapPut { name: "m".into(), key: i, value: i * 2 })
+                    .unwrap();
+                Unit { ops: vec![op] }
+            })
+            .collect();
+        let responses = engine.execute(&units);
+        assert_eq!(responses.len(), 10);
+        for unit in &responses {
+            assert_eq!(unit.as_slice(), ["OK".to_string()]);
+        }
+        for i in 0..10u64 {
+            assert_eq!(single(&engine, &format!("GET m {i}")), format!("VALUE {}", i * 2));
+        }
+    }
+
+    #[test]
+    fn multi_unit_is_atomic() {
+        let engine = engine();
+        let ops = vec![
+            engine.resolve(&Cmd::MapPut { name: "m".into(), key: 1, value: 1 }).unwrap(),
+            engine.resolve(&Cmd::CounterInc { name: "c".into(), delta: 2 }).unwrap(),
+            engine.resolve(&Cmd::MapGet { name: "m".into(), key: 1 }).unwrap(),
+        ];
+        let responses = engine.execute(&[Unit { ops }]);
+        assert_eq!(responses, vec![vec!["OK".to_string(), "OK".into(), "VALUE 1".into()]]);
+        assert_eq!(single(&engine, "GET c"), "VALUE 2");
+    }
+
+    #[test]
+    fn every_quadrant_and_baseline_serves_requests() {
+        let mut configs = Vec::new();
+        for lap in LapChoice::ALL {
+            for update in UpdateChoice::ALL {
+                configs.push(ServerConfig { lap, update, ..ServerConfig::default() });
+            }
+        }
+        for baseline in [Baseline::Stm, Baseline::Predication, Baseline::Boosted, Baseline::Coarse]
+        {
+            configs.push(ServerConfig { baseline: Some(baseline), ..ServerConfig::default() });
+        }
+        for config in configs {
+            let engine = Engine::new(&config);
+            assert_eq!(single(&engine, "PUT m 1 10"), "OK");
+            assert_eq!(single(&engine, "GET m 1"), "VALUE 10");
+        }
+    }
+
+    #[test]
+    fn stats_json_has_the_report_shape() {
+        let engine = engine();
+        single(&engine, "PUT m 1 10");
+        let json = engine.stats_json().to_json();
+        let parsed = JsonValue::parse(&json).unwrap();
+        assert!(parsed.get("commits").and_then(JsonValue::as_u64).unwrap() >= 1);
+        assert!(parsed.get("abort_causes").and_then(|c| c.get("wounded")).is_some());
+        assert_eq!(parsed.get("protocol_errors").and_then(JsonValue::as_u64), Some(0));
+    }
+}

@@ -1,0 +1,547 @@
+//! # proust-server
+//!
+//! A networked transactional data-structure server: clients speak a small
+//! line-oriented TCP protocol ([`proto`]) against named maps, counters,
+//! and FIFO queues, and every request — single op or `MULTI … EXEC`
+//! batch — executes as one Proust transaction ([`engine`]).
+//!
+//! Architecture:
+//!
+//! * **sharded accept** — `shards` acceptor threads share one listener
+//!   and feed a bounded worker pool;
+//! * **worker pool** — `workers` threads each own one connection at a
+//!   time, so concurrent connections are capped at `workers`;
+//! * **pipelining + commit-batching** — every read drains all complete
+//!   request lines; up to `max_batch` of them execute as a *single*
+//!   transaction attempt, falling back to per-request transactions when
+//!   the batch aborts (see [`engine::Engine::execute`]);
+//! * **graceful shutdown** — `SHUTDOWN` (or [`ServerHandle::shutdown`])
+//!   stops the acceptors, lets workers finish the requests they have
+//!   already parsed, then quiesces the STM runtime so no transaction is
+//!   abandoned mid-commit.
+//!
+//! The structures a server instance exposes are chosen by the Proust
+//! design-space axes: `--lap pessimistic|optimistic` picks the
+//! lock-allocator policy and `--update eager|lazy` the update strategy
+//! (plus `--baseline` for the non-Proustian comparison maps).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod proto;
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use proust_bench::args::{LapChoice, UpdateChoice};
+use proust_stm::{CmPolicy, RetryExhaustion};
+
+pub use engine::{Baseline, Engine, Op, Unit};
+
+/// Everything a server instance needs to know at startup.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Lock-allocator policy axis for the Proustian structures.
+    pub lap: LapChoice,
+    /// Update-strategy axis for the Proustian maps.
+    pub update: UpdateChoice,
+    /// Use a baseline (non-Proustian) map implementation instead.
+    pub baseline: Option<Baseline>,
+    /// Contention-management policy for the STM runtime.
+    pub cm: CmPolicy,
+    /// What happens when a transaction exhausts `max_retries`.
+    pub exhaustion: RetryExhaustion,
+    /// Optimistic retry budget per `atomically` call.
+    pub max_retries: u32,
+    /// Acceptor threads sharing the listener.
+    pub shards: usize,
+    /// Worker threads (= maximum concurrent connections).
+    pub workers: usize,
+    /// Maximum parsed requests per batched transaction attempt.
+    pub max_batch: usize,
+    /// Batched attempts tolerated before falling back to per-request
+    /// transactions.
+    pub batch_patience: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            lap: LapChoice::default(),
+            update: UpdateChoice::default(),
+            baseline: None,
+            cm: CmPolicy::default(),
+            exhaustion: RetryExhaustion::SerialFallback,
+            max_retries: 128,
+            shards: 2,
+            workers: 32,
+            max_batch: 16,
+            batch_patience: 4,
+        }
+    }
+}
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// How long an idle acceptor sleeps between polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// How long shutdown waits for in-flight transactions to drain.
+const QUIESCE_TIMEOUT: Duration = Duration::from_secs(2);
+
+#[derive(Debug)]
+struct Shared {
+    engine: Engine,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    max_batch: usize,
+}
+
+/// A running server: spawned threads plus the handle used to stop them.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the acceptor shards and the worker pool, and return a
+    /// handle. The listener is live when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/clone failures.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Engine::new(&config),
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            max_batch: config.max_batch.max(1),
+        });
+        let mut threads = Vec::with_capacity(config.shards + config.workers);
+        for shard in 0..config.shards.max(1) {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("accept-{shard}"))
+                    .spawn(move || accept_loop(&listener, &shared))
+                    .expect("spawn acceptor"),
+            );
+        }
+        for worker in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("worker-{worker}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        Ok(ServerHandle { addr, shared, threads })
+    }
+}
+
+/// Handle to a running server: its bound address and the means to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown (command or handle) has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// One-line JSON stats snapshot (same payload as the `STATS` command).
+    pub fn stats_json(&self) -> String {
+        self.shared.engine.stats_json().to_json()
+    }
+
+    /// Request a graceful shutdown and wait for it to complete: acceptors
+    /// stop, workers finish the requests they have already parsed, and the
+    /// STM runtime quiesces. Returns `true` if every in-flight transaction
+    /// drained within the timeout.
+    pub fn shutdown(self) -> bool {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        self.join_all()
+    }
+
+    /// Block until something else requests shutdown (e.g. a client's
+    /// `SHUTDOWN` command), then finish the drain as [`Self::shutdown`].
+    pub fn wait(self) -> bool {
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(READ_POLL);
+        }
+        self.shared.available.notify_all();
+        self.join_all()
+    }
+
+    fn join_all(self) -> bool {
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+        self.shared.engine.stm().quiesce(QUIESCE_TIMEOUT)
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let mut queue = shared.queue.lock().expect("connection queue poisoned");
+                queue.push_back(stream);
+                drop(queue);
+                shared.available.notify_one();
+            }
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("connection queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .available
+                    .wait_timeout(queue, READ_POLL)
+                    .expect("connection queue poisoned");
+                queue = guard;
+            }
+        };
+        match stream {
+            Some(stream) => serve_conn(shared, stream),
+            None => return,
+        }
+    }
+}
+
+/// One ordered piece of a response burst.
+enum Seg {
+    /// A response line known at parse time (OK/PONG/QUEUED/ERR/...).
+    Lit(String),
+    /// A unit to execute transactionally; `true` = `MULTI` block
+    /// (`RESULTS n` framing), stamped with its parse time for latency.
+    Run(Unit, bool, Instant),
+    /// `STATS` — serialized at its position so it reflects every earlier
+    /// request on this connection.
+    Stats,
+}
+
+#[derive(Default)]
+struct ConnState {
+    /// Open `MULTI` block, if any.
+    multi: Option<Vec<Op>>,
+    /// Close the connection after this burst.
+    quit: bool,
+    /// Begin server-wide shutdown after this burst.
+    shutdown: bool,
+}
+
+fn serve_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let mut state = ConnState::default();
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle; during a drain there is nothing left to owe this
+                // client, so the connection can close.
+                if shared.shutdown.load(Ordering::Acquire) && buf.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        let segs = drain_lines(shared, &mut buf, &mut state);
+        let out = run_segments(shared, segs);
+        if !out.is_empty() && stream.write_all(out.as_bytes()).is_err() {
+            return;
+        }
+        if state.shutdown {
+            shared.shutdown.store(true, Ordering::Release);
+            shared.available.notify_all();
+            state.shutdown = false;
+        }
+        if state.quit {
+            return;
+        }
+    }
+}
+
+/// Split complete lines out of `buf` (leaving any partial trailing line)
+/// and feed them through the connection state machine.
+fn drain_lines(shared: &Shared, buf: &mut Vec<u8>, state: &mut ConnState) -> Vec<Seg> {
+    let mut segs = Vec::new();
+    while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+        let line_bytes: Vec<u8> = buf.drain(..=nl).collect();
+        if state.quit {
+            continue; // discard anything pipelined after QUIT
+        }
+        let line = String::from_utf8_lossy(&line_bytes);
+        feed_line(shared, line.trim_end_matches(['\r', '\n']), state, &mut segs);
+    }
+    segs
+}
+
+fn feed_line(shared: &Shared, line: &str, state: &mut ConnState, segs: &mut Vec<Seg>) {
+    let engine = &shared.engine;
+    let err = |segs: &mut Vec<Seg>, msg: String| {
+        engine.note_protocol_error();
+        segs.push(Seg::Lit(format!("ERR {msg}")));
+    };
+    let parsed = match proto::parse_line(line) {
+        Ok(parsed) => parsed,
+        Err(msg) => return err(segs, msg),
+    };
+    match parsed {
+        proto::Line::Data(cmd) => match engine.resolve(&cmd) {
+            Ok(op) => match &mut state.multi {
+                Some(pending) => {
+                    pending.push(op);
+                    segs.push(Seg::Lit("QUEUED".to_string()));
+                }
+                None => segs.push(Seg::Run(Unit { ops: vec![op] }, false, Instant::now())),
+            },
+            Err(msg) => err(segs, msg),
+        },
+        proto::Line::Multi => match state.multi {
+            Some(_) => err(segs, "nested MULTI".to_string()),
+            None => {
+                state.multi = Some(Vec::new());
+                segs.push(Seg::Lit("OK".to_string()));
+            }
+        },
+        proto::Line::Exec => match state.multi.take() {
+            Some(ops) => segs.push(Seg::Run(Unit { ops }, true, Instant::now())),
+            None => err(segs, "EXEC without MULTI".to_string()),
+        },
+        proto::Line::Discard => match state.multi.take() {
+            Some(_) => segs.push(Seg::Lit("OK".to_string())),
+            None => err(segs, "DISCARD without MULTI".to_string()),
+        },
+        // Control verbs are connection-level; inside MULTI they are
+        // protocol errors rather than silently breaking atomicity.
+        _ if state.multi.is_some() => err(segs, format!("{line:?} not allowed in MULTI")),
+        proto::Line::Ping => segs.push(Seg::Lit("PONG".to_string())),
+        proto::Line::Stats => segs.push(Seg::Stats),
+        proto::Line::Shutdown => {
+            state.shutdown = true;
+            segs.push(Seg::Lit("OK".to_string()));
+        }
+        proto::Line::Quit => {
+            state.quit = true;
+            segs.push(Seg::Lit("OK".to_string()));
+        }
+    }
+}
+
+/// Execute the burst: group consecutive `Run` segments into commit
+/// batches of at most `max_batch` requests, keep every response line in
+/// request order, and record per-request service latency.
+fn run_segments(shared: &Shared, segs: Vec<Seg>) -> String {
+    let mut out = String::new();
+    let mut pending: Vec<(Unit, bool, Instant)> = Vec::new();
+    let mut pending_ops = 0usize;
+    let flush = |out: &mut String, pending: &mut Vec<(Unit, bool, Instant)>| {
+        if pending.is_empty() {
+            return;
+        }
+        let units: Vec<Unit> = pending.iter().map(|(unit, _, _)| unit.clone()).collect();
+        let responses = shared.engine.execute(&units);
+        let done = Instant::now();
+        for ((unit, is_multi, stamp), lines) in pending.drain(..).zip(responses) {
+            let elapsed = done.duration_since(stamp).as_nanos() as u64;
+            for _ in 0..unit.ops.len().max(1) {
+                shared.engine.latency.record(elapsed);
+            }
+            if is_multi {
+                out.push_str(&format!("RESULTS {}\n", lines.len()));
+            }
+            for line in lines {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    };
+    for seg in segs {
+        match seg {
+            Seg::Run(unit, is_multi, stamp) => {
+                pending_ops += unit.ops.len();
+                pending.push((unit, is_multi, stamp));
+                if pending_ops >= shared.max_batch {
+                    flush(&mut out, &mut pending);
+                    pending_ops = 0;
+                }
+            }
+            Seg::Lit(line) => {
+                flush(&mut out, &mut pending);
+                pending_ops = 0;
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Seg::Stats => {
+                flush(&mut out, &mut pending);
+                pending_ops = 0;
+                out.push_str(&format!("STATS {}\n", shared.engine.stats_json().to_json()));
+            }
+        }
+    }
+    flush(&mut out, &mut pending);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            Client { reader: BufReader::new(stream) }
+        }
+
+        fn send(&mut self, lines: &str) {
+            self.reader.get_mut().write_all(lines.as_bytes()).expect("send");
+        }
+
+        fn recv(&mut self) -> String {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("recv");
+            line.trim_end().to_string()
+        }
+
+        fn roundtrip(&mut self, line: &str) -> String {
+            self.send(&format!("{line}\n"));
+            self.recv()
+        }
+    }
+
+    #[test]
+    fn serves_the_protocol_end_to_end() {
+        let handle = Server::start(ServerConfig::default()).expect("start");
+        let mut client = Client::connect(handle.addr());
+        assert_eq!(client.roundtrip("PING"), "PONG");
+        assert_eq!(client.roundtrip("PUT m 1 10"), "OK");
+        assert_eq!(client.roundtrip("GET m 1"), "VALUE 10");
+        assert_eq!(client.roundtrip("GET m 2"), "NIL");
+        assert_eq!(client.roundtrip("INC c 5"), "OK");
+        assert_eq!(client.roundtrip("GET c"), "VALUE 5");
+        assert_eq!(client.roundtrip("BOGUS"), "ERR unknown verb \"BOGUS\"");
+        // Pipelined burst: all responses, in order.
+        client.send("PUT m 2 20\nGET m 2\nDEL m 2\nGET m 2\n");
+        assert_eq!(client.recv(), "OK");
+        assert_eq!(client.recv(), "VALUE 20");
+        assert_eq!(client.recv(), "VALUE 20");
+        assert_eq!(client.recv(), "NIL");
+        assert_eq!(client.roundtrip("QUIT"), "OK");
+        assert!(handle.shutdown());
+    }
+
+    #[test]
+    fn multi_exec_discard() {
+        let handle = Server::start(ServerConfig::default()).expect("start");
+        let mut client = Client::connect(handle.addr());
+        assert_eq!(client.roundtrip("MULTI"), "OK");
+        assert_eq!(client.roundtrip("PUT m 1 1"), "QUEUED");
+        assert_eq!(client.roundtrip("INC c 2"), "QUEUED");
+        assert_eq!(client.roundtrip("GET m 1"), "QUEUED");
+        assert_eq!(client.roundtrip("PING"), "ERR \"PING\" not allowed in MULTI");
+        assert_eq!(client.roundtrip("EXEC"), "RESULTS 3");
+        assert_eq!(client.recv(), "OK");
+        assert_eq!(client.recv(), "OK");
+        assert_eq!(client.recv(), "VALUE 1");
+        assert_eq!(client.roundtrip("EXEC"), "ERR EXEC without MULTI");
+        assert_eq!(client.roundtrip("MULTI"), "OK");
+        assert_eq!(client.roundtrip("PUT m 9 9"), "QUEUED");
+        assert_eq!(client.roundtrip("DISCARD"), "OK");
+        assert_eq!(client.roundtrip("GET m 9"), "NIL");
+        assert!(handle.shutdown());
+    }
+
+    #[test]
+    fn stats_and_shutdown_command() {
+        let handle = Server::start(ServerConfig::default()).expect("start");
+        let mut client = Client::connect(handle.addr());
+        assert_eq!(client.roundtrip("PUT m 1 1"), "OK");
+        let stats = client.roundtrip("STATS");
+        let payload = stats.strip_prefix("STATS ").expect("STATS prefix");
+        let parsed = proust_stm::obs::JsonValue::parse(payload).expect("STATS is one-line JSON");
+        assert!(
+            parsed.get("commits").and_then(proust_stm::obs::JsonValue::as_u64).unwrap() >= 1,
+            "{stats}"
+        );
+        assert_eq!(client.roundtrip("SHUTDOWN"), "OK");
+        assert!(handle.wait(), "drain should complete");
+    }
+
+    #[test]
+    fn concurrent_clients_increment_without_lost_updates() {
+        let handle = Server::start(ServerConfig::default()).expect("start");
+        let addr = handle.addr();
+        let per_client = 200u64;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    for _ in 0..per_client {
+                        assert_eq!(client.roundtrip("INC shared"), "OK");
+                    }
+                });
+            }
+        });
+        let mut client = Client::connect(addr);
+        assert_eq!(client.roundtrip("GET shared"), format!("VALUE {}", 8 * per_client));
+        assert!(handle.shutdown());
+    }
+}

@@ -1,0 +1,82 @@
+//! The `proust-server` binary: bind, print the bound address, serve until
+//! a client sends `SHUTDOWN` (or the process is killed).
+
+use proust_bench::args::{Args, LapChoice, UpdateChoice};
+use proust_server::{Baseline, Server, ServerConfig};
+use proust_stm::{CmPolicy, RetryExhaustion};
+
+const USAGE: &str = "\
+usage: proust-server [--addr HOST:PORT] [--lap pessimistic|optimistic]
+                     [--update eager|lazy]
+                     [--baseline stm|predication|boosted|coarse]
+                     [--cm backoff|karma|greedy|serial]
+                     [--exhaustion serial|giveup] [--max-retries N]
+                     [--shards N] [--workers N]
+                     [--max-batch N] [--batch-patience N]";
+
+fn config_from_args() -> ServerConfig {
+    let mut config = ServerConfig::default();
+    let mut args = Args::from_env(USAGE);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = args.value("--addr"),
+            "--lap" => {
+                let raw = args.value("--lap");
+                config.lap = LapChoice::parse(&raw)
+                    .unwrap_or_else(|| args.fail(format!("unknown --lap value {raw:?}")));
+            }
+            "--update" => {
+                let raw = args.value("--update");
+                config.update = UpdateChoice::parse(&raw)
+                    .unwrap_or_else(|| args.fail(format!("unknown --update value {raw:?}")));
+            }
+            "--baseline" => {
+                let raw = args.value("--baseline");
+                config.baseline = Some(
+                    Baseline::parse(&raw)
+                        .unwrap_or_else(|| args.fail(format!("unknown --baseline value {raw:?}"))),
+                );
+            }
+            "--cm" => {
+                let raw = args.value("--cm");
+                config.cm = CmPolicy::parse(&raw)
+                    .unwrap_or_else(|| args.fail(format!("unknown --cm value {raw:?}")));
+            }
+            "--exhaustion" => {
+                let raw = args.value("--exhaustion");
+                config.exhaustion = match raw.as_str() {
+                    "serial" => RetryExhaustion::SerialFallback,
+                    "giveup" => RetryExhaustion::GiveUp,
+                    _ => args.fail(format!("unknown --exhaustion value {raw:?}")),
+                };
+            }
+            "--max-retries" => config.max_retries = args.parsed("--max-retries"),
+            "--shards" => config.shards = args.parsed("--shards"),
+            "--workers" => config.workers = args.parsed("--workers"),
+            "--max-batch" => config.max_batch = args.parsed("--max-batch"),
+            "--batch-patience" => config.batch_patience = args.parsed("--batch-patience"),
+            other => args.unknown(other),
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = config_from_args();
+    let handle = match Server::start(config) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+    // Scripts parse this line to discover the port when binding :0.
+    println!("LISTENING {}", handle.addr());
+    let drained = handle.wait();
+    if drained {
+        println!("shutdown: drained");
+    } else {
+        eprintln!("shutdown: quiesce timed out with transactions still in flight");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,313 @@
+//! The wire protocol: one request per `\n`-terminated line, one or more
+//! response lines per request, always in request order.
+//!
+//! Grammar (tokens separated by single spaces; `name` is `[A-Za-z0-9_.-]+`,
+//! at most 64 bytes; keys/values/deltas are decimal `u64`):
+//!
+//! ```text
+//! PING                      -> PONG
+//! GET  name key             -> VALUE v | NIL          (map lookup)
+//! GET  name                 -> VALUE v                (counter committed value)
+//! PUT  name key value       -> OK                     (map insert/overwrite)
+//! DEL  name key             -> VALUE old | NIL        (map remove)
+//! INC  name [delta]         -> OK                     (counter += delta, default 1)
+//! ENQ  name value           -> OK                     (queue enqueue)
+//! DEQ  name                 -> VALUE v | NIL          (queue dequeue)
+//! MULTI                     -> OK                     (open a batch)
+//!   <data command>          -> QUEUED                 (repeated)
+//! EXEC                      -> RESULTS n, then n response lines
+//! DISCARD                   -> OK                     (drop the open batch)
+//! STATS                     -> STATS <one-line JSON>
+//! SHUTDOWN                  -> OK                     (begin graceful drain)
+//! QUIT                      -> OK, connection closes
+//! ```
+//!
+//! Malformed input earns `ERR <reason>`; a request whose transaction
+//! exhausts its retry budget (only possible under `--exhaustion giveup`)
+//! earns `BUSY`, which is accounted separately from protocol errors.
+//! Maps, counters, and queues live in separate namespaces, so a name
+//! never changes kind.
+
+/// Maximum accepted structure-name length, in bytes.
+pub const MAX_NAME: usize = 64;
+
+/// A data command: executes inside a transaction and yields exactly one
+/// response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// `GET name key` — map lookup.
+    MapGet {
+        /// Map name.
+        name: String,
+        /// Key.
+        key: u64,
+    },
+    /// `PUT name key value` — map insert/overwrite.
+    MapPut {
+        /// Map name.
+        name: String,
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// `DEL name key` — map remove.
+    MapDel {
+        /// Map name.
+        name: String,
+        /// Key.
+        key: u64,
+    },
+    /// `GET name` — committed counter value.
+    CounterGet {
+        /// Counter name.
+        name: String,
+    },
+    /// `INC name delta` — counter increment.
+    CounterInc {
+        /// Counter name.
+        name: String,
+        /// Amount to add (1..=[`MAX_DELTA`]).
+        delta: u64,
+    },
+    /// `ENQ name value` — queue enqueue.
+    QueueEnq {
+        /// Queue name.
+        name: String,
+        /// Value.
+        value: u64,
+    },
+    /// `DEQ name` — queue dequeue.
+    QueueDeq {
+        /// Queue name.
+        name: String,
+    },
+}
+
+/// Largest accepted `INC` delta; increments replay the counter's unit
+/// `incr` inside one transaction, so the delta bounds per-request work.
+pub const MAX_DELTA: u64 = 4096;
+
+impl Cmd {
+    /// Stable short label for latency accounting and `op_site!` tags.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Cmd::MapGet { .. } => "get",
+            Cmd::MapPut { .. } => "put",
+            Cmd::MapDel { .. } => "del",
+            Cmd::CounterGet { .. } => "cget",
+            Cmd::CounterInc { .. } => "inc",
+            Cmd::QueueEnq { .. } => "enq",
+            Cmd::QueueDeq { .. } => "deq",
+        }
+    }
+}
+
+/// One parsed request line: either a data command or a connection-level
+/// control verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// A data command (see [`Cmd`]).
+    Data(Cmd),
+    /// `PING`.
+    Ping,
+    /// `MULTI` — open a batch.
+    Multi,
+    /// `EXEC` — run the open batch as one transaction.
+    Exec,
+    /// `DISCARD` — drop the open batch.
+    Discard,
+    /// `STATS` — one-line JSON snapshot.
+    Stats,
+    /// `SHUTDOWN` — begin graceful server drain.
+    Shutdown,
+    /// `QUIT` — close this connection.
+    Quit,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-')
+}
+
+fn name_token(token: Option<&str>, verb: &str) -> Result<String, String> {
+    let name = token.ok_or_else(|| format!("{verb} needs a name"))?;
+    if !valid_name(name) {
+        return Err(format!("bad name {name:?}"));
+    }
+    Ok(name.to_string())
+}
+
+fn num_token(token: Option<&str>, what: &str) -> Result<u64, String> {
+    let raw = token.ok_or_else(|| format!("missing {what}"))?;
+    raw.parse().map_err(|_| format!("bad {what} {raw:?}"))
+}
+
+fn end(mut rest: std::str::SplitWhitespace<'_>, verb: &str) -> Result<(), String> {
+    match rest.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("trailing token {extra:?} after {verb}")),
+    }
+}
+
+/// Parse one request line.
+///
+/// # Errors
+///
+/// Returns the human-readable reason sent back as `ERR <reason>`.
+pub fn parse_line(line: &str) -> Result<Line, String> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
+    let parsed = match verb {
+        "PING" => {
+            end(tokens, verb)?;
+            Line::Ping
+        }
+        "GET" => {
+            let name = name_token(tokens.next(), verb)?;
+            match tokens.next() {
+                // Two-argument form: map lookup.
+                Some(key) => {
+                    let key = num_token(Some(key), "key")?;
+                    end(tokens, verb)?;
+                    Line::Data(Cmd::MapGet { name, key })
+                }
+                // One-argument form: committed counter value.
+                None => Line::Data(Cmd::CounterGet { name }),
+            }
+        }
+        "PUT" => {
+            let name = name_token(tokens.next(), verb)?;
+            let key = num_token(tokens.next(), "key")?;
+            let value = num_token(tokens.next(), "value")?;
+            end(tokens, verb)?;
+            Line::Data(Cmd::MapPut { name, key, value })
+        }
+        "DEL" => {
+            let name = name_token(tokens.next(), verb)?;
+            let key = num_token(tokens.next(), "key")?;
+            end(tokens, verb)?;
+            Line::Data(Cmd::MapDel { name, key })
+        }
+        "INC" => {
+            let name = name_token(tokens.next(), verb)?;
+            let delta = match tokens.next() {
+                Some(raw) => num_token(Some(raw), "delta")?,
+                None => 1,
+            };
+            end(tokens, verb)?;
+            if delta == 0 || delta > MAX_DELTA {
+                return Err(format!("delta must be in 1..={MAX_DELTA}"));
+            }
+            Line::Data(Cmd::CounterInc { name, delta })
+        }
+        "ENQ" => {
+            let name = name_token(tokens.next(), verb)?;
+            let value = num_token(tokens.next(), "value")?;
+            end(tokens, verb)?;
+            Line::Data(Cmd::QueueEnq { name, value })
+        }
+        "DEQ" => {
+            let name = name_token(tokens.next(), verb)?;
+            end(tokens, verb)?;
+            Line::Data(Cmd::QueueDeq { name })
+        }
+        "MULTI" => {
+            end(tokens, verb)?;
+            Line::Multi
+        }
+        "EXEC" => {
+            end(tokens, verb)?;
+            Line::Exec
+        }
+        "DISCARD" => {
+            end(tokens, verb)?;
+            Line::Discard
+        }
+        "STATS" => {
+            end(tokens, verb)?;
+            Line::Stats
+        }
+        "SHUTDOWN" => {
+            end(tokens, verb)?;
+            Line::Shutdown
+        }
+        "QUIT" => {
+            end(tokens, verb)?;
+            Line::Quit
+        }
+        other => return Err(format!("unknown verb {other:?}")),
+    };
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(parse_line("PING").unwrap(), Line::Ping);
+        assert_eq!(
+            parse_line("GET m 7").unwrap(),
+            Line::Data(Cmd::MapGet { name: "m".into(), key: 7 })
+        );
+        assert_eq!(
+            parse_line("GET hits").unwrap(),
+            Line::Data(Cmd::CounterGet { name: "hits".into() })
+        );
+        assert_eq!(
+            parse_line("PUT m 7 42").unwrap(),
+            Line::Data(Cmd::MapPut { name: "m".into(), key: 7, value: 42 })
+        );
+        assert_eq!(
+            parse_line("DEL m 7").unwrap(),
+            Line::Data(Cmd::MapDel { name: "m".into(), key: 7 })
+        );
+        assert_eq!(
+            parse_line("INC hits").unwrap(),
+            Line::Data(Cmd::CounterInc { name: "hits".into(), delta: 1 })
+        );
+        assert_eq!(
+            parse_line("INC hits 3").unwrap(),
+            Line::Data(Cmd::CounterInc { name: "hits".into(), delta: 3 })
+        );
+        assert_eq!(
+            parse_line("ENQ q 9").unwrap(),
+            Line::Data(Cmd::QueueEnq { name: "q".into(), value: 9 })
+        );
+        assert_eq!(parse_line("DEQ q").unwrap(), Line::Data(Cmd::QueueDeq { name: "q".into() }));
+        assert_eq!(parse_line("MULTI").unwrap(), Line::Multi);
+        assert_eq!(parse_line("EXEC").unwrap(), Line::Exec);
+        assert_eq!(parse_line("DISCARD").unwrap(), Line::Discard);
+        assert_eq!(parse_line("STATS").unwrap(), Line::Stats);
+        assert_eq!(parse_line("SHUTDOWN").unwrap(), Line::Shutdown);
+        assert_eq!(parse_line("QUIT").unwrap(), Line::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "FROB m 1",
+            "PUT m 1",
+            "PUT m x 2",
+            "PUT m 1 2 3",
+            "GET",
+            "GET bad!name 1",
+            "INC hits 0",
+            "INC hits 99999999",
+            "PING extra",
+            "DEQ",
+        ] {
+            assert!(parse_line(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn op_names_are_stable() {
+        assert_eq!(Cmd::MapGet { name: "m".into(), key: 0 }.op_name(), "get");
+        assert_eq!(Cmd::CounterInc { name: "c".into(), delta: 1 }.op_name(), "inc");
+    }
+}

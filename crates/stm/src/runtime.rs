@@ -48,7 +48,7 @@ fn wait_for_change(watch: &[(DynTVar, u64)]) {
 /// that transient from being mistaken for a doomed body under a tight
 /// `max_retries`, while still bounding how long a truly unsatisfiable
 /// body can hold the token with everyone else parked.
-const SERIAL_FAILURE_FLOOR: u32 = 64;
+const SERIAL_FAILURE_FLOOR: u32 = 256;
 
 /// The serial-irrevocable gate: at most one transaction per runtime may
 /// hold the token, and while it is held no *new* attempt starts.
@@ -71,6 +71,11 @@ struct SerialGate {
 impl SerialGate {
     fn new() -> SerialGate {
         SerialGate { owner: AtomicU64::new(0), lock: Mutex::new(()), released: Condvar::new() }
+    }
+
+    /// Whether some transaction holds the serial token right now.
+    fn gated(&self) -> bool {
+        self.owner.load(Ordering::Acquire) != 0
     }
 
     /// Park until no transaction holds the serial token. Called at attempt
@@ -133,6 +138,29 @@ pub(crate) struct StmInner {
     pub(crate) commit_lock: Arc<Mutex<()>>,
     /// Serial-irrevocable fallback gate.
     serial: SerialGate,
+    /// Number of `atomically` calls currently executing (across all their
+    /// attempts). Drained by [`Stm::quiesce`] during graceful shutdown.
+    in_flight: AtomicU64,
+}
+
+/// RAII registration of one `atomically` call in the in-flight count;
+/// decrements on drop, including on panic, so a dying transaction cannot
+/// wedge a quiescing server.
+struct InFlightGuard<'a> {
+    counter: &'a AtomicU64,
+}
+
+impl<'a> InFlightGuard<'a> {
+    fn new(counter: &'a AtomicU64) -> InFlightGuard<'a> {
+        counter.fetch_add(1, Ordering::AcqRel);
+        InFlightGuard { counter }
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// An STM runtime instance.
@@ -187,6 +215,7 @@ impl Stm {
                 cm,
                 commit_lock: Arc::new(Mutex::new(())),
                 serial: SerialGate::new(),
+                in_flight: AtomicU64::new(0),
             }),
         }
     }
@@ -204,6 +233,41 @@ impl Stm {
     /// token (diagnostic; racy by nature).
     pub fn serial_mode_active(&self) -> bool {
         self.inner.serial.owner.load(Ordering::Acquire) != 0
+    }
+
+    /// Number of [`atomically`](Stm::atomically) calls currently executing
+    /// on this runtime (counting a call once across all its retry
+    /// attempts). Racy by nature; intended for diagnostics and the
+    /// [`quiesce`](Stm::quiesce) drain loop.
+    pub fn in_flight(&self) -> u64 {
+        self.inner.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Block until no transaction is in flight on this runtime, or until
+    /// `timeout` elapses. Returns whether the runtime quiesced.
+    ///
+    /// This is the shutdown/drain hook for servers built on the runtime:
+    /// stop submitting new transactions, then `quiesce` to wait for the
+    /// in-flight tail to commit or abort before tearing shared structures
+    /// down. It does not *prevent* new transactions — callers own that
+    /// ordering (a server stops its request loops first).
+    pub fn quiesce(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        // Brief spin for the common near-empty case, then poll politely: a
+        // drain is a once-per-shutdown path, not a hot loop.
+        for _ in 0..128 {
+            if self.in_flight() == 0 {
+                return true;
+            }
+            std::hint::spin_loop();
+        }
+        while self.in_flight() != 0 {
+            if std::time::Instant::now() >= deadline {
+                return self.in_flight() == 0;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        true
     }
 
     /// The configuration this runtime was created with.
@@ -252,6 +316,7 @@ impl Stm {
         &self,
         mut body: impl FnMut(&mut Txn) -> TxResult<A>,
     ) -> Result<A, AbortError> {
+        let _in_flight = InFlightGuard::new(&self.inner.in_flight);
         let birth = clock::now();
         let mut backoff = Backoff::new(self.inner.config.backoff, decorrelated_seed(birth));
         let mut attempt: u32 = 0;
@@ -269,9 +334,13 @@ impl Stm {
             attempt += 1;
             // While another transaction runs serial-irrevocably, park before
             // starting (we hold nothing here). The serial owner itself skips
-            // this: it IS the gate.
-            if serial.is_none() {
+            // this: it IS the gate. A parked thread leaves the in-flight
+            // count while it waits — it is not executing anything, and the
+            // serial owner's drain wait below must not count it.
+            if serial.is_none() && self.inner.serial.gated() {
+                self.inner.in_flight.fetch_sub(1, Ordering::AcqRel);
                 self.inner.serial.wait_for_clearance();
+                self.inner.in_flight.fetch_add(1, Ordering::AcqRel);
             }
             self.inner.stats.record_start();
             let mut tx =
@@ -376,6 +445,21 @@ impl Stm {
                     drop(tx);
                     serial = Some(self.inner.serial.acquire());
                     self.inner.stats.record_serial_escalation();
+                    // Give in-flight transactions a bounded window to drain
+                    // before the first serial attempt: the gate only stops
+                    // *new* attempts, so transactions already executing can
+                    // still collide with the owner and burn its serial
+                    // failure budget. The bound matters — an in-flight
+                    // transaction parked in a Harris retry is waiting for a
+                    // commit only we can produce, so an unbounded wait here
+                    // would deadlock.
+                    let drain_deadline =
+                        std::time::Instant::now() + std::time::Duration::from_millis(2);
+                    while self.inner.in_flight.load(Ordering::Acquire) > 1
+                        && std::time::Instant::now() < drain_deadline
+                    {
+                        std::thread::yield_now();
+                    }
                     continue;
                 }
                 if exhausted && self.inner.config.on_exhaustion == RetryExhaustion::GiveUp {
@@ -717,5 +801,65 @@ mod tests {
         let stm = Stm::default();
         let v = TVar::new(5);
         assert_eq!(stm.read_only(|tx| v.read(tx)), 5);
+    }
+
+    #[test]
+    fn in_flight_tracks_active_transactions_and_quiesce_drains() {
+        let stm = Stm::default();
+        assert_eq!(stm.in_flight(), 0);
+        assert!(stm.quiesce(std::time::Duration::from_millis(1)), "idle runtime is quiesced");
+
+        // Hold a transaction open on another thread until released, and
+        // check the counter observes it.
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let worker_stm = stm.clone();
+            let worker_release = Arc::clone(&release);
+            scope.spawn(move || {
+                worker_stm
+                    .atomically(|_tx| {
+                        while !worker_release.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+            });
+            while stm.in_flight() == 0 {
+                std::thread::yield_now();
+            }
+            assert!(
+                !stm.quiesce(std::time::Duration::from_millis(5)),
+                "quiesce must time out while a transaction is in flight"
+            );
+            release.store(true, Ordering::Release);
+            assert!(
+                stm.quiesce(std::time::Duration::from_secs(5)),
+                "quiesce must observe the drain"
+            );
+        });
+        assert_eq!(stm.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_counts_a_call_once_across_retries_and_survives_aborts() {
+        let stm = Stm::new(StmConfig {
+            max_retries: Some(3),
+            on_exhaustion: RetryExhaustion::GiveUp,
+            ..StmConfig::default()
+        });
+        let mut peak = 0;
+        let result: Result<(), _> = stm.atomically(|tx| {
+            peak = peak.max(stm.in_flight());
+            tx.conflict(crate::ConflictKind::External("always"))
+        });
+        assert!(result.is_err());
+        assert_eq!(peak, 1, "retries of one call must not inflate the in-flight count");
+        assert_eq!(stm.in_flight(), 0, "an exhausted call must deregister");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<(), _> = stm.atomically(|_tx| panic!("boom"));
+        }));
+        assert!(err.is_err());
+        assert_eq!(stm.in_flight(), 0, "a panicking body must deregister");
     }
 }

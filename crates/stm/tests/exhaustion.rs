@@ -1,0 +1,114 @@
+//! Regression tests for the opt-in give-up policy: when `max_retries` is
+//! reached under [`RetryExhaustion::GiveUp`], `atomically` must surface
+//! `AbortKind::Exhausted` with an accurate attempt count and the conflict
+//! that actually killed the final attempt — including when that conflict
+//! is a wound, whose attribution rides a different path (the victim
+//! discovers it at its next operation, not at commit).
+
+use proust_stm::{AbortKind, CmPolicy, ConflictKind, RetryExhaustion, Stm, StmConfig, TVar};
+
+fn give_up_config(max_retries: u32) -> StmConfig {
+    StmConfig {
+        cm: CmPolicy::Backoff, // never escalates to serial on its own
+        max_retries: Some(max_retries),
+        on_exhaustion: RetryExhaustion::GiveUp,
+        ..StmConfig::default()
+    }
+}
+
+/// The exhaustion error must carry the exact attempt count and the *last*
+/// conflict, not the first: the final attempt is the one that proves the
+/// retry budget was spent in vain.
+#[test]
+fn give_up_reports_attempts_and_last_conflict() {
+    let stm = Stm::new(give_up_config(3));
+    let mut seen_attempts = Vec::new();
+    let err = stm
+        .atomically(|tx| -> proust_stm::TxResult<()> {
+            seen_attempts.push(tx.attempt());
+            // Vary the cause per attempt so a stale first-conflict would be
+            // distinguishable from the correct last-conflict.
+            if tx.attempt() < 3 {
+                tx.conflict(ConflictKind::ReadInvalid)
+            } else {
+                tx.conflict(ConflictKind::AbstractLock)
+            }
+        })
+        .expect_err("budget of 3 must be exhausted");
+
+    assert_eq!(seen_attempts, vec![1, 2, 3], "attempts are 1-based and sequential");
+    assert!(err.is_exhausted());
+    assert_eq!(
+        err.kind(),
+        AbortKind::Exhausted { attempts: 3, last_conflict: ConflictKind::AbstractLock }
+    );
+    assert!(err.reason().contains("3 attempts"), "reason: {}", err.reason());
+
+    let stats = stm.stats();
+    assert_eq!(stats.exhausted, 1);
+    assert_eq!(stats.starts, 3);
+    assert_eq!(stats.commits, 0);
+    assert_eq!(stats.serial_escalations, 0, "GiveUp must not escalate to serial");
+}
+
+/// Wound attribution: a transaction killed by a wound on every attempt
+/// must surface `Exhausted` with `ConflictKind::Wounded` — the wound is
+/// raised at the victim's next operation rather than by validation, so
+/// this exercises the attribution path the other conflicts don't.
+#[test]
+fn give_up_attributes_wounds() {
+    let stm = Stm::new(give_up_config(2));
+    let v = TVar::new(0u64);
+    let err = stm
+        .atomically(|tx| {
+            // Self-inflicted through the public handle, exactly as a lock
+            // table wounds a competitor it has decided must die.
+            assert!(tx.handle().wound());
+            v.modify(tx, |x| x + 1)
+        })
+        .expect_err("a wound per attempt must exhaust the budget");
+
+    assert_eq!(
+        err.kind(),
+        AbortKind::Exhausted { attempts: 2, last_conflict: ConflictKind::Wounded }
+    );
+    let stats = stm.stats();
+    assert_eq!(stats.exhausted, 1);
+    assert!(stats.wounded >= 2, "each attempt must record its wound, got {}", stats.wounded);
+    assert_eq!(v.load(), 0, "no attempt may leak its write");
+}
+
+/// A user abort is not exhaustion: it must surface as `AbortKind::User`
+/// immediately, without consuming the retry budget.
+#[test]
+fn user_abort_is_not_exhaustion() {
+    let stm = Stm::new(give_up_config(5));
+    let err = stm
+        .atomically(|tx| -> proust_stm::TxResult<()> {
+            assert_eq!(tx.attempt(), 1, "user aborts must not retry");
+            Err(proust_stm::TxError::abort("no thanks"))
+        })
+        .expect_err("user abort surfaces");
+    assert_eq!(err.kind(), AbortKind::User);
+    assert!(!err.is_exhausted());
+    assert_eq!(stm.stats().exhausted, 0);
+}
+
+/// A transaction that succeeds within the budget must not be branded
+/// exhausted, and the budget must allow exactly `max_retries` attempts.
+#[test]
+fn success_on_final_attempt_commits() {
+    let stm = Stm::new(give_up_config(3));
+    let v = TVar::new(0u64);
+    stm.atomically(|tx| {
+        if tx.attempt() < 3 {
+            return tx.conflict(ConflictKind::WriteLocked);
+        }
+        v.modify(tx, |x| x + 1)
+    })
+    .expect("third attempt fits the budget of 3");
+    assert_eq!(v.load(), 1);
+    let stats = stm.stats();
+    assert_eq!(stats.commits, 1);
+    assert_eq!(stats.exhausted, 0);
+}

@@ -53,4 +53,15 @@ cargo run --release -q -p proust-bench --bin fifo_bench -- \
     --json "$RESULTS_DIR/fifo_bench.json" \
     | tee "$RESULTS_DIR/fifo_bench.txt"
 
+echo "== server sweep (proust-server + proust-loadgen) =="
+# End-to-end through the wire: the networked server in the two headline
+# design-space quadrants, driven closed-loop with zipfian skew and a
+# MULTI share. Each run verifies the protocol and the INC expected-value
+# invariant (loadgen exits non-zero on any anomaly); server.json carries
+# client latency percentiles plus the server's own abort-cause breakdown.
+SMOKE_SECS="${SERVER_SWEEP_SECS:-2}" scripts/server_smoke.sh "$RESULTS_DIR/server.json" -- \
+    --lap optimistic --update lazy | tee "$RESULTS_DIR/server.txt"
+SMOKE_SECS="${SERVER_SWEEP_SECS:-2}" scripts/server_smoke.sh "$RESULTS_DIR/server_pessimistic_eager.json" -- \
+    --lap pessimistic --update eager | tee -a "$RESULTS_DIR/server.txt"
+
 echo "All results (tables, CSV, and JSON reports) in $RESULTS_DIR/"

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# End-to-end server smoke: boot a proust-server, drive it with
+# proust-loadgen (closed loop, zipfian skew, a MULTI share), and require
+# zero protocol errors, zero lost updates, and a drained shutdown.
+# The loadgen binary exits non-zero on any anomaly, so this script is a
+# pass/fail gate as well as a report producer.
+#
+# Usage: scripts/server_smoke.sh [json-out] [-- server flags...]
+#   SMOKE_SECS / SMOKE_THREADS override the run length and client count.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JSON_OUT="${1:-}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+SERVER_FLAGS=("$@")
+
+SECS="${SMOKE_SECS:-2}"
+THREADS="${SMOKE_THREADS:-8}"
+
+cargo build --release -q -p proust-server -p proust-loadgen
+
+LOG="$(mktemp)"
+./target/release/proust-server --addr 127.0.0.1:0 \
+    ${SERVER_FLAGS[@]+"${SERVER_FLAGS[@]}"} >"$LOG" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+# The server binds :0 and prints the real address; poll for it.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^LISTENING //p' "$LOG" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "server never printed LISTENING" >&2; exit 1; }
+
+LOADGEN_ARGS=(--addr "$ADDR" --threads "$THREADS" --secs "$SECS"
+              --dist zipfian --theta 0.99 --multi-frac 0.1 --shutdown)
+[[ -n "$JSON_OUT" ]] && LOADGEN_ARGS+=(--json "$JSON_OUT")
+./target/release/proust-loadgen "${LOADGEN_ARGS[@]}"
+
+# SHUTDOWN was sent; the server must exit cleanly after draining
+# in-flight transactions.
+wait "$SERVER_PID"
+grep -q "shutdown: drained" "$LOG" || {
+    echo "server did not report a drained shutdown" >&2
+    exit 1
+}
+echo "server smoke OK (${SERVER_FLAGS[*]:-default config})"
