@@ -460,12 +460,23 @@ where
                 TryOutcome::Granted(new_entry) => {
                     if new_entry {
                         #[cfg(feature = "trace")]
-                        Tracer::global().emit(txn, EventKind::LockAcquire, site, slot as u64);
+                        let sampled = tx.is_sampled();
+                        #[cfg(feature = "trace")]
+                        if sampled {
+                            Tracer::global().emit(txn, EventKind::LockAcquire, site, slot as u64);
+                        }
                         let table = Arc::clone(&self.table);
                         tx.on_end(move |_outcome: TxnOutcome| {
                             table.release(slot, txn);
                             #[cfg(feature = "trace")]
-                            Tracer::global().emit(txn, EventKind::LockRelease, site, slot as u64);
+                            if sampled {
+                                Tracer::global().emit(
+                                    txn,
+                                    EventKind::LockRelease,
+                                    site,
+                                    slot as u64,
+                                );
+                            }
                         });
                     }
                     return Ok(());

@@ -28,13 +28,13 @@
 
 pub mod zipf;
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use proust_bench::report::histogram_json;
-use proust_stm::obs::{Histogram, JsonValue};
+use proust_stm::obs::{parse_exposition, Histogram, JsonValue, PromSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,6 +105,11 @@ pub struct LoadConfig {
     pub check_counters: bool,
     /// Send `SHUTDOWN` after scraping stats (for smoke scripts).
     pub send_shutdown: bool,
+    /// Suppress the once-per-second progress heartbeat on stderr.
+    pub quiet: bool,
+    /// Prometheus `/metrics` address of the server; when set, the run
+    /// scrapes it before and after and reports the counter deltas.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for LoadConfig {
@@ -125,6 +130,8 @@ impl Default for LoadConfig {
             seed: 0x5eed,
             check_counters: true,
             send_shutdown: false,
+            quiet: false,
+            metrics_addr: None,
         }
     }
 }
@@ -157,6 +164,9 @@ pub struct LoadReport {
     pub lost_updates: u64,
     /// Parsed `STATS` payload scraped after the run.
     pub server_stats: Option<JsonValue>,
+    /// Counter movement observed on `/metrics` across the run, when a
+    /// metrics address was configured.
+    pub prom_delta: Option<JsonValue>,
 }
 
 impl LoadReport {
@@ -176,8 +186,58 @@ impl LoadReport {
             ("lost_updates", JsonValue::u64(self.lost_updates)),
             ("latency", histogram_json(&self.latency)),
             ("server_stats", self.server_stats.clone().unwrap_or(JsonValue::Null)),
+            ("prom_delta", self.prom_delta.clone().unwrap_or(JsonValue::Null)),
         ])
     }
+}
+
+/// Scrape a Prometheus `/metrics` endpoint with a raw HTTP/1.1 `GET`
+/// and parse the exposition payload.
+///
+/// # Errors
+///
+/// Returns a message when the endpoint is unreachable, answers anything
+/// but `200 OK`, or serves a payload the exposition parser rejects.
+pub fn scrape_metrics(addr: &str) -> Result<Vec<PromSample>, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|err| format!("connect metrics {addr}: {err}"))?;
+    stream
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|err| format!("metrics request: {err}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|err| format!("metrics response: {err}"))?;
+    if !response.starts_with("HTTP/1.1 200") {
+        let status = response.lines().next().unwrap_or("");
+        return Err(format!("metrics endpoint answered {status:?}"));
+    }
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .ok_or_else(|| "metrics response has no body".to_string())?;
+    parse_exposition(body)
+}
+
+/// Sum of every sample of one family (histogram families have many).
+fn family_value(samples: &[PromSample], name: &str) -> f64 {
+    samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+}
+
+/// Key counter families whose before/after movement the report records.
+const DELTA_FAMILIES: [&str; 5] = [
+    "proust_requests_total",
+    "proust_txn_starts_total",
+    "proust_txn_commits_total",
+    "proust_txn_conflicts_total",
+    "proust_connections_total",
+];
+
+fn prom_delta_json(before: &[PromSample], after: &[PromSample]) -> JsonValue {
+    JsonValue::obj(DELTA_FAMILIES.map(|family| {
+        (family, JsonValue::num(family_value(after, family) - family_value(before, family)))
+    }))
 }
 
 /// The run's configuration as the envelope `config` object.
@@ -408,6 +468,32 @@ impl Worker<'_> {
     }
 }
 
+/// Once-per-second single-line status on stderr: interval throughput,
+/// p99 so far, error count. Polls the stop flag at 50ms so the scope
+/// join never waits a full second.
+fn heartbeat_loop(tallies: &Tallies, stop: &AtomicBool, start: Instant) {
+    let mut last_committed = 0u64;
+    let mut last_tick = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+        if last_tick.elapsed() < Duration::from_secs(1) {
+            continue;
+        }
+        let committed = tallies.committed.load(Ordering::Relaxed);
+        let errors =
+            tallies.protocol_errors.load(Ordering::Relaxed) + tallies.busy.load(Ordering::Relaxed);
+        eprintln!(
+            "[loadgen] t={:>4.0}s {:>8.0} committed/s, p99 so far {:.1}us, errors {}",
+            start.elapsed().as_secs_f64(),
+            (committed - last_committed) as f64 / last_tick.elapsed().as_secs_f64(),
+            tallies.latency.p99() as f64 / 1e3,
+            errors,
+        );
+        last_committed = committed;
+        last_tick = Instant::now();
+    }
+}
+
 fn counter_values(client: &mut Client, config: &LoadConfig) -> Result<Vec<i64>, String> {
     (0..config.structures)
         .map(|i| {
@@ -437,6 +523,10 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     } else {
         vec![0; config.structures]
     };
+    let metrics_before = match &config.metrics_addr {
+        Some(addr) => Some(scrape_metrics(addr)?),
+        None => None,
+    };
     let tallies = Tallies {
         requests: AtomicU64::new(0),
         committed: AtomicU64::new(0),
@@ -445,8 +535,14 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         latency: Histogram::new(),
         expected_incs: (0..config.structures).map(|_| AtomicI64::new(0)).collect(),
     };
+    let heartbeat_stop = AtomicBool::new(false);
     let start = Instant::now();
     let worker_errors: Vec<String> = std::thread::scope(|scope| {
+        if !config.quiet {
+            let tallies = &tallies;
+            let stop = &heartbeat_stop;
+            scope.spawn(move || heartbeat_loop(tallies, stop, start));
+        }
         let handles: Vec<_> = (0..config.threads)
             .map(|tid| {
                 let tallies = &tallies;
@@ -467,14 +563,16 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
                 })
             })
             .collect();
-        handles
+        let errors: Vec<String> = handles
             .into_iter()
             .filter_map(|handle| match handle.join() {
                 Ok(Ok(())) => None,
                 Ok(Err(msg)) => Some(msg),
                 Err(_) => Some("worker thread panicked".to_string()),
             })
-            .collect()
+            .collect();
+        heartbeat_stop.store(true, Ordering::Release);
+        errors
     });
     if let Some(first) = worker_errors.first() {
         return Err(format!("{} worker(s) failed; first: {first}", worker_errors.len()));
@@ -503,6 +601,10 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     let stats_line = control.roundtrip("STATS")?;
     let server_stats =
         stats_line.strip_prefix("STATS ").and_then(|payload| JsonValue::parse(payload).ok());
+    let prom_delta = match (&config.metrics_addr, metrics_before) {
+        (Some(addr), Some(before)) => Some(prom_delta_json(&before, &scrape_metrics(addr)?)),
+        _ => None,
+    };
     if config.send_shutdown {
         let _ = control.roundtrip("SHUTDOWN");
     }
@@ -521,5 +623,6 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         observed_incs,
         lost_updates,
         server_stats,
+        prom_delta,
     })
 }

@@ -14,7 +14,8 @@ usage: proust-loadgen --addr HOST:PORT [--threads N] [--secs S]
                       [--keys N] [--dist uniform|zipfian] [--theta T]
                       [--read-frac F] [--multi-frac F] [--multi-size N]
                       [--inc-frac F] [--queue-frac F] [--structures N]
-                      [--seed N] [--json FILE] [--no-check] [--shutdown]";
+                      [--seed N] [--json FILE] [--no-check] [--shutdown]
+                      [--quiet] [--metrics-addr HOST:PORT]";
 
 fn config_from_args() -> (LoadConfig, Option<String>) {
     let mut config = LoadConfig::default();
@@ -46,6 +47,8 @@ fn config_from_args() -> (LoadConfig, Option<String>) {
             "--json" => json_path = Some(args.value("--json")),
             "--no-check" => config.check_counters = false,
             "--shutdown" => config.send_shutdown = true,
+            "--quiet" => config.quiet = true,
+            "--metrics-addr" => config.metrics_addr = Some(args.value("--metrics-addr")),
             other => args.unknown(other),
         }
     }
@@ -89,6 +92,9 @@ fn main() {
         report.observed_incs,
         report.lost_updates,
     );
+    if let Some(delta) = &report.prom_delta {
+        println!("metrics delta: {}", delta.to_json());
+    }
     if let Some(path) = json_path {
         write_report(&path, "loadgen", config_json(&config), vec![report.cell_json(&config)]);
     }

@@ -27,14 +27,19 @@ fn load_config(addr: String) -> LoadConfig {
         seed: 42,
         check_counters: true,
         send_shutdown: false,
+        quiet: true,
+        metrics_addr: None,
     }
 }
 
 fn exercise(server_config: ServerConfig) {
     let lap = server_config.lap;
     let update = server_config.update;
+    let server_config =
+        ServerConfig { metrics_addr: Some("127.0.0.1:0".to_string()), ..server_config };
     let handle = Server::start(server_config).expect("server starts");
-    let config = load_config(handle.addr().to_string());
+    let mut config = load_config(handle.addr().to_string());
+    config.metrics_addr = handle.metrics_addr().map(|addr| addr.to_string());
     let report = run(&config).expect("load run completes");
     let label = format!("{}/{}", lap.name(), update.name());
 
@@ -55,6 +60,35 @@ fn exercise(server_config: ServerConfig) {
     let commits = stats.get("commits").and_then(|v| v.as_u64()).expect("commits");
     assert!(commits >= report.committed, "{label}: commits {commits} < {}", report.committed);
     assert!(stats.get("abort_causes").is_some(), "{label}: abort-cause breakdown missing");
+
+    // STATS v2: live gauges, slow-txn accounting, conflict-matrix top
+    // cells, and per-op p99s.
+    assert!(stats.get("in_flight").and_then(|v| v.as_u64()).is_some(), "{label}: in_flight");
+    assert!(
+        stats.get("connections_total").and_then(|v| v.as_u64()).expect("connections_total")
+            >= config.threads as u64,
+        "{label}: connection accounting"
+    );
+    assert_eq!(stats.get("slow_txns").and_then(|v| v.as_u64()), Some(0), "{label}");
+    assert!(
+        stats.get("conflict_matrix_top").and_then(|v| v.as_array()).is_some(),
+        "{label}: conflict_matrix_top missing"
+    );
+    assert!(
+        stats.get("op_p99_ns").and_then(|o| o.get("get")).and_then(|v| v.as_u64()).unwrap() > 0,
+        "{label}: per-op latency never recorded"
+    );
+
+    // The Prometheus endpoint was scraped before and after: the commit
+    // counter must have moved at least as much as the client committed.
+    let delta = report.prom_delta.as_ref().expect("prom delta scraped");
+    let commit_delta =
+        delta.get("proust_txn_commits_total").and_then(|v| v.as_f64()).expect("commit delta");
+    assert!(
+        commit_delta >= report.committed as f64,
+        "{label}: /metrics commit delta {commit_delta} < {}",
+        report.committed
+    );
 
     assert!(handle.shutdown(), "{label}: drain on shutdown");
 }

@@ -1,0 +1,52 @@
+//! Validate a Chrome trace-event JSON document (as produced by
+//! `TRACE DUMP` / `Tracer::to_chrome_trace`): it must parse, carry a
+//! non-empty `traceEvents` array, and every complete ("X") event must
+//! have the `ts`/`dur` fields Perfetto requires.
+//!
+//! Usage: `validate_chrome_trace <file.json>`; exits non-zero with a
+//! reason on stderr when the document is unusable.
+
+use proust_obs::JsonValue;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(path) => path,
+        None => fail("usage: validate_chrome_trace <file.json>"),
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => fail(&format!("read {path}: {err}")),
+    };
+    let doc = match JsonValue::parse(text.trim()) {
+        Ok(doc) => doc,
+        Err(err) => fail(&format!("{path}: not valid JSON: {err}")),
+    };
+    let events = match doc.get("traceEvents").and_then(JsonValue::as_array) {
+        Some(events) => events,
+        None => fail(&format!("{path}: no traceEvents array")),
+    };
+    if events.is_empty() {
+        fail(&format!("{path}: traceEvents is empty"));
+    }
+    let mut spans = 0usize;
+    for event in events {
+        let ph = event.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        if ph == "X" {
+            spans += 1;
+            if event.get("ts").and_then(JsonValue::as_f64).is_none()
+                || event.get("dur").and_then(JsonValue::as_f64).is_none()
+            {
+                fail(&format!("{path}: complete event without ts/dur"));
+            }
+        }
+    }
+    if spans == 0 {
+        fail(&format!("{path}: no complete (\"X\") phase spans"));
+    }
+    println!("ok: {} events, {spans} phase spans", events.len());
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

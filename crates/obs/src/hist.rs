@@ -126,6 +126,11 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// The value at quantile `q` in `[0, 1]` (bucket-midpoint
     /// approximation, ~3% relative error). Returns 0 for an empty
     /// histogram.
@@ -201,6 +206,29 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Cumulative buckets as `(inclusive_upper_bound, cumulative_count)`
+    /// pairs covering every non-empty bucket, in the shape Prometheus
+    /// histogram samples want: counts are running totals and upper
+    /// bounds are monotonically increasing. The final bucket's bound
+    /// saturates to `u64::MAX`, standing in for `+Inf`.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut running = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                running += n;
+                let bound = if index + 1 < BUCKETS {
+                    bucket_floor(index + 1).saturating_sub(1)
+                } else {
+                    u64::MAX
+                };
+                out.push((bound, running));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +287,28 @@ mod tests {
         a.clear();
         assert_eq!(a.count(), 0);
         assert_eq!(a.p99(), 0);
+    }
+
+    #[test]
+    fn cumulative_buckets_match_nonzero_totals() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 31, 32, 100, 5_000, 1 << 40] {
+            h.record(v);
+        }
+        let cumulative = h.cumulative_buckets();
+        let nonzero = h.nonzero_buckets();
+        assert_eq!(cumulative.len(), nonzero.len());
+        // Bounds and counts are strictly monotone, and the last
+        // cumulative count equals the total sample count.
+        for pair in cumulative.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 < pair[1].1);
+        }
+        assert_eq!(cumulative.last().map(|&(_, n)| n), Some(h.count()));
+        // Every bucket's upper bound sits at or above its floor.
+        for (&(bound, _), &(floor, _)) in cumulative.iter().zip(nonzero.iter()) {
+            assert!(bound >= floor, "bound {bound} below floor {floor}");
+        }
     }
 
     #[test]

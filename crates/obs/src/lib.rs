@@ -1,7 +1,7 @@
 //! Observability layer for the Proust framework.
 //!
-//! Four independent building blocks, composed by `proust-stm` and the
-//! benchmark harness:
+//! Five independent building blocks, composed by `proust-stm`, the
+//! benchmark harness, and the server:
 //!
 //! * [`site`] — interned static labels for transactional operations and
 //!   lock regions (`"map.put/key-region"`), cheap enough to carry on the
@@ -13,8 +13,11 @@
 //!   empirical false-conflict rate under a caller-supplied
 //!   commutativity oracle.
 //! * [`trace`] — per-thread ring-buffer event trace of the transaction
-//!   lifecycle; callers gate emission behind a cargo feature so the
+//!   lifecycle with a runtime 1-in-N sampler and a Chrome trace-event
+//!   encoder; callers gate emission behind a cargo feature so the
 //!   hooks compile to no-ops when tracing is off.
+//! * [`prom`] — Prometheus text exposition encoding (and a tiny
+//!   scrape parser) for the server's `/metrics` endpoint.
 //!
 //! [`json`] is a dependency-free JSON writer/parser so benchmark
 //! binaries can emit machine-readable reports without serde (the build
@@ -26,11 +29,13 @@
 pub mod hist;
 pub mod json;
 pub mod matrix;
+pub mod prom;
 pub mod site;
 pub mod trace;
 
 pub use hist::Histogram;
 pub use json::JsonValue;
 pub use matrix::{ConflictCell, ConflictMatrix};
+pub use prom::{parse_exposition, PromSample, PromWriter};
 pub use site::SiteId;
-pub use trace::{EventKind, TraceEvent, Tracer};
+pub use trace::{EventKind, Phase, TraceEvent, Tracer};

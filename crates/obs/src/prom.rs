@@ -1,0 +1,381 @@
+//! Prometheus text exposition format (version 0.0.4).
+//!
+//! A dependency-free encoder for the `/metrics` endpoint served by
+//! `proust-server`: counters, gauges, and [`Histogram`] snapshots are
+//! written as `# HELP`/`# TYPE` headed sample families, with label
+//! values escaped per the exposition-format spec (`\\`, `\"`, `\n`).
+//! A tiny line parser ([`parse_exposition`]) rides along so tests and
+//! the load generator can round-trip a scraped payload without pulling
+//! in an HTTP or metrics client library.
+
+use crate::hist::Histogram;
+
+/// Incremental writer for one exposition payload.
+///
+/// Call [`PromWriter::header`] once per metric family, then
+/// [`PromWriter::sample`] for each labeled sample, or use the
+/// [`PromWriter::counter`] / [`PromWriter::gauge`] /
+/// [`PromWriter::histogram`] conveniences which emit both.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty payload.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Emit the `# HELP` and `# TYPE` header for a metric family.
+    /// `kind` is the Prometheus type name: `counter`, `gauge`,
+    /// `histogram`, or `untyped`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emit one sample line: `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (index, (key, val)) in labels.iter().enumerate() {
+                if index > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(key);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label_value(val));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&format_value(value));
+        self.out.push('\n');
+    }
+
+    /// Header plus a single unlabeled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, &[], value as f64);
+    }
+
+    /// Header plus a single unlabeled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// Emit a [`Histogram`] snapshot as a Prometheus histogram family:
+    /// cumulative `_bucket{le=...}` samples (non-empty buckets plus the
+    /// mandatory `+Inf`), `_sum`, and `_count`. Extra labels are
+    /// appended to every sample so one family can carry per-op series.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: &Histogram) {
+        let bucket_name = format!("{name}_bucket");
+        let mut owned: Vec<(&str, String)> = Vec::with_capacity(labels.len() + 1);
+        for &(key, val) in labels {
+            owned.push((key, val.to_string()));
+        }
+        let mut total = 0u64;
+        for (bound, cumulative) in hist.cumulative_buckets() {
+            total = cumulative;
+            owned.push(("le", format_value(bound as f64)));
+            let view: Vec<(&str, &str)> = owned.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.sample(&bucket_name, &view, cumulative as f64);
+            owned.pop();
+        }
+        owned.push(("le", "+Inf".to_string()));
+        let view: Vec<(&str, &str)> = owned.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        self.sample(&bucket_name, &view, total as f64);
+        self.sample(&format!("{name}_sum"), labels, hist.sum() as f64);
+        self.sample(&format!("{name}_count"), labels, hist.count() as f64);
+    }
+
+    /// Header plus [`PromWriter::histogram`] for a single series.
+    pub fn histogram_family(&mut self, name: &str, help: &str, hist: &Histogram) {
+        self.header(name, help, "histogram");
+        self.histogram(name, &[], hist);
+    }
+
+    /// The accumulated payload.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and line feed must be escaped; everything else is literal.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Render a sample value the way Prometheus expects: integers without a
+/// trailing `.0`, everything else in shortest-round-trip form.
+fn format_value(value: f64) -> String {
+    if value.is_infinite() {
+        return if value > 0.0 { "+Inf".into() } else { "-Inf".into() };
+    }
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// One parsed sample line from an exposition payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name (`proust_txn_commits_total`, `..._bucket`, ...).
+    pub name: String,
+    /// Label key/value pairs in source order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// Sample value; `+Inf` parses as `f64::INFINITY`.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// Look up a label value by key.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse an exposition payload into its sample lines. Comment (`#`) and
+/// blank lines are skipped; a malformed sample line is an error naming
+/// the offending line.
+pub fn parse_exposition(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample_line(line)?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let bad = || format!("malformed sample line: {line:?}");
+    let (name_and_labels, value_str) = match line.rfind(' ') {
+        Some(split) => (&line[..split], line[split + 1..].trim()),
+        None => return Err(bad()),
+    };
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other.parse::<f64>().map_err(|_| bad())?,
+    };
+    let (name, labels) = match name_and_labels.find('{') {
+        None => (name_and_labels.trim().to_string(), Vec::new()),
+        Some(open) => {
+            let name = name_and_labels[..open].trim().to_string();
+            let rest = name_and_labels[open + 1..].trim_end();
+            let body = rest.strip_suffix('}').ok_or_else(bad)?;
+            (name, parse_labels(body).ok_or_else(bad)?)
+        }
+    };
+    if name.is_empty() {
+        return Err(bad());
+    }
+    Ok(PromSample { name, labels, value })
+}
+
+/// Parse `key="value",key2="value2"`, honoring escapes inside values.
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    loop {
+        rest = rest.trim_start_matches([' ', ',']);
+        if rest.is_empty() {
+            return Some(labels);
+        }
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].strip_prefix('"')?;
+        // Scan for the closing quote, skipping escaped characters.
+        let mut end = None;
+        let mut escaped = false;
+        for (offset, ch) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                end = Some(offset);
+                break;
+            }
+        }
+        let end = end?;
+        labels.push((key, unescape_label_value(&rest[..end])));
+        rest = &rest[end + 1..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        let tricky = "a\\b\"c\nd";
+        assert_eq!(escape_label_value(tricky), "a\\\\b\\\"c\\nd");
+        let mut writer = PromWriter::new();
+        writer.header("weird", "tricky labels", "counter");
+        writer.sample("weird", &[("site", tricky), ("plain", "ok")], 7.0);
+        let text = writer.finish();
+        let samples = parse_exposition(&text).expect("parses");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "weird");
+        assert_eq!(samples[0].label("site"), Some(tricky));
+        assert_eq!(samples[0].label("plain"), Some("ok"));
+        assert_eq!(samples[0].value, 7.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let hist = Histogram::new();
+        for v in [5u64, 5, 40, 40, 40, 1_000, 50_000, 50_000] {
+            hist.record(v);
+        }
+        let mut writer = PromWriter::new();
+        writer.histogram_family("lat", "latency", &hist);
+        let samples = parse_exposition(&writer.finish()).expect("parses");
+
+        let buckets: Vec<&PromSample> = samples.iter().filter(|s| s.name == "lat_bucket").collect();
+        // One line per non-empty bucket plus the +Inf terminator.
+        assert_eq!(buckets.len(), hist.nonzero_buckets().len() + 1);
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_count = 0.0;
+        for bucket in &buckets {
+            let le: f64 = match bucket.label("le").expect("le label") {
+                "+Inf" => f64::INFINITY,
+                bound => bound.parse().expect("numeric le"),
+            };
+            assert!(le > last_le, "le not increasing");
+            assert!(bucket.value >= last_count, "cumulative count regressed");
+            last_le = le;
+            last_count = bucket.value;
+        }
+        assert_eq!(last_le, f64::INFINITY);
+        assert_eq!(last_count, hist.count() as f64);
+        // Per-bucket increments reproduce the nonzero_buckets counts.
+        let mut prev = 0.0;
+        let increments: Vec<u64> = buckets
+            .iter()
+            .take(buckets.len() - 1)
+            .map(|b| {
+                let inc = b.value - prev;
+                prev = b.value;
+                inc as u64
+            })
+            .collect();
+        let expected: Vec<u64> = hist.nonzero_buckets().iter().map(|&(_, n)| n).collect();
+        assert_eq!(increments, expected);
+
+        let sum = samples.iter().find(|s| s.name == "lat_sum").expect("sum");
+        let count = samples.iter().find(|s| s.name == "lat_count").expect("count");
+        assert_eq!(sum.value, hist.sum() as f64);
+        assert_eq!(count.value, hist.count() as f64);
+    }
+
+    #[test]
+    fn golden_payload_round_trips() {
+        // A hand-written "golden" scrape covering each family kind and
+        // the escaping corners; the parser must reproduce it exactly.
+        let golden = concat!(
+            "# HELP proust_txn_commits_total Committed transactions.\n",
+            "# TYPE proust_txn_commits_total counter\n",
+            "proust_txn_commits_total 1234\n",
+            "# HELP proust_txn_in_flight Transactions currently running.\n",
+            "# TYPE proust_txn_in_flight gauge\n",
+            "proust_txn_in_flight 3\n",
+            "# HELP proust_conflict_pairs_total Aborts by site pair.\n",
+            "# TYPE proust_conflict_pairs_total counter\n",
+            "proust_conflict_pairs_total{aborter_site=\"map.put/k\",victim_site=\"map.get\"} 17\n",
+            "proust_conflict_pairs_total{aborter_site=\"odd\\\"site\\\\x\\n\",victim_site=\"q.enq\"} 2\n",
+            "# HELP proust_request_latency_ns Request latency.\n",
+            "# TYPE proust_request_latency_ns histogram\n",
+            "proust_request_latency_ns_bucket{op=\"get\",le=\"1023\"} 5\n",
+            "proust_request_latency_ns_bucket{op=\"get\",le=\"+Inf\"} 9\n",
+            "proust_request_latency_ns_sum{op=\"get\"} 90210\n",
+            "proust_request_latency_ns_count{op=\"get\"} 9\n",
+        );
+        let samples = parse_exposition(golden).expect("golden parses");
+        assert_eq!(samples.len(), 8);
+        assert_eq!(samples[0].name, "proust_txn_commits_total");
+        assert_eq!(samples[0].value, 1234.0);
+        assert_eq!(samples[3].label("aborter_site"), Some("odd\"site\\x\n"));
+        let inf = samples.iter().find(|s| s.label("le") == Some("+Inf")).expect("+Inf bucket");
+        assert_eq!(inf.value, 9.0);
+
+        // Re-encode the parsed samples and parse again: a full
+        // round-trip must be lossless.
+        let mut writer = PromWriter::new();
+        for sample in &samples {
+            let view: Vec<(&str, &str)> =
+                sample.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            writer.sample(&sample.name, &view, sample.value);
+        }
+        let reparsed = parse_exposition(&writer.finish()).expect("re-encoded parses");
+        assert_eq!(reparsed, samples);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_exposition("no_value_here\n").is_err());
+        assert!(parse_exposition("bad{unclosed=\"x 1\n").is_err());
+        assert!(parse_exposition("bad{noquote=x} 1\n").is_err());
+        assert!(parse_exposition(" 12\n").is_err());
+        // Comments and blanks are fine.
+        assert_eq!(parse_exposition("# TYPE x counter\n\n").expect("ok").len(), 0);
+    }
+
+    #[test]
+    fn integer_values_have_no_fraction() {
+        let mut writer = PromWriter::new();
+        writer.counter("c", "help", 42);
+        writer.gauge("g", "help", 2.5);
+        let text = writer.finish();
+        assert!(text.contains("c 42\n"), "got: {text}");
+        assert!(text.contains("g 2.5\n"), "got: {text}");
+    }
+}

@@ -16,6 +16,7 @@
 //! the ring's wrap boundary; drains are meant to run after workers
 //! quiesce (end of a benchmark cell), where they are exact.
 
+use crate::json::JsonValue;
 use crate::site::SiteId;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -52,6 +53,10 @@ pub enum EventKind {
     Commit = 10,
     /// The transaction gave up or was explicitly aborted.
     Abort = 11,
+    /// A sampled per-phase span (`aux` packs the [`Phase`] code in the
+    /// high 8 bits and the duration in nanoseconds in the low 56;
+    /// `at_ns` is the span's start time).
+    Span = 12,
 }
 
 impl EventKind {
@@ -68,6 +73,7 @@ impl EventKind {
             8 => EventKind::CommitValidate,
             9 => EventKind::CommitWriteback,
             10 => EventKind::Commit,
+            12 => EventKind::Span,
             _ => EventKind::Abort,
         }
     }
@@ -87,8 +93,66 @@ impl EventKind {
             EventKind::CommitWriteback => "commit_writeback",
             EventKind::Commit => "commit",
             EventKind::Abort => "abort",
+            EventKind::Span => "span",
         }
     }
+}
+
+/// Transaction phase named by a sampled [`EventKind::Span`] event. The
+/// taxonomy follows the TL2-style commit pipeline: the body builds the
+/// read set, commit acquires write ownership, validates the read set,
+/// replays a lazy update log if any, then writes buffered values back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// Body execution: read-set build and write buffering.
+    Body = 0,
+    /// Blocking in a write-ownership acquisition loop.
+    LockAcquire = 1,
+    /// Commit-time read-set validation.
+    Validate = 2,
+    /// Lazy replay of the update log at the serialization point.
+    Replay = 3,
+    /// Publishing buffered writes while ownership is held.
+    Writeback = 4,
+    /// The whole transaction, first attempt start to final outcome.
+    Txn = 5,
+}
+
+impl Phase {
+    /// Decode a phase code (inverse of `as u8`); unknown codes map to
+    /// [`Phase::Txn`].
+    pub fn from_u8(raw: u8) -> Phase {
+        match raw {
+            0 => Phase::Body,
+            1 => Phase::LockAcquire,
+            2 => Phase::Validate,
+            3 => Phase::Replay,
+            4 => Phase::Writeback,
+            _ => Phase::Txn,
+        }
+    }
+
+    /// Stable snake_case name used in traces, forensics, and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Body => "read_set_build",
+            Phase::LockAcquire => "lock_acquire",
+            Phase::Validate => "validation",
+            Phase::Replay => "replay",
+            Phase::Writeback => "commit_writeback",
+            Phase::Txn => "txn",
+        }
+    }
+}
+
+/// Duration mask for span `aux` packing: low 56 bits hold nanoseconds
+/// (enough for ~2 years), high 8 bits hold the phase code.
+const SPAN_DUR_MASK: u64 = (1 << 56) - 1;
+
+/// Pack a phase + duration into a span `aux` payload.
+pub fn pack_span_aux(phase: Phase, dur_ns: u64) -> u64 {
+    ((phase as u64) << 56) | (dur_ns & SPAN_DUR_MASK)
 }
 
 /// One drained lifecycle event.
@@ -105,6 +169,18 @@ pub struct TraceEvent {
     pub site: SiteId,
     /// Kind-specific payload (TVar id, attempt, conflict code).
     pub aux: u64,
+    /// Registration index of the emitting thread's ring — a stable
+    /// per-thread lane id for trace viewers.
+    pub tid: u32,
+}
+
+impl TraceEvent {
+    /// Decode a [`EventKind::Span`] event's phase and duration, or
+    /// `None` for other kinds.
+    pub fn span(&self) -> Option<(Phase, u64)> {
+        (self.kind == EventKind::Span)
+            .then(|| (Phase::from_u8((self.aux >> 56) as u8), self.aux & SPAN_DUR_MASK))
+    }
 }
 
 struct Slot {
@@ -120,10 +196,11 @@ const FILLED: u64 = 1 << 8;
 struct Ring {
     slots: Box<[Slot]>,
     head: AtomicUsize,
+    tid: u32,
 }
 
 impl Ring {
-    fn new(capacity: usize) -> Ring {
+    fn new(capacity: usize, tid: u32) -> Ring {
         Ring {
             slots: (0..capacity.max(1))
                 .map(|_| Slot {
@@ -134,6 +211,7 @@ impl Ring {
                 })
                 .collect(),
             head: AtomicUsize::new(0),
+            tid,
         }
     }
 
@@ -159,6 +237,7 @@ impl Ring {
                 kind: EventKind::from_u8(kind_site as u8),
                 site: SiteId::from_u32((kind_site >> 32) as u32),
                 aux: slot.aux.load(Ordering::Relaxed),
+                tid: self.tid,
             });
         }
     }
@@ -176,6 +255,7 @@ impl Ring {
 pub struct Tracer {
     enabled: AtomicBool,
     capacity: AtomicUsize,
+    sample_every: AtomicU64,
     rings: Mutex<Vec<Arc<Ring>>>,
     epoch: Instant,
 }
@@ -192,8 +272,18 @@ impl std::fmt::Debug for Tracer {
 /// Default per-thread ring capacity (events retained per thread).
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
 
+/// Consecutive transactions recorded per sampling window (see
+/// [`Tracer::sample`]).
+pub const SAMPLE_BURST: u64 = 8;
+
 thread_local! {
     static THREAD_RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+    // Per-thread sampling counter. A process-global atomic would be one
+    // `fetch_add` per transaction on a single shared cache line — measured
+    // at >20% throughput on small uncontended transactions. Counting per
+    // thread keeps the same 1-in-N rate (each thread samples every Nth of
+    // its own transactions) without any cross-core traffic.
+    static SAMPLE_COUNTER: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 impl Tracer {
@@ -203,6 +293,7 @@ impl Tracer {
         GLOBAL.get_or_init(|| Tracer {
             enabled: AtomicBool::new(false),
             capacity: AtomicUsize::new(DEFAULT_RING_CAPACITY),
+            sample_every: AtomicU64::new(0),
             rings: Mutex::new(Vec::new()),
             epoch: Instant::now(),
         })
@@ -231,16 +322,94 @@ impl Tracer {
         self.capacity.store(capacity.max(1), Ordering::SeqCst);
     }
 
+    /// Set the sampling rate: record spans for 1-in-`n` transactions.
+    /// `0` disables sampling, `1` samples everything. This is a runtime
+    /// knob — unlike the `trace` cargo feature, flipping it never
+    /// requires a rebuild.
+    pub fn set_sample_every(&self, n: u64) {
+        self.sample_every.store(n, Ordering::SeqCst);
+    }
+
+    /// Current sampling rate (0 = off).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Decide whether the next transaction is sampled. Cheap enough for
+    /// the start of every transaction: one relaxed load when tracing or
+    /// sampling is off, one thread-local counter bump when on.
+    ///
+    /// Sampling is bursty: each thread records [`SAMPLE_BURST`]
+    /// consecutive transactions out of every `n * SAMPLE_BURST`, which
+    /// averages to the requested 1-in-`n` rate. Bursts keep the recording
+    /// path warm (a 1-in-`n` cold path pays icache/branch misses on every
+    /// sampled transaction) and give traces runs of consecutive
+    /// transactions instead of isolated ones.
+    pub fn sample(&self) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        match self.sample_every.load(Ordering::Relaxed) {
+            0 => false,
+            1 => true,
+            n => SAMPLE_COUNTER.with(|counter| {
+                let count = counter.get();
+                counter.set(count.wrapping_add(1));
+                count % n.saturating_mul(SAMPLE_BURST) < SAMPLE_BURST
+            }),
+        }
+    }
+
+    /// Nanoseconds since the tracer's epoch — the timebase span start
+    /// times are expressed in.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
     /// Emit one event from the calling thread. No-op while disabled.
     pub fn emit(&'static self, txn: u64, kind: EventKind, site: SiteId, aux: u64) {
         if !self.is_enabled() {
             return;
         }
         let at_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.push(at_ns, txn, kind, site, aux);
+    }
+
+    /// Emit one event with a caller-supplied timestamp (a
+    /// [`Tracer::now_ns`] reading). Hot paths that already hold a fresh
+    /// reading use this to avoid a second clock read — at ~30ns per read
+    /// the clock dominates the cost of recording a sampled transaction.
+    /// No-op while disabled.
+    pub fn emit_at(&'static self, at_ns: u64, txn: u64, kind: EventKind, site: SiteId, aux: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(at_ns, txn, kind, site, aux);
+    }
+
+    /// Emit a sampled per-phase span: `start_ns` from [`Tracer::now_ns`]
+    /// and a measured duration. No-op while disabled.
+    pub fn emit_span(
+        &'static self,
+        txn: u64,
+        phase: Phase,
+        site: SiteId,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(start_ns, txn, EventKind::Span, site, pack_span_aux(phase, dur_ns));
+    }
+
+    fn push(&'static self, at_ns: u64, txn: u64, kind: EventKind, site: SiteId, aux: u64) {
         THREAD_RING.with(|cell| {
             let ring = cell.get_or_init(|| {
-                let ring = Arc::new(Ring::new(self.capacity.load(Ordering::SeqCst)));
-                self.rings.lock().push(ring.clone());
+                let mut rings = self.rings.lock();
+                let ring =
+                    Arc::new(Ring::new(self.capacity.load(Ordering::SeqCst), rings.len() as u32));
+                rings.push(ring.clone());
                 ring
             });
             ring.push(at_ns, txn, kind, site, aux);
@@ -265,6 +434,53 @@ impl Tracer {
             ring.clear();
         }
     }
+
+    /// Drain and encode the retained events as a Chrome trace-event
+    /// JSON document, loadable in `chrome://tracing` and Perfetto.
+    pub fn to_chrome_trace(&self) -> JsonValue {
+        events_to_chrome_trace(&self.drain())
+    }
+}
+
+/// Encode drained events as Chrome trace-event JSON: sampled spans
+/// become `"X"` (complete) events with microsecond `ts`/`dur`, every
+/// other lifecycle event becomes a thread-scoped `"i"` (instant) mark.
+pub fn events_to_chrome_trace(events: &[TraceEvent]) -> JsonValue {
+    let trace_events: Vec<JsonValue> = events
+        .iter()
+        .map(|event| {
+            let mut obj = vec![
+                ("pid", JsonValue::u64(0)),
+                ("tid", JsonValue::u64(event.tid as u64)),
+                ("ts", JsonValue::num(event.at_ns as f64 / 1000.0)),
+            ];
+            let mut args = vec![
+                ("txn", JsonValue::u64(event.txn)),
+                ("site", JsonValue::str(event.site.name())),
+            ];
+            match event.span() {
+                Some((phase, dur_ns)) => {
+                    obj.push(("ph", JsonValue::str("X")));
+                    obj.push(("name", JsonValue::str(phase.name())));
+                    obj.push(("cat", JsonValue::str("phase")));
+                    obj.push(("dur", JsonValue::num(dur_ns as f64 / 1000.0)));
+                }
+                None => {
+                    obj.push(("ph", JsonValue::str("i")));
+                    obj.push(("s", JsonValue::str("t")));
+                    obj.push(("name", JsonValue::str(event.kind.name())));
+                    obj.push(("cat", JsonValue::str("lifecycle")));
+                    args.push(("aux", JsonValue::u64(event.aux)));
+                }
+            }
+            obj.push(("args", JsonValue::obj(args)));
+            JsonValue::obj(obj)
+        })
+        .collect();
+    JsonValue::obj(vec![
+        ("traceEvents", JsonValue::Arr(trace_events)),
+        ("displayTimeUnit", JsonValue::str("ms")),
+    ])
 }
 
 #[cfg(test)]
@@ -318,7 +534,7 @@ mod tests {
 
     #[test]
     fn rings_overwrite_oldest() {
-        let ring = Ring::new(8);
+        let ring = Ring::new(8, 0);
         for i in 0..20u64 {
             ring.push(i, i, EventKind::Read, SiteId::UNKNOWN, 0);
         }
@@ -330,10 +546,100 @@ mod tests {
 
     #[test]
     fn kind_codes_round_trip() {
-        for raw in 0..=11u8 {
+        for raw in 0..=12u8 {
             let kind = EventKind::from_u8(raw);
             assert_eq!(kind as u8, raw);
             assert!(!kind.name().is_empty());
         }
+    }
+
+    #[test]
+    fn span_aux_packs_phase_and_duration() {
+        for phase in [
+            Phase::Body,
+            Phase::LockAcquire,
+            Phase::Validate,
+            Phase::Replay,
+            Phase::Writeback,
+            Phase::Txn,
+        ] {
+            assert_eq!(Phase::from_u8(phase as u8), phase);
+            assert!(!phase.name().is_empty());
+            let aux = pack_span_aux(phase, 123_456_789);
+            let event = TraceEvent {
+                at_ns: 0,
+                txn: 1,
+                kind: EventKind::Span,
+                site: SiteId::UNKNOWN,
+                aux,
+                tid: 0,
+            };
+            assert_eq!(event.span(), Some((phase, 123_456_789)));
+        }
+        // Durations saturate into 56 bits rather than corrupting the
+        // phase code.
+        let aux = pack_span_aux(Phase::Validate, u64::MAX);
+        assert_eq!((aux >> 56) as u8, Phase::Validate as u8);
+    }
+
+    #[test]
+    fn sampler_honors_rate() {
+        let _gate = exclusive();
+        let tracer = Tracer::global();
+        tracer.enable();
+        tracer.set_sample_every(0);
+        assert!(!tracer.sample(), "rate 0 must never sample");
+        tracer.set_sample_every(1);
+        assert!(tracer.sample() && tracer.sample(), "rate 1 must always sample");
+        tracer.set_sample_every(4);
+        // Bursty sampling: over any whole number of windows the average
+        // must be exactly the configured rate.
+        let window = 4 * SAMPLE_BURST as usize;
+        let draws = 100 * window;
+        let hits = (0..draws).filter(|_| tracer.sample()).count();
+        assert_eq!(hits, draws / 4, "1-in-4 sampling over {draws} draws");
+        // And within one window the sampled draws are consecutive.
+        let pattern: Vec<bool> = (0..window).map(|_| tracer.sample()).collect();
+        let sampled_run = pattern.iter().take_while(|&&s| s).count();
+        assert_eq!(sampled_run, SAMPLE_BURST as usize, "burst is consecutive: {pattern:?}");
+        assert!(!pattern[SAMPLE_BURST as usize..].iter().any(|&s| s), "rest of window is quiet");
+        tracer.disable();
+        assert!(!tracer.sample(), "disabled tracer must never sample");
+        tracer.set_sample_every(0);
+    }
+
+    #[test]
+    fn chrome_trace_encodes_spans_and_instants() {
+        let _gate = exclusive();
+        let tracer = Tracer::global();
+        tracer.clear();
+        tracer.enable();
+        let start = tracer.now_ns();
+        tracer.emit(99, EventKind::TxnStart, site(), 1);
+        tracer.emit_span(99, Phase::Validate, site(), start, 5_000);
+        tracer.emit(99, EventKind::Commit, site(), 1);
+        tracer.disable();
+        let doc = tracer.to_chrome_trace();
+        tracer.clear();
+        let events = doc.get("traceEvents").and_then(JsonValue::as_array).expect("traceEvents");
+        assert!(!events.is_empty());
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .expect("one complete event");
+        assert_eq!(span.get("name").and_then(JsonValue::as_str), Some("validation"));
+        assert_eq!(span.get("dur").and_then(JsonValue::as_f64), Some(5.0));
+        assert_eq!(
+            span.get("args").and_then(|a| a.get("txn")).and_then(JsonValue::as_u64),
+            Some(99)
+        );
+        let instant = events
+            .iter()
+            .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("i"))
+            .expect("one instant event");
+        assert!(instant.get("ts").and_then(JsonValue::as_f64).is_some());
+        // The encoded document survives a serialize/parse round trip.
+        let reparsed = JsonValue::parse(&doc.to_json()).expect("chrome trace parses");
+        assert_eq!(reparsed, doc);
     }
 }

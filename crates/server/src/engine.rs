@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use proust_baselines::{BoostedMap, CoarseMap, PredMap, StmHashMap};
 use proust_bench::args::{LapChoice, UpdateChoice};
@@ -18,10 +19,10 @@ use proust_bench::report::{abort_causes_json, histogram_json};
 use proust_core::op_site;
 use proust_core::structures::{EagerMap, FifoState, ProustCounter, ProustFifo, SnapTrieMap};
 use proust_core::{OptimisticLap, PessimisticLap, TxMap};
-use proust_stm::obs::{Histogram, JsonValue};
+use proust_stm::obs::{Histogram, JsonValue, PromWriter, Tracer};
 use proust_stm::{ConflictDetection, Stm, StmConfig, TxError, TxResult, Txn};
 
-use crate::proto::Cmd;
+use crate::proto::{Cmd, TraceCmd};
 use crate::ServerConfig;
 
 /// Size of the lock-allocator region backing each server map.
@@ -34,6 +35,10 @@ const MAX_STRUCTURES: usize = 1024;
 /// User-abort reason that signals "stop retrying the batch, fall back to
 /// per-request transactions".
 const BATCH_FALLBACK: &str = "batch-fallback";
+
+/// How many conflict-matrix cells `STATS` reports (the `/metrics`
+/// endpoint always exports the full matrix).
+const CONFLICT_TOP_K: usize = 8;
 
 /// A baseline (non-Proustian) map implementation, selectable with
 /// `--baseline` for comparison runs. Counters and queues stay Proustian.
@@ -93,6 +98,37 @@ pub enum Op {
     QueueDeq(Arc<ProustFifo<u64>>),
 }
 
+impl Op {
+    /// Stable short label, matching [`Cmd::op_name`]; keys the per-op
+    /// latency histograms and the slow-transaction log.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::MapGet(..) => "get",
+            Op::MapPut(..) => "put",
+            Op::MapDel(..) => "del",
+            Op::CounterGet(..) => "cget",
+            Op::CounterInc(..) => "inc",
+            Op::QueueEnq(..) => "enq",
+            Op::QueueDeq(..) => "deq",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Op::MapGet(..) => 0,
+            Op::MapPut(..) => 1,
+            Op::MapDel(..) => 2,
+            Op::CounterGet(..) => 3,
+            Op::CounterInc(..) => 4,
+            Op::QueueEnq(..) => 5,
+            Op::QueueDeq(..) => 6,
+        }
+    }
+}
+
+/// Per-op histogram labels, in [`Op::index`] order.
+const OP_NAMES: [&str; 7] = ["get", "put", "del", "cget", "inc", "enq", "deq"];
+
 impl std::fmt::Debug for Op {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
@@ -132,8 +168,17 @@ pub struct Engine {
     protocol_errors: AtomicU64,
     busy: AtomicU64,
     batch_fallbacks: AtomicU64,
+    connections_open: AtomicU64,
+    connections_total: AtomicU64,
+    slow_txns: AtomicU64,
+    /// Slow-transaction forensics threshold, ns; 0 disables the log.
+    slow_threshold_ns: u64,
+    /// `--trace-sample` value restored by `TRACE STOP`; 0 = sampling off.
+    trace_sample_default: u64,
     /// Server-side request service latency (parse to response), ns.
     pub latency: Histogram,
+    /// Same latency, broken out per op (indexed by [`Op::index`]).
+    op_latency: [Histogram; 7],
 }
 
 impl std::fmt::Debug for Engine {
@@ -167,6 +212,15 @@ impl Engine {
             on_exhaustion: config.exhaustion,
             ..StmConfig::default()
         });
+        // The flight recorder is a runtime knob on the process-global
+        // tracer: always-on 1-in-N sampling at the configured default
+        // rate. Without the `trace` cargo feature in proust-stm the STM
+        // emits no spans, so enabling here is a no-op there.
+        let tracer = Tracer::global();
+        tracer.set_sample_every(config.trace_sample);
+        if config.trace_sample > 0 {
+            tracer.enable();
+        }
         Engine {
             stm,
             lap: config.lap,
@@ -180,7 +234,16 @@ impl Engine {
             protocol_errors: AtomicU64::new(0),
             busy: AtomicU64::new(0),
             batch_fallbacks: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            slow_txns: AtomicU64::new(0),
+            slow_threshold_ns: config
+                .slow_threshold
+                .map(|d| (d.as_nanos() as u64).max(1))
+                .unwrap_or(0),
+            trace_sample_default: config.trace_sample,
             latency: Histogram::new(),
+            op_latency: std::array::from_fn(|_| Histogram::new()),
         }
     }
 
@@ -192,6 +255,76 @@ impl Engine {
     /// Record one malformed request line.
     pub fn note_protocol_error(&self) {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one accepted client connection.
+    pub fn connection_opened(&self) {
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one closed client connection.
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record one request's service latency, both overall and under the
+    /// op's own histogram series.
+    pub fn record_op_latency(&self, op: &Op, elapsed_ns: u64) {
+        self.latency.record(elapsed_ns);
+        self.op_latency[op.index()].record(elapsed_ns);
+    }
+
+    /// Handle a `TRACE` control command; returns the full response line.
+    pub fn trace_command(&self, cmd: TraceCmd) -> String {
+        let tracer = Tracer::global();
+        match cmd {
+            TraceCmd::Start(every) => {
+                tracer.clear();
+                let n = every.unwrap_or_else(|| tracer.sample_every()).max(1);
+                tracer.set_sample_every(n);
+                tracer.enable();
+                "OK".to_string()
+            }
+            TraceCmd::Stop => {
+                tracer.set_sample_every(self.trace_sample_default);
+                if self.trace_sample_default == 0 {
+                    tracer.disable();
+                }
+                "OK".to_string()
+            }
+            TraceCmd::Dump => format!("TRACE {}", tracer.to_chrome_trace().to_json()),
+        }
+    }
+
+    /// If the just-finished transactional unit blew through the slow
+    /// threshold, log one structured JSON line to stderr with the
+    /// request context and the STM's post-mortem record (retry count,
+    /// abort causes, contending site pairs, and — when the flight
+    /// recorder sampled the call — its span tree).
+    fn note_slow(&self, start: Instant, ops: &[Op], outcome: &str) {
+        if self.slow_threshold_ns == 0 {
+            return;
+        }
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        if elapsed_ns < self.slow_threshold_ns {
+            return;
+        }
+        self.slow_txns.fetch_add(1, Ordering::Relaxed);
+        let mut fields = vec![
+            ("event", JsonValue::str("slow_txn")),
+            ("elapsed_ns", JsonValue::u64(elapsed_ns)),
+            ("threshold_ns", JsonValue::u64(self.slow_threshold_ns)),
+            ("outcome", JsonValue::str(outcome)),
+            ("ops", JsonValue::Arr(ops.iter().map(|op| JsonValue::str(op.name())).collect())),
+        ];
+        // Best effort: the thread-local record belongs to whatever
+        // transaction this worker thread ran last, which is the one that
+        // was slow. Absent without the `trace` feature.
+        if let Some(forensics) = proust_stm::take_forensics() {
+            fields.push(("txn", forensics.to_json()));
+        }
+        eprintln!("{}", JsonValue::obj(fields).to_json());
     }
 
     fn build_map(&self) -> Arc<dyn TxMap<u64, u64>> {
@@ -299,6 +432,7 @@ impl Engine {
         self.requests.fetch_add(total, Ordering::Relaxed);
         if units.len() > 1 {
             let patience = self.batch_patience;
+            let start = Instant::now();
             let batched = self.stm.atomically(|tx| {
                 if tx.attempt() > patience {
                     // The batch is contended; stop poisoning every request
@@ -311,7 +445,12 @@ impl Engine {
                     .collect::<TxResult<Vec<Vec<String>>>>()
             });
             match batched {
-                Ok(responses) => return responses,
+                Ok(responses) => {
+                    let ops: Vec<Op> =
+                        units.iter().flat_map(|unit| unit.ops.iter().cloned()).collect();
+                    self.note_slow(start, &ops, "committed");
+                    return responses;
+                }
                 Err(_) => {
                     self.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
                 }
@@ -321,13 +460,18 @@ impl Engine {
     }
 
     fn execute_unit(&self, unit: &Unit) -> Vec<String> {
+        let start = Instant::now();
         let result = self.stm.atomically(|tx| unit.ops.iter().map(|op| apply_op(tx, op)).collect());
         match result {
-            Ok(responses) => responses,
+            Ok(responses) => {
+                self.note_slow(start, &unit.ops, "committed");
+                responses
+            }
             Err(_) => {
                 // Retry budget exhausted (only reachable under the give-up
                 // policy); the unit stays atomic, so every line is BUSY.
                 self.busy.fetch_add(1, Ordering::Relaxed);
+                self.note_slow(start, &unit.ops, "busy");
                 unit.ops.iter().map(|_| "BUSY".to_string()).collect()
             }
         }
@@ -335,10 +479,31 @@ impl Engine {
 
     /// The one-line JSON snapshot served by `STATS`: request accounting,
     /// the STM commit/conflict counters with the abort-cause breakdown
-    /// (same shape as the bench report cells), and the server-side
-    /// latency histogram.
+    /// (same shape as the bench report cells), live gauges (in-flight
+    /// transactions, open connections), the top conflict-matrix cells,
+    /// and the server-side latency histograms.
     pub fn stats_json(&self) -> JsonValue {
         let stats = self.stm.stats();
+        let top: Vec<JsonValue> = self
+            .stm
+            .metrics()
+            .conflicts
+            .cells()
+            .into_iter()
+            .take(CONFLICT_TOP_K)
+            .map(|cell| {
+                JsonValue::obj([
+                    ("aborter", JsonValue::str(cell.aborter.name())),
+                    ("victim", JsonValue::str(cell.victim.name())),
+                    ("count", JsonValue::u64(cell.count)),
+                ])
+            })
+            .collect();
+        let op_p99: Vec<(&str, JsonValue)> = OP_NAMES
+            .iter()
+            .zip(self.op_latency.iter())
+            .map(|(name, hist)| (*name, JsonValue::u64(hist.p99())))
+            .collect();
         JsonValue::obj([
             ("lap", JsonValue::str(self.lap.name())),
             ("update", JsonValue::str(self.update.name())),
@@ -353,6 +518,11 @@ impl Engine {
             ("protocol_errors", JsonValue::u64(self.protocol_errors.load(Ordering::Relaxed))),
             ("busy", JsonValue::u64(self.busy.load(Ordering::Relaxed))),
             ("batch_fallbacks", JsonValue::u64(self.batch_fallbacks.load(Ordering::Relaxed))),
+            ("connections", JsonValue::u64(self.connections_open.load(Ordering::Relaxed))),
+            ("connections_total", JsonValue::u64(self.connections_total.load(Ordering::Relaxed))),
+            ("in_flight", JsonValue::u64(self.stm.in_flight())),
+            ("slow_txns", JsonValue::u64(self.slow_txns.load(Ordering::Relaxed))),
+            ("trace_sample_every", JsonValue::u64(Tracer::global().sample_every())),
             ("starts", JsonValue::u64(stats.starts)),
             ("commits", JsonValue::u64(stats.commits)),
             ("conflicts", JsonValue::u64(stats.conflicts)),
@@ -360,8 +530,147 @@ impl Engine {
             ("serial_escalations", JsonValue::u64(stats.serial_escalations)),
             ("wounds_issued", JsonValue::u64(stats.wounds_issued)),
             ("abort_causes", abort_causes_json(&stats)),
+            ("conflict_matrix_top", JsonValue::Arr(top)),
             ("latency", histogram_json(&self.latency)),
+            ("op_p99_ns", JsonValue::obj(op_p99)),
         ])
+    }
+
+    /// Encode the live metrics in Prometheus text exposition format —
+    /// the payload behind `GET /metrics` on the dedicated listener.
+    pub fn prometheus(&self) -> String {
+        let stats = self.stm.stats();
+        let metrics = self.stm.metrics();
+        let mut w = PromWriter::new();
+
+        w.counter(
+            "proust_requests_total",
+            "Data requests received (each op of a MULTI counts once).",
+            self.requests.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "proust_protocol_errors_total",
+            "Malformed request lines answered with ERR.",
+            self.protocol_errors.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "proust_busy_total",
+            "Units answered BUSY after exhausting their retry budget.",
+            self.busy.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "proust_batch_fallbacks_total",
+            "Commit batches that fell back to per-request transactions.",
+            self.batch_fallbacks.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "proust_connections_total",
+            "Client connections accepted since startup.",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+        w.gauge(
+            "proust_connections_open",
+            "Client connections currently being served.",
+            self.connections_open.load(Ordering::Relaxed) as f64,
+        );
+        w.counter(
+            "proust_slow_txns_total",
+            "Requests that exceeded the slow-transaction threshold.",
+            self.slow_txns.load(Ordering::Relaxed),
+        );
+
+        w.counter(
+            "proust_txn_starts_total",
+            "Transaction attempts started, including retries.",
+            stats.starts,
+        );
+        w.counter("proust_txn_commits_total", "Transactions committed.", stats.commits);
+        w.header("proust_txn_aborts_total", "Permanent aborts by kind.", "counter");
+        w.sample("proust_txn_aborts_total", &[("kind", "user")], stats.user_aborts as f64);
+        w.sample("proust_txn_aborts_total", &[("kind", "exhausted")], stats.exhausted as f64);
+        w.header("proust_txn_conflicts_total", "Transient conflict aborts by kind.", "counter");
+        for (kind, count) in [
+            ("read_invalid", stats.read_invalid),
+            ("read_too_new", stats.read_too_new),
+            ("write_locked", stats.write_locked),
+            ("read_locked", stats.read_locked),
+            ("visible_readers", stats.visible_readers),
+            ("wounded", stats.wounded),
+            ("abstract_lock", stats.abstract_lock),
+            ("external", stats.external),
+        ] {
+            w.sample("proust_txn_conflicts_total", &[("kind", kind)], count as f64);
+        }
+        w.counter(
+            "proust_retries_requested_total",
+            "User-requested retries (Harris retry).",
+            stats.retries_requested,
+        );
+        w.counter(
+            "proust_wounds_issued_total",
+            "Wounds issued by contention-management arbitration.",
+            stats.wounds_issued,
+        );
+        w.counter(
+            "proust_serial_escalations_total",
+            "Escalations into serial-irrevocable mode.",
+            stats.serial_escalations,
+        );
+        w.gauge(
+            "proust_txn_in_flight",
+            "Transactions currently running.",
+            self.stm.in_flight() as f64,
+        );
+        w.gauge(
+            "proust_serial_mode",
+            "1 while the serial-irrevocable gate is held.",
+            u64::from(self.stm.serial_mode_active()) as f64,
+        );
+        w.gauge(
+            "proust_trace_sample_every",
+            "Flight-recorder sampling period (1-in-N transactions; 0 = off).",
+            Tracer::global().sample_every() as f64,
+        );
+
+        w.header(
+            "proust_request_latency_ns",
+            "Request service latency (parse to response) by op, ns.",
+            "histogram",
+        );
+        for (name, hist) in OP_NAMES.iter().zip(self.op_latency.iter()) {
+            if hist.count() > 0 {
+                w.histogram("proust_request_latency_ns", &[("op", name)], hist);
+            }
+        }
+        w.header(
+            "proust_txn_phase_ns",
+            "Transaction phase latency (trace feature only), ns.",
+            "histogram",
+        );
+        for (phase, hist) in [
+            ("txn", &metrics.txn_latency),
+            ("validation", &metrics.validation),
+            ("lock_writeback", &metrics.lock_writeback),
+            ("replay", &metrics.replay),
+        ] {
+            if hist.count() > 0 {
+                w.histogram("proust_txn_phase_ns", &[("phase", phase)], hist);
+            }
+        }
+
+        w.header(
+            "proust_conflict_pairs_total",
+            "Conflict-driven aborts by (aborter op site, victim op site).",
+            "counter",
+        );
+        for cell in metrics.conflicts.cells() {
+            w.sample(
+                "proust_conflict_pairs_total",
+                &[("aborter_site", cell.aborter.name()), ("victim_site", cell.victim.name())],
+                cell.count as f64,
+            );
+        }
+        w.finish()
     }
 }
 
@@ -527,5 +836,71 @@ mod tests {
         assert!(parsed.get("commits").and_then(JsonValue::as_u64).unwrap() >= 1);
         assert!(parsed.get("abort_causes").and_then(|c| c.get("wounded")).is_some());
         assert_eq!(parsed.get("protocol_errors").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(parsed.get("in_flight").and_then(JsonValue::as_u64), Some(0));
+        assert!(parsed.get("conflict_matrix_top").and_then(JsonValue::as_array).is_some());
+        assert!(parsed.get("op_p99_ns").and_then(|o| o.get("get")).is_some());
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_the_required_families() {
+        let engine = engine();
+        single(&engine, "PUT m 1 10");
+        single(&engine, "GET m 1");
+        let op = engine.resolve(&Cmd::MapPut { name: "m".into(), key: 2, value: 2 }).unwrap();
+        engine.record_op_latency(&op, 12_345);
+        let text = engine.prometheus();
+        let samples = proust_stm::obs::parse_exposition(&text).expect("payload parses");
+        for family in [
+            "proust_requests_total",
+            "proust_txn_starts_total",
+            "proust_txn_commits_total",
+            "proust_txn_in_flight",
+            "proust_serial_mode",
+            "proust_connections_open",
+            "proust_slow_txns_total",
+            "proust_trace_sample_every",
+        ] {
+            assert!(samples.iter().any(|s| s.name == family), "missing family {family}");
+        }
+        // Aborts and conflicts are labeled breakdowns.
+        let abort_kinds: Vec<&str> = samples
+            .iter()
+            .filter(|s| s.name == "proust_txn_aborts_total")
+            .filter_map(|s| s.label("kind"))
+            .collect();
+        assert_eq!(abort_kinds, ["user", "exhausted"]);
+        let conflict_kinds: Vec<&str> = samples
+            .iter()
+            .filter(|s| s.name == "proust_txn_conflicts_total")
+            .filter_map(|s| s.label("kind"))
+            .collect();
+        assert_eq!(conflict_kinds.len(), 8);
+        // The recorded put latency shows up as cumulative buckets ending
+        // in +Inf.
+        let put_buckets: Vec<f64> = samples
+            .iter()
+            .filter(|s| {
+                s.name == "proust_request_latency_ns_bucket" && s.label("op") == Some("put")
+            })
+            .map(|s| s.value)
+            .collect();
+        assert!(!put_buckets.is_empty());
+        assert!(put_buckets.windows(2).all(|w| w[0] <= w[1]), "buckets not cumulative");
+        let requests =
+            samples.iter().find(|s| s.name == "proust_requests_total").expect("requests");
+        assert!(requests.value >= 2.0);
+    }
+
+    #[test]
+    fn trace_commands_round_trip() {
+        // The tracer is process-global and other tests may touch it
+        // concurrently, so assert only on the responses, not its state.
+        let engine = engine();
+        assert_eq!(engine.trace_command(TraceCmd::Start(Some(4))), "OK");
+        let dump = engine.trace_command(TraceCmd::Dump);
+        let payload = dump.strip_prefix("TRACE ").expect("TRACE prefix");
+        let doc = JsonValue::parse(payload).expect("chrome trace parses");
+        assert!(doc.get("traceEvents").and_then(JsonValue::as_array).is_some());
+        assert_eq!(engine.trace_command(TraceCmd::Stop), "OK");
     }
 }

@@ -70,6 +70,16 @@ pub struct ServerConfig {
     /// Batched attempts tolerated before falling back to per-request
     /// transactions.
     pub batch_patience: u32,
+    /// Bind address for the Prometheus `/metrics` listener; `None`
+    /// disables it. Port 0 picks a free port (see
+    /// [`ServerHandle::metrics_addr`]).
+    pub metrics_addr: Option<String>,
+    /// Requests slower than this log a forensics JSON line to stderr;
+    /// `None` disables the slow log.
+    pub slow_threshold: Option<Duration>,
+    /// Flight-recorder sampling period: 1-in-N transactions record
+    /// per-phase spans (0 = off). Runtime-adjustable via `TRACE START`.
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +96,9 @@ impl Default for ServerConfig {
             workers: 32,
             max_batch: 16,
             batch_patience: 4,
+            metrics_addr: None,
+            slow_threshold: None,
+            trace_sample: 64,
         }
     }
 }
@@ -121,6 +134,18 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                Some(listener)
+            }
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             engine: Engine::new(&config),
             shutdown: AtomicBool::new(false),
@@ -128,7 +153,16 @@ impl Server {
             available: Condvar::new(),
             max_batch: config.max_batch.max(1),
         });
-        let mut threads = Vec::with_capacity(config.shards + config.workers);
+        let mut threads = Vec::with_capacity(config.shards + config.workers + 1);
+        if let Some(listener) = metrics_listener {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("metrics".to_string())
+                    .spawn(move || metrics_loop(&listener, &shared))
+                    .expect("spawn metrics listener"),
+            );
+        }
         for shard in 0..config.shards.max(1) {
             let listener = listener.try_clone()?;
             let shared = Arc::clone(&shared);
@@ -148,7 +182,7 @@ impl Server {
                     .expect("spawn worker"),
             );
         }
-        Ok(ServerHandle { addr, shared, threads })
+        Ok(ServerHandle { addr, metrics_addr, shared, threads })
     }
 }
 
@@ -156,6 +190,7 @@ impl Server {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -164,6 +199,12 @@ impl ServerHandle {
     /// The address the server actually bound (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The address the Prometheus `/metrics` listener bound, when
+    /// configured (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Whether a shutdown (command or handle) has been requested.
@@ -228,6 +269,67 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
+/// Accept loop for the dedicated `/metrics` listener. Each connection is
+/// one scrape: read the request head, answer, close.
+fn metrics_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = serve_metrics(shared, stream);
+            }
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Minimal hand-written HTTP/1.1: enough for `GET /metrics` from
+/// Prometheus or `curl`, with no dependency and no keep-alive.
+fn serve_metrics(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                    || head.len() > 8192
+                {
+                    break;
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err),
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let mut tokens = request.lines().next().unwrap_or("").split_whitespace();
+    let method = tokens.next().unwrap_or("");
+    let path = tokens.next().unwrap_or("");
+    let (status, content_type, body) =
+        if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", shared.engine.prometheus())
+        } else {
+            ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string())
+        };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let stream = {
@@ -275,7 +377,19 @@ struct ConnState {
     shutdown: bool,
 }
 
+/// RAII decrement of the open-connection gauge, so every exit path of
+/// [`serve_conn`] is covered.
+struct ConnGuard<'a>(&'a Engine);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connection_closed();
+    }
+}
+
 fn serve_conn(shared: &Shared, mut stream: TcpStream) {
+    shared.engine.connection_opened();
+    let _guard = ConnGuard(&shared.engine);
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
@@ -370,6 +484,7 @@ fn feed_line(shared: &Shared, line: &str, state: &mut ConnState, segs: &mut Vec<
         _ if state.multi.is_some() => err(segs, format!("{line:?} not allowed in MULTI")),
         proto::Line::Ping => segs.push(Seg::Lit("PONG".to_string())),
         proto::Line::Stats => segs.push(Seg::Stats),
+        proto::Line::Trace(cmd) => segs.push(Seg::Lit(engine.trace_command(cmd))),
         proto::Line::Shutdown => {
             state.shutdown = true;
             segs.push(Seg::Lit("OK".to_string()));
@@ -397,8 +512,11 @@ fn run_segments(shared: &Shared, segs: Vec<Seg>) -> String {
         let done = Instant::now();
         for ((unit, is_multi, stamp), lines) in pending.drain(..).zip(responses) {
             let elapsed = done.duration_since(stamp).as_nanos() as u64;
-            for _ in 0..unit.ops.len().max(1) {
-                shared.engine.latency.record(elapsed);
+            if unit.ops.is_empty() {
+                shared.engine.latency.record(elapsed); // empty EXEC
+            }
+            for op in &unit.ops {
+                shared.engine.record_op_latency(op, elapsed);
             }
             if is_multi {
                 out.push_str(&format!("RESULTS {}\n", lines.len()));
@@ -439,6 +557,7 @@ fn run_segments(shared: &Shared, segs: Vec<Seg>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proust_stm::obs::JsonValue;
     use std::io::{BufRead, BufReader};
 
     struct Client {
@@ -516,13 +635,102 @@ mod tests {
         assert_eq!(client.roundtrip("PUT m 1 1"), "OK");
         let stats = client.roundtrip("STATS");
         let payload = stats.strip_prefix("STATS ").expect("STATS prefix");
-        let parsed = proust_stm::obs::JsonValue::parse(payload).expect("STATS is one-line JSON");
-        assert!(
-            parsed.get("commits").and_then(proust_stm::obs::JsonValue::as_u64).unwrap() >= 1,
-            "{stats}"
-        );
+        let parsed = JsonValue::parse(payload).expect("STATS is one-line JSON");
+        assert!(parsed.get("commits").and_then(JsonValue::as_u64).unwrap() >= 1, "{stats}");
+        // STATS v2: live gauges, slow-txn accounting, and the
+        // conflict-matrix top cells ride along.
+        assert!(parsed.get("in_flight").and_then(JsonValue::as_u64).is_some(), "{stats}");
+        assert!(parsed.get("connections").and_then(JsonValue::as_u64).unwrap() >= 1, "{stats}");
+        assert!(parsed.get("connections_total").and_then(JsonValue::as_u64).unwrap() >= 1);
+        assert_eq!(parsed.get("slow_txns").and_then(JsonValue::as_u64), Some(0));
+        assert!(parsed.get("conflict_matrix_top").and_then(JsonValue::as_array).is_some());
+        assert!(parsed.get("op_p99_ns").and_then(|o| o.get("put")).is_some(), "{stats}");
+        assert!(parsed.get("trace_sample_every").and_then(JsonValue::as_u64).is_some());
         assert_eq!(client.roundtrip("SHUTDOWN"), "OK");
         assert!(handle.wait(), "drain should complete");
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect metrics");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let config =
+            ServerConfig { metrics_addr: Some("127.0.0.1:0".to_string()), ..Default::default() };
+        let handle = Server::start(config).expect("start");
+        let mut client = Client::connect(handle.addr());
+        assert_eq!(client.roundtrip("PUT m 1 1"), "OK");
+        assert_eq!(client.roundtrip("GET m 1"), "VALUE 1");
+        let metrics = handle.metrics_addr().expect("metrics listener bound");
+        let response = http_get(metrics, "/metrics");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("version=0.0.4"), "{head}");
+        let samples = proust_stm::obs::parse_exposition(body).expect("valid exposition");
+        let commits =
+            samples.iter().find(|s| s.name == "proust_txn_commits_total").expect("commits counter");
+        assert!(commits.value >= 2.0, "commits {}", commits.value);
+        let kinds: Vec<&str> = samples
+            .iter()
+            .filter(|s| s.name == "proust_txn_conflicts_total")
+            .filter_map(|s| s.label("kind"))
+            .collect();
+        assert_eq!(kinds.len(), 8, "conflict kinds {kinds:?}");
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "proust_request_latency_ns_bucket"
+                    && s.label("op") == Some("put")),
+            "missing put latency buckets"
+        );
+        assert!(samples.iter().any(|s| s.name == "proust_txn_in_flight"));
+        assert!(samples.iter().any(|s| s.name == "proust_connections_open" && s.value >= 1.0));
+        // Anything but GET /metrics is a 404.
+        let response = http_get(metrics, "/nope");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        assert!(handle.shutdown());
+    }
+
+    #[test]
+    fn trace_commands_control_the_flight_recorder() {
+        let handle = Server::start(ServerConfig::default()).expect("start");
+        let mut client = Client::connect(handle.addr());
+        // The tracer is process-global, and sibling tests starting
+        // servers reset its sample rate; retry the capture window until
+        // a sampled span lands (first iteration in the common case).
+        let mut sampled_span = false;
+        for _ in 0..25 {
+            assert_eq!(client.roundtrip("TRACE START 1"), "OK");
+            assert_eq!(client.roundtrip("PUT m 1 1"), "OK");
+            assert_eq!(client.roundtrip("GET m 1"), "VALUE 1");
+            let dump = client.roundtrip("TRACE DUMP");
+            let payload = dump.strip_prefix("TRACE ").expect("TRACE prefix");
+            let doc = JsonValue::parse(payload).expect("dump is one-line JSON");
+            let events = doc.get("traceEvents").and_then(JsonValue::as_array).expect("traceEvents");
+            if events.iter().any(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X")) {
+                sampled_span = true;
+                break;
+            }
+        }
+        // Under the trace feature (on by default here), 1-in-1 sampling
+        // must record complete ("X") per-phase spans.
+        #[cfg(feature = "trace")]
+        assert!(sampled_span, "no phase spans in any dump");
+        #[cfg(not(feature = "trace"))]
+        let _ = sampled_span;
+        assert_eq!(client.roundtrip("TRACE STOP"), "OK");
+        // TRACE is a control verb: rejected inside MULTI.
+        assert_eq!(client.roundtrip("MULTI"), "OK");
+        assert_eq!(client.roundtrip("TRACE DUMP"), "ERR \"TRACE DUMP\" not allowed in MULTI");
+        assert_eq!(client.roundtrip("DISCARD"), "OK");
+        assert!(handle.shutdown());
     }
 
     #[test]

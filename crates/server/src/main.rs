@@ -12,7 +12,9 @@ usage: proust-server [--addr HOST:PORT] [--lap pessimistic|optimistic]
                      [--cm backoff|karma|greedy|serial]
                      [--exhaustion serial|giveup] [--max-retries N]
                      [--shards N] [--workers N]
-                     [--max-batch N] [--batch-patience N]";
+                     [--max-batch N] [--batch-patience N]
+                     [--metrics-addr HOST:PORT] [--slow-threshold MS]
+                     [--trace-sample N]";
 
 fn config_from_args() -> ServerConfig {
     let mut config = ServerConfig::default();
@@ -55,6 +57,12 @@ fn config_from_args() -> ServerConfig {
             "--workers" => config.workers = args.parsed("--workers"),
             "--max-batch" => config.max_batch = args.parsed("--max-batch"),
             "--batch-patience" => config.batch_patience = args.parsed("--batch-patience"),
+            "--metrics-addr" => config.metrics_addr = Some(args.value("--metrics-addr")),
+            "--slow-threshold" => {
+                let ms: u64 = args.parsed("--slow-threshold");
+                config.slow_threshold = Some(std::time::Duration::from_millis(ms));
+            }
+            "--trace-sample" => config.trace_sample = args.parsed("--trace-sample"),
             other => args.unknown(other),
         }
     }
@@ -72,6 +80,10 @@ fn main() {
     };
     // Scripts parse this line to discover the port when binding :0.
     println!("LISTENING {}", handle.addr());
+    if let Some(metrics) = handle.metrics_addr() {
+        // Same contract for the Prometheus scrape endpoint.
+        println!("METRICS {metrics}");
+    }
     let drained = handle.wait();
     if drained {
         println!("shutdown: drained");

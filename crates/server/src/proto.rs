@@ -18,6 +18,9 @@
 //! EXEC                      -> RESULTS n, then n response lines
 //! DISCARD                   -> OK                     (drop the open batch)
 //! STATS                     -> STATS <one-line JSON>
+//! TRACE START [n]           -> OK                     (clear + sample 1-in-n)
+//! TRACE STOP                -> OK                     (restore default rate)
+//! TRACE DUMP                -> TRACE <one-line Chrome trace JSON>
 //! SHUTDOWN                  -> OK                     (begin graceful drain)
 //! QUIT                      -> OK, connection closes
 //! ```
@@ -119,10 +122,25 @@ pub enum Line {
     Discard,
     /// `STATS` — one-line JSON snapshot.
     Stats,
+    /// `TRACE …` — flight-recorder control (see [`TraceCmd`]).
+    Trace(TraceCmd),
     /// `SHUTDOWN` — begin graceful server drain.
     Shutdown,
     /// `QUIT` — close this connection.
     Quit,
+}
+
+/// A `TRACE` subcommand controlling the sampling flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCmd {
+    /// `TRACE START [n]` — clear retained events and sample 1-in-`n`
+    /// transactions (omitted `n` keeps the current rate).
+    Start(Option<u64>),
+    /// `TRACE STOP` — restore the server's configured default rate.
+    Stop,
+    /// `TRACE DUMP` — encode retained events as one-line Chrome trace
+    /// JSON (loadable in Perfetto / `chrome://tracing`).
+    Dump,
 }
 
 fn valid_name(name: &str) -> bool {
@@ -229,6 +247,23 @@ pub fn parse_line(line: &str) -> Result<Line, String> {
             end(tokens, verb)?;
             Line::Stats
         }
+        "TRACE" => {
+            let sub = tokens.next().ok_or_else(|| "TRACE needs START|STOP|DUMP".to_string())?;
+            let cmd = match sub {
+                "START" => {
+                    let every = match tokens.next() {
+                        Some(raw) => Some(num_token(Some(raw), "sample rate")?),
+                        None => None,
+                    };
+                    TraceCmd::Start(every)
+                }
+                "STOP" => TraceCmd::Stop,
+                "DUMP" => TraceCmd::Dump,
+                other => return Err(format!("unknown TRACE subcommand {other:?}")),
+            };
+            end(tokens, verb)?;
+            Line::Trace(cmd)
+        }
         "SHUTDOWN" => {
             end(tokens, verb)?;
             Line::Shutdown
@@ -282,6 +317,10 @@ mod tests {
         assert_eq!(parse_line("EXEC").unwrap(), Line::Exec);
         assert_eq!(parse_line("DISCARD").unwrap(), Line::Discard);
         assert_eq!(parse_line("STATS").unwrap(), Line::Stats);
+        assert_eq!(parse_line("TRACE START").unwrap(), Line::Trace(TraceCmd::Start(None)));
+        assert_eq!(parse_line("TRACE START 64").unwrap(), Line::Trace(TraceCmd::Start(Some(64))));
+        assert_eq!(parse_line("TRACE STOP").unwrap(), Line::Trace(TraceCmd::Stop));
+        assert_eq!(parse_line("TRACE DUMP").unwrap(), Line::Trace(TraceCmd::Dump));
         assert_eq!(parse_line("SHUTDOWN").unwrap(), Line::Shutdown);
         assert_eq!(parse_line("QUIT").unwrap(), Line::Quit);
     }
@@ -300,6 +339,10 @@ mod tests {
             "INC hits 99999999",
             "PING extra",
             "DEQ",
+            "TRACE",
+            "TRACE FROB",
+            "TRACE START x",
+            "TRACE DUMP extra",
         ] {
             assert!(parse_line(bad).is_err(), "{bad:?} should be rejected");
         }

@@ -61,6 +61,7 @@ mod clock;
 pub mod cm;
 mod config;
 mod error;
+pub mod forensics;
 mod local;
 mod metrics;
 mod runtime;
@@ -73,6 +74,7 @@ pub use backoff::Backoff;
 pub use cm::{CmArbitration, CmPolicy, Contender, ContentionManager, TxnHandle};
 pub use config::{BackoffConfig, ConflictDetection, RetryExhaustion, StmConfig};
 pub use error::{AbortError, AbortKind, ConflictKind, TxError, TxResult};
+pub use forensics::{take_forensics, TxnForensics};
 pub use local::TxnLocal;
 pub use metrics::StmMetrics;
 pub use runtime::Stm;

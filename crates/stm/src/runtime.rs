@@ -11,12 +11,19 @@ use crate::clock;
 use crate::cm::ContentionManager;
 use crate::config::{RetryExhaustion, StmConfig};
 use crate::error::{AbortError, ConflictKind, TxError, TxResult};
+#[cfg(feature = "trace")]
+use crate::forensics::{self, TxnForensics};
 use crate::metrics::StmMetrics;
 use crate::stats::{StmStats, StmStatsSnapshot};
 use crate::tvar::DynTVar;
 use crate::txn::Txn;
 #[cfg(feature = "trace")]
-use proust_obs::{EventKind, SiteId, Tracer};
+use proust_obs::{EventKind, Phase, SiteId, Tracer};
+
+/// Bound on the call-level conflict log accumulated for forensics across
+/// all attempts of one `atomically` call.
+#[cfg(feature = "trace")]
+const FORENSIC_CONFLICT_CAP: usize = 32;
 
 /// Block (politely) until one of the watched locations changes version or
 /// becomes locked by a committing writer: a brief spin for the contended
@@ -330,6 +337,55 @@ impl Stm {
         let mut serial_failures: u32 = 0;
         #[cfg(feature = "trace")]
         let txn_start = std::time::Instant::now();
+        // One end-to-end sampling decision per `atomically` call: every
+        // attempt of a sampled call records its phase spans, so a trace
+        // shows the whole retry history of the transactions it picks.
+        #[cfg(feature = "trace")]
+        let sampled = Tracer::global().sample();
+        #[cfg(not(feature = "trace"))]
+        let sampled = false;
+        #[cfg(feature = "trace")]
+        let txn_start_ns = if sampled { Tracer::global().now_ns() } else { 0 };
+        // Call-level forensics, accumulated across attempts.
+        #[cfg(feature = "trace")]
+        let mut call_spans: Vec<crate::forensics::ForensicSpan> = Vec::new();
+        #[cfg(feature = "trace")]
+        let mut call_conflicts: Vec<crate::forensics::ForensicConflict> = Vec::new();
+        // Closes the whole-transaction span and deposits the post-mortem
+        // record for `take_forensics`.
+        #[cfg(feature = "trace")]
+        macro_rules! finish_forensics {
+            ($tx:expr, $outcome:expr, $attempt:expr) => {{
+                let tx = &$tx;
+                call_spans.extend(tx.take_spans());
+                call_conflicts.extend(tx.take_conflicts());
+                call_conflicts.truncate(FORENSIC_CONFLICT_CAP);
+                let elapsed_ns = txn_start.elapsed().as_nanos() as u64;
+                if sampled {
+                    Tracer::global().emit_span(
+                        tx.id(),
+                        Phase::Txn,
+                        tx.op_site(),
+                        txn_start_ns,
+                        elapsed_ns,
+                    );
+                    call_spans.push(crate::forensics::ForensicSpan {
+                        phase: Phase::Txn.name(),
+                        start_ns: txn_start_ns,
+                        dur_ns: elapsed_ns,
+                    });
+                }
+                forensics::record(TxnForensics {
+                    txn_id: tx.id(),
+                    attempts: $attempt,
+                    sampled,
+                    elapsed_ns,
+                    outcome: $outcome,
+                    conflicts: std::mem::take(&mut call_conflicts),
+                    spans: std::mem::take(&mut call_spans),
+                });
+            }};
+        }
         loop {
             attempt += 1;
             // While another transaction runs serial-irrevocably, park before
@@ -343,11 +399,30 @@ impl Stm {
                 self.inner.in_flight.fetch_add(1, Ordering::AcqRel);
             }
             self.inner.stats.record_start();
-            let mut tx =
-                Txn::new(Arc::clone(&self.inner), attempt, birth, carried_work, serial.is_some());
+            let mut tx = Txn::new(
+                Arc::clone(&self.inner),
+                attempt,
+                birth,
+                carried_work,
+                serial.is_some(),
+                sampled,
+            );
             #[cfg(feature = "trace")]
-            Tracer::global().emit(tx.id(), EventKind::TxnStart, SiteId::UNKNOWN, attempt as u64);
-            let outcome = match body(&mut tx) {
+            let body_start_ns = if sampled { Tracer::global().now_ns() } else { 0 };
+            #[cfg(feature = "trace")]
+            if sampled {
+                Tracer::global().emit_at(
+                    body_start_ns,
+                    tx.id(),
+                    EventKind::TxnStart,
+                    SiteId::UNKNOWN,
+                    attempt as u64,
+                );
+            }
+            let body_result = body(&mut tx);
+            #[cfg(feature = "trace")]
+            tx.record_span(Phase::Body, body_start_ns);
+            let outcome = match body_result {
                 Ok(value) => match tx.commit() {
                     Ok(()) => {
                         self.inner.stats.record_commit();
@@ -357,12 +432,15 @@ impl Stm {
                                 .metrics
                                 .txn_latency
                                 .record(txn_start.elapsed().as_nanos() as u64);
-                            Tracer::global().emit(
-                                tx.id(),
-                                EventKind::Commit,
-                                tx.op_site(),
-                                attempt as u64,
-                            );
+                            if sampled {
+                                Tracer::global().emit(
+                                    tx.id(),
+                                    EventKind::Commit,
+                                    tx.op_site(),
+                                    attempt as u64,
+                                );
+                            }
+                            finish_forensics!(tx, "committed", attempt);
                         }
                         return Ok(value);
                     }
@@ -370,6 +448,14 @@ impl Stm {
                 },
                 Err(err) => Err(err),
             };
+            // Accumulate this attempt's spans and conflict log before the
+            // failure handling below consumes `tx`.
+            #[cfg(feature = "trace")]
+            {
+                call_spans.extend(tx.take_spans());
+                call_conflicts.extend(tx.take_conflicts());
+                call_conflicts.truncate(FORENSIC_CONFLICT_CAP);
+            }
             match outcome {
                 Err(TxError::Conflict(kind)) => {
                     // Conflict counters were recorded at the raise site.
@@ -403,7 +489,17 @@ impl Stm {
                 Err(TxError::Abort(err)) => {
                     self.inner.stats.record_user_abort();
                     #[cfg(feature = "trace")]
-                    Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
+                    {
+                        if sampled {
+                            Tracer::global().emit(
+                                tx.id(),
+                                EventKind::Abort,
+                                tx.op_site(),
+                                attempt as u64,
+                            );
+                        }
+                        finish_forensics!(tx, "aborted", attempt);
+                    }
                     tx.rollback();
                     return Err(err);
                 }
@@ -426,7 +522,17 @@ impl Stm {
                     // Release the token before surfacing the abort.
                     drop(serial.take());
                     #[cfg(feature = "trace")]
-                    Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
+                    {
+                        if sampled {
+                            Tracer::global().emit(
+                                tx.id(),
+                                EventKind::Abort,
+                                tx.op_site(),
+                                attempt as u64,
+                            );
+                        }
+                        finish_forensics!(tx, "exhausted", attempt);
+                    }
                     self.inner.stats.record_exhausted();
                     return Err(AbortError::exhausted(
                         attempt,
@@ -464,7 +570,17 @@ impl Stm {
                 }
                 if exhausted && self.inner.config.on_exhaustion == RetryExhaustion::GiveUp {
                     #[cfg(feature = "trace")]
-                    Tracer::global().emit(tx.id(), EventKind::Abort, tx.op_site(), attempt as u64);
+                    {
+                        if sampled {
+                            Tracer::global().emit(
+                                tx.id(),
+                                EventKind::Abort,
+                                tx.op_site(),
+                                attempt as u64,
+                            );
+                        }
+                        finish_forensics!(tx, "exhausted", attempt);
+                    }
                     self.inner.stats.record_exhausted();
                     return Err(AbortError::exhausted(
                         attempt,

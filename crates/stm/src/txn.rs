@@ -15,10 +15,17 @@ use crate::clock;
 use crate::cm::{CmArbitration, Contender, TxnHandle};
 use crate::config::ConflictDetection;
 use crate::error::{ConflictKind, TxError, TxResult};
+#[cfg(feature = "trace")]
+use crate::forensics::{ForensicConflict, ForensicSpan};
 use crate::runtime::StmInner;
 use crate::tvar::{as_dyn, observe, DynTVar, TVarData, TxnShared, TXN_ABORTED, TXN_COMMITTED};
 #[cfg(feature = "trace")]
-use proust_obs::{EventKind, Tracer};
+use proust_obs::{EventKind, Phase, Tracer};
+
+/// Bound on the per-attempt conflict log kept for forensics; a retry
+/// storm must not turn the log into an allocation firehose.
+#[cfg(feature = "trace")]
+const CONFLICT_LOG_CAP: usize = 16;
 
 /// How a transaction finished; passed to [`Txn::on_end`] handlers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,6 +99,17 @@ pub struct Txn {
     /// Site label of the operation currently executing (for conflict
     /// attribution and trace events).
     op_site: SiteId,
+    /// Whether the flight-recorder sampler picked this `atomically` call
+    /// (all attempts of a call share the decision).
+    #[cfg(feature = "trace")]
+    sampled: bool,
+    /// Per-phase spans measured during this attempt (sampled calls
+    /// only). `RefCell` because validation records through `&self`.
+    #[cfg(feature = "trace")]
+    spans: RefCell<Vec<ForensicSpan>>,
+    /// Conflicts raised during this attempt, named for forensics.
+    #[cfg(feature = "trace")]
+    conflict_log: RefCell<Vec<ForensicConflict>>,
     // !Send / !Sync: transactions are thread-confined.
     _not_send: std::marker::PhantomData<Rc<()>>,
 }
@@ -116,7 +134,10 @@ impl Txn {
         birth: u64,
         carried_work: u64,
         serial: bool,
+        sampled: bool,
     ) -> Txn {
+        #[cfg(not(feature = "trace"))]
+        let _ = sampled;
         let read_version = clock::now();
         let shared = Arc::new(TxnShared::new(clock::next_txn_id(), birth));
         // Work done by earlier attempts of the same `atomically` call counts
@@ -142,6 +163,13 @@ impl Txn {
             finished: false,
             serial,
             op_site: SiteId::UNKNOWN,
+            #[cfg(feature = "trace")]
+            sampled,
+            // Typical sampled attempt: body + lock + validate + writeback.
+            #[cfg(feature = "trace")]
+            spans: RefCell::new(if sampled { Vec::with_capacity(4) } else { Vec::new() }),
+            #[cfg(feature = "trace")]
+            conflict_log: RefCell::new(Vec::new()),
             _not_send: std::marker::PhantomData,
         }
     }
@@ -193,6 +221,21 @@ impl Txn {
         self.op_site
     }
 
+    /// Whether the flight-recorder sampler picked this `atomically` call.
+    /// Layers above the STM (abstract lock tables, data structures) gate
+    /// their own trace emission on this so unsampled transactions pay
+    /// nothing. Always `false` without the `trace` feature.
+    pub fn is_sampled(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.sampled
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
     /// Raise a conflict from code layered above the STM (e.g. an abstract
     /// lock implementation). Records it in the runtime statistics and
     /// returns the error to short-circuit the transaction body.
@@ -213,11 +256,62 @@ impl Txn {
         #[cfg(feature = "trace")]
         {
             self.stm.metrics.conflicts.record(aborter, self.op_site);
-            Tracer::global().emit(self.shared.id, EventKind::Conflict, aborter, kind.code() as u64);
+            if self.sampled {
+                Tracer::global().emit(
+                    self.shared.id,
+                    EventKind::Conflict,
+                    aborter,
+                    kind.code() as u64,
+                );
+            }
+            let mut log = self.conflict_log.borrow_mut();
+            if log.len() < CONFLICT_LOG_CAP {
+                log.push(ForensicConflict {
+                    kind: kind.name(),
+                    aborter: aborter.name(),
+                    victim: self.op_site.name(),
+                });
+            }
         }
         #[cfg(not(feature = "trace"))]
         let _ = aborter;
         Err(TxError::Conflict(kind))
+    }
+
+    /// Close a sampled span that began at `start_ns` (a
+    /// [`Tracer::now_ns`] reading): emit it to the flight recorder and
+    /// keep a copy for forensics. No-op for unsampled transactions.
+    #[cfg(feature = "trace")]
+    pub(crate) fn record_span(&self, phase: Phase, start_ns: u64) {
+        if !self.sampled {
+            return;
+        }
+        let dur_ns = Tracer::global().now_ns().saturating_sub(start_ns);
+        self.record_span_at(phase, start_ns, dur_ns);
+    }
+
+    /// Like [`record_span`](Txn::record_span) but with the duration
+    /// already measured, so commit-path phases that time themselves for
+    /// the always-on histograms don't pay a second clock read here.
+    #[cfg(feature = "trace")]
+    pub(crate) fn record_span_at(&self, phase: Phase, start_ns: u64, dur_ns: u64) {
+        if !self.sampled {
+            return;
+        }
+        Tracer::global().emit_span(self.shared.id, phase, self.op_site, start_ns, dur_ns);
+        self.spans.borrow_mut().push(ForensicSpan { phase: phase.name(), start_ns, dur_ns });
+    }
+
+    /// Drain this attempt's sampled spans (for call-level accumulation).
+    #[cfg(feature = "trace")]
+    pub(crate) fn take_spans(&self) -> Vec<ForensicSpan> {
+        self.spans.take()
+    }
+
+    /// Drain this attempt's conflict log (for call-level accumulation).
+    #[cfg(feature = "trace")]
+    pub(crate) fn take_conflicts(&self) -> Vec<ForensicConflict> {
+        self.conflict_log.take()
     }
 
     /// Register an inverse operation, run (in reverse registration order)
@@ -355,7 +449,9 @@ impl Txn {
         if self.read_ids.insert(id) {
             self.reads.push(ReadEntry { tvar: as_dyn(data), version });
             #[cfg(feature = "trace")]
-            Tracer::global().emit(self.shared.id, EventKind::Read, self.op_site, id);
+            if self.sampled {
+                Tracer::global().emit(self.shared.id, EventKind::Read, self.op_site, id);
+            }
         }
         Ok(value)
     }
@@ -372,6 +468,8 @@ impl Txn {
             // The owner word is anonymous (an id, not a handle), so the
             // contention manager cannot arbitrate here — it only grants a
             // bounded patience for re-polling before the conflict is raised.
+            #[cfg(feature = "trace")]
+            let lock_start_ns = if self.sampled { Tracer::global().now_ns() } else { 0 };
             let mut polls = 0u32;
             loop {
                 match data.meta.owner.compare_exchange(
@@ -383,7 +481,16 @@ impl Txn {
                     Ok(_) => {
                         self.owned.push(as_dyn(data));
                         #[cfg(feature = "trace")]
-                        data.meta.last_writer_site.store(self.op_site.as_u32(), Ordering::Relaxed);
+                        {
+                            data.meta
+                                .last_writer_site
+                                .store(self.op_site.as_u32(), Ordering::Relaxed);
+                            // Only a contended acquisition is a span worth
+                            // keeping; the uncontended CAS is nanoseconds.
+                            if polls > 0 {
+                                self.record_span(Phase::LockAcquire, lock_start_ns);
+                            }
+                        }
                         break;
                     }
                     Err(_other) => {
@@ -442,7 +549,7 @@ impl Txn {
             },
         );
         #[cfg(feature = "trace")]
-        if is_first_write {
+        if is_first_write && self.sampled {
             Tracer::global().emit(self.shared.id, EventKind::Write, self.op_site, id);
         }
         Ok(())
@@ -560,6 +667,12 @@ impl Txn {
     /// global commit lock, so the only contention is transient
     /// (`store_now` or a racing eager runtime, which is unsupported).
     fn acquire_write_ownership(&mut self) -> TxResult<()> {
+        #[cfg(feature = "trace")]
+        let lock_start_ns = if self.sampled && !self.writes.is_empty() {
+            Some(Tracer::global().now_ns())
+        } else {
+            None
+        };
         for entry in self.writes.values() {
             let meta = entry.tvar.meta();
             let mut acquired = false;
@@ -584,6 +697,10 @@ impl Txn {
             meta.last_writer_site.store(entry.site.as_u32(), Ordering::Relaxed);
             self.owned.push(Arc::clone(&entry.tvar));
         }
+        #[cfg(feature = "trace")]
+        if let Some(start_ns) = lock_start_ns {
+            self.record_span(Phase::LockAcquire, start_ns);
+        }
         Ok(())
     }
 
@@ -597,15 +714,22 @@ impl Txn {
         }
         #[cfg(feature = "trace")]
         {
-            Tracer::global().emit(
-                self.shared.id,
-                EventKind::CommitValidate,
-                self.op_site,
-                self.reads.len() as u64,
-            );
-            let start = std::time::Instant::now();
+            // One clock pair serves both the always-on validation
+            // histogram and (for sampled transactions) the phase span.
+            let start_ns = Tracer::global().now_ns();
             let result = self.validate_reads();
-            self.stm.metrics.validation.record(start.elapsed().as_nanos() as u64);
+            let dur_ns = Tracer::global().now_ns().saturating_sub(start_ns);
+            self.stm.metrics.validation.record(dur_ns);
+            if self.sampled {
+                Tracer::global().emit_at(
+                    start_ns,
+                    self.shared.id,
+                    EventKind::CommitValidate,
+                    self.op_site,
+                    self.reads.len() as u64,
+                );
+                self.record_span_at(Phase::Validate, start_ns, dur_ns);
+            }
             result
         }
         #[cfg(not(feature = "trace"))]
@@ -618,13 +742,30 @@ impl Txn {
         #[cfg(feature = "trace")]
         if !self.commit_locked_handlers.is_empty() {
             let handlers = self.commit_locked_handlers.len() as u64;
-            Tracer::global().emit(self.shared.id, EventKind::ReplayBegin, self.op_site, handlers);
-            let start = std::time::Instant::now();
+            let start_ns = Tracer::global().now_ns();
             for handler in self.commit_locked_handlers.drain(..) {
                 handler();
             }
-            self.stm.metrics.replay.record(start.elapsed().as_nanos() as u64);
-            Tracer::global().emit(self.shared.id, EventKind::ReplayEnd, self.op_site, handlers);
+            let dur_ns = Tracer::global().now_ns().saturating_sub(start_ns);
+            self.stm.metrics.replay.record(dur_ns);
+            if self.sampled {
+                let tracer = Tracer::global();
+                tracer.emit_at(
+                    start_ns,
+                    self.shared.id,
+                    EventKind::ReplayBegin,
+                    self.op_site,
+                    handlers,
+                );
+                self.record_span_at(Phase::Replay, start_ns, dur_ns);
+                tracer.emit_at(
+                    start_ns + dur_ns,
+                    self.shared.id,
+                    EventKind::ReplayEnd,
+                    self.op_site,
+                    handlers,
+                );
+            }
         }
         // Already drained above when tracing; no-op in that case.
         for handler in self.commit_locked_handlers.drain(..) {
@@ -634,12 +775,17 @@ impl Txn {
             return;
         }
         #[cfg(feature = "trace")]
-        Tracer::global().emit(
-            self.shared.id,
-            EventKind::CommitWriteback,
-            self.op_site,
-            self.writes.len() as u64,
-        );
+        let writeback_start_ns = if self.sampled { Tracer::global().now_ns() } else { 0 };
+        #[cfg(feature = "trace")]
+        if self.sampled {
+            Tracer::global().emit_at(
+                writeback_start_ns,
+                self.shared.id,
+                EventKind::CommitWriteback,
+                self.op_site,
+                self.writes.len() as u64,
+            );
+        }
         let write_version = clock::tick();
         for (_, entry) in std::mem::take(&mut self.writes) {
             #[cfg(feature = "trace")]
@@ -649,6 +795,10 @@ impl Txn {
         // After the version stores, so a woken retry waiter re-checking its
         // watch list is guaranteed to see the change.
         crate::wake::notify_commit();
+        #[cfg(feature = "trace")]
+        if self.sampled {
+            self.record_span(Phase::Writeback, writeback_start_ns);
+        }
     }
 
     /// Snapshot of the read set used to implement blocking `retry`: the

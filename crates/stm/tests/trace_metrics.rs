@@ -108,6 +108,9 @@ fn replay_histogram_counts_commit_locked_handlers() {
 fn tracer_records_lifecycle_events() {
     let tracer = Tracer::global();
     tracer.clear();
+    // Lifecycle events are recorded for *sampled* transactions only, so
+    // pin the rate: sample everything for the duration of this test.
+    tracer.set_sample_every(1);
     tracer.enable();
     let stm = Stm::default();
     let v = TVar::new(1u32);
@@ -118,6 +121,7 @@ fn tracer_records_lifecycle_events() {
     })
     .unwrap();
     tracer.disable();
+    tracer.set_sample_every(0);
     let events = tracer.drain();
     tracer.clear();
     let bumps: Vec<_> = events.iter().filter(|e| e.site == site).collect();

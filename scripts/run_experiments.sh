@@ -64,4 +64,12 @@ SMOKE_SECS="${SERVER_SWEEP_SECS:-2}" scripts/server_smoke.sh "$RESULTS_DIR/serve
 SMOKE_SECS="${SERVER_SWEEP_SECS:-2}" scripts/server_smoke.sh "$RESULTS_DIR/server_pessimistic_eager.json" -- \
     --lap pessimistic --update eager | tee -a "$RESULTS_DIR/server.txt"
 
+echo "== telemetry overhead (flight recorder off vs 1-in-64) =="
+# The observability budget: always-on 1-in-64 span sampling must stay
+# under a 3% throughput delta on tiny uncontended transactions (the
+# worst case for a fixed per-transaction cost).
+cargo run --release -q -p xtask -- overhead \
+    --out "$RESULTS_DIR/telemetry_overhead.json" \
+    | tee "$RESULTS_DIR/telemetry_overhead.txt"
+
 echo "All results (tables, CSV, and JSON reports) in $RESULTS_DIR/"

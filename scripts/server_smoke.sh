@@ -5,6 +5,11 @@
 # The loadgen binary exits non-zero on any anomaly, so this script is a
 # pass/fail gate as well as a report producer.
 #
+# Also gates the telemetry pipeline: the Prometheus endpoint must serve
+# the required metric families, the commit counter must move across the
+# load run, and a TRACE START/DUMP round-trip must yield a Chrome trace
+# document with phase spans (validated by the proust-obs example).
+#
 # Usage: scripts/server_smoke.sh [json-out] [-- server flags...]
 #   SMOKE_SECS / SMOKE_THREADS override the run length and client count.
 
@@ -20,32 +25,93 @@ SECS="${SMOKE_SECS:-2}"
 THREADS="${SMOKE_THREADS:-8}"
 
 cargo build --release -q -p proust-server -p proust-loadgen
+cargo build --release -q -p proust-obs --example validate_chrome_trace
 
 LOG="$(mktemp)"
-./target/release/proust-server --addr 127.0.0.1:0 \
+TRACE_JSON="$(mktemp)"
+./target/release/proust-server --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:0 \
     ${SERVER_FLAGS[@]+"${SERVER_FLAGS[@]}"} >"$LOG" &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG" "$TRACE_JSON"' EXIT
 
-# The server binds :0 and prints the real address; poll for it.
+# The server binds :0 and prints the real addresses; poll for them.
 ADDR=""
+METRICS=""
 for _ in $(seq 1 100); do
     ADDR="$(sed -n 's/^LISTENING //p' "$LOG" | head -n1)"
-    [[ -n "$ADDR" ]] && break
+    METRICS="$(sed -n 's/^METRICS //p' "$LOG" | head -n1)"
+    [[ -n "$ADDR" && -n "$METRICS" ]] && break
     sleep 0.1
 done
 [[ -n "$ADDR" ]] || { echo "server never printed LISTENING" >&2; exit 1; }
+[[ -n "$METRICS" ]] || { echo "server never printed METRICS" >&2; exit 1; }
+
+# Raw-bash Prometheus scrape: GET /metrics, strip the HTTP head.
+scrape() {
+    exec 9<>"/dev/tcp/${METRICS%:*}/${METRICS##*:}"
+    printf 'GET /metrics HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n' "$METRICS" >&9
+    sed -e '1,/^\r\{0,1\}$/d' <&9 | tr -d '\r'
+    exec 9>&- 9<&-
+}
+
+# Every family the dashboard contract promises must be present before
+# any load arrives (histogram series appear once ops have landed, so the
+# latency family is asserted on the post-load scrape instead).
+BASELINE_SCRAPE="$(scrape)"
+for fam in proust_requests_total proust_connections_open proust_connections_total \
+           proust_txn_starts_total proust_txn_commits_total proust_txn_aborts_total \
+           proust_txn_conflicts_total proust_txn_in_flight proust_wounds_issued_total \
+           proust_serial_escalations_total proust_slow_txns_total proust_trace_sample_every; do
+    grep -q "^# TYPE $fam " <<<"$BASELINE_SCRAPE" || {
+        echo "metrics endpoint is missing family $fam" >&2
+        exit 1
+    }
+done
+
+# Flight-recorder round trip: sample everything, commit a write, and the
+# dump must be a loadable Chrome trace with phase spans. The ops are
+# acknowledged before TRACE DUMP is sent, so their spans are retained.
+exec 8<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+printf 'TRACE START 1\r\nPUT __smoke_trace 1\r\nGET __smoke_trace\r\n' >&8
+for _ in 1 2 3; do IFS= read -r _ <&8; done
+printf 'TRACE DUMP\r\nTRACE STOP\r\nQUIT\r\n' >&8
+sed -n 's/^TRACE //p' <&8 | head -n1 | tr -d '\r' >"$TRACE_JSON"
+exec 8>&- 8<&-
+./target/release/examples/validate_chrome_trace "$TRACE_JSON"
+
+COMMITS_BEFORE="$(awk '$1 == "proust_txn_commits_total" {print int($2)}' <<<"$(scrape)")"
 
 LOADGEN_ARGS=(--addr "$ADDR" --threads "$THREADS" --secs "$SECS"
-              --dist zipfian --theta 0.99 --multi-frac 0.1 --shutdown)
+              --dist zipfian --theta 0.99 --multi-frac 0.1
+              --metrics-addr "$METRICS")
 [[ -n "$JSON_OUT" ]] && LOADGEN_ARGS+=(--json "$JSON_OUT")
 ./target/release/proust-loadgen "${LOADGEN_ARGS[@]}"
 
-# SHUTDOWN was sent; the server must exit cleanly after draining
-# in-flight transactions.
+# The load must be visible to Prometheus: commits moved, and the per-op
+# latency histograms now have series.
+AFTER_SCRAPE="$(scrape)"
+COMMITS_AFTER="$(awk '$1 == "proust_txn_commits_total" {print int($2)}' <<<"$AFTER_SCRAPE")"
+if (( COMMITS_AFTER <= COMMITS_BEFORE )); then
+    echo "proust_txn_commits_total did not increase across the load run" >&2
+    echo "  before=$COMMITS_BEFORE after=$COMMITS_AFTER" >&2
+    exit 1
+fi
+grep -q '^proust_request_latency_ns_bucket{' <<<"$AFTER_SCRAPE" || {
+    echo "no per-op latency histogram series after the load run" >&2
+    exit 1
+}
+
+# Shut the server down ourselves (the loadgen run left it up so the
+# post-load scrape above had a live endpoint).
+exec 8<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+printf 'SHUTDOWN\r\n' >&8
+cat <&8 >/dev/null || true
+exec 8>&- 8<&-
+
+# The server must exit cleanly after draining in-flight transactions.
 wait "$SERVER_PID"
 grep -q "shutdown: drained" "$LOG" || {
     echo "server did not report a drained shutdown" >&2
     exit 1
 }
-echo "server smoke OK (${SERVER_FLAGS[*]:-default config})"
+echo "server smoke OK (${SERVER_FLAGS[*]:-default config}; commits +$((COMMITS_AFTER - COMMITS_BEFORE)))"

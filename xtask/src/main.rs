@@ -18,6 +18,11 @@
 //!   the toolchain supports them; `--allow-missing` turns an absent tool
 //!   into a skip (the containers this repo builds in have no crates.io
 //!   mirror or rustup components; CI installs the real tools).
+//! * `overhead` — the telemetry overhead guard: runs the same in-process
+//!   STM counter workload with the flight recorder off and again sampling
+//!   1-in-64, and writes the throughput delta to
+//!   `results/telemetry_overhead.json`. The budget is <3%; `--enforce`
+//!   turns a blown budget into a non-zero exit.
 
 mod analyze;
 mod lint;
@@ -42,7 +47,7 @@ fn main() -> ExitCode {
     let (command, rest) = match args.split_first() {
         Some((command, rest)) => (command.as_str(), rest),
         None => {
-            eprintln!("usage: cargo xtask <analyze|loom|chaos|miri|tsan> [options]");
+            eprintln!("usage: cargo xtask <analyze|loom|chaos|miri|tsan|overhead> [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -52,8 +57,11 @@ fn main() -> ExitCode {
         "chaos" => run_chaos(rest),
         "miri" => run_miri(rest),
         "tsan" => run_tsan(rest),
+        "overhead" => run_overhead(rest),
         other => {
-            eprintln!("unknown command {other:?}; expected analyze, loom, chaos, miri, or tsan");
+            eprintln!(
+                "unknown command {other:?}; expected analyze, loom, chaos, miri, tsan, or overhead"
+            );
             ExitCode::FAILURE
         }
     }
@@ -339,6 +347,160 @@ fn run_tsan(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// One timed pass of the overhead workload: `threads` workers spend
+/// `secs` incrementing their own striped `TVar` counters through full
+/// `atomically` calls. Independent stripes keep conflict noise out of the
+/// measurement, so the off-vs-sampled delta isolates the flight-recorder
+/// hooks themselves. Returns committed ops per second.
+fn overhead_pass(threads: usize, secs: f64) -> f64 {
+    use proust_stm::{Stm, StmConfig, TVar};
+
+    let stm = Stm::new(StmConfig::default());
+    let counters: Vec<TVar<u64>> = (0..threads).map(|_| TVar::new(0u64)).collect();
+    let deadline = std::time::Duration::from_secs_f64(secs);
+    let start = std::time::Instant::now();
+    let total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = counters
+            .iter()
+            .map(|counter| {
+                let stm = stm.clone();
+                scope.spawn(move || {
+                    let mut ops = 0u64;
+                    while start.elapsed() < deadline {
+                        // Batch the deadline check: Instant::now is not
+                        // free and would otherwise dominate short txns.
+                        for _ in 0..256 {
+                            stm.atomically(|tx| {
+                                let v = counter.read(tx)?;
+                                counter.write(tx, v + 1)
+                            })
+                            .expect("uncontended increment commits");
+                            ops += 1;
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panics")).sum()
+    });
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The telemetry overhead guard. Budget: sampling 1-in-64 must cost <3%
+/// throughput on the hottest path we have (tiny uncontended txns — the
+/// worst case for fixed per-txn overhead, since there is no real work to
+/// amortise it against).
+fn run_overhead(args: &[String]) -> ExitCode {
+    const TARGET_FRAC: f64 = 0.03;
+
+    let mut sample_every = 64u64;
+    let mut out = workspace_root().join("results/telemetry_overhead.json");
+    let mut secs = 2.0f64;
+    let mut threads = 4usize;
+    let mut enforce = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--sample-every" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(value) => sample_every = value,
+                None => {
+                    eprintln!("--sample-every needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--secs" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(value) => secs = value,
+                None => {
+                    eprintln!("--secs needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(value) => threads = value,
+                None => {
+                    eprintln!("--threads needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--enforce" => enforce = true,
+            other => {
+                eprintln!("unknown overhead option {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let tracer = proust_obs::Tracer::global();
+
+    // Warm up allocators, the version clock, and the thread pool once so
+    // neither timed pass pays first-run costs.
+    overhead_pass(threads, (secs / 4.0).min(0.5));
+
+    // Scheduler noise between runs is on the order of the signal, so
+    // interleave the two modes and compare best-of: the peak each mode
+    // reaches is the right estimator for a small fixed per-txn cost.
+    const ROUNDS: usize = 5;
+    let mut baseline = 0.0f64;
+    let mut sampled = 0.0f64;
+    for _ in 0..ROUNDS {
+        tracer.disable();
+        tracer.clear();
+        baseline = baseline.max(overhead_pass(threads, secs));
+        tracer.set_sample_every(sample_every);
+        tracer.enable();
+        sampled = sampled.max(overhead_pass(threads, secs));
+    }
+    tracer.disable();
+    tracer.clear();
+
+    let delta_frac = (baseline - sampled) / baseline;
+    let within = delta_frac < TARGET_FRAC;
+    println!(
+        "overhead: baseline {baseline:.0} ops/s, sampled(1/{sample_every}) {sampled:.0} ops/s, \
+         delta {:.2}% (budget {:.0}%)",
+        delta_frac * 100.0,
+        TARGET_FRAC * 100.0
+    );
+
+    let report = proust_obs::JsonValue::obj([
+        ("baseline_ops_per_s", proust_obs::JsonValue::num(baseline)),
+        ("sampled_ops_per_s", proust_obs::JsonValue::num(sampled)),
+        ("delta_frac", proust_obs::JsonValue::num(delta_frac)),
+        ("sample_every", proust_obs::JsonValue::u64(sample_every)),
+        ("threads", proust_obs::JsonValue::u64(threads as u64)),
+        ("secs", proust_obs::JsonValue::num(secs)),
+        ("target_frac", proust_obs::JsonValue::num(TARGET_FRAC)),
+        ("within_target", proust_obs::JsonValue::Bool(within)),
+    ]);
+    if let Some(parent) = out.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    if let Err(error) = fs::write(&out, report.to_json_pretty() + "\n") {
+        eprintln!("failed to write {}: {error}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("report: {}", out.display());
+
+    if !within && enforce {
+        eprintln!(
+            "overhead: FAILED — sampling costs {:.2}%, budget is {:.0}%",
+            delta_frac * 100.0,
+            TARGET_FRAC * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("overhead: OK");
+    ExitCode::SUCCESS
 }
 
 fn host_triple() -> &'static str {
