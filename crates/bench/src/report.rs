@@ -58,11 +58,13 @@ pub fn matrix_json(matrix: &ConflictMatrix) -> JsonValue {
                 ("aborter", JsonValue::str(cell.aborter.name())),
                 ("victim", JsonValue::str(cell.victim.name())),
                 ("count", JsonValue::u64(cell.count)),
+                ("ns_lost", JsonValue::u64(cell.ns_lost)),
             ])
         })
         .collect();
     JsonValue::obj([
         ("total", JsonValue::u64(matrix.total())),
+        ("total_ns_lost", JsonValue::u64(matrix.total_ns_lost())),
         ("false_conflict_rate", JsonValue::num(matrix.false_conflict_rate(ops_commute))),
         ("matrix", JsonValue::Arr(cells)),
     ])

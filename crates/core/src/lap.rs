@@ -452,12 +452,19 @@ where
         let txn = tx.id();
         let site = tx.op_site();
         let mut polls = 0;
+        // Wait timing is always-on but lazy: the stopwatch only starts on
+        // the first `Blocked` verdict, so an uncontended grant never reads
+        // the clock.
+        let mut wait_start: Option<std::time::Instant> = None;
         loop {
             // A wounded waiter must abort promptly: it may itself hold
             // locks (the upgrade scenario) that its wounder is waiting on.
             tx.check_wounded()?;
             match self.try_acquire(slot, &requester, site.as_u32(), request.mode, compat) {
                 TryOutcome::Granted(new_entry) => {
+                    if let Some(start) = wait_start {
+                        tx.note_lock_wait(site, start.elapsed().as_nanos() as u64);
+                    }
                     if new_entry {
                         #[cfg(feature = "trace")]
                         let sampled = tx.is_sampled();
@@ -465,9 +472,15 @@ where
                         if sampled {
                             Tracer::global().emit(txn, EventKind::LockAcquire, site, slot as u64);
                         }
+                        // `None` unless this call was sampled, so the
+                        // common path carries no stopwatch.
+                        let hold_timer = tx.lock_hold_timer();
                         let table = Arc::clone(&self.table);
                         tx.on_end(move |_outcome: TxnOutcome| {
                             table.release(slot, txn);
+                            if let Some(timer) = hold_timer {
+                                timer.finish();
+                            }
                             #[cfg(feature = "trace")]
                             if sampled {
                                 Tracer::global().emit(
@@ -482,6 +495,7 @@ where
                     return Ok(());
                 }
                 TryOutcome::Blocked { opponent, site: blocker } => {
+                    let started = *wait_start.get_or_insert_with(std::time::Instant::now);
                     // Budget is re-derived each poll: the opponent can
                     // change as holders come and go.
                     let budget = match tx.arbitrate(&opponent) {
@@ -493,9 +507,15 @@ where
                         polls += 1;
                         std::thread::yield_now();
                     } else {
-                        return tx.conflict_attributed(
+                        // Charge the fruitless wait to the blocked site and
+                        // to the (aborter, victim) pair — the nanoseconds
+                        // this conflict actually cost the victim.
+                        let lost_ns = started.elapsed().as_nanos() as u64;
+                        tx.note_lock_wait(site, lost_ns);
+                        return tx.conflict_attributed_with_loss(
                             ConflictKind::AbstractLock,
                             SiteId::from_u32(blocker),
+                            lost_ns,
                         );
                     }
                 }
@@ -692,6 +712,8 @@ mod tests {
             .unwrap();
         });
         assert!(stm.stats().abstract_lock >= 1);
+        assert!(stm.stats().lock_waits >= 1, "the blocked wait must hit the cumulative counter");
+        assert!(stm.metrics().lock_wait.count() >= 1, "the wait must land in a per-site cell");
         let attributed = stm
             .metrics()
             .conflicts

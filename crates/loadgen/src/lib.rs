@@ -469,11 +469,17 @@ impl Worker<'_> {
 }
 
 /// Once-per-second single-line status on stderr: interval throughput,
-/// p99 so far, error count. Polls the stop flag at 50ms so the scope
-/// join never waits a full second.
-fn heartbeat_loop(tallies: &Tallies, stop: &AtomicBool, start: Instant) {
+/// p99 so far, error count, and — via a dedicated STATS connection — the
+/// server-side contention counters (lock-wait time and serial-gate queue
+/// depth), so a stall is attributable while the run is still going.
+/// Polls the stop flag at 50ms so the scope join never waits a full
+/// second. The STATS poll is best-effort: if the control connection dies
+/// the heartbeat keeps printing client-side numbers.
+fn heartbeat_loop(tallies: &Tallies, stop: &AtomicBool, start: Instant, addr: &str) {
     let mut last_committed = 0u64;
     let mut last_tick = Instant::now();
+    let mut stats_client = Client::connect(addr).ok();
+    let mut last_wait_ns = 0u64;
     while !stop.load(Ordering::Acquire) {
         std::thread::sleep(Duration::from_millis(50));
         if last_tick.elapsed() < Duration::from_secs(1) {
@@ -482,12 +488,33 @@ fn heartbeat_loop(tallies: &Tallies, stop: &AtomicBool, start: Instant) {
         let committed = tallies.committed.load(Ordering::Relaxed);
         let errors =
             tallies.protocol_errors.load(Ordering::Relaxed) + tallies.busy.load(Ordering::Relaxed);
+        let contention = stats_client.as_mut().and_then(|client| {
+            let line = client.roundtrip("STATS").ok()?;
+            let stats = JsonValue::parse(line.strip_prefix("STATS ")?).ok()?;
+            let wait_ns = stats.get("lock_wait_ns")?.as_u64()?;
+            let depth = stats.get("serial_queue_depth").and_then(JsonValue::as_u64).unwrap_or(0);
+            Some((wait_ns, depth))
+        });
+        if contention.is_none() {
+            // A failed roundtrip leaves the connection desynced; drop it
+            // rather than reading stale responses next tick.
+            stats_client = None;
+        }
+        let contention_txt = match contention {
+            Some((wait_ns, depth)) => {
+                let delta_ms = wait_ns.saturating_sub(last_wait_ns) as f64 / 1e6;
+                last_wait_ns = wait_ns;
+                format!(", lock-wait +{delta_ms:.1}ms, serial-q {depth}")
+            }
+            None => String::new(),
+        };
         eprintln!(
-            "[loadgen] t={:>4.0}s {:>8.0} committed/s, p99 so far {:.1}us, errors {}",
+            "[loadgen] t={:>4.0}s {:>8.0} committed/s, p99 so far {:.1}us, errors {}{}",
             start.elapsed().as_secs_f64(),
             (committed - last_committed) as f64 / last_tick.elapsed().as_secs_f64(),
             tallies.latency.p99() as f64 / 1e3,
             errors,
+            contention_txt,
         );
         last_committed = committed;
         last_tick = Instant::now();
@@ -541,7 +568,8 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         if !config.quiet {
             let tallies = &tallies;
             let stop = &heartbeat_stop;
-            scope.spawn(move || heartbeat_loop(tallies, stop, start));
+            let addr = config.addr.as_str();
+            scope.spawn(move || heartbeat_loop(tallies, stop, start, addr));
         }
         let handles: Vec<_> = (0..config.threads)
             .map(|tid| {

@@ -207,6 +207,35 @@ impl Histogram {
             .collect()
     }
 
+    /// Cumulative sample counts at a caller-supplied ascending boundary
+    /// table: `out[i]` is the number of samples whose bucket lies
+    /// entirely at or below `bounds[i]`. Used to emit several histogram
+    /// families over one shared Prometheus bucket layout — the
+    /// approximation is conservative (a bucket straddling a boundary
+    /// counts toward the next one up), so the cumulative series stays
+    /// monotone and `+Inf` (the total count) bounds it above.
+    pub fn cumulative_at(&self, bounds: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; bounds.len()];
+        let mut running = 0u64;
+        let mut cursor = 0usize;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            let upper = if index + 1 < BUCKETS { bucket_floor(index + 1) - 1 } else { u64::MAX };
+            while cursor < bounds.len() && bounds[cursor] < upper {
+                out[cursor] = running;
+                cursor += 1;
+            }
+            running += n;
+        }
+        for slot in out.iter_mut().skip(cursor) {
+            *slot = running;
+        }
+        out
+    }
+
     /// Cumulative buckets as `(inclusive_upper_bound, cumulative_count)`
     /// pairs covering every non-empty bucket, in the shape Prometheus
     /// histogram samples want: counts are running totals and upper
@@ -309,6 +338,26 @@ mod tests {
         for (&(bound, _), &(floor, _)) in cumulative.iter().zip(nonzero.iter()) {
             assert!(bound >= floor, "bound {bound} below floor {floor}");
         }
+    }
+
+    #[test]
+    fn cumulative_at_shared_bounds_is_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1_000, 10_000, 100_000, 1 << 30, u64::MAX / 2] {
+            h.record(v);
+        }
+        let bounds = [8u64, 64, 512, 4_096, 1 << 20, 1 << 40];
+        let counts = h.cumulative_at(&bounds);
+        assert_eq!(counts.len(), bounds.len());
+        for pair in counts.windows(2) {
+            assert!(pair[0] <= pair[1], "cumulative counts regressed: {counts:?}");
+        }
+        // Everything fits under the largest bound except the two huge
+        // samples; the total count bounds the series above.
+        assert!(*counts.last().unwrap() <= h.count());
+        assert!(counts[0] >= 1, "1ns sample must land under the 8ns bound");
+        // A bound past every sample captures the full population.
+        assert_eq!(h.cumulative_at(&[u64::MAX - 1]), vec![h.count()]);
     }
 
     #[test]

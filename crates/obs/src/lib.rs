@@ -36,6 +36,6 @@ pub mod trace;
 pub use hist::Histogram;
 pub use json::JsonValue;
 pub use matrix::{ConflictCell, ConflictMatrix};
-pub use prom::{parse_exposition, PromSample, PromWriter};
+pub use prom::{parse_exposition, PromSample, PromWriter, SHARED_NS_BUCKET_BOUNDS};
 pub use site::SiteId;
 pub use trace::{EventKind, Phase, TraceEvent, Tracer};

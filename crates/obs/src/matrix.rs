@@ -8,6 +8,15 @@
 //! Section 2 of the Proust paper: off-diagonal mass between operations
 //! that semantically commute is *false conflict*, the quantity the
 //! abstract-lock design space exists to reduce.
+//!
+//! Cells are *time-weighted*: alongside the abort count, each carries
+//! the wall-clock nanoseconds the victims lost to the pair — the time
+//! spent blocked on the aborter's footprint before giving up, plus the
+//! aborted attempt's own duration when the caller knows it. Ranking by
+//! nanoseconds lost rather than abort count is what surfaces the pairs
+//! that actually cost throughput: a thousand instant aborts on a cheap
+//! retry loop matter less than ten aborts that each burned a
+//! millisecond of ownership waiting.
 
 use crate::site::SiteId;
 use parking_lot::Mutex;
@@ -22,6 +31,15 @@ pub struct ConflictCell {
     pub victim: SiteId,
     /// Number of aborts attributed to this pair.
     pub count: u64,
+    /// Wall-clock nanoseconds victims lost to this pair (0 when the
+    /// recording path had no timing available).
+    pub ns_lost: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CellTally {
+    count: u64,
+    ns_lost: u64,
 }
 
 /// Concurrent aggregator of `(aborter-op, victim-op)` abort pairs.
@@ -31,7 +49,7 @@ pub struct ConflictCell {
 /// aggregate is never on the commit fast path.
 #[derive(Debug, Default)]
 pub struct ConflictMatrix {
-    cells: Mutex<HashMap<(SiteId, SiteId), u64>>,
+    cells: Mutex<HashMap<(SiteId, SiteId), CellTally>>,
 }
 
 impl Clone for ConflictMatrix {
@@ -46,28 +64,52 @@ impl ConflictMatrix {
         ConflictMatrix::default()
     }
 
-    /// Record one abort of `victim`'s op attributed to `aborter`'s op.
+    /// Record one abort of `victim`'s op attributed to `aborter`'s op,
+    /// with no timing information.
     pub fn record(&self, aborter: SiteId, victim: SiteId) {
-        *self.cells.lock().entry((aborter, victim)).or_insert(0) += 1;
+        self.record_loss(aborter, victim, 0);
+    }
+
+    /// Record one abort of `victim`'s op attributed to `aborter`'s op,
+    /// charging `ns_lost` nanoseconds of the victim's wall-clock time
+    /// (wait + wasted attempt) to the pair.
+    pub fn record_loss(&self, aborter: SiteId, victim: SiteId, ns_lost: u64) {
+        let mut cells = self.cells.lock();
+        let tally = cells.entry((aborter, victim)).or_default();
+        tally.count += 1;
+        tally.ns_lost = tally.ns_lost.saturating_add(ns_lost);
     }
 
     /// Total aborts recorded.
     pub fn total(&self) -> u64 {
-        self.cells.lock().values().sum()
+        self.cells.lock().values().map(|t| t.count).sum()
     }
 
-    /// All non-zero cells, sorted by descending count then site names
-    /// (deterministic for reporting).
+    /// Total nanoseconds lost across all pairs.
+    pub fn total_ns_lost(&self) -> u64 {
+        self.cells.lock().values().fold(0u64, |acc, t| acc.saturating_add(t.ns_lost))
+    }
+
+    /// All non-zero cells, sorted by descending nanoseconds lost, then
+    /// descending count, then site names (deterministic for reporting).
+    /// Matrices recorded without timing fall back to the old
+    /// count-ranked order, since every `ns_lost` ties at zero.
     pub fn cells(&self) -> Vec<ConflictCell> {
         let mut out: Vec<ConflictCell> = self
             .cells
             .lock()
             .iter()
-            .map(|(&(aborter, victim), &count)| ConflictCell { aborter, victim, count })
+            .map(|(&(aborter, victim), &tally)| ConflictCell {
+                aborter,
+                victim,
+                count: tally.count,
+                ns_lost: tally.ns_lost,
+            })
             .collect();
         out.sort_by(|a, b| {
-            b.count
-                .cmp(&a.count)
+            b.ns_lost
+                .cmp(&a.ns_lost)
+                .then_with(|| b.count.cmp(&a.count))
                 .then_with(|| a.aborter.name().cmp(b.aborter.name()))
                 .then_with(|| a.victim.name().cmp(b.victim.name()))
         });
@@ -90,10 +132,10 @@ impl ConflictMatrix {
         let cells = self.cells.lock();
         let mut total = 0u64;
         let mut false_conflicts = 0u64;
-        for (&(aborter, victim), &count) in cells.iter() {
-            total += count;
+        for (&(aborter, victim), tally) in cells.iter() {
+            total += tally.count;
             if commutes(aborter.name(), victim.name()) {
-                false_conflicts += count;
+                false_conflicts += tally.count;
             }
         }
         if total == 0 {
@@ -103,13 +145,15 @@ impl ConflictMatrix {
         }
     }
 
-    /// Fold another matrix's counts into this one.
+    /// Fold another matrix's counts and time-weights into this one.
     pub fn merge(&self, other: &ConflictMatrix) {
         let other_cells: Vec<_> =
-            other.cells.lock().iter().map(|(&pair, &count)| (pair, count)).collect();
+            other.cells.lock().iter().map(|(&pair, &tally)| (pair, tally)).collect();
         let mut mine = self.cells.lock();
-        for (pair, count) in other_cells {
-            *mine.entry(pair).or_insert(0) += count;
+        for (pair, tally) in other_cells {
+            let cell = mine.entry(pair).or_default();
+            cell.count += tally.count;
+            cell.ns_lost = cell.ns_lost.saturating_add(tally.ns_lost);
         }
     }
 
@@ -137,6 +181,29 @@ mod tests {
         assert_eq!(cells[0].count, 3);
         assert_eq!(cells[0].aborter, put);
         assert_eq!(cells[0].victim, get);
+        assert_eq!(cells[0].ns_lost, 0);
+    }
+
+    #[test]
+    fn time_weighted_cells_outrank_count_heavy_ones() {
+        let m = ConflictMatrix::new();
+        let cheap = SiteId::intern("matrix-test.tw.cheap");
+        let costly = SiteId::intern("matrix-test.tw.costly");
+        let victim = SiteId::intern("matrix-test.tw.victim");
+        // A thousand instant aborts vs ten aborts that burned 1ms each.
+        for _ in 0..1000 {
+            m.record_loss(cheap, victim, 100);
+        }
+        for _ in 0..10 {
+            m.record_loss(costly, victim, 1_000_000);
+        }
+        assert_eq!(m.total(), 1010);
+        assert_eq!(m.total_ns_lost(), 1000 * 100 + 10 * 1_000_000);
+        let cells = m.cells();
+        assert_eq!(cells[0].aborter, costly, "ns lost must outrank abort count");
+        assert_eq!(cells[0].ns_lost, 10_000_000);
+        assert_eq!(cells[1].aborter, cheap);
+        assert_eq!(cells[1].count, 1000);
     }
 
     #[test]
@@ -157,19 +224,21 @@ mod tests {
         let m = ConflictMatrix::new();
         assert_eq!(m.false_conflict_rate(|_, _| true), 0.0);
         assert_eq!(m.total(), 0);
+        assert_eq!(m.total_ns_lost(), 0);
         assert!(m.cells().is_empty());
     }
 
     #[test]
-    fn merge_sums_counts() {
+    fn merge_sums_counts_and_time() {
         let a = ConflictMatrix::new();
         let b = ConflictMatrix::new();
         let s = SiteId::intern("matrix-test.merge");
-        a.record(s, s);
-        b.record(s, s);
+        a.record_loss(s, s, 5);
+        b.record_loss(s, s, 7);
         b.record(s, s);
         a.merge(&b);
         assert_eq!(a.total(), 3);
+        assert_eq!(a.total_ns_lost(), 12);
     }
 
     #[test]
@@ -191,7 +260,7 @@ mod tests {
             let sites = sites.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..5_000usize {
-                    m.record(sites[t % 4], sites[i % 4]);
+                    m.record_loss(sites[t % 4], sites[i % 4], 10);
                 }
             }));
         }
@@ -199,5 +268,6 @@ mod tests {
             handle.join().expect("recorder thread panicked");
         }
         assert_eq!(m.total(), 40_000);
+        assert_eq!(m.total_ns_lost(), 400_000);
     }
 }

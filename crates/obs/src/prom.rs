@@ -10,6 +10,30 @@
 
 use crate::hist::Histogram;
 
+/// The canonical nanosecond bucket-boundary table shared by every
+/// latency/wait histogram family the server exports
+/// (`proust_txn_phase_ns`, `proust_lock_wait_ns`, `proust_lock_hold_ns`,
+/// `proust_park_ns`, ...). One table means dashboards can overlay
+/// families without re-bucketing, and the exposition stays a fixed size
+/// regardless of how spread the underlying samples are. Roughly
+/// quarter-decade steps from 250 ns to 16 s.
+pub const SHARED_NS_BUCKET_BOUNDS: [u64; 14] = [
+    250,
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    250_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    250_000_000,
+    1_000_000_000,
+    4_000_000_000,
+    16_000_000_000,
+];
+
 /// Incremental writer for one exposition payload.
 ///
 /// Call [`PromWriter::header`] once per metric family, then
@@ -104,6 +128,45 @@ impl PromWriter {
     pub fn histogram_family(&mut self, name: &str, help: &str, hist: &Histogram) {
         self.header(name, help, "histogram");
         self.histogram(name, &[], hist);
+    }
+
+    /// Emit a [`Histogram`] snapshot over the caller's fixed bucket
+    /// boundary table (normally [`SHARED_NS_BUCKET_BOUNDS`]): one
+    /// `_bucket{le=...}` line per boundary regardless of which buckets
+    /// are populated, then `+Inf`, `_sum`, and `_count`. Families
+    /// emitted this way are overlay-comparable because they share
+    /// identical `le` series.
+    pub fn histogram_bounded(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+        bounds: &[u64],
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let counts = hist.cumulative_at(bounds);
+        let mut owned: Vec<(&str, String)> = Vec::with_capacity(labels.len() + 1);
+        for &(key, val) in labels {
+            owned.push((key, val.to_string()));
+        }
+        for (&bound, &cumulative) in bounds.iter().zip(counts.iter()) {
+            owned.push(("le", format_value(bound as f64)));
+            let view: Vec<(&str, &str)> = owned.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.sample(&bucket_name, &view, cumulative as f64);
+            owned.pop();
+        }
+        owned.push(("le", "+Inf".to_string()));
+        let view: Vec<(&str, &str)> = owned.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        self.sample(&bucket_name, &view, hist.count() as f64);
+        self.sample(&format!("{name}_sum"), labels, hist.sum() as f64);
+        self.sample(&format!("{name}_count"), labels, hist.count() as f64);
+    }
+
+    /// Header plus [`PromWriter::histogram_bounded`] for a single
+    /// series over the shared nanosecond boundary table.
+    pub fn histogram_family_bounded(&mut self, name: &str, help: &str, hist: &Histogram) {
+        self.header(name, help, "histogram");
+        self.histogram_bounded(name, &[], hist, &SHARED_NS_BUCKET_BOUNDS);
     }
 
     /// The accumulated payload.
@@ -315,6 +378,77 @@ mod tests {
         let count = samples.iter().find(|s| s.name == "lat_count").expect("count");
         assert_eq!(sum.value, hist.sum() as f64);
         assert_eq!(count.value, hist.count() as f64);
+    }
+
+    #[test]
+    fn shared_bound_families_scrape_with_monotone_le_and_inf() {
+        // Encode several families the way the server does — all over the
+        // shared boundary table — then scrape-and-parse the real encoder
+        // output and validate the exposition-format invariants every
+        // family must satisfy: strictly increasing `le` labels, a
+        // mandatory `+Inf` terminator equal to `_count`, and
+        // non-decreasing cumulative counts.
+        let phase = Histogram::new();
+        let wait = Histogram::new();
+        let park = Histogram::new();
+        for v in [120u64, 900, 15_000, 2_000_000, 80_000_000, 3_000_000_000] {
+            phase.record(v);
+            wait.record(v * 3);
+        }
+        // `park` stays empty on purpose: an idle family must still emit
+        // a complete, parseable series.
+        let mut writer = PromWriter::new();
+        writer.histogram_family_bounded("proust_txn_phase_ns", "phase time", &phase);
+        writer.header("proust_lock_wait_ns", "ownership wait", "histogram");
+        writer.histogram_bounded(
+            "proust_lock_wait_ns",
+            &[("site", "map.put")],
+            &wait,
+            &SHARED_NS_BUCKET_BOUNDS,
+        );
+        writer.histogram_family_bounded("proust_park_ns", "park latency", &park);
+        let text = writer.finish();
+        let samples = parse_exposition(&text).expect("encoder output parses");
+
+        for family in ["proust_txn_phase_ns", "proust_lock_wait_ns", "proust_park_ns"] {
+            let bucket_name = format!("{family}_bucket");
+            let buckets: Vec<&PromSample> =
+                samples.iter().filter(|s| s.name == bucket_name).collect();
+            // Fixed layout: every shared bound appears plus +Inf.
+            assert_eq!(buckets.len(), SHARED_NS_BUCKET_BOUNDS.len() + 1, "{family}");
+            let mut last_le = f64::NEG_INFINITY;
+            let mut last_count = 0.0;
+            for bucket in &buckets {
+                let le = match bucket.label("le").expect("le label") {
+                    "+Inf" => f64::INFINITY,
+                    bound => bound.parse().expect("numeric le"),
+                };
+                assert!(le > last_le, "{family}: le not strictly increasing");
+                assert!(bucket.value >= last_count, "{family}: cumulative count regressed");
+                last_le = le;
+                last_count = bucket.value;
+            }
+            assert_eq!(last_le, f64::INFINITY, "{family}: missing +Inf terminator");
+            let count =
+                samples.iter().find(|s| s.name == format!("{family}_count")).expect("count sample");
+            assert_eq!(last_count, count.value, "{family}: +Inf bucket != _count");
+            // Shared layout: identical le series across families.
+            let les: Vec<&str> = buckets.iter().map(|b| b.label("le").unwrap()).collect();
+            let expected: Vec<String> = SHARED_NS_BUCKET_BOUNDS
+                .iter()
+                .map(|&b| format!("{b}"))
+                .chain(std::iter::once("+Inf".to_string()))
+                .collect();
+            assert_eq!(les, expected, "{family}: boundary table drifted");
+        }
+        // The labelled series keeps its label on every sample.
+        assert!(
+            samples
+                .iter()
+                .filter(|s| s.name.starts_with("proust_lock_wait_ns"))
+                .all(|s| s.label("site") == Some("map.put")),
+            "site label must ride on every lock-wait sample"
+        );
     }
 
     #[test]

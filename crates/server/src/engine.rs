@@ -19,7 +19,7 @@ use proust_bench::report::{abort_causes_json, histogram_json};
 use proust_core::op_site;
 use proust_core::structures::{EagerMap, FifoState, ProustCounter, ProustFifo, SnapTrieMap};
 use proust_core::{OptimisticLap, PessimisticLap, TxMap};
-use proust_stm::obs::{Histogram, JsonValue, PromWriter, Tracer};
+use proust_stm::obs::{Histogram, JsonValue, PromWriter, Tracer, SHARED_NS_BUCKET_BOUNDS};
 use proust_stm::{ConflictDetection, Stm, StmConfig, TxError, TxResult, Txn};
 
 use crate::proto::{Cmd, TraceCmd};
@@ -496,6 +496,7 @@ impl Engine {
                     ("aborter", JsonValue::str(cell.aborter.name())),
                     ("victim", JsonValue::str(cell.victim.name())),
                     ("count", JsonValue::u64(cell.count)),
+                    ("ns_lost", JsonValue::u64(cell.ns_lost)),
                 ])
             })
             .collect();
@@ -528,6 +529,13 @@ impl Engine {
             ("conflicts", JsonValue::u64(stats.conflicts)),
             ("exhausted", JsonValue::u64(stats.exhausted)),
             ("serial_escalations", JsonValue::u64(stats.serial_escalations)),
+            ("serial_queue_depth", JsonValue::u64(self.stm.serial_queue_depth())),
+            ("serial_held_ns", JsonValue::u64(stats.serial_held_ns)),
+            ("lock_waits", JsonValue::u64(stats.lock_waits)),
+            ("lock_wait_ns", JsonValue::u64(stats.lock_wait_ns)),
+            ("parks", JsonValue::u64(stats.parks)),
+            ("park_ns", JsonValue::u64(stats.park_ns)),
+            ("contention_ns_lost", JsonValue::u64(self.stm.metrics().conflicts.total_ns_lost())),
             ("wounds_issued", JsonValue::u64(stats.wounds_issued)),
             ("abort_causes", abort_causes_json(&stats)),
             ("conflict_matrix_top", JsonValue::Arr(top)),
@@ -642,6 +650,9 @@ impl Engine {
                 w.histogram("proust_request_latency_ns", &[("op", name)], hist);
             }
         }
+        // Phase and contention histograms share one canonical bucket table
+        // (`SHARED_NS_BUCKET_BOUNDS`), so dashboards can overlay any pair
+        // of `le` series without re-bucketing.
         w.header(
             "proust_txn_phase_ns",
             "Transaction phase latency (trace feature only), ns.",
@@ -654,9 +665,64 @@ impl Engine {
             ("replay", &metrics.replay),
         ] {
             if hist.count() > 0 {
-                w.histogram("proust_txn_phase_ns", &[("phase", phase)], hist);
+                w.histogram_bounded(
+                    "proust_txn_phase_ns",
+                    &[("phase", phase)],
+                    hist,
+                    &SHARED_NS_BUCKET_BOUNDS,
+                );
             }
         }
+
+        // --- Contention observatory -----------------------------------
+        w.header(
+            "proust_lock_wait_ns",
+            "Contended lock/ownership wait time by blocked op site, ns.",
+            "histogram",
+        );
+        for (site, hist) in metrics.lock_wait.cells() {
+            w.histogram_bounded(
+                "proust_lock_wait_ns",
+                &[("site", site.name())],
+                &hist,
+                &SHARED_NS_BUCKET_BOUNDS,
+            );
+        }
+        w.histogram_family_bounded(
+            "proust_lock_hold_ns",
+            "Lock/ownership hold duration (sampled transactions), ns.",
+            &metrics.lock_hold,
+        );
+        w.histogram_family_bounded(
+            "proust_park_ns",
+            "Condvar park latency of blocked retry and serial-gate waiters, ns.",
+            &metrics.park,
+        );
+        w.counter(
+            "proust_lock_waits_total",
+            "Contended lock/ownership acquisitions that had to wait.",
+            stats.lock_waits,
+        );
+        w.counter(
+            "proust_lock_wait_ns_total",
+            "Cumulative nanoseconds spent waiting on contended locks.",
+            stats.lock_wait_ns,
+        );
+        w.counter(
+            "proust_parks_total",
+            "Threads parked on the commit-wakeup channel or serial gate.",
+            stats.parks,
+        );
+        w.counter(
+            "proust_serial_held_ns_total",
+            "Cumulative nanoseconds the serial-irrevocable token was held.",
+            stats.serial_held_ns,
+        );
+        w.gauge(
+            "proust_serial_queue_depth",
+            "Threads currently parked at the serial-irrevocable gate.",
+            self.stm.serial_queue_depth() as f64,
+        );
 
         w.header(
             "proust_conflict_pairs_total",
@@ -668,6 +734,18 @@ impl Engine {
                 "proust_conflict_pairs_total",
                 &[("aborter_site", cell.aborter.name()), ("victim_site", cell.victim.name())],
                 cell.count as f64,
+            );
+        }
+        w.header(
+            "proust_contention_ns_total",
+            "Victim wall-clock nanoseconds lost, by (aborter, victim) op-site pair.",
+            "counter",
+        );
+        for cell in metrics.conflicts.cells() {
+            w.sample(
+                "proust_contention_ns_total",
+                &[("aborter_site", cell.aborter.name()), ("victim_site", cell.victim.name())],
+                cell.ns_lost as f64,
             );
         }
         w.finish()
@@ -839,6 +917,18 @@ mod tests {
         assert_eq!(parsed.get("in_flight").and_then(JsonValue::as_u64), Some(0));
         assert!(parsed.get("conflict_matrix_top").and_then(JsonValue::as_array).is_some());
         assert!(parsed.get("op_p99_ns").and_then(|o| o.get("get")).is_some());
+        // STATS v3: cumulative contention counters ride along.
+        for field in [
+            "lock_waits",
+            "lock_wait_ns",
+            "parks",
+            "park_ns",
+            "serial_queue_depth",
+            "serial_held_ns",
+            "contention_ns_lost",
+        ] {
+            assert!(parsed.get(field).and_then(JsonValue::as_u64).is_some(), "missing {field}");
+        }
     }
 
     #[test]
@@ -859,9 +949,34 @@ mod tests {
             "proust_connections_open",
             "proust_slow_txns_total",
             "proust_trace_sample_every",
+            "proust_lock_waits_total",
+            "proust_lock_wait_ns_total",
+            "proust_parks_total",
+            "proust_serial_held_ns_total",
+            "proust_serial_queue_depth",
         ] {
             assert!(samples.iter().any(|s| s.name == family), "missing family {family}");
         }
+        // Contention histograms emit their full shared-bound bucket ladder
+        // even when empty, so scrapers always see the families.
+        for family in ["proust_lock_hold_ns", "proust_park_ns"] {
+            let bucket_name = format!("{family}_bucket");
+            let les: Vec<&str> = samples
+                .iter()
+                .filter(|s| s.name == bucket_name)
+                .filter_map(|s| s.label("le"))
+                .collect();
+            assert!(les.contains(&"+Inf"), "{family} must end in +Inf");
+            assert_eq!(
+                les.len(),
+                proust_stm::obs::SHARED_NS_BUCKET_BOUNDS.len() + 1,
+                "{family} must emit the full shared bucket table"
+            );
+        }
+        // Per-site wait and time-weighted pair families are declared even
+        // before any contention has been observed.
+        assert!(text.contains("# TYPE proust_lock_wait_ns histogram"));
+        assert!(text.contains("# TYPE proust_contention_ns_total counter"));
         // Aborts and conflicts are labeled breakdowns.
         let abort_kinds: Vec<&str> = samples
             .iter()

@@ -76,11 +76,11 @@ pub use config::{BackoffConfig, ConflictDetection, RetryExhaustion, StmConfig};
 pub use error::{AbortError, AbortKind, ConflictKind, TxError, TxResult};
 pub use forensics::{take_forensics, TxnForensics};
 pub use local::TxnLocal;
-pub use metrics::StmMetrics;
+pub use metrics::{SiteWaits, StmMetrics};
 pub use runtime::Stm;
 pub use stats::{StmStats, StmStatsSnapshot};
 pub use tvar::TVar;
-pub use txn::{Txn, TxnOutcome};
+pub use txn::{LockHoldTimer, Txn, TxnOutcome};
 
 // Re-export the observability layer so downstream crates can name sites,
 // drain traces, and read histograms without depending on `proust-obs`

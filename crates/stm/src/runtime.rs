@@ -68,6 +68,12 @@ const SERIAL_FAILURE_FLOOR: u32 = 256;
 struct SerialGate {
     /// Id of the escalated transaction's `atomically` call, or 0.
     owner: AtomicU64,
+    /// Number of threads currently waiting out the token past the brief
+    /// spin — ordinary attempts parked at the gate plus would-be
+    /// escalators contending for it. A live congestion gauge (exported as
+    /// `proust_serial_queue_depth`): nonzero means serial mode is
+    /// actively stalling other transactions *right now*.
+    waiters: AtomicU64,
     /// Parking for threads waiting out the token: a serial episode can be
     /// long by definition (it escalated after heavy contention), so
     /// waiters sleep on this instead of spinning a core each.
@@ -77,7 +83,12 @@ struct SerialGate {
 
 impl SerialGate {
     fn new() -> SerialGate {
-        SerialGate { owner: AtomicU64::new(0), lock: Mutex::new(()), released: Condvar::new() }
+        SerialGate {
+            owner: AtomicU64::new(0),
+            waiters: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            released: Condvar::new(),
+        }
     }
 
     /// Whether some transaction holds the serial token right now.
@@ -94,6 +105,7 @@ impl SerialGate {
             }
             std::hint::spin_loop();
         }
+        self.waiters.fetch_add(1, Ordering::AcqRel);
         let mut guard = self.lock.lock();
         while self.owner.load(Ordering::Acquire) != 0 {
             // The ticket drop notifies under the lock, so checking `owner`
@@ -101,16 +113,25 @@ impl SerialGate {
             // is a belt-and-braces re-poll.
             self.released.wait_for(&mut guard, std::time::Duration::from_millis(1));
         }
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Take the token (contending with other escalators), returning a
     /// guard that releases it on drop — including on panic, so a dying
-    /// serial transaction cannot wedge the runtime.
-    fn acquire(&self) -> SerialTicket<'_> {
+    /// serial transaction cannot wedge the runtime. The guard times its
+    /// own tenure into `stats` so the observatory can report serial-mode
+    /// occupancy (total nanoseconds the runtime spent single-filed).
+    fn acquire<'a>(&'a self, stats: &'a StmStats) -> SerialTicket<'a> {
         let token = clock::next_txn_id();
+        if self.owner.compare_exchange(0, token, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            return SerialTicket { gate: self, stats, taken_at: std::time::Instant::now() };
+        }
+        self.waiters.fetch_add(1, Ordering::AcqRel);
         loop {
             if self.owner.compare_exchange(0, token, Ordering::AcqRel, Ordering::Acquire).is_ok() {
-                return SerialTicket { gate: self };
+                self.waiters.fetch_sub(1, Ordering::AcqRel);
+                return SerialTicket { gate: self, stats, taken_at: std::time::Instant::now() };
             }
             let mut guard = self.lock.lock();
             if self.owner.load(Ordering::Acquire) != 0 {
@@ -122,10 +143,15 @@ impl SerialGate {
 
 struct SerialTicket<'a> {
     gate: &'a SerialGate,
+    stats: &'a StmStats,
+    /// When the token was taken; closed into the serial-occupancy counter
+    /// on release.
+    taken_at: std::time::Instant,
 }
 
 impl Drop for SerialTicket<'_> {
     fn drop(&mut self) {
+        self.stats.record_serial_held(self.taken_at.elapsed().as_nanos() as u64);
         self.gate.owner.store(0, Ordering::Release);
         // Take the lock before notifying: a waiter that saw the token held
         // keeps the lock until it is inside `wait_for`, so the notify
@@ -240,6 +266,15 @@ impl Stm {
     /// token (diagnostic; racy by nature).
     pub fn serial_mode_active(&self) -> bool {
         self.inner.serial.owner.load(Ordering::Acquire) != 0
+    }
+
+    /// Number of threads currently parked at the serial-irrevocable gate
+    /// waiting for the token to clear (diagnostic; racy by nature).
+    /// Exported by the server as `proust_serial_queue_depth`: a nonzero
+    /// reading means an escalated transaction is stalling others right
+    /// now, not merely that escalations have happened in the past.
+    pub fn serial_queue_depth(&self) -> u64 {
+        self.inner.serial.waiters.load(Ordering::Acquire)
     }
 
     /// Number of [`atomically`](Stm::atomically) calls currently executing
@@ -395,7 +430,18 @@ impl Stm {
             // serial owner's drain wait below must not count it.
             if serial.is_none() && self.inner.serial.gated() {
                 self.inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+                // The gate wait counts as a park: the thread is blocked on
+                // someone else's serial episode. Timing is always-on — we
+                // are about to sleep, so two clock reads are free.
+                #[cfg(feature = "trace")]
+                let gate_park_start_ns = Tracer::global().now_ns();
                 self.inner.serial.wait_for_clearance();
+                #[cfg(feature = "trace")]
+                {
+                    let park_ns = Tracer::global().now_ns().saturating_sub(gate_park_start_ns);
+                    self.inner.stats.record_park(park_ns);
+                    self.inner.metrics.park.record(park_ns);
+                }
                 self.inner.in_flight.fetch_add(1, Ordering::AcqRel);
             }
             self.inner.stats.record_start();
@@ -482,7 +528,15 @@ impl Stm {
                         // wait: the window where a lost wakeup would hide.
                         #[cfg(feature = "chaos")]
                         crate::chaos::retry_gap();
+                        #[cfg(feature = "trace")]
+                        let park_start_ns = Tracer::global().now_ns();
                         wait_for_change(&watch);
+                        #[cfg(feature = "trace")]
+                        {
+                            let park_ns = Tracer::global().now_ns().saturating_sub(park_start_ns);
+                            self.inner.stats.record_park(park_ns);
+                            self.inner.metrics.park.record(park_ns);
+                        }
                         continue;
                     }
                 }
@@ -549,7 +603,7 @@ impl Stm {
                         && self.inner.config.on_exhaustion == RetryExhaustion::SerialFallback);
                 if escalate {
                     drop(tx);
-                    serial = Some(self.inner.serial.acquire());
+                    serial = Some(self.inner.serial.acquire(&self.inner.stats));
                     self.inner.stats.record_serial_escalation();
                     // Give in-flight transactions a bounded window to drain
                     // before the first serial attempt: the gate only stops
@@ -635,6 +689,12 @@ mod retry_tests {
         });
         assert_eq!(slot.load(), None, "consumer must have taken the value");
         assert!(stm.stats().retries_requested >= 1);
+        #[cfg(feature = "trace")]
+        {
+            let stats = stm.stats();
+            assert!(stats.parks >= 1, "the blocked retry must be counted as a park");
+            assert!(stm.metrics().park.count() >= 1, "park latency must land in the histogram");
+        }
     }
 
     /// Retry with an empty read set degrades to plain backoff-and-rerun
@@ -731,6 +791,8 @@ mod tests {
         assert_eq!(stm.stats().serial_escalations, 1);
         assert_eq!(stm.stats().exhausted, 0);
         assert!(!stm.serial_mode_active(), "token released after commit");
+        assert!(stm.stats().serial_held_ns > 0, "the serial episode must be timed");
+        assert_eq!(stm.serial_queue_depth(), 0, "no waiters once the token is released");
     }
 
     /// Regression: a serial-escalated transaction that raises `Retry` used

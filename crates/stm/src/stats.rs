@@ -27,6 +27,11 @@ pub struct StmStats {
     exhausted: AtomicU64,
     serial_escalations: AtomicU64,
     wounds_issued: AtomicU64,
+    lock_waits: AtomicU64,
+    lock_wait_ns: AtomicU64,
+    parks: AtomicU64,
+    park_ns: AtomicU64,
+    serial_held_ns: AtomicU64,
 }
 
 /// A point-in-time copy of [`StmStats`].
@@ -66,6 +71,20 @@ pub struct StmStatsSnapshot {
     /// Wounds issued by contention-management arbitration (each one dooms
     /// an opponent; the victim's abort shows up under `wounded`).
     pub wounds_issued: u64,
+    /// Contended lock acquisitions (TVar ownership or abstract lock)
+    /// that actually waited — uncontended fast-path grants don't count.
+    pub lock_waits: u64,
+    /// Cumulative nanoseconds spent waiting in contended lock
+    /// acquisitions (the numerator of time-weighted contention).
+    pub lock_wait_ns: u64,
+    /// Condvar parks taken by blocking `retry` waiters (the Harris
+    /// `wait_for_change` slow path past the spin phase).
+    pub parks: u64,
+    /// Cumulative nanoseconds spent parked waiting for a commit signal.
+    pub park_ns: u64,
+    /// Cumulative nanoseconds the serial-irrevocable gate was held (the
+    /// window where all other commits are frozen).
+    pub serial_held_ns: u64,
 }
 
 impl StmStatsSnapshot {
@@ -102,6 +121,11 @@ impl StmStatsSnapshot {
             exhausted: self.exhausted.saturating_sub(before.exhausted),
             serial_escalations: self.serial_escalations.saturating_sub(before.serial_escalations),
             wounds_issued: self.wounds_issued.saturating_sub(before.wounds_issued),
+            lock_waits: self.lock_waits.saturating_sub(before.lock_waits),
+            lock_wait_ns: self.lock_wait_ns.saturating_sub(before.lock_wait_ns),
+            parks: self.parks.saturating_sub(before.parks),
+            park_ns: self.park_ns.saturating_sub(before.park_ns),
+            serial_held_ns: self.serial_held_ns.saturating_sub(before.serial_held_ns),
         }
     }
 
@@ -125,6 +149,11 @@ impl StmStatsSnapshot {
             exhausted: self.exhausted + other.exhausted,
             serial_escalations: self.serial_escalations + other.serial_escalations,
             wounds_issued: self.wounds_issued + other.wounds_issued,
+            lock_waits: self.lock_waits + other.lock_waits,
+            lock_wait_ns: self.lock_wait_ns + other.lock_wait_ns,
+            parks: self.parks + other.parks,
+            park_ns: self.park_ns + other.park_ns,
+            serial_held_ns: self.serial_held_ns + other.serial_held_ns,
         }
     }
 
@@ -146,7 +175,7 @@ impl fmt::Display for StmStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "starts={} commits={} conflicts={} (rd-inval={} rd-new={} wr-lock={} rd-lock={} vis-rd={} wounded={} abs-lock={} ext={}) user-aborts={} retries={} exhausted={} serial={} wounds={}",
+            "starts={} commits={} conflicts={} (rd-inval={} rd-new={} wr-lock={} rd-lock={} vis-rd={} wounded={} abs-lock={} ext={}) user-aborts={} retries={} exhausted={} serial={} wounds={} lock-waits={} lock-wait-ns={} parks={} park-ns={} serial-held-ns={}",
             self.starts,
             self.commits,
             self.conflicts,
@@ -163,6 +192,11 @@ impl fmt::Display for StmStatsSnapshot {
             self.exhausted,
             self.serial_escalations,
             self.wounds_issued,
+            self.lock_waits,
+            self.lock_wait_ns,
+            self.parks,
+            self.park_ns,
+            self.serial_held_ns,
         )
     }
 }
@@ -194,6 +228,20 @@ impl StmStats {
 
     pub(crate) fn record_wound(&self) {
         self.wounds_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_lock_wait(&self, ns: u64) {
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_park(&self, ns: u64) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        self.park_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_serial_held(&self, ns: u64) {
+        self.serial_held_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     pub(crate) fn record_conflict(&self, kind: ConflictKind) {
@@ -230,6 +278,11 @@ impl StmStats {
             exhausted: self.exhausted.load(Ordering::Relaxed),
             serial_escalations: self.serial_escalations.load(Ordering::Relaxed),
             wounds_issued: self.wounds_issued.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            park_ns: self.park_ns.load(Ordering::Relaxed),
+            serial_held_ns: self.serial_held_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -311,6 +364,32 @@ mod tests {
         assert_eq!(doubled.exhausted, 2);
         assert_eq!(doubled.serial_escalations, 4);
         assert_eq!(doubled.wounds_issued, 2);
+    }
+
+    #[test]
+    fn contention_counters_record_delta_and_merge() {
+        let stats = StmStats::default();
+        stats.record_lock_wait(1_000);
+        stats.record_lock_wait(2_000);
+        stats.record_park(50_000);
+        stats.record_serial_held(7_000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.lock_waits, 2);
+        assert_eq!(snap.lock_wait_ns, 3_000);
+        assert_eq!(snap.parks, 1);
+        assert_eq!(snap.park_ns, 50_000);
+        assert_eq!(snap.serial_held_ns, 7_000);
+        stats.record_lock_wait(500);
+        let delta = stats.snapshot().delta(&snap);
+        assert_eq!(delta.lock_waits, 1);
+        assert_eq!(delta.lock_wait_ns, 500);
+        assert_eq!(delta.parks, 0);
+        let doubled = snap.merged(&snap);
+        assert_eq!(doubled.lock_wait_ns, 6_000);
+        assert_eq!(doubled.serial_held_ns, 14_000);
+        let text = snap.to_string();
+        assert!(text.contains("lock-wait-ns=3000"), "{text}");
+        assert!(text.contains("parks=1"), "{text}");
     }
 
     #[test]

@@ -103,6 +103,12 @@ pub struct Txn {
     /// (all attempts of a call share the decision).
     #[cfg(feature = "trace")]
     sampled: bool,
+    /// [`Tracer`] timestamp of this transaction's first TVar-ownership
+    /// acquisition (sampled calls only; 0 = none held yet). Closed into
+    /// [`StmMetrics::lock_hold`](crate::StmMetrics) when ownership is
+    /// released by write-back or rollback.
+    #[cfg(feature = "trace")]
+    own_since_ns: u64,
     /// Per-phase spans measured during this attempt (sampled calls
     /// only). `RefCell` because validation records through `&self`.
     #[cfg(feature = "trace")]
@@ -165,6 +171,8 @@ impl Txn {
             op_site: SiteId::UNKNOWN,
             #[cfg(feature = "trace")]
             sampled,
+            #[cfg(feature = "trace")]
+            own_since_ns: 0,
             // Typical sampled attempt: body + lock + validate + writeback.
             #[cfg(feature = "trace")]
             spans: RefCell::new(if sampled { Vec::with_capacity(4) } else { Vec::new() }),
@@ -252,10 +260,27 @@ impl Txn {
     /// that cannot name an aborter should pass [`SiteId::UNKNOWN`] or use
     /// [`conflict`](Txn::conflict).
     pub fn conflict_attributed<T>(&self, kind: ConflictKind, aborter: SiteId) -> TxResult<T> {
+        self.conflict_attributed_with_loss(kind, aborter, 0)
+    }
+
+    /// Like [`conflict_attributed`](Txn::conflict_attributed), but also
+    /// charges `ns_lost` wall-clock nanoseconds — the time this
+    /// transaction spent blocked on the aborter's footprint before giving
+    /// up — to the `(aborter, victim)` cell of the conflict matrix, so
+    /// the matrix ranks pairs by throughput actually lost rather than by
+    /// raw abort count.
+    pub fn conflict_attributed_with_loss<T>(
+        &self,
+        kind: ConflictKind,
+        aborter: SiteId,
+        ns_lost: u64,
+    ) -> TxResult<T> {
         self.stm.stats.record_conflict(kind);
+        #[cfg(not(feature = "trace"))]
+        let _ = ns_lost;
         #[cfg(feature = "trace")]
         {
-            self.stm.metrics.conflicts.record(aborter, self.op_site);
+            self.stm.metrics.conflicts.record_loss(aborter, self.op_site, ns_lost);
             if self.sampled {
                 Tracer::global().emit(
                     self.shared.id,
@@ -276,6 +301,43 @@ impl Txn {
         #[cfg(not(feature = "trace"))]
         let _ = aborter;
         Err(TxError::Conflict(kind))
+    }
+
+    /// Record `wait_ns` nanoseconds spent blocked on a contended lock —
+    /// TVar ownership or an abstract lock — at `site`, into the runtime's
+    /// cumulative wait counters and the per-site wait histograms backing
+    /// `proust_lock_wait_ns{site=...}`.
+    ///
+    /// Callers time the wait themselves (the clock reads live on paths
+    /// that are already blocked, so they cost nothing measurable) and
+    /// report it here once, on grant or on giving up. Lock
+    /// implementations layered above the STM (e.g. the pessimistic lock
+    /// allocator) call this from their wait loops.
+    pub fn note_lock_wait(&self, site: SiteId, wait_ns: u64) {
+        self.stm.stats.record_lock_wait(wait_ns);
+        self.stm.metrics.lock_wait.record(site, wait_ns);
+    }
+
+    /// Record a lock-hold duration (first acquisition to release) into
+    /// the runtime's hold-time histogram backing `proust_lock_hold_ns`.
+    /// Intended for *sampled* transactions only — callers gate on
+    /// [`is_sampled`](Txn::is_sampled) so the uncontended fast path does
+    /// not pay the extra clock reads.
+    pub fn note_lock_hold(&self, hold_ns: u64) {
+        self.stm.metrics.lock_hold.record(hold_ns);
+    }
+
+    /// Start timing a lock hold, returning a handle that outlives this
+    /// `Txn` borrow — for release hooks (e.g. [`on_end`](Txn::on_end)
+    /// closures releasing abstract locks) that run after the body has
+    /// returned. Returns `None` unless this call was picked by the
+    /// flight-recorder sampler, so unsampled transactions pay nothing.
+    pub fn lock_hold_timer(&self) -> Option<LockHoldTimer> {
+        if self.is_sampled() {
+            Some(LockHoldTimer { stm: Arc::clone(&self.stm), taken_at: std::time::Instant::now() })
+        } else {
+            None
+        }
     }
 
     /// Close a sampled span that began at `start_ns` (a
@@ -468,8 +530,12 @@ impl Txn {
             // The owner word is anonymous (an id, not a handle), so the
             // contention manager cannot arbitrate here — it only grants a
             // bounded patience for re-polling before the conflict is raised.
+            //
+            // Wait timing is always-on but lazy: the first clock read only
+            // happens after the CAS has already failed once, so the
+            // uncontended fast path pays nothing.
             #[cfg(feature = "trace")]
-            let lock_start_ns = if self.sampled { Tracer::global().now_ns() } else { 0 };
+            let mut wait_start_ns: u64 = 0;
             let mut polls = 0u32;
             loop {
                 match data.meta.owner.compare_exchange(
@@ -485,10 +551,18 @@ impl Txn {
                             data.meta
                                 .last_writer_site
                                 .store(self.op_site.as_u32(), Ordering::Relaxed);
-                            // Only a contended acquisition is a span worth
-                            // keeping; the uncontended CAS is nanoseconds.
+                            // Only a contended acquisition is worth timing;
+                            // the uncontended CAS is nanoseconds. One clock
+                            // pair serves the wait counters, the per-site
+                            // histogram, and (for sampled calls) the span.
                             if polls > 0 {
-                                self.record_span(Phase::LockAcquire, lock_start_ns);
+                                let wait_ns =
+                                    Tracer::global().now_ns().saturating_sub(wait_start_ns);
+                                self.note_lock_wait(self.op_site, wait_ns);
+                                self.record_span_at(Phase::LockAcquire, wait_start_ns, wait_ns);
+                            }
+                            if self.sampled && self.own_since_ns == 0 {
+                                self.own_since_ns = Tracer::global().now_ns();
                             }
                         }
                         break;
@@ -499,17 +573,33 @@ impl Txn {
                         // conflict it happened to interrupt — the abort
                         // cause breakdown depends on the distinction.
                         self.check_wounded()?;
+                        #[cfg(feature = "trace")]
+                        if polls == 0 {
+                            wait_start_ns = Tracer::global().now_ns();
+                        }
                         let patience = if self.serial {
                             SERIAL_ACCESS_PATIENCE
                         } else {
                             self.stm.cm.access_patience(&self.contender())
                         };
                         if polls >= patience {
-                            return self.conflict_attributed(
+                            // Charge the whole fruitless wait to the blocked
+                            // site and to the (aborter, victim) pair: this is
+                            // exactly the time the conflict cost us.
+                            #[cfg(feature = "trace")]
+                            let lost_ns = {
+                                let ns = Tracer::global().now_ns().saturating_sub(wait_start_ns);
+                                self.note_lock_wait(self.op_site, ns);
+                                ns
+                            };
+                            #[cfg(not(feature = "trace"))]
+                            let lost_ns = 0;
+                            return self.conflict_attributed_with_loss(
                                 ConflictKind::WriteLocked,
                                 SiteId::from_u32(
                                     data.meta.last_writer_site.load(Ordering::Relaxed),
                                 ),
+                                lost_ns,
                             );
                         }
                         polls += 1;
@@ -656,6 +746,8 @@ impl Txn {
         self.shared.status.store(TXN_COMMITTED, Ordering::Release);
         self.release_reader_registrations();
         self.owned.clear(); // ownership was released by write-back
+        #[cfg(feature = "trace")]
+        self.record_hold_release();
         for handler in self.end_handlers.drain(..) {
             handler(TxnOutcome::Committed);
         }
@@ -700,8 +792,27 @@ impl Txn {
         #[cfg(feature = "trace")]
         if let Some(start_ns) = lock_start_ns {
             self.record_span(Phase::LockAcquire, start_ns);
+            // Commit-time ownership opens the hold interval here; it closes
+            // when write-back (or a validation-failure rollback) releases.
+            if self.own_since_ns == 0 {
+                self.own_since_ns = start_ns;
+            }
         }
         Ok(())
+    }
+
+    /// Close the sampled ownership-hold interval, if one is open. Called
+    /// exactly once per attempt that took ownership, after the owner
+    /// words have been released (by write-back on commit, or by the
+    /// rollback loop on abort), so intervals can never overlap or
+    /// double-count across the TVar clock handshake.
+    #[cfg(feature = "trace")]
+    fn record_hold_release(&mut self) {
+        if self.own_since_ns != 0 {
+            let hold_ns = Tracer::global().now_ns().saturating_sub(self.own_since_ns);
+            self.own_since_ns = 0;
+            self.stm.metrics.lock_hold.record(hold_ns);
+        }
     }
 
     /// Commit-time read validation, timed into
@@ -821,6 +932,8 @@ impl Txn {
         for tvar in self.owned.drain(..) {
             tvar.meta().owner.store(0, Ordering::Release);
         }
+        #[cfg(feature = "trace")]
+        self.record_hold_release();
         self.release_reader_registrations();
         self.writes.clear();
         self.reads.clear();
@@ -836,6 +949,28 @@ impl Txn {
         for tvar in self.registered.drain(..) {
             tvar.meta().deregister_reader(self.shared.id);
         }
+    }
+}
+
+/// A detached lock-hold stopwatch created by
+/// [`Txn::lock_hold_timer`]: holds the runtime alive and records the
+/// elapsed hold into the `lock_hold` histogram when finished. Handed to
+/// release hooks whose closures outlive the `Txn` borrow.
+pub struct LockHoldTimer {
+    stm: Arc<StmInner>,
+    taken_at: std::time::Instant,
+}
+
+impl fmt::Debug for LockHoldTimer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockHoldTimer").field("taken_at", &self.taken_at).finish()
+    }
+}
+
+impl LockHoldTimer {
+    /// Close the hold interval and record it.
+    pub fn finish(self) {
+        self.stm.metrics.lock_hold.record(self.taken_at.elapsed().as_nanos() as u64);
     }
 }
 

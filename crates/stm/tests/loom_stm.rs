@@ -129,6 +129,76 @@ fn retry_handshake_never_loses_the_wakeup() {
     });
 }
 
+/// Contention-observatory interval sanity under permuted schedules
+/// (`--features trace`; `cargo xtask loom` passes it): wait intervals
+/// are `u64` nanoseconds from a saturating clock pair — never negative —
+/// and each wait is recorded exactly once in *both* sinks (the
+/// cumulative stats counters and the per-site histogram), so the two
+/// must agree exactly however commits, aborts, and ownership handoffs
+/// interleave. Hold intervals close exactly once per attempt that took
+/// ownership: every committing writer contributes one, and no attempt
+/// can contribute more than one (no overlap double-counting).
+#[cfg(feature = "trace")]
+#[test]
+fn wait_and_hold_intervals_never_double_count() {
+    let tracer = proust_stm::obs::Tracer::global();
+    tracer.set_sample_every(1);
+    tracer.enable();
+    loom::model(|| {
+        let stm = Stm::new(StmConfig::default());
+        let tvar = Arc::new(TVar::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let stm = stm.clone();
+                let tvar = Arc::clone(&tvar);
+                loom::thread::spawn(move || {
+                    for _ in 0..2 {
+                        stm.atomically(|tx| {
+                            let v = tvar.read(tx)?;
+                            loom::thread::yield_now();
+                            tvar.write(tx, v + 1)
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(tvar.load(), 4);
+
+        let stats = stm.stats();
+        let metrics = stm.metrics();
+        assert_eq!(
+            metrics.lock_wait.count(),
+            stats.lock_waits,
+            "every wait must land exactly once in the per-site histogram and the counters"
+        );
+        assert_eq!(
+            metrics.lock_wait.total_ns(),
+            stats.lock_wait_ns,
+            "both sinks must see the same measured nanoseconds"
+        );
+        assert!(
+            metrics.lock_hold.count() >= stats.commits,
+            "every sampled committing writer closes exactly one hold interval \
+             (holds {} < commits {})",
+            metrics.lock_hold.count(),
+            stats.commits
+        );
+        assert!(
+            metrics.lock_hold.count() <= stats.starts,
+            "an attempt can never close more than one hold interval \
+             (holds {} > attempts {})",
+            metrics.lock_hold.count(),
+            stats.starts
+        );
+    });
+    tracer.disable();
+    tracer.clear();
+}
+
 /// Version capture across a concurrent commit: a transaction that read a
 /// TVar before a competing commit must either abort-and-retry onto the
 /// new value or have serialized entirely before it — its increment can

@@ -1,0 +1,122 @@
+//! The `proust-top` binary: a `top(1)`-style live view of one or more
+//! running proust-servers, driven entirely by their Prometheus `/metrics`
+//! endpoints. Scrapes at a fixed cadence (default 1 Hz), diffs
+//! consecutive scrapes, and redraws the terminal with hand-rolled ANSI —
+//! no TUI dependency.
+//!
+//! `--frames N` renders N frames and exits (CI / smoke use); `--once` is
+//! `--frames 1`. `--plain` suppresses ANSI styling and screen clearing so
+//! output can be piped or asserted on.
+
+use std::time::{Duration, Instant};
+
+use proust_bench::args::Args;
+use proust_loadgen::scrape_metrics;
+use proust_obs::PromSample;
+use proust_top::{build_frame, render_frame};
+
+const USAGE: &str = "\
+usage: proust-top --addr HOST:PORT [--addr HOST:PORT ...]
+                  [--interval-ms MS] [--frames N | --once]
+                  [--top K] [--plain]
+
+Scrapes each /metrics endpoint every interval, diffs consecutive
+scrapes, and redraws a live dashboard: throughput, tail latency,
+abort causes, top contended sites by time lost, serial-gate state.";
+
+struct TopConfig {
+    addrs: Vec<String>,
+    interval: Duration,
+    frames: u64, // 0 = run until interrupted
+    top_k: usize,
+    plain: bool,
+}
+
+fn config_from_args() -> TopConfig {
+    let mut config = TopConfig {
+        addrs: Vec::new(),
+        interval: Duration::from_millis(1000),
+        frames: 0,
+        top_k: 5,
+        plain: false,
+    };
+    let mut args = Args::from_env(USAGE);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addrs.push(args.value("--addr")),
+            "--interval-ms" => {
+                config.interval = Duration::from_millis(args.parsed("--interval-ms"));
+            }
+            "--frames" => config.frames = args.parsed("--frames"),
+            "--once" => config.frames = 1,
+            "--top" => config.top_k = args.parsed("--top"),
+            "--plain" => config.plain = true,
+            other => args.unknown(other),
+        }
+    }
+    if config.addrs.is_empty() {
+        args.fail("--addr is required");
+    }
+    config
+}
+
+/// One combined scrape across every endpoint. A dead endpoint is an
+/// error: the dashboard would silently show half the fleet otherwise.
+fn scrape_all(addrs: &[String]) -> Result<Vec<PromSample>, String> {
+    let mut all = Vec::new();
+    for addr in addrs {
+        all.extend(scrape_metrics(addr)?);
+    }
+    Ok(all)
+}
+
+fn main() {
+    let config = config_from_args();
+    let title = config.addrs.join(", ");
+    let mut prev = match scrape_all(&config.addrs) {
+        Ok(samples) => prev_ok(samples),
+        Err(err) => {
+            eprintln!("proust-top: initial scrape failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let mut rendered = 0u64;
+    loop {
+        std::thread::sleep(config.interval);
+        let now = Instant::now();
+        match scrape_all(&config.addrs) {
+            Ok(cur) => {
+                let dt_s = now.duration_since(prev.1).as_secs_f64();
+                let frame = build_frame(&prev.0, &cur, dt_s, config.top_k);
+                let body = render_frame(&frame, &title, !config.plain);
+                if config.plain {
+                    print!("{body}");
+                } else {
+                    // Home + clear-to-end redraw: no flicker, and stray
+                    // long lines from a previous frame are erased.
+                    print!("\x1b[H\x1b[2J{body}");
+                }
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                prev = prev_ok(cur);
+                rendered += 1;
+                if config.frames != 0 && rendered >= config.frames {
+                    return;
+                }
+            }
+            Err(err) => {
+                // In watch mode the server may be restarting; keep the
+                // last frame up and retry. In bounded mode fail loudly.
+                if config.frames != 0 {
+                    eprintln!("proust-top: scrape failed: {err}");
+                    std::process::exit(1);
+                }
+                eprintln!("proust-top: scrape failed ({err}); retrying");
+            }
+        }
+    }
+}
+
+fn prev_ok(samples: Vec<PromSample>) -> (Vec<PromSample>, Instant) {
+    (samples, Instant::now())
+}

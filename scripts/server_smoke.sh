@@ -61,7 +61,10 @@ BASELINE_SCRAPE="$(scrape)"
 for fam in proust_requests_total proust_connections_open proust_connections_total \
            proust_txn_starts_total proust_txn_commits_total proust_txn_aborts_total \
            proust_txn_conflicts_total proust_txn_in_flight proust_wounds_issued_total \
-           proust_serial_escalations_total proust_slow_txns_total proust_trace_sample_every; do
+           proust_serial_escalations_total proust_slow_txns_total proust_trace_sample_every \
+           proust_lock_wait_ns proust_lock_hold_ns proust_park_ns \
+           proust_lock_waits_total proust_serial_held_ns_total \
+           proust_serial_queue_depth proust_contention_ns_total; do
     grep -q "^# TYPE $fam " <<<"$BASELINE_SCRAPE" || {
         echo "metrics endpoint is missing family $fam" >&2
         exit 1
@@ -100,6 +103,16 @@ grep -q '^proust_request_latency_ns_bucket{' <<<"$AFTER_SCRAPE" || {
     echo "no per-op latency histogram series after the load run" >&2
     exit 1
 }
+
+# Contention counters must move under a zipfian multi-writer load: a run
+# this skewed has to either queue on a lock (lock_waits) or abort on a
+# conflict. Parks and serial escalations may legitimately stay zero in a
+# short run, so only the always-firing pair is asserted.
+CONTENTION="$(awk '$1 == "proust_lock_waits_total" || index($1, "proust_txn_conflicts_total{") == 1 {sum += $2} END {print int(sum)}' <<<"$AFTER_SCRAPE")"
+if (( CONTENTION <= 0 )); then
+    echo "contention counters did not move under load (lock_waits + conflicts = $CONTENTION)" >&2
+    exit 1
+fi
 
 # Shut the server down ourselves (the loadgen run left it up so the
 # post-load scrape above had a live endpoint).

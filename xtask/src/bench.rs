@@ -1,0 +1,396 @@
+//! `cargo xtask bench` — the benchmark-regression pipeline.
+//!
+//! Runs a **pinned suite** (a fixed subset of the Figure 4 map-throughput
+//! grid in-process, plus one closed-loop loadgen run against an
+//! in-process `proust-server`), writes the result as a versioned envelope
+//! `results/bench_history/BENCH_<n>.json`, and compares it against the
+//! committed baseline (the lowest-numbered envelope in the history
+//! directory). A cell whose mean exceeds the baseline by more than a
+//! noise-aware threshold is a regression and the command exits non-zero
+//! — that is the CI contract.
+//!
+//! The threshold per cell is `max(0.30, 3 * (std_new + std_old) /
+//! mean_old)`: never tighter than 30% (shared CI runners jitter), and
+//! loosened further when either measurement was noisy.
+//!
+//! * `--quick` shrinks op counts and run counts for CI.
+//! * `--inject-slowdown` doubles every measured mean *after* the run and
+//!   skips the history write — a self-test proving the gate can fail.
+//! * `--contention-out PATH` additionally writes the suite's contention
+//!   profile (lock-wait time, time-weighted conflict pairs) as JSON;
+//!   `scripts/run_experiments.sh` collects it as `results/contention.json`.
+//! * `--history-dir PATH` relocates the envelope directory (tests, CI
+//!   scratch runs).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use proust_bench::harness::measure_cell;
+use proust_bench::maps::MapKind;
+use proust_bench::report::matrix_json;
+use proust_bench::workload::WorkloadSpec;
+use proust_obs::JsonValue;
+
+use crate::workspace_root;
+
+/// One measured suite cell: `mean_ms` is the regression metric and is
+/// always lower-is-better (the server leg stores milliseconds per 1000
+/// committed ops for the same reason).
+struct BenchEntry {
+    name: String,
+    mean_ms: f64,
+    std_ms: f64,
+    ops_per_ms: f64,
+    commits: u64,
+    conflicts: u64,
+    lock_waits: u64,
+    lock_wait_ns: u64,
+    parks: u64,
+    contention_ns_lost: u64,
+    contention: Option<JsonValue>,
+}
+
+/// The pinned map-grid shapes. Small enough to finish in minutes, shaped
+/// to exercise distinct regimes: the optimistic eager/lazy pair and the
+/// pessimistic LAP on a contended mixed cell, plus a long-transaction
+/// read-mostly cell for the memoizing wrapper.
+const MAP_CELLS: [(&str, MapKind, usize, usize, f64); 4] = [
+    ("figure4/proust-eager-opt/t4-o4-u50", MapKind::ProustEagerOpt, 4, 4, 0.5),
+    ("figure4/proust-lazy-snap/t4-o4-u50", MapKind::ProustLazySnap, 4, 4, 0.5),
+    ("figure4/proust-pessimistic/t4-o4-u50", MapKind::ProustPessimistic, 4, 4, 0.5),
+    ("figure4/proust-lazy-memo/t2-o16-u20", MapKind::ProustLazyMemo, 2, 16, 0.2),
+];
+
+fn measure_map_cells(quick: bool) -> Vec<BenchEntry> {
+    let (total_ops, warmups, runs) = if quick { (40_000, 1, 2) } else { (200_000, 2, 4) };
+    MAP_CELLS
+        .iter()
+        .map(|&(name, kind, threads, ops_per_txn, write_fraction)| {
+            let spec = WorkloadSpec {
+                total_ops,
+                threads,
+                ops_per_txn,
+                write_fraction,
+                key_range: 1024,
+                seed: 42,
+            };
+            println!("bench: {name} ({total_ops} ops, {runs} runs)");
+            let cell = measure_cell(|| kind.build(), &spec, warmups, runs);
+            BenchEntry {
+                name: name.to_string(),
+                mean_ms: cell.mean_ms,
+                std_ms: cell.std_ms,
+                ops_per_ms: cell.ops_per_ms(total_ops),
+                commits: cell.commits,
+                conflicts: cell.conflicts,
+                lock_waits: cell.stats.lock_waits,
+                lock_wait_ns: cell.stats.lock_wait_ns,
+                parks: cell.stats.parks,
+                contention_ns_lost: cell.metrics.conflicts.total_ns_lost(),
+                contention: Some(matrix_json(&cell.metrics.conflicts)),
+            }
+        })
+        .collect()
+}
+
+/// The server leg: an in-process `proust-server` under a closed-loop
+/// zipfian loadgen run. The regression metric is milliseconds per 1000
+/// committed ops (lower is better), derived from the run's throughput;
+/// contention figures come from the server's STATS document.
+fn measure_server_leg(quick: bool) -> Result<BenchEntry, String> {
+    use proust_loadgen::{KeyDist, LoadConfig, Mode};
+    use proust_server::{Server, ServerConfig};
+
+    let handle = Server::start(ServerConfig::default()).map_err(|err| err.to_string())?;
+    let config = LoadConfig {
+        addr: handle.addr().to_string(),
+        threads: 8,
+        duration: Duration::from_millis(if quick { 1_000 } else { 3_000 }),
+        mode: Mode::Closed,
+        keys: 256,
+        dist: KeyDist::Zipfian(0.99),
+        read_frac: 0.6,
+        multi_frac: 0.1,
+        multi_size: 4,
+        inc_frac: 0.2,
+        queue_frac: 0.1,
+        structures: 2,
+        seed: 42,
+        check_counters: true,
+        send_shutdown: false,
+        quiet: true,
+        metrics_addr: None,
+    };
+    println!("bench: server/closed-zipf ({}s run)", config.duration.as_secs_f64());
+    let report = proust_loadgen::run(&config)?;
+    handle.shutdown();
+    if report.protocol_errors > 0 || report.lost_updates > 0 {
+        return Err(format!(
+            "server leg is not a valid measurement: {} protocol errors, {} lost updates",
+            report.protocol_errors, report.lost_updates
+        ));
+    }
+    let stat = |key: &str| -> u64 {
+        report
+            .server_stats
+            .as_ref()
+            .and_then(|s| s.get(key))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    Ok(BenchEntry {
+        name: "server/closed-zipf".to_string(),
+        mean_ms: 1e6 / report.throughput_rps.max(1e-9),
+        std_ms: 0.0,
+        ops_per_ms: report.throughput_rps / 1e3,
+        commits: report.committed,
+        conflicts: stat("conflicts"),
+        lock_waits: stat("lock_waits"),
+        lock_wait_ns: stat("lock_wait_ns"),
+        parks: stat("parks"),
+        contention_ns_lost: stat("contention_ns_lost"),
+        contention: None,
+    })
+}
+
+fn entry_json(entry: &BenchEntry) -> JsonValue {
+    JsonValue::obj([
+        ("name", JsonValue::str(&entry.name)),
+        ("mean_ms", JsonValue::num(entry.mean_ms)),
+        ("std_ms", JsonValue::num(entry.std_ms)),
+        ("ops_per_ms", JsonValue::num(entry.ops_per_ms)),
+        ("commits", JsonValue::u64(entry.commits)),
+        ("conflicts", JsonValue::u64(entry.conflicts)),
+        ("lock_waits", JsonValue::u64(entry.lock_waits)),
+        ("lock_wait_ns", JsonValue::u64(entry.lock_wait_ns)),
+        ("parks", JsonValue::u64(entry.parks)),
+        ("contention_ns_lost", JsonValue::u64(entry.contention_ns_lost)),
+    ])
+}
+
+/// Next envelope number and the baseline (lowest-numbered) envelope, from
+/// one directory scan.
+fn scan_history(dir: &PathBuf) -> (u64, Option<(u64, PathBuf)>) {
+    let mut next = 0u64;
+    let mut baseline: Option<(u64, PathBuf)> = None;
+    let Ok(entries) = fs::read_dir(dir) else { return (0, None) };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(n) = name
+            .to_str()
+            .and_then(|s| s.strip_prefix("BENCH_"))
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        next = next.max(n + 1);
+        if baseline.as_ref().is_none_or(|(low, _)| n < *low) {
+            baseline = Some((n, entry.path()));
+        }
+    }
+    (next, baseline)
+}
+
+/// `(name, mean_ms, std_ms)` rows of one envelope.
+fn envelope_rows(doc: &JsonValue) -> Vec<(String, f64, f64)> {
+    doc.get("entries")
+        .and_then(JsonValue::as_array)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| {
+                    Some((
+                        e.get("name")?.as_str()?.to_string(),
+                        e.get("mean_ms")?.as_f64()?,
+                        e.get("std_ms").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare the fresh suite against the baseline envelope. Returns the
+/// regressed cell names (empty = pass). Cells that exist on only one
+/// side are reported but never fail the gate — the suite is allowed to
+/// grow.
+fn compare(entries: &[BenchEntry], baseline: &JsonValue) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let old_rows = envelope_rows(baseline);
+    for entry in entries {
+        let Some((_, old_mean, old_std)) = old_rows.iter().find(|(name, _, _)| *name == entry.name)
+        else {
+            println!("bench: {:<40} NEW (no baseline cell)", entry.name);
+            continue;
+        };
+        let threshold = (3.0 * (entry.std_ms + old_std) / old_mean).max(0.30);
+        let change = entry.mean_ms / old_mean - 1.0;
+        let verdict = if change > threshold { "REGRESSED" } else { "ok" };
+        println!(
+            "bench: {:<40} {:>9.2}ms vs {:>9.2}ms  {:+6.1}% (allow +{:.0}%)  {verdict}",
+            entry.name,
+            entry.mean_ms,
+            old_mean,
+            change * 100.0,
+            threshold * 100.0,
+        );
+        if change > threshold {
+            regressions.push(entry.name.clone());
+        }
+    }
+    regressions
+}
+
+fn contention_json(entries: &[BenchEntry]) -> JsonValue {
+    let total_wait: u64 = entries.iter().map(|e| e.lock_wait_ns).sum();
+    let total_lost: u64 = entries.iter().map(|e| e.contention_ns_lost).sum();
+    let cells: Vec<JsonValue> = entries
+        .iter()
+        .map(|entry| {
+            let mut fields = vec![
+                ("name", JsonValue::str(&entry.name)),
+                ("lock_waits", JsonValue::u64(entry.lock_waits)),
+                ("lock_wait_ns", JsonValue::u64(entry.lock_wait_ns)),
+                ("parks", JsonValue::u64(entry.parks)),
+                ("conflicts", JsonValue::u64(entry.conflicts)),
+                ("contention_ns_lost", JsonValue::u64(entry.contention_ns_lost)),
+            ];
+            if let Some(matrix) = &entry.contention {
+                fields.push(("conflict_matrix", matrix.clone()));
+            }
+            JsonValue::obj(fields)
+        })
+        .collect();
+    JsonValue::obj([
+        ("schema", JsonValue::str("proust-contention-v1")),
+        ("total_lock_wait_ns", JsonValue::u64(total_wait)),
+        ("total_contention_ns_lost", JsonValue::u64(total_lost)),
+        ("entries", JsonValue::Arr(cells)),
+    ])
+}
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut inject_slowdown = false;
+    let mut contention_out: Option<PathBuf> = None;
+    let mut history_dir = workspace_root().join("results/bench_history");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--inject-slowdown" => inject_slowdown = true,
+            "--contention-out" => match iter.next() {
+                Some(path) => contention_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--contention-out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--history-dir" => match iter.next() {
+                Some(path) => history_dir = PathBuf::from(path),
+                None => {
+                    eprintln!("--history-dir needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown bench option {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut entries = measure_map_cells(quick);
+    match measure_server_leg(quick) {
+        Ok(entry) => entries.push(entry),
+        Err(err) => {
+            eprintln!("bench: server leg failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if inject_slowdown {
+        println!("bench: --inject-slowdown doubles every mean (self-test)");
+        for entry in &mut entries {
+            entry.mean_ms *= 2.0;
+        }
+    }
+
+    let (next, baseline) = scan_history(&history_dir);
+
+    // Gate before writing: the history must only accumulate real runs.
+    let mut regressed = Vec::new();
+    match &baseline {
+        Some((n, path)) => {
+            println!("bench: baseline BENCH_{n}.json");
+            let doc = fs::read_to_string(path).ok().and_then(|text| JsonValue::parse(&text).ok());
+            match doc {
+                Some(doc) => {
+                    // `--quick` and full runs use different op counts, so
+                    // their wall-clock means are not comparable; only gate
+                    // like-for-like.
+                    let base_quick = doc.get("quick").and_then(JsonValue::as_bool).unwrap_or(false);
+                    if base_quick == quick {
+                        regressed = compare(&entries, &doc);
+                    } else {
+                        println!(
+                            "bench: baseline is a {} run, this is a {} run; comparison skipped",
+                            if base_quick { "--quick" } else { "full" },
+                            if quick { "--quick" } else { "full" },
+                        );
+                    }
+                }
+                None => {
+                    eprintln!("bench: baseline {} is unreadable", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => println!("bench: no baseline yet; this run becomes BENCH_0.json"),
+    }
+
+    if inject_slowdown {
+        println!("bench: history write skipped under --inject-slowdown");
+    } else {
+        let envelope = JsonValue::obj([
+            ("schema", JsonValue::str("proust-bench-history-v1")),
+            ("quick", JsonValue::Bool(quick)),
+            ("entries", JsonValue::Arr(entries.iter().map(entry_json).collect())),
+        ]);
+        if let Err(error) = fs::create_dir_all(&history_dir) {
+            eprintln!("bench: cannot create {}: {error}", history_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let out = history_dir.join(format!("BENCH_{next}.json"));
+        if let Err(error) = fs::write(&out, envelope.to_json_pretty() + "\n") {
+            eprintln!("bench: cannot write {}: {error}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench: wrote {}", out.display());
+    }
+
+    if let Some(path) = contention_out {
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        if let Err(error) = fs::write(&path, contention_json(&entries).to_json_pretty() + "\n") {
+            eprintln!("bench: cannot write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench: contention profile {}", path.display());
+    }
+
+    if regressed.is_empty() {
+        println!("bench: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench: FAILED — {} regressed cell(s): {}",
+            regressed.len(),
+            regressed.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

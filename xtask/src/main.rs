@@ -23,8 +23,14 @@
 //!   1-in-64, and writes the throughput delta to
 //!   `results/telemetry_overhead.json`. The budget is <3%; `--enforce`
 //!   turns a blown budget into a non-zero exit.
+//! * `bench` — the benchmark-regression pipeline: runs the pinned suite
+//!   (Figure 4 map cells + a loadgen server run), writes a versioned
+//!   envelope to `results/bench_history/BENCH_<n>.json`, and exits
+//!   non-zero when a cell regresses past a noise-aware threshold against
+//!   the lowest-numbered (baseline) envelope. See `bench.rs`.
 
 mod analyze;
+mod bench;
 mod lint;
 
 use std::env;
@@ -47,7 +53,7 @@ fn main() -> ExitCode {
     let (command, rest) = match args.split_first() {
         Some((command, rest)) => (command.as_str(), rest),
         None => {
-            eprintln!("usage: cargo xtask <analyze|loom|chaos|miri|tsan|overhead> [options]");
+            eprintln!("usage: cargo xtask <analyze|loom|chaos|miri|tsan|overhead|bench> [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -58,9 +64,11 @@ fn main() -> ExitCode {
         "miri" => run_miri(rest),
         "tsan" => run_tsan(rest),
         "overhead" => run_overhead(rest),
+        "bench" => bench::run(rest),
         other => {
             eprintln!(
-                "unknown command {other:?}; expected analyze, loom, chaos, miri, tsan, or overhead"
+                "unknown command {other:?}; expected analyze, loom, chaos, miri, tsan, \
+                 overhead, or bench"
             );
             ExitCode::FAILURE
         }
@@ -125,12 +133,17 @@ fn run_analyze(args: &[String]) -> ExitCode {
 /// for it.
 fn run_loom() -> ExitCode {
     let root = workspace_root();
-    let targets: [(&str, &str); 2] = [("proust-stm", "loom_stm"), ("proust-core", "loom_lock")];
-    for (package, test) in targets {
+    // The STM permutations run with `trace` on so the contention-
+    // observatory interval checks (wait/hold never double-count) are
+    // compiled in.
+    let targets: [(&str, &str, &[&str]); 2] =
+        [("proust-stm", "loom_stm", &["--features", "trace"]), ("proust-core", "loom_lock", &[])];
+    for (package, test, extra) in targets {
         println!("loom: {package} --test {test}");
         let status = Command::new("cargo")
             .current_dir(&root)
             .args(["test", "-p", package, "--test", test, "--release"])
+            .args(extra)
             .env("RUSTFLAGS", "--cfg loom")
             .status();
         match status {
@@ -221,6 +234,20 @@ fn run_chaos(args: &[String]) -> ExitCode {
     // their own fixed seeds; one run covers them.
     println!("chaos: proust-stm internal suite");
     step!(chaos_test(&root, &[], &["-p", "proust-stm", "--test", "chaos"]), "proust-stm suite");
+
+    // Contention-observatory consistency under LockAcquire faults: the
+    // wait/attribution sinks must agree however injected aborts land.
+    // Needs `trace` on top of `chaos` (chaos_test always passes the
+    // latter).
+    println!("chaos: contention-counter consistency (LockAcquire faults)");
+    step!(
+        chaos_test(
+            &root,
+            &[],
+            &["-p", "proust-core", "--features", "trace", "--test", "chaos_contention"],
+        ),
+        "contention-counter consistency"
+    );
 
     // The facade invariant matrix (3 backends x 2 LAPs), per seed.
     for seed in &seeds {
@@ -351,14 +378,19 @@ fn run_tsan(args: &[String]) -> ExitCode {
 
 /// One timed pass of the overhead workload: `threads` workers spend
 /// `secs` incrementing their own striped `TVar` counters through full
-/// `atomically` calls. Independent stripes keep conflict noise out of the
-/// measurement, so the off-vs-sampled delta isolates the flight-recorder
-/// hooks themselves. Returns committed ops per second.
+/// `atomically` calls, with every 16th transaction also bumping one
+/// *shared* counter. The stripes keep the bulk of the measurement
+/// conflict-free, while the shared-counter minority makes transactions
+/// contend for ownership — so the off-vs-sampled delta covers the
+/// contention-observatory hooks (lock-wait timing, time-weighted
+/// conflict attribution), not just the flight recorder. Returns
+/// committed ops per second.
 fn overhead_pass(threads: usize, secs: f64) -> f64 {
     use proust_stm::{Stm, StmConfig, TVar};
 
     let stm = Stm::new(StmConfig::default());
     let counters: Vec<TVar<u64>> = (0..threads).map(|_| TVar::new(0u64)).collect();
+    let shared = TVar::new(0u64);
     let deadline = std::time::Duration::from_secs_f64(secs);
     let start = std::time::Instant::now();
     let total: u64 = std::thread::scope(|scope| {
@@ -366,17 +398,24 @@ fn overhead_pass(threads: usize, secs: f64) -> f64 {
             .iter()
             .map(|counter| {
                 let stm = stm.clone();
+                let shared = &shared;
                 scope.spawn(move || {
                     let mut ops = 0u64;
                     while start.elapsed() < deadline {
                         // Batch the deadline check: Instant::now is not
                         // free and would otherwise dominate short txns.
                         for _ in 0..256 {
+                            let hot = ops.is_multiple_of(16);
                             stm.atomically(|tx| {
                                 let v = counter.read(tx)?;
-                                counter.write(tx, v + 1)
+                                counter.write(tx, v + 1)?;
+                                if hot {
+                                    let s = shared.read(tx)?;
+                                    shared.write(tx, s + 1)?;
+                                }
+                                Ok(())
                             })
-                            .expect("uncontended increment commits");
+                            .expect("overhead increment commits");
                             ops += 1;
                         }
                     }
