@@ -11,6 +11,7 @@
 //! |---|---|---|
 //! | [`StripedHashMap`] | `java.util.concurrent.ConcurrentHashMap` | linearizable per-key ops, high write parallelism |
 //! | [`SnapMap`] (over [`Hamt`]) | Scala `concurrent.TrieMap` (Ctrie) | linearizable ops **plus O(1) snapshots** |
+//! | [`OrdMap`] (over [`Treap`]) | an ordered Ctrie-alike | snapshots **plus in-order range scans** |
 //! | [`CowHeap`] (over [`PairingHeap`]) | the paper's experimental copy-on-write queue | min-queue ops plus O(1) snapshots |
 //! | [`BlockingHeap`] | `java.util.concurrent.PriorityBlockingQueue` | dependable coarse-locked min-queue |
 //!
@@ -25,6 +26,7 @@ mod blockingheap;
 mod cowheap;
 mod fifo;
 mod hamt;
+mod ordmap;
 mod pairing;
 mod snapmap;
 mod striped;
@@ -33,6 +35,7 @@ pub use blockingheap::BlockingHeap;
 pub use cowheap::CowHeap;
 pub use fifo::{CowQueue, PersistentQueue, QueueIter};
 pub use hamt::{Hamt, Iter as HamtIter};
+pub use ordmap::{OrdMap, Treap};
 pub use pairing::{HeapIter, PairingHeap};
 pub use snapmap::SnapMap;
 pub use striped::StripedHashMap;

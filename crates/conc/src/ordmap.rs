@@ -1,0 +1,420 @@
+//! A thread-safe *ordered* map with O(1) snapshots and range scans.
+//!
+//! [`OrdMap`] is the ordered counterpart of [`SnapMap`](crate::SnapMap):
+//! a linearizable concurrent map over `u64` keys whose `snapshot`
+//! operation is constant-time and whose `range(lo, hi)` returns the
+//! entries of the half-open interval `[lo, hi)` in key order. Internally
+//! it keeps a persistent [`Treap`] behind a reader/writer lock; mutations
+//! swap in a new structurally-shared root, so a snapshot is two `Arc`
+//! bumps. The treap's priorities are a SplitMix64 hash of the key, making
+//! the shape a deterministic function of the key *set* — balanced with
+//! high probability, and identical across replicas holding the same keys.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A shared, structurally-persistent subtree.
+type Link<V> = Option<Arc<Node<V>>>;
+
+struct Node<V> {
+    key: u64,
+    priority: u64,
+    value: V,
+    len: usize,
+    left: Link<V>,
+    right: Link<V>,
+}
+
+/// SplitMix64: the treap priority for a key. Deterministic so the tree
+/// shape depends only on the key set, scrambled so sorted insertion
+/// still yields a balanced tree.
+fn priority(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn link_len<V>(link: &Link<V>) -> usize {
+    link.as_ref().map_or(0, |n| n.len)
+}
+
+fn make<V>(key: u64, prio: u64, value: V, left: Link<V>, right: Link<V>) -> Link<V> {
+    let len = 1 + link_len(&left) + link_len(&right);
+    Some(Arc::new(Node { key, priority: prio, value, len, left, right }))
+}
+
+/// Three-way split around `key`: `(keys < key, the key's node, keys > key)`.
+/// Path-copying — the input tree is untouched.
+fn split3<V: Clone>(link: &Link<V>, key: u64) -> (Link<V>, Option<Arc<Node<V>>>, Link<V>) {
+    match link {
+        None => (None, None, None),
+        Some(n) => {
+            if key < n.key {
+                let (lt, eq, gt) = split3(&n.left, key);
+                (lt, eq, make(n.key, n.priority, n.value.clone(), gt, n.right.clone()))
+            } else if key > n.key {
+                let (lt, eq, gt) = split3(&n.right, key);
+                (make(n.key, n.priority, n.value.clone(), n.left.clone(), lt), eq, gt)
+            } else {
+                (n.left.clone(), Some(Arc::clone(n)), n.right.clone())
+            }
+        }
+    }
+}
+
+/// Merge two treaps where every key of `a` is below every key of `b`.
+fn merge<V: Clone>(a: Link<V>, b: Link<V>) -> Link<V> {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some(x), Some(y)) => {
+            if x.priority >= y.priority {
+                let right = merge(x.right.clone(), Some(y));
+                make(x.key, x.priority, x.value.clone(), x.left.clone(), right)
+            } else {
+                let left = merge(Some(x), y.left.clone());
+                make(y.key, y.priority, y.value.clone(), left, y.right.clone())
+            }
+        }
+    }
+}
+
+/// A persistent (immutable, structurally-shared) ordered map over `u64`
+/// keys: the snapshot type of [`OrdMap`], playing the role [`Hamt`]
+/// plays for [`SnapMap`] — but with in-order range traversal.
+///
+/// [`Hamt`]: crate::Hamt
+/// [`SnapMap`]: crate::SnapMap
+pub struct Treap<V> {
+    root: Link<V>,
+}
+
+impl<V> fmt::Debug for Treap<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Treap").field("len", &self.len()).finish()
+    }
+}
+
+impl<V> Clone for Treap<V> {
+    fn clone(&self) -> Self {
+        Treap { root: self.root.clone() }
+    }
+}
+
+impl<V> Default for Treap<V> {
+    fn default() -> Self {
+        Treap::new()
+    }
+}
+
+impl<V> Treap<V> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Treap { root: None }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        link_len(&self.root)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mut cursor = &self.root;
+        while let Some(n) = cursor {
+            cursor = if key < n.key {
+                &n.left
+            } else if key > n.key {
+                &n.right
+            } else {
+                return Some(&n.value);
+            };
+        }
+        None
+    }
+
+    /// Whether the map contains `key`.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+impl<V: Clone> Treap<V> {
+    /// Insert a key/value pair, returning the previous value.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        let (lt, eq, gt) = split3(&self.root, key);
+        let fresh = make(key, priority(key), value, None, None);
+        self.root = merge(merge(lt, fresh), gt);
+        eq.map(|n| n.value.clone())
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let (lt, eq, gt) = split3(&self.root, key);
+        // Keep the original root when the key is absent: no path was
+        // disturbed, so no copies need to replace it.
+        let hit = eq?;
+        self.root = merge(lt, gt);
+        Some(hit.value.clone())
+    }
+
+    /// Visit every entry of the half-open range `[lo, hi)` in ascending
+    /// key order. Empty and reversed ranges visit nothing.
+    pub fn for_range(&self, lo: u64, hi: u64, f: &mut impl FnMut(u64, &V)) {
+        fn walk<V>(link: &Link<V>, lo: u64, hi: u64, f: &mut impl FnMut(u64, &V)) {
+            if let Some(n) = link {
+                if lo < n.key {
+                    walk(&n.left, lo, hi, f);
+                }
+                if lo <= n.key && n.key < hi {
+                    f(n.key, &n.value);
+                }
+                // Descend right only if some key > n.key can be < hi.
+                if n.key < hi.saturating_sub(1) {
+                    walk(&n.right, lo, hi, f);
+                }
+            }
+        }
+        if lo < hi {
+            walk(&self.root, lo, hi, f);
+        }
+    }
+
+    /// The entries of `[lo, hi)` in ascending key order, values cloned out.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        self.for_range(lo, hi, &mut |k, v| out.push((k, v.clone())));
+        out
+    }
+}
+
+/// A linearizable concurrent ordered map with constant-time snapshots
+/// and in-order range scans.
+///
+/// # Examples
+///
+/// ```
+/// use proust_conc::OrdMap;
+///
+/// let map = OrdMap::new();
+/// map.insert(3, "three");
+/// map.insert(1, "one");
+/// let snap = map.snapshot(); // O(1)
+/// map.insert(2, "two");
+/// assert_eq!(snap.range(0, 10).len(), 2);
+/// assert_eq!(map.range(0, 10), vec![(1, "one"), (2, "two"), (3, "three")]);
+/// ```
+pub struct OrdMap<V> {
+    root: RwLock<Treap<V>>,
+}
+
+impl<V> fmt::Debug for OrdMap<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrdMap").field("len", &self.root.read().len()).finish()
+    }
+}
+
+impl<V> Default for OrdMap<V> {
+    fn default() -> Self {
+        OrdMap::new()
+    }
+}
+
+impl<V> OrdMap<V> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        OrdMap { root: RwLock::new(Treap::new()) }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.root.read().len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.read().is_empty()
+    }
+
+    /// Whether the map contains `key`.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.root.read().contains_key(key)
+    }
+}
+
+impl<V: Clone> OrdMap<V> {
+    /// Insert a key/value pair, returning the previous value.
+    pub fn insert(&self, key: u64, value: V) -> Option<V> {
+        self.root.write().insert(key, value)
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        self.root.write().remove(key)
+    }
+
+    /// Look up a key, cloning the value out.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.root.read().get(key).cloned()
+    }
+
+    /// The entries of `[lo, hi)` in ascending key order.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        self.root.read().range(lo, hi)
+    }
+
+    /// Take a constant-time snapshot: a persistent map reflecting some
+    /// linearization point between this call's invocation and response.
+    pub fn snapshot(&self) -> Treap<V> {
+        self.root.read().clone()
+    }
+
+    /// Atomically replace the contents by applying committed operations
+    /// from `apply` to the current root. Used by the snapshot replay
+    /// wrapper at commit time.
+    pub fn update_root(&self, apply: impl FnOnce(&mut Treap<V>)) {
+        let mut root = self.root.write();
+        apply(&mut root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn basic_map_operations() {
+        let map = OrdMap::new();
+        assert_eq!(map.insert(7, 1), None);
+        assert_eq!(map.insert(7, 2), Some(1));
+        assert_eq!(map.get(7), Some(2));
+        assert!(map.contains_key(7));
+        assert_eq!(map.remove(7), Some(2));
+        assert_eq!(map.remove(7), None);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn range_is_sorted_and_half_open() {
+        let map = OrdMap::new();
+        for k in [9u64, 3, 1, 7, 5] {
+            map.insert(k, k * 10);
+        }
+        assert_eq!(map.range(3, 8), vec![(3, 30), (5, 50), (7, 70)]);
+        assert_eq!(map.range(0, u64::MAX).len(), 5);
+        assert!(map.range(4, 4).is_empty(), "empty range");
+        assert!(map.range(8, 2).is_empty(), "reversed range");
+        assert_eq!(map.range(9, 10), vec![(9, 90)], "lower bound inclusive");
+        assert!(map.range(10, 20).is_empty(), "upper bound exclusive");
+    }
+
+    #[test]
+    fn treap_matches_a_btreemap_reference() {
+        // Deterministic mixed workload cross-checked against the stdlib.
+        let mut treap = Treap::new();
+        let mut reference = std::collections::BTreeMap::new();
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..600 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (state >> 33) % 64;
+            match state % 3 {
+                0 | 1 => {
+                    assert_eq!(treap.insert(key, state), reference.insert(key, state));
+                }
+                _ => {
+                    assert_eq!(treap.remove(key), reference.remove(&key));
+                }
+            }
+            assert_eq!(treap.len(), reference.len());
+        }
+        let all: Vec<(u64, u64)> = reference.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(treap.range(0, u64::MAX), all);
+        for lo in (0..64).step_by(7) {
+            for hi in (lo..=64).step_by(5) {
+                let want: Vec<(u64, u64)> =
+                    reference.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(treap.range(lo, hi), want, "range [{lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let map = OrdMap::new();
+        for i in 0..64u64 {
+            map.insert(i, i);
+        }
+        let snap = map.snapshot();
+        for i in 0..64u64 {
+            map.remove(i);
+        }
+        assert_eq!(snap.len(), 64);
+        assert_eq!(snap.range(10, 13), vec![(10, 10), (11, 11), (12, 12)]);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn shape_is_independent_of_insertion_order() {
+        // SplitMix64 priorities make the tree shape a function of the key
+        // set alone; ranges must agree no matter the insertion order.
+        let forward = OrdMap::new();
+        let backward = OrdMap::new();
+        for i in 0..128u64 {
+            forward.insert(i, i);
+            backward.insert(127 - i, 127 - i);
+        }
+        assert_eq!(forward.range(0, 200), backward.range(0, 200));
+    }
+
+    #[test]
+    fn concurrent_inserts_land() {
+        let map = StdArc::new(OrdMap::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let map = StdArc::clone(&map);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        map.insert(t * 1000 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 4 * 200);
+    }
+
+    #[test]
+    fn concurrent_scans_see_consistent_states() {
+        // Writers keep keys 0 and 1 equal; a range scan must never observe
+        // a half-applied pair because update_root is atomic.
+        let map = StdArc::new(OrdMap::new());
+        map.update_root(|m| {
+            m.insert(0, 0u64);
+            m.insert(1, 0u64);
+        });
+        std::thread::scope(|s| {
+            let writer = StdArc::clone(&map);
+            s.spawn(move || {
+                for i in 1..500u64 {
+                    writer.update_root(|m| {
+                        m.insert(0, i);
+                        m.insert(1, i);
+                    });
+                }
+            });
+            for _ in 0..500 {
+                let pair = map.range(0, 2);
+                assert_eq!(pair.len(), 2);
+                assert_eq!(pair[0].1, pair[1].1);
+            }
+        });
+    }
+}

@@ -167,6 +167,43 @@ pub fn requests_to_access_set<K>(
     set
 }
 
+/// Number of region locations the ordered map's conflict abstraction maps
+/// keys into. Stripes are *consecutive* (`key mod M`, no hashing) so that
+/// a range scan covers a contiguous run of slots; `proust-verify`'s
+/// symbolic pass certifies the range/point abstraction over the unbounded
+/// key domain, and its bounded passes use the same slot function.
+pub const ORDERED_STRIPES: usize = 64;
+
+/// The region location for an ordered-map key: `key mod ORDERED_STRIPES`.
+pub fn ordered_slot(key: u64) -> usize {
+    (key % ORDERED_STRIPES as u64) as usize
+}
+
+/// The lock request an ordered-map *point* operation (`get`, `contains`,
+/// `put`, `del`) issues: its key's stripe, read for queries and write for
+/// updates. The single classification point the `OrderedMap` wrapper and
+/// the analysis adapters share.
+pub fn ordered_point_request(key: u64, kind: KeyedOpKind) -> LockRequest<usize> {
+    keyed_request(ordered_slot(key), kind)
+}
+
+/// The read requests a `scan(lo, hi)` over the half-open range `[lo, hi)`
+/// issues: one per stripe the range can touch — `min(hi - lo,
+/// ORDERED_STRIPES)` consecutive slots starting at `lo`'s, wrapping, and
+/// saturating to every stripe for ranges wider than the stripe count.
+/// Empty ranges (`lo >= hi`) issue nothing.
+///
+/// Covering property (what the symbolic gate verifies): for every key
+/// `k ∈ [lo, hi)`, [`ordered_slot`]`(k)` is among the requested slots, so
+/// a scan conflicts with any `put`/`del` of a key inside its range.
+pub fn ordered_scan_requests(lo: u64, hi: u64) -> Vec<LockRequest<usize>> {
+    if lo >= hi {
+        return Vec::new();
+    }
+    let span = (hi - lo).min(ORDERED_STRIPES as u64) as usize;
+    (0..span).map(|i| LockRequest::read((ordered_slot(lo) + i) % ORDERED_STRIPES)).collect()
+}
+
 /// The modular-hashing map abstraction of §3: operations on key `k` touch
 /// location `hash(k) mod M`, reads for queries and writes for updates
 /// ("this practice is similar to lock striping").
@@ -279,6 +316,44 @@ mod tests {
         let requests = [LockRequest::write(3usize), LockRequest::read(5usize)];
         let set = requests_to_access_set(&requests, |&k| k % 4);
         assert_eq!(set, AccessSet { reads: vec![3, 1], writes: vec![3] });
+    }
+
+    #[test]
+    fn ordered_scan_requests_cover_every_key_in_range() {
+        // Exhaustive over spans up to 2× the stripe count, including the
+        // wrap-around and saturation regimes.
+        for lo in 0..(2 * ORDERED_STRIPES as u64) {
+            for hi in lo..=(lo + 2 * ORDERED_STRIPES as u64) {
+                let slots: Vec<usize> =
+                    ordered_scan_requests(lo, hi).iter().map(|r| r.key).collect();
+                assert!(slots.len() <= ORDERED_STRIPES);
+                for k in lo..hi {
+                    assert!(
+                        slots.contains(&ordered_slot(k)),
+                        "scan [{lo}, {hi}) misses slot of key {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_scan_edge_cases() {
+        // Empty range requests nothing; reversed bounds likewise (the
+        // wrapper rejects them before ever building requests).
+        assert!(ordered_scan_requests(5, 5).is_empty());
+        assert!(ordered_scan_requests(9, 3).is_empty());
+        // A full-width range saturates to every stripe, each read-mode.
+        let all = ordered_scan_requests(0, u64::MAX);
+        assert_eq!(all.len(), ORDERED_STRIPES);
+        let mut slots: Vec<usize> = all.iter().map(|r| r.key).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..ORDERED_STRIPES).collect::<Vec<_>>());
+        assert!(all.iter().all(|r| r.mode == Mode::Read));
+        // Point ops classify like the keyed wrappers.
+        assert_eq!(ordered_point_request(70, KeyedOpKind::Put).key, 6);
+        assert_eq!(ordered_point_request(70, KeyedOpKind::Put).mode, Mode::Write);
+        assert_eq!(ordered_point_request(70, KeyedOpKind::Get).mode, Mode::Read);
     }
 
     #[test]

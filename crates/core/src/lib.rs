@@ -60,8 +60,9 @@ pub mod structures;
 
 pub use abstract_lock::{AbstractLock, UpdateStrategy};
 pub use conflict::{
-    keyed_request, requests_to_access_set, AbstractionInfo, AccessSet, ConflictAbstraction,
-    KeyedOp, KeyedOpKind, StripedKeyAbstraction,
+    keyed_request, ordered_point_request, ordered_scan_requests, ordered_slot,
+    requests_to_access_set, AbstractionInfo, AccessSet, ConflictAbstraction, KeyedOp, KeyedOpKind,
+    StripedKeyAbstraction, ORDERED_STRIPES,
 };
 pub use lap::{LockAllocatorPolicy, OptimisticLap, PessimisticLap};
 pub use map_trait::{TxMap, TxPQueue};

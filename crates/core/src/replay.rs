@@ -26,7 +26,9 @@ use std::hash::Hash;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use proust_conc::{CowHeap, CowQueue, Hamt, PairingHeap, PersistentQueue, SnapMap, StripedHashMap};
+use proust_conc::{
+    CowHeap, CowQueue, Hamt, OrdMap, PairingHeap, PersistentQueue, SnapMap, StripedHashMap, Treap,
+};
 use proust_stm::{Txn, TxnLocal};
 
 // ---------------------------------------------------------------------
@@ -60,6 +62,21 @@ where
     }
 
     fn apply_batch(&self, replay: &mut dyn FnMut(&mut Hamt<K, V>)) {
+        self.update_root(|root| replay(root));
+    }
+}
+
+impl<V> SnapshotSource for OrdMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    type Snap = Treap<V>;
+
+    fn snapshot(&self) -> Treap<V> {
+        OrdMap::snapshot(self)
+    }
+
+    fn apply_batch(&self, replay: &mut dyn FnMut(&mut Treap<V>)) {
         self.update_root(|root| replay(root));
     }
 }

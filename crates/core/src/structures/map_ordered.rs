@@ -1,0 +1,303 @@
+//! The ordered transactional map with range scans — the structure
+//! ROADMAP item 5(b) names, gated by `proust-verify`'s symbolic pass.
+//!
+//! Point operations classify exactly like the keyed wrappers (their key's
+//! stripe, read for queries, write for updates); `scan(lo, hi)` *reads
+//! every stripe its range covers* ([`ordered_scan_requests`]), so a scan
+//! conflicts with any `put`/`del` of a key inside `[lo, hi)` —
+//! Definition 3.1 for the range/point pair, proven over the **unbounded**
+//! key domain by `proust_verify::symbolic::check_ordered_map` and gated
+//! in CI by `cargo xtask analyze`.
+//!
+//! The update strategy is always lazy: the base structure is
+//! [`OrdMap`] (a persistent treap behind a lock, the ordered counterpart
+//! of the snapshot trie map), and updates replay through
+//! [`SnapshotReplay`] at the serialization point, exactly like
+//! [`SnapTrieMap`](crate::structures::SnapTrieMap).
+
+use std::fmt;
+use std::sync::Arc;
+
+use proust_conc::OrdMap;
+use proust_stm::{TxError, TxResult, Txn};
+
+use crate::abstract_lock::{AbstractLock, UpdateStrategy};
+use crate::conflict::{ordered_point_request, ordered_scan_requests, KeyedOpKind};
+use crate::lap::LockAllocatorPolicy;
+use crate::map_trait::TxMap;
+use crate::replay::SnapshotReplay;
+use crate::size::CommittedSize;
+
+/// A lazy-update transactional *ordered* map over `u64` keys, with point
+/// ops plus an in-order `scan(lo, hi)` over half-open ranges.
+pub struct OrderedMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    log: SnapshotReplay<OrdMap<V>>,
+    lock: AbstractLock<usize>,
+    size: CommittedSize,
+}
+
+impl<V> fmt::Debug for OrderedMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMap").field("committed_size", &self.size.get()).finish()
+    }
+}
+
+impl<V> Clone for OrderedMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn clone(&self) -> Self {
+        OrderedMap { log: self.log.clone(), lock: self.lock.clone(), size: self.size.clone() }
+    }
+}
+
+impl<V> OrderedMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create an ordered map over `lap`. The LAP's keys are *stripe
+    /// slots* (already reduced mod [`ORDERED_STRIPES`]), so its slot
+    /// function should be the identity — see [`crate::ordered_slot`].
+    ///
+    /// [`ORDERED_STRIPES`]: crate::ORDERED_STRIPES
+    pub fn new(lap: Arc<dyn LockAllocatorPolicy<usize>>) -> Self {
+        OrderedMap {
+            log: SnapshotReplay::new(Arc::new(OrdMap::new())),
+            lock: AbstractLock::new(lap, UpdateStrategy::Lazy),
+            size: CommittedSize::new(),
+        }
+    }
+
+    /// The committed size without a transaction context.
+    pub fn committed_size(&self) -> i64 {
+        self.size.get()
+    }
+
+    /// The entries of the half-open range `[lo, hi)` in ascending key
+    /// order, as this transaction observes them (its own speculative
+    /// updates included).
+    ///
+    /// Reversed bounds (`lo > hi`) abort the transaction — they are a
+    /// caller bug, and silently treating them as empty would hide it.
+    /// The empty range `[k, k)` is valid and scans nothing.
+    pub fn scan(&self, tx: &mut Txn, lo: u64, hi: u64) -> TxResult<Vec<(u64, V)>> {
+        crate::op_site!(tx, "ordered_map.scan");
+        if lo > hi {
+            return Err(TxError::abort("reversed scan bounds"));
+        }
+        let requests = ordered_scan_requests(lo, hi);
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.lock.with(tx, &requests, |tx| {
+            self.log.read(tx, |live| live.range(lo, hi), |snap| snap.range(lo, hi))
+        })
+    }
+}
+
+impl<V> TxMap<u64, V> for OrderedMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn put(&self, tx: &mut Txn, key: u64, value: V) -> TxResult<Option<V>> {
+        crate::op_site!(tx, "ordered_map.put");
+        let previous =
+            self.lock.with(tx, &[ordered_point_request(key, KeyedOpKind::Put)], |tx| {
+                self.log.update(tx, move |snap| snap.insert(key, value.clone()))
+            })?;
+        if previous.is_none() {
+            self.size.record(tx, 1);
+        }
+        Ok(previous)
+    }
+
+    fn get(&self, tx: &mut Txn, key: &u64) -> TxResult<Option<V>> {
+        crate::op_site!(tx, "ordered_map.get");
+        let key = *key;
+        self.lock.with(tx, &[ordered_point_request(key, KeyedOpKind::Get)], |tx| {
+            self.log.read(tx, |live| live.get(key), |snap| snap.get(key).cloned())
+        })
+    }
+
+    fn contains(&self, tx: &mut Txn, key: &u64) -> TxResult<bool> {
+        crate::op_site!(tx, "ordered_map.contains");
+        let key = *key;
+        self.lock.with(tx, &[ordered_point_request(key, KeyedOpKind::Contains)], |tx| {
+            self.log.read(tx, |live| live.contains_key(key), |snap| snap.contains_key(key))
+        })
+    }
+
+    fn remove(&self, tx: &mut Txn, key: &u64) -> TxResult<Option<V>> {
+        crate::op_site!(tx, "ordered_map.del");
+        let key = *key;
+        let previous =
+            self.lock.with(tx, &[ordered_point_request(key, KeyedOpKind::Remove)], |tx| {
+                self.log.update(tx, move |snap| snap.remove(key))
+            })?;
+        if previous.is_some() {
+            self.size.record(tx, -1);
+        }
+        Ok(previous)
+    }
+
+    fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
+        Ok(self.size.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::ORDERED_STRIPES;
+    use crate::lap::{OptimisticLap, PessimisticLap};
+    use proust_stm::{ConflictDetection, Stm, StmConfig, TxError};
+
+    fn maps() -> Vec<(OrderedMap<u64>, Stm)> {
+        ConflictDetection::ALL
+            .iter()
+            .flat_map(|&d| {
+                let stm = Stm::new(StmConfig::with_detection(d));
+                vec![
+                    (
+                        OrderedMap::new(Arc::new(OptimisticLap::with_slot_fn(
+                            ORDERED_STRIPES,
+                            |slot: &usize| *slot,
+                        ))),
+                        stm.clone(),
+                    ),
+                    (OrderedMap::new(Arc::new(PessimisticLap::new(ORDERED_STRIPES))), stm),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_your_writes_all_backends() {
+        for (map, stm) in maps() {
+            stm.atomically(|tx| {
+                assert_eq!(map.put(tx, 5, 50)?, None);
+                assert_eq!(map.get(tx, &5)?, Some(50));
+                assert!(map.contains(tx, &5)?);
+                assert_eq!(map.remove(tx, &5)?, Some(50));
+                assert_eq!(map.get(tx, &5)?, None);
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn scan_sees_own_speculative_writes_in_key_order() {
+        for (map, stm) in maps() {
+            stm.atomically(|tx| map.put(tx, 2, 20)).unwrap();
+            let inside = stm
+                .atomically(|tx| {
+                    map.put(tx, 4, 40)?;
+                    map.put(tx, 1, 10)?;
+                    map.remove(tx, &2)?;
+                    map.scan(tx, 0, 10)
+                })
+                .unwrap();
+            assert_eq!(inside, vec![(1, 10), (4, 40)]);
+            let committed = stm.atomically(|tx| map.scan(tx, 0, 10)).unwrap();
+            assert_eq!(committed, vec![(1, 10), (4, 40)]);
+        }
+    }
+
+    #[test]
+    fn scan_bounds_are_half_open() {
+        let (map, stm) = fixture();
+        stm.atomically(|tx| {
+            map.put(tx, 3, 3)?;
+            map.put(tx, 7, 7)
+        })
+        .unwrap();
+        stm.atomically(|tx| {
+            assert_eq!(map.scan(tx, 3, 7)?, vec![(3, 3)], "upper bound exclusive");
+            assert_eq!(map.scan(tx, 3, 8)?, vec![(3, 3), (7, 7)]);
+            assert!(map.scan(tx, 3, 3)?.is_empty(), "empty range");
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reversed_scan_bounds_abort() {
+        let (map, stm) = fixture();
+        let result = stm.atomically(|tx| map.scan(tx, 9, 3));
+        let err = result.expect_err("reversed bounds must not be silently empty");
+        assert!(format!("{err:?}").contains("reversed scan bounds"));
+    }
+
+    #[test]
+    fn abort_discards_updates() {
+        for (map, stm) in maps() {
+            let result: Result<(), _> = stm.atomically(|tx| {
+                map.put(tx, 2, 20)?;
+                Err(TxError::abort("discard"))
+            });
+            assert!(result.is_err());
+            assert_eq!(stm.atomically(|tx| map.get(tx, &2)).unwrap(), None);
+            assert_eq!(map.committed_size(), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_scan_and_put_do_not_lose_updates() {
+        // The zero-lost-updates shape, but through the scan path: each
+        // thread reads a running total via scan and rewrites it.
+        for (map, stm) in maps() {
+            let map = Arc::new(map);
+            stm.atomically(|tx| map.put(tx, 0, 0)).unwrap();
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let stm = stm.clone();
+                    let map = Arc::clone(&map);
+                    s.spawn(move || {
+                        for _ in 0..50 {
+                            stm.atomically(|tx| {
+                                let total: u64 = map.scan(tx, 0, 8)?.iter().map(|(_, v)| *v).sum();
+                                map.put(tx, 0, total + 1)
+                            })
+                            .unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                stm.atomically(|tx| map.get(tx, &0)).unwrap(),
+                Some(200),
+                "lost update under {:?}",
+                stm.config().detection
+            );
+        }
+    }
+
+    #[test]
+    fn size_counts_distinct_committed_keys() {
+        let (map, stm) = fixture();
+        stm.atomically(|tx| {
+            map.put(tx, 1, 1)?;
+            map.put(tx, 1, 2)?; // overwrite: size unchanged
+            map.put(tx, 2, 2)?;
+            map.remove(tx, &9)?; // absent: size unchanged
+            assert_eq!(map.size(tx)?, 0, "size is committed-only mid-transaction");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(map.committed_size(), 2);
+    }
+
+    fn fixture() -> (OrderedMap<u64>, Stm) {
+        (
+            OrderedMap::new(Arc::new(OptimisticLap::with_slot_fn(ORDERED_STRIPES, |s: &usize| *s))),
+            Stm::new(StmConfig::default()),
+        )
+    }
+}

@@ -9,6 +9,7 @@
 //! | [`EagerMap`] | eager (inverses) | — | [`StripedHashMap`](proust_conc::StripedHashMap) |
 //! | [`MemoMap`] | lazy | memoization (± log-combining) | [`StripedHashMap`](proust_conc::StripedHashMap) |
 //! | [`SnapTrieMap`] | lazy | O(1) snapshot | [`SnapMap`](proust_conc::SnapMap) |
+//! | [`OrderedMap`] | lazy | O(1) snapshot | [`OrdMap`](proust_conc::OrdMap) |
 //! | [`LazyPQueue`] | lazy | O(1) snapshot | [`CowHeap`](proust_conc::CowHeap) |
 //! | [`EagerPQueue`] | eager (lazy-deletion inverses) | — | [`BlockingHeap`](proust_conc::BlockingHeap) |
 //! | [`ProustSet`] | lazy | memoization | [`StripedHashMap`](proust_conc::StripedHashMap) |
@@ -29,6 +30,7 @@ mod fifo;
 mod map_eager;
 mod map_lazy_memo;
 mod map_lazy_snap;
+mod map_ordered;
 mod pqueue;
 mod set;
 
@@ -37,6 +39,7 @@ pub use fifo::{fifo_requests, FifoOpKind, FifoState, ProustFifo};
 pub use map_eager::EagerMap;
 pub use map_lazy_memo::MemoMap;
 pub use map_lazy_snap::SnapTrieMap;
+pub use map_ordered::OrderedMap;
 pub use pqueue::{
     exact_pqueue_lap, min_mode_for_insert, pqueue_contains_requests, pqueue_insert_requests,
     pqueue_insert_requests_with_mode, pqueue_min_requests, pqueue_remove_min_requests, EagerPQueue,

@@ -2,8 +2,9 @@
 //!
 //! Multi-threaded load generator for `proust-server`. Each worker thread
 //! owns one TCP connection and issues a configurable mix of map
-//! (`GET`/`PUT`/`DEL`), counter (`INC`), queue (`ENQ`/`DEQ`), and
-//! `MULTI … EXEC` batch requests, with uniform or zipfian key skew.
+//! (`GET`/`PUT`/`DEL`), counter (`INC`), queue (`ENQ`/`DEQ`), ordered-map
+//! (`SCAN`/`OPUT`), and `MULTI … EXEC` batch requests, with uniform or
+//! zipfian key skew.
 //!
 //! Two pacing modes:
 //!
@@ -97,6 +98,11 @@ pub struct LoadConfig {
     pub inc_frac: f64,
     /// Fraction of requests that are queue ops (`ENQ`/`DEQ` evenly).
     pub queue_frac: f64,
+    /// Fraction of requests that are ordered-map ops: mostly `SCAN`
+    /// range reads, with a quarter `OPUT` writes seeding the maps.
+    pub scan_frac: f64,
+    /// Width of each `SCAN` range (half-open, `[lo, lo + scan_span)`).
+    pub scan_span: u64,
     /// Distinct maps / counters / queues touched (named `m0…`, `c0…`, `q0…`).
     pub structures: usize,
     /// RNG seed (workers derive per-thread seeds from it).
@@ -126,6 +132,8 @@ impl Default for LoadConfig {
             multi_size: 4,
             inc_frac: 0.1,
             queue_frac: 0.1,
+            scan_frac: 0.05,
+            scan_span: 16,
             structures: 4,
             seed: 0x5eed,
             check_counters: true,
@@ -267,6 +275,8 @@ pub fn config_json(config: &LoadConfig) -> JsonValue {
         ("multi_size", JsonValue::u64(config.multi_size as u64)),
         ("inc_frac", JsonValue::num(config.inc_frac)),
         ("queue_frac", JsonValue::num(config.queue_frac)),
+        ("scan_frac", JsonValue::num(config.scan_frac)),
+        ("scan_span", JsonValue::u64(config.scan_span)),
         ("structures", JsonValue::u64(config.structures as u64)),
         ("seed", JsonValue::u64(config.seed)),
     ])
@@ -417,6 +427,17 @@ impl Worker<'_> {
                 format!("ENQ q{queue} {}", self.rng.gen_range(0..1_000_000u64))
             } else {
                 format!("DEQ q{queue}")
+            };
+            classify(&self.client.roundtrip(&line)?)
+        } else if pick < config.multi_frac + config.inc_frac + config.queue_frac + config.scan_frac
+        {
+            let omap = self.rng.gen_range(0..config.structures as u64);
+            let key = self.draw_key();
+            let line = if self.rng.gen::<f64>() < 0.25 {
+                // Seed the ordered maps so scans have something to read.
+                format!("OPUT o{omap} {key} {}", self.rng.gen_range(0..1_000_000u64))
+            } else {
+                format!("SCAN o{omap} {key} {}", key.saturating_add(config.scan_span.max(1)))
             };
             classify(&self.client.roundtrip(&line)?)
         } else {

@@ -13,7 +13,8 @@ usage: proust-loadgen --addr HOST:PORT [--threads N] [--secs S]
                       [--mode closed|open] [--rate RPS]
                       [--keys N] [--dist uniform|zipfian] [--theta T]
                       [--read-frac F] [--multi-frac F] [--multi-size N]
-                      [--inc-frac F] [--queue-frac F] [--structures N]
+                      [--inc-frac F] [--queue-frac F] [--scan-frac F]
+                      [--scan-span N] [--structures N]
                       [--seed N] [--json FILE] [--no-check] [--shutdown]
                       [--quiet] [--metrics-addr HOST:PORT]";
 
@@ -42,6 +43,8 @@ fn config_from_args() -> (LoadConfig, Option<String>) {
             "--multi-size" => config.multi_size = args.parsed("--multi-size"),
             "--inc-frac" => config.inc_frac = args.parsed("--inc-frac"),
             "--queue-frac" => config.queue_frac = args.parsed("--queue-frac"),
+            "--scan-frac" => config.scan_frac = args.parsed("--scan-frac"),
+            "--scan-span" => config.scan_span = args.parsed("--scan-span"),
             "--structures" => config.structures = args.parsed("--structures"),
             "--seed" => config.seed = args.parsed("--seed"),
             "--json" => json_path = Some(args.value("--json")),

@@ -23,6 +23,8 @@ fn load_config(addr: String) -> LoadConfig {
         multi_size: 4,
         inc_frac: 0.2,
         queue_frac: 0.1,
+        scan_frac: 0.1,
+        scan_span: 16,
         structures: 2,
         seed: 42,
         check_counters: true,
@@ -77,6 +79,10 @@ fn exercise(server_config: ServerConfig) {
     assert!(
         stats.get("op_p99_ns").and_then(|o| o.get("get")).and_then(|v| v.as_u64()).unwrap() > 0,
         "{label}: per-op latency never recorded"
+    );
+    assert!(
+        stats.get("op_p99_ns").and_then(|o| o.get("scan")).and_then(|v| v.as_u64()).unwrap() > 0,
+        "{label}: SCAN mix never exercised"
     );
 
     // The Prometheus endpoint was scraped before and after: the commit

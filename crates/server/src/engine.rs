@@ -1,7 +1,8 @@
 //! The transactional execution engine behind the wire protocol.
 //!
-//! One [`Engine`] owns one STM runtime plus three lazily-populated
-//! registries (maps, counters, FIFO queues — separate namespaces). Every
+//! One [`Engine`] owns one STM runtime plus four lazily-populated
+//! registries (maps, counters, FIFO queues, ordered maps — separate
+//! namespaces). Every
 //! request executes inside a Proust transaction; pipelined requests are
 //! *commit-batched*: up to `max_batch` parsed requests run as a single
 //! transaction attempt, and if that batch aborts past a small patience
@@ -17,8 +18,10 @@ use proust_baselines::{BoostedMap, CoarseMap, PredMap, StmHashMap};
 use proust_bench::args::{LapChoice, UpdateChoice};
 use proust_bench::report::{abort_causes_json, histogram_json};
 use proust_core::op_site;
-use proust_core::structures::{EagerMap, FifoState, ProustCounter, ProustFifo, SnapTrieMap};
-use proust_core::{OptimisticLap, PessimisticLap, TxMap};
+use proust_core::structures::{
+    EagerMap, FifoState, OrderedMap, ProustCounter, ProustFifo, SnapTrieMap,
+};
+use proust_core::{OptimisticLap, PessimisticLap, TxMap, ORDERED_STRIPES};
 use proust_stm::obs::{Histogram, JsonValue, PromWriter, Tracer, SHARED_NS_BUCKET_BOUNDS};
 use proust_stm::{ConflictDetection, Stm, StmConfig, TxError, TxResult, Txn};
 
@@ -96,6 +99,14 @@ pub enum Op {
     QueueEnq(Arc<ProustFifo<u64>>, u64),
     /// Queue dequeue.
     QueueDeq(Arc<ProustFifo<u64>>),
+    /// Ordered-map lookup.
+    OrdGet(Arc<OrderedMap<u64>>, u64),
+    /// Ordered-map insert/overwrite.
+    OrdPut(Arc<OrderedMap<u64>>, u64, u64),
+    /// Ordered-map remove.
+    OrdDel(Arc<OrderedMap<u64>>, u64),
+    /// Ordered-map range scan over `[lo, hi)`.
+    OrdScan(Arc<OrderedMap<u64>>, u64, u64),
 }
 
 impl Op {
@@ -110,6 +121,10 @@ impl Op {
             Op::CounterInc(..) => "inc",
             Op::QueueEnq(..) => "enq",
             Op::QueueDeq(..) => "deq",
+            Op::OrdGet(..) => "oget",
+            Op::OrdPut(..) => "oput",
+            Op::OrdDel(..) => "odel",
+            Op::OrdScan(..) => "scan",
         }
     }
 
@@ -122,12 +137,17 @@ impl Op {
             Op::CounterInc(..) => 4,
             Op::QueueEnq(..) => 5,
             Op::QueueDeq(..) => 6,
+            Op::OrdGet(..) => 7,
+            Op::OrdPut(..) => 8,
+            Op::OrdDel(..) => 9,
+            Op::OrdScan(..) => 10,
         }
     }
 }
 
 /// Per-op histogram labels, in [`Op::index`] order.
-const OP_NAMES: [&str; 7] = ["get", "put", "del", "cget", "inc", "enq", "deq"];
+const OP_NAMES: [&str; 11] =
+    ["get", "put", "del", "cget", "inc", "enq", "deq", "oget", "oput", "odel", "scan"];
 
 impl std::fmt::Debug for Op {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -139,6 +159,10 @@ impl std::fmt::Debug for Op {
             Op::CounterInc(..) => "CounterInc",
             Op::QueueEnq(..) => "QueueEnq",
             Op::QueueDeq(..) => "QueueDeq",
+            Op::OrdGet(..) => "OrdGet",
+            Op::OrdPut(..) => "OrdPut",
+            Op::OrdDel(..) => "OrdDel",
+            Op::OrdScan(..) => "OrdScan",
         };
         f.write_str(name)
     }
@@ -164,6 +188,7 @@ pub struct Engine {
     maps: Mutex<HashMap<String, Arc<dyn TxMap<u64, u64>>>>,
     counters: Mutex<HashMap<String, Arc<ProustCounter>>>,
     queues: Mutex<HashMap<String, Arc<ProustFifo<u64>>>>,
+    omaps: Mutex<HashMap<String, Arc<OrderedMap<u64>>>>,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
     busy: AtomicU64,
@@ -178,7 +203,7 @@ pub struct Engine {
     /// Server-side request service latency (parse to response), ns.
     pub latency: Histogram,
     /// Same latency, broken out per op (indexed by [`Op::index`]).
-    op_latency: [Histogram; 7],
+    op_latency: [Histogram; 11],
 }
 
 impl std::fmt::Debug for Engine {
@@ -230,6 +255,7 @@ impl Engine {
             maps: Mutex::new(HashMap::new()),
             counters: Mutex::new(HashMap::new()),
             queues: Mutex::new(HashMap::new()),
+            omaps: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             busy: AtomicU64::new(0),
@@ -366,6 +392,21 @@ impl Engine {
         }
     }
 
+    fn build_omap(&self) -> Arc<OrderedMap<u64>> {
+        // Ordered maps are always Proustian — no baseline implements
+        // range scans — and always lazy (the wrapper replays a persistent
+        // treap); only the lock-allocator axis applies. The LAP keys are
+        // the stripe slots themselves, so the slot function is identity.
+        match self.lap {
+            LapChoice::Optimistic => Arc::new(OrderedMap::new(Arc::new(
+                OptimisticLap::with_slot_fn(ORDERED_STRIPES, |slot: &usize| *slot),
+            ))),
+            LapChoice::Pessimistic => {
+                Arc::new(OrderedMap::new(Arc::new(PessimisticLap::new(ORDERED_STRIPES))))
+            }
+        }
+    }
+
     fn map_for(&self, name: &str) -> Result<Arc<dyn TxMap<u64, u64>>, String> {
         let mut maps = self.maps.lock().expect("maps registry poisoned");
         if let Some(map) = maps.get(name) {
@@ -405,6 +446,19 @@ impl Engine {
         Ok(queue)
     }
 
+    fn omap_for(&self, name: &str) -> Result<Arc<OrderedMap<u64>>, String> {
+        let mut omaps = self.omaps.lock().expect("omaps registry poisoned");
+        if let Some(omap) = omaps.get(name) {
+            return Ok(Arc::clone(omap));
+        }
+        if omaps.len() >= MAX_STRUCTURES {
+            return Err("too many ordered maps".to_string());
+        }
+        let omap = self.build_omap();
+        omaps.insert(name.to_string(), Arc::clone(&omap));
+        Ok(omap)
+    }
+
     /// Resolve a parsed command against the registries (creating the named
     /// structure on first use).
     ///
@@ -420,6 +474,10 @@ impl Engine {
             Cmd::CounterInc { name, delta } => Op::CounterInc(self.counter_for(name)?, *delta),
             Cmd::QueueEnq { name, value } => Op::QueueEnq(self.queue_for(name)?, *value),
             Cmd::QueueDeq { name } => Op::QueueDeq(self.queue_for(name)?),
+            Cmd::OrdGet { name, key } => Op::OrdGet(self.omap_for(name)?, *key),
+            Cmd::OrdPut { name, key, value } => Op::OrdPut(self.omap_for(name)?, *key, *value),
+            Cmd::OrdDel { name, key } => Op::OrdDel(self.omap_for(name)?, *key),
+            Cmd::OrdScan { name, lo, hi } => Op::OrdScan(self.omap_for(name)?, *lo, *hi),
         })
     }
 
@@ -800,6 +858,36 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
                 None => "NIL".to_string(),
             })
         }
+        Op::OrdGet(omap, key) => {
+            op_site!(tx, "server.oget");
+            Ok(match omap.get(tx, key)? {
+                Some(value) => format!("VALUE {value}"),
+                None => "NIL".to_string(),
+            })
+        }
+        Op::OrdPut(omap, key, value) => {
+            op_site!(tx, "server.oput");
+            omap.put(tx, *key, *value)?;
+            Ok("OK".to_string())
+        }
+        Op::OrdDel(omap, key) => {
+            op_site!(tx, "server.odel");
+            Ok(match omap.remove(tx, key)? {
+                Some(old) => format!("VALUE {old}"),
+                None => "NIL".to_string(),
+            })
+        }
+        Op::OrdScan(omap, lo, hi) => {
+            op_site!(tx, "server.scan");
+            let entries = omap.scan(tx, *lo, *hi)?;
+            // One line, `VALUE <count> k=v ...` — the VALUE prefix keeps
+            // scans in the loadgen's committed classification.
+            let mut line = format!("VALUE {}", entries.len());
+            for (key, value) in entries {
+                line.push_str(&format!(" {key}={value}"));
+            }
+            Ok(line)
+        }
     }
 }
 
@@ -843,13 +931,48 @@ mod tests {
     #[test]
     fn namespaces_are_disjoint() {
         let engine = engine();
-        // Same name, three kinds, no interference.
+        // Same name, four kinds, no interference.
         assert_eq!(single(&engine, "PUT x 1 5"), "OK");
         assert_eq!(single(&engine, "INC x"), "OK");
         assert_eq!(single(&engine, "ENQ x 9"), "OK");
+        assert_eq!(single(&engine, "OPUT x 1 7"), "OK");
         assert_eq!(single(&engine, "GET x 1"), "VALUE 5");
         assert_eq!(single(&engine, "GET x"), "VALUE 1");
         assert_eq!(single(&engine, "DEQ x"), "VALUE 9");
+        assert_eq!(single(&engine, "OGET x 1"), "VALUE 7");
+    }
+
+    #[test]
+    fn ordered_map_round_trip_and_scan() {
+        let engine = engine();
+        assert_eq!(single(&engine, "OGET o 5"), "NIL");
+        assert_eq!(single(&engine, "OPUT o 5 50"), "OK");
+        assert_eq!(single(&engine, "OPUT o 2 20"), "OK");
+        assert_eq!(single(&engine, "OPUT o 9 90"), "OK");
+        assert_eq!(single(&engine, "OGET o 5"), "VALUE 50");
+        // Scans are half-open, in key order, one line.
+        assert_eq!(single(&engine, "SCAN o 0 10"), "VALUE 3 2=20 5=50 9=90");
+        assert_eq!(single(&engine, "SCAN o 2 9"), "VALUE 2 2=20 5=50");
+        assert_eq!(single(&engine, "SCAN o 3 3"), "VALUE 0");
+        assert_eq!(single(&engine, "ODEL o 5"), "VALUE 50");
+        assert_eq!(single(&engine, "SCAN o 0 10"), "VALUE 2 2=20 9=90");
+        assert_eq!(single(&engine, "ODEL o 5"), "NIL");
+    }
+
+    #[test]
+    fn ordered_map_is_proustian_under_every_config() {
+        // No baseline implements range scans; the ordered namespace must
+        // keep serving them even when `--baseline` swaps the hash maps.
+        let mut configs = Vec::new();
+        for lap in LapChoice::ALL {
+            configs.push(ServerConfig { lap, ..ServerConfig::default() });
+        }
+        configs.push(ServerConfig { baseline: Some(Baseline::Coarse), ..ServerConfig::default() });
+        for config in configs {
+            let engine = Engine::new(&config);
+            assert_eq!(single(&engine, "OPUT o 1 11"), "OK");
+            assert_eq!(single(&engine, "SCAN o 0 64"), "VALUE 1 1=11");
+        }
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! A networked transactional data-structure server: clients speak a small
 //! line-oriented TCP protocol ([`proto`]) against named maps, counters,
-//! and FIFO queues, and every request — single op or `MULTI … EXEC`
-//! batch — executes as one Proust transaction ([`engine`]).
+//! FIFO queues, and ordered maps (point ops plus `SCAN` range scans), and
+//! every request — single op or `MULTI … EXEC` batch — executes as one
+//! Proust transaction ([`engine`]).
 //!
 //! Architecture:
 //!
@@ -604,6 +605,30 @@ mod tests {
         assert_eq!(client.recv(), "VALUE 20");
         assert_eq!(client.recv(), "NIL");
         assert_eq!(client.roundtrip("QUIT"), "OK");
+        assert!(handle.shutdown());
+    }
+
+    #[test]
+    fn scan_round_trip_over_the_wire() {
+        let handle = Server::start(ServerConfig::default()).expect("start");
+        let mut client = Client::connect(handle.addr());
+        assert_eq!(client.roundtrip("OPUT o 5 50"), "OK");
+        assert_eq!(client.roundtrip("OPUT o 2 20"), "OK");
+        assert_eq!(client.roundtrip("OGET o 5"), "VALUE 50");
+        assert_eq!(client.roundtrip("SCAN o 0 10"), "VALUE 2 2=20 5=50");
+        assert_eq!(client.roundtrip("SCAN o 3 3"), "VALUE 0");
+        assert_eq!(client.roundtrip("SCAN o 9 3"), "ERR reversed scan bounds 9 > 3");
+        assert_eq!(client.roundtrip("ODEL o 2"), "VALUE 20");
+        // SCAN inside MULTI: the scan and the put that would invalidate
+        // it run in one atomic unit, so the scan sees the pre-put state.
+        assert_eq!(client.roundtrip("MULTI"), "OK");
+        assert_eq!(client.roundtrip("SCAN o 0 10"), "QUEUED");
+        assert_eq!(client.roundtrip("OPUT o 7 70"), "QUEUED");
+        assert_eq!(client.roundtrip("SCAN o 0 10"), "QUEUED");
+        assert_eq!(client.roundtrip("EXEC"), "RESULTS 3");
+        assert_eq!(client.recv(), "VALUE 1 5=50");
+        assert_eq!(client.recv(), "OK");
+        assert_eq!(client.recv(), "VALUE 2 5=50 7=70");
         assert!(handle.shutdown());
     }
 

@@ -13,6 +13,10 @@
 //! INC  name [delta]         -> OK                     (counter += delta, default 1)
 //! ENQ  name value           -> OK                     (queue enqueue)
 //! DEQ  name                 -> VALUE v | NIL          (queue dequeue)
+//! OPUT name key value       -> OK                     (ordered-map insert)
+//! OGET name key             -> VALUE v | NIL          (ordered-map lookup)
+//! ODEL name key             -> VALUE old | NIL        (ordered-map remove)
+//! SCAN name lo hi           -> VALUE n k=v ...        (entries of [lo, hi))
 //! MULTI                     -> OK                     (open a batch)
 //!   <data command>          -> QUEUED                 (repeated)
 //! EXEC                      -> RESULTS n, then n response lines
@@ -28,8 +32,10 @@
 //! Malformed input earns `ERR <reason>`; a request whose transaction
 //! exhausts its retry budget (only possible under `--exhaustion giveup`)
 //! earns `BUSY`, which is accounted separately from protocol errors.
-//! Maps, counters, and queues live in separate namespaces, so a name
-//! never changes kind.
+//! Maps, counters, queues, and ordered maps live in separate namespaces,
+//! so a name never changes kind. `SCAN` ranges are half-open; reversed
+//! bounds (`lo > hi`) are rejected at parse time, mirroring the wrapper's
+//! own abort.
 
 /// Maximum accepted structure-name length, in bytes.
 pub const MAX_NAME: usize = 64;
@@ -85,6 +91,38 @@ pub enum Cmd {
         /// Queue name.
         name: String,
     },
+    /// `OPUT name key value` — ordered-map insert/overwrite.
+    OrdPut {
+        /// Ordered-map name.
+        name: String,
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// `OGET name key` — ordered-map lookup.
+    OrdGet {
+        /// Ordered-map name.
+        name: String,
+        /// Key.
+        key: u64,
+    },
+    /// `ODEL name key` — ordered-map remove.
+    OrdDel {
+        /// Ordered-map name.
+        name: String,
+        /// Key.
+        key: u64,
+    },
+    /// `SCAN name lo hi` — ordered-map range scan over `[lo, hi)`.
+    OrdScan {
+        /// Ordered-map name.
+        name: String,
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Exclusive upper bound (`lo <= hi` enforced at parse time).
+        hi: u64,
+    },
 }
 
 /// Largest accepted `INC` delta; increments replay the counter's unit
@@ -102,6 +140,10 @@ impl Cmd {
             Cmd::CounterInc { .. } => "inc",
             Cmd::QueueEnq { .. } => "enq",
             Cmd::QueueDeq { .. } => "deq",
+            Cmd::OrdPut { .. } => "oput",
+            Cmd::OrdGet { .. } => "oget",
+            Cmd::OrdDel { .. } => "odel",
+            Cmd::OrdScan { .. } => "scan",
         }
     }
 }
@@ -231,6 +273,35 @@ pub fn parse_line(line: &str) -> Result<Line, String> {
             end(tokens, verb)?;
             Line::Data(Cmd::QueueDeq { name })
         }
+        "OPUT" => {
+            let name = name_token(tokens.next(), verb)?;
+            let key = num_token(tokens.next(), "key")?;
+            let value = num_token(tokens.next(), "value")?;
+            end(tokens, verb)?;
+            Line::Data(Cmd::OrdPut { name, key, value })
+        }
+        "OGET" => {
+            let name = name_token(tokens.next(), verb)?;
+            let key = num_token(tokens.next(), "key")?;
+            end(tokens, verb)?;
+            Line::Data(Cmd::OrdGet { name, key })
+        }
+        "ODEL" => {
+            let name = name_token(tokens.next(), verb)?;
+            let key = num_token(tokens.next(), "key")?;
+            end(tokens, verb)?;
+            Line::Data(Cmd::OrdDel { name, key })
+        }
+        "SCAN" => {
+            let name = name_token(tokens.next(), verb)?;
+            let lo = num_token(tokens.next(), "lo")?;
+            let hi = num_token(tokens.next(), "hi")?;
+            end(tokens, verb)?;
+            if lo > hi {
+                return Err(format!("reversed scan bounds {lo} > {hi}"));
+            }
+            Line::Data(Cmd::OrdScan { name, lo, hi })
+        }
         "MULTI" => {
             end(tokens, verb)?;
             Line::Multi
@@ -313,6 +384,26 @@ mod tests {
             Line::Data(Cmd::QueueEnq { name: "q".into(), value: 9 })
         );
         assert_eq!(parse_line("DEQ q").unwrap(), Line::Data(Cmd::QueueDeq { name: "q".into() }));
+        assert_eq!(
+            parse_line("OPUT o 3 30").unwrap(),
+            Line::Data(Cmd::OrdPut { name: "o".into(), key: 3, value: 30 })
+        );
+        assert_eq!(
+            parse_line("OGET o 3").unwrap(),
+            Line::Data(Cmd::OrdGet { name: "o".into(), key: 3 })
+        );
+        assert_eq!(
+            parse_line("ODEL o 3").unwrap(),
+            Line::Data(Cmd::OrdDel { name: "o".into(), key: 3 })
+        );
+        assert_eq!(
+            parse_line("SCAN o 0 10").unwrap(),
+            Line::Data(Cmd::OrdScan { name: "o".into(), lo: 0, hi: 10 })
+        );
+        assert_eq!(
+            parse_line("SCAN o 4 4").unwrap(),
+            Line::Data(Cmd::OrdScan { name: "o".into(), lo: 4, hi: 4 })
+        );
         assert_eq!(parse_line("MULTI").unwrap(), Line::Multi);
         assert_eq!(parse_line("EXEC").unwrap(), Line::Exec);
         assert_eq!(parse_line("DISCARD").unwrap(), Line::Discard);
@@ -343,6 +434,12 @@ mod tests {
             "TRACE FROB",
             "TRACE START x",
             "TRACE DUMP extra",
+            "OPUT o 1",
+            "OGET o",
+            "ODEL o x",
+            "SCAN o 1",
+            "SCAN o 9 3",
+            "SCAN o 1 2 3",
         ] {
             assert!(parse_line(bad).is_err(), "{bad:?} should be rejected");
         }
@@ -352,5 +449,6 @@ mod tests {
     fn op_names_are_stable() {
         assert_eq!(Cmd::MapGet { name: "m".into(), key: 0 }.op_name(), "get");
         assert_eq!(Cmd::CounterInc { name: "c".into(), delta: 1 }.op_name(), "inc");
+        assert_eq!(Cmd::OrdScan { name: "o".into(), lo: 0, hi: 4 }.op_name(), "scan");
     }
 }

@@ -192,16 +192,10 @@ pub fn build_frame(prev: &[PromSample], cur: &[PromSample], dt_s: f64, top_k: us
 
     // (aborter, victim) pairs ranked by ns lost. The two site labels are
     // folded into one display key before ranking.
-    let keyed: Vec<PromSample> = cur
-        .iter()
-        .filter(|s| s.name == "proust_contention_ns_total")
-        .map(pair_keyed)
-        .collect();
-    let keyed_prev: Vec<PromSample> = prev
-        .iter()
-        .filter(|s| s.name == "proust_contention_ns_total")
-        .map(pair_keyed)
-        .collect();
+    let keyed: Vec<PromSample> =
+        cur.iter().filter(|s| s.name == "proust_contention_ns_total").map(pair_keyed).collect();
+    let keyed_prev: Vec<PromSample> =
+        prev.iter().filter(|s| s.name == "proust_contention_ns_total").map(pair_keyed).collect();
     let mut top_pairs = label_deltas(&keyed_prev, &keyed, "proust_contention_ns_total", "pair");
     top_pairs.truncate(top_k);
     for entry in &mut top_pairs {

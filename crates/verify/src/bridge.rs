@@ -27,20 +27,27 @@
 //!   committed-value observer, not a serialized operation.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use proust_core::structures::{
     counter_access, fifo_requests, pqueue_contains_requests, pqueue_insert_requests,
     pqueue_min_requests, pqueue_remove_min_requests, CounterOpKind, FifoOpKind, FifoState,
     PQueueState, COUNTER_THRESHOLD,
 };
-use proust_core::{keyed_request, requests_to_access_set, AccessSet, KeyedOpKind, LockRequest};
+use proust_core::{
+    keyed_request, ordered_point_request, ordered_scan_requests, requests_to_access_set, AccessSet,
+    KeyedOpKind, LockRequest,
+};
 
 use crate::checker::{check_conflict_abstraction, false_conflict_rate, Access, CheckResult};
-use crate::encode::{check_counter_by_sat, check_striped_map_by_sat, SatVerdict};
-use crate::model::{
-    AdtModel, CounterModel, CounterOp, FifoModel, FifoModelOp, MapModel, MapModelOp, PQueueModel,
-    PQueueModelOp, Restricted,
+use crate::encode::{
+    check_counter_by_sat, check_model_by_sat, check_striped_map_by_sat, SatVerdict,
 };
+use crate::model::{
+    AdtModel, CounterModel, CounterOp, FifoModel, FifoModelOp, MapModel, MapModelOp,
+    OrderedMapModel, OrderedMapOp, PQueueModel, PQueueModelOp, Restricted,
+};
+use crate::symbolic::{check_ordered_map, SymFaults, SymbolicVerdict};
 
 // ---------------------------------------------------------------------
 // Twin-type conversions
@@ -75,11 +82,24 @@ pub struct FaultInjection {
     /// Classify keyed-map updates (`put`/`remove`) as read-only queries —
     /// the classic mislabeling bug Definition 3.1 exists to catch.
     pub mislabel_striped_update: bool,
+    /// Weaken the ordered map's `scan(lo, hi)` to read only `lo`'s stripe
+    /// instead of the whole range — the symbolic pass must refute it with
+    /// an interior-key witness (`lo < k < hi`).
+    pub weaken_range_scan: bool,
+    /// Drop the scan's lower-boundary stripe (treat `[lo, hi)` as the
+    /// open-open `(lo, hi)`) — the subtler off-by-one the symbolic pass
+    /// must refute with a `k == lo` boundary witness.
+    pub drop_boundary_conflict: bool,
 }
 
 impl Default for FaultInjection {
     fn default() -> Self {
-        FaultInjection { counter_threshold: COUNTER_THRESHOLD, mislabel_striped_update: false }
+        FaultInjection {
+            counter_threshold: COUNTER_THRESHOLD,
+            mislabel_striped_update: false,
+            weaken_range_scan: false,
+            drop_boundary_conflict: false,
+        }
     }
 }
 
@@ -113,10 +133,23 @@ pub struct StructureVerdict {
     /// Total commuting pairs in the bounded space.
     pub commuting_pairs: usize,
     /// Verdict of the Appendix E SAT cross-check, where an encoding
-    /// exists (counter and striped-key map).
+    /// exists (counter, striped-key map, and the ordered map).
     pub sat_sound: Option<bool>,
     /// Witness from the SAT cross-check, when it refuted soundness.
     pub sat_witness: Option<String>,
+    /// Verdict of the symbolic interval pass over the **unbounded** key
+    /// domain, where the abstraction has an interval encoding (the
+    /// ordered map).
+    pub symbolic_sound: Option<bool>,
+    /// Concrete counterexample keys/ranges from the symbolic pass, when
+    /// it refuted soundness.
+    pub symbolic_witness: Option<String>,
+    /// Wall time of the exhaustive pass, in nanoseconds.
+    pub exhaustive_ns: u64,
+    /// Wall time of the SAT pass, in nanoseconds (0 when not run).
+    pub sat_ns: u64,
+    /// Wall time of the symbolic pass, in nanoseconds (0 when not run).
+    pub symbolic_ns: u64,
 }
 
 impl StructureVerdict {
@@ -132,10 +165,34 @@ impl StructureVerdict {
         }
     }
 
-    /// Whether exhaustive and SAT verdicts disagree (a checker bug, not an
+    /// Whether any two passes disagree on soundness (a checker bug, not an
     /// abstraction bug — surfaced loudly by `cargo xtask analyze`).
     pub fn checkers_disagree(&self) -> bool {
         self.sat_sound.is_some_and(|sat| sat != self.sound)
+            || self.symbolic_sound.is_some_and(|sym| sym != self.sound)
+    }
+
+    /// Which pass decided the verdict: the exhaustive pass when it found
+    /// the violation, otherwise the *strongest* certifying pass that ran
+    /// (symbolic proves the unbounded domain, SAT proves all stripe
+    /// counts, exhaustive only the bounded space).
+    pub fn decided_by(&self) -> &'static str {
+        if !self.sound {
+            return "exhaustive";
+        }
+        if self.symbolic_sound == Some(false) {
+            return "symbolic"; // disagreement: the refutation wins
+        }
+        if self.sat_sound == Some(false) {
+            return "sat";
+        }
+        if self.symbolic_sound == Some(true) {
+            return "symbolic";
+        }
+        if self.sat_sound == Some(true) {
+            return "sat";
+        }
+        "exhaustive"
     }
 }
 
@@ -146,10 +203,12 @@ fn verdict<M: AdtModel>(
     ca: impl Fn(&M::Op, &M::State) -> Access,
 ) -> StructureVerdict {
     let (false_conflicts, commuting_pairs) = false_conflict_rate(model, &ca);
+    let start = Instant::now();
     let (sound, pairs_checked, counterexample) = match check_conflict_abstraction(model, &ca) {
         CheckResult::Correct { pairs_checked } => (true, pairs_checked, None),
         CheckResult::Unsound(cex) => (false, 0, Some(cex.to_string())),
     };
+    let exhaustive_ns = start.elapsed().as_nanos() as u64;
     StructureVerdict {
         name,
         abstraction,
@@ -160,10 +219,18 @@ fn verdict<M: AdtModel>(
         commuting_pairs,
         sat_sound: None,
         sat_witness: None,
+        symbolic_sound: None,
+        symbolic_witness: None,
+        exhaustive_ns,
+        sat_ns: 0,
+        symbolic_ns: 0,
     }
 }
 
-fn attach_sat(verdict: &mut StructureVerdict, sat: SatVerdict) {
+fn attach_sat(verdict: &mut StructureVerdict, run: impl FnOnce() -> SatVerdict) {
+    let start = Instant::now();
+    let sat = run();
+    verdict.sat_ns = start.elapsed().as_nanos() as u64;
     match sat {
         SatVerdict::Sound => verdict.sat_sound = Some(true),
         SatVerdict::Counterexample(witness) => {
@@ -171,6 +238,14 @@ fn attach_sat(verdict: &mut StructureVerdict, sat: SatVerdict) {
             verdict.sat_witness = Some(witness.to_string());
         }
     }
+}
+
+fn attach_symbolic(verdict: &mut StructureVerdict, run: impl FnOnce() -> SymbolicVerdict) {
+    let start = Instant::now();
+    let symbolic = run();
+    verdict.symbolic_ns = start.elapsed().as_nanos() as u64;
+    verdict.symbolic_sound = Some(symbolic.sound);
+    verdict.symbolic_witness = symbolic.witness.map(|w| w.to_string());
 }
 
 // ---------------------------------------------------------------------
@@ -259,6 +334,43 @@ fn pqueue_slot(state: &PQueueState) -> usize {
     }
 }
 
+/// The live ordered-map classification ([`ordered_point_request`] +
+/// [`ordered_scan_requests`]): point ops touch their key's stripe, scans
+/// read every stripe their range covers. The two fault flags weaken the
+/// *scan* side only, in the bridge — the shipped request builders are
+/// never altered: `weaken` reads only `lo`'s stripe, `drop_boundary`
+/// treats `[lo, hi)` as the open-open `(lo, hi)`.
+pub fn live_ordered_map_ca(
+    weaken: bool,
+    drop_boundary: bool,
+) -> impl Fn(&OrderedMapOp, &BTreeMap<u8, u8>) -> Access {
+    move |op, _state| {
+        let requests: Vec<LockRequest<usize>> = match op {
+            OrderedMapOp::Get(k) => vec![ordered_point_request(u64::from(*k), KeyedOpKind::Get)],
+            OrderedMapOp::Contains(k) => {
+                vec![ordered_point_request(u64::from(*k), KeyedOpKind::Contains)]
+            }
+            OrderedMapOp::Put(k, _) => {
+                vec![ordered_point_request(u64::from(*k), KeyedOpKind::Put)]
+            }
+            OrderedMapOp::Del(k) => {
+                vec![ordered_point_request(u64::from(*k), KeyedOpKind::Remove)]
+            }
+            OrderedMapOp::Scan(lo, hi) => {
+                let (lo, hi) = (u64::from(*lo), u64::from(*hi));
+                if weaken {
+                    vec![ordered_point_request(lo, KeyedOpKind::Get)]
+                } else if drop_boundary {
+                    ordered_scan_requests(lo.saturating_add(1), hi)
+                } else {
+                    ordered_scan_requests(lo, hi)
+                }
+            }
+        };
+        requests_to_access_set(&requests, |&slot| slot).into()
+    }
+}
+
 // ---------------------------------------------------------------------
 // The analysis entry point
 // ---------------------------------------------------------------------
@@ -287,7 +399,8 @@ pub fn analyze_all(faults: &FaultInjection) -> Vec<StructureVerdict> {
         live_counter_ca(faults.counter_threshold),
     );
     if faults.counter_threshold >= 0 {
-        attach_sat(&mut v, check_counter_by_sat(faults.counter_threshold as u64, 6));
+        let threshold = faults.counter_threshold as u64;
+        attach_sat(&mut v, || check_counter_by_sat(threshold, 6));
     }
     verdicts.push(v);
 
@@ -308,9 +421,33 @@ pub fn analyze_all(faults: &FaultInjection) -> Vec<StructureVerdict> {
             model,
             live_keyed_map_ca(MAP_STRIPES, faults.mislabel_striped_update),
         );
-        attach_sat(&mut v, check_striped_map_by_sat(8, 3, !faults.mislabel_striped_update));
+        attach_sat(&mut v, || check_striped_map_by_sat(8, 3, !faults.mislabel_striped_update));
         verdicts.push(v);
     }
+
+    // Ordered map — all three passes: exhaustive on the bounded model,
+    // the generic Appendix E encoding on a smaller bound, and the
+    // symbolic interval pass over the unbounded key domain.
+    let ordered = OrderedMapModel { keys: 4, values: 2 };
+    let mut v = verdict(
+        "ordered-map",
+        "range-stripe",
+        &ordered,
+        live_ordered_map_ca(faults.weaken_range_scan, faults.drop_boundary_conflict),
+    );
+    attach_sat(&mut v, || {
+        check_model_by_sat(
+            &OrderedMapModel { keys: 3, values: 1 },
+            live_ordered_map_ca(faults.weaken_range_scan, faults.drop_boundary_conflict),
+        )
+    });
+    attach_symbolic(&mut v, || {
+        check_ordered_map(SymFaults {
+            weaken_range_scan: faults.weaken_range_scan,
+            drop_boundary_conflict: faults.drop_boundary_conflict,
+        })
+    });
+    verdicts.push(v);
 
     // FIFO — Head/Tail request lists; `size()` excluded (no locks).
     let fifo = Restricted::new(FifoModel { values: 2, capacity: 3 }, |op| {
@@ -335,13 +472,58 @@ mod tests {
     #[test]
     fn shipped_abstractions_are_all_sound() {
         let verdicts = analyze_all(&FaultInjection::none());
-        assert_eq!(verdicts.len(), 8);
+        assert_eq!(verdicts.len(), 9);
         for v in &verdicts {
             assert!(v.sound, "{} must be sound: {:?}", v.name, v.counterexample);
-            assert!(!v.checkers_disagree(), "{}: SAT and exhaustive disagree", v.name);
+            assert!(!v.checkers_disagree(), "{}: passes disagree", v.name);
             assert!(v.pairs_checked > 0, "{} checked nothing", v.name);
+            assert!(v.exhaustive_ns > 0, "{} reported no exhaustive wall time", v.name);
             let rate = v.false_conflict_rate();
             assert!((0.0..=1.0).contains(&rate), "{}: rate {rate} out of range", v.name);
+        }
+    }
+
+    #[test]
+    fn ordered_map_is_certified_by_the_symbolic_pass() {
+        let verdicts = analyze_all(&FaultInjection::none());
+        let ordered = verdicts.iter().find(|v| v.name == "ordered-map").unwrap();
+        assert!(ordered.sound);
+        assert_eq!(ordered.sat_sound, Some(true), "SAT must agree on the bounded domain");
+        assert_eq!(ordered.symbolic_sound, Some(true), "unbounded certification");
+        assert!(ordered.symbolic_witness.is_none());
+        assert_eq!(ordered.decided_by(), "symbolic");
+        assert!(ordered.symbolic_ns > 0 && ordered.sat_ns > 0);
+    }
+
+    #[test]
+    fn weakened_range_scan_is_refuted_by_every_pass_with_a_witness() {
+        let verdicts =
+            analyze_all(&FaultInjection { weaken_range_scan: true, ..FaultInjection::none() });
+        let ordered = verdicts.iter().find(|v| v.name == "ordered-map").unwrap();
+        assert!(!ordered.sound);
+        assert!(ordered.counterexample.as_deref().unwrap().contains("Scan"));
+        assert_eq!(ordered.sat_sound, Some(false));
+        assert_eq!(ordered.symbolic_sound, Some(false));
+        let witness = ordered.symbolic_witness.as_deref().expect("concrete keys");
+        assert!(witness.contains("SCAN"), "witness names the scan: {witness}");
+        assert!(!ordered.checkers_disagree(), "all passes refute together");
+        // Fault injection is targeted: everything else stays sound.
+        for v in verdicts.iter().filter(|v| v.name != "ordered-map") {
+            assert!(v.sound, "{} is unaffected by the scan fault", v.name);
+        }
+    }
+
+    #[test]
+    fn dropped_boundary_conflict_is_refuted_with_a_boundary_witness() {
+        let verdicts =
+            analyze_all(&FaultInjection { drop_boundary_conflict: true, ..FaultInjection::none() });
+        let ordered = verdicts.iter().find(|v| v.name == "ordered-map").unwrap();
+        assert!(!ordered.sound);
+        assert_eq!(ordered.sat_sound, Some(false));
+        assert_eq!(ordered.symbolic_sound, Some(false));
+        assert!(ordered.symbolic_witness.is_some());
+        for v in verdicts.iter().filter(|v| v.name != "ordered-map") {
+            assert!(v.sound, "{} is unaffected by the boundary fault", v.name);
         }
     }
 

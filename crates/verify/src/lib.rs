@@ -15,7 +15,11 @@
 //! * [`encode`] — the Appendix E *reduction to satisfiability*, running on
 //!   a from-scratch DPLL solver ([`sat::solver`]) with Tseitin circuits
 //!   ([`sat::cnf`]) and bit-vector arithmetic ([`sat::bitvec`]).
-//!   UNSAT ⇒ sound (Theorem E.1).
+//!   UNSAT ⇒ sound (Theorem E.1);
+//! * [`symbolic`] — interval-constraint reasoning over the **unbounded**
+//!   ordered key domain, certifying range/point abstractions (the
+//!   ordered map's `scan(lo, hi)` vs `put`/`del`) for *all* keys, with
+//!   concrete counterexample keys/ranges extracted on failure.
 //!
 //! [`synth`] adds the CEGIS-style synthesis loop the paper leaves as
 //! future work: enumerate candidate abstractions cheapest-first and let
@@ -57,6 +61,7 @@ pub mod commute;
 pub mod encode;
 pub mod model;
 pub mod sat;
+pub mod symbolic;
 pub mod synth;
 
 #[cfg(feature = "core-bridge")]
@@ -67,4 +72,7 @@ pub use checker::{
 pub use commute::commutes;
 pub use encode::{check_counter_by_sat, check_model_by_sat, check_striped_map_by_sat, SatVerdict};
 pub use model::{AdtModel, Restricted};
+pub use symbolic::{
+    check_ordered_map, KeyInterval, ReversedBounds, SymFaults, SymbolicVerdict, SymbolicWitness,
+};
 pub use synth::{synthesize_counter_ca, CounterTemplate, Synthesized, TemplateAccess};

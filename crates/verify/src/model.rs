@@ -249,6 +249,107 @@ impl AdtModel for MapModel {
 }
 
 // ---------------------------------------------------------------------
+// Ordered map (range scans)
+// ---------------------------------------------------------------------
+
+/// Operations of a bounded *ordered* map with keys in `0..keys` and
+/// values in `0..values`, including the half-open range scan of
+/// ROADMAP item 5(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderedMapOp {
+    /// `put(key, value)`.
+    Put(u8, u8),
+    /// `get(key)`.
+    Get(u8),
+    /// `del(key)`.
+    Del(u8),
+    /// `contains(key)`.
+    Contains(u8),
+    /// `scan(lo, hi)` — every binding with `lo <= key < hi`, in key
+    /// order. Enumerated only with `lo <= hi` (reversed bounds are
+    /// rejected at construction by the live structure).
+    Scan(u8, u8),
+}
+
+impl OrderedMapOp {
+    /// Whether the operation may update the map.
+    pub fn is_update(&self) -> bool {
+        matches!(self, OrderedMapOp::Put(..) | OrderedMapOp::Del(_))
+    }
+}
+
+/// Return values of the bounded ordered map.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OrderedMapRet {
+    /// Previous/current value, if any.
+    Value(Option<u8>),
+    /// Membership result.
+    Bool(bool),
+    /// Range-scan result: in-range bindings in key order.
+    Entries(Vec<(u8, u8)>),
+}
+
+/// An ordered map over `keys` keys and `values` values, fully
+/// enumerated — the bounded ground truth the symbolic pass
+/// ([`crate::symbolic`]) is cross-validated against.
+///
+/// State-space size is `(values + 1) ^ keys`; keep both small.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderedMapModel {
+    /// Number of distinct keys (`0..keys`; scan bounds range over
+    /// `0..=keys`).
+    pub keys: u8,
+    /// Number of distinct values (`0..values`).
+    pub values: u8,
+}
+
+impl AdtModel for OrderedMapModel {
+    type State = BTreeMap<u8, u8>;
+    type Op = OrderedMapOp;
+    type Ret = OrderedMapRet;
+
+    fn states(&self) -> Vec<BTreeMap<u8, u8>> {
+        MapModel { keys: self.keys, values: self.values }.states()
+    }
+
+    fn ops(&self) -> Vec<OrderedMapOp> {
+        let mut ops = Vec::new();
+        for key in 0..self.keys {
+            ops.push(OrderedMapOp::Get(key));
+            ops.push(OrderedMapOp::Del(key));
+            ops.push(OrderedMapOp::Contains(key));
+            for value in 0..self.values {
+                ops.push(OrderedMapOp::Put(key, value));
+            }
+        }
+        for lo in 0..=self.keys {
+            for hi in lo..=self.keys {
+                ops.push(OrderedMapOp::Scan(lo, hi));
+            }
+        }
+        ops
+    }
+
+    fn apply(
+        &self,
+        state: &BTreeMap<u8, u8>,
+        op: &OrderedMapOp,
+    ) -> (BTreeMap<u8, u8>, OrderedMapRet) {
+        let mut next = state.clone();
+        let ret = match op {
+            OrderedMapOp::Put(k, v) => OrderedMapRet::Value(next.insert(*k, *v)),
+            OrderedMapOp::Get(k) => OrderedMapRet::Value(next.get(k).copied()),
+            OrderedMapOp::Del(k) => OrderedMapRet::Value(next.remove(k)),
+            OrderedMapOp::Contains(k) => OrderedMapRet::Bool(next.contains_key(k)),
+            OrderedMapOp::Scan(lo, hi) => {
+                OrderedMapRet::Entries(next.range(*lo..*hi).map(|(k, v)| (*k, *v)).collect())
+            }
+        };
+        (next, ret)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Priority queue
 // ---------------------------------------------------------------------
 
@@ -508,6 +609,23 @@ mod tests {
         let (next, ret) = m.apply(&BTreeMap::new(), &MapModelOp::Put(0, 1));
         assert_eq!(ret, MapModelRet::Value(None));
         assert_eq!(next.get(&0), Some(&1));
+    }
+
+    #[test]
+    fn ordered_map_scan_returns_in_range_bindings_in_key_order() {
+        let m = OrderedMapModel { keys: 4, values: 2 };
+        assert_eq!(m.states().len(), 81); // (values + 1)^keys
+        let state: BTreeMap<u8, u8> = [(0, 1), (2, 0), (3, 1)].into_iter().collect();
+        let (next, ret) = m.apply(&state, &OrderedMapOp::Scan(0, 3));
+        assert_eq!(ret, OrderedMapRet::Entries(vec![(0, 1), (2, 0)]));
+        assert_eq!(next, state, "scan must not mutate");
+        let (_, empty) = m.apply(&state, &OrderedMapOp::Scan(2, 2));
+        assert_eq!(empty, OrderedMapRet::Entries(Vec::new()), "[k, k) is empty");
+        // The op alphabet only contains ordered scan bounds.
+        assert!(m.ops().iter().all(|op| !matches!(op, OrderedMapOp::Scan(lo, hi) if lo > hi)));
+        let (next, ret) = m.apply(&state, &OrderedMapOp::Del(2));
+        assert_eq!(ret, OrderedMapRet::Value(Some(0)));
+        assert!(!next.contains_key(&2));
     }
 
     #[test]

@@ -1,0 +1,744 @@
+//! Symbolic verification of conflict abstractions over an *unbounded*
+//! ordered key domain — the third `cargo xtask analyze` pass, beside the
+//! bounded exhaustive enumeration ([`crate::checker`]) and the SAT
+//! cross-check ([`crate::sat`]).
+//!
+//! The bounded passes can only certify an abstraction for keys `0..k`.
+//! That is not enough for the ordered map of ROADMAP item 5(b): a
+//! `scan(lo, hi)` must conflict with a `put`/`del` of *any* key inside
+//! `[lo, hi)`, a property quantified over the whole key domain. This
+//! module decides Definition 3.1 soundness symbolically:
+//!
+//! * every operation is a template over symbolic key variables
+//!   ([`SymOp`]): `GET x`, `PUT x`, `SCAN [lo, hi)`, …;
+//! * its declared accesses are sets of [`SymInterval`]s — points,
+//!   half-open ranges, or the full domain ([`SymAccess`]);
+//! * for each ordered pair of op templates, a *may-fail-to-commute*
+//!   predicate over the key variables ([`may_not_commute`]) captures
+//!   exactly when some state makes the pair non-commuting (validated
+//!   against the bounded model by the agreement harness in
+//!   `tests/symbolic_agreement.rs`);
+//! * soundness of the pair is the **unsatisfiability** of
+//!   `well-formed ∧ may-not-commute ∧ ¬conflict`, where `conflict` is
+//!   interval-intersection non-emptiness between the declared accesses.
+//!
+//! **Constraint normal form.** Every condition above normalizes to a
+//! conjunction of clauses (disjunctions) of a single atom shape,
+//! [`Atom`]: `lhs + gap ≤ rhs` over integer-valued key variables.
+//! Interval intersection contributes conjunctions of atoms (each lower
+//! bound of either interval must sit below each upper bound, with the
+//! gap encoding bound strictness over a discrete domain); its negation
+//! contributes clauses of negated atoms (`¬(a + g ≤ b)` ⇔
+//! `b + (1 − g) ≤ a`). The resulting CNF is expanded to DNF (clause
+//! counts are tiny — at most a handful of two-literal clauses) and each
+//! conjunct is decided by difference-constraint reasoning: atoms are
+//! edges of a weighted graph and the conjunct is satisfiable iff the
+//! graph has no positive-weight cycle.
+//!
+//! **Witness extraction.** A satisfiable conjunct is a concrete
+//! violation: the longest-path distances from an implicit zero source
+//! are the *smallest* non-negative key assignment satisfying every
+//! atom, so counterexamples come back as concrete keys/ranges (e.g.
+//! "`SCAN [0, 2)` vs `PUT 1`") ready to print, not abstract formulas.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Variables and atoms
+// ---------------------------------------------------------------------
+
+/// A symbolic key variable, identified by its index in the current
+/// constraint problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub usize);
+
+/// The single atomic constraint shape of the normal form:
+/// `lhs + gap ≤ rhs` over integer-valued keys.
+///
+/// `gap = 0` encodes `≤`, `gap = 1` encodes `<`, and `gap = 2` arises
+/// when two exclusive bounds meet over a discrete domain (an open
+/// interval `(l, h)` is non-empty iff `l + 2 ≤ h`). Negation stays in
+/// the language: `¬(lhs + gap ≤ rhs)` is `rhs + (1 − gap) ≤ lhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Atom {
+    /// Left-hand variable.
+    pub lhs: Var,
+    /// Right-hand variable.
+    pub rhs: Var,
+    /// Minimum distance from `lhs` up to `rhs`.
+    pub gap: i64,
+}
+
+impl Atom {
+    fn negate(self) -> Atom {
+        Atom { lhs: self.rhs, rhs: self.lhs, gap: 1 - self.gap }
+    }
+
+    /// Whether the atom holds under a concrete key assignment
+    /// (indexed by [`Var`]).
+    pub fn holds(&self, vals: &[u64]) -> bool {
+        (vals[self.lhs.0] as i128) + i128::from(self.gap) <= vals[self.rhs.0] as i128
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{} + {} <= v{}", self.lhs.0, self.gap, self.rhs.0)
+    }
+}
+
+/// Decide a conjunction of atoms by difference-constraint reasoning:
+/// treat each atom as an edge `lhs → rhs` of weight `gap` and run
+/// longest-path relaxation from an implicit all-zeros source. A
+/// positive-weight cycle means the conjunction is unsatisfiable;
+/// otherwise the stabilized distances are the smallest non-negative
+/// satisfying assignment (the witness).
+fn satisfy(atoms: &[Atom], num_vars: usize) -> Option<Vec<u64>> {
+    let mut dist = vec![0i64; num_vars];
+    let pass = |dist: &mut Vec<i64>| {
+        let mut changed = false;
+        for atom in atoms {
+            let candidate = dist[atom.lhs.0] + atom.gap;
+            if candidate > dist[atom.rhs.0] {
+                dist[atom.rhs.0] = candidate;
+                changed = true;
+            }
+        }
+        changed
+    };
+    for _ in 0..num_vars.max(1) {
+        if !pass(&mut dist) {
+            break;
+        }
+    }
+    if pass(&mut dist) {
+        return None; // still relaxing after |V| rounds: positive cycle
+    }
+    Some(dist.into_iter().map(|d| d as u64).collect())
+}
+
+/// Decide a CNF (conjunction of clauses of atoms) by DNF expansion:
+/// pick one literal per clause, decide the resulting conjunction with
+/// [`satisfy`]. Returns the first witness found. An empty clause makes
+/// the formula unsatisfiable; an empty CNF is trivially satisfiable.
+fn cnf_satisfy(clauses: &[Vec<Atom>], num_vars: usize) -> Option<Vec<u64>> {
+    fn descend(clauses: &[Vec<Atom>], chosen: &mut Vec<Atom>, num_vars: usize) -> Option<Vec<u64>> {
+        let Some(clause) = clauses.first() else {
+            return satisfy(chosen, num_vars);
+        };
+        for atom in clause {
+            chosen.push(*atom);
+            let found = descend(&clauses[1..], chosen, num_vars);
+            chosen.pop();
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+    descend(clauses, &mut Vec::new(), num_vars)
+}
+
+// ---------------------------------------------------------------------
+// Symbolic intervals
+// ---------------------------------------------------------------------
+
+/// A symbolic interval over the unbounded ordered key domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymInterval {
+    /// The single key `x`.
+    Point(Var),
+    /// The half-open range `[lo, hi)`; carries the implicit
+    /// well-formedness constraint `lo ≤ hi`.
+    Range(Var, Var),
+    /// The open range `(lo, hi)` — exclusive at *both* ends. Never part
+    /// of a shipped abstraction; produced by the
+    /// [`drop_boundary_conflict`](SymFaults::drop_boundary_conflict)
+    /// fault to model an off-by-one at the scan's lower boundary.
+    RangeOpen(Var, Var),
+    /// The whole domain.
+    Full,
+}
+
+/// Lower bounds of an interval as `(variable, strict)` pairs; strict
+/// means the member key must exceed the bound.
+fn lo_bounds(interval: &SymInterval) -> Vec<(Var, bool)> {
+    match interval {
+        SymInterval::Point(x) => vec![(*x, false)],
+        SymInterval::Range(lo, _) => vec![(*lo, false)],
+        SymInterval::RangeOpen(lo, _) => vec![(*lo, true)],
+        SymInterval::Full => Vec::new(),
+    }
+}
+
+/// Upper bounds of an interval as `(variable, strict)` pairs; strict
+/// means the member key must stay below the bound.
+fn hi_bounds(interval: &SymInterval) -> Vec<(Var, bool)> {
+    match interval {
+        SymInterval::Point(x) => vec![(*x, false)],
+        SymInterval::Range(_, hi) => vec![(*hi, true)],
+        SymInterval::RangeOpen(_, hi) => vec![(*hi, true)],
+        SymInterval::Full => Vec::new(),
+    }
+}
+
+/// The conjunction of atoms equivalent to "the intersection of `a` and
+/// `b` is non-empty": every lower bound of either interval must sit
+/// below every upper bound of either, with the gap encoding strictness
+/// over the discrete domain. An empty conjunction means the two
+/// intervals always intersect (e.g. `Full` vs `Full`).
+fn intersects_atoms(a: &SymInterval, b: &SymInterval) -> Vec<Atom> {
+    let los: Vec<(Var, bool)> = lo_bounds(a).into_iter().chain(lo_bounds(b)).collect();
+    let his: Vec<(Var, bool)> = hi_bounds(a).into_iter().chain(hi_bounds(b)).collect();
+    let mut atoms = Vec::with_capacity(los.len() * his.len());
+    for &(lo, lo_strict) in &los {
+        for &(hi, hi_strict) in &his {
+            atoms.push(Atom { lhs: lo, rhs: hi, gap: i64::from(lo_strict) + i64::from(hi_strict) });
+        }
+    }
+    atoms
+}
+
+// ---------------------------------------------------------------------
+// Op templates and the commutativity theory
+// ---------------------------------------------------------------------
+
+/// The ordered-map operation vocabulary the symbolic theory covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymOpKind {
+    /// Point read returning the key's value.
+    Get,
+    /// Point read returning presence.
+    Contains,
+    /// Point update inserting/overwriting the key.
+    Put,
+    /// Point update removing the key.
+    Del,
+    /// Range read over `[lo, hi)`.
+    Scan,
+}
+
+impl SymOpKind {
+    /// Every op kind, for exhaustive pair iteration.
+    pub const ALL: [SymOpKind; 5] =
+        [SymOpKind::Get, SymOpKind::Contains, SymOpKind::Put, SymOpKind::Del, SymOpKind::Scan];
+
+    /// Whether the op mutates the map.
+    pub fn is_update(self) -> bool {
+        matches!(self, SymOpKind::Put | SymOpKind::Del)
+    }
+
+    /// How many key variables the template binds.
+    pub fn arity(self) -> usize {
+        match self {
+            SymOpKind::Scan => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// An operation template: a kind plus its freshly-allocated key
+/// variables (`vars[0]` is the key, or `lo` for a scan; `vars[1]` is a
+/// scan's `hi`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymOp {
+    /// The operation kind.
+    pub kind: SymOpKind,
+    /// The template's key variables.
+    pub vars: Vec<Var>,
+}
+
+impl SymOp {
+    /// Allocate a template with fresh variables drawn from `next`.
+    pub fn fresh(kind: SymOpKind, next: &mut usize) -> SymOp {
+        let vars = (0..kind.arity())
+            .map(|_| {
+                let var = Var(*next);
+                *next += 1;
+                var
+            })
+            .collect();
+        SymOp { kind, vars }
+    }
+
+    /// Implicit well-formedness constraints: a scan's bounds satisfy
+    /// `lo ≤ hi` (reversed bounds are rejected at construction by the
+    /// concrete API, so the symbolic theory may assume them ordered).
+    pub fn well_formed(&self) -> Vec<Atom> {
+        match self.kind {
+            SymOpKind::Scan => vec![Atom { lhs: self.vars[0], rhs: self.vars[1], gap: 0 }],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Render the op with concrete keys substituted for its variables.
+    pub fn render(&self, vals: &[u64]) -> String {
+        let v = |i: usize| vals[self.vars[i].0];
+        match self.kind {
+            SymOpKind::Get => format!("GET {}", v(0)),
+            SymOpKind::Contains => format!("CONTAINS {}", v(0)),
+            SymOpKind::Put => format!("PUT {}", v(0)),
+            SymOpKind::Del => format!("DEL {}", v(0)),
+            SymOpKind::Scan => format!("SCAN [{}, {})", v(0), v(1)),
+        }
+    }
+}
+
+/// When may the ordered pair `(a, b)` fail to commute, as a CNF over
+/// their key variables — or `None` when the pair commutes in every
+/// state (read-only pairs).
+///
+/// The theory, validated op-pair-by-op-pair against the bounded
+/// [`OrderedMapModel`](crate::model::OrderedMapModel) by the agreement
+/// harness:
+///
+/// * two read-only ops always commute;
+/// * two point ops with at least one update may fail to commute exactly
+///   when they name the same key (return values order-swap even for
+///   `PUT`/`PUT` and `DEL`/`DEL`);
+/// * a scan and an update may fail to commute exactly when the updated
+///   key falls inside the scanned range: `lo ≤ x < hi`.
+pub fn may_not_commute(a: &SymOp, b: &SymOp) -> Option<Vec<Vec<Atom>>> {
+    if !a.kind.is_update() && !b.kind.is_update() {
+        return None;
+    }
+    let eq = |x: Var, y: Var| {
+        vec![vec![Atom { lhs: x, rhs: y, gap: 0 }], vec![Atom { lhs: y, rhs: x, gap: 0 }]]
+    };
+    let in_range = |lo: Var, hi: Var, x: Var| {
+        vec![vec![Atom { lhs: lo, rhs: x, gap: 0 }], vec![Atom { lhs: x, rhs: hi, gap: 1 }]]
+    };
+    match (a.kind, b.kind) {
+        (SymOpKind::Scan, _) => Some(in_range(a.vars[0], a.vars[1], b.vars[0])),
+        (_, SymOpKind::Scan) => Some(in_range(b.vars[0], b.vars[1], a.vars[0])),
+        _ => Some(eq(a.vars[0], b.vars[0])),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Abstractions and the soundness check
+// ---------------------------------------------------------------------
+
+/// The declared accesses of an op template: which intervals of the key
+/// domain it reads and writes. The symbolic twin of
+/// [`Access`](crate::checker::Access), with intervals in place of
+/// concrete location sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymAccess {
+    /// Intervals the op reads.
+    pub reads: Vec<SymInterval>,
+    /// Intervals the op writes.
+    pub writes: Vec<SymInterval>,
+}
+
+/// The clauses asserting that `a`'s and `b`'s declared accesses do
+/// **not** conflict: for every write/read-or-write interval pairing,
+/// the negation of its intersection conjunction.
+fn non_conflict_clauses(a: &SymAccess, b: &SymAccess) -> Vec<Vec<Atom>> {
+    let mut clauses = Vec::new();
+    let mut add = |x: &SymInterval, y: &SymInterval| {
+        clauses.push(intersects_atoms(x, y).into_iter().map(Atom::negate).collect());
+    };
+    for w in &a.writes {
+        for other in b.reads.iter().chain(&b.writes) {
+            add(w, other);
+        }
+    }
+    for r in &a.reads {
+        for w in &b.writes {
+            add(r, w);
+        }
+    }
+    clauses
+}
+
+/// A concrete Definition 3.1 violation extracted from a satisfiable
+/// constraint conjunct: two instantiated ops that may fail to commute
+/// while their declared accesses are disjoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicWitness {
+    /// The first op, rendered with witness keys (e.g. `SCAN [0, 2)`).
+    pub op_a: String,
+    /// The second op, rendered with witness keys (e.g. `PUT 1`).
+    pub op_b: String,
+    /// The full key assignment, named per op side (`a.lo`, `b.key`, …).
+    pub assignment: Vec<(String, u64)>,
+}
+
+impl fmt::Display for SymbolicWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} and {} may fail to commute yet their declared accesses do not conflict (witness:",
+            self.op_a, self.op_b
+        )?;
+        for (name, value) in &self.assignment {
+            write!(f, " {name}={value}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Outcome of the symbolic soundness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicVerdict {
+    /// Whether every op pair that may fail to commute is guaranteed a
+    /// conflict, for *all* keys in the unbounded domain.
+    pub sound: bool,
+    /// Ordered op-template pairs examined.
+    pub pairs_checked: usize,
+    /// The first violation found, when unsound.
+    pub witness: Option<SymbolicWitness>,
+}
+
+fn witness_names(op: &SymOp, side: &str) -> Vec<String> {
+    match op.kind {
+        SymOpKind::Scan => vec![format!("{side}.lo"), format!("{side}.hi")],
+        _ => vec![format!("{side}.key")],
+    }
+}
+
+/// Check Definition 3.1 for an abstraction over the ordered-map op
+/// vocabulary: for every ordered pair of op templates, the formula
+/// `well-formed ∧ may-not-commute ∧ ¬conflict` must be unsatisfiable
+/// over the unbounded key domain. The first satisfying assignment
+/// becomes a concrete [`SymbolicWitness`].
+pub fn check_abstraction(access: impl Fn(&SymOp) -> SymAccess) -> SymbolicVerdict {
+    let mut pairs_checked = 0;
+    for a_kind in SymOpKind::ALL {
+        for b_kind in SymOpKind::ALL {
+            pairs_checked += 1;
+            let mut next = 0;
+            let a = SymOp::fresh(a_kind, &mut next);
+            let b = SymOp::fresh(b_kind, &mut next);
+            let Some(mut cnf) = may_not_commute(&a, &b) else {
+                continue;
+            };
+            for atom in a.well_formed().into_iter().chain(b.well_formed()) {
+                cnf.push(vec![atom]);
+            }
+            cnf.extend(non_conflict_clauses(&access(&a), &access(&b)));
+            if let Some(vals) = cnf_satisfy(&cnf, next) {
+                let assignment = witness_names(&a, "a")
+                    .into_iter()
+                    .chain(witness_names(&b, "b"))
+                    .zip(vals.iter().copied())
+                    .collect();
+                return SymbolicVerdict {
+                    sound: false,
+                    pairs_checked,
+                    witness: Some(SymbolicWitness {
+                        op_a: a.render(&vals),
+                        op_b: b.render(&vals),
+                        assignment,
+                    }),
+                };
+            }
+        }
+    }
+    SymbolicVerdict { sound: true, pairs_checked, witness: None }
+}
+
+// ---------------------------------------------------------------------
+// The shipped ordered-map abstraction and its fault injections
+// ---------------------------------------------------------------------
+
+/// Fault injections for the symbolic gate's self-tests: each one
+/// weakens the scan's declared read interval in a way the gate must
+/// refute with a concrete witness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymFaults {
+    /// Declare that a scan reads only its `lo` endpoint instead of the
+    /// whole range — a `PUT` strictly inside the range then slips past
+    /// the abstraction.
+    pub weaken_range_scan: bool,
+    /// Declare the scan's range open at `lo` — a `PUT` at exactly the
+    /// lower boundary then slips past the abstraction.
+    pub drop_boundary_conflict: bool,
+}
+
+/// The ordered map's interval-level conflict abstraction: point ops
+/// read (and, for updates, write) their key; `scan(lo, hi)` reads the
+/// half-open range `[lo, hi)`. The `faults` weaken the scan entry for
+/// gate self-tests.
+pub fn ordered_map_access(op: &SymOp, faults: SymFaults) -> SymAccess {
+    let point = vec![SymInterval::Point(op.vars[0])];
+    match op.kind {
+        SymOpKind::Get | SymOpKind::Contains => SymAccess { reads: point, writes: Vec::new() },
+        SymOpKind::Put | SymOpKind::Del => SymAccess { reads: point.clone(), writes: point },
+        SymOpKind::Scan => {
+            let read = if faults.weaken_range_scan {
+                SymInterval::Point(op.vars[0])
+            } else if faults.drop_boundary_conflict {
+                SymInterval::RangeOpen(op.vars[0], op.vars[1])
+            } else {
+                SymInterval::Range(op.vars[0], op.vars[1])
+            };
+            SymAccess { reads: vec![read], writes: Vec::new() }
+        }
+    }
+}
+
+/// Run the symbolic pass over the ordered map's declared abstraction
+/// (optionally fault-injected): the unbounded-domain certificate behind
+/// `cargo xtask analyze`'s `ordered-map` verdict.
+pub fn check_ordered_map(faults: SymFaults) -> SymbolicVerdict {
+    check_abstraction(|op| ordered_map_access(op, faults))
+}
+
+// ---------------------------------------------------------------------
+// Concrete intervals (witness arithmetic + bounded concretization)
+// ---------------------------------------------------------------------
+
+/// Scan bounds were reversed (`lo > hi`); rejected at construction so
+/// neither the live structure nor the verifier ever sees a
+/// backwards range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReversedBounds {
+    /// The offending lower bound.
+    pub lo: u64,
+    /// The offending upper bound.
+    pub hi: u64,
+}
+
+impl fmt::Display for ReversedBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reversed scan bounds: lo {} > hi {}", self.lo, self.hi)
+    }
+}
+
+impl std::error::Error for ReversedBounds {}
+
+/// A concrete interval over `u64` keys: the ground twin of
+/// [`SymInterval`], used to evaluate witnesses and to concretize
+/// abstractions onto bounded domains for the agreement harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyInterval {
+    /// The single key.
+    Point(u64),
+    /// The half-open range `[lo, hi)`; `lo == hi` is the empty range.
+    Range {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Exclusive upper bound.
+        hi: u64,
+    },
+    /// The whole `u64` domain.
+    Full,
+}
+
+impl KeyInterval {
+    /// Construct `[lo, hi)`, rejecting reversed bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReversedBounds`] when `lo > hi`.
+    pub fn range(lo: u64, hi: u64) -> Result<KeyInterval, ReversedBounds> {
+        if lo > hi {
+            return Err(ReversedBounds { lo, hi });
+        }
+        Ok(KeyInterval::Range { lo, hi })
+    }
+
+    /// The interval as a half-open `[lo, hi)` span widened to `u128`
+    /// (so `Point(u64::MAX)` and `Full` need no overflow care).
+    fn span(&self) -> (u128, u128) {
+        match *self {
+            KeyInterval::Point(k) => (u128::from(k), u128::from(k) + 1),
+            KeyInterval::Range { lo, hi } => (u128::from(lo), u128::from(hi)),
+            KeyInterval::Full => (0, u128::from(u64::MAX) + 1),
+        }
+    }
+
+    /// Whether the interval contains no keys.
+    pub fn is_empty(&self) -> bool {
+        let (lo, hi) = self.span();
+        lo >= hi
+    }
+
+    /// Whether `key` lies inside the interval.
+    pub fn contains(&self, key: u64) -> bool {
+        let (lo, hi) = self.span();
+        lo <= u128::from(key) && u128::from(key) < hi
+    }
+
+    /// Whether the two intervals share at least one key.
+    pub fn intersects(&self, other: &KeyInterval) -> bool {
+        let (lo_a, hi_a) = self.span();
+        let (lo_b, hi_b) = other.span();
+        lo_a.max(lo_b) < hi_a.min(hi_b)
+    }
+}
+
+impl fmt::Display for KeyInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            KeyInterval::Point(k) => write!(f, "{{{k}}}"),
+            KeyInterval::Range { lo, hi } => write!(f, "[{lo}, {hi})"),
+            KeyInterval::Full => write!(f, "[0, ∞)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(witness: &SymbolicWitness, name: &str) -> u64 {
+        witness
+            .assignment
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no {name} in {witness}"))
+            .1
+    }
+
+    /// Pull `(lo, hi, key)` out of a scan-vs-point witness, whichever
+    /// side the scan landed on.
+    fn scan_vs_point(witness: &SymbolicWitness) -> (u64, u64, u64) {
+        if witness.assignment.iter().any(|(n, _)| n == "a.lo") {
+            (vals(witness, "a.lo"), vals(witness, "a.hi"), vals(witness, "b.key"))
+        } else {
+            (vals(witness, "b.lo"), vals(witness, "b.hi"), vals(witness, "a.key"))
+        }
+    }
+
+    #[test]
+    fn shipped_ordered_map_abstraction_is_sound_over_the_unbounded_domain() {
+        let verdict = check_ordered_map(SymFaults::default());
+        assert!(verdict.sound, "witness: {:?}", verdict.witness);
+        assert_eq!(verdict.pairs_checked, 25);
+        assert!(verdict.witness.is_none());
+    }
+
+    #[test]
+    fn weakened_range_scan_yields_an_interior_witness() {
+        let verdict =
+            check_ordered_map(SymFaults { weaken_range_scan: true, ..SymFaults::default() });
+        assert!(!verdict.sound);
+        let witness = verdict.witness.expect("unsound verdict carries a witness");
+        // The update key must sit inside the scanned range but off the
+        // lower endpoint (the only key the weakened scan still reads).
+        let (lo, hi, key) = scan_vs_point(&witness);
+        assert!(lo <= key && key < hi, "{witness}");
+        assert_ne!(key, lo, "{witness}");
+    }
+
+    #[test]
+    fn dropped_boundary_conflict_yields_the_boundary_witness() {
+        let verdict =
+            check_ordered_map(SymFaults { drop_boundary_conflict: true, ..SymFaults::default() });
+        assert!(!verdict.sound);
+        let witness = verdict.witness.expect("unsound verdict carries a witness");
+        // A range open at lo misses exactly its lower boundary, so the
+        // extracted witness must put the update right on it.
+        let (lo, hi, key) = scan_vs_point(&witness);
+        assert_eq!(key, lo, "{witness}");
+        assert!(lo < hi, "{witness}");
+    }
+
+    #[test]
+    fn full_domain_scan_stays_sound_against_point_writes() {
+        // Declaring scan's read as the whole domain over-approximates
+        // [lo, hi): strictly more conflicts, still sound.
+        let verdict = check_abstraction(|op| match op.kind {
+            SymOpKind::Scan => SymAccess { reads: vec![SymInterval::Full], writes: Vec::new() },
+            _ => ordered_map_access(op, SymFaults::default()),
+        });
+        assert!(verdict.sound, "witness: {:?}", verdict.witness);
+    }
+
+    #[test]
+    fn scan_reading_nothing_is_refuted_with_a_concrete_range() {
+        let verdict = check_abstraction(|op| match op.kind {
+            SymOpKind::Scan => SymAccess::default(),
+            _ => ordered_map_access(op, SymFaults::default()),
+        });
+        assert!(!verdict.sound);
+        let witness = verdict.witness.expect("witness");
+        let (lo, hi, key) = scan_vs_point(&witness);
+        assert!(lo <= key && key < hi, "{witness}");
+        // Witnesses are shifted to the smallest non-negative keys.
+        assert_eq!(lo, 0, "{witness}");
+    }
+
+    // ---- interval-algebra edge cases (symbolic side) ----
+
+    #[test]
+    fn adjacent_symbolic_ranges_sharing_a_boundary_never_intersect() {
+        // [a, b) vs [b, c): the intersection conjunction contains
+        // b + 1 <= b, a positive self-cycle.
+        let (a, b, c) = (Var(0), Var(1), Var(2));
+        let atoms = intersects_atoms(&SymInterval::Range(a, b), &SymInterval::Range(b, c));
+        assert!(satisfy(&atoms, 3).is_none());
+        // The boundary point itself lives in the upper range only.
+        let point = SymInterval::Point(b);
+        assert!(satisfy(&intersects_atoms(&point, &SymInterval::Range(b, c)), 3).is_some());
+        assert!(satisfy(&intersects_atoms(&point, &SymInterval::Range(a, b)), 3).is_none());
+    }
+
+    #[test]
+    fn empty_symbolic_range_intersects_nothing() {
+        // [k, k) against a point pinned to the same k: the conjunction
+        // forces x = k and x < k at once.
+        let (k, x) = (Var(0), Var(1));
+        let mut atoms = intersects_atoms(&SymInterval::Range(k, k), &SymInterval::Point(x));
+        atoms.push(Atom { lhs: k, rhs: x, gap: 0 });
+        atoms.push(Atom { lhs: x, rhs: k, gap: 0 });
+        assert!(satisfy(&atoms, 2).is_none());
+        // Even Full cannot meet an empty range.
+        assert!(
+            satisfy(&intersects_atoms(&SymInterval::Range(k, k), &SymInterval::Full), 2).is_none()
+        );
+    }
+
+    #[test]
+    fn positive_cycles_are_unsatisfiable_and_chains_get_minimal_witnesses() {
+        let (x, y) = (Var(0), Var(1));
+        let lt = |a: Var, b: Var| Atom { lhs: a, rhs: b, gap: 1 };
+        assert!(satisfy(&[lt(x, y), lt(y, x)], 2).is_none());
+        let witness = satisfy(&[lt(x, y)], 2).expect("satisfiable");
+        assert_eq!(witness, vec![0, 1], "longest-path distances are the minimal assignment");
+    }
+
+    // ---- interval-algebra edge cases (concrete side, satellite 4) ----
+
+    #[test]
+    fn reversed_bounds_are_rejected_at_construction() {
+        let err = KeyInterval::range(5, 3).expect_err("reversed bounds must not construct");
+        assert_eq!((err.lo, err.hi), (5, 3));
+        assert_eq!(err.to_string(), "reversed scan bounds: lo 5 > hi 3");
+        assert!(KeyInterval::range(3, 3).is_ok(), "empty-but-ordered is fine");
+    }
+
+    #[test]
+    fn empty_concrete_range_contains_and_intersects_nothing() {
+        let empty = KeyInterval::range(7, 7).unwrap();
+        assert!(empty.is_empty());
+        assert!(!empty.contains(7));
+        assert!(!empty.intersects(&empty));
+        assert!(!empty.intersects(&KeyInterval::Point(7)));
+        assert!(!empty.intersects(&KeyInterval::Full));
+    }
+
+    #[test]
+    fn adjacent_concrete_ranges_share_the_boundary_key_exclusively() {
+        let lower = KeyInterval::range(1, 3).unwrap();
+        let upper = KeyInterval::range(3, 5).unwrap();
+        assert!(!lower.intersects(&upper));
+        assert!(!lower.contains(3));
+        assert!(upper.contains(3));
+        assert!(KeyInterval::Point(3).intersects(&upper));
+        assert!(!KeyInterval::Point(3).intersects(&lower));
+    }
+
+    #[test]
+    fn full_domain_meets_every_point_even_at_the_extremes() {
+        assert!(KeyInterval::Full.intersects(&KeyInterval::Point(0)));
+        assert!(KeyInterval::Full.intersects(&KeyInterval::Point(u64::MAX)));
+        assert!(KeyInterval::Full.contains(u64::MAX));
+        let max_point = KeyInterval::Point(u64::MAX);
+        assert!(!max_point.is_empty());
+        assert!(max_point.intersects(&max_point));
+    }
+}

@@ -59,6 +59,7 @@ fn shipped_abstractions_pass_the_analysis_gate() {
         "memo-map",
         "snap-map",
         "set",
+        "ordered-map",
         "fifo",
         "lazy-pqueue",
         "eager-pqueue",

@@ -10,6 +10,10 @@
 # load run, and a TRACE START/DUMP round-trip must yield a Chrome trace
 # document with phase spans (validated by the proust-obs example).
 #
+# The ordered map gets its own round trip: OPUT seeds two keys, and SCAN
+# must return exactly the keys inside the half-open range, in order. The
+# load run then carries a SCAN share so range scans race point writes.
+#
 # Usage: scripts/server_smoke.sh [json-out] [-- server flags...]
 #   SMOKE_SECS / SMOKE_THREADS override the run length and client count.
 
@@ -82,10 +86,29 @@ sed -n 's/^TRACE //p' <&8 | head -n1 | tr -d '\r' >"$TRACE_JSON"
 exec 8>&- 8<&-
 ./target/release/examples/validate_chrome_trace "$TRACE_JSON"
 
+# Ordered-map SCAN round trip: seed two keys, then a half-open range scan
+# must return both in key order, and shrinking the range by one must drop
+# exactly the excluded upper bound.
+exec 8<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+printf 'OPUT __smoke_scan 5 50\r\nOPUT __smoke_scan 9 90\r\nSCAN __smoke_scan 0 10\r\nSCAN __smoke_scan 0 9\r\nQUIT\r\n' >&8
+IFS= read -r _ <&8; IFS= read -r _ <&8
+IFS= read -r SCAN_FULL <&8; IFS= read -r SCAN_HALF <&8
+exec 8>&- 8<&-
+SCAN_FULL="${SCAN_FULL%$'\r'}"; SCAN_HALF="${SCAN_HALF%$'\r'}"
+[[ "$SCAN_FULL" == "VALUE 2 5=50 9=90" ]] || {
+    echo "SCAN round trip returned '$SCAN_FULL', expected 'VALUE 2 5=50 9=90'" >&2
+    exit 1
+}
+[[ "$SCAN_HALF" == "VALUE 1 5=50" ]] || {
+    echo "SCAN upper bound is not exclusive: got '$SCAN_HALF', expected 'VALUE 1 5=50'" >&2
+    exit 1
+}
+
 COMMITS_BEFORE="$(awk '$1 == "proust_txn_commits_total" {print int($2)}' <<<"$(scrape)")"
 
 LOADGEN_ARGS=(--addr "$ADDR" --threads "$THREADS" --secs "$SECS"
               --dist zipfian --theta 0.99 --multi-frac 0.1
+              --scan-frac 0.1 --scan-span 16
               --metrics-addr "$METRICS")
 [[ -n "$JSON_OUT" ]] && LOADGEN_ARGS+=(--json "$JSON_OUT")
 ./target/release/proust-loadgen "${LOADGEN_ARGS[@]}"

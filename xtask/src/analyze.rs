@@ -3,7 +3,11 @@
 //! 1. **Conflict-abstraction soundness** — `proust_verify::analyze_all`
 //!    checks the live request-building functions of every shipped wrapper
 //!    against Definition 3.1 on bounded models, cross-checked by the
-//!    Appendix E SAT reduction where an encoding exists.
+//!    Appendix E SAT reduction where an encoding exists, and — for the
+//!    ordered map's range/point abstraction — by the symbolic interval
+//!    pass, which proves soundness over the *unbounded* key domain and
+//!    extracts concrete witness keys on refutation. Each verdict records
+//!    per-pass wall time and which pass decided it.
 //! 2. **Source lints** — the Proustian conventions in [`crate::lint`].
 //! 3. **Concurrency wiring** — the loom permutation tests and the
 //!    Miri/TSan CI jobs must stay wired: this pass verifies the test
@@ -100,6 +104,15 @@ pub fn to_json(analysis: &Analysis) -> JsonValue {
                 ("false_conflict_rate", JsonValue::num(v.false_conflict_rate())),
                 ("sat_sound", v.sat_sound.map_or(JsonValue::Null, JsonValue::Bool)),
                 ("sat_witness", v.sat_witness.as_deref().map_or(JsonValue::Null, JsonValue::str)),
+                ("symbolic_sound", v.symbolic_sound.map_or(JsonValue::Null, JsonValue::Bool)),
+                (
+                    "symbolic_witness",
+                    v.symbolic_witness.as_deref().map_or(JsonValue::Null, JsonValue::str),
+                ),
+                ("decided_by", JsonValue::str(v.decided_by())),
+                ("exhaustive_ns", JsonValue::u64(v.exhaustive_ns)),
+                ("sat_ns", JsonValue::u64(v.sat_ns)),
+                ("symbolic_ns", JsonValue::u64(v.symbolic_ns)),
             ])
         })
         .collect();
@@ -132,6 +145,8 @@ pub fn to_json(analysis: &Analysis) -> JsonValue {
                     "mislabel_striped_update",
                     JsonValue::Bool(analysis.faults.mislabel_striped_update),
                 ),
+                ("weaken_range_scan", JsonValue::Bool(analysis.faults.weaken_range_scan)),
+                ("drop_boundary_conflict", JsonValue::Bool(analysis.faults.drop_boundary_conflict)),
             ]),
         ),
         (
@@ -164,6 +179,20 @@ pub fn to_json(analysis: &Analysis) -> JsonValue {
     ])
 }
 
+/// Per-pass wall times, compact (`exhaustive 1.2ms, sat 0.3ms`); passes
+/// that did not run are omitted.
+fn render_pass_times(v: &StructureVerdict) -> String {
+    let ms = |ns: u64| format!("{:.1}ms", ns as f64 / 1e6);
+    let mut parts = vec![format!("exhaustive {}", ms(v.exhaustive_ns))];
+    if v.sat_ns > 0 {
+        parts.push(format!("sat {}", ms(v.sat_ns)));
+    }
+    if v.symbolic_ns > 0 {
+        parts.push(format!("symbolic {}", ms(v.symbolic_ns)));
+    }
+    parts.join(", ")
+}
+
 /// Human-readable summary printed to stdout.
 pub fn print_summary(analysis: &Analysis) {
     println!("pass 1: conflict-abstraction soundness (Definition 3.1)");
@@ -173,26 +202,38 @@ pub fn print_summary(analysis: &Analysis) {
             Some(false) => ", sat: SAT (refuted)",
             None => "",
         };
+        let symbolic = match v.symbolic_sound {
+            Some(true) => ", symbolic: sound over unbounded domain",
+            Some(false) => ", symbolic: refuted",
+            None => "",
+        };
         if v.sound {
             println!(
-                "  PASS {:<13} [{}] {} triples, static false-conflict rate {:.3}{}",
+                "  PASS {:<13} [{}] {} triples, static false-conflict rate {:.3}{}{} \
+                 (decided by {}, {})",
                 v.name,
                 v.abstraction,
                 v.pairs_checked,
                 v.false_conflict_rate(),
-                sat
+                sat,
+                symbolic,
+                v.decided_by(),
+                render_pass_times(v),
             );
         } else {
-            println!("  FAIL {:<13} [{}]{}", v.name, v.abstraction, sat);
+            println!("  FAIL {:<13} [{}]{}{}", v.name, v.abstraction, sat, symbolic);
             if let Some(cex) = &v.counterexample {
                 println!("       counterexample: {cex}");
             }
             if let Some(witness) = &v.sat_witness {
                 println!("       sat witness: {witness}");
             }
+            if let Some(witness) = &v.symbolic_witness {
+                println!("       symbolic witness: {witness}");
+            }
         }
         if v.checkers_disagree() {
-            println!("       WARNING: exhaustive and SAT checkers disagree — checker bug");
+            println!("       WARNING: the verification passes disagree — checker bug");
         }
     }
     println!("pass 2: source lints");

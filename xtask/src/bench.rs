@@ -116,6 +116,8 @@ fn measure_server_leg(quick: bool) -> Result<BenchEntry, String> {
         multi_size: 4,
         inc_frac: 0.2,
         queue_frac: 0.1,
+        scan_frac: 0.05,
+        scan_span: 16,
         structures: 2,
         seed: 42,
         check_counters: true,

@@ -1,11 +1,19 @@
 //! Pass 2 of `cargo xtask analyze`: syntactic lints for the workspace's
-//! Proustian conventions. Three rules:
+//! Proustian conventions. Four rules:
 //!
 //! * **missing-op-site** — a method taking `tx: &mut Txn` that enters
-//!   synchronization (`self.lock.with(` / `self.region.apply(`) must
-//!   label the transaction with `op_site!` first, or runtime conflict
-//!   attribution silently misfiles its conflicts. Scoped to
-//!   `crates/core/src/structures/`, where the Proustian ops live.
+//!   synchronization (`self.lock.with(` / `self.lock.with_inverse(` /
+//!   `self.region.apply(`) must label the transaction with `op_site!`
+//!   first, or runtime conflict attribution silently misfiles its
+//!   conflicts. Scoped to `crates/core/src/structures/`, where the
+//!   Proustian ops live.
+//! * **unsynchronized-op** — the dual hole: a wrapped-ADT op (public, or
+//!   `op_site!`-labeled) that takes a live `tx: &mut Txn` but never
+//!   issues lock requests and never delegates `tx` to another wrapped
+//!   op. Such an op has no `Access` footprint at all, so Definition 3.1
+//!   cannot hold for it no matter what the abstraction says — the
+//!   verifier's verdicts are only as good as the ops' request coverage.
+//!   Same scope as missing-op-site.
 //! * **unsafe-without-safety** — every `unsafe` block/fn/impl needs a
 //!   `// SAFETY:` comment on it or just above it.
 //! * **duplicate-access-location** — literal `AccessSet`/`Access`
@@ -42,6 +50,7 @@ pub fn run(root: &Path) -> Vec<LintFinding> {
             file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
         if relative.starts_with("crates/core/src/structures/") {
             lint_op_site(&relative, &content, &mut findings);
+            lint_unsynchronized_op(&relative, &content, &mut findings);
         }
         lint_unsafe_safety(&relative, &content, &mut findings);
         lint_duplicate_locations(&relative, &content, &mut findings);
@@ -92,11 +101,10 @@ fn lint_op_site(file: &str, content: &str, findings: &mut Vec<LintFinding>) {
             continue;
         }
         let Some((signature, body)) = split_fn(&content[at..]) else { continue };
-        if !signature.contains("tx: &mut Txn") {
+        if !takes_live_txn(signature) {
             continue;
         }
-        let enters_sync = body.contains("self.lock.with(") || body.contains("self.region.apply(");
-        if enters_sync && !body.contains("op_site!") {
+        if enters_sync(&compact(body)) && !body.contains("op_site!") {
             let name = signature
                 .trim_start_matches("fn ")
                 .split(['(', '<'])
@@ -113,6 +121,119 @@ fn lint_op_site(file: &str, content: &str, findings: &mut Vec<LintFinding>) {
                 ),
             });
         }
+    }
+}
+
+/// Whether the signature takes a *live* transaction parameter named
+/// exactly `tx` — `_tx: &mut Txn` means the op deliberately ignores the
+/// transaction (e.g. committed-size reads) and is out of scope.
+fn takes_live_txn(signature: &str) -> bool {
+    signature.find("tx: &mut Txn").is_some_and(|at| {
+        at == 0 || {
+            let before = signature.as_bytes()[at - 1];
+            !before.is_ascii_alphanumeric() && before != b'_'
+        }
+    })
+}
+
+/// The spellings through which a structures-crate op issues its lock
+/// requests (enters an abstract-lock or predicate-region critical path).
+/// Call with a [`compact`]ed body: rustfmt is free to break a method
+/// chain across lines (`self.lock\n.with(`), so the needles only match
+/// with the whitespace squeezed out.
+fn enters_sync(body: &str) -> bool {
+    ["self.lock.with(", "self.lock.with_inverse(", "self.region.apply("]
+        .iter()
+        .any(|needle| body.contains(needle))
+}
+
+/// The body with all whitespace removed, so textual needles are immune
+/// to rustfmt's line-breaking decisions.
+fn compact(body: &str) -> String {
+    body.split_whitespace().collect()
+}
+
+/// Whether the body hands `tx` to a method of a `self` field *other than*
+/// the replay log / committed-size state — i.e. delegates the op to an
+/// inner wrapped ADT (the set wrapper forwarding to its map), which then
+/// issues the lock requests itself. `self.log.read(tx, ..)` and
+/// `self.size.record(tx, ..)` touch transactional state without any lock
+/// coverage, so they deliberately do NOT count.
+fn delegates_txn(body: &str) -> bool {
+    let bytes = body.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut search_from = 0;
+    while let Some(relative_at) = body[search_from..].find("(tx") {
+        let at = search_from + relative_at;
+        search_from = at + 3;
+        // `(txn_id`-style identifiers are not the transaction parameter.
+        if bytes.get(at + 3).is_some_and(|&b| is_ident(b)) {
+            continue;
+        }
+        // Walk back over `<method>` and require a `self.<field>.` prefix.
+        let mut method_start = at;
+        while method_start > 0 && is_ident(bytes[method_start - 1]) {
+            method_start -= 1;
+        }
+        if method_start == at || method_start == 0 || bytes[method_start - 1] != b'.' {
+            continue;
+        }
+        let field_end = method_start - 1;
+        let mut field_start = field_end;
+        while field_start > 0 && is_ident(bytes[field_start - 1]) {
+            field_start -= 1;
+        }
+        let field = &body[field_start..field_end];
+        if body[..field_start].ends_with("self.") && field != "log" && field != "size" {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// unsynchronized-op
+// ---------------------------------------------------------------------
+
+fn lint_unsynchronized_op(file: &str, content: &str, findings: &mut Vec<LintFinding>) {
+    let mut search_from = 0;
+    while let Some(relative_at) = content[search_from..].find("fn ") {
+        let at = search_from + relative_at;
+        search_from = at + 3;
+        if at > 0 && content.as_bytes()[at - 1].is_ascii_alphanumeric() {
+            continue;
+        }
+        let Some((signature, body)) = split_fn(&content[at..]) else { continue };
+        if !takes_live_txn(signature) {
+            continue;
+        }
+        // Only *ops* are in scope: the public surface, plus anything that
+        // labels itself as an op site. Private unlabeled helpers run
+        // inside an op's critical section and carry no requests of their
+        // own.
+        let preceding = content[..at].trim_end();
+        let is_pub = ["pub", "pub(crate)", "pub(super)"]
+            .iter()
+            .any(|qualifier| preceding.ends_with(qualifier));
+        if !is_pub && !body.contains("op_site!") {
+            continue;
+        }
+        let squeezed = compact(body);
+        if enters_sync(&squeezed) || delegates_txn(&squeezed) {
+            continue;
+        }
+        let name =
+            signature.trim_start_matches("fn ").split(['(', '<']).next().unwrap_or("?").to_string();
+        findings.push(LintFinding {
+            file: file.to_string(),
+            line: line_of(content, at),
+            lint: "unsynchronized-op",
+            message: format!(
+                "`{name}` is a wrapped-ADT op but never issues lock requests and never \
+                 delegates `tx`; it has no Access footprint, so the verified conflict \
+                 abstraction cannot cover it"
+            ),
+        });
     }
 }
 
@@ -273,6 +394,83 @@ mod tests {
     fn trait_declarations_without_bodies_are_skipped() {
         let src = "fn put(&self, tx: &mut Txn, key: K) -> TxResult<()>;\nfn other() {}";
         assert!(op_site_findings(src).is_empty());
+    }
+
+    #[test]
+    fn unlabeled_inverse_sync_entry_is_flagged() {
+        let src = r#"
+            fn remove_min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
+                self.lock.with_inverse(tx, &requests, |_tx| pop(), |e| push(e))
+            }
+        "#;
+        let findings = op_site_findings(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "missing-op-site");
+    }
+
+    fn unsynchronized_findings(content: &str) -> Vec<LintFinding> {
+        let mut findings = Vec::new();
+        lint_unsynchronized_op("crates/core/src/structures/x.rs", content, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn synchronized_and_delegating_ops_are_clean() {
+        let src = r#"
+            pub fn scan(&self, tx: &mut Txn, lo: u64, hi: u64) -> TxResult<Vec<(u64, V)>> {
+                crate::op_site!(tx, "ordered_map.scan");
+                let requests = ordered_scan_requests(lo, hi);
+                self.lock.with(tx, &requests, |tx| self.log.read(tx, |l| l.range(lo, hi), |s| s.range(lo, hi)))
+            }
+            pub fn add(&self, tx: &mut Txn, value: T) -> TxResult<bool> {
+                crate::op_site!(tx, "set.add");
+                Ok(self.map.put(tx, value, ())?.is_none())
+            }
+            fn remove_min(&self, tx: &mut Txn) -> TxResult<Option<T>> {
+                crate::op_site!(tx, "eager_pqueue.remove_min");
+                self.lock.with_inverse(tx, &requests, |_tx| pop(), |e| push(e))
+            }
+        "#;
+        assert!(unsynchronized_findings(src).is_empty());
+    }
+
+    #[test]
+    fn public_op_touching_state_without_requests_is_flagged() {
+        // The hole this lint exists for: a public op that reads the
+        // replay log directly, bypassing the abstract lock entirely.
+        let src = r#"
+            pub fn peek_fast(&self, tx: &mut Txn) -> TxResult<Option<V>> {
+                Ok(self.log.read(tx, |live| live.first(), |snap| snap.first()))
+            }
+        "#;
+        let findings = unsynchronized_findings(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "unsynchronized-op");
+        assert!(findings[0].message.contains("`peek_fast`"));
+    }
+
+    #[test]
+    fn labeled_private_op_without_requests_is_flagged() {
+        let src = r#"
+            fn get(&self, tx: &mut Txn, key: &K) -> TxResult<Option<V>> {
+                crate::op_site!(tx, "map.get");
+                Ok(self.log.read(tx, |live| live.get(key), |snap| snap.get(key)))
+            }
+        "#;
+        assert_eq!(unsynchronized_findings(src).len(), 1);
+    }
+
+    #[test]
+    fn private_helpers_and_committed_readers_are_exempt() {
+        let src = r#"
+            fn speculative_len(&self, tx: &mut Txn) -> usize {
+                self.log.read(tx, |live| live.len(), |snap| snap.len())
+            }
+            pub fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
+                Ok(self.size.get())
+            }
+        "#;
+        assert!(unsynchronized_findings(src).is_empty());
     }
 
     fn safety_findings(content: &str) -> Vec<LintFinding> {

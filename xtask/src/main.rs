@@ -96,6 +96,8 @@ fn run_analyze(args: &[String]) -> ExitCode {
                 }
             },
             "--mislabel-striped-update" => faults.mislabel_striped_update = true,
+            "--weaken-range-scan" => faults.weaken_range_scan = true,
+            "--drop-boundary-conflict" => faults.drop_boundary_conflict = true,
             other => {
                 eprintln!("unknown analyze option {other:?}");
                 return ExitCode::FAILURE;
@@ -581,7 +583,11 @@ mod tests {
 
     #[test]
     fn injected_faults_fail_the_gate_with_counterexamples() {
-        let faults = FaultInjection { counter_threshold: 1, mislabel_striped_update: true };
+        let faults = FaultInjection {
+            counter_threshold: 1,
+            mislabel_striped_update: true,
+            ..FaultInjection::none()
+        };
         let analysis = analyze::run(&workspace_root(), faults);
         assert!(!analysis.ok());
         let unsound: Vec<_> =
@@ -590,6 +596,29 @@ mod tests {
         assert!(unsound.contains(&"memo-map"));
         for v in analysis.verdicts.iter().filter(|v| !v.sound) {
             assert!(v.counterexample.is_some(), "{} lacks a counterexample", v.name);
+        }
+    }
+
+    #[test]
+    fn range_scan_faults_fail_the_gate_with_symbolic_witnesses() {
+        for faults in [
+            FaultInjection { weaken_range_scan: true, ..FaultInjection::none() },
+            FaultInjection { drop_boundary_conflict: true, ..FaultInjection::none() },
+        ] {
+            let analysis = analyze::run(&workspace_root(), faults);
+            assert!(!analysis.ok());
+            let ordered = analysis
+                .verdicts
+                .iter()
+                .find(|v| v.name == "ordered-map")
+                .expect("ordered-map verdict");
+            assert!(!ordered.sound);
+            assert!(ordered.counterexample.is_some(), "exhaustive witness missing");
+            assert_eq!(ordered.symbolic_sound, Some(false), "symbolic pass must refute");
+            assert!(ordered.symbolic_witness.is_some(), "symbolic witness missing");
+            // The fault is confined to the ordered map; everything else
+            // stays sound.
+            assert!(analysis.verdicts.iter().filter(|v| v.name != "ordered-map").all(|v| v.sound));
         }
     }
 
@@ -605,7 +634,7 @@ mod tests {
             .and_then(|c| c.get("verdicts"))
             .and_then(|v| v.as_array())
             .expect("verdict array");
-        assert_eq!(verdicts.len(), 8);
+        assert_eq!(verdicts.len(), 9);
         for verdict in verdicts {
             let rate =
                 verdict.get("false_conflict_rate").and_then(|r| r.as_f64()).expect("rate present");
