@@ -49,6 +49,18 @@ pub trait TxMap<K, V>: Send + Sync {
     ///
     /// Propagates synchronization conflicts.
     fn size(&self, tx: &mut Txn) -> TxResult<i64>;
+
+    /// The committed entries, for checkpointing: a point-in-time dump of
+    /// the map outside any transaction. Only meaningful at quiescence
+    /// (no in-flight transactions); the server enforces that via
+    /// `Stm::quiesce` before checkpointing.
+    ///
+    /// Returns `None` when the implementation cannot produce a
+    /// consistent dump (the default); such structures are simply not
+    /// checkpointed and recovery falls back to full-log replay.
+    fn committed_entries(&self) -> Option<Vec<(K, V)>> {
+        None
+    }
 }
 
 /// The transactional priority-queue API of Listing 3. Operations are

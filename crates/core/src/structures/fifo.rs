@@ -197,6 +197,14 @@ where
     pub fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
         Ok(self.size.get())
     }
+
+    /// The committed items front-to-back, for checkpointing. Only
+    /// meaningful at quiescence — lazy updates replay into the base at
+    /// serialization points, so with no in-flight transactions this is
+    /// exactly the committed queue.
+    pub fn committed_items(&self) -> Vec<T> {
+        self.log.source().snapshot().iter().cloned().collect()
+    }
 }
 
 #[cfg(test)]

@@ -138,6 +138,14 @@ where
     fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
         Ok(self.size.get())
     }
+
+    fn committed_entries(&self) -> Option<Vec<(K, V)>> {
+        // Eager updates mutate `base` in place mid-transaction, so this
+        // dump is consistent only at quiescence — which is the contract.
+        let mut entries = Vec::new();
+        self.base.for_each(|key, value| entries.push((key.clone(), value.clone())));
+        Some(entries)
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,14 @@ where
     fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
         Ok(self.size.get())
     }
+
+    fn committed_entries(&self) -> Option<Vec<(K, V)>> {
+        // O(1) snapshot of the committed base; lazy updates only touch
+        // the base at the serialization point, so at quiescence this is
+        // exactly the committed state.
+        let snap = self.log.source().snapshot();
+        Some(snap.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+    }
 }
 
 #[cfg(test)]

@@ -149,6 +149,17 @@ where
     fn size(&self, _tx: &mut Txn) -> TxResult<i64> {
         Ok(self.size.get())
     }
+
+    fn committed_entries(&self) -> Option<Vec<(u64, V)>> {
+        // O(1) treap snapshot. `range` is half-open, so `[0, u64::MAX)`
+        // misses the topmost key — fetch it explicitly.
+        let snap = self.log.source().snapshot();
+        let mut entries = snap.range(0, u64::MAX);
+        if let Some(value) = snap.get(u64::MAX) {
+            entries.push((u64::MAX, value.clone()));
+        }
+        Some(entries)
+    }
 }
 
 #[cfg(test)]

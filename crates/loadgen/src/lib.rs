@@ -29,9 +29,11 @@
 
 pub mod zipf;
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use proust_bench::report::histogram_json;
@@ -116,6 +118,16 @@ pub struct LoadConfig {
     /// Prometheus `/metrics` address of the server; when set, the run
     /// scrapes it before and after and reports the counter deltas.
     pub metrics_addr: Option<String>,
+    /// Client-side ack journal path. Every `INC` writes a `SENT` line
+    /// *before* the request goes on the wire and an `ACK` line once the
+    /// server answers `OK`, so a post-crash verifier can bound what the
+    /// recovered counters must show ([`verify_journal`]).
+    pub ack_journal: Option<String>,
+    /// Treat a dropped connection as the end of the run instead of a
+    /// failure — the kill-recover chaos mode, where the server is
+    /// SIGKILLed mid-load on purpose. The final counter check and STATS
+    /// scrape turn best-effort.
+    pub tolerate_disconnect: bool,
 }
 
 impl Default for LoadConfig {
@@ -140,6 +152,8 @@ impl Default for LoadConfig {
             send_shutdown: false,
             quiet: false,
             metrics_addr: None,
+            ack_journal: None,
+            tolerate_disconnect: false,
         }
     }
 }
@@ -303,6 +317,12 @@ impl Client {
         if n == 0 {
             return Err("server closed the connection".to_string());
         }
+        if !line.ends_with('\n') {
+            // Responses are newline-terminated; a partial line means the
+            // server died mid-write (e.g. a chaos SIGKILL). Surface it as
+            // a connection error, not a protocol anomaly.
+            return Err("server closed the connection mid-line".to_string());
+        }
         Ok(line.trim_end().to_string())
     }
 
@@ -336,6 +356,20 @@ struct Tallies {
     busy: AtomicU64,
     latency: Histogram,
     expected_incs: Vec<AtomicI64>,
+    /// Shared ack journal; each line is flushed before the run proceeds
+    /// so the journal never lags the wire.
+    journal: Option<Mutex<BufWriter<std::fs::File>>>,
+}
+
+impl Tallies {
+    fn journal_line(&self, line: &str) -> Result<(), String> {
+        if let Some(journal) = &self.journal {
+            let mut writer = journal.lock().expect("ack journal poisoned");
+            writeln!(writer, "{line}").map_err(|err| format!("ack journal write: {err}"))?;
+            writer.flush().map_err(|err| format!("ack journal flush: {err}"))?;
+        }
+        Ok(())
+    }
 }
 
 struct Worker<'a> {
@@ -412,6 +446,10 @@ impl Worker<'_> {
         } else if pick < config.multi_frac + config.inc_frac {
             let counter = self.rng.gen_range(0..config.structures as u64);
             let delta = self.rng.gen_range(1..4u64);
+            // SENT before the request leaves: any increment the server might
+            // commit is journaled first, so a crash can never leave an
+            // acked-but-unjournaled update.
+            self.tallies.journal_line(&format!("SENT c{counter} {delta}"))?;
             let response = self.client.roundtrip(&format!("INC c{counter} {delta}"))?;
             let class = classify(&response);
             if class == Class::Committed {
@@ -419,6 +457,7 @@ impl Worker<'_> {
                 // exactly the committed counter movement we must observe.
                 self.tallies.expected_incs[counter as usize]
                     .fetch_add(delta as i64, Ordering::Relaxed);
+                self.tallies.journal_line(&format!("ACK c{counter} {delta}"))?;
             }
             class
         } else if pick < config.multi_frac + config.inc_frac + config.queue_frac {
@@ -575,6 +614,14 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         Some(addr) => Some(scrape_metrics(addr)?),
         None => None,
     };
+    let journal = match &config.ack_journal {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|err| format!("create ack journal {path}: {err}"))?;
+            Some(Mutex::new(BufWriter::new(file)))
+        }
+        None => None,
+    };
     let tallies = Tallies {
         requests: AtomicU64::new(0),
         committed: AtomicU64::new(0),
@@ -582,6 +629,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         busy: AtomicU64::new(0),
         latency: Histogram::new(),
         expected_incs: (0..config.structures).map(|_| AtomicI64::new(0)).collect(),
+        journal,
     };
     let heartbeat_stop = AtomicBool::new(false);
     let start = Instant::now();
@@ -623,14 +671,32 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         heartbeat_stop.store(true, Ordering::Release);
         errors
     });
-    if let Some(first) = worker_errors.first() {
-        return Err(format!("{} worker(s) failed; first: {first}", worker_errors.len()));
+    let disconnected = !worker_errors.is_empty();
+    if disconnected {
+        if config.tolerate_disconnect {
+            // Kill-recover chaos mode: the server was SIGKILLed on purpose.
+            // The journal (flushed line by line) is the artifact that
+            // matters; report what the run got through before the cut.
+            eprintln!(
+                "[loadgen] tolerated {} dropped worker connection(s); first: {}",
+                worker_errors.len(),
+                worker_errors[0]
+            );
+        } else {
+            return Err(format!(
+                "{} worker(s) failed; first: {first}",
+                worker_errors.len(),
+                first = &worker_errors[0]
+            ));
+        }
     }
     let elapsed_s = start.elapsed().as_secs_f64();
 
     // Lost-update check: every INC the server acknowledged must be visible
-    // in the committed counter values, exactly.
-    let (expected_incs, observed_incs, lost_updates) = if config.check_counters {
+    // in the committed counter values, exactly. Skipped after a tolerated
+    // disconnect — the server is gone; verify_journal takes over after
+    // the restart.
+    let (expected_incs, observed_incs, lost_updates) = if config.check_counters && !disconnected {
         let finals = counter_values(&mut control, config)?;
         let mut expected_total = 0i64;
         let mut observed_total = 0i64;
@@ -647,11 +713,25 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         (0, 0, 0)
     };
 
-    let stats_line = control.roundtrip("STATS")?;
-    let server_stats =
-        stats_line.strip_prefix("STATS ").and_then(|payload| JsonValue::parse(payload).ok());
+    let server_stats = match control.roundtrip("STATS") {
+        Ok(stats_line) => {
+            stats_line.strip_prefix("STATS ").and_then(|payload| JsonValue::parse(payload).ok())
+        }
+        Err(err) if disconnected => {
+            eprintln!("[loadgen] STATS scrape skipped after disconnect: {err}");
+            None
+        }
+        Err(err) => return Err(err),
+    };
     let prom_delta = match (&config.metrics_addr, metrics_before) {
-        (Some(addr), Some(before)) => Some(prom_delta_json(&before, &scrape_metrics(addr)?)),
+        (Some(addr), Some(before)) => match scrape_metrics(addr) {
+            Ok(after) => Some(prom_delta_json(&before, &after)),
+            Err(err) if disconnected => {
+                eprintln!("[loadgen] metrics scrape skipped after disconnect: {err}");
+                None
+            }
+            Err(err) => return Err(err),
+        },
         _ => None,
     };
     if config.send_shutdown {
@@ -659,6 +739,13 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     }
 
     let committed = tallies.committed.load(Ordering::Relaxed);
+    if let Some(journal) = &tallies.journal {
+        journal
+            .lock()
+            .expect("ack journal poisoned")
+            .flush()
+            .map_err(|err| format!("ack journal final flush: {err}"))?;
+    }
     Ok(LoadReport {
         mode: config.mode.name(),
         elapsed_s,
@@ -674,4 +761,86 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         server_stats,
         prom_delta,
     })
+}
+
+/// Outcome of a post-restart ack-journal verification ([`verify_journal`]).
+#[derive(Debug)]
+pub struct VerifySummary {
+    /// Distinct counters the journal mentions.
+    pub counters: usize,
+    /// Total delta the server acknowledged `OK` (hard floor on recovery).
+    pub acked_sum: i64,
+    /// Total delta sent, acked or not (hard ceiling on recovery).
+    pub sent_sum: i64,
+    /// Total recovered counter value observed on the server.
+    pub recovered_sum: i64,
+    /// Human-readable invariant violations; empty means the recovery
+    /// neither lost an acknowledged update nor surfaced an aborted one.
+    pub violations: Vec<String>,
+}
+
+/// Verify a recovered server against a client-side ack journal written by
+/// a previous run's `--ack-journal`: for every counter, the recovered
+/// value must satisfy `acked <= recovered <= sent`. Below the floor, a
+/// durably-acknowledged commit was lost; above the ceiling, state that was
+/// never even requested (or was aborted) became visible.
+///
+/// Assumes the journaled run was the only writer against a fresh data
+/// directory, which is how the kill-recover chaos harness drives it.
+///
+/// # Errors
+///
+/// Returns a message when the journal is unreadable or malformed, or the
+/// server is unreachable. Invariant violations are *not* errors — they are
+/// returned in the summary for the caller to assert on.
+pub fn verify_journal(addr: &str, path: &str) -> Result<VerifySummary, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|err| format!("read ack journal {path}: {err}"))?;
+    let mut sent: BTreeMap<String, i64> = BTreeMap::new();
+    let mut acked: BTreeMap<String, i64> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(tag), Some(name), Some(delta), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("{path}:{}: malformed journal line {line:?}", idx + 1));
+        };
+        let delta: i64 =
+            delta.parse().map_err(|_| format!("{path}:{}: bad delta in {line:?}", idx + 1))?;
+        match tag {
+            "SENT" => *sent.entry(name.to_string()).or_insert(0) += delta,
+            "ACK" => *acked.entry(name.to_string()).or_insert(0) += delta,
+            _ => return Err(format!("{path}:{}: unknown journal tag {tag:?}", idx + 1)),
+        }
+    }
+    let mut client = Client::connect(addr)?;
+    let mut violations = Vec::new();
+    let mut acked_sum = 0i64;
+    let mut sent_sum = 0i64;
+    let mut recovered_sum = 0i64;
+    for (name, sent_total) in &sent {
+        let acked_total = acked.get(name).copied().unwrap_or(0);
+        let response = client.roundtrip(&format!("GET {name}"))?;
+        let recovered: i64 = response
+            .strip_prefix("VALUE ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad counter response for {name}: {response:?}"))?;
+        acked_sum += acked_total;
+        sent_sum += sent_total;
+        recovered_sum += recovered;
+        if recovered < acked_total {
+            violations.push(format!(
+                "{name}: recovered {recovered} < acked {acked_total} (lost committed updates)"
+            ));
+        }
+        if recovered > *sent_total {
+            violations.push(format!(
+                "{name}: recovered {recovered} > sent {sent_total} (phantom updates visible)"
+            ));
+        }
+    }
+    Ok(VerifySummary { counters: sent.len(), acked_sum, sent_sum, recovered_sum, violations })
 }

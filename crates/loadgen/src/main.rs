@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use proust_bench::args::Args;
 use proust_bench::report::write_report;
-use proust_loadgen::{config_json, run, KeyDist, LoadConfig, Mode};
+use proust_loadgen::{config_json, run, verify_journal, KeyDist, LoadConfig, Mode};
 
 const USAGE: &str = "\
 usage: proust-loadgen --addr HOST:PORT [--threads N] [--secs S]
@@ -16,11 +16,14 @@ usage: proust-loadgen --addr HOST:PORT [--threads N] [--secs S]
                       [--inc-frac F] [--queue-frac F] [--scan-frac F]
                       [--scan-span N] [--structures N]
                       [--seed N] [--json FILE] [--no-check] [--shutdown]
-                      [--quiet] [--metrics-addr HOST:PORT]";
+                      [--quiet] [--metrics-addr HOST:PORT]
+                      [--ack-journal FILE] [--tolerate-disconnect]
+       proust-loadgen --addr HOST:PORT --verify-journal FILE";
 
-fn config_from_args() -> (LoadConfig, Option<String>) {
+fn config_from_args() -> (LoadConfig, Option<String>, Option<String>) {
     let mut config = LoadConfig::default();
     let mut json_path = None;
+    let mut verify_path = None;
     let mut mode_name = "closed".to_string();
     let mut rate = 10_000.0f64;
     let mut dist_name = "zipfian".to_string();
@@ -52,6 +55,9 @@ fn config_from_args() -> (LoadConfig, Option<String>) {
             "--shutdown" => config.send_shutdown = true,
             "--quiet" => config.quiet = true,
             "--metrics-addr" => config.metrics_addr = Some(args.value("--metrics-addr")),
+            "--ack-journal" => config.ack_journal = Some(args.value("--ack-journal")),
+            "--tolerate-disconnect" => config.tolerate_disconnect = true,
+            "--verify-journal" => verify_path = Some(args.value("--verify-journal")),
             other => args.unknown(other),
         }
     }
@@ -65,11 +71,38 @@ fn config_from_args() -> (LoadConfig, Option<String>) {
         "zipfian" => KeyDist::Zipfian(theta),
         other => args.fail(format!("unknown --dist value {other:?}")),
     };
-    (config, json_path)
+    (config, json_path, verify_path)
 }
 
 fn main() {
-    let (config, json_path) = config_from_args();
+    let (config, json_path, verify_path) = config_from_args();
+    if let Some(journal) = verify_path {
+        // Verifier mode: no load, just check a recovered server against a
+        // previous run's ack journal.
+        let summary = match verify_journal(&config.addr, &journal) {
+            Ok(summary) => summary,
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "VERIFY counters={} acked_sum={} sent_sum={} recovered_sum={} violations={}",
+            summary.counters,
+            summary.acked_sum,
+            summary.sent_sum,
+            summary.recovered_sum,
+            summary.violations.len(),
+        );
+        if !summary.violations.is_empty() {
+            for violation in &summary.violations {
+                eprintln!("VIOLATION {violation}");
+            }
+            eprintln!("FAILED: recovery violated the ack-journal bounds");
+            std::process::exit(1);
+        }
+        return;
+    }
     let report = match run(&config) {
         Ok(report) => report,
         Err(err) => {

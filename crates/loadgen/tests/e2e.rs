@@ -31,6 +31,8 @@ fn load_config(addr: String) -> LoadConfig {
         send_shutdown: false,
         quiet: true,
         metrics_addr: None,
+        ack_journal: None,
+        tolerate_disconnect: false,
     }
 }
 
@@ -133,6 +135,51 @@ fn open_loop_paces_arrivals_and_stays_consistent() {
     let scheduled = (2_000.0f64 * 0.5).ceil() as u64;
     assert_eq!(report.requests, scheduled, "open loop must never drop arrivals");
     assert!(handle.shutdown());
+}
+
+#[test]
+fn ack_journal_bounds_hold_across_a_durable_restart() {
+    // Durability e2e: a journaled run against a WAL-backed server, a
+    // restart from the same data directory, then the journal verifier —
+    // every acknowledged INC must survive, nothing phantom may appear.
+    let scratch = std::env::temp_dir().join(format!("proust-loadgen-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let data_dir = scratch.join("data");
+    std::fs::create_dir_all(&data_dir).expect("data dir");
+    let journal = scratch.join("acks.journal");
+
+    let server_config =
+        ServerConfig { data_dir: Some(data_dir.clone()), ..ServerConfig::default() };
+    let handle = Server::start(server_config.clone()).expect("durable server starts");
+    let config = LoadConfig {
+        duration: Duration::from_millis(400),
+        inc_frac: 0.5,
+        ack_journal: Some(journal.display().to_string()),
+        ..load_config(handle.addr().to_string())
+    };
+    let report = run(&config).expect("journaled run completes");
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.lost_updates, 0);
+    assert!(report.expected_incs > 0, "INC mix never exercised");
+    assert!(handle.shutdown(), "drain on shutdown");
+
+    // Restart from the same directory and verify against the journal.
+    let handle = Server::start(server_config).expect("server recovers");
+    let summary =
+        proust_loadgen::verify_journal(&handle.addr().to_string(), &journal.display().to_string())
+            .expect("journal verifies");
+    assert!(summary.counters > 0, "journal must cover at least one counter");
+    assert!(
+        summary.violations.is_empty(),
+        "recovery violated ack-journal bounds: {:?}",
+        summary.violations
+    );
+    // Clean shutdown + checkpoint means recovery restores the exact acked
+    // totals (every INC was acknowledged before SHUTDOWN drained).
+    assert_eq!(summary.recovered_sum, summary.acked_sum, "clean restart must be exact");
+    assert!(handle.shutdown());
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 #[test]

@@ -21,9 +21,10 @@ use proust_core::op_site;
 use proust_core::structures::{
     EagerMap, FifoState, OrderedMap, ProustCounter, ProustFifo, SnapTrieMap,
 };
-use proust_core::{OptimisticLap, PessimisticLap, TxMap, ORDERED_STRIPES};
+use proust_core::{DurableOp, OptimisticLap, PessimisticLap, TxMap, ORDERED_STRIPES};
 use proust_stm::obs::{Histogram, JsonValue, PromWriter, Tracer, SHARED_NS_BUCKET_BOUNDS};
-use proust_stm::{ConflictDetection, Stm, StmConfig, TxError, TxResult, Txn};
+use proust_stm::{CommitHook, ConflictDetection, Stm, StmConfig, TxError, TxResult, Txn};
+use proust_wal::{FsyncPolicy, Wal};
 
 use crate::proto::{Cmd, TraceCmd};
 use crate::ServerConfig;
@@ -87,24 +88,26 @@ impl Baseline {
 pub enum Op {
     /// Map lookup.
     MapGet(Arc<dyn TxMap<u64, u64>>, u64),
-    /// Map insert/overwrite.
-    MapPut(Arc<dyn TxMap<u64, u64>>, u64, u64),
+    /// Map insert/overwrite. Mutating variants carry the structure's
+    /// registry name so the commit's WAL record can be replayed by name
+    /// after a restart.
+    MapPut(Arc<dyn TxMap<u64, u64>>, String, u64, u64),
     /// Map remove.
-    MapDel(Arc<dyn TxMap<u64, u64>>, u64),
+    MapDel(Arc<dyn TxMap<u64, u64>>, String, u64),
     /// Committed counter value.
     CounterGet(Arc<ProustCounter>),
     /// Counter increment by delta.
-    CounterInc(Arc<ProustCounter>, u64),
+    CounterInc(Arc<ProustCounter>, String, u64),
     /// Queue enqueue.
-    QueueEnq(Arc<ProustFifo<u64>>, u64),
+    QueueEnq(Arc<ProustFifo<u64>>, String, u64),
     /// Queue dequeue.
-    QueueDeq(Arc<ProustFifo<u64>>),
+    QueueDeq(Arc<ProustFifo<u64>>, String),
     /// Ordered-map lookup.
     OrdGet(Arc<OrderedMap<u64>>, u64),
     /// Ordered-map insert/overwrite.
-    OrdPut(Arc<OrderedMap<u64>>, u64, u64),
+    OrdPut(Arc<OrderedMap<u64>>, String, u64, u64),
     /// Ordered-map remove.
-    OrdDel(Arc<OrderedMap<u64>>, u64),
+    OrdDel(Arc<OrderedMap<u64>>, String, u64),
     /// Ordered-map range scan over `[lo, hi)`.
     OrdScan(Arc<OrderedMap<u64>>, u64, u64),
 }
@@ -204,6 +207,19 @@ pub struct Engine {
     pub latency: Histogram,
     /// Same latency, broken out per op (indexed by [`Op::index`]).
     op_latency: [Histogram; 11],
+    /// The write-ahead log, present when `--data-dir` is set.
+    wal: Option<Arc<Wal>>,
+    /// When to fsync appended commit records.
+    fsync_policy: FsyncPolicy,
+    /// fsync latency, ns (batch and always policies both record here).
+    wal_fsync_ns: Arc<Histogram>,
+    /// Commit records replayed during startup recovery.
+    recovery_replayed: AtomicU64,
+    /// Torn-tail bytes truncated during startup recovery.
+    recovery_truncated_bytes: AtomicU64,
+    /// Torn tails detected (0 or 1 per recovery; cumulative across
+    /// in-process reopens only in tests).
+    recovery_torn_tails: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -270,7 +286,214 @@ impl Engine {
             trace_sample_default: config.trace_sample,
             latency: Histogram::new(),
             op_latency: std::array::from_fn(|_| Histogram::new()),
+            wal: None,
+            fsync_policy: config.fsync_policy,
+            wal_fsync_ns: Arc::new(Histogram::new()),
+            recovery_replayed: AtomicU64::new(0),
+            recovery_truncated_bytes: AtomicU64::new(0),
+            recovery_torn_tails: AtomicU64::new(0),
         }
+    }
+
+    /// Build an engine and, when the configuration names a data
+    /// directory, open its write-ahead log: recover committed state
+    /// (checkpoint first, then the commit records past it), then install
+    /// the commit hook so new transactions start logging. Replay runs
+    /// *before* the hook exists, so recovered history is never re-logged.
+    ///
+    /// With `chaos_torn_tail` set, a CRC-invalid partial record is
+    /// appended to the existing log before opening it — a fault-injection
+    /// hook proving the torn-tail truncation path actually bites.
+    pub fn open(config: &ServerConfig) -> std::io::Result<Engine> {
+        let mut engine = Engine::new(config);
+        let Some(dir) = &config.data_dir else {
+            return Ok(engine);
+        };
+        if config.chaos_torn_tail {
+            proust_wal::inject_torn_tail(dir)?;
+        }
+        let (wal, recovery) = Wal::open(dir, config.wal_segment_bytes)?;
+        engine.recovery_truncated_bytes.store(recovery.truncated_bytes, Ordering::Relaxed);
+        engine.recovery_torn_tails.store(u64::from(recovery.torn_tail), Ordering::Relaxed);
+
+        let invalid = |err: String| std::io::Error::new(std::io::ErrorKind::InvalidData, err);
+        // Counters are accumulated outside the STM and installed with
+        // their recovered totals directly; replaying increments one
+        // transactional `incr` at a time would be O(total) transactions.
+        let mut counter_totals: HashMap<String, i64> = HashMap::new();
+        if let Some(ckpt) = &recovery.checkpoint {
+            let ops = DurableOp::decode_all(&ckpt.payload)
+                .map_err(|e| invalid(format!("checkpoint: {e}")))?;
+            engine.replay_ops(&ops, &mut counter_totals).map_err(invalid)?;
+        }
+        let mut replayed = 0u64;
+        for record in &recovery.records {
+            let ops = DurableOp::decode_all(&record.payload)
+                .map_err(|e| invalid(format!("record lsn={}: {e}", record.lsn)))?;
+            engine.replay_ops(&ops, &mut counter_totals).map_err(invalid)?;
+            replayed += 1;
+        }
+        {
+            let mut counters = engine.counters.lock().expect("counters registry poisoned");
+            for (name, total) in counter_totals {
+                counters.insert(name, Arc::new(ProustCounter::new(total)));
+            }
+        }
+        engine.recovery_replayed.store(replayed, Ordering::Relaxed);
+
+        let wal = Arc::new(wal);
+        let hook = Arc::new(WalHook {
+            wal: Arc::clone(&wal),
+            policy: config.fsync_policy,
+            fsync_ns: Arc::clone(&engine.wal_fsync_ns),
+        });
+        assert!(engine.stm.set_commit_hook(hook), "commit hook installed twice");
+        engine.wal = Some(wal);
+        Ok(engine)
+    }
+
+    /// Replay decoded WAL operations against the registries. Counter adds
+    /// accumulate into `counter_totals` (installed in one shot by the
+    /// caller); structural ops run transactionally in chunks so recovery
+    /// of a large log does not build one giant write set.
+    fn replay_ops(
+        &self,
+        ops: &[DurableOp],
+        counter_totals: &mut HashMap<String, i64>,
+    ) -> Result<(), String> {
+        const REPLAY_CHUNK: usize = 256;
+        let mut structural: Vec<Op> = Vec::new();
+        for op in ops {
+            match op {
+                DurableOp::CounterAdd { name, delta } => {
+                    *counter_totals.entry(name.clone()).or_insert(0) += delta;
+                }
+                DurableOp::MapPut { name, key, value } => {
+                    structural.push(Op::MapPut(self.map_for(name)?, name.clone(), *key, *value));
+                }
+                DurableOp::MapDel { name, key } => {
+                    structural.push(Op::MapDel(self.map_for(name)?, name.clone(), *key));
+                }
+                DurableOp::QueueEnq { name, value } => {
+                    structural.push(Op::QueueEnq(self.queue_for(name)?, name.clone(), *value));
+                }
+                DurableOp::QueueDeq { name } => {
+                    structural.push(Op::QueueDeq(self.queue_for(name)?, name.clone()));
+                }
+                DurableOp::OrdPut { name, key, value } => {
+                    structural.push(Op::OrdPut(self.omap_for(name)?, name.clone(), *key, *value));
+                }
+                DurableOp::OrdDel { name, key } => {
+                    structural.push(Op::OrdDel(self.omap_for(name)?, name.clone(), *key));
+                }
+            }
+        }
+        for chunk in structural.chunks(REPLAY_CHUNK) {
+            self.stm
+                .atomically(|tx| {
+                    for op in chunk {
+                        apply_op(tx, op)?;
+                    }
+                    Ok(())
+                })
+                .map_err(|err| format!("replay transaction failed: {err:?}"))?;
+        }
+        Ok(())
+    }
+
+    /// Write a point-in-time checkpoint of all committed state and GC the
+    /// log segments it covers, bounding the next restart's replay.
+    /// Returns `Ok(None)` when the server is running without a WAL.
+    ///
+    /// # Errors
+    ///
+    /// Refuses while transactions are in flight — the caller must drain
+    /// first ([`Stm::quiesce`] is the only drain primitive), because the
+    /// registry dumps are only consistent at quiescence. Also errors when
+    /// a baseline map cannot dump its committed entries (full-log replay
+    /// still recovers it) or on I/O failure.
+    pub fn checkpoint(&self) -> Result<Option<u64>, String> {
+        let Some(wal) = &self.wal else {
+            return Ok(None);
+        };
+        let in_flight = self.stm.in_flight();
+        if in_flight > 0 {
+            return Err(format!("{in_flight} transactions in flight; drain before checkpointing"));
+        }
+        let mut ops: Vec<DurableOp> = Vec::new();
+        {
+            let maps = self.maps.lock().expect("maps registry poisoned");
+            for (name, map) in maps.iter() {
+                let Some(entries) = map.committed_entries() else {
+                    return Err(format!(
+                        "map {name} cannot dump committed entries (baseline implementation); \
+                         relying on full-log replay"
+                    ));
+                };
+                for (key, value) in entries {
+                    ops.push(DurableOp::MapPut { name: name.clone(), key, value });
+                }
+            }
+        }
+        {
+            let counters = self.counters.lock().expect("counters registry poisoned");
+            for (name, counter) in counters.iter() {
+                let total = counter.value_now();
+                if total != 0 {
+                    ops.push(DurableOp::CounterAdd { name: name.clone(), delta: total });
+                }
+            }
+        }
+        {
+            let queues = self.queues.lock().expect("queues registry poisoned");
+            for (name, queue) in queues.iter() {
+                for value in queue.committed_items() {
+                    ops.push(DurableOp::QueueEnq { name: name.clone(), value });
+                }
+            }
+        }
+        {
+            let omaps = self.omaps.lock().expect("omaps registry poisoned");
+            for (name, omap) in omaps.iter() {
+                let entries =
+                    omap.committed_entries().expect("ordered maps always dump committed entries");
+                for (key, value) in entries {
+                    ops.push(DurableOp::OrdPut { name: name.clone(), key, value });
+                }
+            }
+        }
+        let payload = DurableOp::encode_all(&ops);
+        wal.checkpoint(&payload).map(Some).map_err(|err| err.to_string())
+    }
+
+    /// Group fsync for the commit batch that just executed: one fsync
+    /// covers every record appended since the last one (absorbed syncs
+    /// are counted, not repeated). No-op under `--fsync-policy always`
+    /// (each commit already synced) and `off` (the OS decides).
+    fn wal_sync_batch(&self) {
+        let Some(wal) = &self.wal else {
+            return;
+        };
+        if self.fsync_policy != FsyncPolicy::Batch {
+            return;
+        }
+        let start = Instant::now();
+        match wal.sync() {
+            Ok(true) => self.wal_fsync_ns.record(start.elapsed().as_nanos() as u64),
+            Ok(false) => {}
+            Err(err) => eprintln!("wal batch fsync failed: {err}"),
+        }
+    }
+
+    /// `(records replayed, torn-tail bytes truncated, torn tails seen)`
+    /// from startup recovery — the numbers behind the boot-time
+    /// `RECOVERY` line and the recovery metric families.
+    pub fn recovery_stats(&self) -> (u64, u64, u64) {
+        (
+            self.recovery_replayed.load(Ordering::Relaxed),
+            self.recovery_truncated_bytes.load(Ordering::Relaxed),
+            self.recovery_torn_tails.load(Ordering::Relaxed),
+        )
     }
 
     /// The engine's STM runtime (shutdown drain, tests).
@@ -468,15 +691,23 @@ impl Engine {
     pub fn resolve(&self, cmd: &Cmd) -> Result<Op, String> {
         Ok(match cmd {
             Cmd::MapGet { name, key } => Op::MapGet(self.map_for(name)?, *key),
-            Cmd::MapPut { name, key, value } => Op::MapPut(self.map_for(name)?, *key, *value),
-            Cmd::MapDel { name, key } => Op::MapDel(self.map_for(name)?, *key),
+            Cmd::MapPut { name, key, value } => {
+                Op::MapPut(self.map_for(name)?, name.clone(), *key, *value)
+            }
+            Cmd::MapDel { name, key } => Op::MapDel(self.map_for(name)?, name.clone(), *key),
             Cmd::CounterGet { name } => Op::CounterGet(self.counter_for(name)?),
-            Cmd::CounterInc { name, delta } => Op::CounterInc(self.counter_for(name)?, *delta),
-            Cmd::QueueEnq { name, value } => Op::QueueEnq(self.queue_for(name)?, *value),
-            Cmd::QueueDeq { name } => Op::QueueDeq(self.queue_for(name)?),
+            Cmd::CounterInc { name, delta } => {
+                Op::CounterInc(self.counter_for(name)?, name.clone(), *delta)
+            }
+            Cmd::QueueEnq { name, value } => {
+                Op::QueueEnq(self.queue_for(name)?, name.clone(), *value)
+            }
+            Cmd::QueueDeq { name } => Op::QueueDeq(self.queue_for(name)?, name.clone()),
             Cmd::OrdGet { name, key } => Op::OrdGet(self.omap_for(name)?, *key),
-            Cmd::OrdPut { name, key, value } => Op::OrdPut(self.omap_for(name)?, *key, *value),
-            Cmd::OrdDel { name, key } => Op::OrdDel(self.omap_for(name)?, *key),
+            Cmd::OrdPut { name, key, value } => {
+                Op::OrdPut(self.omap_for(name)?, name.clone(), *key, *value)
+            }
+            Cmd::OrdDel { name, key } => Op::OrdDel(self.omap_for(name)?, name.clone(), *key),
             Cmd::OrdScan { name, lo, hi } => Op::OrdScan(self.omap_for(name)?, *lo, *hi),
         })
     }
@@ -486,6 +717,15 @@ impl Engine {
     /// budget exhausted), one transaction per unit. Returns one response
     /// vector per unit, in order.
     pub fn execute(&self, units: &[Unit]) -> Vec<Vec<String>> {
+        let responses = self.execute_burst(units);
+        // Group commit: the whole burst's WAL records ride one fsync, so
+        // durability costs one disk flush per pipelined batch instead of
+        // one per transaction.
+        self.wal_sync_batch();
+        responses
+    }
+
+    fn execute_burst(&self, units: &[Unit]) -> Vec<Vec<String>> {
         let total: u64 = units.iter().map(|unit| unit.ops.len() as u64).sum();
         self.requests.fetch_add(total, Ordering::Relaxed);
         if units.len() > 1 {
@@ -542,6 +782,11 @@ impl Engine {
     /// and the server-side latency histograms.
     pub fn stats_json(&self) -> JsonValue {
         let stats = self.stm.stats();
+        let wal_stats = self.wal.as_ref().map(|wal| wal.stats());
+        let wal_field = |get: fn(&proust_wal::WalStats) -> &AtomicU64| {
+            wal_stats.map_or(0, |s| get(s).load(Ordering::Relaxed))
+        };
+        let (recovery_replayed, recovery_truncated, recovery_torn) = self.recovery_stats();
         let top: Vec<JsonValue> = self
             .stm
             .metrics()
@@ -599,6 +844,24 @@ impl Engine {
             ("conflict_matrix_top", JsonValue::Arr(top)),
             ("latency", histogram_json(&self.latency)),
             ("op_p99_ns", JsonValue::obj(op_p99)),
+            // STATS v4: durability. All fields are present (zero) when the
+            // server runs without --data-dir, so scrapers never branch.
+            ("wal_enabled", JsonValue::u64(u64::from(self.wal.is_some()))),
+            ("fsync_policy", JsonValue::str(self.fsync_policy.name())),
+            ("wal_records", JsonValue::u64(wal_field(|s| &s.records))),
+            ("wal_append_bytes", JsonValue::u64(wal_field(|s| &s.append_bytes))),
+            ("wal_fsyncs", JsonValue::u64(wal_field(|s| &s.fsyncs))),
+            ("wal_segments", JsonValue::u64(wal_field(|s| &s.segments))),
+            ("wal_last_lsn", JsonValue::u64(self.wal.as_ref().map_or(0, |w| w.last_lsn()))),
+            ("wal_durable_lsn", JsonValue::u64(self.wal.as_ref().map_or(0, |w| w.durable_lsn()))),
+            (
+                "wal_checkpoint_lsn",
+                JsonValue::u64(self.wal.as_ref().map_or(0, |w| w.checkpoint_lsn())),
+            ),
+            ("wal_fsync_p99_ns", JsonValue::u64(self.wal_fsync_ns.p99())),
+            ("recovery_replayed", JsonValue::u64(recovery_replayed)),
+            ("recovery_truncated_bytes", JsonValue::u64(recovery_truncated)),
+            ("recovery_torn_tails", JsonValue::u64(recovery_torn)),
         ])
     }
 
@@ -782,6 +1045,82 @@ impl Engine {
             self.stm.serial_queue_depth() as f64,
         );
 
+        // --- Durability ------------------------------------------------
+        // Always exported (zeros without --data-dir) so dashboards and
+        // the smoke test's family assertions never branch on config.
+        let wal_stats = self.wal.as_ref().map(|wal| wal.stats());
+        let wal_field = |get: fn(&proust_wal::WalStats) -> &AtomicU64| {
+            wal_stats.map_or(0, |s| get(s).load(Ordering::Relaxed))
+        };
+        let (recovery_replayed, recovery_truncated, recovery_torn) = self.recovery_stats();
+        w.gauge(
+            "proust_wal_enabled",
+            "1 when a write-ahead log is attached (--data-dir).",
+            f64::from(u8::from(self.wal.is_some())),
+        );
+        w.counter(
+            "proust_wal_append_bytes_total",
+            "Framed bytes appended to the write-ahead log.",
+            wal_field(|s| &s.append_bytes),
+        );
+        w.counter(
+            "proust_wal_records_total",
+            "Commit records appended to the write-ahead log.",
+            wal_field(|s| &s.records),
+        );
+        w.counter(
+            "proust_wal_fsyncs_total",
+            "fsync calls that hit the log file (group-commit absorbed syncs excluded).",
+            wal_field(|s| &s.fsyncs),
+        );
+        w.counter(
+            "proust_wal_syncs_absorbed_total",
+            "Sync requests satisfied by another commit's covering fsync.",
+            wal_field(|s| &s.syncs_absorbed),
+        );
+        w.counter(
+            "proust_wal_rotations_total",
+            "Segment rotations since the log was opened.",
+            wal_field(|s| &s.rotations),
+        );
+        w.gauge(
+            "proust_wal_segments",
+            "Live write-ahead-log segment files.",
+            wal_field(|s| &s.segments) as f64,
+        );
+        w.gauge(
+            "proust_wal_durable_lsn",
+            "Highest log sequence number known durable on disk.",
+            self.wal.as_ref().map_or(0, |w| w.durable_lsn()) as f64,
+        );
+        w.gauge(
+            "proust_wal_checkpoint_lsn",
+            "LSN covered by the most recent checkpoint (0 = none).",
+            self.wal.as_ref().map_or(0, |w| w.checkpoint_lsn()) as f64,
+        );
+        w.counter(
+            "proust_recovery_replayed_total",
+            "Committed WAL records replayed during startup recovery.",
+            recovery_replayed,
+        );
+        w.counter(
+            "proust_recovery_truncated_bytes_total",
+            "Torn-tail bytes truncated (never replayed) during recovery.",
+            recovery_truncated,
+        );
+        w.counter(
+            "proust_wal_torn_tails_total",
+            "Torn tails detected and healed during recovery.",
+            recovery_torn,
+        );
+        w.header("proust_wal_fsync_ns", "WAL fsync latency, ns.", "histogram");
+        w.histogram_bounded(
+            "proust_wal_fsync_ns",
+            &[],
+            &self.wal_fsync_ns,
+            &SHARED_NS_BUCKET_BOUNDS,
+        );
+
         w.header(
             "proust_conflict_pairs_total",
             "Conflict-driven aborts by (aborter op site, victim op site).",
@@ -810,8 +1149,49 @@ impl Engine {
     }
 }
 
+/// The STM commit hook bridging commits to the WAL: called at the
+/// serialization point (ownership still held), so append order is a
+/// valid serialization order. Under `always` the fsync happens here,
+/// per commit; under `batch` it is deferred to the burst boundary.
+struct WalHook {
+    wal: Arc<Wal>,
+    policy: FsyncPolicy,
+    fsync_ns: Arc<Histogram>,
+}
+
+impl CommitHook for WalHook {
+    fn on_commit(&self, commit_ts: u64, payload: &[u8]) {
+        if let Err(err) = self.wal.append(commit_ts, payload) {
+            // The transaction has already committed in memory; all we can
+            // do is scream. The operator sees a durability gap, not a
+            // wedged server.
+            eprintln!("wal append failed (commit_ts={commit_ts}): {err}");
+            return;
+        }
+        if self.policy == FsyncPolicy::Always {
+            let start = Instant::now();
+            match self.wal.sync() {
+                Ok(true) => self.fsync_ns.record(start.elapsed().as_nanos() as u64),
+                Ok(false) => {}
+                Err(err) => eprintln!("wal fsync failed: {err}"),
+            }
+        }
+    }
+}
+
+/// Encode one replay record into the transaction's durable buffer. The
+/// buffer only reaches the WAL if this attempt commits; aborted attempts
+/// discard it, so replay logs never contain rolled-back updates.
+fn log_durable(tx: &mut Txn, op: &DurableOp) {
+    let mut buf = Vec::with_capacity(32);
+    op.encode_into(&mut buf);
+    tx.wal_log(&buf);
+}
+
 /// Apply one resolved operation inside a transaction, tagging the
-/// server-side op site for conflict attribution.
+/// server-side op site for conflict attribution. Mutating ops append
+/// their replay record to the transaction's WAL buffer (a no-op unless a
+/// commit hook — i.e. `--data-dir` — is installed).
 fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
     match op {
         Op::MapGet(map, key) => {
@@ -821,15 +1201,26 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
                 None => "NIL".to_string(),
             })
         }
-        Op::MapPut(map, key, value) => {
+        Op::MapPut(map, name, key, value) => {
             op_site!(tx, "server.put");
             map.put(tx, *key, *value)?;
+            if tx.wal_enabled() {
+                log_durable(
+                    tx,
+                    &DurableOp::MapPut { name: name.clone(), key: *key, value: *value },
+                );
+            }
             Ok("OK".to_string())
         }
-        Op::MapDel(map, key) => {
+        Op::MapDel(map, name, key) => {
             op_site!(tx, "server.del");
             Ok(match map.remove(tx, key)? {
-                Some(old) => format!("VALUE {old}"),
+                Some(old) => {
+                    if tx.wal_enabled() {
+                        log_durable(tx, &DurableOp::MapDel { name: name.clone(), key: *key });
+                    }
+                    format!("VALUE {old}")
+                }
                 None => "NIL".to_string(),
             })
         }
@@ -839,22 +1230,38 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
             op_site!(tx, "server.cget");
             Ok(format!("VALUE {}", counter.value_now()))
         }
-        Op::CounterInc(counter, delta) => {
+        Op::CounterInc(counter, name, delta) => {
             op_site!(tx, "server.inc");
             for _ in 0..*delta {
                 counter.incr(tx)?;
             }
+            if *delta > 0 && tx.wal_enabled() {
+                log_durable(
+                    tx,
+                    &DurableOp::CounterAdd { name: name.clone(), delta: *delta as i64 },
+                );
+            }
             Ok("OK".to_string())
         }
-        Op::QueueEnq(queue, value) => {
+        Op::QueueEnq(queue, name, value) => {
             op_site!(tx, "server.enq");
             queue.enqueue(tx, *value)?;
+            if tx.wal_enabled() {
+                log_durable(tx, &DurableOp::QueueEnq { name: name.clone(), value: *value });
+            }
             Ok("OK".to_string())
         }
-        Op::QueueDeq(queue) => {
+        Op::QueueDeq(queue, name) => {
             op_site!(tx, "server.deq");
             Ok(match queue.dequeue(tx)? {
-                Some(value) => format!("VALUE {value}"),
+                Some(value) => {
+                    // Logged only when something actually came off the
+                    // queue; a DEQ that answered NIL replays as nothing.
+                    if tx.wal_enabled() {
+                        log_durable(tx, &DurableOp::QueueDeq { name: name.clone() });
+                    }
+                    format!("VALUE {value}")
+                }
                 None => "NIL".to_string(),
             })
         }
@@ -865,15 +1272,26 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
                 None => "NIL".to_string(),
             })
         }
-        Op::OrdPut(omap, key, value) => {
+        Op::OrdPut(omap, name, key, value) => {
             op_site!(tx, "server.oput");
             omap.put(tx, *key, *value)?;
+            if tx.wal_enabled() {
+                log_durable(
+                    tx,
+                    &DurableOp::OrdPut { name: name.clone(), key: *key, value: *value },
+                );
+            }
             Ok("OK".to_string())
         }
-        Op::OrdDel(omap, key) => {
+        Op::OrdDel(omap, name, key) => {
             op_site!(tx, "server.odel");
             Ok(match omap.remove(tx, key)? {
-                Some(old) => format!("VALUE {old}"),
+                Some(old) => {
+                    if tx.wal_enabled() {
+                        log_durable(tx, &DurableOp::OrdDel { name: name.clone(), key: *key });
+                    }
+                    format!("VALUE {old}")
+                }
                 None => "NIL".to_string(),
             })
         }
@@ -1052,6 +1470,25 @@ mod tests {
         ] {
             assert!(parsed.get(field).and_then(JsonValue::as_u64).is_some(), "missing {field}");
         }
+        // STATS v4: durability fields are always present, zeroed without
+        // --data-dir.
+        for field in [
+            "wal_enabled",
+            "wal_records",
+            "wal_append_bytes",
+            "wal_fsyncs",
+            "wal_segments",
+            "wal_last_lsn",
+            "wal_durable_lsn",
+            "wal_checkpoint_lsn",
+            "wal_fsync_p99_ns",
+            "recovery_replayed",
+            "recovery_truncated_bytes",
+            "recovery_torn_tails",
+        ] {
+            assert_eq!(parsed.get(field).and_then(JsonValue::as_u64), Some(0), "field {field}");
+        }
+        assert!(parsed.get("fsync_policy").is_some());
     }
 
     #[test]
@@ -1077,9 +1514,24 @@ mod tests {
             "proust_parks_total",
             "proust_serial_held_ns_total",
             "proust_serial_queue_depth",
+            "proust_wal_enabled",
+            "proust_wal_append_bytes_total",
+            "proust_wal_records_total",
+            "proust_wal_fsyncs_total",
+            "proust_wal_segments",
+            "proust_recovery_replayed_total",
+            "proust_recovery_truncated_bytes_total",
+            "proust_wal_torn_tails_total",
         ] {
             assert!(samples.iter().any(|s| s.name == family), "missing family {family}");
         }
+        // The fsync histogram emits its full bucket ladder even when empty.
+        let fsync_les: Vec<&str> = samples
+            .iter()
+            .filter(|s| s.name == "proust_wal_fsync_ns_bucket")
+            .filter_map(|s| s.label("le"))
+            .collect();
+        assert!(fsync_les.contains(&"+Inf"));
         // Contention histograms emit their full shared-bound bucket ladder
         // even when empty, so scrapers always see the families.
         for family in ["proust_lock_hold_ns", "proust_park_ns"] {
@@ -1127,6 +1579,185 @@ mod tests {
         let requests =
             samples.iter().find(|s| s.name == "proust_requests_total").expect("requests");
         assert!(requests.value >= 2.0);
+    }
+
+    /// Unique scratch directory removed on drop (no tempfile dependency).
+    struct ScratchDir(std::path::PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> ScratchDir {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "proust-engine-{tag}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&path).expect("create scratch dir");
+            ScratchDir(path)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn durable_config(dir: &ScratchDir) -> ServerConfig {
+        ServerConfig { data_dir: Some(dir.0.clone()), ..ServerConfig::default() }
+    }
+
+    #[test]
+    fn wal_round_trip_across_restart() {
+        let dir = ScratchDir::new("round-trip");
+        let config = durable_config(&dir);
+        {
+            let engine = Engine::open(&config).unwrap();
+            assert_eq!(single(&engine, "PUT m 1 10"), "OK");
+            assert_eq!(single(&engine, "PUT m 2 20"), "OK");
+            assert_eq!(single(&engine, "DEL m 2"), "VALUE 20");
+            assert_eq!(single(&engine, "INC hits 3"), "OK");
+            assert_eq!(single(&engine, "ENQ q 7"), "OK");
+            assert_eq!(single(&engine, "ENQ q 8"), "OK");
+            assert_eq!(single(&engine, "DEQ q"), "VALUE 7");
+            assert_eq!(single(&engine, "OPUT o 5 50"), "OK");
+            assert_eq!(single(&engine, "OPUT o 6 60"), "OK");
+            assert_eq!(single(&engine, "ODEL o 6"), "VALUE 60");
+            // No SHUTDOWN, no checkpoint — this models a crash with a
+            // synced log (execute() group-fsyncs each burst).
+        }
+        let engine = Engine::open(&config).unwrap();
+        let (replayed, truncated, torn) = engine.recovery_stats();
+        assert!(replayed > 0, "recovery must replay the committed records");
+        assert_eq!((truncated, torn), (0, 0), "clean log has no torn tail");
+        assert_eq!(single(&engine, "GET m 1"), "VALUE 10");
+        assert_eq!(single(&engine, "GET m 2"), "NIL");
+        assert_eq!(single(&engine, "GET hits"), "VALUE 3");
+        assert_eq!(single(&engine, "DEQ q"), "VALUE 8");
+        assert_eq!(single(&engine, "DEQ q"), "NIL");
+        assert_eq!(single(&engine, "SCAN o 0 100"), "VALUE 1 5=50");
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_after_restart() {
+        let dir = ScratchDir::new("checkpoint");
+        let config = durable_config(&dir);
+        {
+            let engine = Engine::open(&config).unwrap();
+            for i in 0..20u64 {
+                assert_eq!(single(&engine, &format!("PUT m {i} {}", i * 3)), "OK");
+            }
+            assert_eq!(single(&engine, "INC c 5"), "OK");
+            assert_eq!(single(&engine, "ENQ q 1"), "OK");
+            assert_eq!(single(&engine, "OPUT o 2 4"), "OK");
+            let lsn = engine.checkpoint().expect("checkpoint").expect("wal attached");
+            assert!(lsn > 0);
+        }
+        let engine = Engine::open(&config).unwrap();
+        // Everything came from the checkpoint; no records to replay.
+        assert_eq!(engine.recovery_stats().0, 0, "checkpoint must bound replay to zero");
+        assert_eq!(single(&engine, "GET m 7"), "VALUE 21");
+        assert_eq!(single(&engine, "GET c"), "VALUE 5");
+        assert_eq!(single(&engine, "DEQ q"), "VALUE 1");
+        assert_eq!(single(&engine, "OGET o 2"), "VALUE 4");
+    }
+
+    #[test]
+    fn checkpoint_refuses_while_transactions_are_in_flight() {
+        let dir = ScratchDir::new("in-flight");
+        let engine = Arc::new(Engine::open(&durable_config(&dir)).unwrap());
+        let op = engine.resolve(&Cmd::MapPut { name: "m".into(), key: 1, value: 1 }).unwrap();
+        let (tx_entered, rx_entered) = std::sync::mpsc::channel();
+        let (tx_release, rx_release) = std::sync::mpsc::channel::<()>();
+        let worker = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                engine
+                    .stm()
+                    .atomically(|tx| {
+                        apply_op(tx, &op)?;
+                        if tx.attempt() == 1 {
+                            // Hold the transaction open (first attempt only,
+                            // so a conflict retry cannot double-signal).
+                            tx_entered.send(()).unwrap();
+                            rx_release.recv().unwrap();
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+            })
+        };
+        rx_entered.recv().unwrap();
+        // Drain-then-checkpoint ordering: with a transaction in flight the
+        // checkpoint must refuse rather than dump a torn snapshot.
+        let err = engine.checkpoint().expect_err("checkpoint must refuse mid-flight");
+        assert!(err.contains("in flight"), "unexpected error: {err}");
+        tx_release.send(()).unwrap();
+        worker.join().unwrap();
+        assert!(engine.stm().quiesce(std::time::Duration::from_secs(2)));
+        engine.checkpoint().expect("quiesced checkpoint").expect("wal attached");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_never_replayed() {
+        let dir = ScratchDir::new("torn");
+        let config = durable_config(&dir);
+        {
+            let engine = Engine::open(&config).unwrap();
+            assert_eq!(single(&engine, "PUT m 1 10"), "OK");
+            assert_eq!(single(&engine, "PUT m 2 20"), "OK");
+        }
+        // Restart with fault injection: a CRC-corrupt partial record is
+        // appended before open, modeling a crash mid-append.
+        let config_torn = ServerConfig { chaos_torn_tail: true, ..config.clone() };
+        let engine = Engine::open(&config_torn).unwrap();
+        let (replayed, truncated, torn) = engine.recovery_stats();
+        assert_eq!(torn, 1, "injected torn tail must be detected");
+        assert!(truncated > 0, "torn bytes must be truncated");
+        assert!(replayed >= 2, "intact records before the tear still replay");
+        assert_eq!(single(&engine, "GET m 1"), "VALUE 10");
+        assert_eq!(single(&engine, "GET m 2"), "VALUE 20");
+        drop(engine);
+        // The truncation healed the log on disk: a clean reopen sees no tear.
+        let engine = Engine::open(&config).unwrap();
+        assert_eq!(engine.recovery_stats().2, 0, "healed log must reopen clean");
+        assert_eq!(single(&engine, "GET m 2"), "VALUE 20");
+    }
+
+    #[test]
+    fn baseline_maps_recover_via_full_log_replay() {
+        let dir = ScratchDir::new("baseline");
+        let config = ServerConfig { baseline: Some(Baseline::Coarse), ..durable_config(&dir) };
+        {
+            let engine = Engine::open(&config).unwrap();
+            assert_eq!(single(&engine, "PUT m 1 10"), "OK");
+            // Baselines cannot dump committed entries, so the checkpoint
+            // refuses — the log remains the source of truth.
+            let err = engine.checkpoint().expect_err("baseline checkpoint must refuse");
+            assert!(err.contains("full-log replay"), "unexpected error: {err}");
+        }
+        let engine = Engine::open(&config).unwrap();
+        assert!(engine.recovery_stats().0 > 0);
+        assert_eq!(single(&engine, "GET m 1"), "VALUE 10");
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_wal_records() {
+        let dir = ScratchDir::new("aborted");
+        let config = durable_config(&dir);
+        {
+            let engine = Engine::open(&config).unwrap();
+            assert_eq!(single(&engine, "PUT m 1 10"), "OK");
+            let op = engine.resolve(&Cmd::MapPut { name: "m".into(), key: 9, value: 99 }).unwrap();
+            let result: Result<(), _> = engine.stm().atomically(|tx| {
+                apply_op(tx, &op)?;
+                Err(TxError::abort("client rollback"))
+            });
+            assert!(result.is_err());
+        }
+        let engine = Engine::open(&config).unwrap();
+        assert_eq!(single(&engine, "GET m 9"), "NIL", "aborted update must not be replayed");
+        assert_eq!(single(&engine, "GET m 1"), "VALUE 10");
     }
 
     #[test]

@@ -81,6 +81,17 @@ pub struct ServerConfig {
     /// Flight-recorder sampling period: 1-in-N transactions record
     /// per-phase spans (0 = off). Runtime-adjustable via `TRACE START`.
     pub trace_sample: u64,
+    /// Durability directory: enables the write-ahead log, with crash
+    /// recovery replayed from it on boot. `None` keeps the server
+    /// memory-only.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// When to fsync WAL appends (only meaningful with `data_dir`).
+    pub fsync_policy: proust_wal::FsyncPolicy,
+    /// WAL segment rotation threshold, bytes.
+    pub wal_segment_bytes: u64,
+    /// Fault injection: corrupt the WAL tail before recovery runs, to
+    /// prove the torn-tail truncation path bites (`--chaos-torn-tail`).
+    pub chaos_torn_tail: bool,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +111,10 @@ impl Default for ServerConfig {
             metrics_addr: None,
             slow_threshold: None,
             trace_sample: 64,
+            data_dir: None,
+            fsync_policy: proust_wal::FsyncPolicy::default(),
+            wal_segment_bytes: proust_wal::Wal::DEFAULT_SEGMENT_BYTES,
+            chaos_torn_tail: false,
         }
     }
 }
@@ -148,7 +163,7 @@ impl Server {
             None => None,
         };
         let shared = Arc::new(Shared {
-            engine: Engine::new(&config),
+            engine: Engine::open(&config)?,
             shutdown: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -218,6 +233,12 @@ impl ServerHandle {
         self.shared.engine.stats_json().to_json()
     }
 
+    /// `(records replayed, torn-tail bytes truncated, torn tails seen)`
+    /// from startup recovery; all zeros without `--data-dir`.
+    pub fn recovery_stats(&self) -> (u64, u64, u64) {
+        self.shared.engine.recovery_stats()
+    }
+
     /// Request a graceful shutdown and wait for it to complete: acceptors
     /// stop, workers finish the requests they have already parsed, and the
     /// STM runtime quiesces. Returns `true` if every in-flight transaction
@@ -242,7 +263,17 @@ impl ServerHandle {
         for thread in self.threads {
             let _ = thread.join();
         }
-        self.shared.engine.stm().quiesce(QUIESCE_TIMEOUT)
+        let drained = self.shared.engine.stm().quiesce(QUIESCE_TIMEOUT);
+        // Drain-then-checkpoint: only a quiesced engine may checkpoint
+        // (Engine::checkpoint re-verifies no transaction is in flight).
+        // A failed or skipped checkpoint is not a failed shutdown — the
+        // WAL alone still recovers everything.
+        if drained {
+            if let Err(err) = self.shared.engine.checkpoint() {
+                eprintln!("checkpoint skipped: {err}");
+            }
+        }
+        drained
     }
 }
 

@@ -14,7 +14,9 @@ usage: proust-server [--addr HOST:PORT] [--lap pessimistic|optimistic]
                      [--shards N] [--workers N]
                      [--max-batch N] [--batch-patience N]
                      [--metrics-addr HOST:PORT] [--slow-threshold MS]
-                     [--trace-sample N]";
+                     [--trace-sample N]
+                     [--data-dir PATH] [--fsync-policy batch|always|off]
+                     [--wal-segment-bytes N] [--chaos-torn-tail]";
 
 fn config_from_args() -> ServerConfig {
     let mut config = ServerConfig::default();
@@ -63,6 +65,18 @@ fn config_from_args() -> ServerConfig {
                 config.slow_threshold = Some(std::time::Duration::from_millis(ms));
             }
             "--trace-sample" => config.trace_sample = args.parsed("--trace-sample"),
+            "--data-dir" => {
+                config.data_dir = Some(std::path::PathBuf::from(args.value("--data-dir")));
+            }
+            "--fsync-policy" => {
+                let raw = args.value("--fsync-policy");
+                config.fsync_policy = proust_wal::FsyncPolicy::parse(&raw)
+                    .unwrap_or_else(|| args.fail(format!("unknown --fsync-policy value {raw:?}")));
+            }
+            "--wal-segment-bytes" => {
+                config.wal_segment_bytes = args.parsed("--wal-segment-bytes");
+            }
+            "--chaos-torn-tail" => config.chaos_torn_tail = true,
             other => args.unknown(other),
         }
     }
@@ -71,6 +85,7 @@ fn config_from_args() -> ServerConfig {
 
 fn main() {
     let config = config_from_args();
+    let durable = config.data_dir.is_some();
     let handle = match Server::start(config) {
         Ok(handle) => handle,
         Err(err) => {
@@ -78,6 +93,12 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if durable {
+        // Scripts parse this line to assert on recovery behaviour (e.g.
+        // that a torn tail was truncated, or that replay was bounded).
+        let (replayed, truncated_bytes, torn_tails) = handle.recovery_stats();
+        println!("RECOVERY replayed={replayed} truncated_bytes={truncated_bytes} torn_tails={torn_tails}");
+    }
     // Scripts parse this line to discover the port when binding :0.
     println!("LISTENING {}", handle.addr());
     if let Some(metrics) = handle.metrics_addr() {

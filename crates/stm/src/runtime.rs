@@ -161,6 +161,20 @@ impl Drop for SerialTicket<'_> {
     }
 }
 
+/// Observer of committed transactions' durable replay logs, installed via
+/// [`Stm::set_commit_hook`]. The server's WAL implements this to persist
+/// each commit's [`Txn::wal_log`](crate::Txn::wal_log) bytes.
+///
+/// The hook runs at the serialization point — TVar ownership (and, under
+/// the `LazyAll` backend, the global commit lock) is still held — so for
+/// any two *conflicting* transactions the calls are ordered consistently
+/// with their commit order. It must not start transactions of its own.
+pub trait CommitHook: Send + Sync {
+    /// One committed transaction's accumulated durable bytes, stamped with
+    /// its commit timestamp (the write version for writing transactions).
+    fn on_commit(&self, commit_ts: u64, payload: &[u8]);
+}
+
 pub(crate) struct StmInner {
     pub(crate) config: StmConfig,
     pub(crate) stats: StmStats,
@@ -174,6 +188,11 @@ pub(crate) struct StmInner {
     /// Number of `atomically` calls currently executing (across all their
     /// attempts). Drained by [`Stm::quiesce`] during graceful shutdown.
     in_flight: AtomicU64,
+    /// Set-once durability hook ([`Stm::set_commit_hook`]). `OnceLock`
+    /// rather than a `StmConfig` field so the config keeps its `Eq` /
+    /// `Default` derives, and so recovery can run transactions *before*
+    /// installing the hook without re-logging replayed history.
+    pub(crate) commit_hook: std::sync::OnceLock<Arc<dyn CommitHook>>,
 }
 
 /// RAII registration of one `atomically` call in the in-flight count;
@@ -249,8 +268,19 @@ impl Stm {
                 commit_lock: Arc::new(Mutex::new(())),
                 serial: SerialGate::new(),
                 in_flight: AtomicU64::new(0),
+                commit_hook: std::sync::OnceLock::new(),
             }),
         }
+    }
+
+    /// Install the durability hook observing every committed transaction's
+    /// [`Txn::wal_log`](crate::Txn::wal_log) bytes. Set-once: returns
+    /// `false` (leaving the existing hook) if one is already installed.
+    ///
+    /// Install *after* crash-recovery replay, so recovered history is not
+    /// logged a second time.
+    pub fn set_commit_hook(&self, hook: Arc<dyn CommitHook>) -> bool {
+        self.inner.commit_hook.set(hook).is_ok()
     }
 
     /// Current value of the process-global version clock.
@@ -1039,5 +1069,52 @@ mod tests {
         }));
         assert!(err.is_err());
         assert_eq!(stm.in_flight(), 0, "a panicking body must deregister");
+    }
+
+    #[test]
+    fn commit_hook_sees_committed_logs_only() {
+        struct Capture(std::sync::Mutex<Vec<(u64, Vec<u8>)>>);
+        impl CommitHook for Capture {
+            fn on_commit(&self, commit_ts: u64, payload: &[u8]) {
+                self.0.lock().unwrap().push((commit_ts, payload.to_vec()));
+            }
+        }
+        let stm = Stm::new(StmConfig::default());
+        let tvar = crate::TVar::new(0u64);
+        // Before the hook is installed, wal_log is a cheap no-op.
+        stm.atomically(|tx| {
+            tx.wal_log(b"pre-hook");
+            tvar.write(tx, 1)
+        })
+        .unwrap();
+        let capture = Arc::new(Capture(std::sync::Mutex::new(Vec::new())));
+        assert!(stm.set_commit_hook(capture.clone()));
+        assert!(!stm.set_commit_hook(capture.clone()), "the hook is set-once");
+        // A committed writing transaction ships its bytes with the write
+        // version as the commit timestamp.
+        stm.atomically(|tx| {
+            tx.wal_log(b"committed");
+            tvar.write(tx, 2)
+        })
+        .unwrap();
+        // An aborted transaction's bytes are discarded.
+        let aborted: Result<(), _> = stm.atomically(|tx| {
+            tx.wal_log(b"aborted");
+            tvar.write(tx, 3)?;
+            Err(crate::TxError::abort("discard"))
+        });
+        assert!(aborted.is_err());
+        // A transaction with no TVar writes still flushes its log (the
+        // pure lazy-replay commit path).
+        stm.atomically(|tx| {
+            tx.wal_log(b"no-writes");
+            Ok(())
+        })
+        .unwrap();
+        let seen = capture.0.lock().unwrap().clone();
+        assert_eq!(seen.len(), 2, "pre-hook and aborted logs must not appear: {seen:?}");
+        assert_eq!(seen[0].1, b"committed");
+        assert!(seen[0].0 > 0, "writing commits stamp the write version");
+        assert_eq!(seen[1].1, b"no-writes");
     }
 }

@@ -91,6 +91,10 @@ pub struct Txn {
     registered: Vec<DynTVar>,
     locals: HashMap<u64, Box<dyn Any>>,
     commit_locked_handlers: Vec<Box<dyn FnOnce()>>,
+    /// Serialized durable replay records accumulated by [`Txn::wal_log`];
+    /// handed to the runtime's commit hook at write-back, discarded on
+    /// abort.
+    durable: Vec<u8>,
     abort_handlers: Vec<Box<dyn FnOnce()>>,
     end_handlers: Vec<Box<dyn FnOnce(TxnOutcome)>>,
     finished: bool,
@@ -164,6 +168,7 @@ impl Txn {
             registered: Vec::new(),
             locals: HashMap::new(),
             commit_locked_handlers: Vec::new(),
+            durable: Vec::new(),
             abort_handlers: Vec::new(),
             end_handlers: Vec::new(),
             finished: false,
@@ -389,6 +394,24 @@ impl Txn {
     /// lazy updates atomically.
     pub fn on_commit_locked(&mut self, f: impl FnOnce() + 'static) {
         self.commit_locked_handlers.push(Box::new(f));
+    }
+
+    /// Append serialized replay-record bytes to this transaction's durable
+    /// log. If the transaction commits, the accumulated bytes are handed to
+    /// the runtime's [`CommitHook`](crate::CommitHook) (with the commit
+    /// timestamp) at the serialization point; if it aborts, they are
+    /// discarded. A no-op when no hook is installed.
+    pub fn wal_log(&mut self, bytes: &[u8]) {
+        if self.stm.commit_hook.get().is_some() {
+            self.durable.extend_from_slice(bytes);
+        }
+    }
+
+    /// Whether a [`CommitHook`](crate::CommitHook) is installed, i.e.
+    /// whether [`Txn::wal_log`] would record anything. Callers use this to
+    /// skip building replay records entirely when durability is off.
+    pub fn wal_enabled(&self) -> bool {
+        self.stm.commit_hook.get().is_some()
     }
 
     /// Register a handler to run once the transaction's outcome is decided
@@ -883,6 +906,9 @@ impl Txn {
             handler();
         }
         if self.writes.is_empty() {
+            // Pure lazy-update transactions commit through replay handlers
+            // without any TVar writes; their durable log still ships.
+            self.flush_durable(clock::now());
             return;
         }
         #[cfg(feature = "trace")]
@@ -898,6 +924,12 @@ impl Txn {
             );
         }
         let write_version = clock::tick();
+        // Log before publishing: a crash after the fsync but before the
+        // stores replays a commit the STM never exposed — harmless, since
+        // validation already succeeded and ownership serializes us against
+        // every conflicting transaction. The reverse order could expose a
+        // committed value whose log record was lost.
+        self.flush_durable(write_version);
         for (_, entry) in std::mem::take(&mut self.writes) {
             #[cfg(feature = "trace")]
             entry.tvar.meta().last_writer_site.store(entry.site.as_u32(), Ordering::Relaxed);
@@ -910,6 +942,20 @@ impl Txn {
         if self.sampled {
             self.record_span(Phase::Writeback, writeback_start_ns);
         }
+    }
+
+    /// Hand the durable log to the runtime's commit hook, exactly once per
+    /// committed transaction. Conflicting transactions reach this point
+    /// serialized (TVar ownership and/or abstract locks are still held),
+    /// so hook-call order is a valid serialization order for the records.
+    fn flush_durable(&mut self, commit_ts: u64) {
+        if self.durable.is_empty() {
+            return;
+        }
+        if let Some(hook) = self.stm.commit_hook.get() {
+            hook.on_commit(commit_ts, &self.durable);
+        }
+        self.durable.clear();
     }
 
     /// Snapshot of the read set used to implement blocking `retry`: the
@@ -936,6 +982,7 @@ impl Txn {
         self.record_hold_release();
         self.release_reader_registrations();
         self.writes.clear();
+        self.durable.clear();
         self.reads.clear();
         self.read_ids.clear();
         self.commit_locked_handlers.clear();

@@ -1,0 +1,239 @@
+//! Durability-layer tests: segment round-trip, CRC-detected torn-tail
+//! truncation, checkpoint-bounded replay, and segment GC (ISSUE 8).
+
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proust_wal::{inject_torn_tail, FsyncPolicy, Wal};
+
+/// A fresh scratch directory, removed on drop. No tempfile crate in the
+/// offline build environment, so roll the idiom by hand.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("proust-wal-{tag}-{}-{unique}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir(path)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn payload(i: u64) -> Vec<u8> {
+    format!("record-{i}-{}", "x".repeat((i % 7) as usize * 10)).into_bytes()
+}
+
+#[test]
+fn segment_round_trip() {
+    let dir = ScratchDir::new("roundtrip");
+    {
+        let (wal, recovery) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("open");
+        assert!(recovery.records.is_empty());
+        assert!(recovery.checkpoint.is_none());
+        for i in 0..100u64 {
+            let lsn = wal.append(1000 + i, &payload(i)).expect("append");
+            assert_eq!(lsn, i + 1, "LSNs are dense and start at 1");
+        }
+        assert!(wal.sync().expect("sync"), "first sync must hit the file");
+        assert!(!wal.sync().expect("sync"), "second sync is absorbed");
+        assert_eq!(wal.last_lsn(), 100);
+        assert_eq!(wal.durable_lsn(), 100);
+    }
+    let (wal, recovery) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("reopen");
+    assert_eq!(recovery.records.len(), 100);
+    assert!(!recovery.torn_tail);
+    for (i, record) in recovery.records.iter().enumerate() {
+        assert_eq!(record.lsn, i as u64 + 1);
+        assert_eq!(record.commit_ts, 1000 + i as u64);
+        assert_eq!(record.payload, payload(i as u64));
+    }
+    // Appends continue after the recovered tail.
+    assert_eq!(wal.append(2000, b"after").expect("append"), 101);
+}
+
+#[test]
+fn rotation_spreads_records_across_segments() {
+    let dir = ScratchDir::new("rotate");
+    {
+        // Tiny threshold: every record should trigger a rotation check.
+        let (wal, _) = Wal::open(&dir.0, 64).expect("open");
+        for i in 0..50u64 {
+            wal.append(i, &payload(i)).expect("append");
+        }
+        wal.sync().expect("sync");
+        assert!(
+            wal.stats().rotations.load(Ordering::Relaxed) > 5,
+            "a 64-byte threshold must rotate many times over 50 records"
+        );
+    }
+    let segments = fs::read_dir(&dir.0)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+        .count();
+    assert!(segments > 5, "expected many segments, found {segments}");
+    let (_, recovery) = Wal::open(&dir.0, 64).expect("reopen");
+    assert_eq!(recovery.records.len(), 50, "all records recovered across segments");
+    assert!(!recovery.torn_tail);
+}
+
+#[test]
+fn torn_tail_is_truncated_not_replayed() {
+    let dir = ScratchDir::new("torn");
+    {
+        let (wal, _) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("open");
+        for i in 0..10u64 {
+            wal.append(i, &payload(i)).expect("append");
+        }
+        wal.sync().expect("sync");
+    }
+    assert!(inject_torn_tail(&dir.0).expect("inject"), "segments exist, must inject");
+    let (wal, recovery) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("recover");
+    assert!(recovery.torn_tail, "the injected tail must be detected");
+    assert!(recovery.truncated_bytes > 0);
+    assert_eq!(recovery.records.len(), 10, "only the intact prefix replays");
+    // The log keeps working where the truncation left off, and a further
+    // recovery sees a clean log.
+    assert_eq!(wal.append(99, b"next").expect("append"), 11);
+    wal.sync().expect("sync");
+    drop(wal);
+    let (_, recovery) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("reopen");
+    assert!(!recovery.torn_tail, "truncation healed the log");
+    assert_eq!(recovery.records.len(), 11);
+}
+
+#[test]
+fn raw_garbage_tail_is_truncated() {
+    let dir = ScratchDir::new("garbage");
+    let seg_path;
+    {
+        let (wal, _) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("open");
+        wal.append(1, b"keep me").expect("append");
+        wal.sync().expect("sync");
+        seg_path = fs::read_dir(&dir.0)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+            .expect("segment exists")
+            .path();
+    }
+    // Simulate a crash that wrote half a length word of a second record.
+    let mut file = OpenOptions::new().append(true).open(&seg_path).expect("open seg");
+    file.write_all(&[0x55, 0x66]).expect("append garbage");
+    drop(file);
+    let (_, recovery) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("recover");
+    assert!(recovery.torn_tail);
+    assert_eq!(recovery.truncated_bytes, 2);
+    assert_eq!(recovery.records.len(), 1);
+    assert_eq!(recovery.records[0].payload, b"keep me");
+}
+
+#[test]
+fn checkpoint_bounds_replay_and_gcs_segments() {
+    let dir = ScratchDir::new("ckpt");
+    {
+        let (wal, _) = Wal::open(&dir.0, 256).expect("open");
+        for i in 0..40u64 {
+            wal.append(i, &payload(i)).expect("append");
+        }
+        let ckpt_lsn = wal.checkpoint(b"state-dump-at-40").expect("checkpoint");
+        assert_eq!(ckpt_lsn, 40);
+        assert_eq!(wal.checkpoint_lsn(), 40);
+        assert!(
+            wal.stats().gc_removed.load(Ordering::Relaxed) > 0,
+            "a 256-byte threshold over 40 records must leave dead segments to GC"
+        );
+        // Suffix written after the checkpoint must still replay.
+        for i in 40..45u64 {
+            wal.append(i, &payload(i)).expect("append");
+        }
+        wal.sync().expect("sync");
+    }
+    let (wal, recovery) = Wal::open(&dir.0, 256).expect("recover");
+    let checkpoint = recovery.checkpoint.expect("checkpoint present");
+    assert_eq!(checkpoint.lsn, 40);
+    assert_eq!(checkpoint.payload, b"state-dump-at-40");
+    assert_eq!(
+        recovery.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+        (41..=45).collect::<Vec<_>>(),
+        "replay is bounded to the suffix after the checkpoint"
+    );
+    assert!(recovery.skipped_records <= 40, "pre-checkpoint records are skipped, not replayed");
+    assert_eq!(wal.checkpoint_lsn(), 40, "recovered checkpoint LSN survives reopen");
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_to_full_replay() {
+    let dir = ScratchDir::new("badckpt");
+    {
+        let (wal, _) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("open");
+        for i in 0..8u64 {
+            wal.append(i, &payload(i)).expect("append");
+        }
+        wal.checkpoint(b"dump").expect("checkpoint");
+    }
+    // Flip a byte inside the checkpoint body: its CRC must reject it.
+    let ckpt = dir.0.join("checkpoint");
+    let mut bytes = fs::read(&ckpt).expect("read checkpoint");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    fs::write(&ckpt, &bytes).expect("corrupt checkpoint");
+    let (_, recovery) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("recover");
+    assert!(recovery.checkpoint.is_none(), "corrupt checkpoint must be ignored");
+    assert_eq!(recovery.records.len(), 8, "full-log replay covers everything");
+}
+
+#[test]
+fn fsync_policy_parses() {
+    assert_eq!(FsyncPolicy::parse("batch"), Some(FsyncPolicy::Batch));
+    assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+    assert_eq!(FsyncPolicy::parse("off"), Some(FsyncPolicy::Off));
+    assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    assert_eq!(FsyncPolicy::Batch.name(), "batch");
+    assert_eq!(FsyncPolicy::default(), FsyncPolicy::Batch);
+}
+
+#[test]
+fn concurrent_appends_group_commit() {
+    let dir = ScratchDir::new("group");
+    let (wal, _) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("open");
+    let wal = std::sync::Arc::new(wal);
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let wal = wal.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..50u64 {
+                wal.append(t * 1000 + i, &payload(i)).expect("append");
+                wal.sync().expect("sync");
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("join");
+    }
+    assert_eq!(wal.last_lsn(), 200, "every append got a distinct dense LSN");
+    assert_eq!(wal.durable_lsn(), 200);
+    let stats = wal.stats();
+    assert_eq!(stats.records.load(Ordering::Relaxed), 200);
+    // Group commit: with 4 threads racing, at least some syncs must have
+    // been absorbed by another thread's covering fsync.
+    let fsyncs = stats.fsyncs.load(Ordering::Relaxed);
+    let absorbed = stats.syncs_absorbed.load(Ordering::Relaxed);
+    assert_eq!(fsyncs + absorbed, 200, "every sync call accounted for");
+    drop(wal);
+    let (_, recovery) = Wal::open(&dir.0, Wal::DEFAULT_SEGMENT_BYTES).expect("recover");
+    assert_eq!(recovery.records.len(), 200);
+    let lsns: Vec<u64> = recovery.records.iter().map(|r| r.lsn).collect();
+    assert_eq!(lsns, (1..=200).collect::<Vec<_>>(), "replay is in LSN order");
+}

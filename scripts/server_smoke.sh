@@ -15,10 +15,25 @@
 # load run then carries a SCAN share so range scans race point writes.
 #
 # Usage: scripts/server_smoke.sh [json-out] [-- server flags...]
+#        scripts/server_smoke.sh --kill-recover
 #   SMOKE_SECS / SMOKE_THREADS override the run length and client count.
+#   KILL_SEED seeds the kill-recover timing (printed, reproducible).
+#
+# --kill-recover is the durability gate: a WAL-backed server is SIGKILLed
+# mid-load, restarted, and the recovered counters are checked against the
+# load generator's client-side ack journal (no acknowledged update lost,
+# no phantom update visible). A drain-then-checkpoint shutdown must bound
+# the next restart's replay to zero, and a --chaos-torn-tail restart must
+# detect and truncate the injected torn tail.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE=smoke
+if [[ "${1:-}" == "--kill-recover" ]]; then
+    MODE=kill-recover
+    shift
+fi
 
 JSON_OUT="${1:-}"
 shift || true
@@ -30,6 +45,111 @@ THREADS="${SMOKE_THREADS:-8}"
 
 cargo build --release -q -p proust-server -p proust-loadgen
 cargo build --release -q -p proust-obs --example validate_chrome_trace
+
+if [[ "$MODE" == "kill-recover" ]]; then
+    SEED="${KILL_SEED:-51966}"
+    KILL_MS=$(( 500 + SEED % 1200 ))
+    echo "kill-recover: seed $SEED (kill after ${KILL_MS}ms; rerun: KILL_SEED=$SEED $0 --kill-recover)"
+
+    DATA_DIR="$(mktemp -d)"
+    JOURNAL="$(mktemp)"
+    LOG="$(mktemp)"
+    SERVER_PID=""
+    trap 'kill -9 "$SERVER_PID" 2>/dev/null || true; rm -rf "$DATA_DIR"; rm -f "$JOURNAL" "$LOG"' EXIT
+
+    # Start (or restart) the durable server; fills ADDR/METRICS/RECOVERY_*.
+    start_server() {
+        : >"$LOG"
+        ./target/release/proust-server --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:0 \
+            --data-dir "$DATA_DIR" "$@" >"$LOG" &
+        SERVER_PID=$!
+        ADDR=""; METRICS=""
+        for _ in $(seq 1 100); do
+            ADDR="$(sed -n 's/^LISTENING //p' "$LOG" | head -n1)"
+            METRICS="$(sed -n 's/^METRICS //p' "$LOG" | head -n1)"
+            [[ -n "$ADDR" && -n "$METRICS" ]] && break
+            sleep 0.1
+        done
+        [[ -n "$ADDR" && -n "$METRICS" ]] || { echo "server never came up; log:" >&2; cat "$LOG" >&2; exit 1; }
+        RECOVERY_LINE="$(sed -n 's/^RECOVERY //p' "$LOG" | head -n1)"
+        [[ -n "$RECOVERY_LINE" ]] || { echo "durable server printed no RECOVERY line" >&2; exit 1; }
+        RECOVERY_REPLAYED="$(sed -n 's/.*replayed=\([0-9]*\).*/\1/p' <<<"$RECOVERY_LINE")"
+        RECOVERY_TRUNCATED="$(sed -n 's/.*truncated_bytes=\([0-9]*\).*/\1/p' <<<"$RECOVERY_LINE")"
+        RECOVERY_TORN="$(sed -n 's/.*torn_tails=\([0-9]*\).*/\1/p' <<<"$RECOVERY_LINE")"
+        echo "kill-recover: RECOVERY $RECOVERY_LINE"
+    }
+
+    scrape_metric() { # family name -> integer value (summed)
+        exec 9<>"/dev/tcp/${METRICS%:*}/${METRICS##*:}"
+        printf 'GET /metrics HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n' "$METRICS" >&9
+        local body
+        body="$(sed -e '1,/^\r\{0,1\}$/d' <&9 | tr -d '\r')"
+        exec 9>&- 9<&-
+        awk -v fam="$1" '$1 == fam {sum += $2} END {print int(sum)}' <<<"$body"
+    }
+
+    graceful_shutdown() {
+        exec 8<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+        printf 'SHUTDOWN\r\n' >&8
+        cat <&8 >/dev/null || true
+        exec 8>&- 8<&-
+        wait "$SERVER_PID"
+        grep -q "shutdown: drained" "$LOG" || {
+            echo "server did not report a drained shutdown" >&2
+            exit 1
+        }
+    }
+
+    verify_journal() {
+        ./target/release/proust-loadgen --addr "$ADDR" --verify-journal "$JOURNAL"
+    }
+
+    # Phase 1: load with an ack journal, SIGKILL mid-run. The loadgen must
+    # tolerate the cut and exit clean (its journal is the artifact).
+    start_server
+    ./target/release/proust-loadgen --addr "$ADDR" --threads "$THREADS" --secs 30 \
+        --inc-frac 0.4 --seed "$SEED" --ack-journal "$JOURNAL" \
+        --tolerate-disconnect --quiet &
+    LOADGEN_PID=$!
+    sleep "$(awk -v ms="$KILL_MS" 'BEGIN {printf "%.3f", ms / 1000}')"
+    kill -9 "$SERVER_PID"
+    wait "$SERVER_PID" 2>/dev/null || true
+    wait "$LOADGEN_PID" || { echo "loadgen did not tolerate the kill" >&2; exit 1; }
+    ACKS="$(grep -c '^ACK ' "$JOURNAL" || true)"
+    (( ACKS > 0 )) || { echo "no acknowledged INCs before the kill (seed $SEED too fast?)" >&2; exit 1; }
+    echo "kill-recover: $ACKS acknowledged INCs journaled before the kill"
+
+    # Phase 2: restart, replay, verify the ack-journal bounds.
+    start_server
+    (( RECOVERY_REPLAYED > 0 )) || { echo "recovery replayed nothing after a mid-load kill" >&2; exit 1; }
+    REPLAYED_METRIC="$(scrape_metric proust_recovery_replayed_total)"
+    (( REPLAYED_METRIC > 0 )) || { echo "proust_recovery_replayed_total is zero after recovery" >&2; exit 1; }
+    verify_journal
+
+    # Phase 3: drain-then-checkpoint shutdown must bound the next replay
+    # to zero while preserving the exact recovered state.
+    graceful_shutdown
+    start_server
+    (( RECOVERY_REPLAYED == 0 )) || { echo "checkpoint did not bound replay (replayed=$RECOVERY_REPLAYED)" >&2; exit 1; }
+    CKPT_LSN="$(scrape_metric proust_wal_checkpoint_lsn)"
+    (( CKPT_LSN > 0 )) || { echo "no checkpoint recorded after a drained shutdown" >&2; exit 1; }
+    verify_journal
+    graceful_shutdown
+
+    # Phase 4: torn-tail self-test — inject a CRC-corrupt partial record,
+    # and recovery must detect it, truncate it, and keep every committed
+    # update. If the CRC gate ever stops biting, this leg goes red.
+    start_server --chaos-torn-tail
+    (( RECOVERY_TORN == 1 )) || { echo "injected torn tail was not detected (torn_tails=$RECOVERY_TORN)" >&2; exit 1; }
+    (( RECOVERY_TRUNCATED > 0 )) || { echo "torn tail detected but nothing truncated" >&2; exit 1; }
+    TORN_METRIC="$(scrape_metric proust_wal_torn_tails_total)"
+    (( TORN_METRIC == 1 )) || { echo "proust_wal_torn_tails_total=$TORN_METRIC, expected 1" >&2; exit 1; }
+    verify_journal
+    graceful_shutdown
+
+    echo "kill-recover OK (seed $SEED; $ACKS acked INCs survived SIGKILL, checkpoint bounded replay, torn tail truncated)"
+    exit 0
+fi
 
 LOG="$(mktemp)"
 TRACE_JSON="$(mktemp)"
@@ -68,7 +188,11 @@ for fam in proust_requests_total proust_connections_open proust_connections_tota
            proust_serial_escalations_total proust_slow_txns_total proust_trace_sample_every \
            proust_lock_wait_ns proust_lock_hold_ns proust_park_ns \
            proust_lock_waits_total proust_serial_held_ns_total \
-           proust_serial_queue_depth proust_contention_ns_total; do
+           proust_serial_queue_depth proust_contention_ns_total \
+           proust_wal_enabled proust_wal_append_bytes_total proust_wal_records_total \
+           proust_wal_fsyncs_total proust_wal_segments proust_wal_fsync_ns \
+           proust_recovery_replayed_total proust_recovery_truncated_bytes_total \
+           proust_wal_torn_tails_total; do
     grep -q "^# TYPE $fam " <<<"$BASELINE_SCRAPE" || {
         echo "metrics endpoint is missing family $fam" >&2
         exit 1

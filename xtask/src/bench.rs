@@ -99,11 +99,24 @@ fn measure_map_cells(quick: bool) -> Vec<BenchEntry> {
 /// zipfian loadgen run. The regression metric is milliseconds per 1000
 /// committed ops (lower is better), derived from the run's throughput;
 /// contention figures come from the server's STATS document.
-fn measure_server_leg(quick: bool) -> Result<BenchEntry, String> {
+fn measure_server_leg(quick: bool, durable: bool) -> Result<BenchEntry, String> {
     use proust_loadgen::{KeyDist, LoadConfig, Mode};
     use proust_server::{Server, ServerConfig};
 
-    let handle = Server::start(ServerConfig::default()).map_err(|err| err.to_string())?;
+    // The durable leg runs the same workload with a WAL attached under the
+    // default group-fsync policy, so bench history records the overhead of
+    // `--fsync-policy batch` relative to the in-memory leg.
+    let data_dir = if durable {
+        let dir = std::env::temp_dir().join(format!("proust-bench-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).map_err(|err| err.to_string())?;
+        Some(dir)
+    } else {
+        None
+    };
+    let name = if durable { "server/closed-zipf-wal" } else { "server/closed-zipf" };
+    let server_config = ServerConfig { data_dir: data_dir.clone(), ..ServerConfig::default() };
+    let handle = Server::start(server_config).map_err(|err| err.to_string())?;
     let config = LoadConfig {
         addr: handle.addr().to_string(),
         threads: 8,
@@ -124,10 +137,15 @@ fn measure_server_leg(quick: bool) -> Result<BenchEntry, String> {
         send_shutdown: false,
         quiet: true,
         metrics_addr: None,
+        ack_journal: None,
+        tolerate_disconnect: false,
     };
-    println!("bench: server/closed-zipf ({}s run)", config.duration.as_secs_f64());
+    println!("bench: {name} ({}s run)", config.duration.as_secs_f64());
     let report = proust_loadgen::run(&config)?;
     handle.shutdown();
+    if let Some(dir) = &data_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     if report.protocol_errors > 0 || report.lost_updates > 0 {
         return Err(format!(
             "server leg is not a valid measurement: {} protocol errors, {} lost updates",
@@ -143,7 +161,7 @@ fn measure_server_leg(quick: bool) -> Result<BenchEntry, String> {
             .unwrap_or(0)
     };
     Ok(BenchEntry {
-        name: "server/closed-zipf".to_string(),
+        name: name.to_string(),
         mean_ms: 1e6 / report.throughput_rps.max(1e-9),
         std_ms: 0.0,
         ops_per_ms: report.throughput_rps / 1e3,
@@ -306,11 +324,13 @@ pub fn run(args: &[String]) -> ExitCode {
     }
 
     let mut entries = measure_map_cells(quick);
-    match measure_server_leg(quick) {
-        Ok(entry) => entries.push(entry),
-        Err(err) => {
-            eprintln!("bench: server leg failed: {err}");
-            return ExitCode::FAILURE;
+    for durable in [false, true] {
+        match measure_server_leg(quick, durable) {
+            Ok(entry) => entries.push(entry),
+            Err(err) => {
+                eprintln!("bench: server leg (durable={durable}) failed: {err}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if inject_slowdown {

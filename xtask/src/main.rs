@@ -287,8 +287,40 @@ fn run_chaos(args: &[String]) -> ExitCode {
         Err(code) => return code,
     }
 
+    // Kill-recover durability gate: SIGKILL a WAL-backed server mid-load,
+    // restart, and hold recovery to the loadgen's ack-journal bounds —
+    // once at the first fixed seed, once at a fresh seed that prints its
+    // own reproduction command.
+    let random_seed = {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        nanos ^ (std::process::id() as u64).rotate_left(32)
+    };
+    for seed in [seeds[0], random_seed] {
+        println!("chaos: kill-recover, seed {seed}");
+        step!(kill_recover(&root, seed), format_args!("kill-recover at seed {seed}"));
+    }
+
     println!("chaos: OK ({} seeds)", seeds.len());
     ExitCode::SUCCESS
+}
+
+/// One `scripts/server_smoke.sh --kill-recover` run at the given timing
+/// seed. Returns whether it passed.
+fn kill_recover(root: &Path, seed: u64) -> Result<bool, ExitCode> {
+    let mut cmd = Command::new("bash");
+    cmd.current_dir(root);
+    cmd.arg("scripts/server_smoke.sh").arg("--kill-recover");
+    cmd.env("KILL_SEED", seed.to_string());
+    match cmd.status() {
+        Ok(status) => Ok(status.success()),
+        Err(error) => {
+            eprintln!("chaos: could not spawn kill-recover script: {error}");
+            Err(ExitCode::FAILURE)
+        }
+    }
 }
 
 fn allow_missing(args: &[String]) -> bool {
