@@ -1,0 +1,520 @@
+//! Binary wire protocol for the Proust server.
+//!
+//! The text protocol (`crates/server/src/proto.rs`) costs a parse per
+//! line and an allocation per response; at tens of thousands of
+//! connections that dominates the STM work it wraps. This crate defines
+//! the compact framing both the server and the load generator speak:
+//!
+//! ```text
+//! offset  size       field
+//! 0       1          magic      0xB7 request, 0xB8 response
+//! 1       1          code       opcode (request) / status (response)
+//! 2       1          flags      reserved, must round-trip verbatim
+//! 3       1          name_len   structure-name bytes (<= 64)
+//! 4       4          payload_len  u32 LE: name + body bytes combined
+//! 8       name_len   structure name (UTF-8)
+//! 8+n     ...        body — opcode-specific:
+//!                      scalar args   fixed 8-byte u64 LE each
+//!                      BATCH         u32 LE count, then nested frames
+//!                      ENTRIES       u32 LE count, then (u64,u64) LE pairs
+//!                      ERR/INFO      UTF-8 text
+//! ```
+//!
+//! The header is varint-free on purpose: a fixed 8-byte prefix means the
+//! framing decision (`have I got a complete frame?`) is two branchless
+//! loads, and an oversized `payload_len` is rejected *before* buffering
+//! the body, so a hostile length prefix cannot wedge a connection.
+//! Parsing is zero-copy — [`FrameView`] borrows name and body straight
+//! from the connection's read buffer.
+
+/// First byte of every client→server frame.
+pub const REQ_MAGIC: u8 = 0xB7;
+/// First byte of every server→client frame.
+pub const RESP_MAGIC: u8 = 0xB8;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Hard cap on `payload_len`; larger frames are protocol errors.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+/// Structure names share the text protocol's 64-byte cap.
+pub const MAX_NAME: usize = 64;
+
+/// Request opcodes.
+pub mod op {
+    pub const PING: u8 = 0x01;
+    pub const MAP_GET: u8 = 0x02;
+    pub const MAP_PUT: u8 = 0x03;
+    pub const MAP_DEL: u8 = 0x04;
+    pub const CTR_GET: u8 = 0x05;
+    pub const CTR_INC: u8 = 0x06;
+    pub const Q_ENQ: u8 = 0x07;
+    pub const Q_DEQ: u8 = 0x08;
+    pub const ORD_PUT: u8 = 0x09;
+    pub const ORD_GET: u8 = 0x0A;
+    pub const ORD_DEL: u8 = 0x0B;
+    pub const ORD_SCAN: u8 = 0x0C;
+    /// Body: `u32 LE` inner-frame count, then that many nested request
+    /// frames. Executes atomically, like text `MULTI`/`EXEC`.
+    pub const BATCH: u8 = 0x0D;
+    pub const STATS: u8 = 0x0E;
+    pub const SHUTDOWN: u8 = 0x0F;
+    pub const QUIT: u8 = 0x10;
+}
+
+/// Response status codes.
+pub mod resp {
+    pub const OK: u8 = 0x01;
+    pub const NIL: u8 = 0x02;
+    /// Body: one `u64 LE`.
+    pub const VALUE: u8 = 0x03;
+    /// Body: `u32 LE` pair count, then `(u64, u64) LE` pairs.
+    pub const ENTRIES: u8 = 0x04;
+    pub const BUSY: u8 = 0x05;
+    /// Body: UTF-8 error message.
+    pub const ERR: u8 = 0x06;
+    pub const PONG: u8 = 0x07;
+    /// Body: UTF-8 payload (STATS JSON).
+    pub const INFO: u8 = 0x08;
+    /// Body: `u32 LE` inner-frame count, then nested response frames.
+    pub const BATCH: u8 = 0x09;
+}
+
+/// Unrecoverable framing faults. Anything here means the byte stream is
+/// not speaking this protocol (or is hostile); the connection should be
+/// answered with one `ERR` frame and closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// First byte of a frame slot was not the expected magic.
+    Magic(u8),
+    /// `payload_len` exceeded [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// `name_len` exceeded [`MAX_NAME`] or overran `payload_len`.
+    BadName { name_len: u8, payload_len: u32 },
+    /// A nested frame inside a BATCH body was truncated or misaligned.
+    BadBatch,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Magic(byte) => write!(f, "bad frame magic 0x{byte:02X}"),
+            FrameError::Oversized(len) => {
+                write!(f, "frame payload {len} bytes exceeds cap {MAX_PAYLOAD}")
+            }
+            FrameError::BadName { name_len, payload_len } => {
+                write!(f, "name length {name_len} invalid for payload {payload_len}")
+            }
+            FrameError::BadBatch => write!(f, "malformed nested frame in BATCH body"),
+        }
+    }
+}
+
+/// A parsed frame borrowing from the read buffer — no copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    pub code: u8,
+    pub flags: u8,
+    pub name: &'a [u8],
+    pub body: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// The structure name as UTF-8, if valid.
+    pub fn name_str(&self) -> Option<&'a str> {
+        std::str::from_utf8(self.name).ok()
+    }
+
+    /// The `index`-th fixed u64 argument from the body.
+    pub fn arg(&self, index: usize) -> Option<u64> {
+        let at = index * 8;
+        let bytes = self.body.get(at..at + 8)?;
+        Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    /// Number of complete u64 arguments in the body.
+    pub fn arg_count(&self) -> usize {
+        self.body.len() / 8
+    }
+
+    /// Body as UTF-8 text (ERR / INFO responses).
+    pub fn text(&self) -> Option<&'a str> {
+        std::str::from_utf8(self.body).ok()
+    }
+
+    /// Decode an ENTRIES body into `(key, value)` pairs.
+    pub fn entries(&self) -> Option<Vec<(u64, u64)>> {
+        let count = u32::from_le_bytes(self.body.get(..4)?.try_into().ok()?) as usize;
+        let pairs = self.body.get(4..)?;
+        if pairs.len() != count * 16 {
+            return None;
+        }
+        Some(
+            pairs
+                .chunks_exact(16)
+                .map(|pair| {
+                    (
+                        u64::from_le_bytes(pair[..8].try_into().expect("8-byte chunk")),
+                        u64::from_le_bytes(pair[8..].try_into().expect("8-byte chunk")),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Decode a BATCH body into its nested frames. Every nested frame
+    /// must be complete and the count must match exactly — a batch was
+    /// length-prefixed by its sender, so truncation inside it is
+    /// corruption, not a short read.
+    pub fn batch(&self, magic: u8) -> Result<Vec<FrameView<'a>>, FrameError> {
+        let count_bytes = self.body.get(..4).ok_or(FrameError::BadBatch)?;
+        let count = u32::from_le_bytes(count_bytes.try_into().expect("4-byte slice")) as usize;
+        let mut frames = Vec::with_capacity(count.min(1024));
+        let mut rest = &self.body[4..];
+        for _ in 0..count {
+            match parse_frame(rest, magic).map_err(|_| FrameError::BadBatch)? {
+                Parsed::Incomplete => return Err(FrameError::BadBatch),
+                Parsed::Frame { view, consumed } => {
+                    frames.push(view);
+                    rest = &rest[consumed..];
+                }
+            }
+        }
+        if !rest.is_empty() {
+            return Err(FrameError::BadBatch);
+        }
+        Ok(frames)
+    }
+}
+
+/// Outcome of attempting to parse one frame from the front of `buf`.
+#[derive(Debug)]
+pub enum Parsed<'a> {
+    /// Not enough bytes yet; read more and retry (short-read resync).
+    Incomplete,
+    /// One complete frame; the caller drains `consumed` bytes.
+    Frame { view: FrameView<'a>, consumed: usize },
+}
+
+/// Parse one frame from the front of `buf`. `magic` selects the
+/// direction ([`REQ_MAGIC`] or [`RESP_MAGIC`]).
+///
+/// Errors are sticky faults (wrong magic, oversized, bad name layout) —
+/// the stream cannot be re-synchronized and the connection should close.
+/// `Incomplete` is the routine case mid-read: keep the bytes, wait for
+/// more. Header-level validation happens as soon as the 8 header bytes
+/// are present, before the body arrives.
+pub fn parse_frame(buf: &[u8], magic: u8) -> Result<Parsed<'_>, FrameError> {
+    if buf.is_empty() {
+        return Ok(Parsed::Incomplete);
+    }
+    if buf[0] != magic {
+        return Err(FrameError::Magic(buf[0]));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(Parsed::Incomplete);
+    }
+    let code = buf[1];
+    let flags = buf[2];
+    let name_len = buf[3];
+    let payload_len = u32::from_le_bytes(buf[4..8].try_into().expect("4-byte slice"));
+    if payload_len as usize > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(payload_len));
+    }
+    if name_len as usize > MAX_NAME || name_len as u32 > payload_len {
+        return Err(FrameError::BadName { name_len, payload_len });
+    }
+    let total = HEADER_LEN + payload_len as usize;
+    if buf.len() < total {
+        return Ok(Parsed::Incomplete);
+    }
+    let name = &buf[HEADER_LEN..HEADER_LEN + name_len as usize];
+    let body = &buf[HEADER_LEN + name_len as usize..total];
+    Ok(Parsed::Frame { view: FrameView { code, flags, name, body }, consumed: total })
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Append one raw frame. Panics if `name` or the payload exceeds the
+/// protocol caps — encoders are trusted in-process callers.
+pub fn put_frame(out: &mut Vec<u8>, magic: u8, code: u8, flags: u8, name: &[u8], body: &[u8]) {
+    assert!(name.len() <= MAX_NAME, "frame name over cap");
+    let payload = name.len() + body.len();
+    assert!(payload <= MAX_PAYLOAD, "frame payload over cap");
+    out.reserve(HEADER_LEN + payload);
+    out.push(magic);
+    out.push(code);
+    out.push(flags);
+    out.push(name.len() as u8);
+    out.extend_from_slice(&(payload as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(body);
+}
+
+/// Append a request frame with fixed u64 arguments.
+pub fn put_request(out: &mut Vec<u8>, code: u8, name: &str, args: &[u64]) {
+    let mut body = [0u8; 24];
+    assert!(args.len() <= 3, "request args over cap");
+    for (index, arg) in args.iter().enumerate() {
+        body[index * 8..(index + 1) * 8].copy_from_slice(&arg.to_le_bytes());
+    }
+    put_frame(out, REQ_MAGIC, code, 0, name.as_bytes(), &body[..args.len() * 8]);
+}
+
+/// Append a BATCH request whose body holds `count` nested frames
+/// previously encoded into `inner` with [`put_request`].
+pub fn put_batch_request(out: &mut Vec<u8>, count: u32, inner: &[u8]) {
+    let mut body = Vec::with_capacity(4 + inner.len());
+    body.extend_from_slice(&count.to_le_bytes());
+    body.extend_from_slice(inner);
+    put_frame(out, REQ_MAGIC, op::BATCH, 0, b"", &body);
+}
+
+/// Append a bodiless response frame (`OK`, `NIL`, `BUSY`, `PONG`).
+pub fn put_status(out: &mut Vec<u8>, code: u8) {
+    put_frame(out, RESP_MAGIC, code, 0, b"", b"");
+}
+
+/// Append a `VALUE` response.
+pub fn put_value(out: &mut Vec<u8>, value: u64) {
+    put_frame(out, RESP_MAGIC, resp::VALUE, 0, b"", &value.to_le_bytes());
+}
+
+/// Append an `ENTRIES` response from scan results.
+pub fn put_entries(out: &mut Vec<u8>, entries: &[(u64, u64)]) {
+    let mut body = Vec::with_capacity(4 + entries.len() * 16);
+    body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for &(key, value) in entries {
+        body.extend_from_slice(&key.to_le_bytes());
+        body.extend_from_slice(&value.to_le_bytes());
+    }
+    put_frame(out, RESP_MAGIC, resp::ENTRIES, 0, b"", &body);
+}
+
+/// Append an `ERR` response carrying a UTF-8 message.
+pub fn put_err(out: &mut Vec<u8>, message: &str) {
+    let clipped = &message.as_bytes()[..message.len().min(MAX_PAYLOAD)];
+    put_frame(out, RESP_MAGIC, resp::ERR, 0, b"", clipped);
+}
+
+/// Append an `INFO` response carrying UTF-8 text (STATS JSON).
+pub fn put_info(out: &mut Vec<u8>, text: &str) {
+    put_frame(out, RESP_MAGIC, resp::INFO, 0, b"", text.as_bytes());
+}
+
+/// Append a BATCH response whose body holds `count` nested response
+/// frames previously encoded into `inner`.
+pub fn put_batch_response(out: &mut Vec<u8>, count: u32, inner: &[u8]) {
+    let mut body = Vec::with_capacity(4 + inner.len());
+    body.extend_from_slice(&count.to_le_bytes());
+    body.extend_from_slice(inner);
+    put_frame(out, RESP_MAGIC, resp::BATCH, 0, b"", &body);
+}
+
+/// Whether a connection's first byte selects the binary protocol.
+pub fn is_binary(first: u8) -> bool {
+    first == REQ_MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn parse_one(buf: &[u8], magic: u8) -> (FrameView<'_>, usize) {
+        match parse_frame(buf, magic).expect("parse") {
+            Parsed::Frame { view, consumed } => (view, consumed),
+            Parsed::Incomplete => panic!("unexpected incomplete"),
+        }
+    }
+
+    #[test]
+    fn request_round_trip_preserves_every_field() {
+        let mut buf = Vec::new();
+        put_request(&mut buf, op::MAP_PUT, "accounts", &[42, 7]);
+        let (view, consumed) = parse_one(&buf, REQ_MAGIC);
+        assert_eq!(consumed, buf.len());
+        assert_eq!(view.code, op::MAP_PUT);
+        assert_eq!(view.flags, 0);
+        assert_eq!(view.name_str(), Some("accounts"));
+        assert_eq!(view.arg(0), Some(42));
+        assert_eq!(view.arg(1), Some(7));
+        assert_eq!(view.arg(2), None);
+        assert_eq!(view.arg_count(), 2);
+    }
+
+    #[test]
+    fn short_reads_resync_byte_by_byte() {
+        let mut buf = Vec::new();
+        put_request(&mut buf, op::ORD_SCAN, "index", &[10, 20]);
+        put_request(&mut buf, op::PING, "", &[]);
+        // Feed the stream one byte at a time; the parser must report
+        // Incomplete at every prefix and then produce both frames with
+        // the exact same content as a single-shot parse.
+        let mut fed: Vec<u8> = Vec::new();
+        let mut frames: Vec<(u8, Vec<u64>)> = Vec::new();
+        for &byte in &buf {
+            fed.push(byte);
+            loop {
+                match parse_frame(&fed, REQ_MAGIC).expect("no fault on torn read") {
+                    Parsed::Incomplete => break,
+                    Parsed::Frame { view, consumed } => {
+                        let args = (0..view.arg_count()).map(|i| view.arg(i).unwrap()).collect();
+                        frames.push((view.code, args));
+                        fed.drain(..consumed);
+                    }
+                }
+            }
+        }
+        assert!(fed.is_empty(), "no residue after final frame");
+        assert_eq!(frames, vec![(op::ORD_SCAN, vec![10, 20]), (op::PING, vec![])]);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_from_the_header_alone() {
+        // Header claims a 2 MiB payload; only the 8 header bytes exist.
+        let mut buf = vec![REQ_MAGIC, op::MAP_PUT, 0, 0];
+        buf.extend_from_slice(&((2 * MAX_PAYLOAD) as u32).to_le_bytes());
+        match parse_frame(&buf, REQ_MAGIC) {
+            Err(FrameError::Oversized(len)) => assert_eq!(len as usize, 2 * MAX_PAYLOAD),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_bad_name_are_sticky_faults() {
+        assert_eq!(parse_frame(b"GET m 1\n", REQ_MAGIC).unwrap_err(), FrameError::Magic(b'G'));
+        // name_len > payload_len
+        let mut buf = vec![REQ_MAGIC, op::CTR_GET, 0, 10];
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(parse_frame(&buf, REQ_MAGIC), Err(FrameError::BadName { .. })));
+        // name_len > MAX_NAME
+        let mut buf = vec![REQ_MAGIC, op::CTR_GET, 0, (MAX_NAME + 1) as u8];
+        buf.extend_from_slice(&200u32.to_le_bytes());
+        buf.extend_from_slice(&[b'x'; 200]);
+        assert!(matches!(parse_frame(&buf, REQ_MAGIC), Err(FrameError::BadName { .. })));
+    }
+
+    #[test]
+    fn batch_round_trip_and_corruption_detection() {
+        let mut inner = Vec::new();
+        put_request(&mut inner, op::CTR_INC, "hits", &[3]);
+        put_request(&mut inner, op::MAP_GET, "users", &[9]);
+        let mut buf = Vec::new();
+        put_batch_request(&mut buf, 2, &inner);
+
+        let (view, consumed) = parse_one(&buf, REQ_MAGIC);
+        assert_eq!(consumed, buf.len());
+        assert_eq!(view.code, op::BATCH);
+        let nested = view.batch(REQ_MAGIC).expect("nested frames");
+        assert_eq!(nested.len(), 2);
+        assert_eq!(nested[0].code, op::CTR_INC);
+        assert_eq!(nested[0].name_str(), Some("hits"));
+        assert_eq!(nested[1].arg(0), Some(9));
+
+        // Truncated inner frame: count says 3 but only 2 are present.
+        let mut bad = Vec::new();
+        put_batch_request(&mut bad, 3, &inner);
+        let (view, _) = parse_one(&bad, REQ_MAGIC);
+        assert_eq!(view.batch(REQ_MAGIC).unwrap_err(), FrameError::BadBatch);
+
+        // Trailing garbage after the declared count is also corruption.
+        let mut padded = inner.clone();
+        padded.push(0xFF);
+        let mut bad = Vec::new();
+        put_batch_request(&mut bad, 2, &padded);
+        let (view, _) = parse_one(&bad, REQ_MAGIC);
+        assert_eq!(view.batch(REQ_MAGIC).unwrap_err(), FrameError::BadBatch);
+    }
+
+    #[test]
+    fn response_encodings_round_trip() {
+        let mut buf = Vec::new();
+        put_status(&mut buf, resp::OK);
+        put_value(&mut buf, u64::MAX);
+        put_entries(&mut buf, &[(1, 10), (2, 20)]);
+        put_err(&mut buf, "ERR nope");
+        put_info(&mut buf, "{\"v\":5}");
+
+        let (view, used) = parse_one(&buf, RESP_MAGIC);
+        assert_eq!(view.code, resp::OK);
+        buf.drain(..used);
+        let (view, used) = parse_one(&buf, RESP_MAGIC);
+        assert_eq!((view.code, view.arg(0)), (resp::VALUE, Some(u64::MAX)));
+        buf.drain(..used);
+        let (view, used) = parse_one(&buf, RESP_MAGIC);
+        assert_eq!(view.entries(), Some(vec![(1, 10), (2, 20)]));
+        buf.drain(..used);
+        let (view, used) = parse_one(&buf, RESP_MAGIC);
+        assert_eq!((view.code, view.text()), (resp::ERR, Some("ERR nope")));
+        buf.drain(..used);
+        let (view, used) = parse_one(&buf, RESP_MAGIC);
+        assert_eq!((view.code, view.text()), (resp::INFO, Some("{\"v\":5}")));
+        assert_eq!(used, buf.len());
+    }
+
+    proptest! {
+        /// Any encodable request survives encode → parse, including when
+        /// the buffer carries trailing bytes from the next frame.
+        #[test]
+        fn prop_request_round_trip(
+            code in 1u8..0x11,
+            name in prop::collection::vec(0x61u8..0x7B, 0..16),
+            args in prop::collection::vec(any::<u64>(), 0..4),
+            trailing in prop::collection::vec(any::<u8>(), 0..32),
+        ) {
+            let name = String::from_utf8(name).expect("ascii name");
+            let mut buf = Vec::new();
+            put_request(&mut buf, code, &name, &args);
+            let frame_len = buf.len();
+            buf.extend_from_slice(&trailing);
+
+            let (view, consumed) = match parse_frame(&buf, REQ_MAGIC).expect("parse") {
+                Parsed::Frame { view, consumed } => (view, consumed),
+                Parsed::Incomplete => panic!("complete frame parsed as incomplete"),
+            };
+            prop_assert_eq!(consumed, frame_len);
+            prop_assert_eq!(view.code, code);
+            prop_assert_eq!(view.name_str(), Some(name.as_str()));
+            prop_assert_eq!(view.arg_count(), args.len());
+            for (index, &arg) in args.iter().enumerate() {
+                prop_assert_eq!(view.arg(index), Some(arg));
+            }
+        }
+
+        /// Every strict prefix of a valid frame parses as Incomplete —
+        /// never a fault, never a short frame.
+        #[test]
+        fn prop_prefixes_are_incomplete(
+            name in prop::collection::vec(0x61u8..0x7B, 0..16),
+            args in prop::collection::vec(any::<u64>(), 0..4),
+        ) {
+            let name = String::from_utf8(name).expect("ascii name");
+            let mut buf = Vec::new();
+            put_request(&mut buf, op::ORD_PUT, &name, &args);
+            for cut in 0..buf.len() {
+                match parse_frame(&buf[..cut], REQ_MAGIC) {
+                    Ok(Parsed::Incomplete) => {}
+                    other => panic!("prefix {cut} of {} parsed as {other:?}", buf.len()),
+                }
+            }
+        }
+
+        /// Entries payloads of any size round-trip exactly.
+        #[test]
+        fn prop_entries_round_trip(
+            entries in prop::collection::vec((any::<u64>(), any::<u64>()), 0..64),
+        ) {
+            let mut buf = Vec::new();
+            put_entries(&mut buf, &entries);
+            let (view, consumed) = match parse_frame(&buf, RESP_MAGIC).expect("parse") {
+                Parsed::Frame { view, consumed } => (view, consumed),
+                Parsed::Incomplete => panic!("incomplete"),
+            };
+            prop_assert_eq!(consumed, buf.len());
+            prop_assert_eq!(view.entries(), Some(entries));
+        }
+    }
+}

@@ -1,10 +1,17 @@
 //! # proust-loadgen
 //!
 //! Multi-threaded load generator for `proust-server`. Each worker thread
-//! owns one TCP connection and issues a configurable mix of map
+//! owns one or more TCP connections and issues a configurable mix of map
 //! (`GET`/`PUT`/`DEL`), counter (`INC`), queue (`ENQ`/`DEQ`), ordered-map
 //! (`SCAN`/`OPUT`), and `MULTI … EXEC` batch requests, with uniform or
-//! zipfian key skew.
+//! zipfian key skew. Requests ride either the text protocol or the
+//! `proust-codec` binary framing (`--binary`) — both decode into the same
+//! request model, so mixes and verification are wire-independent.
+//!
+//! `--connections N` holds N concurrent connections open (the high-
+//! connection sweep): each thread owns its share and multiplexes requests
+//! across them round-robin, so a 10k-connection run needs only a handful
+//! of threads.
 //!
 //! Two pacing modes:
 //!
@@ -37,6 +44,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use proust_bench::report::histogram_json;
+use proust_codec::{op, resp, FrameView, Parsed};
 use proust_stm::obs::{parse_exposition, Histogram, JsonValue, PromSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -128,6 +136,25 @@ pub struct LoadConfig {
     /// SIGKILLed mid-load on purpose. The final counter check and STATS
     /// scrape turn best-effort.
     pub tolerate_disconnect: bool,
+    /// Speak the binary wire protocol instead of the text protocol.
+    pub binary: bool,
+    /// Total concurrent connections to hold open (0 = one per thread).
+    /// When larger than `threads`, each thread multiplexes its share
+    /// round-robin — the open-loop connection sweep.
+    pub connections: usize,
+}
+
+impl LoadConfig {
+    /// The connection count the run actually opens: `connections`,
+    /// defaulted to one per thread and never below the thread count.
+    pub fn effective_connections(&self) -> usize {
+        let threads = self.threads.max(1);
+        if self.connections == 0 {
+            threads
+        } else {
+            self.connections.max(threads)
+        }
+    }
 }
 
 impl Default for LoadConfig {
@@ -154,6 +181,8 @@ impl Default for LoadConfig {
             metrics_addr: None,
             ack_journal: None,
             tolerate_disconnect: false,
+            binary: false,
+            connections: 0,
         }
     }
 }
@@ -293,9 +322,12 @@ pub fn config_json(config: &LoadConfig) -> JsonValue {
         ("scan_span", JsonValue::u64(config.scan_span)),
         ("structures", JsonValue::u64(config.structures as u64)),
         ("seed", JsonValue::u64(config.seed)),
+        ("wire", JsonValue::str(if config.binary { "binary" } else { "text" })),
+        ("connections", JsonValue::u64(config.effective_connections() as u64)),
     ])
 }
 
+#[derive(Debug)]
 struct Client {
     reader: BufReader<TcpStream>,
 }
@@ -349,6 +381,278 @@ fn classify(line: &str) -> Class {
     }
 }
 
+/// Severity combiner: Protocol beats Busy beats Committed when one unit
+/// produces several response frames/lines.
+fn worse(a: Class, b: Class) -> Class {
+    match (a, b) {
+        (Class::Protocol, _) | (_, Class::Protocol) => Class::Protocol,
+        (Class::Busy, _) | (_, Class::Busy) => Class::Busy,
+        _ => Class::Committed,
+    }
+}
+
+/// One request unit, wire-independent: the worker draws these from the
+/// configured mix and each connection encodes them for its protocol.
+#[derive(Debug, Clone)]
+enum Req {
+    Get {
+        name: String,
+        key: u64,
+    },
+    Put {
+        name: String,
+        key: u64,
+        value: u64,
+    },
+    Del {
+        name: String,
+        key: u64,
+    },
+    Inc {
+        name: String,
+        delta: u64,
+    },
+    Enq {
+        name: String,
+        value: u64,
+    },
+    Deq {
+        name: String,
+    },
+    Oput {
+        name: String,
+        key: u64,
+        value: u64,
+    },
+    Scan {
+        name: String,
+        lo: u64,
+        hi: u64,
+    },
+    /// `MULTI … EXEC` (text) / `BATCH` (binary): one atomic unit.
+    Multi(Vec<Req>),
+}
+
+/// Render a non-`Multi` request as its text-protocol line.
+fn text_line(req: &Req) -> String {
+    match req {
+        Req::Get { name, key } => format!("GET {name} {key}"),
+        Req::Put { name, key, value } => format!("PUT {name} {key} {value}"),
+        Req::Del { name, key } => format!("DEL {name} {key}"),
+        Req::Inc { name, delta } => format!("INC {name} {delta}"),
+        Req::Enq { name, value } => format!("ENQ {name} {value}"),
+        Req::Deq { name } => format!("DEQ {name}"),
+        Req::Oput { name, key, value } => format!("OPUT {name} {key} {value}"),
+        Req::Scan { name, lo, hi } => format!("SCAN {name} {lo} {hi}"),
+        Req::Multi(_) => unreachable!("MULTI blocks are framed, not single lines"),
+    }
+}
+
+/// Encode a request as its binary frame (recursing for `BATCH`).
+fn encode_req(frame: &mut Vec<u8>, req: &Req) {
+    use proust_codec::{put_batch_request, put_request};
+    match req {
+        Req::Get { name, key } => put_request(frame, op::MAP_GET, name, &[*key]),
+        Req::Put { name, key, value } => put_request(frame, op::MAP_PUT, name, &[*key, *value]),
+        Req::Del { name, key } => put_request(frame, op::MAP_DEL, name, &[*key]),
+        Req::Inc { name, delta } => put_request(frame, op::CTR_INC, name, &[*delta]),
+        Req::Enq { name, value } => put_request(frame, op::Q_ENQ, name, &[*value]),
+        Req::Deq { name } => put_request(frame, op::Q_DEQ, name, &[]),
+        Req::Oput { name, key, value } => put_request(frame, op::ORD_PUT, name, &[*key, *value]),
+        Req::Scan { name, lo, hi } => put_request(frame, op::ORD_SCAN, name, &[*lo, *hi]),
+        Req::Multi(inner) => {
+            let mut body = Vec::new();
+            for req in inner {
+                encode_req(&mut body, req);
+            }
+            put_batch_request(frame, inner.len() as u32, &body);
+        }
+    }
+}
+
+/// A decoded binary response frame, owned (no borrow of the read buffer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OwnedBin {
+    code: u8,
+    value: Option<u64>,
+    entries: Option<Vec<(u64, u64)>>,
+    text: Option<String>,
+    batch: Vec<OwnedBin>,
+}
+
+impl OwnedBin {
+    fn from_view(view: &FrameView<'_>) -> OwnedBin {
+        OwnedBin {
+            code: view.code,
+            value: if view.code == resp::VALUE { view.arg(0) } else { None },
+            entries: if view.code == resp::ENTRIES { view.entries() } else { None },
+            text: if view.code == resp::ERR || view.code == resp::INFO {
+                view.text().map(str::to_string)
+            } else {
+                None
+            },
+            batch: if view.code == resp::BATCH {
+                match view.batch(proust_codec::RESP_MAGIC) {
+                    Ok(inner) => inner.iter().map(OwnedBin::from_view).collect(),
+                    // An undecodable batch body must classify as a
+                    // protocol anomaly, not an empty (committed) batch.
+                    Err(_) => vec![OwnedBin {
+                        code: 0,
+                        value: None,
+                        entries: None,
+                        text: None,
+                        batch: Vec::new(),
+                    }],
+                }
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    fn classify(&self) -> Class {
+        match self.code {
+            resp::OK | resp::NIL | resp::PONG | resp::VALUE | resp::ENTRIES | resp::INFO => {
+                Class::Committed
+            }
+            resp::BUSY => Class::Busy,
+            resp::BATCH => {
+                self.batch.iter().fold(Class::Committed, |acc, inner| worse(acc, inner.classify()))
+            }
+            _ => Class::Protocol,
+        }
+    }
+}
+
+/// A client speaking the binary protocol: frames out, frames in.
+#[derive(Debug)]
+struct BinClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl BinClient {
+    fn new(stream: TcpStream) -> BinClient {
+        stream.set_nodelay(true).ok();
+        BinClient { stream, buf: Vec::new() }
+    }
+
+    fn send(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.stream.write_all(bytes).map_err(|err| format!("send: {err}"))
+    }
+
+    fn recv(&mut self) -> Result<OwnedBin, String> {
+        loop {
+            match proust_codec::parse_frame(&self.buf, proust_codec::RESP_MAGIC) {
+                Ok(Parsed::Frame { view, consumed }) => {
+                    let owned = OwnedBin::from_view(&view);
+                    self.buf.drain(..consumed);
+                    return Ok(owned);
+                }
+                Ok(Parsed::Incomplete) => {
+                    let mut chunk = [0u8; 4096];
+                    let n = self.stream.read(&mut chunk).map_err(|err| format!("recv: {err}"))?;
+                    if n == 0 {
+                        return Err("server closed the connection".to_string());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(err) => return Err(format!("binary response: {err}")),
+            }
+        }
+    }
+
+    fn request(&mut self, code: u8, name: &str, args: &[u64]) -> Result<OwnedBin, String> {
+        let mut frame = Vec::new();
+        proust_codec::put_request(&mut frame, code, name, args);
+        self.send(&frame)?;
+        self.recv()
+    }
+}
+
+/// One worker-owned connection on either wire.
+#[derive(Debug)]
+enum WorkerConn {
+    Text(Client),
+    Binary(BinClient),
+}
+
+impl WorkerConn {
+    /// Connect with retries: a 10k-connection storm can transiently
+    /// overflow the listener backlog, which is the client's problem to
+    /// absorb, not a run failure.
+    fn connect(addr: &str, binary: bool) -> Result<WorkerConn, String> {
+        let mut delay = Duration::from_millis(10);
+        let mut last = String::new();
+        for attempt in 0..5 {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay *= 4;
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    return Ok(if binary {
+                        WorkerConn::Binary(BinClient::new(stream))
+                    } else {
+                        stream.set_nodelay(true).ok();
+                        WorkerConn::Text(Client { reader: BufReader::new(stream) })
+                    });
+                }
+                Err(err) => last = format!("connect {addr}: {err}"),
+            }
+        }
+        Err(last)
+    }
+
+    /// Issue one request unit and classify the full response.
+    fn issue(&mut self, req: &Req) -> Result<Class, String> {
+        match self {
+            WorkerConn::Text(client) => issue_text(client, req),
+            WorkerConn::Binary(client) => {
+                let mut frame = Vec::new();
+                encode_req(&mut frame, req);
+                client.send(&frame)?;
+                Ok(client.recv()?.classify())
+            }
+        }
+    }
+}
+
+fn issue_text(client: &mut Client, req: &Req) -> Result<Class, String> {
+    let Req::Multi(inner) = req else {
+        return Ok(classify(&client.roundtrip(&text_line(req))?));
+    };
+    // A MULTI batch of map ops: one atomic unit server-side.
+    let mut block = String::from("MULTI\n");
+    for req in inner {
+        block.push_str(&text_line(req));
+        block.push('\n');
+    }
+    block.push_str("EXEC\n");
+    client.send(&block)?;
+    let mut class = Class::Committed;
+    if client.recv()? != "OK" {
+        class = worse(class, Class::Protocol);
+    }
+    for _ in inner {
+        if client.recv()? != "QUEUED" {
+            class = worse(class, Class::Protocol);
+        }
+    }
+    let results = client.recv()?;
+    let lines = match results.strip_prefix("RESULTS ").and_then(|n| n.parse().ok()) {
+        Some(n) => n,
+        None => {
+            class = worse(class, Class::Protocol);
+            0usize
+        }
+    };
+    for _ in 0..lines {
+        class = worse(class, classify(&client.recv()?));
+    }
+    Ok(class)
+}
+
 struct Tallies {
     requests: AtomicU64,
     committed: AtomicU64,
@@ -373,7 +677,9 @@ impl Tallies {
 }
 
 struct Worker<'a> {
-    client: Client,
+    /// This thread's share of the run's connections; requests rotate
+    /// round-robin across them.
+    conns: Vec<WorkerConn>,
     rng: StdRng,
     zipf: Option<Zipf>,
     config: &'a LoadConfig,
@@ -388,101 +694,74 @@ impl Worker<'_> {
         }
     }
 
-    fn map_line(&mut self) -> String {
-        let name = self.rng.gen_range(0..self.config.structures as u64);
+    fn map_req(&mut self) -> Req {
+        let name = format!("m{}", self.rng.gen_range(0..self.config.structures as u64));
         let key = self.draw_key();
         let r: f64 = self.rng.gen();
         if r < self.config.read_frac {
-            format!("GET m{name} {key}")
+            Req::Get { name, key }
         } else if r < self.config.read_frac + 0.8 * (1.0 - self.config.read_frac) {
-            let value = self.rng.gen_range(0..1_000_000u64);
-            format!("PUT m{name} {key} {value}")
+            Req::Put { name, key, value: self.rng.gen_range(0..1_000_000u64) }
         } else {
-            format!("DEL m{name} {key}")
+            Req::Del { name, key }
         }
     }
 
-    /// Issue one request unit; latency is recorded from `sched`.
-    fn issue_one(&mut self, sched: Instant) -> Result<(), String> {
+    /// Draw one request unit from the configured mix; an `INC` also
+    /// returns its `(counter, delta)` for ack accounting.
+    fn draw_req(&mut self) -> (Req, Option<(u64, u64)>) {
         let pick: f64 = self.rng.gen();
         let config = self.config;
-        let unit_class = if pick < config.multi_frac {
-            // A MULTI batch of map ops: one atomic unit server-side.
+        if pick < config.multi_frac {
             let count = config.multi_size.max(1);
-            let mut block = String::from("MULTI\n");
-            for _ in 0..count {
-                block.push_str(&self.map_line());
-                block.push('\n');
-            }
-            block.push_str("EXEC\n");
-            self.client.send(&block)?;
-            let mut class = Class::Committed;
-            // Protocol beats Busy beats Committed when summarizing.
-            fn note(c: Class, class: &mut Class) {
-                if c == Class::Protocol || (*class == Class::Committed && c == Class::Busy) {
-                    *class = c;
-                }
-            }
-            if self.client.recv()? != "OK" {
-                note(Class::Protocol, &mut class);
-            }
-            for _ in 0..count {
-                if self.client.recv()? != "QUEUED" {
-                    note(Class::Protocol, &mut class);
-                }
-            }
-            let results = self.client.recv()?;
-            let lines = match results.strip_prefix("RESULTS ").and_then(|n| n.parse().ok()) {
-                Some(n) => n,
-                None => {
-                    note(Class::Protocol, &mut class);
-                    0usize
-                }
-            };
-            for _ in 0..lines {
-                note(classify(&self.client.recv()?), &mut class);
-            }
-            class
+            (Req::Multi((0..count).map(|_| self.map_req()).collect()), None)
         } else if pick < config.multi_frac + config.inc_frac {
             let counter = self.rng.gen_range(0..config.structures as u64);
             let delta = self.rng.gen_range(1..4u64);
+            (Req::Inc { name: format!("c{counter}"), delta }, Some((counter, delta)))
+        } else if pick < config.multi_frac + config.inc_frac + config.queue_frac {
+            let name = format!("q{}", self.rng.gen_range(0..config.structures as u64));
+            if self.rng.gen::<f64>() < 0.5 {
+                (Req::Enq { name, value: self.rng.gen_range(0..1_000_000u64) }, None)
+            } else {
+                (Req::Deq { name }, None)
+            }
+        } else if pick < config.multi_frac + config.inc_frac + config.queue_frac + config.scan_frac
+        {
+            let name = format!("o{}", self.rng.gen_range(0..config.structures as u64));
+            let key = self.draw_key();
+            if self.rng.gen::<f64>() < 0.25 {
+                // Seed the ordered maps so scans have something to read.
+                (Req::Oput { name, key, value: self.rng.gen_range(0..1_000_000u64) }, None)
+            } else {
+                let hi = key.saturating_add(config.scan_span.max(1));
+                (Req::Scan { name, lo: key, hi }, None)
+            }
+        } else {
+            (self.map_req(), None)
+        }
+    }
+
+    /// Issue one request unit on connection `conn_idx`; latency is
+    /// recorded from `sched`.
+    fn issue_one(&mut self, conn_idx: usize, sched: Instant) -> Result<(), String> {
+        let (req, inc) = self.draw_req();
+        if let Some((counter, delta)) = inc {
             // SENT before the request leaves: any increment the server might
             // commit is journaled first, so a crash can never leave an
             // acked-but-unjournaled update.
             self.tallies.journal_line(&format!("SENT c{counter} {delta}"))?;
-            let response = self.client.roundtrip(&format!("INC c{counter} {delta}"))?;
-            let class = classify(&response);
-            if class == Class::Committed {
+        }
+        let unit_class = self.conns[conn_idx].issue(&req)?;
+        if let Some((counter, delta)) = inc {
+            if unit_class == Class::Committed {
                 // The server only answers OK after commit, so this tally is
                 // exactly the committed counter movement we must observe.
                 self.tallies.expected_incs[counter as usize]
                     .fetch_add(delta as i64, Ordering::Relaxed);
                 self.tallies.journal_line(&format!("ACK c{counter} {delta}"))?;
             }
-            class
-        } else if pick < config.multi_frac + config.inc_frac + config.queue_frac {
-            let queue = self.rng.gen_range(0..config.structures as u64);
-            let line = if self.rng.gen::<f64>() < 0.5 {
-                format!("ENQ q{queue} {}", self.rng.gen_range(0..1_000_000u64))
-            } else {
-                format!("DEQ q{queue}")
-            };
-            classify(&self.client.roundtrip(&line)?)
-        } else if pick < config.multi_frac + config.inc_frac + config.queue_frac + config.scan_frac
-        {
-            let omap = self.rng.gen_range(0..config.structures as u64);
-            let key = self.draw_key();
-            let line = if self.rng.gen::<f64>() < 0.25 {
-                // Seed the ordered maps so scans have something to read.
-                format!("OPUT o{omap} {key} {}", self.rng.gen_range(0..1_000_000u64))
-            } else {
-                format!("SCAN o{omap} {key} {}", key.saturating_add(config.scan_span.max(1)))
-            };
-            classify(&self.client.roundtrip(&line)?)
-        } else {
-            let line = self.map_line();
-            classify(&self.client.roundtrip(&line)?)
-        };
+        }
         self.tallies.latency.record(sched.elapsed().as_nanos() as u64);
         self.tallies.requests.fetch_add(1, Ordering::Relaxed);
         match unit_class {
@@ -500,26 +779,32 @@ impl Worker<'_> {
     }
 
     fn run(&mut self, tid: usize, start: Instant) -> Result<(), String> {
+        let conns = self.conns.len().max(1);
         match self.config.mode {
             Mode::Closed => {
+                let mut turn = 0usize;
                 while start.elapsed() < self.config.duration {
-                    self.issue_one(Instant::now())?;
+                    self.issue_one(turn % conns, Instant::now())?;
+                    turn = turn.wrapping_add(1);
                 }
             }
             Mode::Open { rate } => {
                 // Thread `tid` owns arrivals tid, tid+T, tid+2T, … of the
-                // global schedule. A late arrival is sent immediately but
-                // its latency still counts from the scheduled instant —
-                // falling behind inflates the tail instead of hiding it.
+                // global schedule, rotating them across its connections. A
+                // late arrival is sent immediately but its latency still
+                // counts from the scheduled instant — falling behind
+                // inflates the tail instead of hiding it.
                 let total = (rate * self.config.duration.as_secs_f64()).ceil() as u64;
                 let mut k = tid as u64;
+                let mut turn = 0usize;
                 while k < total {
                     let at = start + Duration::from_secs_f64(k as f64 / rate);
                     let now = Instant::now();
                     if at > now {
                         std::thread::sleep(at - now);
                     }
-                    self.issue_one(at)?;
+                    self.issue_one(turn % conns, at)?;
+                    turn = turn.wrapping_add(1);
                     k += self.config.threads as u64;
                 }
             }
@@ -553,7 +838,8 @@ fn heartbeat_loop(tallies: &Tallies, stop: &AtomicBool, start: Instant, addr: &s
             let stats = JsonValue::parse(line.strip_prefix("STATS ")?).ok()?;
             let wait_ns = stats.get("lock_wait_ns")?.as_u64()?;
             let depth = stats.get("serial_queue_depth").and_then(JsonValue::as_u64).unwrap_or(0);
-            Some((wait_ns, depth))
+            let conns = stats.get("connections").and_then(JsonValue::as_u64).unwrap_or(0);
+            Some((wait_ns, depth, conns))
         });
         if contention.is_none() {
             // A failed roundtrip leaves the connection desynced; drop it
@@ -561,10 +847,10 @@ fn heartbeat_loop(tallies: &Tallies, stop: &AtomicBool, start: Instant, addr: &s
             stats_client = None;
         }
         let contention_txt = match contention {
-            Some((wait_ns, depth)) => {
+            Some((wait_ns, depth, conns)) => {
                 let delta_ms = wait_ns.saturating_sub(last_wait_ns) as f64 / 1e6;
                 last_wait_ns = wait_ns;
-                format!(", lock-wait +{delta_ms:.1}ms, serial-q {depth}")
+                format!(", conns {conns}, lock-wait +{delta_ms:.1}ms, serial-q {depth}")
             }
             None => String::new(),
         };
@@ -632,20 +918,27 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         journal,
     };
     let heartbeat_stop = AtomicBool::new(false);
-    let start = Instant::now();
+    let threads = config.threads.max(1);
+    let total_conns = config.effective_connections();
+    // All connections are established before the clock starts: the
+    // measured window contains request latency only, never the connect
+    // storm. Every worker reaches the barrier even on connect failure so
+    // the rendezvous can't deadlock.
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let mut elapsed_s = 0.0f64;
     let worker_errors: Vec<String> = std::thread::scope(|scope| {
-        if !config.quiet {
-            let tallies = &tallies;
-            let stop = &heartbeat_stop;
-            let addr = config.addr.as_str();
-            scope.spawn(move || heartbeat_loop(tallies, stop, start, addr));
-        }
-        let handles: Vec<_> = (0..config.threads)
+        let barrier = &barrier;
+        let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let tallies = &tallies;
                 scope.spawn(move || -> Result<(), String> {
+                    let share = total_conns / threads + usize::from(tid < total_conns % threads);
+                    let connected: Result<Vec<WorkerConn>, String> = (0..share)
+                        .map(|_| WorkerConn::connect(&config.addr, config.binary))
+                        .collect();
+                    barrier.wait();
                     let mut worker = Worker {
-                        client: Client::connect(&config.addr)?,
+                        conns: connected?,
                         rng: StdRng::seed_from_u64(
                             config.seed ^ (tid as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                         ),
@@ -656,10 +949,21 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
                         config,
                         tallies,
                     };
-                    worker.run(tid, start)
+                    // Each thread clocks its own start at the rendezvous;
+                    // the skew between threads is microseconds against a
+                    // schedule of milliseconds.
+                    worker.run(tid, Instant::now())
                 })
             })
             .collect();
+        barrier.wait();
+        let start = Instant::now();
+        if !config.quiet {
+            let tallies = &tallies;
+            let stop = &heartbeat_stop;
+            let addr = config.addr.as_str();
+            scope.spawn(move || heartbeat_loop(tallies, stop, start, addr));
+        }
         let errors: Vec<String> = handles
             .into_iter()
             .filter_map(|handle| match handle.join() {
@@ -668,6 +972,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
                 Err(_) => Some("worker thread panicked".to_string()),
             })
             .collect();
+        elapsed_s = start.elapsed().as_secs_f64();
         heartbeat_stop.store(true, Ordering::Release);
         errors
     });
@@ -690,7 +995,6 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
             ));
         }
     }
-    let elapsed_s = start.elapsed().as_secs_f64();
 
     // Lost-update check: every INC the server acknowledged must be visible
     // in the committed counter values, exactly. Skipped after a tolerated
@@ -843,4 +1147,149 @@ pub fn verify_journal(addr: &str, path: &str) -> Result<VerifySummary, String> {
         }
     }
     Ok(VerifySummary { counters: sent.len(), acked_sum, sent_sum, recovered_sum, violations })
+}
+
+/// Scripted opcode round-trip against a live server: every data opcode,
+/// an atomic `MULTI`/`BATCH` block, `STATS`, and the error paths, over
+/// the chosen wire. The smoke script uses this as its binary-protocol
+/// leg, since shell tooling can only speak the text protocol.
+///
+/// Structure names carry a time-derived nonce so the check is exact even
+/// against a server that has already served other traffic.
+///
+/// # Errors
+///
+/// Returns a message naming the first request whose response deviated
+/// from the protocol contract, or any transport failure.
+pub fn selftest(addr: &str, binary: bool) -> Result<(), String> {
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        % 1_000_000;
+    if binary {
+        selftest_binary(addr, nonce)
+    } else {
+        selftest_text(addr, nonce)
+    }
+}
+
+fn expect(ctx: &str, got: &str, want: &str) -> Result<(), String> {
+    if got != want {
+        return Err(format!("{ctx}: got {got:?}, want {want:?}"));
+    }
+    Ok(())
+}
+
+fn selftest_text(addr: &str, nonce: u64) -> Result<(), String> {
+    let mut client = Client::connect(addr)?;
+    let (m, c, q, o) = (
+        format!("stm{nonce}"),
+        format!("stc{nonce}"),
+        format!("stq{nonce}"),
+        format!("sto{nonce}"),
+    );
+    expect("PING", &client.roundtrip("PING")?, "PONG")?;
+    expect("PUT", &client.roundtrip(&format!("PUT {m} 1 10"))?, "OK")?;
+    expect("GET hit", &client.roundtrip(&format!("GET {m} 1"))?, "VALUE 10")?;
+    expect("DEL", &client.roundtrip(&format!("DEL {m} 1"))?, "VALUE 10")?;
+    expect("GET miss", &client.roundtrip(&format!("GET {m} 1"))?, "NIL")?;
+    expect("INC", &client.roundtrip(&format!("INC {c} 5"))?, "OK")?;
+    expect("counter GET", &client.roundtrip(&format!("GET {c}"))?, "VALUE 5")?;
+    expect("ENQ", &client.roundtrip(&format!("ENQ {q} 7"))?, "OK")?;
+    expect("DEQ", &client.roundtrip(&format!("DEQ {q}"))?, "VALUE 7")?;
+    expect("DEQ empty", &client.roundtrip(&format!("DEQ {q}"))?, "NIL")?;
+    expect("OPUT", &client.roundtrip(&format!("OPUT {o} 5 50"))?, "OK")?;
+    expect("OPUT", &client.roundtrip(&format!("OPUT {o} 2 20"))?, "OK")?;
+    expect("OGET", &client.roundtrip(&format!("OGET {o} 5"))?, "VALUE 50")?;
+    expect("SCAN", &client.roundtrip(&format!("SCAN {o} 0 10"))?, "VALUE 2 2=20 5=50")?;
+    expect("ODEL", &client.roundtrip(&format!("ODEL {o} 2"))?, "VALUE 20")?;
+    expect("MULTI", &client.roundtrip("MULTI")?, "OK")?;
+    expect("queued PUT", &client.roundtrip(&format!("PUT {m} 2 22"))?, "QUEUED")?;
+    expect("queued GET", &client.roundtrip(&format!("GET {m} 2"))?, "QUEUED")?;
+    expect("EXEC", &client.roundtrip("EXEC")?, "RESULTS 2")?;
+    expect("EXEC line 1", &client.recv()?, "OK")?;
+    expect("EXEC line 2", &client.recv()?, "VALUE 22")?;
+    let stats = client.roundtrip("STATS")?;
+    let payload = stats.strip_prefix("STATS ").ok_or_else(|| format!("STATS: {stats:?}"))?;
+    JsonValue::parse(payload).map_err(|err| format!("STATS payload: {err}"))?;
+    // Malformed requests answer ERR and keep the connection.
+    let bad = client.roundtrip(&format!("INC {c} 0"))?;
+    if !bad.starts_with("ERR ") {
+        return Err(format!("zero-delta INC: got {bad:?}, want an ERR line"));
+    }
+    expect("PING after ERR", &client.roundtrip("PING")?, "PONG")?;
+    expect("QUIT", &client.roundtrip("QUIT")?, "OK")?;
+    Ok(())
+}
+
+fn selftest_binary(addr: &str, nonce: u64) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|err| format!("connect {addr}: {err}"))?;
+    let mut client = BinClient::new(stream);
+    let check = |ctx: &str, got: &OwnedBin, want: &OwnedBin| -> Result<(), String> {
+        if got != want {
+            return Err(format!("{ctx}: got {got:?}, want {want:?}"));
+        }
+        Ok(())
+    };
+    let status =
+        |code: u8| OwnedBin { code, value: None, entries: None, text: None, batch: Vec::new() };
+    let value = |v: u64| OwnedBin { value: Some(v), ..status(resp::VALUE) };
+    let (m, c, q, o) = (
+        format!("stm{nonce}"),
+        format!("stc{nonce}"),
+        format!("stq{nonce}"),
+        format!("sto{nonce}"),
+    );
+    check("PING", &client.request(op::PING, "", &[])?, &status(resp::PONG))?;
+    check("MAP_PUT", &client.request(op::MAP_PUT, &m, &[1, 10])?, &status(resp::OK))?;
+    check("MAP_GET hit", &client.request(op::MAP_GET, &m, &[1])?, &value(10))?;
+    check("MAP_DEL", &client.request(op::MAP_DEL, &m, &[1])?, &value(10))?;
+    check("MAP_GET miss", &client.request(op::MAP_GET, &m, &[1])?, &status(resp::NIL))?;
+    check("CTR_INC", &client.request(op::CTR_INC, &c, &[5])?, &status(resp::OK))?;
+    check("CTR_GET", &client.request(op::CTR_GET, &c, &[])?, &value(5))?;
+    check("Q_ENQ", &client.request(op::Q_ENQ, &q, &[7])?, &status(resp::OK))?;
+    check("Q_DEQ", &client.request(op::Q_DEQ, &q, &[])?, &value(7))?;
+    check("Q_DEQ empty", &client.request(op::Q_DEQ, &q, &[])?, &status(resp::NIL))?;
+    check("ORD_PUT", &client.request(op::ORD_PUT, &o, &[5, 50])?, &status(resp::OK))?;
+    check("ORD_PUT", &client.request(op::ORD_PUT, &o, &[2, 20])?, &status(resp::OK))?;
+    check("ORD_GET", &client.request(op::ORD_GET, &o, &[5])?, &value(50))?;
+    let scan = client.request(op::ORD_SCAN, &o, &[0, 10])?;
+    if scan.code != resp::ENTRIES || scan.entries.as_deref() != Some(&[(2, 20), (5, 50)]) {
+        return Err(format!("ORD_SCAN: got {scan:?}, want entries [(2,20),(5,50)]"));
+    }
+    check("ORD_DEL", &client.request(op::ORD_DEL, &o, &[2])?, &value(20))?;
+    // BATCH: one atomic unit, one framed response.
+    let mut frame = Vec::new();
+    encode_req(
+        &mut frame,
+        &Req::Multi(vec![
+            Req::Put { name: m.clone(), key: 2, value: 22 },
+            Req::Get { name: m.clone(), key: 2 },
+        ]),
+    );
+    client.send(&frame)?;
+    let batch = client.recv()?;
+    if batch.code != resp::BATCH
+        || batch.batch.len() != 2
+        || batch.batch[0] != status(resp::OK)
+        || batch.batch[1] != value(22)
+    {
+        return Err(format!("BATCH: got {batch:?}, want [OK, VALUE 22]"));
+    }
+    // STATS: an INFO frame carrying the one-line JSON payload.
+    let stats = client.request(op::STATS, "", &[])?;
+    let payload = match (stats.code, &stats.text) {
+        (code, Some(text)) if code == resp::INFO => text,
+        _ => return Err(format!("STATS: got {stats:?}, want an INFO frame")),
+    };
+    JsonValue::parse(payload).map_err(|err| format!("STATS payload: {err}"))?;
+    // Malformed requests answer ERR and keep the connection.
+    let bad = client.request(op::CTR_INC, &c, &[0])?;
+    if bad.code != resp::ERR {
+        return Err(format!("zero-delta CTR_INC: got {bad:?}, want an ERR frame"));
+    }
+    check("PING after ERR", &client.request(op::PING, "", &[])?, &status(resp::PONG))?;
+    check("QUIT", &client.request(op::QUIT, "", &[])?, &status(resp::OK))?;
+    Ok(())
 }

@@ -10,7 +10,8 @@ use proust_loadgen::{config_json, run, verify_journal, KeyDist, LoadConfig, Mode
 
 const USAGE: &str = "\
 usage: proust-loadgen --addr HOST:PORT [--threads N] [--secs S]
-                      [--mode closed|open] [--rate RPS]
+                      [--mode closed|open] [--rate RPS] [--binary]
+                      [--connections N] [--p999-budget-us US]
                       [--keys N] [--dist uniform|zipfian] [--theta T]
                       [--read-frac F] [--multi-frac F] [--multi-size N]
                       [--inc-frac F] [--queue-frac F] [--scan-frac F]
@@ -18,12 +19,20 @@ usage: proust-loadgen --addr HOST:PORT [--threads N] [--secs S]
                       [--seed N] [--json FILE] [--no-check] [--shutdown]
                       [--quiet] [--metrics-addr HOST:PORT]
                       [--ack-journal FILE] [--tolerate-disconnect]
-       proust-loadgen --addr HOST:PORT --verify-journal FILE";
+       proust-loadgen --addr HOST:PORT --verify-journal FILE
+       proust-loadgen --addr HOST:PORT --selftest [--binary]";
 
-fn config_from_args() -> (LoadConfig, Option<String>, Option<String>) {
+struct Extras {
+    json_path: Option<String>,
+    verify_path: Option<String>,
+    selftest: bool,
+    p999_budget_us: Option<f64>,
+}
+
+fn config_from_args() -> (LoadConfig, Extras) {
     let mut config = LoadConfig::default();
-    let mut json_path = None;
-    let mut verify_path = None;
+    let mut extras =
+        Extras { json_path: None, verify_path: None, selftest: false, p999_budget_us: None };
     let mut mode_name = "closed".to_string();
     let mut rate = 10_000.0f64;
     let mut dist_name = "zipfian".to_string();
@@ -50,14 +59,18 @@ fn config_from_args() -> (LoadConfig, Option<String>, Option<String>) {
             "--scan-span" => config.scan_span = args.parsed("--scan-span"),
             "--structures" => config.structures = args.parsed("--structures"),
             "--seed" => config.seed = args.parsed("--seed"),
-            "--json" => json_path = Some(args.value("--json")),
+            "--json" => extras.json_path = Some(args.value("--json")),
             "--no-check" => config.check_counters = false,
             "--shutdown" => config.send_shutdown = true,
             "--quiet" => config.quiet = true,
             "--metrics-addr" => config.metrics_addr = Some(args.value("--metrics-addr")),
             "--ack-journal" => config.ack_journal = Some(args.value("--ack-journal")),
             "--tolerate-disconnect" => config.tolerate_disconnect = true,
-            "--verify-journal" => verify_path = Some(args.value("--verify-journal")),
+            "--verify-journal" => extras.verify_path = Some(args.value("--verify-journal")),
+            "--binary" => config.binary = true,
+            "--connections" => config.connections = args.parsed("--connections"),
+            "--p999-budget-us" => extras.p999_budget_us = Some(args.parsed("--p999-budget-us")),
+            "--selftest" => extras.selftest = true,
             other => args.unknown(other),
         }
     }
@@ -71,12 +84,23 @@ fn config_from_args() -> (LoadConfig, Option<String>, Option<String>) {
         "zipfian" => KeyDist::Zipfian(theta),
         other => args.fail(format!("unknown --dist value {other:?}")),
     };
-    (config, json_path, verify_path)
+    (config, extras)
 }
 
 fn main() {
-    let (config, json_path, verify_path) = config_from_args();
-    if let Some(journal) = verify_path {
+    let (config, extras) = config_from_args();
+    let wire = if config.binary { "binary" } else { "text" };
+    if extras.selftest {
+        // Scripted opcode round-trip: the smoke script's only way to
+        // exercise the binary framing without shell-side codec tooling.
+        if let Err(err) = proust_loadgen::selftest(&config.addr, config.binary) {
+            eprintln!("SELFTEST FAILED ({wire}): {err}");
+            std::process::exit(1);
+        }
+        println!("SELFTEST OK wire={wire}");
+        return;
+    }
+    if let Some(journal) = extras.verify_path {
         // Verifier mode: no load, just check a recovered server against a
         // previous run's ack journal.
         let summary = match verify_journal(&config.addr, &journal) {
@@ -111,8 +135,9 @@ fn main() {
         }
     };
     println!(
-        "{} loop: {} requests in {:.2}s ({:.0} committed/s), p50 {:.1}us p99 {:.1}us p999 {:.1}us",
+        "{} loop ({wire}, {} conns): {} requests in {:.2}s ({:.0} committed/s), p50 {:.1}us p99 {:.1}us p999 {:.1}us",
         report.mode,
+        config.effective_connections(),
         report.requests,
         report.elapsed_s,
         report.throughput_rps,
@@ -131,11 +156,19 @@ fn main() {
     if let Some(delta) = &report.prom_delta {
         println!("metrics delta: {}", delta.to_json());
     }
-    if let Some(path) = json_path {
+    if let Some(path) = extras.json_path {
         write_report(&path, "loadgen", config_json(&config), vec![report.cell_json(&config)]);
     }
     if report.protocol_errors > 0 || report.lost_updates > 0 {
         eprintln!("FAILED: protocol or consistency anomalies detected");
         std::process::exit(1);
+    }
+    if let Some(budget_us) = extras.p999_budget_us {
+        let p999_us = report.latency.p999() as f64 / 1e3;
+        if p999_us > budget_us {
+            eprintln!("FAILED: p999 {p999_us:.1}us exceeds budget {budget_us:.0}us");
+            std::process::exit(1);
+        }
+        println!("p999 {p999_us:.1}us within budget {budget_us:.0}us");
     }
 }

@@ -30,9 +30,7 @@ fn load_config(addr: String) -> LoadConfig {
         check_counters: true,
         send_shutdown: false,
         quiet: true,
-        metrics_addr: None,
-        ack_journal: None,
-        tolerate_disconnect: false,
+        ..LoadConfig::default()
     }
 }
 
@@ -134,6 +132,61 @@ fn open_loop_paces_arrivals_and_stays_consistent() {
     // The schedule is fixed: rate * secs arrivals, all of them issued.
     let scheduled = (2_000.0f64 * 0.5).ceil() as u64;
     assert_eq!(report.requests, scheduled, "open loop must never drop arrivals");
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn binary_wire_run_stays_consistent() {
+    // The full mix — MULTI/BATCH included — over the binary framing must
+    // behave exactly like the text run: zero protocol errors, zero lost
+    // updates, and the same server-side accounting.
+    let handle = Server::start(ServerConfig::default()).expect("server starts");
+    let config = LoadConfig { binary: true, ..load_config(handle.addr().to_string()) };
+    let report = run(&config).expect("binary run completes");
+    assert_eq!(report.protocol_errors, 0, "binary wire protocol errors");
+    assert_eq!(report.lost_updates, 0, "binary wire lost updates");
+    assert!(report.committed > 0, "nothing committed over binary");
+    assert!(report.expected_incs > 0, "INC mix never exercised over binary");
+    assert_eq!(report.expected_incs, report.observed_incs, "binary INC accounting");
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn open_loop_connection_sweep_holds_many_connections() {
+    // 64 connections multiplexed over 4 threads: the per-shard gauges
+    // must account for every one of them mid-run, and the run must stay
+    // anomaly-free.
+    let handle = Server::start(ServerConfig::default()).expect("server starts");
+    let config = LoadConfig {
+        mode: Mode::Open { rate: 1_000.0 },
+        duration: Duration::from_millis(500),
+        threads: 4,
+        connections: 64,
+        binary: true,
+        ..load_config(handle.addr().to_string())
+    };
+    let report = run(&config).expect("sweep run completes");
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.lost_updates, 0);
+    let stats = report.server_stats.as_ref().expect("STATS scraped");
+    // The post-run scrape still sees the control connection at least;
+    // the cumulative count must cover the whole sweep.
+    assert!(
+        stats.get("connections_total").and_then(|v| v.as_u64()).expect("connections_total") >= 64,
+        "sweep connections unaccounted: {stats:?}"
+    );
+    let per_shard =
+        stats.get("connections_per_shard").and_then(|v| v.as_array()).expect("per-shard gauges");
+    assert_eq!(per_shard.len(), 2, "default server has two reactor shards");
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn selftest_round_trips_every_opcode_on_both_wires() {
+    let handle = Server::start(ServerConfig::default()).expect("server starts");
+    let addr = handle.addr().to_string();
+    proust_loadgen::selftest(&addr, false).expect("text selftest");
+    proust_loadgen::selftest(&addr, true).expect("binary selftest");
     assert!(handle.shutdown());
 }
 

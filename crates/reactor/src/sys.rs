@@ -1,0 +1,132 @@
+//! Raw readiness syscalls, no `libc` crate.
+//!
+//! The build environment is offline, so the reactor declares the four
+//! syscall wrappers it needs (`epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! `eventfd`) as `extern "C"` symbols and lets them resolve from the same
+//! system libc that `std` already links. Errors are surfaced through
+//! `std::io::Error::last_os_error()`, exactly as std's own wrappers do.
+//!
+//! Only Linux is supported (epoll is Linux-only); on other targets the
+//! crate compiles but `Poller::new` returns `Unsupported`, which keeps
+//! the workspace buildable for tooling while making any attempt to start
+//! the reactor loudly fail.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Interest/readiness bits (subset of `epoll_event.events`).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery: one event per readiness *transition*.
+pub const EPOLLET: u32 = 1 << 31;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// Mirror of the kernel's `struct epoll_event`. On x86-64 the kernel ABI
+/// packs the struct to 12 bytes (no padding between `events` and `data`);
+/// `repr(packed)` matches glibc's declaration on every 64-bit arch.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+}
+
+fn check(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`, as a raw fd the caller must own.
+#[cfg(target_os = "linux")]
+pub fn sys_epoll_create() -> io::Result<RawFd> {
+    // SAFETY: epoll_create1 takes no pointers; the flag is a valid value.
+    check(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn sys_epoll_create() -> io::Result<RawFd> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "proust-reactor requires Linux epoll"))
+}
+
+/// `epoll_ctl` with an optional event payload (DEL passes null).
+#[cfg(target_os = "linux")]
+pub fn sys_epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+    let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+    let ptr = if event.is_some() { &mut ev as *mut EpollEvent } else { std::ptr::null_mut() };
+    // SAFETY: `ptr` is either null (DEL, where the kernel ignores it) or a
+    // live stack slot that outlives the call; fds are owned by the caller.
+    check(unsafe { epoll_ctl(epfd, op, fd, ptr) })?;
+    Ok(())
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn sys_epoll_ctl(
+    _epfd: RawFd,
+    _op: i32,
+    _fd: RawFd,
+    _event: Option<EpollEvent>,
+) -> io::Result<()> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "proust-reactor requires Linux epoll"))
+}
+
+/// `epoll_wait` into `events`; blocks up to `timeout_ms` (-1 = forever).
+/// Returns the number of ready slots; retries on EINTR.
+#[cfg(target_os = "linux")]
+pub fn sys_epoll_wait(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    loop {
+        // SAFETY: the events pointer/len describe a live, writable slice
+        // for the duration of the call.
+        let ret = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+        match check(ret) {
+            Ok(n) => return Ok(n as usize),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn sys_epoll_wait(
+    _epfd: RawFd,
+    _events: &mut [EpollEvent],
+    _timeout_ms: i32,
+) -> io::Result<usize> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "proust-reactor requires Linux epoll"))
+}
+
+/// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)`, as a raw fd the caller must own.
+#[cfg(target_os = "linux")]
+pub fn sys_eventfd() -> io::Result<RawFd> {
+    // SAFETY: eventfd takes no pointers; the flags are valid values.
+    check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn sys_eventfd() -> io::Result<RawFd> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "proust-reactor requires Linux eventfd"))
+}

@@ -22,6 +22,7 @@ use proust_core::structures::{
     EagerMap, FifoState, OrderedMap, ProustCounter, ProustFifo, SnapTrieMap,
 };
 use proust_core::{DurableOp, OptimisticLap, PessimisticLap, TxMap, ORDERED_STRIPES};
+use proust_reactor::ReactorMetrics;
 use proust_stm::obs::{Histogram, JsonValue, PromWriter, Tracer, SHARED_NS_BUCKET_BOUNDS};
 use proust_stm::{CommitHook, ConflictDetection, Stm, StmConfig, TxError, TxResult, Txn};
 use proust_wal::{FsyncPolicy, Wal};
@@ -178,6 +179,45 @@ impl std::fmt::Debug for Op {
 pub struct Unit {
     /// The resolved operations, in request order.
     pub ops: Vec<Op>,
+}
+
+/// A typed per-op response. Both wire protocols encode from this — the
+/// text encoder renders lines, the binary encoder renders frames — so
+/// the two encodings of the same request are equal by construction
+/// rather than by re-parsing strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resp {
+    /// Mutation applied.
+    Ok,
+    /// Lookup/removal found nothing.
+    Nil,
+    /// A scalar result (lookup hit, dequeued value, counter value).
+    Value(u64),
+    /// Range-scan results in key order.
+    Entries(Vec<(u64, u64)>),
+    /// The unit exhausted its retry budget; nothing was applied.
+    Busy,
+}
+
+impl Resp {
+    /// Render as a text-protocol response line (without the newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Resp::Ok => "OK".to_string(),
+            Resp::Nil => "NIL".to_string(),
+            Resp::Value(value) => format!("VALUE {value}"),
+            Resp::Entries(entries) => {
+                // One line, `VALUE <count> k=v ...` — the VALUE prefix
+                // keeps scans in the loadgen's committed classification.
+                let mut line = format!("VALUE {}", entries.len());
+                for (key, value) in entries {
+                    line.push_str(&format!(" {key}={value}"));
+                }
+                line
+            }
+            Resp::Busy => "BUSY".to_string(),
+        }
+    }
 }
 
 /// The transactional engine: one STM runtime + the structure registries +
@@ -716,7 +756,7 @@ impl Engine {
     /// the whole burst first; if that aborts (patience exceeded, retry
     /// budget exhausted), one transaction per unit. Returns one response
     /// vector per unit, in order.
-    pub fn execute(&self, units: &[Unit]) -> Vec<Vec<String>> {
+    pub fn execute(&self, units: &[Unit]) -> Vec<Vec<Resp>> {
         let responses = self.execute_burst(units);
         // Group commit: the whole burst's WAL records ride one fsync, so
         // durability costs one disk flush per pipelined batch instead of
@@ -725,7 +765,7 @@ impl Engine {
         responses
     }
 
-    fn execute_burst(&self, units: &[Unit]) -> Vec<Vec<String>> {
+    fn execute_burst(&self, units: &[Unit]) -> Vec<Vec<Resp>> {
         let total: u64 = units.iter().map(|unit| unit.ops.len() as u64).sum();
         self.requests.fetch_add(total, Ordering::Relaxed);
         if units.len() > 1 {
@@ -740,7 +780,7 @@ impl Engine {
                 units
                     .iter()
                     .map(|unit| unit.ops.iter().map(|op| apply_op(tx, op)).collect())
-                    .collect::<TxResult<Vec<Vec<String>>>>()
+                    .collect::<TxResult<Vec<Vec<Resp>>>>()
             });
             match batched {
                 Ok(responses) => {
@@ -757,7 +797,7 @@ impl Engine {
         units.iter().map(|unit| self.execute_unit(unit)).collect()
     }
 
-    fn execute_unit(&self, unit: &Unit) -> Vec<String> {
+    fn execute_unit(&self, unit: &Unit) -> Vec<Resp> {
         let start = Instant::now();
         let result = self.stm.atomically(|tx| unit.ops.iter().map(|op| apply_op(tx, op)).collect());
         match result {
@@ -770,7 +810,7 @@ impl Engine {
                 // policy); the unit stays atomic, so every line is BUSY.
                 self.busy.fetch_add(1, Ordering::Relaxed);
                 self.note_slow(start, &unit.ops, "busy");
-                unit.ops.iter().map(|_| "BUSY".to_string()).collect()
+                unit.ops.iter().map(|_| Resp::Busy).collect()
             }
         }
     }
@@ -779,8 +819,10 @@ impl Engine {
     /// the STM commit/conflict counters with the abort-cause breakdown
     /// (same shape as the bench report cells), live gauges (in-flight
     /// transactions, open connections), the top conflict-matrix cells,
-    /// and the server-side latency histograms.
-    pub fn stats_json(&self) -> JsonValue {
+    /// and the server-side latency histograms. `reactor` carries the
+    /// serving path's I/O counters when the engine runs inside the
+    /// server (absent in embedded/test use, where the fields read zero).
+    pub fn stats_json(&self, reactor: Option<&ReactorMetrics>) -> JsonValue {
         let stats = self.stm.stats();
         let wal_stats = self.wal.as_ref().map(|wal| wal.stats());
         let wal_field = |get: fn(&proust_wal::WalStats) -> &AtomicU64| {
@@ -862,12 +904,31 @@ impl Engine {
             ("recovery_replayed", JsonValue::u64(recovery_replayed)),
             ("recovery_truncated_bytes", JsonValue::u64(recovery_truncated)),
             ("recovery_torn_tails", JsonValue::u64(recovery_torn)),
+            // STATS v5: the reactor serving path. Fields are present
+            // (zero) when no reactor is attached, so scrapers never
+            // branch on server mode.
+            ("reactor_shards", JsonValue::u64(reactor.map_or(0, |r| r.shard_count() as u64))),
+            ("reactor_wakeups", JsonValue::u64(reactor.map_or(0, |r| r.wakeups_total()))),
+            ("reactor_backpressure", JsonValue::u64(reactor.map_or(0, |r| r.backpressure_total()))),
+            (
+                "connections_per_shard",
+                JsonValue::Arr(
+                    reactor
+                        .map(|r| r.connections_per_shard())
+                        .unwrap_or_default()
+                        .into_iter()
+                        .map(JsonValue::u64)
+                        .collect(),
+                ),
+            ),
         ])
     }
 
     /// Encode the live metrics in Prometheus text exposition format —
     /// the payload behind `GET /metrics` on the dedicated listener.
-    pub fn prometheus(&self) -> String {
+    /// `reactor` attaches the serving path's I/O families; they are
+    /// exported as zeros when absent so scrape assertions never branch.
+    pub fn prometheus(&self, reactor: Option<&ReactorMetrics>) -> String {
         let stats = self.stm.stats();
         let metrics = self.stm.metrics();
         let mut w = PromWriter::new();
@@ -906,6 +967,39 @@ impl Engine {
             "proust_slow_txns_total",
             "Requests that exceeded the slow-transaction threshold.",
             self.slow_txns.load(Ordering::Relaxed),
+        );
+
+        // --- Reactor serving path --------------------------------------
+        w.counter(
+            "proust_reactor_wakeups_total",
+            "epoll_wait returns across all reactor shards.",
+            reactor.map_or(0, |r| r.wakeups_total()),
+        );
+        w.counter(
+            "proust_conn_backpressure_total",
+            "Connections paused for crossing the output high-water mark.",
+            reactor.map_or(0, |r| r.backpressure_total()),
+        );
+        w.header("proust_connections", "Open connections per reactor shard.", "gauge");
+        match reactor {
+            Some(r) => {
+                for (shard, count) in r.connections_per_shard().into_iter().enumerate() {
+                    let label = shard.to_string();
+                    w.sample("proust_connections", &[("shard", &label)], count as f64);
+                }
+            }
+            None => w.sample("proust_connections", &[("shard", "0")], 0.0),
+        }
+        let empty_ready = Histogram::new();
+        w.header(
+            "proust_reactor_ready_events",
+            "Ready-event batch size per epoll wakeup.",
+            "histogram",
+        );
+        w.histogram(
+            "proust_reactor_ready_events",
+            &[],
+            reactor.map_or(&empty_ready, |r| &r.ready_events),
         );
 
         w.counter(
@@ -1192,13 +1286,13 @@ fn log_durable(tx: &mut Txn, op: &DurableOp) {
 /// server-side op site for conflict attribution. Mutating ops append
 /// their replay record to the transaction's WAL buffer (a no-op unless a
 /// commit hook — i.e. `--data-dir` — is installed).
-fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
+fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<Resp> {
     match op {
         Op::MapGet(map, key) => {
             op_site!(tx, "server.get");
             Ok(match map.get(tx, key)? {
-                Some(value) => format!("VALUE {value}"),
-                None => "NIL".to_string(),
+                Some(value) => Resp::Value(value),
+                None => Resp::Nil,
             })
         }
         Op::MapPut(map, name, key, value) => {
@@ -1210,7 +1304,7 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
                     &DurableOp::MapPut { name: name.clone(), key: *key, value: *value },
                 );
             }
-            Ok("OK".to_string())
+            Ok(Resp::Ok)
         }
         Op::MapDel(map, name, key) => {
             op_site!(tx, "server.del");
@@ -1219,16 +1313,18 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
                     if tx.wal_enabled() {
                         log_durable(tx, &DurableOp::MapDel { name: name.clone(), key: *key });
                     }
-                    format!("VALUE {old}")
+                    Resp::Value(old)
                 }
-                None => "NIL".to_string(),
+                None => Resp::Nil,
             })
         }
         Op::CounterGet(counter) => {
             // Committed value; deliberately touches no transactional state
             // so counter reads never conflict with increments.
             op_site!(tx, "server.cget");
-            Ok(format!("VALUE {}", counter.value_now()))
+            // Server counters only move by positive deltas, so the i64
+            // STM counter always fits the unsigned wire value.
+            Ok(Resp::Value(counter.value_now() as u64))
         }
         Op::CounterInc(counter, name, delta) => {
             op_site!(tx, "server.inc");
@@ -1241,7 +1337,7 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
                     &DurableOp::CounterAdd { name: name.clone(), delta: *delta as i64 },
                 );
             }
-            Ok("OK".to_string())
+            Ok(Resp::Ok)
         }
         Op::QueueEnq(queue, name, value) => {
             op_site!(tx, "server.enq");
@@ -1249,7 +1345,7 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
             if tx.wal_enabled() {
                 log_durable(tx, &DurableOp::QueueEnq { name: name.clone(), value: *value });
             }
-            Ok("OK".to_string())
+            Ok(Resp::Ok)
         }
         Op::QueueDeq(queue, name) => {
             op_site!(tx, "server.deq");
@@ -1260,16 +1356,16 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
                     if tx.wal_enabled() {
                         log_durable(tx, &DurableOp::QueueDeq { name: name.clone() });
                     }
-                    format!("VALUE {value}")
+                    Resp::Value(value)
                 }
-                None => "NIL".to_string(),
+                None => Resp::Nil,
             })
         }
         Op::OrdGet(omap, key) => {
             op_site!(tx, "server.oget");
             Ok(match omap.get(tx, key)? {
-                Some(value) => format!("VALUE {value}"),
-                None => "NIL".to_string(),
+                Some(value) => Resp::Value(value),
+                None => Resp::Nil,
             })
         }
         Op::OrdPut(omap, name, key, value) => {
@@ -1281,7 +1377,7 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
                     &DurableOp::OrdPut { name: name.clone(), key: *key, value: *value },
                 );
             }
-            Ok("OK".to_string())
+            Ok(Resp::Ok)
         }
         Op::OrdDel(omap, name, key) => {
             op_site!(tx, "server.odel");
@@ -1290,21 +1386,14 @@ fn apply_op(tx: &mut Txn, op: &Op) -> TxResult<String> {
                     if tx.wal_enabled() {
                         log_durable(tx, &DurableOp::OrdDel { name: name.clone(), key: *key });
                     }
-                    format!("VALUE {old}")
+                    Resp::Value(old)
                 }
-                None => "NIL".to_string(),
+                None => Resp::Nil,
             })
         }
         Op::OrdScan(omap, lo, hi) => {
             op_site!(tx, "server.scan");
-            let entries = omap.scan(tx, *lo, *hi)?;
-            // One line, `VALUE <count> k=v ...` — the VALUE prefix keeps
-            // scans in the loadgen's committed classification.
-            let mut line = format!("VALUE {}", entries.len());
-            for (key, value) in entries {
-                line.push_str(&format!(" {key}={value}"));
-            }
-            Ok(line)
+            Ok(Resp::Entries(omap.scan(tx, *lo, *hi)?))
         }
     }
 }
@@ -1326,7 +1415,7 @@ mod tests {
         let mut responses = engine.execute(&[Unit { ops: vec![op] }]);
         assert_eq!(responses.len(), 1);
         assert_eq!(responses[0].len(), 1);
-        responses.pop().unwrap().pop().unwrap()
+        responses.pop().unwrap().pop().unwrap().to_line()
     }
 
     #[test]
@@ -1407,7 +1496,7 @@ mod tests {
         let responses = engine.execute(&units);
         assert_eq!(responses.len(), 10);
         for unit in &responses {
-            assert_eq!(unit.as_slice(), ["OK".to_string()]);
+            assert_eq!(unit.as_slice(), [Resp::Ok]);
         }
         for i in 0..10u64 {
             assert_eq!(single(&engine, &format!("GET m {i}")), format!("VALUE {}", i * 2));
@@ -1423,7 +1512,7 @@ mod tests {
             engine.resolve(&Cmd::MapGet { name: "m".into(), key: 1 }).unwrap(),
         ];
         let responses = engine.execute(&[Unit { ops }]);
-        assert_eq!(responses, vec![vec!["OK".to_string(), "OK".into(), "VALUE 1".into()]]);
+        assert_eq!(responses, vec![vec![Resp::Ok, Resp::Ok, Resp::Value(1)]]);
         assert_eq!(single(&engine, "GET c"), "VALUE 2");
     }
 
@@ -1450,7 +1539,7 @@ mod tests {
     fn stats_json_has_the_report_shape() {
         let engine = engine();
         single(&engine, "PUT m 1 10");
-        let json = engine.stats_json().to_json();
+        let json = engine.stats_json(None).to_json();
         let parsed = JsonValue::parse(&json).unwrap();
         assert!(parsed.get("commits").and_then(JsonValue::as_u64).unwrap() >= 1);
         assert!(parsed.get("abort_causes").and_then(|c| c.get("wounded")).is_some());
@@ -1498,7 +1587,7 @@ mod tests {
         single(&engine, "GET m 1");
         let op = engine.resolve(&Cmd::MapPut { name: "m".into(), key: 2, value: 2 }).unwrap();
         engine.record_op_latency(&op, 12_345);
-        let text = engine.prometheus();
+        let text = engine.prometheus(None);
         let samples = proust_stm::obs::parse_exposition(&text).expect("payload parses");
         for family in [
             "proust_requests_total",

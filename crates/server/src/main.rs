@@ -11,7 +11,7 @@ usage: proust-server [--addr HOST:PORT] [--lap pessimistic|optimistic]
                      [--baseline stm|predication|boosted|coarse]
                      [--cm backoff|karma|greedy|serial]
                      [--exhaustion serial|giveup] [--max-retries N]
-                     [--shards N] [--workers N]
+                     [--shards N]
                      [--max-batch N] [--batch-patience N]
                      [--metrics-addr HOST:PORT] [--slow-threshold MS]
                      [--trace-sample N]
@@ -56,7 +56,6 @@ fn config_from_args() -> ServerConfig {
             }
             "--max-retries" => config.max_retries = args.parsed("--max-retries"),
             "--shards" => config.shards = args.parsed("--shards"),
-            "--workers" => config.workers = args.parsed("--workers"),
             "--max-batch" => config.max_batch = args.parsed("--max-batch"),
             "--batch-patience" => config.batch_patience = args.parsed("--batch-patience"),
             "--metrics-addr" => config.metrics_addr = Some(args.value("--metrics-addr")),

@@ -185,7 +185,9 @@ pub enum TraceCmd {
     Dump,
 }
 
-fn valid_name(name: &str) -> bool {
+/// Structure-name validity shared by both wire protocols: nonempty,
+/// at most [`MAX_NAME`] bytes, `[A-Za-z0-9_.-]` only.
+pub(crate) fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= MAX_NAME
         && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-')

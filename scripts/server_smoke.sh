@@ -14,9 +14,18 @@
 # must return exactly the keys inside the half-open range, in order. The
 # load run then carries a SCAN share so range scans race point writes.
 #
+# The binary wire gets three legs of its own: a loadgen --selftest on each
+# wire (round-trips every opcode, including BATCH and ORD_SCAN, through
+# the real codec), a 1000-connection open-loop soak over the binary
+# protocol with a p999 budget (the reactor's readiness path under fan-in),
+# and — in kill-recover mode — the mid-load SIGKILL drill itself runs over
+# the binary wire, so WAL acknowledgement bounds are exercised end-to-end
+# through the frame codec.
+#
 # Usage: scripts/server_smoke.sh [json-out] [-- server flags...]
 #        scripts/server_smoke.sh --kill-recover
 #   SMOKE_SECS / SMOKE_THREADS override the run length and client count.
+#   SMOKE_SOAK_CONNS overrides the soak's connection count (0 disables).
 #   KILL_SEED seeds the kill-recover timing (printed, reproducible).
 #
 # --kill-recover is the durability gate: a WAL-backed server is SIGKILLed
@@ -42,6 +51,14 @@ SERVER_FLAGS=("$@")
 
 SECS="${SMOKE_SECS:-2}"
 THREADS="${SMOKE_THREADS:-8}"
+SOAK_CONNS="${SMOKE_SOAK_CONNS:-1000}"
+
+# The connection soak holds $SOAK_CONNS sockets on each side; lift the
+# soft fd limit toward the hard limit where the default (often 1024)
+# would otherwise starve the accept loop mid-soak.
+if (( SOAK_CONNS > 0 )); then
+    ulimit -n $(( SOAK_CONNS * 4 )) 2>/dev/null || true
+fi
 
 cargo build --release -q -p proust-server -p proust-loadgen
 cargo build --release -q -p proust-obs --example validate_chrome_trace
@@ -105,10 +122,12 @@ if [[ "$MODE" == "kill-recover" ]]; then
     }
 
     # Phase 1: load with an ack journal, SIGKILL mid-run. The loadgen must
-    # tolerate the cut and exit clean (its journal is the artifact).
+    # tolerate the cut and exit clean (its journal is the artifact). The
+    # drill runs over the binary wire so the ack-journal bounds cover the
+    # frame codec's acknowledgement path, not just the text protocol.
     start_server
     ./target/release/proust-loadgen --addr "$ADDR" --threads "$THREADS" --secs 30 \
-        --inc-frac 0.4 --seed "$SEED" --ack-journal "$JOURNAL" \
+        --binary --inc-frac 0.4 --seed "$SEED" --ack-journal "$JOURNAL" \
         --tolerate-disconnect --quiet &
     LOADGEN_PID=$!
     sleep "$(awk -v ms="$KILL_MS" 'BEGIN {printf "%.3f", ms / 1000}')"
@@ -192,7 +211,9 @@ for fam in proust_requests_total proust_connections_open proust_connections_tota
            proust_wal_enabled proust_wal_append_bytes_total proust_wal_records_total \
            proust_wal_fsyncs_total proust_wal_segments proust_wal_fsync_ns \
            proust_recovery_replayed_total proust_recovery_truncated_bytes_total \
-           proust_wal_torn_tails_total; do
+           proust_wal_torn_tails_total \
+           proust_reactor_wakeups_total proust_reactor_ready_events \
+           proust_connections proust_conn_backpressure_total; do
     grep -q "^# TYPE $fam " <<<"$BASELINE_SCRAPE" || {
         echo "metrics endpoint is missing family $fam" >&2
         exit 1
@@ -228,6 +249,12 @@ SCAN_FULL="${SCAN_FULL%$'\r'}"; SCAN_HALF="${SCAN_HALF%$'\r'}"
     exit 1
 }
 
+# Opcode round trip on both wires: the selftest drives every verb
+# (including MULTI/BATCH, ORD_SCAN, STATS, and a validation error that
+# must not wedge the connection) through the real client codecs.
+./target/release/proust-loadgen --addr "$ADDR" --selftest
+./target/release/proust-loadgen --addr "$ADDR" --selftest --binary
+
 COMMITS_BEFORE="$(awk '$1 == "proust_txn_commits_total" {print int($2)}' <<<"$(scrape)")"
 
 LOADGEN_ARGS=(--addr "$ADDR" --threads "$THREADS" --secs "$SECS"
@@ -259,6 +286,28 @@ CONTENTION="$(awk '$1 == "proust_lock_waits_total" || index($1, "proust_txn_conf
 if (( CONTENTION <= 0 )); then
     echo "contention counters did not move under load (lock_waits + conflicts = $CONTENTION)" >&2
     exit 1
+fi
+
+# The reactor must have been woken (inbox doorbells, readiness events)
+# and seen every connection the run opened.
+WAKEUPS="$(awk '$1 == "proust_reactor_wakeups_total" {sum += $2} END {print int(sum)}' <<<"$AFTER_SCRAPE")"
+(( WAKEUPS > 0 )) || { echo "proust_reactor_wakeups_total did not move under load" >&2; exit 1; }
+
+# Open-loop connection soak over the binary wire: hold $SOAK_CONNS
+# concurrent connections against the same server, offered load pinned
+# well below the closed-loop ceiling, and require zero anomalies plus a
+# bounded p999. This is the readiness path's gate: a thread-per-
+# connection design would not survive it on a CI runner.
+if (( SOAK_CONNS > 0 )); then
+    ./target/release/proust-loadgen --addr "$ADDR" --binary \
+        --mode open --rate 2000 --threads 4 --connections "$SOAK_CONNS" \
+        --secs "$SECS" --p999-budget-us 500000 --metrics-addr "$METRICS"
+    SOAK_SCRAPE="$(scrape)"
+    SOAK_TOTAL="$(awk '$1 == "proust_connections_total" {print int($2)}' <<<"$SOAK_SCRAPE")"
+    (( SOAK_TOTAL >= SOAK_CONNS )) || {
+        echo "server counted $SOAK_TOTAL connections, soak opened $SOAK_CONNS" >&2
+        exit 1
+    }
 fi
 
 # Shut the server down ourselves (the loadgen run left it up so the

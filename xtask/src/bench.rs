@@ -1,8 +1,10 @@
 //! `cargo xtask bench` — the benchmark-regression pipeline.
 //!
 //! Runs a **pinned suite** (a fixed subset of the Figure 4 map-throughput
-//! grid in-process, plus one closed-loop loadgen run against an
-//! in-process `proust-server`), writes the result as a versioned envelope
+//! grid in-process, plus three loadgen runs against an in-process
+//! `proust-server`: closed-loop text, closed-loop text with a WAL, and an
+//! open-loop binary-wire connection sweep), writes the result as a
+//! versioned envelope
 //! `results/bench_history/BENCH_<n>.json`, and compares it against the
 //! committed baseline (the lowest-numbered envelope in the history
 //! directory). A cell whose mean exceeds the baseline by more than a
@@ -95,18 +97,45 @@ fn measure_map_cells(quick: bool) -> Vec<BenchEntry> {
         .collect()
 }
 
-/// The server leg: an in-process `proust-server` under a closed-loop
-/// zipfian loadgen run. The regression metric is milliseconds per 1000
-/// committed ops (lower is better), derived from the run's throughput;
-/// contention figures come from the server's STATS document.
-fn measure_server_leg(quick: bool, durable: bool) -> Result<BenchEntry, String> {
+/// Which end-to-end server leg to measure. All three share the workload
+/// mix; they differ in durability, wire encoding, and loop discipline.
+#[derive(Clone, Copy, PartialEq)]
+enum ServerLeg {
+    /// Closed-loop zipfian run over the text protocol, in-memory engine.
+    ClosedZipf,
+    /// The same run with a WAL attached under the default group-fsync
+    /// policy, so bench history records the `--fsync-policy batch`
+    /// overhead relative to the in-memory leg.
+    ClosedZipfWal,
+    /// Open-loop run over the binary protocol with a multiplexed
+    /// connection sweep: each loadgen thread holds many idle-mostly
+    /// connections, so the leg gates the reactor's readiness path (epoll
+    /// fan-in, per-connection buffers) rather than raw engine throughput.
+    OpenBinary,
+}
+
+impl ServerLeg {
+    fn name(self) -> &'static str {
+        match self {
+            ServerLeg::ClosedZipf => "server/closed-zipf",
+            ServerLeg::ClosedZipfWal => "server/closed-zipf-wal",
+            ServerLeg::OpenBinary => "server/open-binary",
+        }
+    }
+}
+
+/// The server legs: an in-process `proust-server` under a loadgen run.
+/// The regression metric is milliseconds per 1000 committed ops (lower is
+/// better), derived from the run's throughput; contention figures come
+/// from the server's STATS document. For the open-loop leg the arrival
+/// rate is pinned, so the metric only moves when the server falls behind
+/// the offered load — that is exactly the regression the leg exists to
+/// catch.
+fn measure_server_leg(quick: bool, leg: ServerLeg) -> Result<BenchEntry, String> {
     use proust_loadgen::{KeyDist, LoadConfig, Mode};
     use proust_server::{Server, ServerConfig};
 
-    // The durable leg runs the same workload with a WAL attached under the
-    // default group-fsync policy, so bench history records the overhead of
-    // `--fsync-policy batch` relative to the in-memory leg.
-    let data_dir = if durable {
+    let data_dir = if leg == ServerLeg::ClosedZipfWal {
         let dir = std::env::temp_dir().join(format!("proust-bench-wal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).map_err(|err| err.to_string())?;
@@ -114,14 +143,19 @@ fn measure_server_leg(quick: bool, durable: bool) -> Result<BenchEntry, String> 
     } else {
         None
     };
-    let name = if durable { "server/closed-zipf-wal" } else { "server/closed-zipf" };
+    let name = leg.name();
     let server_config = ServerConfig { data_dir: data_dir.clone(), ..ServerConfig::default() };
     let handle = Server::start(server_config).map_err(|err| err.to_string())?;
+    let open = leg == ServerLeg::OpenBinary;
     let config = LoadConfig {
         addr: handle.addr().to_string(),
-        threads: 8,
+        threads: if open { 4 } else { 8 },
         duration: Duration::from_millis(if quick { 1_000 } else { 3_000 }),
-        mode: Mode::Closed,
+        // The open rate is far below the closed-loop ceiling (~75k/s on
+        // the baseline machine): the leg measures whether the reactor can
+        // keep latency flat across hundreds of connections, not how fast
+        // the engine commits.
+        mode: if open { Mode::Open { rate: 2_500.0 } } else { Mode::Closed },
         keys: 256,
         dist: KeyDist::Zipfian(0.99),
         read_frac: 0.6,
@@ -139,8 +173,22 @@ fn measure_server_leg(quick: bool, durable: bool) -> Result<BenchEntry, String> 
         metrics_addr: None,
         ack_journal: None,
         tolerate_disconnect: false,
+        binary: open,
+        connections: if open {
+            if quick {
+                128
+            } else {
+                256
+            }
+        } else {
+            0
+        },
     };
-    println!("bench: {name} ({}s run)", config.duration.as_secs_f64());
+    println!(
+        "bench: {name} ({}s run, {} conns)",
+        config.duration.as_secs_f64(),
+        config.effective_connections()
+    );
     let report = proust_loadgen::run(&config)?;
     handle.shutdown();
     if let Some(dir) = &data_dir {
@@ -324,11 +372,11 @@ pub fn run(args: &[String]) -> ExitCode {
     }
 
     let mut entries = measure_map_cells(quick);
-    for durable in [false, true] {
-        match measure_server_leg(quick, durable) {
+    for leg in [ServerLeg::ClosedZipf, ServerLeg::ClosedZipfWal, ServerLeg::OpenBinary] {
+        match measure_server_leg(quick, leg) {
             Ok(entry) => entries.push(entry),
             Err(err) => {
-                eprintln!("bench: server leg (durable={durable}) failed: {err}");
+                eprintln!("bench: server leg {} failed: {err}", leg.name());
                 return ExitCode::FAILURE;
             }
         }
