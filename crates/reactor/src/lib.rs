@@ -112,7 +112,7 @@ pub struct Events {
 
 impl Events {
     pub fn with_capacity(capacity: usize) -> Events {
-        Events { slots: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)], len: 0 }
+        Events { slots: vec![EpollEvent::new(0, 0); capacity.max(1)], len: 0 }
     }
 
     pub fn len(&self) -> usize {
@@ -125,9 +125,8 @@ impl Events {
 
     pub fn iter(&self) -> impl Iterator<Item = Ready> + '_ {
         self.slots[..self.len].iter().map(|event| {
-            // Copy out of the packed struct before testing bits.
-            let bits = { event.events };
-            let token = { event.data };
+            let bits = event.events();
+            let token = event.data();
             Ready {
                 token,
                 readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
@@ -159,12 +158,12 @@ impl Poller {
     }
 
     pub fn add(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
-        let event = EpollEvent { events: interest, data: token };
+        let event = EpollEvent::new(interest, token);
         sys::sys_epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_ADD, fd, Some(event))
     }
 
     pub fn modify(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
-        let event = EpollEvent { events: interest, data: token };
+        let event = EpollEvent::new(interest, token);
         sys::sys_epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_MOD, fd, Some(event))
     }
 
@@ -279,12 +278,15 @@ impl Conn {
 
     /// Write queued output until done or `WouldBlock`. Returns `true`
     /// when the queue is fully drained. A connection-level write error
-    /// marks the connection EOF (the response can never be delivered).
+    /// marks the connection EOF and discards the queue (the responses
+    /// can never be delivered, and keeping them would leave the shard
+    /// waiting on a flush that cannot succeed).
     pub fn flush(&mut self) -> bool {
         while self.out_start < self.out.len() {
             match self.stream.write(&self.out[self.out_start..]) {
                 Ok(0) => {
                     self.eof = true;
+                    self.out_start = self.out.len();
                     break;
                 }
                 Ok(n) => self.out_start += n,
@@ -292,6 +294,7 @@ impl Conn {
                 Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
                     self.eof = true;
+                    self.out_start = self.out.len();
                     break;
                 }
             }
@@ -587,8 +590,14 @@ impl Shard {
         }
         if conn.eof {
             // Peer is gone (or half-closed with nothing left to parse):
-            // close once no complete requests remain unanswered.
-            return true;
+            // close once no complete requests remain unanswered. A
+            // pipelining client that shut down its write side may still
+            // be reading, so undelivered responses ride the normal
+            // writable-edge flush path before the socket closes.
+            if conn.pending_out() == 0 {
+                return true;
+            }
+            conn.close_after_flush = true;
         }
         if ready.hangup && !ready.readable {
             return true;
@@ -666,8 +675,14 @@ mod tests {
 
     impl ConnHandler for UpcaseLines {
         fn on_data(&mut self, conn: &mut Conn) -> Directive {
-            while let Some(pos) = conn.inbuf.iter().position(|&b| b == b'\n') {
-                let line: Vec<u8> = conn.inbuf.drain(..=pos).collect();
+            // Drain every complete line in one pass — a per-line drain
+            // from the buffer's front goes quadratic once a deep
+            // pipeline accumulates megabytes of input.
+            let Some(last) = conn.inbuf.iter().rposition(|&b| b == b'\n') else {
+                return Directive::Continue;
+            };
+            let complete: Vec<u8> = conn.inbuf.drain(..=last).collect();
+            for line in complete.split_inclusive(|&b| b == b'\n') {
                 if line.starts_with(b"quit") {
                     conn.queue(b"bye\n");
                     return Directive::CloseAfterFlush;
@@ -736,6 +751,71 @@ mod tests {
         assert_eq!(metrics.connections_per_shard(), vec![0]);
         assert!(metrics.wakeups_total() > 0);
         assert!(metrics.ready_events.count() > 0);
+    }
+
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        // x86-64 packs epoll_event to 12 bytes; every other Linux arch
+        // uses natural alignment (16 bytes, data at offset 8). A wrong
+        // stride would misroute tokens and overrun the Events buffer.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        } else {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+        }
+        let ev = EpollEvent::new(EPOLLIN, 0xdead_beef_cafe);
+        assert_eq!(ev.events(), EPOLLIN);
+        assert_eq!(ev.data(), 0xdead_beef_cafe);
+    }
+
+    #[test]
+    fn half_closed_client_still_receives_pipelined_responses() {
+        let (addr, stop, inbox, thread, _metrics) = spawn_echo_shard();
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+
+        // Pipeline enough requests to overflow kernel socket buffers,
+        // then half-close the write side. The shard sees EOF with output
+        // still queued and must deliver every response through the
+        // writable-edge path before closing. The write runs on its own
+        // thread (it can block against backpressure until we drain), and
+        // the reader is throttled so the shard stays backlogged when the
+        // FIN arrives.
+        // Kernel socket buffers auto-tune to several MB on loopback, so
+        // the burst has to be well past that for the flush path to ever
+        // see `WouldBlock` while the reader lags.
+        let line = [b'x'; 63];
+        let mut burst = Vec::new();
+        let mut expected = 0usize;
+        while expected < 64 * HIGH_WATER {
+            burst.extend_from_slice(&line);
+            burst.push(b'\n');
+            expected += line.len() + 1;
+        }
+        let writer = client.try_clone().expect("clone");
+        let writer_thread = std::thread::spawn(move || {
+            let mut writer = writer;
+            writer.write_all(&burst).expect("write burst");
+            writer.shutdown(std::net::Shutdown::Write).expect("half-close");
+        });
+
+        let mut got = Vec::new();
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            let n = client.read(&mut chunk).expect("read");
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&chunk[..n]);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        writer_thread.join().expect("writer thread");
+        assert_eq!(got.len(), expected, "responses lost after half-close");
+        assert!(got.iter().all(|&b| b == b'X' || b == b'\n'));
+
+        stop.store(true, Ordering::Release);
+        inbox.notify();
+        thread.join().expect("shard thread");
     }
 
     #[test]

@@ -31,14 +31,49 @@ const EPOLL_CLOEXEC: i32 = 0o2000000;
 const EFD_CLOEXEC: i32 = 0o2000000;
 const EFD_NONBLOCK: i32 = 0o4000;
 
-/// Mirror of the kernel's `struct epoll_event`. On x86-64 the kernel ABI
-/// packs the struct to 12 bytes (no padding between `events` and `data`);
-/// `repr(packed)` matches glibc's declaration on every 64-bit arch.
+/// Mirror of the kernel's `struct epoll_event`. The layout is
+/// arch-dependent: only x86-64 packs the struct to 12 bytes (a quirk
+/// preserved for compat with the original 32-bit ABI); every other
+/// Linux arch uses natural alignment, i.e. 16 bytes with `data` at
+/// offset 8. Using the wrong stride misroutes tokens and makes
+/// `epoll_wait` scribble past the event buffer, so the two layouts are
+/// selected per-arch and field access goes through accessors.
+#[cfg(target_arch = "x86_64")]
 #[repr(C, packed)]
 #[derive(Clone, Copy)]
 pub struct EpollEvent {
-    pub events: u32,
-    pub data: u64,
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    _pad: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    #[cfg(target_arch = "x86_64")]
+    pub fn new(events: u32, data: u64) -> EpollEvent {
+        EpollEvent { events, data }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    pub fn new(events: u32, data: u64) -> EpollEvent {
+        EpollEvent { events, _pad: 0, data }
+    }
+
+    pub fn events(&self) -> u32 {
+        // Copies out of the (possibly packed) struct; never a reference.
+        self.events
+    }
+
+    pub fn data(&self) -> u64 {
+        self.data
+    }
 }
 
 #[cfg(target_os = "linux")]
@@ -72,7 +107,7 @@ pub fn sys_epoll_create() -> io::Result<RawFd> {
 /// `epoll_ctl` with an optional event payload (DEL passes null).
 #[cfg(target_os = "linux")]
 pub fn sys_epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
-    let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+    let mut ev = event.unwrap_or(EpollEvent::new(0, 0));
     let ptr = if event.is_some() { &mut ev as *mut EpollEvent } else { std::ptr::null_mut() };
     // SAFETY: `ptr` is either null (DEL, where the kernel ignores it) or a
     // live stack slot that outlives the call; fds are owned by the caller.

@@ -100,7 +100,7 @@ fn translate(
             // unit never executes partially).
             let inner = match view.batch(codec::REQ_MAGIC) {
                 Ok(frames) => frames,
-                Err(fault) => return err(segs, format!("ERR {fault}")),
+                Err(fault) => return err(segs, format!("{fault}")),
             };
             let mut ops = Vec::with_capacity(inner.len());
             for frame in &inner {

@@ -1077,6 +1077,14 @@ mod tests {
         assert_eq!(parts[0], OwnedResp::status(resp::OK));
         assert_eq!(parts[1], OwnedResp::value(90));
         assert_eq!(parts[2].entries, Some(vec![(5, 50)]));
+        // A malformed nested frame rejects the whole batch with a single
+        // ERR prefix (not "ERR ERR ...") and keeps the connection.
+        let mut bad = Vec::new();
+        proust_codec::put_batch_request(&mut bad, 1, &[0xFF; 8]);
+        client.send_raw(&bad);
+        let fault = client.recv();
+        assert_eq!(fault.code, resp::ERR);
+        assert_eq!(fault.text.as_deref(), Some("ERR malformed nested frame in BATCH body"));
         // STATS over binary: INFO frame carrying the same one-line JSON.
         let stats = client.request(op::STATS, "", &[]);
         assert_eq!(stats.code, resp::INFO);
