@@ -39,6 +39,17 @@ pub const MAX_PAYLOAD: usize = 1 << 20;
 /// Structure names share the text protocol's 64-byte cap.
 pub const MAX_NAME: usize = 64;
 
+/// Header flag bits. The flags byte is otherwise reserved and must
+/// round-trip verbatim through proxies and batch nesting.
+pub mod flag {
+    /// Request flag: the client asks the server to echo this request's
+    /// stage waterfall as a trailing `INFO` frame after the response.
+    /// Clients set it on a sampled basis (`loadgen --waterfall-sample`);
+    /// servers that predate the flag ignore it, so setting it is always
+    /// safe.
+    pub const TRACE: u8 = 0x01;
+}
+
 /// Request opcodes.
 pub mod op {
     pub const PING: u8 = 0x01;
@@ -254,21 +265,33 @@ pub fn put_frame(out: &mut Vec<u8>, magic: u8, code: u8, flags: u8, name: &[u8],
 
 /// Append a request frame with fixed u64 arguments.
 pub fn put_request(out: &mut Vec<u8>, code: u8, name: &str, args: &[u64]) {
+    put_request_flags(out, code, 0, name, args);
+}
+
+/// Append a request frame with fixed u64 arguments and explicit header
+/// flags (see [`flag`]).
+pub fn put_request_flags(out: &mut Vec<u8>, code: u8, flags: u8, name: &str, args: &[u64]) {
     let mut body = [0u8; 24];
     assert!(args.len() <= 3, "request args over cap");
     for (index, arg) in args.iter().enumerate() {
         body[index * 8..(index + 1) * 8].copy_from_slice(&arg.to_le_bytes());
     }
-    put_frame(out, REQ_MAGIC, code, 0, name.as_bytes(), &body[..args.len() * 8]);
+    put_frame(out, REQ_MAGIC, code, flags, name.as_bytes(), &body[..args.len() * 8]);
 }
 
 /// Append a BATCH request whose body holds `count` nested frames
 /// previously encoded into `inner` with [`put_request`].
 pub fn put_batch_request(out: &mut Vec<u8>, count: u32, inner: &[u8]) {
+    put_batch_request_flags(out, 0, count, inner);
+}
+
+/// Append a BATCH request with explicit header flags on the outer
+/// frame (the unit of execution, hence the unit of waterfall tracing).
+pub fn put_batch_request_flags(out: &mut Vec<u8>, flags: u8, count: u32, inner: &[u8]) {
     let mut body = Vec::with_capacity(4 + inner.len());
     body.extend_from_slice(&count.to_le_bytes());
     body.extend_from_slice(inner);
-    put_frame(out, REQ_MAGIC, op::BATCH, 0, b"", &body);
+    put_frame(out, REQ_MAGIC, op::BATCH, flags, b"", &body);
 }
 
 /// Append a bodiless response frame (`OK`, `NIL`, `BUSY`, `PONG`).
@@ -455,7 +478,61 @@ mod tests {
         assert_eq!(used, buf.len());
     }
 
+    #[test]
+    fn trace_flag_round_trips_on_requests_and_batches() {
+        let mut buf = Vec::new();
+        put_request_flags(&mut buf, op::CTR_INC, flag::TRACE, "hits", &[1]);
+        let (view, _) = parse_one(&buf, REQ_MAGIC);
+        assert_eq!(view.flags, flag::TRACE);
+        assert_eq!(view.code, op::CTR_INC);
+        assert_eq!(view.arg(0), Some(1));
+
+        // The outer batch frame carries the flag; nested frames keep
+        // their own flags byte independently.
+        let mut inner = Vec::new();
+        put_request(&mut inner, op::MAP_GET, "users", &[9]);
+        let mut buf = Vec::new();
+        put_batch_request_flags(&mut buf, flag::TRACE, 1, &inner);
+        let (view, _) = parse_one(&buf, REQ_MAGIC);
+        assert_eq!(view.flags, flag::TRACE);
+        let nested = view.batch(REQ_MAGIC).expect("nested frames");
+        assert_eq!(nested[0].flags, 0);
+    }
+
     proptest! {
+        /// The flags byte survives encode → parse verbatim for every
+        /// value, through arbitrary chunkings of the byte stream: every
+        /// strict prefix is Incomplete and the completed frame carries
+        /// the exact flags bits.
+        #[test]
+        fn prop_flags_round_trip_through_chunking(
+            flags in any::<u8>(),
+            code in 1u8..0x11,
+            name in prop::collection::vec(0x61u8..0x7B, 0..16),
+            args in prop::collection::vec(any::<u64>(), 0..4),
+            chunk in 1usize..9,
+        ) {
+            let name = String::from_utf8(name).expect("ascii name");
+            let mut buf = Vec::new();
+            put_request_flags(&mut buf, code, flags, &name, &args);
+            // Feed `chunk` bytes at a time; the parser must report
+            // Incomplete until the whole frame is present, then yield
+            // the flags verbatim.
+            let mut fed: Vec<u8> = Vec::new();
+            let mut parsed: Option<(u8, u8)> = None;
+            for piece in buf.chunks(chunk) {
+                fed.extend_from_slice(piece);
+                match parse_frame(&fed, REQ_MAGIC).expect("no fault on torn read") {
+                    Parsed::Incomplete => prop_assert!(fed.len() < buf.len()),
+                    Parsed::Frame { view, consumed } => {
+                        prop_assert_eq!(consumed, buf.len());
+                        parsed = Some((view.code, view.flags));
+                    }
+                }
+            }
+            prop_assert_eq!(parsed, Some((code, flags)));
+        }
+
         /// Any encodable request survives encode → parse, including when
         /// the buffer carries trailing bytes from the next frame.
         #[test]

@@ -142,7 +142,26 @@ pub struct LoadConfig {
     /// When larger than `threads`, each thread multiplexes its share
     /// round-robin — the open-loop connection sweep.
     pub connections: usize,
+    /// Sample every Nth request for a server-side waterfall echo (0 =
+    /// off). Binary wire only: the sampled request carries the codec
+    /// `TRACE` flag and the server appends an `INFO` frame with the
+    /// request's stage-attributed waterfall, which the run aggregates
+    /// into client-side per-stage histograms.
+    pub waterfall_sample: usize,
 }
+
+/// The eight request-lifecycle stage names, pipeline order — matches the
+/// server's waterfall JSON and `proust_request_stage_ns{stage=…}`.
+pub const STAGE_NAMES: [&str; 8] = [
+    "sock_read",
+    "parse",
+    "batch_wait",
+    "stm_exec",
+    "wal_append",
+    "fsync_wait",
+    "resp_encode",
+    "sock_flush",
+];
 
 impl LoadConfig {
     /// The connection count the run actually opens: `connections`,
@@ -183,6 +202,7 @@ impl Default for LoadConfig {
             tolerate_disconnect: false,
             binary: false,
             connections: 0,
+            waterfall_sample: 0,
         }
     }
 }
@@ -218,6 +238,27 @@ pub struct LoadReport {
     /// Counter movement observed on `/metrics` across the run, when a
     /// metrics address was configured.
     pub prom_delta: Option<JsonValue>,
+    /// Waterfall echoes sampled (`--waterfall-sample`, binary wire).
+    pub waterfalls: u64,
+    /// Client-aggregated per-stage latency from the echoed waterfalls,
+    /// indexed like [`STAGE_NAMES`]. Empty histograms when sampling was
+    /// off.
+    pub stage_ns: [Histogram; 8],
+}
+
+impl LoadReport {
+    /// The stage contributing the most to the sampled p99, by echoed
+    /// waterfall histograms. `None` when no waterfalls were sampled.
+    pub fn top_stage(&self) -> Option<(&'static str, u64)> {
+        if self.waterfalls == 0 {
+            return None;
+        }
+        STAGE_NAMES
+            .iter()
+            .zip(self.stage_ns.iter())
+            .map(|(name, hist)| (*name, hist.p99()))
+            .max_by_key(|(_, p99)| *p99)
+    }
 }
 
 impl LoadReport {
@@ -238,6 +279,17 @@ impl LoadReport {
             ("latency", histogram_json(&self.latency)),
             ("server_stats", self.server_stats.clone().unwrap_or(JsonValue::Null)),
             ("prom_delta", self.prom_delta.clone().unwrap_or(JsonValue::Null)),
+            ("waterfalls", JsonValue::u64(self.waterfalls)),
+            (
+                "client_stage_p99_ns",
+                JsonValue::obj(
+                    STAGE_NAMES
+                        .iter()
+                        .zip(self.stage_ns.iter())
+                        .map(|(name, hist)| (*name, JsonValue::u64(hist.p99())))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
         ])
     }
 }
@@ -324,6 +376,7 @@ pub fn config_json(config: &LoadConfig) -> JsonValue {
         ("seed", JsonValue::u64(config.seed)),
         ("wire", JsonValue::str(if config.binary { "binary" } else { "text" })),
         ("connections", JsonValue::u64(config.effective_connections() as u64)),
+        ("waterfall_sample", JsonValue::u64(config.waterfall_sample as u64)),
     ])
 }
 
@@ -445,6 +498,35 @@ fn text_line(req: &Req) -> String {
         Req::Oput { name, key, value } => format!("OPUT {name} {key} {value}"),
         Req::Scan { name, lo, hi } => format!("SCAN {name} {lo} {hi}"),
         Req::Multi(_) => unreachable!("MULTI blocks are framed, not single lines"),
+    }
+}
+
+/// Encode a request as its binary frame with the given top-level header
+/// flags (nested `BATCH` members never carry flags).
+fn encode_req_flags(frame: &mut Vec<u8>, req: &Req, flags: u8) {
+    use proust_codec::{put_batch_request_flags, put_request_flags};
+    match req {
+        Req::Multi(inner) => {
+            let mut body = Vec::new();
+            for req in inner {
+                encode_req(&mut body, req);
+            }
+            put_batch_request_flags(frame, flags, inner.len() as u32, &body);
+        }
+        Req::Get { name, key } => put_request_flags(frame, op::MAP_GET, flags, name, &[*key]),
+        Req::Put { name, key, value } => {
+            put_request_flags(frame, op::MAP_PUT, flags, name, &[*key, *value])
+        }
+        Req::Del { name, key } => put_request_flags(frame, op::MAP_DEL, flags, name, &[*key]),
+        Req::Inc { name, delta } => put_request_flags(frame, op::CTR_INC, flags, name, &[*delta]),
+        Req::Enq { name, value } => put_request_flags(frame, op::Q_ENQ, flags, name, &[*value]),
+        Req::Deq { name } => put_request_flags(frame, op::Q_DEQ, flags, name, &[]),
+        Req::Oput { name, key, value } => {
+            put_request_flags(frame, op::ORD_PUT, flags, name, &[*key, *value])
+        }
+        Req::Scan { name, lo, hi } => {
+            put_request_flags(frame, op::ORD_SCAN, flags, name, &[*lo, *hi])
+        }
     }
 }
 
@@ -604,15 +686,32 @@ impl WorkerConn {
         Err(last)
     }
 
-    /// Issue one request unit and classify the full response.
-    fn issue(&mut self, req: &Req) -> Result<Class, String> {
+    /// Issue one request unit and classify the full response. With
+    /// `trace` set (binary wire only), the request carries the codec
+    /// `TRACE` flag and the server's echoed waterfall JSON rides back in
+    /// the second slot.
+    fn issue(&mut self, req: &Req, trace: bool) -> Result<(Class, Option<String>), String> {
         match self {
-            WorkerConn::Text(client) => issue_text(client, req),
+            WorkerConn::Text(client) => Ok((issue_text(client, req)?, None)),
             WorkerConn::Binary(client) => {
                 let mut frame = Vec::new();
-                encode_req(&mut frame, req);
+                if trace {
+                    encode_req_flags(&mut frame, req, proust_codec::flag::TRACE);
+                } else {
+                    encode_req(&mut frame, req);
+                }
                 client.send(&frame)?;
-                Ok(client.recv()?.classify())
+                let class = client.recv()?.classify();
+                if !trace {
+                    return Ok((class, None));
+                }
+                // The flagged request is answered, then echoed: the next
+                // frame is the INFO waterfall.
+                let echo = client.recv()?;
+                if echo.code != resp::INFO {
+                    return Ok((worse(class, Class::Protocol), None));
+                }
+                Ok((class, echo.text))
             }
         }
     }
@@ -663,9 +762,25 @@ struct Tallies {
     /// Shared ack journal; each line is flushed before the run proceeds
     /// so the journal never lags the wire.
     journal: Option<Mutex<BufWriter<std::fs::File>>>,
+    /// Waterfall echoes parsed so far and their per-stage spans,
+    /// indexed like [`STAGE_NAMES`].
+    waterfalls: AtomicU64,
+    stage_ns: [Histogram; 8],
 }
 
 impl Tallies {
+    /// Fold one echoed waterfall into the client-side stage histograms.
+    fn record_waterfall(&self, text: &str) {
+        let Ok(wf) = JsonValue::parse(text) else { return };
+        let Some(stages) = wf.get("stages") else { return };
+        for (name, hist) in STAGE_NAMES.iter().zip(self.stage_ns.iter()) {
+            if let Some(ns) = stages.get(name).and_then(JsonValue::as_u64) {
+                hist.record(ns);
+            }
+        }
+        self.waterfalls.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn journal_line(&self, line: &str) -> Result<(), String> {
         if let Some(journal) = &self.journal {
             let mut writer = journal.lock().expect("ack journal poisoned");
@@ -684,6 +799,9 @@ struct Worker<'a> {
     zipf: Option<Zipf>,
     config: &'a LoadConfig,
     tallies: &'a Tallies,
+    /// Requests issued by this worker — drives the every-Nth waterfall
+    /// sampling cadence.
+    seq: u64,
 }
 
 impl Worker<'_> {
@@ -746,13 +864,20 @@ impl Worker<'_> {
     /// recorded from `sched`.
     fn issue_one(&mut self, conn_idx: usize, sched: Instant) -> Result<(), String> {
         let (req, inc) = self.draw_req();
+        let trace = self.config.binary
+            && self.config.waterfall_sample > 0
+            && self.seq.is_multiple_of(self.config.waterfall_sample as u64);
+        self.seq = self.seq.wrapping_add(1);
         if let Some((counter, delta)) = inc {
             // SENT before the request leaves: any increment the server might
             // commit is journaled first, so a crash can never leave an
             // acked-but-unjournaled update.
             self.tallies.journal_line(&format!("SENT c{counter} {delta}"))?;
         }
-        let unit_class = self.conns[conn_idx].issue(&req)?;
+        let (unit_class, waterfall) = self.conns[conn_idx].issue(&req, trace)?;
+        if let Some(text) = waterfall {
+            self.tallies.record_waterfall(&text);
+        }
         if let Some((counter, delta)) = inc {
             if unit_class == Class::Committed {
                 // The server only answers OK after commit, so this tally is
@@ -854,13 +979,27 @@ fn heartbeat_loop(tallies: &Tallies, stop: &AtomicBool, start: Instant, addr: &s
             }
             None => String::new(),
         };
+        // With waterfall sampling on, name the stage currently
+        // contributing the most to the sampled p99.
+        let stage_txt = if tallies.waterfalls.load(Ordering::Relaxed) > 0 {
+            let (name, p99) = STAGE_NAMES
+                .iter()
+                .zip(tallies.stage_ns.iter())
+                .map(|(name, hist)| (*name, hist.p99()))
+                .max_by_key(|(_, p99)| *p99)
+                .expect("eight stages");
+            format!(", top stage {name} p99 {:.1}us", p99 as f64 / 1e3)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "[loadgen] t={:>4.0}s {:>8.0} committed/s, p99 so far {:.1}us, errors {}{}",
+            "[loadgen] t={:>4.0}s {:>8.0} committed/s, p99 so far {:.1}us, errors {}{}{}",
             start.elapsed().as_secs_f64(),
             (committed - last_committed) as f64 / last_tick.elapsed().as_secs_f64(),
             tallies.latency.p99() as f64 / 1e3,
             errors,
             contention_txt,
+            stage_txt,
         );
         last_committed = committed;
         last_tick = Instant::now();
@@ -916,6 +1055,8 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         latency: Histogram::new(),
         expected_incs: (0..config.structures).map(|_| AtomicI64::new(0)).collect(),
         journal,
+        waterfalls: AtomicU64::new(0),
+        stage_ns: std::array::from_fn(|_| Histogram::new()),
     };
     let heartbeat_stop = AtomicBool::new(false);
     let threads = config.threads.max(1);
@@ -948,6 +1089,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
                         },
                         config,
                         tallies,
+                        seq: tid as u64,
                     };
                     // Each thread clocks its own start at the rendezvous;
                     // the skew between threads is microseconds against a
@@ -1064,6 +1206,8 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         lost_updates,
         server_stats,
         prom_delta,
+        waterfalls: tallies.waterfalls.load(Ordering::Relaxed),
+        stage_ns: tallies.stage_ns,
     })
 }
 

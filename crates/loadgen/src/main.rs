@@ -19,6 +19,7 @@ usage: proust-loadgen --addr HOST:PORT [--threads N] [--secs S]
                       [--seed N] [--json FILE] [--no-check] [--shutdown]
                       [--quiet] [--metrics-addr HOST:PORT]
                       [--ack-journal FILE] [--tolerate-disconnect]
+                      [--waterfall-sample N]
        proust-loadgen --addr HOST:PORT --verify-journal FILE
        proust-loadgen --addr HOST:PORT --selftest [--binary]";
 
@@ -69,6 +70,7 @@ fn config_from_args() -> (LoadConfig, Extras) {
             "--verify-journal" => extras.verify_path = Some(args.value("--verify-journal")),
             "--binary" => config.binary = true,
             "--connections" => config.connections = args.parsed("--connections"),
+            "--waterfall-sample" => config.waterfall_sample = args.parsed("--waterfall-sample"),
             "--p999-budget-us" => extras.p999_budget_us = Some(args.parsed("--p999-budget-us")),
             "--selftest" => extras.selftest = true,
             other => args.unknown(other),
@@ -155,6 +157,29 @@ fn main() {
     );
     if let Some(delta) = &report.prom_delta {
         println!("metrics delta: {}", delta.to_json());
+    }
+    if report.waterfalls > 0 {
+        // Stage breakdown from the echoed waterfalls: where the sampled
+        // requests spent their time, ranked by p99 contribution.
+        println!("waterfall breakdown ({} sampled requests):", report.waterfalls);
+        println!("  {:<12} {:>10} {:>10} {:>10}", "stage", "p50_us", "p99_us", "max_us");
+        let mut rows: Vec<_> = proust_loadgen::STAGE_NAMES
+            .iter()
+            .zip(report.stage_ns.iter())
+            .map(|(name, hist)| (*name, hist.p50(), hist.p99(), hist.max()))
+            .collect();
+        rows.sort_by_key(|(_, _, p99, _)| std::cmp::Reverse(*p99));
+        for (name, p50, p99, max) in rows {
+            println!(
+                "  {name:<12} {:>10.1} {:>10.1} {:>10.1}",
+                p50 as f64 / 1e3,
+                p99 as f64 / 1e3,
+                max as f64 / 1e3,
+            );
+        }
+        if let Some((name, p99)) = report.top_stage() {
+            println!("  top stage by p99 contribution: {name} ({:.1}us)", p99 as f64 / 1e3);
+        }
     }
     if let Some(path) = extras.json_path {
         write_report(&path, "loadgen", config_json(&config), vec![report.cell_json(&config)]);

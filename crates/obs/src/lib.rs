@@ -38,4 +38,4 @@ pub use json::JsonValue;
 pub use matrix::{ConflictCell, ConflictMatrix};
 pub use prom::{parse_exposition, PromSample, PromWriter, SHARED_NS_BUCKET_BOUNDS};
 pub use site::SiteId;
-pub use trace::{EventKind, Phase, TraceEvent, Tracer};
+pub use trace::{EventKind, Phase, TraceEvent, Tracer, STAGES};

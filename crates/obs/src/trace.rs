@@ -117,7 +117,38 @@ pub enum Phase {
     Writeback = 4,
     /// The whole transaction, first attempt start to final outcome.
     Txn = 5,
+    /// Request stage: reading bytes off the socket (reactor `fill`).
+    SockRead = 6,
+    /// Request stage: wire parse/translate into executable units.
+    Parse = 7,
+    /// Request stage: waiting for the commit batch to flush.
+    BatchWait = 8,
+    /// Request stage: STM execution, all attempts included.
+    StmExec = 9,
+    /// Request stage: WAL append on the committing thread.
+    WalAppend = 10,
+    /// Request stage: waiting on (or performing) the group fsync.
+    FsyncWait = 11,
+    /// Request stage: encoding responses onto the outbound buffer.
+    RespEncode = 12,
+    /// Request stage: flushing the outbound buffer to the socket.
+    SockFlush = 13,
+    /// The whole request, reactor read to response flush.
+    Request = 14,
 }
+
+/// The eight request-lifecycle stages in pipeline order. Indexes into
+/// per-stage metric arrays follow this order everywhere.
+pub const STAGES: [Phase; 8] = [
+    Phase::SockRead,
+    Phase::Parse,
+    Phase::BatchWait,
+    Phase::StmExec,
+    Phase::WalAppend,
+    Phase::FsyncWait,
+    Phase::RespEncode,
+    Phase::SockFlush,
+];
 
 impl Phase {
     /// Decode a phase code (inverse of `as u8`); unknown codes map to
@@ -129,6 +160,15 @@ impl Phase {
             2 => Phase::Validate,
             3 => Phase::Replay,
             4 => Phase::Writeback,
+            6 => Phase::SockRead,
+            7 => Phase::Parse,
+            8 => Phase::BatchWait,
+            9 => Phase::StmExec,
+            10 => Phase::WalAppend,
+            11 => Phase::FsyncWait,
+            12 => Phase::RespEncode,
+            13 => Phase::SockFlush,
+            14 => Phase::Request,
             _ => Phase::Txn,
         }
     }
@@ -142,7 +182,24 @@ impl Phase {
             Phase::Replay => "replay",
             Phase::Writeback => "commit_writeback",
             Phase::Txn => "txn",
+            Phase::SockRead => "sock_read",
+            Phase::Parse => "parse",
+            Phase::BatchWait => "batch_wait",
+            Phase::StmExec => "stm_exec",
+            Phase::WalAppend => "wal_append",
+            Phase::FsyncWait => "fsync_wait",
+            Phase::RespEncode => "resp_encode",
+            Phase::SockFlush => "sock_flush",
+            Phase::Request => "request",
         }
+    }
+
+    /// Whether this phase is a request-lifecycle stage (or the whole
+    /// `Request` envelope) rather than an STM transaction phase. Trace
+    /// viewers use the distinction to put server anatomy in its own
+    /// category.
+    pub fn is_stage(self) -> bool {
+        self as u8 >= Phase::SockRead as u8
     }
 }
 
@@ -462,7 +519,10 @@ pub fn events_to_chrome_trace(events: &[TraceEvent]) -> JsonValue {
                 Some((phase, dur_ns)) => {
                     obj.push(("ph", JsonValue::str("X")));
                     obj.push(("name", JsonValue::str(phase.name())));
-                    obj.push(("cat", JsonValue::str("phase")));
+                    obj.push((
+                        "cat",
+                        JsonValue::str(if phase.is_stage() { "stage" } else { "phase" }),
+                    ));
                     obj.push(("dur", JsonValue::num(dur_ns as f64 / 1000.0)));
                 }
                 None => {
@@ -562,6 +622,15 @@ mod tests {
             Phase::Replay,
             Phase::Writeback,
             Phase::Txn,
+            Phase::SockRead,
+            Phase::Parse,
+            Phase::BatchWait,
+            Phase::StmExec,
+            Phase::WalAppend,
+            Phase::FsyncWait,
+            Phase::RespEncode,
+            Phase::SockFlush,
+            Phase::Request,
         ] {
             assert_eq!(Phase::from_u8(phase as u8), phase);
             assert!(!phase.name().is_empty());
@@ -580,6 +649,28 @@ mod tests {
         // phase code.
         let aux = pack_span_aux(Phase::Validate, u64::MAX);
         assert_eq!((aux >> 56) as u8, Phase::Validate as u8);
+    }
+
+    #[test]
+    fn stages_enumerate_the_request_pipeline() {
+        let names: Vec<&str> = STAGES.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "sock_read",
+                "parse",
+                "batch_wait",
+                "stm_exec",
+                "wal_append",
+                "fsync_wait",
+                "resp_encode",
+                "sock_flush",
+            ]
+        );
+        assert!(STAGES.iter().all(|s| s.is_stage()));
+        assert!(Phase::Request.is_stage());
+        assert!(!Phase::Txn.is_stage());
+        assert!(!Phase::Writeback.is_stage());
     }
 
     #[test]

@@ -210,6 +210,11 @@ pub struct Conn {
     pub close_after_flush: bool,
     /// The peer half-closed; drain remaining requests, then close.
     pub eof: bool,
+    /// Wall time the shard spent in the [`Conn::fill`] that preceded the
+    /// current [`ConnHandler::on_data`] call — the `sock_read` stage of
+    /// the request waterfall. One clock pair per readiness event,
+    /// amortized over every request the fill buffered.
+    pub last_fill_ns: u64,
 }
 
 impl Conn {
@@ -226,6 +231,7 @@ impl Conn {
             paused: false,
             close_after_flush: false,
             eof: false,
+            last_fill_ns: 0,
         })
     }
 
@@ -387,6 +393,12 @@ pub enum Directive {
 /// `conn.inbuf` and appends encoded responses with `conn.queue`.
 pub trait ConnHandler {
     fn on_data(&mut self, conn: &mut Conn) -> Directive;
+
+    /// Called after the shard's post-`on_data` flush with the wall time
+    /// the write syscalls took — the `sock_flush` stage of the request
+    /// waterfall. Only invoked when the flush had queued bytes to move.
+    /// Default: ignore.
+    fn on_flushed(&mut self, _conn: &mut Conn, _flush_ns: u64) {}
 }
 
 /// Sending half of a shard's new-connection channel; used by acceptor
@@ -571,14 +583,23 @@ impl Shard {
             // One pass suffices: fill() drains the socket to EWOULDBLOCK,
             // so by the time on_data runs every readable byte is buffered.
             if !conn.eof {
+                let fill_start = std::time::Instant::now();
                 conn.fill();
+                conn.last_fill_ns = fill_start.elapsed().as_nanos() as u64;
+            } else {
+                conn.last_fill_ns = 0;
             }
             match slot.handler.on_data(conn) {
                 Directive::Continue => {}
                 Directive::CloseAfterFlush => conn.close_after_flush = true,
                 Directive::Close => return true,
             }
-            conn.flush();
+            if conn.pending_out() > 0 {
+                let flush_start = std::time::Instant::now();
+                conn.flush();
+                let flush_ns = flush_start.elapsed().as_nanos() as u64;
+                slot.handler.on_flushed(conn, flush_ns);
+            }
             if conn.pending_out() >= HIGH_WATER {
                 conn.paused = true;
                 metrics.backpressure.fetch_add(1, Ordering::Relaxed);
@@ -751,6 +772,84 @@ mod tests {
         assert_eq!(metrics.connections_per_shard(), vec![0]);
         assert!(metrics.wakeups_total() > 0);
         assert!(metrics.ready_events.count() > 0);
+    }
+
+    /// Echoes lines like [`UpcaseLines`] but records the waterfall
+    /// hooks: the fill timing the shard stamped on the connection and
+    /// every `on_flushed` callback.
+    struct TimingProbe {
+        fills_timed: Arc<AtomicU64>,
+        flushes: Arc<AtomicU64>,
+        flush_ns: Arc<AtomicU64>,
+    }
+
+    impl ConnHandler for TimingProbe {
+        fn on_data(&mut self, conn: &mut Conn) -> Directive {
+            // The shard must have timed the fill that buffered this data.
+            if !conn.inbuf.is_empty() && conn.last_fill_ns > 0 {
+                self.fills_timed.fetch_add(1, Ordering::Relaxed);
+            }
+            let Some(last) = conn.inbuf.iter().rposition(|&b| b == b'\n') else {
+                return Directive::Continue;
+            };
+            let complete: Vec<u8> = conn.inbuf.drain(..=last).collect();
+            conn.queue(&complete);
+            Directive::Continue
+        }
+
+        fn on_flushed(&mut self, _conn: &mut Conn, flush_ns: u64) {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            self.flush_ns.fetch_add(flush_ns, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn shard_times_fills_and_reports_flushes() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (shard, inbox) = Shard::new(0).expect("shard");
+        let metrics = Arc::new(ReactorMetrics::new(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let fills_timed = Arc::new(AtomicU64::new(0));
+        let flushes = Arc::new(AtomicU64::new(0));
+        let flush_ns = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            let (fills_timed, flushes, flush_ns) =
+                (Arc::clone(&fills_timed), Arc::clone(&flushes), Arc::clone(&flush_ns));
+            std::thread::spawn(move || {
+                shard.run(
+                    || TimingProbe {
+                        fills_timed: Arc::clone(&fills_timed),
+                        flushes: Arc::clone(&flushes),
+                        flush_ns: Arc::clone(&flush_ns),
+                    },
+                    &metrics,
+                    &stop,
+                )
+            })
+        };
+        let acceptor_inbox = inbox.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                acceptor_inbox.push(stream);
+            }
+        });
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        client.write_all(b"hello\n").expect("write");
+        let mut reply = [0u8; 6];
+        client.read_exact(&mut reply).expect("read");
+        assert_eq!(&reply, b"hello\n");
+
+        assert!(fills_timed.load(Ordering::Relaxed) > 0, "fill was not timed");
+        assert!(flushes.load(Ordering::Relaxed) > 0, "on_flushed never fired");
+
+        stop.store(true, Ordering::Release);
+        inbox.notify();
+        thread.join().expect("shard thread");
     }
 
     #[test]

@@ -16,12 +16,12 @@ use std::time::Instant;
 
 use crate::engine::{Resp, Unit};
 use crate::proto::{self, Cmd, MAX_DELTA};
-use crate::{run_segments, Seg, Shared, Wire};
+use crate::{run_segments, Seg, Shared, StageCtx, Wire};
 
 /// Drain complete frames from the connection's input buffer, execute
 /// them, and queue encoded responses. Called by the reactor shard
 /// whenever the buffer may hold complete requests.
-pub(crate) fn on_data(shared: &Shared, conn: &mut Conn) -> Directive {
+pub(crate) fn on_data(shared: &Shared, conn: &mut Conn, ctx: &StageCtx) -> Directive {
     let mut segs: Vec<Seg> = Vec::new();
     let mut quit = false;
     let mut shutdown = false;
@@ -46,7 +46,7 @@ pub(crate) fn on_data(shared: &Shared, conn: &mut Conn) -> Directive {
         };
         conn.inbuf.drain(..consumed);
     }
-    let out = run_segments(shared, segs, Wire::Binary);
+    let out = run_segments(shared, segs, Wire::Binary, ctx);
     conn.queue(&out);
     if shutdown {
         shared.begin_shutdown();
@@ -74,6 +74,9 @@ fn translate(
         codec::put_err(&mut frame, &format!("ERR {msg}"));
         segs.push(Seg::Lit(frame));
     };
+    // A set TRACE flag asks the server to echo the request's waterfall
+    // as a trailing INFO frame after its response.
+    let echo = view.flags & codec::flag::TRACE != 0;
     match view.code {
         op::PING => {
             let mut frame = Vec::new();
@@ -113,7 +116,7 @@ fn translate(
                     Err(msg) => return err(segs, msg),
                 }
             }
-            segs.push(Seg::Run(Unit { ops }, true, Instant::now()));
+            segs.push(Seg::Run(Unit { ops }, true, Instant::now(), echo));
         }
         _ => {
             let cmd = match to_cmd(view) {
@@ -122,7 +125,7 @@ fn translate(
             };
             match shared.engine.resolve(&cmd) {
                 Ok(resolved) => {
-                    segs.push(Seg::Run(Unit { ops: vec![resolved] }, false, Instant::now()))
+                    segs.push(Seg::Run(Unit { ops: vec![resolved] }, false, Instant::now(), echo))
                 }
                 Err(msg) => err(segs, msg),
             }

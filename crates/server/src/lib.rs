@@ -53,9 +53,10 @@ use proust_reactor::{
     Conn, ConnHandler, Directive, Events, Poller, ReactorMetrics, Shard, ShardInbox, Wakeup,
     INTEREST_ACCEPT, INTEREST_WAKEUP,
 };
+use proust_stm::obs::Phase;
 use proust_stm::{CmPolicy, RetryExhaustion};
 
-pub use engine::{Baseline, Engine, Op, Resp, Unit};
+pub use engine::{Baseline, Engine, Op, Resp, StageBreakdown, Unit, Waterfall};
 
 /// Everything a server instance needs to know at startup.
 #[derive(Debug, Clone)]
@@ -102,6 +103,10 @@ pub struct ServerConfig {
     /// Fault injection: corrupt the WAL tail before recovery runs, to
     /// prove the torn-tail truncation path bites (`--chaos-torn-tail`).
     pub chaos_torn_tail: bool,
+    /// Fault injection: stall every real WAL fsync by this long, modeling
+    /// a slow disk, so fsync_wait attribution in the request waterfall
+    /// can be exercised deterministically (`--chaos-fsync-delay-ms`).
+    pub chaos_fsync_delay: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -124,6 +129,7 @@ impl Default for ServerConfig {
             fsync_policy: proust_wal::FsyncPolicy::default(),
             wal_segment_bytes: proust_wal::Wal::DEFAULT_SEGMENT_BYTES,
             chaos_torn_tail: false,
+            chaos_fsync_delay: None,
         }
     }
 }
@@ -240,14 +246,14 @@ impl Server {
                     .expect("spawn acceptor"),
             );
         }
-        for shard in shards {
+        for (index, shard) in shards.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("shard-{}", threads.len()))
+                    .name(format!("shard-{index}"))
                     .spawn(move || {
                         shard.run(
-                            || ProtoHandler::new(Arc::clone(&shared)),
+                            || ProtoHandler::new(Arc::clone(&shared), index),
                             &shared.reactor,
                             &shared.shutdown,
                         );
@@ -459,12 +465,24 @@ enum Seg {
     /// Pre-encoded response bytes known at parse time (OK/PONG/QUEUED/
     /// ERR/... lines or frames).
     Lit(Vec<u8>),
-    /// A unit to execute transactionally; `true` = `MULTI`/`BATCH` block
-    /// (framed response), stamped with its parse time for latency.
-    Run(Unit, bool, Instant),
+    /// A unit to execute transactionally; the first `bool` marks a
+    /// `MULTI`/`BATCH` block (framed response), the [`Instant`] stamps
+    /// its parse time for latency, and the second `bool` requests a
+    /// waterfall echo (binary TRACE flag): the unit's responses are
+    /// followed by one INFO frame carrying the burst's stage anatomy.
+    Run(Unit, bool, Instant, bool),
     /// `STATS` — serialized at its position so it reflects every earlier
     /// request on this connection.
     Stats,
+}
+
+/// Per-`on_data` stage context the reactor handler hands to
+/// [`run_segments`]: which shard is serving, when the handler started
+/// (anchoring parse attribution), and how long the socket fill took.
+pub(crate) struct StageCtx {
+    shard: usize,
+    entry: Instant,
+    sock_read_ns: u64,
 }
 
 #[derive(Default)]
@@ -491,12 +509,14 @@ enum WireState {
 struct ProtoHandler {
     shared: Arc<Shared>,
     state: WireState,
+    /// Reactor shard serving this connection (waterfall attribution).
+    shard: usize,
 }
 
 impl ProtoHandler {
-    fn new(shared: Arc<Shared>) -> ProtoHandler {
+    fn new(shared: Arc<Shared>, shard: usize) -> ProtoHandler {
         shared.engine.connection_opened();
-        ProtoHandler { shared, state: WireState::Sniff }
+        ProtoHandler { shared, state: WireState::Sniff, shard }
     }
 }
 
@@ -508,6 +528,11 @@ impl Drop for ProtoHandler {
 
 impl ConnHandler for ProtoHandler {
     fn on_data(&mut self, conn: &mut Conn) -> Directive {
+        let ctx =
+            StageCtx { shard: self.shard, entry: Instant::now(), sock_read_ns: conn.last_fill_ns };
+        if ctx.sock_read_ns > 0 {
+            self.shared.engine.record_stage(Phase::SockRead, ctx.sock_read_ns);
+        }
         if matches!(self.state, WireState::Sniff) {
             let Some(&first) = conn.inbuf.first() else {
                 return Directive::Continue;
@@ -520,17 +545,26 @@ impl ConnHandler for ProtoHandler {
         }
         match &mut self.state {
             WireState::Sniff => unreachable!("sniff resolved above"),
-            WireState::Text(state) => text_on_data(&self.shared, conn, state),
-            WireState::Binary => binary::on_data(&self.shared, conn),
+            WireState::Text(state) => text_on_data(&self.shared, conn, state, &ctx),
+            WireState::Binary => binary::on_data(&self.shared, conn, &ctx),
         }
+    }
+
+    fn on_flushed(&mut self, _conn: &mut Conn, flush_ns: u64) {
+        self.shared.engine.record_stage(Phase::SockFlush, flush_ns);
     }
 }
 
 /// Text-protocol pump: drain complete lines, execute, queue the response
 /// bytes.
-fn text_on_data(shared: &Shared, conn: &mut Conn, state: &mut ConnState) -> Directive {
+fn text_on_data(
+    shared: &Shared,
+    conn: &mut Conn,
+    state: &mut ConnState,
+    ctx: &StageCtx,
+) -> Directive {
     let segs = drain_lines(shared, &mut conn.inbuf, state);
-    let out = run_segments(shared, segs, Wire::Text);
+    let out = run_segments(shared, segs, Wire::Text, ctx);
     conn.queue(&out);
     if state.shutdown {
         state.shutdown = false;
@@ -583,7 +617,7 @@ fn feed_line(shared: &Shared, line: &str, state: &mut ConnState, segs: &mut Vec<
                     pending.push(op);
                     lit_line(segs, "QUEUED");
                 }
-                None => segs.push(Seg::Run(Unit { ops: vec![op] }, false, Instant::now())),
+                None => segs.push(Seg::Run(Unit { ops: vec![op] }, false, Instant::now(), false)),
             },
             Err(msg) => err(segs, msg),
         },
@@ -595,7 +629,7 @@ fn feed_line(shared: &Shared, line: &str, state: &mut ConnState, segs: &mut Vec<
             }
         },
         proto::Line::Exec => match state.multi.take() {
-            Some(ops) => segs.push(Seg::Run(Unit { ops }, true, Instant::now())),
+            Some(ops) => segs.push(Seg::Run(Unit { ops }, true, Instant::now(), false)),
             None => err(segs, "EXEC without MULTI".to_string()),
         },
         proto::Line::Discard => match state.multi.take() {
@@ -619,73 +653,63 @@ fn feed_line(shared: &Shared, line: &str, state: &mut ConnState, segs: &mut Vec<
     }
 }
 
+/// Mutable flush-window state threaded through one [`run_segments`]
+/// call: the pending commit batch plus the stage bookkeeping that turns
+/// each flush into a [`Waterfall`].
+struct FlushWindow {
+    pending: Vec<(Unit, bool, Instant, bool)>,
+    pending_ops: usize,
+    /// Parse time accumulated for the pending units (per-request deltas
+    /// between parse stamps).
+    parse_ns: u64,
+    /// When this flush window opened: handler entry for the first flush,
+    /// the previous flush's end afterwards. Anchors the independent wall
+    /// measurement each waterfall carries.
+    opened: Instant,
+    /// Whether the window still owns the burst's socket-read time (only
+    /// the first flush of an `on_data` call does).
+    first: bool,
+}
+
 /// Execute the burst: group consecutive `Run` segments into commit
 /// batches of at most `max_batch` requests, keep every response in
-/// request order, record per-request service latency, and encode for the
-/// connection's wire.
-fn run_segments(shared: &Shared, segs: Vec<Seg>, wire: Wire) -> Vec<u8> {
+/// request order, record per-request service latency and per-stage
+/// waterfall timings, and encode for the connection's wire.
+fn run_segments(shared: &Shared, segs: Vec<Seg>, wire: Wire, ctx: &StageCtx) -> Vec<u8> {
+    let engine = &shared.engine;
     let mut out: Vec<u8> = Vec::new();
-    let mut pending: Vec<(Unit, bool, Instant)> = Vec::new();
-    let mut pending_ops = 0usize;
-    let flush = |out: &mut Vec<u8>, pending: &mut Vec<(Unit, bool, Instant)>| {
-        if pending.is_empty() {
-            return;
-        }
-        let units: Vec<Unit> = pending.iter().map(|(unit, _, _)| unit.clone()).collect();
-        let responses = shared.engine.execute(&units);
-        let done = Instant::now();
-        for ((unit, is_multi, stamp), resps) in pending.drain(..).zip(responses) {
-            let elapsed = done.duration_since(stamp).as_nanos() as u64;
-            if unit.ops.is_empty() {
-                shared.engine.latency.record(elapsed); // empty EXEC
-            }
-            for op in &unit.ops {
-                shared.engine.record_op_latency(op, elapsed);
-            }
-            match wire {
-                Wire::Text => {
-                    if is_multi {
-                        out.extend_from_slice(format!("RESULTS {}\n", resps.len()).as_bytes());
-                    }
-                    for resp in &resps {
-                        out.extend_from_slice(resp.to_line().as_bytes());
-                        out.push(b'\n');
-                    }
-                }
-                Wire::Binary => {
-                    if is_multi {
-                        let mut inner = Vec::new();
-                        for resp in &resps {
-                            binary::encode_resp(&mut inner, resp);
-                        }
-                        proust_codec::put_batch_response(out, resps.len() as u32, &inner);
-                    } else {
-                        for resp in &resps {
-                            binary::encode_resp(out, resp);
-                        }
-                    }
-                }
-            }
-        }
+    let mut window = FlushWindow {
+        pending: Vec::new(),
+        pending_ops: 0,
+        parse_ns: 0,
+        opened: ctx.entry,
+        first: true,
     };
+    // Parse attribution: every Run segment's stamp marks the moment its
+    // parse finished; the delta from the previous mark (handler entry
+    // for the first) is that request's parse time. All stamps were taken
+    // during the drain, before this function ran, so the deltas are
+    // exact regardless of flush boundaries.
+    let mut parse_mark = ctx.entry;
     for seg in segs {
         match seg {
-            Seg::Run(unit, is_multi, stamp) => {
-                pending_ops += unit.ops.len();
-                pending.push((unit, is_multi, stamp));
-                if pending_ops >= shared.max_batch {
-                    flush(&mut out, &mut pending);
-                    pending_ops = 0;
+            Seg::Run(unit, is_multi, stamp, echo) => {
+                let parse_ns = stamp.saturating_duration_since(parse_mark).as_nanos() as u64;
+                parse_mark = stamp;
+                engine.record_stage(Phase::Parse, parse_ns);
+                window.parse_ns += parse_ns;
+                window.pending_ops += unit.ops.len();
+                window.pending.push((unit, is_multi, stamp, echo));
+                if window.pending_ops >= shared.max_batch {
+                    flush_window(shared, wire, ctx, &mut out, &mut window);
                 }
             }
             Seg::Lit(bytes) => {
-                flush(&mut out, &mut pending);
-                pending_ops = 0;
+                flush_window(shared, wire, ctx, &mut out, &mut window);
                 out.extend_from_slice(&bytes);
             }
             Seg::Stats => {
-                flush(&mut out, &mut pending);
-                pending_ops = 0;
+                flush_window(shared, wire, ctx, &mut out, &mut window);
                 let json = shared.engine.stats_json(Some(&shared.reactor)).to_json();
                 match wire {
                     Wire::Text => out.extend_from_slice(format!("STATS {json}\n").as_bytes()),
@@ -694,8 +718,112 @@ fn run_segments(shared: &Shared, segs: Vec<Seg>, wire: Wire) -> Vec<u8> {
             }
         }
     }
-    flush(&mut out, &mut pending);
+    flush_window(shared, wire, ctx, &mut out, &mut window);
     out
+}
+
+/// Execute and encode one pending commit batch, sealing its waterfall:
+/// batch-wait per request, the engine's stage breakdown once per flush,
+/// the encode time, and the independently measured wall clock.
+fn flush_window(
+    shared: &Shared,
+    wire: Wire,
+    ctx: &StageCtx,
+    out: &mut Vec<u8>,
+    window: &mut FlushWindow,
+) {
+    if window.pending.is_empty() {
+        return;
+    }
+    let engine = &shared.engine;
+    let batch_ops = window.pending_ops;
+    engine.record_batch_occupancy(batch_ops as u64);
+    let last_stamp = window.pending.last().expect("pending checked non-empty").2;
+    let exec_start = Instant::now();
+    for (_, _, stamp, _) in window.pending.iter() {
+        let wait = exec_start.saturating_duration_since(*stamp).as_nanos() as u64;
+        engine.record_stage(Phase::BatchWait, wait);
+    }
+    let units: Vec<Unit> = window.pending.iter().map(|(unit, _, _, _)| unit.clone()).collect();
+    let (responses, breakdown) = engine.execute_stages(&units);
+    let done = Instant::now();
+    engine.record_stage(Phase::StmExec, breakdown.stm_exec_ns);
+    engine.record_stage(Phase::WalAppend, breakdown.wal_append_ns);
+    engine.record_stage(Phase::FsyncWait, breakdown.fsync_wait_ns);
+    let mut wf = Waterfall {
+        shard: ctx.shard as u32,
+        batch_ops: batch_ops as u32,
+        fsync_cohort: breakdown.fsync_cohort,
+        attempts: breakdown.attempts,
+        ..Waterfall::default()
+    };
+    wf.set_stage(Phase::SockRead, if window.first { ctx.sock_read_ns } else { 0 });
+    wf.set_stage(Phase::Parse, window.parse_ns);
+    // The waterfall's batch wait is the residual gap between the last
+    // parse and execution, clamped to this window so a mid-burst flush
+    // does not double-count the previous flush's execution time.
+    let wait_anchor = if last_stamp > window.opened { last_stamp } else { window.opened };
+    wf.set_stage(
+        Phase::BatchWait,
+        exec_start.saturating_duration_since(wait_anchor).as_nanos() as u64,
+    );
+    wf.set_stage(Phase::StmExec, breakdown.stm_exec_ns);
+    wf.set_stage(Phase::WalAppend, breakdown.wal_append_ns);
+    wf.set_stage(Phase::FsyncWait, breakdown.fsync_wait_ns);
+    // A TRACE-flagged request echoes the waterfall as it stands at
+    // encode time: resp_encode and sock_flush are still zero (they have
+    // not happened yet); the exemplar copy recorded below includes them.
+    let echo_json: Option<String> =
+        window.pending.iter().any(|(_, _, _, echo)| *echo).then(|| wf.to_json().to_json());
+    let encode_start = done;
+    for ((unit, is_multi, stamp, echo), resps) in window.pending.drain(..).zip(responses) {
+        let elapsed = done.duration_since(stamp).as_nanos() as u64;
+        if unit.ops.is_empty() {
+            engine.latency.record(elapsed); // empty EXEC
+        }
+        for op in &unit.ops {
+            engine.record_op_latency(op, elapsed);
+        }
+        match wire {
+            Wire::Text => {
+                if is_multi {
+                    out.extend_from_slice(format!("RESULTS {}\n", resps.len()).as_bytes());
+                }
+                for resp in &resps {
+                    out.extend_from_slice(resp.to_line().as_bytes());
+                    out.push(b'\n');
+                }
+            }
+            Wire::Binary => {
+                if is_multi {
+                    let mut inner = Vec::new();
+                    for resp in &resps {
+                        binary::encode_resp(&mut inner, resp);
+                    }
+                    proust_codec::put_batch_response(out, resps.len() as u32, &inner);
+                } else {
+                    for resp in &resps {
+                        binary::encode_resp(out, resp);
+                    }
+                }
+                if echo {
+                    let json = echo_json.as_deref().expect("echo implies echo_json");
+                    proust_codec::put_info(out, json);
+                }
+            }
+        }
+    }
+    let sealed = Instant::now();
+    let encode_ns = sealed.duration_since(encode_start).as_nanos() as u64;
+    engine.record_stage(Phase::RespEncode, encode_ns);
+    wf.set_stage(Phase::RespEncode, encode_ns);
+    wf.wall_ns = wf.stage(Phase::SockRead)
+        + sealed.saturating_duration_since(window.opened).as_nanos() as u64;
+    engine.note_waterfall(&wf);
+    window.pending_ops = 0;
+    window.parse_ns = 0;
+    window.opened = sealed;
+    window.first = false;
 }
 
 #[cfg(test)]
@@ -912,6 +1040,19 @@ mod tests {
         assert_eq!(per_shard.len(), 2, "{stats}");
         let open: u64 = per_shard.iter().filter_map(JsonValue::as_u64).sum();
         assert!(open >= 1, "this connection must be counted: {stats}");
+        // STATS v6: request-waterfall stage quantiles and tail exemplars.
+        assert!(parsed.get("slow_requests").and_then(JsonValue::as_u64).is_some(), "{stats}");
+        for stage in ["sock_read", "parse", "batch_wait", "stm_exec", "resp_encode"] {
+            assert!(
+                parsed.get("stage_p99_ns").and_then(|s| s.get(stage)).is_some(),
+                "missing stage_p99_ns.{stage}: {stats}"
+            );
+        }
+        assert!(parsed.get("top_stage").and_then(JsonValue::as_str).is_some(), "{stats}");
+        assert!(parsed.get("batch_occupancy_p99").and_then(JsonValue::as_u64).is_some());
+        let exemplars =
+            parsed.get("stage_exemplars").and_then(JsonValue::as_array).expect("exemplars");
+        assert!(!exemplars.is_empty(), "the PUT must have left a waterfall: {stats}");
         assert_eq!(client.roundtrip("SHUTDOWN"), "OK");
         assert!(handle.wait(), "drain should complete");
     }
@@ -1164,6 +1305,111 @@ mod tests {
         assert_eq!(bin.request(op::PING, "", &[]), OwnedResp::status(resp::PONG));
         let mut text = Client::connect(handle.addr());
         assert_eq!(text.roundtrip("PING"), "PONG");
+        assert!(handle.shutdown());
+    }
+
+    /// The eight stage names, in pipeline order — the shape every
+    /// waterfall JSON object must carry.
+    const STAGE_NAMES: [&str; 8] = [
+        "sock_read",
+        "parse",
+        "batch_wait",
+        "stm_exec",
+        "wal_append",
+        "fsync_wait",
+        "resp_encode",
+        "sock_flush",
+    ];
+
+    #[test]
+    fn request_waterfalls_cover_every_stage_and_sum_to_wall_time() {
+        let handle = Server::start(ServerConfig::default()).expect("start");
+        let mut client = Client::connect(handle.addr());
+        // A pipelined burst so batching and per-request parse deltas both
+        // exercise; every request lands in the stage histograms.
+        client.send("PUT w 1 10\nGET w 1\nINC w 2\nGET w\nPUT w 2 20\nDEL w 2\n");
+        for _ in 0..6 {
+            client.recv();
+        }
+        let stats = client.roundtrip("STATS");
+        let payload = stats.strip_prefix("STATS ").expect("STATS prefix");
+        let parsed = JsonValue::parse(payload).expect("STATS JSON");
+        // (a) all eight stages are quantified.
+        for stage in STAGE_NAMES {
+            assert!(
+                parsed.get("stage_p99_ns").and_then(|s| s.get(stage)).is_some(),
+                "missing {stage}: {stats}"
+            );
+        }
+        // (b) every exemplar's stage spans reconcile with its wall time.
+        // The stage sum and the wall clock are measured independently
+        // (the wall includes inter-stage seams the spans cannot), so the
+        // acceptance bound is: sum <= wall (+ scheduling jitter), and the
+        // sum accounts for most of the wall.
+        let exemplars =
+            parsed.get("stage_exemplars").and_then(JsonValue::as_array).expect("exemplars");
+        assert!(!exemplars.is_empty(), "burst must leave tail exemplars: {stats}");
+        for wf in exemplars {
+            let total = wf.get("total_ns").and_then(JsonValue::as_u64).expect("total_ns");
+            let wall = wf.get("wall_ns").and_then(JsonValue::as_u64).expect("wall_ns");
+            let stages = wf.get("stages").expect("stages object");
+            let sum: u64 = STAGE_NAMES
+                .iter()
+                .map(|s| stages.get(s).and_then(JsonValue::as_u64).expect("stage value"))
+                .sum();
+            assert_eq!(sum, total, "total must equal the stage sum: {stats}");
+            // Wall is an independent clock over the same interval; the
+            // spans may not overshoot it by more than scheduling noise.
+            assert!(
+                total <= wall + wall / 2 + 100_000,
+                "stage sum {total} far exceeds wall {wall}: {stats}"
+            );
+            assert!(wf.get("batch_ops").and_then(JsonValue::as_u64).unwrap() >= 1);
+        }
+        assert!(handle.shutdown());
+    }
+
+    #[test]
+    fn trace_flagged_binary_request_echoes_its_waterfall() {
+        let handle = Server::start(ServerConfig::default()).expect("start");
+        let mut client = BinClient::connect(handle.addr());
+        // TRACE flag on a single op: response frame, then an INFO frame
+        // carrying the request's waterfall JSON.
+        let mut frame = Vec::new();
+        proust_codec::put_request_flags(
+            &mut frame,
+            op::MAP_PUT,
+            proust_codec::flag::TRACE,
+            "m",
+            &[1, 10],
+        );
+        client.send_raw(&frame);
+        assert_eq!(client.recv(), OwnedResp::status(resp::OK));
+        let info = client.recv();
+        assert_eq!(info.code, resp::INFO, "TRACE flag must append an INFO frame");
+        let wf = JsonValue::parse(&info.text.expect("waterfall text")).expect("waterfall JSON");
+        let stages = wf.get("stages").expect("stages object");
+        for stage in STAGE_NAMES {
+            assert!(stages.get(stage).is_some(), "echo missing stage {stage}");
+        }
+        // The echo is sealed before encode/flush happen, so those two
+        // stages are necessarily zero in the echoed copy.
+        assert_eq!(stages.get("resp_encode").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(stages.get("sock_flush").and_then(JsonValue::as_u64), Some(0));
+        assert!(wf.get("batch_ops").and_then(JsonValue::as_u64).unwrap() >= 1);
+        // Unflagged requests stay echo-free: next response is the GET's.
+        assert_eq!(client.request(op::MAP_GET, "m", &[1]), OwnedResp::value(10));
+        // TRACE on a BATCH echoes after the batch response.
+        let mut inner = Vec::new();
+        proust_codec::put_request(&mut inner, op::MAP_PUT, "m", &[2, 20]);
+        proust_codec::put_request(&mut inner, op::MAP_GET, "m", &[2]);
+        let mut frame = Vec::new();
+        proust_codec::put_batch_request_flags(&mut frame, proust_codec::flag::TRACE, 2, &inner);
+        client.send_raw(&frame);
+        let batch = client.recv();
+        assert_eq!(batch.code, resp::BATCH);
+        let info = client.recv();
+        assert_eq!(info.code, resp::INFO, "flagged BATCH must echo its waterfall");
         assert!(handle.shutdown());
     }
 

@@ -16,7 +16,8 @@ usage: proust-server [--addr HOST:PORT] [--lap pessimistic|optimistic]
                      [--metrics-addr HOST:PORT] [--slow-threshold MS]
                      [--trace-sample N]
                      [--data-dir PATH] [--fsync-policy batch|always|off]
-                     [--wal-segment-bytes N] [--chaos-torn-tail]";
+                     [--wal-segment-bytes N] [--chaos-torn-tail]
+                     [--chaos-fsync-delay-ms N]";
 
 fn config_from_args() -> ServerConfig {
     let mut config = ServerConfig::default();
@@ -76,6 +77,10 @@ fn config_from_args() -> ServerConfig {
                 config.wal_segment_bytes = args.parsed("--wal-segment-bytes");
             }
             "--chaos-torn-tail" => config.chaos_torn_tail = true,
+            "--chaos-fsync-delay-ms" => {
+                let ms: u64 = args.parsed("--chaos-fsync-delay-ms");
+                config.chaos_fsync_delay = Some(std::time::Duration::from_millis(ms));
+            }
             other => args.unknown(other),
         }
     }

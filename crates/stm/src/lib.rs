@@ -77,7 +77,7 @@ pub use error::{AbortError, AbortKind, ConflictKind, TxError, TxResult};
 pub use forensics::{take_forensics, TxnForensics};
 pub use local::TxnLocal;
 pub use metrics::{SiteWaits, StmMetrics};
-pub use runtime::{CommitHook, Stm};
+pub use runtime::{last_attempts, CommitHook, Stm};
 pub use stats::{StmStats, StmStatsSnapshot};
 pub use tvar::TVar;
 pub use txn::{LockHoldTimer, Txn, TxnOutcome};

@@ -57,6 +57,22 @@ fn wait_for_change(watch: &[(DynTVar, u64)]) {
 /// body can hold the token with everyone else parked.
 const SERIAL_FAILURE_FLOOR: u32 = 256;
 
+thread_local! {
+    /// Attempt count of the calling thread's most recent `atomically`
+    /// call, committed or aborted. Always-on (one thread-local store per
+    /// call) — unlike forensics it does not need the `trace` feature, so
+    /// the server's request waterfall can report STM retry counts on
+    /// every build.
+    static LAST_ATTEMPTS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Attempt count of the calling thread's most recent
+/// [`Stm::atomically`] call (1 = first try committed). Zero until the
+/// thread has completed one call.
+pub fn last_attempts() -> u32 {
+    LAST_ATTEMPTS.with(|cell| cell.get())
+}
+
 /// The serial-irrevocable gate: at most one transaction per runtime may
 /// hold the token, and while it is held no *new* attempt starts.
 ///
@@ -518,6 +534,7 @@ impl Stm {
                             }
                             finish_forensics!(tx, "committed", attempt);
                         }
+                        LAST_ATTEMPTS.with(|cell| cell.set(attempt));
                         return Ok(value);
                     }
                     Err(err) => Err(err),
@@ -585,6 +602,7 @@ impl Stm {
                         finish_forensics!(tx, "aborted", attempt);
                     }
                     tx.rollback();
+                    LAST_ATTEMPTS.with(|cell| cell.set(attempt));
                     return Err(err);
                 }
                 Ok(()) => unreachable!("commit success returns directly"),
@@ -618,6 +636,7 @@ impl Stm {
                         finish_forensics!(tx, "exhausted", attempt);
                     }
                     self.inner.stats.record_exhausted();
+                    LAST_ATTEMPTS.with(|cell| cell.set(attempt));
                     return Err(AbortError::exhausted(
                         attempt,
                         last_conflict.unwrap_or(ConflictKind::External("exhausted")),
@@ -666,6 +685,7 @@ impl Stm {
                         finish_forensics!(tx, "exhausted", attempt);
                     }
                     self.inner.stats.record_exhausted();
+                    LAST_ATTEMPTS.with(|cell| cell.set(attempt));
                     return Err(AbortError::exhausted(
                         attempt,
                         last_conflict.unwrap_or(ConflictKind::External("exhausted")),
@@ -775,6 +795,24 @@ mod tests {
             assert!(result.is_err());
             assert_eq!(v.load(), 1, "backend {:?}", stm.config().detection);
         }
+    }
+
+    #[test]
+    fn last_attempts_tracks_commits_and_aborts() {
+        let stm = Stm::new(StmConfig::default());
+        let v = TVar::new(0);
+        stm.atomically(|tx| v.write(tx, 1)).unwrap();
+        assert_eq!(last_attempts(), 1, "uncontended commit takes one attempt");
+
+        let stm = Stm::new(StmConfig {
+            max_retries: Some(3),
+            on_exhaustion: RetryExhaustion::GiveUp,
+            ..StmConfig::default()
+        });
+        let result: Result<(), _> =
+            stm.atomically(|tx| tx.conflict(crate::ConflictKind::External("always")));
+        assert!(result.is_err());
+        assert_eq!(last_attempts(), 3, "exhaustion reports the final attempt count");
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct Frame {
     pub serial_escalations_per_s: f64,
     /// Milliseconds the serial token was held, per second of wall clock.
     pub serial_held_ms_per_s: f64,
+    /// Request-lifecycle waterfall: per-stage p99 over the interval,
+    /// microseconds — `(stage, p99_us)`, ranked descending by
+    /// contribution. Stages with no traffic this interval are dropped.
+    pub stages: Vec<(String, f64)>,
+    /// Commit-batch occupancy p99 (ops per flush) over the interval.
+    pub batch_occupancy_p99: f64,
 }
 
 /// Sum of every sample of one family (histogram families have many).
@@ -160,6 +166,34 @@ fn cdf_delta(prev: &[(f64, f64)], cur: &[(f64, f64)]) -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// The eight request-lifecycle stage names, pipeline order — matches
+/// the server's `proust_request_stage_ns{stage=…}` label values.
+const STAGE_NAMES: [&str; 8] = [
+    "sock_read",
+    "parse",
+    "batch_wait",
+    "stm_exec",
+    "wal_append",
+    "fsync_wait",
+    "resp_encode",
+    "sock_flush",
+];
+
+/// Interval p99 of one stage of the request waterfall, from the
+/// stage-labelled histogram family. `None` when the stage saw no traffic
+/// this interval.
+fn stage_p99_ns(prev: &[PromSample], cur: &[PromSample], stage: &str) -> Option<f64> {
+    let only = |samples: &[PromSample]| -> Vec<PromSample> {
+        samples.iter().filter(|s| s.label("stage") == Some(stage)).cloned().collect()
+    };
+    let cdf = cdf_delta(
+        &bucket_cdf(&only(prev), "proust_request_stage_ns"),
+        &bucket_cdf(&only(cur), "proust_request_stage_ns"),
+    );
+    let moved = cdf.last().map_or(0.0, |&(_, count)| count);
+    (moved > 0.0).then(|| quantile_ns(&cdf, 0.99))
+}
+
 /// Compute one dashboard interval from two consecutive scrapes.
 ///
 /// `dt_s` is the wall-clock gap between them; `top_k` caps the contended
@@ -202,7 +236,25 @@ pub fn build_frame(prev: &[PromSample], cur: &[PromSample], dt_s: f64, top_k: us
         entry.1 /= 1e6; // ns -> ms
     }
 
+    // Waterfall panel: stage p99s over the interval, ranked by how much
+    // each stage contributes to the request tail.
+    let mut stages: Vec<(String, f64)> = STAGE_NAMES
+        .iter()
+        .filter_map(|stage| {
+            stage_p99_ns(prev, cur, stage).map(|p99| (stage.to_string(), p99 / 1e3))
+        })
+        .collect();
+    stages.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    let occupancy = cdf_delta(
+        &bucket_cdf(prev, "proust_batch_occupancy"),
+        &bucket_cdf(cur, "proust_batch_occupancy"),
+    );
+
     Frame {
+        stages,
+        batch_occupancy_p99: quantile_ns(&occupancy, 0.99),
         committed_per_s: family_delta(prev, cur, "proust_txn_commits_total") / dt,
         requests_per_s: family_delta(prev, cur, "proust_requests_total") / dt,
         in_flight: family_sum(cur, "proust_txn_in_flight"),
@@ -318,6 +370,20 @@ pub fn render_frame(frame: &Frame, title: &str, color: bool) -> String {
     for (pair, ms) in &frame.top_pairs {
         out.push_str(&format!("  {pair:<40} {ms:>9.2}\n"));
     }
+
+    out.push_str(&format!(
+        "{}request waterfall, stage p99 us this interval{}  batch p99 {:.0} ops\n",
+        style(BOLD),
+        style(RESET),
+        frame.batch_occupancy_p99,
+    ));
+    if frame.stages.is_empty() {
+        out.push_str(&format!("  {}no requests this interval{}\n", style(DIM), style(RESET)));
+    }
+    let stage_max = frame.stages.first().map_or(0.0, |(_, us)| *us);
+    for (stage, us) in &frame.stages {
+        out.push_str(&format!("  {stage:<14} {us:>9.1}  {}\n", bar(*us, stage_max, 20)));
+    }
     out
 }
 
@@ -359,7 +425,16 @@ mod tests {
              # TYPE proust_serial_held_ns_total counter\n\
              proust_serial_held_ns_total 0\n\
              # TYPE proust_contention_ns_total counter\n\
-             proust_contention_ns_total{{aborter_site=\"map.put\",victim_site=\"map.get\"}} {pair_ns}\n",
+             proust_contention_ns_total{{aborter_site=\"map.put\",victim_site=\"map.get\"}} {pair_ns}\n\
+             # TYPE proust_request_stage_ns_bucket counter\n\
+             proust_request_stage_ns_bucket{{stage=\"sock_read\",le=\"1000\"}} {b1}\n\
+             proust_request_stage_ns_bucket{{stage=\"sock_read\",le=\"+Inf\"}} {b2}\n\
+             proust_request_stage_ns_bucket{{stage=\"fsync_wait\",le=\"1000\"}} 0\n\
+             proust_request_stage_ns_bucket{{stage=\"fsync_wait\",le=\"1000000\"}} {b1}\n\
+             proust_request_stage_ns_bucket{{stage=\"fsync_wait\",le=\"+Inf\"}} {b2}\n\
+             # TYPE proust_batch_occupancy_bucket counter\n\
+             proust_batch_occupancy_bucket{{le=\"4\"}} {b1}\n\
+             proust_batch_occupancy_bucket{{le=\"+Inf\"}} {b2}\n",
             requests = commits + 10,
             b1 = commits / 2,
             b2 = commits,
@@ -416,6 +491,26 @@ mod tests {
     }
 
     #[test]
+    fn waterfall_stages_rank_by_interval_p99_and_drop_idle_stages() {
+        let before = scrape(1_000, 0, 0);
+        let after = scrape(2_000, 0, 0);
+        let frame = build_frame(&before, &after, 1.0, 5);
+        // Only two stages moved this interval. fsync_wait's interval mass
+        // tops out in le=1e6 (1000us), sock_read's in le=1e3 (1us), so the
+        // panel ranks fsync_wait first and drops the six idle stages.
+        let named: Vec<&str> = frame.stages.iter().map(|(name, _)| name.as_str()).collect();
+        assert_eq!(named, ["fsync_wait", "sock_read"], "stages: {:?}", frame.stages);
+        assert!((frame.stages[0].1 - 1_000.0).abs() < 1e-6);
+        assert!((frame.stages[1].1 - 1.0).abs() < 1e-6);
+        // Half the flushes carried <=4 ops, the rest only hit +Inf, which
+        // resolves to the largest finite bound.
+        assert!((frame.batch_occupancy_p99 - 4.0).abs() < 1e-6);
+        // A quiet interval drops every stage rather than rendering zeros.
+        let idle = build_frame(&after, &after, 1.0, 5);
+        assert!(idle.stages.is_empty(), "idle interval must drop all stages: {:?}", idle.stages);
+    }
+
+    #[test]
     fn quantile_handles_empty_and_inf_only_mass() {
         assert_eq!(quantile_ns(&[], 0.99), 0.0);
         assert_eq!(quantile_ns(&[(1000.0, 0.0), (f64::INFINITY, 0.0)], 0.99), 0.0);
@@ -438,6 +533,8 @@ mod tests {
             "top contended sites",
             "map.put",
             "conflict pairs",
+            "request waterfall",
+            "fsync_wait",
         ] {
             assert!(text.contains(needle), "render is missing {needle:?}:\n{text}");
         }

@@ -185,6 +185,11 @@ struct WalInner {
 pub struct Wal {
     inner: Mutex<WalInner>,
     stats: WalStats,
+    /// Chaos hook (`--chaos-fsync-delay-ms`): milliseconds of artificial
+    /// stall injected before every real fsync, while the log mutex is
+    /// held — so concurrent committers queue behind it exactly like a
+    /// slow disk. 0 (the default) injects nothing.
+    sync_delay_ms: AtomicU64,
 }
 
 impl std::fmt::Debug for Wal {
@@ -420,6 +425,7 @@ impl Wal {
                 checkpoint_lsn,
             }),
             stats,
+            sync_delay_ms: AtomicU64::new(0),
         };
         Ok((wal, recovery))
     }
@@ -478,6 +484,10 @@ impl Wal {
         if inner.durable_lsn >= inner.appended_lsn {
             self.stats.syncs_absorbed.fetch_add(1, Ordering::Relaxed);
             return Ok(false);
+        }
+        let delay_ms = self.sync_delay_ms.load(Ordering::Relaxed);
+        if delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
         }
         inner.file.sync_all()?;
         inner.durable_lsn = inner.appended_lsn;
@@ -540,6 +550,14 @@ impl Wal {
     /// The monotonic counters (exported as STATS v4 / Prometheus fields).
     pub fn stats(&self) -> &WalStats {
         &self.stats
+    }
+
+    /// Chaos: stall every subsequent real fsync by `delay_ms`
+    /// milliseconds, under the log mutex (committers queue behind it
+    /// like a slow disk). Used by the server's `--chaos-fsync-delay-ms`
+    /// flag and the `fsync_wait`-attribution test; 0 disables.
+    pub fn set_sync_delay_ms(&self, delay_ms: u64) {
+        self.sync_delay_ms.store(delay_ms, Ordering::Relaxed);
     }
 
     /// Highest LSN appended so far (0 = empty log).
@@ -613,6 +631,23 @@ mod tests {
         let (record, next) = parse_record(&frame, 0).expect("round trip");
         assert_eq!(record, Record { lsn: 7, commit_ts: 42, payload: b"hello".to_vec() });
         assert_eq!(next, frame.len());
+    }
+
+    #[test]
+    fn sync_delay_chaos_stalls_real_fsyncs_only() {
+        let dir = std::env::temp_dir().join(format!("proust-wal-delay-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let (wal, _recovery) = Wal::open(&dir, Wal::DEFAULT_SEGMENT_BYTES).expect("open");
+        wal.set_sync_delay_ms(25);
+        wal.append(1, b"x").expect("append");
+        let start = std::time::Instant::now();
+        assert!(wal.sync().expect("sync"), "first sync is real");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(25), "delay injected");
+        // An absorbed sync (nothing new appended) skips the stall.
+        let start = std::time::Instant::now();
+        assert!(!wal.sync().expect("sync"), "second sync absorbed");
+        assert!(start.elapsed() < std::time::Duration::from_millis(25), "absorbed sync is fast");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

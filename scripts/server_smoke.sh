@@ -213,7 +213,9 @@ for fam in proust_requests_total proust_connections_open proust_connections_tota
            proust_recovery_replayed_total proust_recovery_truncated_bytes_total \
            proust_wal_torn_tails_total \
            proust_reactor_wakeups_total proust_reactor_ready_events \
-           proust_connections proust_conn_backpressure_total; do
+           proust_connections proust_conn_backpressure_total \
+           proust_slow_requests_total proust_request_stage_ns \
+           proust_batch_occupancy; do
     grep -q "^# TYPE $fam " <<<"$BASELINE_SCRAPE" || {
         echo "metrics endpoint is missing family $fam" >&2
         exit 1
@@ -230,6 +232,15 @@ printf 'TRACE DUMP\r\nTRACE STOP\r\nQUIT\r\n' >&8
 sed -n 's/^TRACE //p' <&8 | head -n1 | tr -d '\r' >"$TRACE_JSON"
 exec 8>&- 8<&-
 ./target/release/examples/validate_chrome_trace "$TRACE_JSON"
+
+# With sampling at 1, the dump must also carry the request-lifecycle
+# waterfall: a "request" envelope span plus nested stage spans.
+for span in request stm_exec resp_encode; do
+    grep -q "\"name\": *\"$span\"" "$TRACE_JSON" || grep -q "\"name\":\"$span\"" "$TRACE_JSON" || {
+        echo "TRACE DUMP carries no $span waterfall span" >&2
+        exit 1
+    }
+done
 
 # Ordered-map SCAN round trip: seed two keys, then a half-open range scan
 # must return both in key order, and shrinking the range by one must drop
@@ -275,6 +286,20 @@ if (( COMMITS_AFTER <= COMMITS_BEFORE )); then
 fi
 grep -q '^proust_request_latency_ns_bucket{' <<<"$AFTER_SCRAPE" || {
     echo "no per-op latency histogram series after the load run" >&2
+    exit 1
+}
+
+# Every request-waterfall stage must have accumulated samples under
+# load, and the commit-batch occupancy histogram must have series.
+for stage in sock_read parse batch_wait stm_exec wal_append fsync_wait resp_encode sock_flush; do
+    STAGE_COUNT="$(awk -v s="proust_request_stage_ns_count{stage=\"$stage\"}" '$1 == s {print int($2)}' <<<"$AFTER_SCRAPE")"
+    (( STAGE_COUNT > 0 )) || {
+        echo "proust_request_stage_ns{stage=\"$stage\"} recorded no samples under load" >&2
+        exit 1
+    }
+done
+grep -q '^proust_batch_occupancy_bucket{' <<<"$AFTER_SCRAPE" || {
+    echo "no batch-occupancy histogram series after the load run" >&2
     exit 1
 }
 

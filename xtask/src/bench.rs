@@ -174,6 +174,7 @@ fn measure_server_leg(quick: bool, leg: ServerLeg) -> Result<BenchEntry, String>
         ack_journal: None,
         tolerate_disconnect: false,
         binary: open,
+        waterfall_sample: 0,
         connections: if open {
             if quick {
                 128

@@ -467,7 +467,7 @@ fn overhead_pass(threads: usize, secs: f64) -> f64 {
 /// `proust-server` driven closed-loop over the binary wire. Returns
 /// committed ops per second. A fresh server per pass keeps the INC
 /// expected-value check valid (counters start at zero each time).
-fn overhead_server_pass(threads: usize, secs: f64) -> Result<f64, String> {
+fn overhead_server_pass(threads: usize, secs: f64, waterfall_sample: usize) -> Result<f64, String> {
     use proust_loadgen::LoadConfig;
     use proust_server::{Server, ServerConfig};
 
@@ -478,6 +478,7 @@ fn overhead_server_pass(threads: usize, secs: f64) -> Result<f64, String> {
         duration: std::time::Duration::from_secs_f64(secs),
         binary: true,
         quiet: true,
+        waterfall_sample,
         ..LoadConfig::default()
     };
     let report = proust_loadgen::run(&config)?;
@@ -583,16 +584,17 @@ fn run_overhead(args: &[String]) -> ExitCode {
     // best-of interleaving to shed scheduler noise on small runners.
     const SERVER_ROUNDS: usize = 4;
     let server_threads = 4usize;
-    if let Err(err) = overhead_server_pass(server_threads, (secs / 4.0).min(0.5)) {
+    if let Err(err) = overhead_server_pass(server_threads, (secs / 4.0).min(0.5), 0) {
         eprintln!("overhead: binary-wire warmup failed: {err}");
         return ExitCode::FAILURE;
     }
     let mut wire_baseline = 0.0f64;
     let mut wire_sampled = 0.0f64;
+    let mut wire_waterfall = 0.0f64;
     for _ in 0..SERVER_ROUNDS {
         tracer.disable();
         tracer.clear();
-        match overhead_server_pass(server_threads, secs) {
+        match overhead_server_pass(server_threads, secs, 0) {
             Ok(rps) => wire_baseline = wire_baseline.max(rps),
             Err(err) => {
                 eprintln!("overhead: binary-wire baseline pass failed: {err}");
@@ -601,10 +603,21 @@ fn run_overhead(args: &[String]) -> ExitCode {
         }
         tracer.set_sample_every(sample_every);
         tracer.enable();
-        match overhead_server_pass(server_threads, secs) {
+        match overhead_server_pass(server_threads, secs, 0) {
             Ok(rps) => wire_sampled = wire_sampled.max(rps),
             Err(err) => {
                 eprintln!("overhead: binary-wire sampled pass failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Waterfall arm: flight recorder still sampling 1/N, plus every
+        // Nth request carries the TRACE flag — the request's waterfall is
+        // rendered to JSON and echoed as an extra INFO frame. This is the
+        // full request-anatomy telemetry path switched on at once.
+        match overhead_server_pass(server_threads, secs, sample_every as usize) {
+            Ok(rps) => wire_waterfall = wire_waterfall.max(rps),
+            Err(err) => {
+                eprintln!("overhead: binary-wire waterfall pass failed: {err}");
                 return ExitCode::FAILURE;
             }
         }
@@ -620,6 +633,14 @@ fn run_overhead(args: &[String]) -> ExitCode {
         wire_delta_frac * 100.0,
         TARGET_FRAC * 100.0
     );
+    let waterfall_delta_frac = (wire_baseline - wire_waterfall) / wire_baseline;
+    let waterfall_within = waterfall_delta_frac < TARGET_FRAC;
+    println!(
+        "overhead: binary wire waterfall-on(1/{sample_every}) {wire_waterfall:.0} ops/s, \
+         delta {:.2}% (budget {:.0}%)",
+        waterfall_delta_frac * 100.0,
+        TARGET_FRAC * 100.0
+    );
 
     let report = proust_obs::JsonValue::obj([
         ("baseline_ops_per_s", proust_obs::JsonValue::num(baseline)),
@@ -629,6 +650,9 @@ fn run_overhead(args: &[String]) -> ExitCode {
         ("binary_wire_sampled_ops_per_s", proust_obs::JsonValue::num(wire_sampled)),
         ("binary_wire_delta_frac", proust_obs::JsonValue::num(wire_delta_frac)),
         ("binary_wire_within_target", proust_obs::JsonValue::Bool(wire_within)),
+        ("waterfall_ops_per_s", proust_obs::JsonValue::num(wire_waterfall)),
+        ("waterfall_delta_frac", proust_obs::JsonValue::num(waterfall_delta_frac)),
+        ("waterfall_within_target", proust_obs::JsonValue::Bool(waterfall_within)),
         ("sample_every", proust_obs::JsonValue::u64(sample_every)),
         ("threads", proust_obs::JsonValue::u64(threads as u64)),
         ("secs", proust_obs::JsonValue::num(secs)),
@@ -644,12 +668,13 @@ fn run_overhead(args: &[String]) -> ExitCode {
     }
     println!("report: {}", out.display());
 
-    if !(within && wire_within) && enforce {
+    if !(within && wire_within && waterfall_within) && enforce {
         eprintln!(
-            "overhead: FAILED — sampling costs {:.2}% (stm) / {:.2}% (binary wire), \
-             budget is {:.0}%",
+            "overhead: FAILED — sampling costs {:.2}% (stm) / {:.2}% (binary wire) / \
+             {:.2}% (waterfall-on), budget is {:.0}%",
             delta_frac * 100.0,
             wire_delta_frac * 100.0,
+            waterfall_delta_frac * 100.0,
             TARGET_FRAC * 100.0
         );
         return ExitCode::FAILURE;
